@@ -1,0 +1,41 @@
+//! Ablation of the MILP solver's design choices (bound propagation, rounding
+//! heuristic) on the paper's running example.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qr_core::paper_example::{paper_database, scholarship_constraints, scholarship_query};
+use qr_core::{build_model, DistanceMeasure, OptimizationConfig};
+use qr_milp::{Solver, SolverOptions};
+use qr_provenance::AnnotatedRelation;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_milp");
+    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+
+    let db = paper_database();
+    let query = scholarship_query();
+    let annotated = AnnotatedRelation::build(&db, &query).unwrap();
+    let built = build_model(
+        &annotated,
+        &scholarship_constraints(),
+        0.0,
+        DistanceMeasure::Predicate,
+        &OptimizationConfig::all(),
+    )
+    .unwrap();
+
+    let configs = [
+        ("default", SolverOptions::default()),
+        ("no-propagation", SolverOptions { use_propagation: false, ..SolverOptions::default() }),
+        ("no-rounding", SolverOptions { use_rounding_heuristic: false, ..SolverOptions::default() }),
+    ];
+    for (label, options) in configs {
+        group.bench_function(format!("scholarship/{label}"), |b| {
+            b.iter(|| Solver::new(options.clone()).solve(&built.model).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 3: running time of the compared algorithms (MILP, MILP+opt,
+//! Naive+prov) on small instances of the benchmark workloads. The full-size
+//! comparison, including the plain Naive baseline and all three distance
+//! measures, is produced by `cargo run -p qr-bench --release --bin experiments -- fig3`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qr_bench::{run_engine, run_naive, tiny_constraints, tiny_workload};
+use qr_core::{DistanceMeasure, NaiveMode, OptimizationConfig};
+use qr_datagen::DatasetId;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_algorithms");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+
+    for id in [DatasetId::Tpch, DatasetId::Astronauts] {
+        let w = tiny_workload(id);
+        let constraints = tiny_constraints(&w);
+        group.bench_function(format!("{}/MILP+opt/QD", w.id.label()), |b| {
+            b.iter(|| run_engine(&w, &constraints, 0.5, DistanceMeasure::Predicate, OptimizationConfig::all(), "bench"))
+        });
+        group.bench_function(format!("{}/MILP/QD", w.id.label()), |b| {
+            b.iter(|| run_engine(&w, &constraints, 0.5, DistanceMeasure::Predicate, OptimizationConfig::none(), "bench"))
+        });
+        group.bench_function(format!("{}/Naive+prov/QD", w.id.label()), |b| {
+            b.iter(|| {
+                run_naive(&w, &constraints, 0.5, DistanceMeasure::Predicate, NaiveMode::Provenance, Duration::from_secs(5), "bench")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

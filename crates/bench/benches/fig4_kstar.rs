@@ -1,0 +1,24 @@
+//! Figure 4: effect of k* (the largest k in the constraint set) on the
+//! running time, on a small TPC-H instance. Full sweeps: `experiments fig4`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qr_bench::{run_engine, tiny_workload};
+use qr_core::{DistanceMeasure, OptimizationConfig};
+use qr_datagen::DatasetId;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_kstar");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    let w = tiny_workload(DatasetId::Tpch);
+    for k in [5usize, 10, 20] {
+        let constraints = w.default_constraints(k);
+        group.bench_function(format!("TPC-H/k={k}"), |b| {
+            b.iter(|| run_engine(&w, &constraints, 0.5, DistanceMeasure::Predicate, OptimizationConfig::all(), format!("k={k}")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

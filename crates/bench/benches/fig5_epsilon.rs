@@ -1,0 +1,24 @@
+//! Figure 5: effect of the maximum deviation ε on the running time, on a
+//! small TPC-H instance. Full sweeps: `experiments fig5`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qr_bench::{run_engine, tiny_constraints, tiny_workload};
+use qr_core::{DistanceMeasure, OptimizationConfig};
+use qr_datagen::DatasetId;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_epsilon");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    let w = tiny_workload(DatasetId::Tpch);
+    let constraints = tiny_constraints(&w);
+    for eps in [0.0f64, 0.5, 1.0] {
+        group.bench_function(format!("TPC-H/eps={eps}"), |b| {
+            b.iter(|| run_engine(&w, &constraints, eps, DistanceMeasure::Predicate, OptimizationConfig::all(), format!("eps={eps}")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

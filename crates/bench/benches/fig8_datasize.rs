@@ -1,0 +1,29 @@
+//! Figure 8: effect of the data size (SDV-style scale-up) on the running
+//! time, on small TPC-H instances. Full sweeps: `experiments fig8`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qr_bench::{run_engine, tiny_constraints, tiny_workload, SEED};
+use qr_core::{DistanceMeasure, OptimizationConfig};
+use qr_datagen::DatasetId;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_datasize");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    let base = tiny_workload(DatasetId::Tpch);
+    for factor in [1usize, 2, 4] {
+        let w = if factor == 1 {
+            base.clone()
+        } else {
+            base.scaled(base.main_relation_size() * factor, SEED + factor as u64)
+        };
+        let constraints = tiny_constraints(&w);
+        group.bench_function(format!("TPC-H/rows={}", w.main_relation_size()), |b| {
+            b.iter(|| run_engine(&w, &constraints, 0.5, DistanceMeasure::Predicate, OptimizationConfig::all(), "size"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

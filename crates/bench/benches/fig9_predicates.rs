@@ -1,0 +1,31 @@
+//! Figure 9: categorical-only versus numerical-only predicates, on a small
+//! Astronauts instance. Full sweeps: `experiments fig9`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qr_bench::{run_engine, tiny_constraints, tiny_workload};
+use qr_core::{DistanceMeasure, OptimizationConfig};
+use qr_datagen::{DatasetId, Workload};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_predicates");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    let w = tiny_workload(DatasetId::Astronauts);
+    let constraints = tiny_constraints(&w);
+
+    let mut cat_only = w.query.clone();
+    cat_only.numeric_predicates.clear();
+    let mut num_only = w.query.clone();
+    num_only.categorical_predicates.clear();
+
+    for (label, query) in [("categorical-only", cat_only), ("numerical-only", num_only)] {
+        let variant = Workload { id: w.id, db: w.db.clone(), query };
+        group.bench_function(format!("Astronauts/{label}"), |b| {
+            b.iter(|| run_engine(&variant, &constraints, 0.5, DistanceMeasure::Predicate, OptimizationConfig::all(), label))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Micro-benchmarks of the substrates: query evaluation, provenance
+//! annotation, what-if re-evaluation, and raw LP/MILP solving.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qr_bench::tiny_workload;
+use qr_core::paper_example::{paper_database, scholarship_query};
+use qr_datagen::DatasetId;
+use qr_milp::{LinExpr, Model, Sense, Solver};
+use qr_provenance::whatif::evaluate_refinement;
+use qr_provenance::{AnnotatedRelation, PredicateAssignment};
+use qr_relation::evaluate;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(30).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+
+    // Relational engine: Q5-style three-way natural join + ranking.
+    let tpch = tiny_workload(DatasetId::Tpch);
+    group.bench_function("relation/evaluate_q5", |b| {
+        b.iter(|| evaluate(&tpch.db, &tpch.query).unwrap())
+    });
+
+    // Provenance: annotation construction and what-if evaluation.
+    let law = tiny_workload(DatasetId::LawStudents);
+    group.bench_function("provenance/annotate_law_students", |b| {
+        b.iter(|| AnnotatedRelation::build(&law.db, &law.query).unwrap())
+    });
+    let annotated = AnnotatedRelation::build(&law.db, &law.query).unwrap();
+    let assignment = PredicateAssignment::from_query(&law.query);
+    group.bench_function("provenance/whatif_law_students", |b| {
+        b.iter(|| evaluate_refinement(&annotated, &assignment))
+    });
+
+    // MILP substrate: a small knapsack-style model.
+    let db = paper_database();
+    let _ = scholarship_query();
+    let _ = db;
+    let mut model = Model::new("knapsack");
+    let items: Vec<_> = (0..24).map(|i| model.add_binary(format!("x{i}"))).collect();
+    let mut weight = LinExpr::zero();
+    let mut profit = LinExpr::zero();
+    for (i, &x) in items.iter().enumerate() {
+        weight.add_term(x, 1.0 + (i % 7) as f64);
+        profit.add_term(x, -(2.0 + (i % 5) as f64));
+    }
+    model.add_constraint("capacity", weight, Sense::Le, 30.0);
+    model.set_objective(profit);
+    group.bench_function("milp/knapsack_24_items", |b| {
+        b.iter(|| Solver::default().solve(&model).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

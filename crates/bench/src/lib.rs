@@ -1,0 +1,221 @@
+//! # qr-bench
+//!
+//! Shared harness code for reproducing the paper's evaluation (Section 5).
+//!
+//! Every figure of the paper has a corresponding Criterion bench target in
+//! `benches/` and a sweep in the `experiments` binary
+//! (`cargo run -p qr-bench --release --bin experiments -- <figure>`), which
+//! prints the same series the paper plots: setup time, solver time and total
+//! time per dataset, distance measure and swept parameter.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use qr_core::{
+    naive_search, ConstraintSet, DistanceMeasure, NaiveMode, NaiveOptions, OptimizationConfig,
+    RefinementEngine, RefinementResult,
+};
+use qr_datagen::Workload;
+use qr_milp::SolverOptions;
+use std::time::Duration;
+
+/// Default `k` for all experiments (the paper's default).
+pub const DEFAULT_K: usize = 10;
+/// Default maximum deviation ε (the paper's default).
+pub const DEFAULT_EPSILON: f64 = 0.5;
+/// Seed used for every synthetic dataset in the harness.
+pub const SEED: u64 = 20240317;
+
+/// Solver options used throughout the benchmark: a per-instance time limit
+/// stands in for the paper's one-hour timeout (scaled down because the
+/// from-scratch solver replaces CPLEX).
+pub fn benchmark_solver_options() -> SolverOptions {
+    SolverOptions {
+        time_limit: Some(Duration::from_secs(60)),
+        max_nodes: 20_000,
+        ..SolverOptions::default()
+    }
+}
+
+/// A single measurement row, printed by the `experiments` binary.
+#[derive(Debug, Clone)]
+pub struct ExperimentRow {
+    /// Dataset label (Astronauts, Law Students, MEPS, TPC-H).
+    pub dataset: String,
+    /// Algorithm label (MILP, MILP+opt, Naive, Naive+prov, ...).
+    pub algorithm: String,
+    /// Distance measure label (QD, JAC, KEN) or "-".
+    pub distance: String,
+    /// Value of the swept parameter (k*, ε, #constraints, data size, ...).
+    pub parameter: String,
+    /// Setup time in seconds (provenance + MILP construction).
+    pub setup_seconds: f64,
+    /// Total time in seconds.
+    pub total_seconds: f64,
+    /// Whether a refinement within ε was found.
+    pub refined: bool,
+    /// Exact distance of the refinement (NaN if none).
+    pub distance_value: f64,
+    /// Exact deviation of the refinement (NaN if none).
+    pub deviation: f64,
+}
+
+impl ExperimentRow {
+    /// Header line for the tab-separated output.
+    pub fn header() -> String {
+        "dataset\talgorithm\tdistance\tparameter\tsetup_s\ttotal_s\trefined\tdist\tdev".to_string()
+    }
+
+    /// Tab-separated rendering of the row.
+    pub fn render(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{:.3}\t{:.3}\t{}\t{:.3}\t{:.3}",
+            self.dataset,
+            self.algorithm,
+            self.distance,
+            self.parameter,
+            self.setup_seconds,
+            self.total_seconds,
+            self.refined,
+            self.distance_value,
+            self.deviation
+        )
+    }
+}
+
+/// Run the MILP-based engine on a workload and convert the result to a row.
+pub fn run_engine(
+    workload: &Workload,
+    constraints: &ConstraintSet,
+    epsilon: f64,
+    distance: DistanceMeasure,
+    config: OptimizationConfig,
+    parameter: impl Into<String>,
+) -> ExperimentRow {
+    let result: RefinementResult = RefinementEngine::new(&workload.db, workload.query.clone())
+        .with_constraints(constraints.clone())
+        .with_epsilon(epsilon)
+        .with_distance(distance)
+        .with_optimizations(config)
+        .with_solver_options(benchmark_solver_options())
+        .solve()
+        .expect("engine run does not error");
+    let (refined, dist, dev) = match result.outcome.refined() {
+        Some(r) => (true, r.distance, r.deviation),
+        None => (false, f64::NAN, f64::NAN),
+    };
+    ExperimentRow {
+        dataset: workload.id.label().to_string(),
+        algorithm: config.label().to_string(),
+        distance: distance.label().to_string(),
+        parameter: parameter.into(),
+        setup_seconds: result.stats.setup_time.as_secs_f64(),
+        total_seconds: result.stats.total_time.as_secs_f64(),
+        refined,
+        distance_value: dist,
+        deviation: dev,
+    }
+}
+
+/// Run one of the exhaustive baselines on a workload.
+pub fn run_naive(
+    workload: &Workload,
+    constraints: &ConstraintSet,
+    epsilon: f64,
+    distance: DistanceMeasure,
+    mode: NaiveMode,
+    budget: Duration,
+    parameter: impl Into<String>,
+) -> ExperimentRow {
+    let options = NaiveOptions { mode, time_limit: Some(budget), ..NaiveOptions::default() };
+    let result = naive_search(&workload.db, &workload.query, constraints, epsilon, distance, &options)
+        .expect("naive search does not error");
+    let (refined, dist, dev) = match &result.best {
+        Some((_, d, dev)) => (true, *d, *dev),
+        None => (false, f64::NAN, f64::NAN),
+    };
+    let mut algorithm = mode.label().to_string();
+    if !result.exhausted {
+        algorithm.push_str(" (timeout)");
+    }
+    ExperimentRow {
+        dataset: workload.id.label().to_string(),
+        algorithm,
+        distance: distance.label().to_string(),
+        parameter: parameter.into(),
+        setup_seconds: result.stats.setup_time.as_secs_f64(),
+        total_seconds: result.stats.total_time.as_secs_f64(),
+        refined,
+        distance_value: dist,
+        deviation: dev,
+    }
+}
+
+/// Workloads used by the Criterion benches: smaller than the defaults so that
+/// a full `cargo bench` pass finishes quickly; the `experiments` binary uses
+/// the full default sizes.
+pub fn bench_workloads() -> Vec<Workload> {
+    vec![
+        Workload::astronauts(180, SEED),
+        Workload::law_students(400, SEED),
+        Workload::meps(400, SEED),
+        Workload::tpch(100, SEED),
+    ]
+}
+
+/// The full-size workloads used by the `experiments` binary.
+pub fn experiment_workloads() -> Vec<Workload> {
+    Workload::all(SEED)
+}
+
+/// A deliberately tiny instance of a workload, used by the Criterion benches
+/// so that a full `cargo bench --workspace` pass stays in the minutes range.
+/// The full-size parameter sweeps live in the `experiments` binary.
+pub fn tiny_workload(id: qr_datagen::DatasetId) -> Workload {
+    use qr_datagen::DatasetId;
+    match id {
+        DatasetId::Astronauts => Workload::astronauts(100, SEED),
+        DatasetId::LawStudents => Workload::law_students(250, SEED),
+        DatasetId::Meps => Workload::meps(250, SEED),
+        DatasetId::Tpch => Workload::tpch(60, SEED),
+    }
+}
+
+/// The small `k` used by the Criterion benches.
+pub const TINY_K: usize = 5;
+
+/// Constraint (1) of Table 6 for a tiny workload, with a bound of 2 in the
+/// top-[`TINY_K`].
+pub fn tiny_constraints(workload: &Workload) -> ConstraintSet {
+    ConstraintSet::new().with(workload.constraint_with_bound(1, TINY_K, Some(2)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_rendering() {
+        let row = ExperimentRow {
+            dataset: "Astronauts".into(),
+            algorithm: "MILP+opt".into(),
+            distance: "QD".into(),
+            parameter: "k=10".into(),
+            setup_seconds: 0.1234,
+            total_seconds: 1.5,
+            refined: true,
+            distance_value: 0.5,
+            deviation: 0.0,
+        };
+        let text = row.render();
+        assert!(text.starts_with("Astronauts\tMILP+opt\tQD\tk=10"));
+        assert!(ExperimentRow::header().contains("total_s"));
+    }
+
+    #[test]
+    fn bench_workloads_are_small() {
+        for w in bench_workloads() {
+            assert!(w.main_relation_size() <= 400);
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! Groups, cardinality constraints and deviation (Definitions 2.6 / 2.7).
+
+use crate::error::{CoreError, Result};
+use qr_provenance::AnnotatedRelation;
+use qr_relation::{Row, Schema, Value};
+use std::fmt;
+
+/// A demographic group: a conjunction of equality conditions over
+/// (categorical) attributes, e.g. `Gender = 'F' AND Income = 'Low'`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Group {
+    conditions: Vec<(String, Value)>,
+}
+
+impl Group {
+    /// A group defined by a single `attribute = value` condition.
+    pub fn single(attribute: impl Into<String>, value: impl Into<Value>) -> Self {
+        Group { conditions: vec![(attribute.into(), value.into())] }
+    }
+
+    /// A group defined by a conjunction of conditions.
+    pub fn conjunction<I, S, V>(conditions: I) -> Self
+    where
+        I: IntoIterator<Item = (S, V)>,
+        S: Into<String>,
+        V: Into<Value>,
+    {
+        Group {
+            conditions: conditions.into_iter().map(|(a, v)| (a.into(), v.into())).collect(),
+        }
+    }
+
+    /// The conditions defining the group.
+    pub fn conditions(&self) -> &[(String, Value)] {
+        &self.conditions
+    }
+
+    /// Whether a row (with the given schema) belongs to the group.
+    pub fn matches(&self, schema: &Schema, row: &Row) -> bool {
+        self.conditions.iter().all(|(attr, value)| {
+            schema.index_of(attr).map(|i| &row[i] == value).unwrap_or(false)
+        })
+    }
+
+    /// Validate that every group attribute exists in the schema.
+    pub fn validate(&self, schema: &Schema) -> Result<()> {
+        for (attr, _) in &self.conditions {
+            if schema.index_of(attr).is_none() {
+                return Err(CoreError::InvalidConstraint(format!(
+                    "group attribute `{attr}` does not exist in the query output"
+                )));
+            }
+        }
+        if self.conditions.is_empty() {
+            return Err(CoreError::InvalidConstraint("group has no conditions".into()));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Group {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> =
+            self.conditions.iter().map(|(a, v)| format!("{a}={v}")).collect();
+        write!(f, "{}", parts.join(" ∧ "))
+    }
+}
+
+/// Whether a constraint bounds the group's cardinality from below or above.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundType {
+    /// `ℓ_{G,k} = n`: at least `n` members of `G` in the top-`k`.
+    Lower,
+    /// `𝓊_{G,k} = n`: at most `n` members of `G` in the top-`k`.
+    Upper,
+}
+
+impl BoundType {
+    /// `Sign(𝒸)` of Definition 2.6: `+1` for lower bounds, `-1` for upper bounds.
+    pub fn sign(&self) -> f64 {
+        match self {
+            BoundType::Lower => 1.0,
+            BoundType::Upper => -1.0,
+        }
+    }
+}
+
+/// A cardinality constraint `𝒸_{G,k} = n` over the top-`k` of the ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CardinalityConstraint {
+    /// The group the constraint refers to.
+    pub group: Group,
+    /// The ranking prefix length the constraint applies to.
+    pub k: usize,
+    /// Lower or upper bound.
+    pub bound: BoundType,
+    /// The bound value `n`.
+    pub n: usize,
+}
+
+impl CardinalityConstraint {
+    /// `ℓ_{G,k} = n`: at least `n` members of `G` in the top-`k`.
+    pub fn at_least(group: Group, k: usize, n: usize) -> Self {
+        CardinalityConstraint { group, k, bound: BoundType::Lower, n }
+    }
+
+    /// `𝓊_{G,k} = n`: at most `n` members of `G` in the top-`k`.
+    pub fn at_most(group: Group, k: usize, n: usize) -> Self {
+        CardinalityConstraint { group, k, bound: BoundType::Upper, n }
+    }
+
+    /// The per-constraint deviation term of Definition 2.6, given the number
+    /// of group members observed in the top-`k`.
+    pub fn deviation(&self, observed: usize) -> f64 {
+        if self.n == 0 {
+            // A zero bound cannot be normalised; an upper bound of zero is
+            // violated by any positive count, a lower bound of zero never is.
+            return match self.bound {
+                BoundType::Lower => 0.0,
+                BoundType::Upper => {
+                    if observed > 0 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+            };
+        }
+        let diff = self.bound.sign() * (self.n as f64 - observed as f64);
+        diff.max(0.0) / self.n as f64
+    }
+
+    /// Whether the constraint is exactly satisfied by the observed count.
+    pub fn is_satisfied(&self, observed: usize) -> bool {
+        match self.bound {
+            BoundType::Lower => observed >= self.n,
+            BoundType::Upper => observed <= self.n,
+        }
+    }
+}
+
+impl fmt::Display for CardinalityConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let symbol = match self.bound {
+            BoundType::Lower => "ℓ",
+            BoundType::Upper => "𝓊",
+        };
+        write!(f, "{}[{}, k={}] = {}", symbol, self.group, self.k, self.n)
+    }
+}
+
+/// A set of cardinality constraints `C`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConstraintSet {
+    constraints: Vec<CardinalityConstraint>,
+}
+
+impl ConstraintSet {
+    /// An empty constraint set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a constraint set from constraints.
+    pub fn from_constraints(constraints: Vec<CardinalityConstraint>) -> Self {
+        ConstraintSet { constraints }
+    }
+
+    /// Add a constraint (builder style).
+    pub fn with(mut self, constraint: CardinalityConstraint) -> Self {
+        self.constraints.push(constraint);
+        self
+    }
+
+    /// Add a constraint in place.
+    pub fn push(&mut self, constraint: CardinalityConstraint) {
+        self.constraints.push(constraint);
+    }
+
+    /// The constraints.
+    pub fn constraints(&self) -> &[CardinalityConstraint] {
+        &self.constraints
+    }
+
+    /// Number of constraints, `|C|`.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// `k*`: the largest `k` appearing in the constraint set (0 if empty).
+    pub fn k_star(&self) -> usize {
+        self.constraints.iter().map(|c| c.k).max().unwrap_or(0)
+    }
+
+    /// Whether any tuple group is subject to *both* lower- and upper-bound
+    /// constraints (determines whether the single-bound relaxation of
+    /// Section 4 applies).
+    pub fn has_mixed_bounds(&self) -> bool {
+        self.constraints.iter().any(|c| c.bound == BoundType::Lower)
+            && self.constraints.iter().any(|c| c.bound == BoundType::Upper)
+    }
+
+    /// Validate the constraint set against the annotated relation's schema.
+    pub fn validate(&self, annotated: &AnnotatedRelation) -> Result<()> {
+        if self.constraints.is_empty() {
+            return Err(CoreError::InvalidConstraint("constraint set is empty".into()));
+        }
+        for c in &self.constraints {
+            c.group.validate(annotated.schema())?;
+            if c.k == 0 {
+                return Err(CoreError::InvalidConstraint(format!("constraint `{c}` has k = 0")));
+            }
+            if c.n > c.k {
+                return Err(CoreError::InvalidConstraint(format!(
+                    "constraint `{c}` requires {} tuples in a top-{} prefix",
+                    c.n, c.k
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Deviation `DEV(Q(D), C)` of Definition 2.6, given the observed group
+    /// counts per constraint (in the same order as [`Self::constraints`]).
+    pub fn deviation(&self, observed: &[usize]) -> f64 {
+        if self.constraints.is_empty() {
+            return 0.0;
+        }
+        debug_assert_eq!(observed.len(), self.constraints.len());
+        let total: f64 = self
+            .constraints
+            .iter()
+            .zip(observed)
+            .map(|(c, &obs)| c.deviation(obs))
+            .sum();
+        total / self.constraints.len() as f64
+    }
+
+    /// Observed group counts in the top-`k` prefixes of a ranked output given
+    /// as tuple indices into an annotated relation.
+    pub fn observed_counts(
+        &self,
+        annotated: &AnnotatedRelation,
+        ranked_output: &[usize],
+    ) -> Vec<usize> {
+        self.constraints
+            .iter()
+            .map(|c| {
+                ranked_output
+                    .iter()
+                    .take(c.k)
+                    .filter(|&&i| c.group.matches(annotated.schema(), &annotated.tuples()[i].row))
+                    .count()
+            })
+            .collect()
+    }
+
+    /// Convenience: deviation of a ranked output (indices into `annotated`).
+    pub fn deviation_of_output(
+        &self,
+        annotated: &AnnotatedRelation,
+        ranked_output: &[usize],
+    ) -> f64 {
+        self.deviation(&self.observed_counts(annotated, ranked_output))
+    }
+}
+
+impl fmt::Display for ConstraintSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.constraints.iter().map(|c| c.to_string()).collect();
+        write!(f, "{{{}}}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr_relation::{Column, DataType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("Gender", DataType::Text),
+            Column::new("Income", DataType::Text),
+            Column::new("SAT", DataType::Int),
+        ])
+    }
+
+    #[test]
+    fn group_matching() {
+        let s = schema();
+        let g = Group::single("Gender", "F");
+        assert!(g.matches(&s, &vec!["F".into(), "Low".into(), 1500.into()]));
+        assert!(!g.matches(&s, &vec!["M".into(), "Low".into(), 1500.into()]));
+        let g2 = Group::conjunction([("Gender", "F"), ("Income", "Low")]);
+        assert!(g2.matches(&s, &vec!["F".into(), "Low".into(), 1500.into()]));
+        assert!(!g2.matches(&s, &vec!["F".into(), "High".into(), 1500.into()]));
+        assert!(g2.to_string().contains("Gender=F"));
+    }
+
+    #[test]
+    fn group_missing_attribute_never_matches_and_fails_validation() {
+        let s = schema();
+        let g = Group::single("Race", "White");
+        assert!(!g.matches(&s, &vec!["F".into(), "Low".into(), 1500.into()]));
+        assert!(g.validate(&s).is_err());
+        assert!(Group::conjunction(Vec::<(&str, &str)>::new()).validate(&s).is_err());
+    }
+
+    #[test]
+    fn deviation_lower_bound() {
+        // "at least 3 of the top-6 are women": observed 2 -> deviation 1/3.
+        let c = CardinalityConstraint::at_least(Group::single("Gender", "F"), 6, 3);
+        assert!((c.deviation(2) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.deviation(3), 0.0);
+        // Exceeding a lower bound is not penalised.
+        assert_eq!(c.deviation(5), 0.0);
+        assert!(c.is_satisfied(3));
+        assert!(!c.is_satisfied(2));
+    }
+
+    #[test]
+    fn deviation_upper_bound() {
+        // "at most 1 high-income in the top-3": observed 2 -> deviation 1.
+        let c = CardinalityConstraint::at_most(Group::single("Income", "High"), 3, 1);
+        assert!((c.deviation(2) - 1.0).abs() < 1e-12);
+        assert_eq!(c.deviation(1), 0.0);
+        assert_eq!(c.deviation(0), 0.0);
+        assert!(c.is_satisfied(0));
+        assert!(!c.is_satisfied(3));
+    }
+
+    #[test]
+    fn zero_bound_edge_cases() {
+        let lower = CardinalityConstraint::at_least(Group::single("Gender", "F"), 5, 0);
+        assert_eq!(lower.deviation(0), 0.0);
+        let upper = CardinalityConstraint::at_most(Group::single("Gender", "F"), 5, 0);
+        assert_eq!(upper.deviation(0), 0.0);
+        assert_eq!(upper.deviation(2), 1.0);
+    }
+
+    #[test]
+    fn constraint_set_aggregation() {
+        let set = ConstraintSet::new()
+            .with(CardinalityConstraint::at_least(Group::single("Gender", "F"), 6, 3))
+            .with(CardinalityConstraint::at_most(Group::single("Income", "High"), 3, 1));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.k_star(), 6);
+        assert!(set.has_mixed_bounds());
+        // Observed: 2 women in top-6 (dev 1/3), 2 high-income in top-3 (dev 1).
+        let dev = set.deviation(&[2, 2]);
+        assert!((dev - (1.0 / 3.0 + 1.0) / 2.0).abs() < 1e-12);
+        // Fully satisfied.
+        assert_eq!(set.deviation(&[3, 1]), 0.0);
+    }
+
+    #[test]
+    fn lower_only_set_has_no_mixed_bounds() {
+        let set = ConstraintSet::new()
+            .with(CardinalityConstraint::at_least(Group::single("Gender", "F"), 6, 3))
+            .with(CardinalityConstraint::at_least(Group::single("Gender", "M"), 6, 3));
+        assert!(!set.has_mixed_bounds());
+    }
+
+    #[test]
+    fn display_forms() {
+        let c = CardinalityConstraint::at_least(Group::single("Gender", "F"), 6, 3);
+        assert!(c.to_string().contains("k=6"));
+        let set = ConstraintSet::new().with(c);
+        assert!(set.to_string().starts_with('{'));
+    }
+}

@@ -1,0 +1,269 @@
+//! Refinement distance measures (Section 2.2).
+//!
+//! Two families are supported:
+//!
+//! * **Predicate-based** ([`predicate_distance`]): compares the predicates of
+//!   the original and refined query — normalised absolute difference for
+//!   numerical constants plus Jaccard distance for categorical value sets.
+//! * **Outcome-based**: compares the top-k of the two queries, either as sets
+//!   ([`jaccard_topk_distance`]) or rank-aware using Fagin et al.'s Kendall's
+//!   τ for top-k lists ([`kendall_topk_distance`]).
+//!
+//! The MILP linearisations of these measures live in
+//! [`crate::milp_model`]; the functions here compute the *exact* value of a
+//! measure for a concrete refinement, and are used for reporting, for the
+//! exhaustive baselines, and to cross-check the MILP objective.
+
+use qr_provenance::PredicateAssignment;
+use qr_relation::SpjQuery;
+use std::collections::BTreeSet;
+
+/// Which distance measure the refinement engine minimises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistanceMeasure {
+    /// `DIS_pred`: predicate-based distance (query-only, abbreviated QD).
+    Predicate,
+    /// `DIS_Jaccard`: Jaccard distance between the top-k sets (JAC).
+    JaccardTopK,
+    /// `DIS_Kendall`: Kendall's τ for top-k lists, Fagin et al. cases 2 and 3 (KEN).
+    KendallTopK,
+}
+
+impl DistanceMeasure {
+    /// Short label used in figures and benchmark output (QD / JAC / KEN).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DistanceMeasure::Predicate => "QD",
+            DistanceMeasure::JaccardTopK => "JAC",
+            DistanceMeasure::KendallTopK => "KEN",
+        }
+    }
+
+    /// All measures, in the order used by the paper's figures.
+    pub fn all() -> [DistanceMeasure; 3] {
+        [DistanceMeasure::JaccardTopK, DistanceMeasure::Predicate, DistanceMeasure::KendallTopK]
+    }
+
+    /// Whether the measure needs the query outputs (and hence rank/top-k
+    /// variables for every tuple) rather than just the predicates.
+    pub fn is_outcome_based(&self) -> bool {
+        !matches!(self, DistanceMeasure::Predicate)
+    }
+}
+
+/// `DIS_pred(Q, Q')` of Section 2.2: for every numerical predicate the
+/// normalised absolute change of its constant, plus for every categorical
+/// predicate the Jaccard distance between the original and refined value
+/// sets.
+pub fn predicate_distance(query: &SpjQuery, refinement: &PredicateAssignment) -> f64 {
+    let mut total = 0.0;
+    for p in &query.numeric_predicates {
+        let refined = refinement
+            .numeric
+            .get(&(p.attribute.clone(), p.op))
+            .copied()
+            .unwrap_or(p.constant);
+        let denominator = if p.constant.abs() < f64::EPSILON { 1.0 } else { p.constant.abs() };
+        total += (p.constant - refined).abs() / denominator;
+    }
+    for p in &query.categorical_predicates {
+        let refined: BTreeSet<String> =
+            refinement.categorical.get(&p.attribute).cloned().unwrap_or_else(|| p.values.clone());
+        total += p.jaccard_distance(&refined);
+    }
+    total
+}
+
+/// Jaccard distance `1 - |A ∩ B| / |A ∪ B|` between two top-k item sets.
+///
+/// Items are compared by an arbitrary `Eq` key (the caller chooses tuple
+/// identity: annotated index, or DISTINCT key for `SELECT DISTINCT` queries).
+pub fn jaccard_topk_distance<T: Ord>(original: &[T], refined: &[T]) -> f64 {
+    let a: BTreeSet<&T> = original.iter().collect();
+    let b: BTreeSet<&T> = refined.iter().collect();
+    let union = a.union(&b).count();
+    if union == 0 {
+        return 0.0;
+    }
+    let intersection = a.intersection(&b).count();
+    1.0 - intersection as f64 / union as f64
+}
+
+/// Kendall's τ distance for top-k lists (Fagin et al. 2003), restricted to
+/// the cases that can occur under query refinement (the relative order of
+/// shared tuples never changes):
+///
+/// * **Case 2**: a pair where both items appear in one list and only one of
+///   them in the other — penalty 1 when the item that appears in both lists
+///   was ranked *below* the missing item in the list containing both.
+/// * **Case 3**: a pair where one item appears only in the first list and the
+///   other only in the second — penalty 1.
+///
+/// Inputs are the two top-k lists in rank order (best first), as comparable
+/// item keys.
+pub fn kendall_topk_distance<T: Ord>(original: &[T], refined: &[T]) -> f64 {
+    let orig_set: BTreeSet<&T> = original.iter().collect();
+    let refined_set: BTreeSet<&T> = refined.iter().collect();
+
+    let mut penalty = 0usize;
+
+    // Pairs within the original list where exactly one item survives.
+    // (Case 2 with the original list as the one containing both items.)
+    for (i, a) in original.iter().enumerate() {
+        for b in original.iter().skip(i + 1) {
+            let a_in = refined_set.contains(a);
+            let b_in = refined_set.contains(b);
+            if a_in ^ b_in {
+                // `a` is ranked above `b` in the original list. Penalise when
+                // the surviving item is the lower-ranked one (`b`).
+                if b_in {
+                    penalty += 1;
+                }
+            }
+        }
+    }
+
+    // Pairs within the refined list where exactly one item is original.
+    // (Case 2 with the refined list as the one containing both items.)
+    for (i, a) in refined.iter().enumerate() {
+        for b in refined.iter().skip(i + 1) {
+            let a_in = orig_set.contains(a);
+            let b_in = orig_set.contains(b);
+            if a_in ^ b_in {
+                // `a` ranks above `b` in the refined list; penalise when the
+                // item also present in the original is the lower-ranked one.
+                if b_in {
+                    penalty += 1;
+                }
+            }
+        }
+    }
+
+    // Case 3: one item only in the original, the other only in the refined list.
+    let only_original = original.iter().filter(|t| !refined_set.contains(*t)).count();
+    let only_refined = refined.iter().filter(|t| !orig_set.contains(*t)).count();
+    penalty += only_original * only_refined;
+
+    penalty as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr_relation::{CmpOp, SortOrder};
+
+    fn scholarship_query() -> SpjQuery {
+        SpjQuery::builder("Students")
+            .join("Activities")
+            .select(["ID", "Gender", "Income"])
+            .distinct()
+            .numeric_predicate("GPA", CmpOp::Ge, 3.7)
+            .categorical_predicate("Activity", ["RB"])
+            .order_by("SAT", SortOrder::Descending)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn example_2_2_predicate_distances() {
+        let q = scholarship_query();
+        // Q': Activity in {RB, SO}, GPA unchanged -> distance 0.5.
+        let mut r1 = PredicateAssignment::from_query(&q);
+        r1.categorical.get_mut("Activity").unwrap().insert("SO".into());
+        assert!((predicate_distance(&q, &r1) - 0.5).abs() < 1e-9);
+
+        // Q'': GPA -> 3.6, Activity in {RB, GD} -> 0.1/3.7 + 0.5 ≈ 0.527.
+        let mut r2 = PredicateAssignment::from_query(&q);
+        *r2.numeric.get_mut(&("GPA".into(), CmpOp::Ge)).unwrap() = 3.6;
+        r2.categorical.get_mut("Activity").unwrap().insert("GD".into());
+        let expected = (3.7 - 3.6) / 3.7 + 0.5;
+        assert!((predicate_distance(&q, &r2) - expected).abs() < 1e-9);
+        assert!(predicate_distance(&q, &r1) < predicate_distance(&q, &r2));
+    }
+
+    #[test]
+    fn identity_refinement_has_zero_distance() {
+        let q = scholarship_query();
+        let r = PredicateAssignment::from_query(&q);
+        assert_eq!(predicate_distance(&q, &r), 0.0);
+    }
+
+    #[test]
+    fn example_2_3_jaccard_distances() {
+        // Q top-3 = {t4, t7, t8}; Q' top-3 = {t1, t2, t4}; J = 1 - 1/5 = 0.8.
+        let orig = ["t4", "t7", "t8"];
+        let refined = ["t1", "t2", "t4"];
+        assert!((jaccard_topk_distance(&orig, &refined) - 0.8).abs() < 1e-9);
+        // Q'' top-3 = {t3, t4, t7}; J = 1 - 2/4 = 0.5.
+        let refined2 = ["t3", "t4", "t7"];
+        assert!((jaccard_topk_distance(&orig, &refined2) - 0.5).abs() < 1e-9);
+        // Identical and disjoint extremes.
+        assert_eq!(jaccard_topk_distance(&orig, &orig), 0.0);
+        assert_eq!(jaccard_topk_distance(&orig, &["x", "y", "z"]), 1.0);
+        assert_eq!(jaccard_topk_distance::<&str>(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn example_2_4_kendall_prefers_lower_placed_newcomers() {
+        // Original top-3: [t4, t7, t8].
+        // Q'' top-3:  [t3, t4, t7]   (t3 enters at rank 1, t8 leaves)
+        // Q''' top-3: [t4, t5, t7]   (t5 enters at rank 2, t8 leaves)
+        let orig = ["t4", "t7", "t8"];
+        let q2 = ["t3", "t4", "t7"];
+        let q3 = ["t4", "t5", "t7"];
+        let d2 = kendall_topk_distance(&orig, &q2);
+        let d3 = kendall_topk_distance(&orig, &q3);
+        assert!(
+            d2 > d3,
+            "Q''' (newcomer ranked lower) should be closer: DIS(Q'')={d2}, DIS(Q''')={d3}"
+        );
+    }
+
+    #[test]
+    fn kendall_identical_lists_zero() {
+        let orig = ["a", "b", "c"];
+        assert_eq!(kendall_topk_distance(&orig, &orig), 0.0);
+    }
+
+    #[test]
+    fn kendall_disjoint_lists_k_squared() {
+        // All pairs are Case 3: k*k penalty.
+        let orig = ["a", "b", "c"];
+        let refined = ["x", "y", "z"];
+        assert_eq!(kendall_topk_distance(&orig, &refined), 9.0);
+    }
+
+    #[test]
+    fn kendall_single_swap_at_bottom() {
+        // [a, b, c] vs [a, b, d]: c left (pairs with a, b: both survive ->
+        // case 2 penalties only when survivor ranked below: none since c was
+        // last), d entered. Case 3: 1*1 = 1. Case 2 on refined list: d vs a/b
+        // -> survivor-of-original ranked above, no penalty.
+        let orig = ["a", "b", "c"];
+        let refined = ["a", "b", "d"];
+        assert_eq!(kendall_topk_distance(&orig, &refined), 1.0);
+    }
+
+    #[test]
+    fn measure_labels() {
+        assert_eq!(DistanceMeasure::Predicate.label(), "QD");
+        assert_eq!(DistanceMeasure::JaccardTopK.label(), "JAC");
+        assert_eq!(DistanceMeasure::KendallTopK.label(), "KEN");
+        assert!(!DistanceMeasure::Predicate.is_outcome_based());
+        assert!(DistanceMeasure::KendallTopK.is_outcome_based());
+        assert_eq!(DistanceMeasure::all().len(), 3);
+    }
+
+    #[test]
+    fn numeric_distance_with_zero_original_constant() {
+        let q = SpjQuery::builder("T")
+            .numeric_predicate("x", CmpOp::Ge, 0.0)
+            .order_by("s", SortOrder::Descending)
+            .build()
+            .unwrap();
+        let mut r = PredicateAssignment::from_query(&q);
+        *r.numeric.get_mut(&("x".into(), CmpOp::Ge)).unwrap() = 2.0;
+        // Denominator falls back to 1.0 instead of dividing by zero.
+        assert!((predicate_distance(&q, &r) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,84 @@
+//! # qr-core
+//!
+//! Query Refinement for Diverse Top-k Selection — the core library.
+//!
+//! This crate implements the paper's contribution: given a ranked SPJ query,
+//! a set of cardinality (diversity) constraints over the top-k of its result,
+//! a maximum deviation ε and a distance measure, find the refinement of the
+//! query's selection predicates that is closest to the original query while
+//! deviating from the constraints by at most ε (*Best Approximation
+//! Refinement*, Definition 2.7).
+//!
+//! The solution follows the paper:
+//!
+//! * the problem is NP-hard (Theorem 2.8), so it is compiled to a
+//!   mixed-integer linear program built from provenance annotations
+//!   ([`milp_model`], Section 3),
+//! * three distance measures are supported ([`distance`], Section 2.2):
+//!   predicate distance, top-k Jaccard distance and Kendall's τ for top-k
+//!   lists,
+//! * three optimizations shrink the program ([`optimize`], Section 4),
+//! * exhaustive-search baselines ([`naive`]) and an Erica-style whole-output
+//!   baseline ([`erica`]) reproduce the paper's comparisons (Section 5).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qr_core::prelude::*;
+//! use qr_core::paper_example::{paper_database, scholarship_query};
+//!
+//! let db = paper_database();
+//! let result = RefinementEngine::new(&db, scholarship_query())
+//!     // at least 3 of the top-6 scholarship recipients are women
+//!     .with_constraint(CardinalityConstraint::at_least(Group::single("Gender", "F"), 6, 3))
+//!     // at most 1 of the top-3 has a high family income
+//!     .with_constraint(CardinalityConstraint::at_most(Group::single("Income", "High"), 3, 1))
+//!     .with_epsilon(0.0)
+//!     .with_distance(DistanceMeasure::Predicate)
+//!     .solve()
+//!     .unwrap();
+//!
+//! let refined = result.outcome.refined().expect("a refinement exists");
+//! assert_eq!(refined.deviation, 0.0);
+//! println!("{}", qr_relation::sql::ToSql::to_sql(&refined.query));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod constraint;
+pub mod distance;
+pub mod engine;
+pub mod erica;
+pub mod error;
+pub mod milp_model;
+pub mod naive;
+pub mod optimize;
+pub mod paper_example;
+
+pub use constraint::{BoundType, CardinalityConstraint, ConstraintSet, Group};
+pub use distance::{
+    jaccard_topk_distance, kendall_topk_distance, predicate_distance, DistanceMeasure,
+};
+pub use engine::{
+    exact_deviation, exact_distance, RefinedQuery, RefinementEngine, RefinementOutcome,
+    RefinementResult, RefinementStats,
+};
+pub use erica::{erica_refine, EricaResult, OutputConstraint};
+pub use error::{CoreError, Result};
+pub use milp_model::{build_model, BuiltModel, ModelVariables};
+pub use naive::{naive_search, NaiveMode, NaiveOptions, NaiveResult};
+pub use optimize::OptimizationConfig;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::constraint::{BoundType, CardinalityConstraint, ConstraintSet, Group};
+    pub use crate::distance::DistanceMeasure;
+    pub use crate::engine::{
+        RefinedQuery, RefinementEngine, RefinementOutcome, RefinementResult, RefinementStats,
+    };
+    pub use crate::erica::{erica_refine, OutputConstraint};
+    pub use crate::error::{CoreError, Result as CoreResult};
+    pub use crate::naive::{naive_search, NaiveMode, NaiveOptions};
+    pub use crate::optimize::OptimizationConfig;
+}

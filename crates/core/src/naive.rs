@@ -1,0 +1,388 @@
+//! Exhaustive-search baselines (`Naive` and `Naive+prov`).
+//!
+//! The paper compares the MILP solution against a brute-force search over the
+//! space of refinements: every combination of a candidate constant per
+//! numerical predicate (drawn from the attribute's domain) and a non-empty
+//! subset of values per categorical predicate. `Naive` re-evaluates every
+//! candidate query on the database engine; `Naive+prov` evaluates candidates
+//! over the provenance annotations instead, skipping the DBMS round-trip.
+//! Both are exponential in the number of predicates and their domain sizes.
+
+use crate::constraint::ConstraintSet;
+use crate::distance::DistanceMeasure;
+use crate::engine::{exact_distance, RefinementStats};
+use crate::error::Result;
+use qr_provenance::{whatif::evaluate_refinement, AnnotatedRelation, PredicateAssignment};
+use qr_relation::{evaluate, CmpOp, Database, SpjQuery};
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+/// How candidate refinements are evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NaiveMode {
+    /// Re-evaluate every candidate on the relational engine ("Naïve").
+    Database,
+    /// Evaluate candidates over provenance annotations ("Naïve+prov").
+    Provenance,
+}
+
+impl NaiveMode {
+    /// Label used in benchmark output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NaiveMode::Database => "Naive",
+            NaiveMode::Provenance => "Naive+prov",
+        }
+    }
+}
+
+/// Options of the exhaustive search.
+#[derive(Debug, Clone)]
+pub struct NaiveOptions {
+    /// Evaluation mode.
+    pub mode: NaiveMode,
+    /// Hard cap on the number of candidates evaluated.
+    pub max_candidates: usize,
+    /// Wall-clock budget (the paper uses a 1-hour timeout; benchmarks here
+    /// use much smaller budgets).
+    pub time_limit: Option<Duration>,
+}
+
+impl Default for NaiveOptions {
+    fn default() -> Self {
+        NaiveOptions {
+            mode: NaiveMode::Provenance,
+            max_candidates: 2_000_000,
+            time_limit: Some(Duration::from_secs(60)),
+        }
+    }
+}
+
+/// Result of an exhaustive search.
+#[derive(Debug, Clone)]
+pub struct NaiveResult {
+    /// The best refinement found (assignment, exact distance, exact deviation).
+    pub best: Option<(PredicateAssignment, f64, f64)>,
+    /// Number of candidate refinements evaluated.
+    pub candidates_evaluated: usize,
+    /// Whether the whole refinement space was enumerated (false when a cap or
+    /// the time limit stopped the search early).
+    pub exhausted: bool,
+    /// Timing statistics (setup = provenance construction; solver = search).
+    pub stats: RefinementStats,
+}
+
+/// Run the exhaustive search baseline.
+pub fn naive_search(
+    db: &Database,
+    query: &SpjQuery,
+    constraints: &ConstraintSet,
+    epsilon: f64,
+    distance: DistanceMeasure,
+    options: &NaiveOptions,
+) -> Result<NaiveResult> {
+    let start = Instant::now();
+    let annotated = AnnotatedRelation::build(db, query)?;
+    constraints.validate(&annotated)?;
+    let k_star = constraints.k_star();
+    let setup_time = start.elapsed();
+
+    // Candidate choices per predicate.
+    let mut numeric_choices: Vec<((String, CmpOp), Vec<f64>)> = Vec::new();
+    for p in &query.numeric_predicates {
+        let mut domain = annotated.numeric_domain(&p.attribute)?;
+        if !domain.iter().any(|v| (v - p.constant).abs() < f64::EPSILON) {
+            domain.push(p.constant);
+        }
+        numeric_choices.push(((p.attribute.clone(), p.op), domain));
+    }
+    let mut categorical_choices: Vec<(String, Vec<BTreeSet<String>>)> = Vec::new();
+    for p in &query.categorical_predicates {
+        let domain = annotated.categorical_domain(&p.attribute)?;
+        categorical_choices.push((p.attribute.clone(), non_empty_subsets(&domain)));
+    }
+
+    // Odometer over the cartesian product of all choices.
+    let dimensions: Vec<usize> = numeric_choices
+        .iter()
+        .map(|(_, d)| d.len())
+        .chain(categorical_choices.iter().map(|(_, s)| s.len()))
+        .collect();
+    let mut counters = vec![0usize; dimensions.len()];
+
+    let mut best: Option<(PredicateAssignment, f64, f64)> = None;
+    let mut evaluated = 0usize;
+    let mut exhausted = true;
+
+    'search: loop {
+        if evaluated >= options.max_candidates {
+            exhausted = false;
+            break;
+        }
+        if let Some(limit) = options.time_limit {
+            if start.elapsed() > limit {
+                exhausted = false;
+                break;
+            }
+        }
+
+        // Materialise the candidate assignment.
+        let mut assignment = PredicateAssignment::from_query(query);
+        for (i, (key, domain)) in numeric_choices.iter().enumerate() {
+            assignment.numeric.insert(key.clone(), domain[counters[i]]);
+        }
+        for (j, (attr, subsets)) in categorical_choices.iter().enumerate() {
+            let idx = counters[numeric_choices.len() + j];
+            assignment.categorical.insert(attr.clone(), subsets[idx].clone());
+        }
+        evaluated += 1;
+
+        // Evaluate deviation (and output size) for the candidate.
+        let (deviation, output_len) = match options.mode {
+            NaiveMode::Provenance => {
+                let output = evaluate_refinement(&annotated, &assignment);
+                (constraints.deviation_of_output(&annotated, &output.selected), output.len())
+            }
+            NaiveMode::Database => {
+                let refined_query = assignment.apply_to(query);
+                let result = evaluate(db, &refined_query)?;
+                // Count group members in the top-k prefixes of the result.
+                let counts: Vec<usize> = constraints
+                    .constraints()
+                    .iter()
+                    .map(|c| {
+                        result
+                            .rows()
+                            .iter()
+                            .take(c.k)
+                            .filter(|row| c.group.matches(result.schema(), row))
+                            .count()
+                    })
+                    .collect();
+                (constraints.deviation(&counts), result.len())
+            }
+        };
+
+        if output_len >= k_star && deviation <= epsilon + 1e-9 {
+            let dist = exact_distance(distance, &annotated, query, &assignment, k_star);
+            let better = best.as_ref().map(|(_, d, _)| dist < *d - 1e-12).unwrap_or(true);
+            if better {
+                best = Some((assignment, dist, deviation));
+            }
+        }
+
+        // Advance the odometer.
+        if dimensions.is_empty() {
+            break;
+        }
+        let mut pos = 0;
+        loop {
+            counters[pos] += 1;
+            if counters[pos] < dimensions[pos] {
+                break;
+            }
+            counters[pos] = 0;
+            pos += 1;
+            if pos == dimensions.len() {
+                break 'search;
+            }
+        }
+    }
+
+    let total = start.elapsed();
+    let stats = RefinementStats {
+        setup_time,
+        solver_time: total.saturating_sub(setup_time),
+        total_time: total,
+        scope_size: annotated.len(),
+        lineage_classes: annotated.classes().len(),
+        ..RefinementStats::default()
+    };
+    Ok(NaiveResult { best, candidates_evaluated: evaluated, exhausted, stats })
+}
+
+/// All non-empty subsets of a (small) domain, as value sets.
+fn non_empty_subsets(domain: &[String]) -> Vec<BTreeSet<String>> {
+    // Cap the enumeration so pathological domains cannot allocate 2^n sets;
+    // the search loop's candidate cap / time limit handles the rest.
+    const MAX_DOMAIN_FOR_FULL_ENUMERATION: usize = 20;
+    let n = domain.len().min(MAX_DOMAIN_FOR_FULL_ENUMERATION);
+    let mut subsets = Vec::with_capacity((1usize << n) - 1);
+    for mask in 1u64..(1u64 << n) {
+        let subset: BTreeSet<String> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| domain[i].clone())
+            .collect();
+        subsets.push(subset);
+    }
+    subsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::{CardinalityConstraint, Group};
+    use crate::distance::DistanceMeasure;
+    use crate::engine::RefinementEngine;
+    use crate::paper_example::{paper_database, scholarship_constraints, scholarship_query};
+
+    #[test]
+    fn subsets_enumeration() {
+        let domain = vec!["a".to_string(), "b".to_string(), "c".to_string()];
+        let subsets = non_empty_subsets(&domain);
+        assert_eq!(subsets.len(), 7);
+        assert!(subsets.iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn naive_modes_agree_on_the_paper_example() {
+        let db = paper_database();
+        let query = scholarship_query();
+        let constraints = scholarship_constraints();
+        let prov = naive_search(
+            &db,
+            &query,
+            &constraints,
+            0.0,
+            DistanceMeasure::Predicate,
+            &NaiveOptions { mode: NaiveMode::Provenance, ..Default::default() },
+        )
+        .unwrap();
+        let dbms = naive_search(
+            &db,
+            &query,
+            &constraints,
+            0.0,
+            DistanceMeasure::Predicate,
+            &NaiveOptions { mode: NaiveMode::Database, ..Default::default() },
+        )
+        .unwrap();
+        assert!(prov.exhausted && dbms.exhausted);
+        assert_eq!(prov.candidates_evaluated, dbms.candidates_evaluated);
+        let (_, d1, dev1) = prov.best.expect("refinement exists");
+        let (_, d2, dev2) = dbms.best.expect("refinement exists");
+        assert!((d1 - d2).abs() < 1e-9);
+        assert_eq!(dev1, 0.0);
+        assert_eq!(dev2, 0.0);
+    }
+
+    #[test]
+    fn naive_matches_milp_optimum_on_predicate_distance() {
+        let db = paper_database();
+        let query = scholarship_query();
+        let constraints = scholarship_constraints();
+        let naive = naive_search(
+            &db,
+            &query,
+            &constraints,
+            0.0,
+            DistanceMeasure::Predicate,
+            &NaiveOptions::default(),
+        )
+        .unwrap();
+        let (_, naive_dist, _) = naive.best.expect("refinement exists");
+
+        let milp = RefinementEngine::new(&db, query)
+            .with_constraints(constraints)
+            .with_epsilon(0.0)
+            .with_distance(DistanceMeasure::Predicate)
+            .solve()
+            .unwrap();
+        let refined = milp.outcome.refined().expect("refinement exists");
+        assert!(
+            (refined.distance - naive_dist).abs() < 1e-6,
+            "MILP distance {} vs naive optimum {}",
+            refined.distance,
+            naive_dist
+        );
+    }
+
+    #[test]
+    fn naive_matches_milp_optimum_on_jaccard_distance() {
+        let db = paper_database();
+        let query = scholarship_query();
+        let constraints = ConstraintSet::new()
+            .with(CardinalityConstraint::at_least(Group::single("Gender", "F"), 6, 3));
+        let naive = naive_search(
+            &db,
+            &query,
+            &constraints,
+            0.0,
+            DistanceMeasure::JaccardTopK,
+            &NaiveOptions::default(),
+        )
+        .unwrap();
+        let (_, naive_dist, _) = naive.best.expect("refinement exists");
+        let milp = RefinementEngine::new(&db, query)
+            .with_constraints(constraints)
+            .with_epsilon(0.0)
+            .with_distance(DistanceMeasure::JaccardTopK)
+            .solve()
+            .unwrap();
+        let refined = milp.outcome.refined().expect("refinement exists");
+        assert!(
+            refined.distance <= naive_dist + 1e-6,
+            "MILP Jaccard distance {} should not exceed the naive optimum {}",
+            refined.distance,
+            naive_dist
+        );
+    }
+
+    #[test]
+    fn infeasible_case_returns_no_candidate() {
+        use qr_relation::{DataType, Relation, SortOrder};
+        let mut db = Database::new();
+        db.insert(
+            Relation::build("T")
+                .column("X", DataType::Text)
+                .column("Y", DataType::Text)
+                .column("Z", DataType::Int)
+                .rows(vec![
+                    vec!["A".into(), "C".into(), 6.into()],
+                    vec!["A".into(), "D".into(), 5.into()],
+                    vec!["A".into(), "D".into(), 4.into()],
+                    vec!["B".into(), "C".into(), 3.into()],
+                    vec!["A".into(), "C".into(), 2.into()],
+                    vec!["B".into(), "D".into(), 1.into()],
+                ])
+                .finish()
+                .unwrap(),
+        );
+        let query = SpjQuery::builder("T")
+            .categorical_predicate("Y", ["C", "D"])
+            .order_by("Z", SortOrder::Descending)
+            .build()
+            .unwrap();
+        let constraints = ConstraintSet::new()
+            .with(CardinalityConstraint::at_least(Group::single("X", "B"), 3, 2));
+        let result = naive_search(
+            &db,
+            &query,
+            &constraints,
+            0.0,
+            DistanceMeasure::Predicate,
+            &NaiveOptions::default(),
+        )
+        .unwrap();
+        assert!(result.exhausted);
+        assert!(result.best.is_none());
+    }
+
+    #[test]
+    fn candidate_cap_is_respected() {
+        let db = paper_database();
+        let query = scholarship_query();
+        let constraints = scholarship_constraints();
+        let result = naive_search(
+            &db,
+            &query,
+            &constraints,
+            0.5,
+            DistanceMeasure::Predicate,
+            &NaiveOptions { max_candidates: 5, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(result.candidates_evaluated, 5);
+        assert!(!result.exhausted);
+    }
+}

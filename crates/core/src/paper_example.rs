@@ -1,0 +1,100 @@
+//! The paper's running example (Tables 1 and 2, the *scholarship query*).
+//!
+//! Kept as library code (not test-only) because the quickstart example, the
+//! integration tests and several unit tests all exercise it, and because it
+//! is the fastest way for a new user to see the system end to end.
+
+use crate::constraint::{CardinalityConstraint, ConstraintSet, Group};
+use qr_relation::{CmpOp, Database, DataType, Relation, SortOrder, SpjQuery};
+
+/// The `Students` ⋈ `Activities` database of Tables 1 and 2.
+pub fn paper_database() -> Database {
+    let students = Relation::build("Students")
+        .column("ID", DataType::Text)
+        .column("Gender", DataType::Text)
+        .column("Income", DataType::Text)
+        .column("GPA", DataType::Float)
+        .column("SAT", DataType::Int)
+        .rows(vec![
+            vec!["t1".into(), "M".into(), "Medium".into(), 3.7.into(), 1590.into()],
+            vec!["t2".into(), "F".into(), "Low".into(), 3.8.into(), 1580.into()],
+            vec!["t3".into(), "F".into(), "Low".into(), 3.6.into(), 1570.into()],
+            vec!["t4".into(), "M".into(), "High".into(), 3.8.into(), 1560.into()],
+            vec!["t5".into(), "F".into(), "Medium".into(), 3.6.into(), 1550.into()],
+            vec!["t6".into(), "F".into(), "Low".into(), 3.7.into(), 1550.into()],
+            vec!["t7".into(), "M".into(), "Low".into(), 3.7.into(), 1540.into()],
+            vec!["t8".into(), "F".into(), "High".into(), 3.9.into(), 1530.into()],
+            vec!["t9".into(), "F".into(), "Medium".into(), 3.8.into(), 1530.into()],
+            vec!["t10".into(), "M".into(), "High".into(), 3.7.into(), 1520.into()],
+            vec!["t11".into(), "F".into(), "Low".into(), 3.8.into(), 1490.into()],
+            vec!["t12".into(), "M".into(), "Medium".into(), 4.0.into(), 1480.into()],
+            vec!["t13".into(), "M".into(), "High".into(), 3.5.into(), 1430.into()],
+            vec!["t14".into(), "F".into(), "Low".into(), 3.7.into(), 1410.into()],
+        ])
+        .finish()
+        .expect("paper Students relation is well formed");
+    let activities = Relation::build("Activities")
+        .column("ID", DataType::Text)
+        .column("Activity", DataType::Text)
+        .rows(vec![
+            vec!["t1".into(), "SO".into()],
+            vec!["t2".into(), "SO".into()],
+            vec!["t3".into(), "GD".into()],
+            vec!["t4".into(), "RB".into()],
+            vec!["t4".into(), "TU".into()],
+            vec!["t5".into(), "MO".into()],
+            vec!["t6".into(), "SO".into()],
+            vec!["t7".into(), "RB".into()],
+            vec!["t8".into(), "RB".into()],
+            vec!["t8".into(), "TU".into()],
+            vec!["t10".into(), "RB".into()],
+            vec!["t11".into(), "RB".into()],
+            vec!["t12".into(), "RB".into()],
+            vec!["t14".into(), "RB".into()],
+        ])
+        .finish()
+        .expect("paper Activities relation is well formed");
+    let mut db = Database::new();
+    db.insert(students);
+    db.insert(activities);
+    db
+}
+
+/// The *scholarship query* of Example 1.1.
+pub fn scholarship_query() -> SpjQuery {
+    SpjQuery::builder("Students")
+        .join("Activities")
+        .select(["ID", "Gender", "Income"])
+        .distinct()
+        .numeric_predicate("GPA", CmpOp::Ge, 3.7)
+        .categorical_predicate("Activity", ["RB"])
+        .order_by("SAT", SortOrder::Descending)
+        .build()
+        .expect("scholarship query is well formed")
+}
+
+/// The diversity constraints of Example 1.1: at least 3 of the top-6 are
+/// women, at most 1 of the top-3 has a high family income.
+pub fn scholarship_constraints() -> ConstraintSet {
+    ConstraintSet::new()
+        .with(CardinalityConstraint::at_least(Group::single("Gender", "F"), 6, 3))
+        .with(CardinalityConstraint::at_most(Group::single("Income", "High"), 3, 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr_relation::evaluate;
+
+    #[test]
+    fn example_database_shapes() {
+        let db = paper_database();
+        assert_eq!(db.get("Students").unwrap().len(), 14);
+        assert_eq!(db.get("Activities").unwrap().len(), 14);
+        let q = scholarship_query();
+        assert_eq!(evaluate(&db, &q).unwrap().len(), 7);
+        let c = scholarship_constraints();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.k_star(), 6);
+    }
+}

@@ -1,0 +1,93 @@
+//! Synthetic LSAC Law Students dataset.
+//!
+//! Mirrors the LSAC National Longitudinal Bar Passage Study data used by the
+//! paper: students with sex, race, region, undergraduate GPA, LSAT score and
+//! first-year average; ranked by LSAT.
+
+use qr_relation::{Database, DataType, Relation, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Regions of the LSAC data (GL = Great Lakes is the one queried in Table 6).
+pub const REGIONS: &[&str] = &["GL", "NE", "MS", "SC", "SE", "SW", "FW", "MW", "NW", "PO"];
+
+const RACES: &[(&str, f64)] =
+    &[("White", 0.68), ("Black", 0.11), ("Asian", 0.08), ("Hispanic", 0.09), ("Other", 0.04)];
+
+/// Generate the synthetic Law Students database with `n` rows.
+pub fn generate(n: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rel = Relation::build("LawStudents")
+        .column("ID", DataType::Int)
+        .column("Sex", DataType::Text)
+        .column("Race", DataType::Text)
+        .column("Region", DataType::Text)
+        .column("GPA", DataType::Float)
+        .column("LSAT", DataType::Int)
+        .column("FirstYearGPA", DataType::Float)
+        .finish()
+        .expect("law students schema is well formed");
+
+    for i in 0..n {
+        let sex = if rng.gen_bool(0.44) { "F" } else { "M" };
+        let race = crate::astronauts::sample_weighted(&mut rng, RACES);
+        let region = REGIONS[rng.gen_range(0..REGIONS.len())];
+        // GPA between 2.0 and 4.0, one decimal (as in the real data), skewed high.
+        let gpa = ((2.0 + 2.0 * rng.gen::<f64>().powf(0.6)) * 10.0).round() / 10.0;
+        let gpa = gpa.min(4.0);
+        // LSAT 120..180, correlated with GPA, with a small race-conditional
+        // shift so that group composition changes along the ranking (the
+        // effect the paper's fairness constraints react to).
+        let race_shift = match race {
+            "White" => 2.0,
+            "Asian" => 3.0,
+            _ => 0.0,
+        };
+        let base = 120.0 + (gpa - 2.0) / 2.0 * 40.0;
+        let lsat = (base + race_shift + rng.gen_range(-8.0..12.0)).clamp(120.0, 180.0) as i64;
+        let fygpa = ((gpa - 0.4 + rng.gen_range(-0.3..0.3)).clamp(1.0, 4.0) * 10.0).round() / 10.0;
+        rel.push_row(vec![
+            Value::int(i as i64),
+            Value::text(sex),
+            Value::text(race),
+            Value::text(region),
+            Value::float(gpa),
+            Value::int(lsat),
+            Value::float(fygpa),
+        ])
+        .expect("generated row matches schema");
+    }
+
+    let mut db = Database::new();
+    db.insert(rel);
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let a = generate(500, 3);
+        let b = generate(500, 3);
+        assert_eq!(a.get("LawStudents").unwrap().rows(), b.get("LawStudents").unwrap().rows());
+        assert_eq!(a.get("LawStudents").unwrap().len(), 500);
+    }
+
+    #[test]
+    fn domains_match_schema_expectations() {
+        let db = generate(800, 11);
+        let rel = db.get("LawStudents").unwrap();
+        let (gpa_lo, gpa_hi) = rel.numeric_range("GPA").unwrap().unwrap();
+        assert!(gpa_lo >= 2.0 && gpa_hi <= 4.0);
+        let (lsat_lo, lsat_hi) = rel.numeric_range("LSAT").unwrap().unwrap();
+        assert!(lsat_lo >= 120.0 && lsat_hi <= 180.0);
+        let regions = rel.distinct_values("Region").unwrap();
+        assert!(regions.iter().any(|v| v == &Value::text("GL")));
+        assert!(regions.len() <= REGIONS.len());
+        // Both sexes and several races are present.
+        assert!(rel.distinct_values("Sex").unwrap().len() == 2);
+        assert!(rel.distinct_values("Race").unwrap().len() >= 4);
+    }
+}

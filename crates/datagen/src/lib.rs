@@ -1,0 +1,34 @@
+//! # qr-datagen
+//!
+//! Benchmark datasets and workloads for the *Query Refinement for Diverse
+//! Top-k Selection* reproduction.
+//!
+//! The paper evaluates on four datasets: NASA **Astronauts** (Kaggle), **Law
+//! Students** (LSAC), **MEPS** (AHRQ) and **TPC-H** (scale factor 1), plus
+//! SDV-synthesised scale-ups of the first three. None of the real files ship
+//! with this repository, so this crate generates seeded synthetic datasets
+//! with the same schemas, attribute domains, group proportions and ranking
+//! attributes (see `DESIGN.md` for the substitution rationale), at sizes
+//! small enough for the from-scratch MILP solver in `qr-milp`:
+//!
+//! * [`astronauts`] — 357 astronauts with gender, status, graduate major,
+//!   space walks and space flight hours,
+//! * [`law_students`] — law students with sex, race, region, GPA and LSAT,
+//! * [`meps`] — survey respondents with sex, race, age, family size and a
+//!   healthcare-utilization score,
+//! * [`tpch`] — an order/customer/nation/region star schema for TPC-H Q5,
+//! * [`scale`] — an SDV-style synthesizer that grows any relation while
+//!   roughly preserving per-column marginals,
+//! * [`workload`] — the queries and constraint templates of Table 6.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod astronauts;
+pub mod law_students;
+pub mod meps;
+pub mod scale;
+pub mod tpch;
+pub mod workload;
+
+pub use workload::{DatasetId, Workload};

@@ -1,0 +1,90 @@
+//! Synthetic MEPS (Medical Expenditure Panel Survey) dataset.
+//!
+//! Mirrors the MEPS HC-192 file used by the paper: survey respondents with
+//! demographics, family size and a healthcare *utilization* score (the sum of
+//! office visits, ER visits, in-patient nights and home-health visits) used
+//! as the ranking attribute.
+
+use qr_relation::{Database, DataType, Relation, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const RACES: &[(&str, f64)] =
+    &[("White", 0.60), ("Black", 0.19), ("Hispanic", 0.12), ("Asian", 0.07), ("Other", 0.02)];
+
+/// Generate the synthetic MEPS database with `n` rows.
+pub fn generate(n: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rel = Relation::build("MEPS")
+        .column("PID", DataType::Int)
+        .column("Sex", DataType::Text)
+        .column("Race", DataType::Text)
+        .column("Age", DataType::Int)
+        .column("Family Size", DataType::Int)
+        .column("Region", DataType::Text)
+        .column("Utilization", DataType::Int)
+        .finish()
+        .expect("MEPS schema is well formed");
+
+    const REGIONS: &[&str] = &["Northeast", "Midwest", "South", "West"];
+    for i in 0..n {
+        let sex = if rng.gen_bool(0.52) { "F" } else { "M" };
+        let race = crate::astronauts::sample_weighted(&mut rng, RACES);
+        let age = rng.gen_range(0..90) as i64;
+        let family_size = 1 + (rng.gen::<f64>().powi(2) * 7.0) as i64;
+        let region = REGIONS[rng.gen_range(0..REGIONS.len())];
+        // Utilization: heavy-tailed, increasing with age; women slightly higher
+        // (so the paper's sex constraints bind along the ranking).
+        let base = rng.gen::<f64>().powi(3) * 60.0 + age as f64 * 0.2;
+        let util = (base + if sex == "F" { 2.0 } else { 0.0 }).round() as i64;
+        rel.push_row(vec![
+            Value::int(i as i64),
+            Value::text(sex),
+            Value::text(race),
+            Value::int(age),
+            Value::int(family_size),
+            Value::text(region),
+            Value::int(util),
+        ])
+        .expect("generated row matches schema");
+    }
+
+    let mut db = Database::new();
+    db.insert(rel);
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let a = generate(600, 5);
+        let b = generate(600, 5);
+        assert_eq!(a.get("MEPS").unwrap().rows(), b.get("MEPS").unwrap().rows());
+        assert_eq!(a.get("MEPS").unwrap().len(), 600);
+    }
+
+    #[test]
+    fn query_attributes_have_sensible_ranges() {
+        let db = generate(1000, 9);
+        let rel = db.get("MEPS").unwrap();
+        let (age_lo, age_hi) = rel.numeric_range("Age").unwrap().unwrap();
+        assert!(age_lo >= 0.0 && age_hi < 90.0);
+        let (fs_lo, fs_hi) = rel.numeric_range("Family Size").unwrap().unwrap();
+        assert!(fs_lo >= 1.0 && fs_hi <= 8.0);
+        let adults_with_families = rel
+            .rows()
+            .iter()
+            .filter(|r| {
+                r[rel.schema().index_of("Age").unwrap()].as_f64().unwrap() > 22.0
+                    && r[rel.schema().index_of("Family Size").unwrap()].as_f64().unwrap() >= 4.0
+            })
+            .count();
+        assert!(
+            adults_with_families > 50,
+            "the Q_M selection must be non-trivial, got {adults_with_families}"
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Error types for the MILP substrate.
+
+use std::fmt;
+
+/// Result alias using [`MilpError`].
+pub type Result<T> = std::result::Result<T, MilpError>;
+
+/// Errors raised while building or solving a model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MilpError {
+    /// A variable id does not belong to the model.
+    UnknownVariable(usize),
+    /// A variable was declared with inconsistent bounds (lower > upper).
+    InvalidBounds {
+        /// Variable name.
+        name: String,
+        /// Declared lower bound.
+        lower: f64,
+        /// Declared upper bound.
+        upper: f64,
+    },
+    /// A coefficient or bound is NaN/infinite where a finite value is required.
+    NonFiniteCoefficient(String),
+    /// The model has no objective (the solver requires one, possibly zero).
+    NumericalTrouble(String),
+}
+
+impl fmt::Display for MilpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MilpError::UnknownVariable(id) => write!(f, "unknown variable id {id}"),
+            MilpError::InvalidBounds { name, lower, upper } => {
+                write!(f, "variable `{name}` has invalid bounds [{lower}, {upper}]")
+            }
+            MilpError::NonFiniteCoefficient(what) => {
+                write!(f, "non-finite coefficient in {what}")
+            }
+            MilpError::NumericalTrouble(msg) => write!(f, "numerical trouble: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MilpError {}

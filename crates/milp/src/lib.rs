@@ -1,0 +1,67 @@
+//! # qr-milp
+//!
+//! A self-contained Mixed-Integer Linear Programming (MILP) substrate.
+//!
+//! The paper solves its refinement MILP with IBM CPLEX (modeled through PuLP).
+//! CPLEX is proprietary, so this crate provides the same capability from
+//! scratch:
+//!
+//! * a PuLP-style [`Model`] builder with continuous, integer and binary
+//!   variables, linear expressions and `<=` / `>=` / `==` constraints
+//!   ([`model`], [`expr`]),
+//! * a dense two-phase primal simplex for the LP relaxation, with native
+//!   support for variable bounds ([`simplex`]),
+//! * interval-arithmetic bound propagation used as a presolve and at every
+//!   branch-and-bound node ([`propagate`]),
+//! * branch-and-bound with branching priorities, best-bound pruning, a
+//!   rounding heuristic and node/time limits ([`branch_bound`]).
+//!
+//! The solver targets the problem sizes produced by `qr-core` (hundreds to a
+//! few thousand variables). It is exact: if it reports
+//! [`SolveStatus::Optimal`] the returned assignment minimises the objective
+//! among all feasible mixed-integer assignments (up to the configured
+//! tolerances).
+//!
+//! ## Example
+//!
+//! ```
+//! use qr_milp::prelude::*;
+//!
+//! // maximise x + 2y  s.t.  x + y <= 4, x <= 3, y <= 2, x,y >= 0 integer
+//! let mut model = Model::new("example");
+//! let x = model.add_integer("x", 0.0, 3.0);
+//! let y = model.add_integer("y", 0.0, 2.0);
+//! model.add_constraint("cap", LinExpr::from(x) + LinExpr::from(y), Sense::Le, 4.0);
+//! // The solver minimises, so negate to maximise.
+//! model.set_objective(LinExpr::from(x) * -1.0 + LinExpr::from(y) * -2.0);
+//! let solution = Solver::default().solve(&model).unwrap();
+//! assert_eq!(solution.status, SolveStatus::Optimal);
+//! assert_eq!(solution.value(x).round(), 2.0);
+//! assert_eq!(solution.value(y).round(), 2.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod branch_bound;
+pub mod error;
+pub mod expr;
+pub mod model;
+pub mod propagate;
+pub mod simplex;
+pub mod solution;
+
+pub use branch_bound::{Solver, SolverOptions};
+pub use error::{MilpError, Result};
+pub use expr::LinExpr;
+pub use model::{Model, Sense, VarId, VarType};
+pub use solution::{SolveStatus, Solution};
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::branch_bound::{Solver, SolverOptions};
+    pub use crate::error::{MilpError, Result as MilpResult};
+    pub use crate::expr::LinExpr;
+    pub use crate::model::{Model, Sense, VarId, VarType};
+    pub use crate::solution::{SolveStatus, Solution};
+}

@@ -1,0 +1,759 @@
+//! Dense two-phase primal simplex with bounded variables.
+//!
+//! The LP relaxations produced by `qr-core` have many variables whose only
+//! bound structure is `0 <= x <= u` (binary relaxations, rank variables,
+//! error variables). Handling bounds natively — rather than as extra rows —
+//! keeps the tableau at `m × (n + m)` and makes the solver fast enough for
+//! the instance sizes in the benchmark.
+//!
+//! The implementation is a textbook bounded-variable primal simplex:
+//!
+//! * every constraint becomes an equality by adding a slack with the
+//!   appropriate sign bounds (`<=` → slack in `[0, ∞)`, `>=` → `(-∞, 0]`,
+//!   `==` → no slack),
+//! * an artificial variable per row provides the initial basis; phase 1
+//!   minimises the total artificial magnitude, phase 2 the true objective,
+//! * entering variables are chosen by the Dantzig rule with a Bland's-rule
+//!   fallback to guarantee termination, and the ratio test supports bound
+//!   flips.
+
+use crate::error::{MilpError, Result};
+use crate::model::{Model, Sense};
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal basic feasible solution was found.
+    Optimal,
+    /// The constraints admit no feasible point (within tolerances).
+    Infeasible,
+    /// The objective is unbounded below on the feasible region.
+    Unbounded,
+    /// The iteration limit was hit before convergence.
+    IterationLimit,
+}
+
+/// Result of solving an LP relaxation.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Solve status.
+    pub status: LpStatus,
+    /// Objective value (meaningful for `Optimal`).
+    pub objective: f64,
+    /// Values of the model's structural variables, indexed by [`crate::model::VarId`] index.
+    pub values: Vec<f64>,
+    /// Number of simplex pivots performed (both phases).
+    pub iterations: usize,
+}
+
+/// Feasibility tolerance used throughout the solver.
+pub const FEAS_TOL: f64 = 1e-7;
+/// Reduced-cost (optimality) tolerance.
+const COST_TOL: f64 = 1e-9;
+/// Pivot element magnitude below which a pivot is rejected.
+const PIVOT_TOL: f64 = 1e-10;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ColStatus {
+    Basic(usize),
+    AtLower,
+    AtUpper,
+    /// Free variable (both bounds infinite), currently at value 0.
+    Free,
+}
+
+/// The LP relaxation of a [`Model`] with (possibly tightened) variable bounds.
+pub struct LpProblem {
+    /// Number of structural variables.
+    n_struct: usize,
+    /// Total number of columns (structural + slack + artificial).
+    n_cols: usize,
+    /// Number of rows.
+    n_rows: usize,
+    /// Dense row-major constraint matrix, `n_rows * n_cols`.
+    matrix: Vec<f64>,
+    /// Right-hand sides.
+    rhs: Vec<f64>,
+    /// Lower bounds per column.
+    lower: Vec<f64>,
+    /// Upper bounds per column.
+    upper: Vec<f64>,
+    /// Phase-2 objective per column.
+    objective: Vec<f64>,
+    /// Constant term of the phase-2 objective.
+    objective_constant: f64,
+    /// Index of the first artificial column.
+    first_artificial: usize,
+}
+
+impl LpProblem {
+    /// Build the LP relaxation of `model`, overriding variable bounds with
+    /// `lower` / `upper` (as tightened by presolve or branching).
+    pub fn from_model(model: &Model, lower: &[f64], upper: &[f64]) -> Result<Self> {
+        model.validate()?;
+        let n_struct = model.num_variables();
+        let n_rows = model.num_constraints();
+        let n_slacks = model
+            .constraints()
+            .iter()
+            .filter(|c| !matches!(c.sense, Sense::Eq))
+            .count();
+        let n_cols = n_struct + n_slacks + n_rows;
+        let first_artificial = n_struct + n_slacks;
+
+        let mut matrix = vec![0.0; n_rows * n_cols];
+        let mut rhs = vec![0.0; n_rows];
+        let mut col_lower = vec![0.0; n_cols];
+        let mut col_upper = vec![0.0; n_cols];
+        col_lower[..n_struct].copy_from_slice(&lower[..n_struct]);
+        col_upper[..n_struct].copy_from_slice(&upper[..n_struct]);
+
+        let mut objective = vec![0.0; n_cols];
+        for (v, c) in model.objective().terms() {
+            objective[v.index()] = c;
+        }
+        let objective_constant = model.objective().constant_part();
+
+        let mut slack_cursor = n_struct;
+        for (i, cons) in model.constraints().iter().enumerate() {
+            for (v, c) in cons.expr.terms() {
+                matrix[i * n_cols + v.index()] = c;
+            }
+            rhs[i] = cons.rhs;
+            match cons.sense {
+                Sense::Le => {
+                    matrix[i * n_cols + slack_cursor] = 1.0;
+                    col_lower[slack_cursor] = 0.0;
+                    col_upper[slack_cursor] = f64::INFINITY;
+                    slack_cursor += 1;
+                }
+                Sense::Ge => {
+                    matrix[i * n_cols + slack_cursor] = 1.0;
+                    col_lower[slack_cursor] = f64::NEG_INFINITY;
+                    col_upper[slack_cursor] = 0.0;
+                    slack_cursor += 1;
+                }
+                Sense::Eq => {}
+            }
+            // Artificial column for this row (bounds fixed once the initial
+            // residual is known, in `solve`).
+            matrix[i * n_cols + first_artificial + i] = 1.0;
+        }
+
+        Ok(LpProblem {
+            n_struct,
+            n_cols,
+            n_rows,
+            matrix,
+            rhs,
+            lower: col_lower,
+            upper: col_upper,
+            objective,
+            objective_constant,
+            first_artificial,
+        })
+    }
+
+    #[inline]
+    fn a(&self, row: usize, col: usize) -> f64 {
+        self.matrix[row * self.n_cols + col]
+    }
+
+    /// Solve the LP with the two-phase bounded simplex.
+    pub fn solve(&self, max_iterations: usize) -> Result<LpSolution> {
+        let m = self.n_rows;
+        let n = self.n_cols;
+
+        // Working tableau: starts as a copy of the constraint matrix and is
+        // transformed in place by pivots so that basic columns stay unit.
+        let mut tab = self.matrix.clone();
+        let mut lower = self.lower.clone();
+        let mut upper = self.upper.clone();
+
+        // Initial nonbasic statuses for structural + slack columns.
+        let mut status = vec![ColStatus::AtLower; n];
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..self.first_artificial {
+            status[j] = initial_status(lower[j], upper[j]);
+        }
+
+        // Residuals determine the initial basis: the row's slack when it can
+        // absorb the residual within its own bounds (a "crash" basis that
+        // avoids most artificials), otherwise the row's artificial.
+        let mut basis = vec![0usize; m];
+        let mut x_basic = vec![0.0; m];
+        let mut phase1_cost = vec![0.0; n];
+        let mut slack_cursor = self.n_struct;
+        for i in 0..m {
+            // Residual over the structural columns only (slack of row i is
+            // nonbasic at 0 for this computation and no other slack appears
+            // in row i).
+            let mut residual = self.rhs[i];
+            for j in 0..self.n_struct {
+                let v = nonbasic_value(status[j], lower[j], upper[j]);
+                residual -= self.a(i, j) * v;
+            }
+            // Does this row have a slack, and can it hold the residual?
+            let slack_col = if self.a(i, slack_cursor.min(n - 1)) == 1.0
+                && slack_cursor < self.first_artificial
+            {
+                Some(slack_cursor)
+            } else {
+                None
+            };
+            let art = self.first_artificial + i;
+            let slack_feasible = slack_col
+                .map(|s| residual >= lower[s] - 1e-12 && residual <= upper[s] + 1e-12)
+                .unwrap_or(false);
+            if let (Some(s), true) = (slack_col, slack_feasible) {
+                basis[i] = s;
+                status[s] = ColStatus::Basic(i);
+                x_basic[i] = residual;
+                // The artificial of this row is never needed: pin it at zero.
+                lower[art] = 0.0;
+                upper[art] = 0.0;
+                status[art] = ColStatus::AtLower;
+            } else {
+                basis[i] = art;
+                status[art] = ColStatus::Basic(i);
+                x_basic[i] = residual;
+                if residual >= 0.0 {
+                    lower[art] = 0.0;
+                    upper[art] = f64::INFINITY;
+                    phase1_cost[art] = 1.0;
+                } else {
+                    lower[art] = f64::NEG_INFINITY;
+                    upper[art] = 0.0;
+                    phase1_cost[art] = -1.0;
+                }
+            }
+            if slack_col.is_some() {
+                slack_cursor += 1;
+            }
+        }
+
+        let mut iterations = 0usize;
+
+        // Phase 1: minimise total artificial magnitude.
+        let status1 = simplex_phase(
+            &mut tab,
+            &mut x_basic,
+            &mut basis,
+            &mut status,
+            &lower,
+            &upper,
+            &phase1_cost,
+            n,
+            m,
+            max_iterations,
+            &mut iterations,
+        )?;
+        if status1 == LpStatus::IterationLimit {
+            return Ok(LpSolution {
+                status: LpStatus::IterationLimit,
+                objective: f64::INFINITY,
+                values: vec![0.0; self.n_struct],
+                iterations,
+            });
+        }
+        let phase1_obj: f64 = (0..n)
+            .map(|j| phase1_cost[j] * column_value(j, &status, &x_basic, &lower, &upper))
+            .sum();
+        if phase1_obj > 1e-6 {
+            return Ok(LpSolution {
+                status: LpStatus::Infeasible,
+                objective: f64::INFINITY,
+                values: vec![0.0; self.n_struct],
+                iterations,
+            });
+        }
+
+        // Fix artificials to zero for phase 2 so they can never re-enter with
+        // a non-zero value.
+        let mut lower2 = lower;
+        let mut upper2 = upper;
+        for i in 0..m {
+            let art = self.first_artificial + i;
+            lower2[art] = 0.0;
+            upper2[art] = 0.0;
+            // A basic artificial sitting at zero is harmless; a nonbasic one
+            // must be recorded as being at a bound.
+            if !matches!(status[art], ColStatus::Basic(_)) {
+                status[art] = ColStatus::AtLower;
+            }
+        }
+
+        // Phase 2: minimise the true objective.
+        let status2 = simplex_phase(
+            &mut tab,
+            &mut x_basic,
+            &mut basis,
+            &mut status,
+            &lower2,
+            &upper2,
+            &self.objective,
+            n,
+            m,
+            max_iterations,
+            &mut iterations,
+        )?;
+
+        let mut values = vec![0.0; self.n_struct];
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..self.n_struct {
+            values[j] = column_value(j, &status, &x_basic, &lower2, &upper2);
+        }
+        let objective = self.objective_constant
+            + (0..self.n_struct).map(|j| self.objective[j] * values[j]).sum::<f64>();
+
+        let status = match status2 {
+            LpStatus::Optimal => LpStatus::Optimal,
+            other => other,
+        };
+        Ok(LpSolution { status, objective, values, iterations })
+    }
+}
+
+fn initial_status(lower: f64, upper: f64) -> ColStatus {
+    if lower.is_finite() {
+        ColStatus::AtLower
+    } else if upper.is_finite() {
+        ColStatus::AtUpper
+    } else {
+        ColStatus::Free
+    }
+}
+
+fn nonbasic_value(status: ColStatus, lower: f64, upper: f64) -> f64 {
+    match status {
+        ColStatus::AtLower => lower,
+        ColStatus::AtUpper => upper,
+        ColStatus::Free => 0.0,
+        ColStatus::Basic(_) => unreachable!("nonbasic_value called on basic column"),
+    }
+}
+
+fn column_value(col: usize, status: &[ColStatus], x_basic: &[f64], lower: &[f64], upper: &[f64]) -> f64 {
+    match status[col] {
+        ColStatus::Basic(row) => x_basic[row],
+        ColStatus::AtLower => lower[col],
+        ColStatus::AtUpper => upper[col],
+        ColStatus::Free => 0.0,
+    }
+}
+
+/// Run one simplex phase to optimality (w.r.t. `cost`), mutating the tableau,
+/// basis and statuses in place.
+#[allow(clippy::too_many_arguments)]
+fn simplex_phase(
+    tab: &mut [f64],
+    x_basic: &mut [f64],
+    basis: &mut [usize],
+    status: &mut [ColStatus],
+    lower: &[f64],
+    upper: &[f64],
+    cost: &[f64],
+    n: usize,
+    m: usize,
+    max_iterations: usize,
+    iterations: &mut usize,
+) -> Result<LpStatus> {
+    // Reduced-cost row, kept consistent by pivoting.
+    let mut reduced: Vec<f64> = compute_reduced_costs(tab, basis, cost, n, m);
+    let bland_threshold = 20 * (n + m) + 2000;
+    let mut phase_iters = 0usize;
+    // Anti-cycling: after a run of degenerate (zero-step) pivots, entering
+    // columns are picked pseudo-randomly among the improving candidates
+    // instead of by the Dantzig rule, which breaks the stalling patterns the
+    // big-M refinement LPs otherwise exhibit.
+    let mut degenerate_streak = 0usize;
+    let mut rng_state: u64 = 0x9E37_79B9_7F4A_7C15;
+
+    loop {
+        if *iterations >= max_iterations {
+            return Ok(LpStatus::IterationLimit);
+        }
+        *iterations += 1;
+        phase_iters += 1;
+        let use_bland = phase_iters > bland_threshold;
+        let randomize = !use_bland && degenerate_streak > 8;
+
+        // --- Pricing: pick an entering column and a direction. ---
+        let mut entering: Option<(usize, f64, f64)> = None; // (col, direction, score)
+        let mut improving_count = 0usize;
+        for j in 0..n {
+            let d = reduced[j];
+            let (dir, improving) = match status[j] {
+                ColStatus::Basic(_) => continue,
+                ColStatus::AtLower => (1.0, d < -COST_TOL),
+                ColStatus::AtUpper => (-1.0, d > COST_TOL),
+                ColStatus::Free => {
+                    if d < -COST_TOL {
+                        (1.0, true)
+                    } else if d > COST_TOL {
+                        (-1.0, true)
+                    } else {
+                        (1.0, false)
+                    }
+                }
+            };
+            if !improving {
+                continue;
+            }
+            improving_count += 1;
+            let score = d.abs();
+            if use_bland {
+                entering = Some((j, dir, score));
+                break;
+            }
+            if randomize {
+                // Reservoir-sample one improving column uniformly.
+                rng_state ^= rng_state << 13;
+                rng_state ^= rng_state >> 7;
+                rng_state ^= rng_state << 17;
+                if entering.is_none() || rng_state % improving_count as u64 == 0 {
+                    entering = Some((j, dir, score));
+                }
+            } else if entering.map(|(_, _, s)| score > s).unwrap_or(true) {
+                entering = Some((j, dir, score));
+            }
+        }
+        let Some((enter_col, direction, _)) = entering else {
+            return Ok(LpStatus::Optimal);
+        };
+
+        // --- Ratio test. ---
+        // The entering variable moves away from its bound by `t >= 0` in
+        // `direction`; basic variables change by `-direction * t * tab[i][enter_col]`.
+        let own_range = upper[enter_col] - lower[enter_col];
+        let mut best_t = if own_range.is_finite() { own_range } else { f64::INFINITY };
+        let mut leaving: Option<(usize, bool)> = None; // (row, leaves_at_upper)
+        let mut best_pivot_mag = 0.0f64;
+        for i in 0..m {
+            let alpha = direction * tab[i * n + enter_col];
+            let candidate = if alpha > PIVOT_TOL {
+                // Basic variable decreases towards its lower bound.
+                let lo = lower[basis[i]];
+                lo.is_finite().then(|| ((x_basic[i] - lo) / alpha, (i, false)))
+            } else if alpha < -PIVOT_TOL {
+                // Basic variable increases towards its upper bound.
+                let up = upper[basis[i]];
+                up.is_finite().then(|| ((up - x_basic[i]) / (-alpha), (i, true)))
+            } else {
+                None
+            };
+            let Some((t, which)) = candidate else { continue };
+            let t = t.max(0.0);
+            // Strictly smaller step wins; among (near-)ties prefer the larger
+            // pivot element for numerical stability and fewer degenerate
+            // follow-up pivots (or the smallest leaving index under Bland).
+            let is_tie = (t - best_t).abs() <= 1e-12;
+            let better = if t < best_t - 1e-12 {
+                true
+            } else if is_tie {
+                if use_bland {
+                    leaving_is_better(&leaving, i, true, basis)
+                } else {
+                    alpha.abs() > best_pivot_mag
+                }
+            } else {
+                false
+            };
+            if better {
+                best_t = t;
+                best_pivot_mag = alpha.abs();
+                leaving = Some(which);
+            }
+        }
+
+        if best_t.is_infinite() {
+            return Ok(LpStatus::Unbounded);
+        }
+        if best_t <= 1e-12 {
+            degenerate_streak += 1;
+        } else {
+            degenerate_streak = 0;
+        }
+
+        // --- Update basic values. ---
+        for i in 0..m {
+            x_basic[i] -= direction * best_t * tab[i * n + enter_col];
+        }
+
+        match leaving {
+            None => {
+                // Bound flip: the entering column moves to its opposite bound.
+                status[enter_col] = match status[enter_col] {
+                    ColStatus::AtLower => ColStatus::AtUpper,
+                    ColStatus::AtUpper => ColStatus::AtLower,
+                    other => other,
+                };
+            }
+            Some((leave_row, leaves_at_upper)) => {
+                let leave_col = basis[leave_row];
+                // New value of the entering variable.
+                let enter_from = nonbasic_value(status[enter_col], lower[enter_col], upper[enter_col]);
+                let enter_value = enter_from + direction * best_t;
+
+                // Pivot the tableau on (leave_row, enter_col).
+                let pivot = tab[leave_row * n + enter_col];
+                if pivot.abs() < PIVOT_TOL {
+                    return Err(MilpError::NumericalTrouble(format!(
+                        "pivot element too small ({pivot:.3e})"
+                    )));
+                }
+                let inv = 1.0 / pivot;
+                for j in 0..n {
+                    tab[leave_row * n + j] *= inv;
+                }
+                for i in 0..m {
+                    if i == leave_row {
+                        continue;
+                    }
+                    let factor = tab[i * n + enter_col];
+                    if factor != 0.0 {
+                        for j in 0..n {
+                            tab[i * n + j] -= factor * tab[leave_row * n + j];
+                        }
+                    }
+                }
+                let factor = reduced[enter_col];
+                if factor != 0.0 {
+                    for j in 0..n {
+                        reduced[j] -= factor * tab[leave_row * n + j];
+                    }
+                }
+
+                status[leave_col] = if leaves_at_upper { ColStatus::AtUpper } else { ColStatus::AtLower };
+                status[enter_col] = ColStatus::Basic(leave_row);
+                basis[leave_row] = enter_col;
+                x_basic[leave_row] = enter_value;
+            }
+        }
+
+        // Periodically refresh reduced costs to limit drift.
+        if phase_iters % 256 == 0 {
+            reduced = compute_reduced_costs(tab, basis, cost, n, m);
+        }
+    }
+}
+
+fn leaving_is_better(current: &Option<(usize, bool)>, candidate_row: usize, use_bland: bool, basis: &[usize]) -> bool {
+    match current {
+        None => true,
+        Some((row, _)) => {
+            if use_bland {
+                // Bland: prefer the smallest leaving column index.
+                basis[candidate_row] < basis[*row]
+            } else {
+                false
+            }
+        }
+    }
+}
+
+fn compute_reduced_costs(tab: &[f64], basis: &[usize], cost: &[f64], n: usize, m: usize) -> Vec<f64> {
+    // reduced = cost - cost_B^T * tab
+    let mut reduced = cost.to_vec();
+    for i in 0..m {
+        let cb = cost[basis[i]];
+        if cb != 0.0 {
+            for j in 0..n {
+                reduced[j] -= cb * tab[i * n + j];
+            }
+        }
+    }
+    // Basic columns have exactly zero reduced cost by construction.
+    for i in 0..m {
+        reduced[basis[i]] = 0.0;
+    }
+    reduced
+}
+
+/// Convenience: build and solve the LP relaxation of a model with given bounds.
+pub fn solve_lp(model: &Model, lower: &[f64], upper: &[f64], max_iterations: usize) -> Result<LpSolution> {
+    LpProblem::from_model(model, lower, upper)?.solve(max_iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use crate::model::{Model, Sense};
+
+    fn bounds_of(model: &Model) -> (Vec<f64>, Vec<f64>) {
+        (
+            model.variables().iter().map(|v| v.lower).collect(),
+            model.variables().iter().map(|v| v.upper).collect(),
+        )
+    }
+
+    fn solve(model: &Model) -> LpSolution {
+        let (lo, up) = bounds_of(model);
+        solve_lp(model, &lo, &up, 100_000).unwrap()
+    }
+
+    #[test]
+    fn simple_maximization() {
+        // max 3x + 2y st x + y <= 4, x + 3y <= 6, x,y >= 0  => x=4, y=0, obj=12
+        let mut m = Model::new("lp");
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.add_constraint("c1", LinExpr::term(x, 1.0) + LinExpr::term(y, 1.0), Sense::Le, 4.0);
+        m.add_constraint("c2", LinExpr::term(x, 1.0) + LinExpr::term(y, 3.0), Sense::Le, 6.0);
+        m.set_objective(LinExpr::term(x, -3.0) + LinExpr::term(y, -2.0));
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - (-12.0)).abs() < 1e-6, "objective {}", s.objective);
+        assert!((s.values[x.index()] - 4.0).abs() < 1e-6);
+        assert!(s.values[y.index()].abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_and_ge_constraints() {
+        // min x + y st x + y = 10, x >= 3, y >= 2  => obj = 10
+        let mut m = Model::new("lp");
+        let x = m.add_continuous("x", 3.0, f64::INFINITY);
+        let y = m.add_continuous("y", 2.0, f64::INFINITY);
+        m.add_constraint("sum", LinExpr::term(x, 1.0) + LinExpr::term(y, 1.0), Sense::Eq, 10.0);
+        m.set_objective(LinExpr::term(x, 1.0) + LinExpr::term(y, 1.0));
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - 10.0).abs() < 1e-6);
+        assert!((s.values[x.index()] + s.values[y.index()] - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new("lp");
+        let x = m.add_continuous("x", 0.0, 1.0);
+        m.add_constraint("c", LinExpr::term(x, 1.0), Sense::Ge, 2.0);
+        m.set_objective(LinExpr::term(x, 1.0));
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = Model::new("lp");
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        m.add_constraint("c", LinExpr::term(x, 1.0), Sense::Ge, 1.0);
+        m.set_objective(LinExpr::term(x, -1.0));
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn upper_bounds_respected_without_rows() {
+        // min -x - y st x + y <= 10, x <= 3, y <= 4 (bounds, not rows) => obj -7
+        let mut m = Model::new("lp");
+        let x = m.add_continuous("x", 0.0, 3.0);
+        let y = m.add_continuous("y", 0.0, 4.0);
+        m.add_constraint("c", LinExpr::term(x, 1.0) + LinExpr::term(y, 1.0), Sense::Le, 10.0);
+        m.set_objective(LinExpr::term(x, -1.0) + LinExpr::term(y, -1.0));
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - (-7.0)).abs() < 1e-6);
+        assert!((s.values[x.index()] - 3.0).abs() < 1e-6);
+        assert!((s.values[y.index()] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // min x st x >= -5 (bound), x + 3 >= 0 -> x >= -3 => obj -3
+        let mut m = Model::new("lp");
+        let x = m.add_continuous("x", -5.0, 5.0);
+        m.add_constraint("c", LinExpr::term(x, 1.0), Sense::Ge, -3.0);
+        m.set_objective(LinExpr::term(x, 1.0));
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - (-3.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn objective_constant_carried_through() {
+        let mut m = Model::new("lp");
+        let x = m.add_continuous("x", 0.0, 2.0);
+        m.set_objective(LinExpr::term(x, 1.0) + LinExpr::constant(100.0));
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Several redundant constraints through the same vertex.
+        let mut m = Model::new("lp");
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        for i in 0..10 {
+            m.add_constraint(
+                format!("c{i}"),
+                LinExpr::term(x, 1.0) + LinExpr::term(y, 1.0 + i as f64 * 1e-9),
+                Sense::Le,
+                1.0,
+            );
+        }
+        m.set_objective(LinExpr::term(x, -1.0) + LinExpr::term(y, -1.0));
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bigger_random_lp_feasible_and_optimal_bound() {
+        // A transportation-style LP with known optimum.
+        // min sum_{i,j} c_ij x_ij, row sums = supply, col sums = demand.
+        let supplies = [20.0, 30.0, 25.0];
+        let demands = [10.0, 25.0, 20.0, 20.0];
+        let costs = [
+            [8.0, 6.0, 10.0, 9.0],
+            [9.0, 12.0, 13.0, 7.0],
+            [14.0, 9.0, 16.0, 5.0],
+        ];
+        let mut m = Model::new("transport");
+        let mut vars = vec![];
+        for i in 0..3 {
+            let mut row = vec![];
+            for j in 0..4 {
+                row.push(m.add_continuous(format!("x{i}{j}"), 0.0, f64::INFINITY));
+            }
+            vars.push(row);
+        }
+        for i in 0..3 {
+            let mut e = LinExpr::zero();
+            for j in 0..4 {
+                e.add_term(vars[i][j], 1.0);
+            }
+            m.add_constraint(format!("s{i}"), e, Sense::Le, supplies[i]);
+        }
+        for j in 0..4 {
+            let mut e = LinExpr::zero();
+            for i in 0..3 {
+                e.add_term(vars[i][j], 1.0);
+            }
+            m.add_constraint(format!("d{j}"), e, Sense::Eq, demands[j]);
+        }
+        let mut obj = LinExpr::zero();
+        for i in 0..3 {
+            for j in 0..4 {
+                obj.add_term(vars[i][j], costs[i][j]);
+            }
+        }
+        m.set_objective(obj);
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        // The optimum of this instance is 615 (verified by the MODI method:
+        // the plan x01=20, x10=10, x12=20, x13=0, x21=5, x23=20 has all
+        // non-negative reduced costs).
+        for j in 0..4 {
+            let col: f64 = (0..3).map(|i| s.values[vars[i][j].index()]).sum();
+            assert!((col - demands[j]).abs() < 1e-5);
+        }
+        for i in 0..3 {
+            let row: f64 = (0..4).map(|j| s.values[vars[i][j].index()]).sum();
+            assert!(row <= supplies[i] + 1e-5);
+        }
+        assert!((s.objective - 615.0).abs() < 1e-5, "objective {}", s.objective);
+    }
+}

@@ -1,0 +1,106 @@
+//! Solver output: status, objective value, variable assignment, statistics.
+
+use crate::model::VarId;
+use std::time::Duration;
+
+/// Status of a MILP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// The returned assignment is optimal (within tolerances).
+    Optimal,
+    /// A feasible assignment was found but optimality was not proven within
+    /// the node/time limits.
+    Feasible,
+    /// The problem has no feasible mixed-integer assignment.
+    Infeasible,
+    /// The LP relaxation is unbounded below.
+    Unbounded,
+    /// A node/time limit was reached before any feasible assignment was found.
+    LimitReached,
+}
+
+impl SolveStatus {
+    /// Whether a usable assignment is available.
+    pub fn has_solution(&self) -> bool {
+        matches!(self, SolveStatus::Optimal | SolveStatus::Feasible)
+    }
+}
+
+/// Statistics collected during a solve.
+#[derive(Debug, Clone, Default)]
+pub struct SolveStats {
+    /// Number of branch-and-bound nodes processed.
+    pub nodes: usize,
+    /// Number of LP relaxations solved.
+    pub lp_solves: usize,
+    /// Total simplex iterations across all LP solves.
+    pub simplex_iterations: usize,
+    /// Wall-clock time spent solving.
+    pub solve_time: Duration,
+    /// Best lower (dual) bound proven on the objective.
+    pub best_bound: f64,
+}
+
+/// Result of solving a MILP.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Solve status.
+    pub status: SolveStatus,
+    /// Objective value of the returned assignment (`f64::INFINITY` if none).
+    pub objective: f64,
+    /// Variable assignment, indexed by [`VarId`] index (empty if none).
+    pub values: Vec<f64>,
+    /// Solver statistics.
+    pub stats: SolveStats,
+}
+
+impl Solution {
+    /// Value assigned to a variable (0.0 when no solution is available).
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values.get(var.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Value of a binary/integer variable rounded to the nearest integer.
+    pub fn int_value(&self, var: VarId) -> i64 {
+        self.value(var).round() as i64
+    }
+
+    /// Whether a binary variable is set (value > 0.5).
+    pub fn is_set(&self, var: VarId) -> bool {
+        self.value(var) > 0.5
+    }
+
+    /// A solution representing an infeasible or limit outcome.
+    pub fn without_assignment(status: SolveStatus, stats: SolveStats) -> Self {
+        Solution { status, objective: f64::INFINITY, values: Vec::new(), stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let s = Solution {
+            status: SolveStatus::Optimal,
+            objective: 1.5,
+            values: vec![0.0, 0.9, 2.49],
+            stats: SolveStats::default(),
+        };
+        assert!(s.status.has_solution());
+        assert_eq!(s.value(VarId(1)), 0.9);
+        assert!(s.is_set(VarId(1)));
+        assert!(!s.is_set(VarId(0)));
+        assert_eq!(s.int_value(VarId(2)), 2);
+        assert_eq!(s.value(VarId(99)), 0.0);
+    }
+
+    #[test]
+    fn empty_solution() {
+        let s = Solution::without_assignment(SolveStatus::Infeasible, SolveStats::default());
+        assert!(!s.status.has_solution());
+        assert!(s.objective.is_infinite());
+        assert!(s.values.is_empty());
+    }
+}

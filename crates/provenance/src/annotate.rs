@@ -1,0 +1,425 @@
+//! Annotated relations: the ranked tuples of `~Q(D)` with lineage,
+//! DISTINCT duplicate sets and lineage equivalence classes.
+
+use crate::lineage::{Lineage, LineageAtom};
+use qr_relation::{
+    evaluate_relaxed, Database, RelationError, Result as RelationResult, Row, Schema, SelectList,
+    SpjQuery, Value,
+};
+use std::collections::HashMap;
+
+/// One tuple of `~Q(D)` together with its annotations.
+#[derive(Debug, Clone)]
+pub struct AnnotatedTuple {
+    /// 0-based position of the tuple in the ranking of `~Q(D)`.
+    pub rank: usize,
+    /// The tuple's values (full schema of the natural join).
+    pub row: Row,
+    /// The tuple's lineage.
+    pub lineage: Lineage,
+    /// Values of the DISTINCT attributes (only for `SELECT DISTINCT` queries).
+    pub distinct_key: Option<Vec<Value>>,
+    /// `S(t)`: indices of higher-ranked tuples sharing this tuple's DISTINCT
+    /// key (empty for queries without DISTINCT).
+    pub duplicate_predecessors: Vec<usize>,
+}
+
+/// A lineage equivalence class: all tuples of `~Q(D)` sharing one lineage.
+#[derive(Debug, Clone)]
+pub struct LineageClass {
+    /// The shared lineage.
+    pub lineage: Lineage,
+    /// Member tuple indices, in rank order.
+    pub members: Vec<usize>,
+}
+
+/// The annotated relaxed query result `~Q(D)`.
+///
+/// This is the provenance structure from which both the MILP model and the
+/// provenance-based what-if evaluation are built.
+#[derive(Debug, Clone)]
+pub struct AnnotatedRelation {
+    query: SpjQuery,
+    schema: Schema,
+    tuples: Vec<AnnotatedTuple>,
+    classes: Vec<LineageClass>,
+    class_of: Vec<usize>,
+}
+
+impl AnnotatedRelation {
+    /// Evaluate `~Q(D)` and annotate every tuple.
+    pub fn build(db: &Database, query: &SpjQuery) -> RelationResult<Self> {
+        query.validate()?;
+        let relaxed = evaluate_relaxed(db, query)?;
+        let schema = relaxed.schema().clone();
+
+        // Resolve predicate attribute indices once.
+        let mut cat_attrs = Vec::new();
+        for p in &query.categorical_predicates {
+            cat_attrs.push((p.attribute.clone(), schema.require(&p.attribute, relaxed.name())?));
+        }
+        let mut num_attrs = Vec::new();
+        for p in &query.numeric_predicates {
+            num_attrs.push((p.attribute.clone(), p.op, schema.require(&p.attribute, relaxed.name())?));
+        }
+
+        // DISTINCT key columns (the projected attributes).
+        let distinct_cols: Option<Vec<usize>> = if query.distinct {
+            let cols: Vec<String> = match &query.select {
+                SelectList::All => schema.names().iter().map(|s| s.to_string()).collect(),
+                SelectList::Columns(c) => c.clone(),
+            };
+            let mut idx = Vec::with_capacity(cols.len());
+            for c in &cols {
+                idx.push(schema.require(c, relaxed.name())?);
+            }
+            Some(idx)
+        } else {
+            None
+        };
+
+        let mut tuples = Vec::with_capacity(relaxed.len());
+        let mut seen_keys: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for (rank, row) in relaxed.rows().iter().enumerate() {
+            let mut atoms = Vec::new();
+            for (attr, idx) in &cat_attrs {
+                match row[*idx].as_text() {
+                    Some(v) => atoms.push(LineageAtom::Categorical {
+                        attribute: attr.clone(),
+                        value: v.to_string(),
+                    }),
+                    None => atoms.push(LineageAtom::Unsatisfiable { attribute: attr.clone() }),
+                }
+            }
+            for (attr, op, idx) in &num_attrs {
+                if row[*idx].as_f64().is_some() {
+                    atoms.push(LineageAtom::Numeric {
+                        attribute: attr.clone(),
+                        op: *op,
+                        value: row[*idx].clone(),
+                    });
+                } else {
+                    atoms.push(LineageAtom::Unsatisfiable { attribute: attr.clone() });
+                }
+            }
+            let lineage = Lineage::new(atoms);
+
+            let (distinct_key, duplicate_predecessors) = match &distinct_cols {
+                None => (None, Vec::new()),
+                Some(cols) => {
+                    let key: Vec<Value> = cols.iter().map(|&i| row[i].clone()).collect();
+                    let predecessors = seen_keys.get(&key).cloned().unwrap_or_default();
+                    seen_keys.entry(key.clone()).or_default().push(rank);
+                    (Some(key), predecessors)
+                }
+            };
+
+            tuples.push(AnnotatedTuple {
+                rank,
+                row: row.clone(),
+                lineage,
+                distinct_key,
+                duplicate_predecessors,
+            });
+        }
+
+        // Lineage equivalence classes, in order of first appearance.
+        let mut class_index: HashMap<Lineage, usize> = HashMap::new();
+        let mut classes: Vec<LineageClass> = Vec::new();
+        let mut class_of = vec![0usize; tuples.len()];
+        for (i, t) in tuples.iter().enumerate() {
+            let idx = *class_index.entry(t.lineage.clone()).or_insert_with(|| {
+                classes.push(LineageClass { lineage: t.lineage.clone(), members: Vec::new() });
+                classes.len() - 1
+            });
+            classes[idx].members.push(i);
+            class_of[i] = idx;
+        }
+
+        Ok(AnnotatedRelation { query: query.clone(), schema, tuples, classes, class_of })
+    }
+
+    /// The query the annotation was built for.
+    pub fn query(&self) -> &SpjQuery {
+        &self.query
+    }
+
+    /// Schema of `~Q(D)` (all columns of the natural join).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The annotated tuples, in rank order.
+    pub fn tuples(&self) -> &[AnnotatedTuple] {
+        &self.tuples
+    }
+
+    /// Number of tuples, `|~Q(D)|`.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether `~Q(D)` is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The lineage equivalence classes.
+    pub fn classes(&self) -> &[LineageClass] {
+        &self.classes
+    }
+
+    /// Index of the lineage class a tuple belongs to.
+    pub fn class_of(&self, tuple_index: usize) -> usize {
+        self.class_of[tuple_index]
+    }
+
+    /// Value of `column` for a tuple.
+    pub fn value(&self, tuple_index: usize, column: &str) -> RelationResult<&Value> {
+        let idx = self.schema.require(column, "~Q(D)")?;
+        self.tuples
+            .get(tuple_index)
+            .map(|t| &t.row[idx])
+            .ok_or_else(|| RelationError::InvalidQuery(format!("tuple index {tuple_index} out of range")))
+    }
+
+    /// The relevancy-based pruning of Section 4: the indices of tuples that
+    /// can possibly appear in the top-`k_star` of *some* refinement, i.e. the
+    /// union over all lineage classes of each class's first `k_star` members.
+    /// Returned in rank order.
+    pub fn relevant_indices(&self, k_star: usize) -> Vec<usize> {
+        let mut keep: Vec<usize> = self
+            .classes
+            .iter()
+            .flat_map(|c| c.members.iter().take(k_star).copied())
+            .collect();
+        keep.sort_unstable();
+        keep
+    }
+
+    /// Distinct values of a categorical attribute across `~Q(D)` (the domain
+    /// over which refinements of a categorical predicate range).
+    pub fn categorical_domain(&self, attribute: &str) -> RelationResult<Vec<String>> {
+        let idx = self.schema.require(attribute, "~Q(D)")?;
+        let mut values: Vec<String> = Vec::new();
+        for t in &self.tuples {
+            if let Some(v) = t.row[idx].as_text() {
+                if !values.iter().any(|x| x == v) {
+                    values.push(v.to_string());
+                }
+            }
+        }
+        values.sort();
+        Ok(values)
+    }
+
+    /// Sorted distinct numeric values of an attribute across `~Q(D)` (the
+    /// candidate constants for refining a numerical predicate).
+    pub fn numeric_domain(&self, attribute: &str) -> RelationResult<Vec<f64>> {
+        let idx = self.schema.require(attribute, "~Q(D)")?;
+        let mut values: Vec<f64> = Vec::new();
+        for t in &self.tuples {
+            if let Some(v) = t.row[idx].as_f64() {
+                if !values.iter().any(|x| (x - v).abs() < f64::EPSILON) {
+                    values.push(v);
+                }
+            }
+        }
+        values.sort_by(f64::total_cmp);
+        Ok(values)
+    }
+
+    /// The smallest pairwise gap between distinct values of a numeric
+    /// attribute (used to pick the strict-inequality relaxation constant δ).
+    pub fn min_gap(&self, attribute: &str) -> RelationResult<f64> {
+        let domain = self.numeric_domain(attribute)?;
+        let mut gap = f64::INFINITY;
+        for w in domain.windows(2) {
+            gap = gap.min(w[1] - w[0]);
+        }
+        Ok(if gap.is_finite() { gap } else { 1.0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr_relation::{CmpOp, DataType, Relation, SortOrder};
+
+    fn paper_database() -> Database {
+        let students = Relation::build("Students")
+            .column("ID", DataType::Text)
+            .column("Gender", DataType::Text)
+            .column("Income", DataType::Text)
+            .column("GPA", DataType::Float)
+            .column("SAT", DataType::Int)
+            .rows(vec![
+                vec!["t1".into(), "M".into(), "Medium".into(), 3.7.into(), 1590.into()],
+                vec!["t2".into(), "F".into(), "Low".into(), 3.8.into(), 1580.into()],
+                vec!["t3".into(), "F".into(), "Low".into(), 3.6.into(), 1570.into()],
+                vec!["t4".into(), "M".into(), "High".into(), 3.8.into(), 1560.into()],
+                vec!["t5".into(), "F".into(), "Medium".into(), 3.6.into(), 1550.into()],
+                vec!["t6".into(), "F".into(), "Low".into(), 3.7.into(), 1550.into()],
+                vec!["t7".into(), "M".into(), "Low".into(), 3.7.into(), 1540.into()],
+                vec!["t8".into(), "F".into(), "High".into(), 3.9.into(), 1530.into()],
+                vec!["t9".into(), "F".into(), "Medium".into(), 3.8.into(), 1530.into()],
+                vec!["t10".into(), "M".into(), "High".into(), 3.7.into(), 1520.into()],
+                vec!["t11".into(), "F".into(), "Low".into(), 3.8.into(), 1490.into()],
+                vec!["t12".into(), "M".into(), "Medium".into(), 4.0.into(), 1480.into()],
+                vec!["t13".into(), "M".into(), "High".into(), 3.5.into(), 1430.into()],
+                vec!["t14".into(), "F".into(), "Low".into(), 3.7.into(), 1410.into()],
+            ])
+            .finish()
+            .unwrap();
+        let activities = Relation::build("Activities")
+            .column("ID", DataType::Text)
+            .column("Activity", DataType::Text)
+            .rows(vec![
+                vec!["t1".into(), "SO".into()],
+                vec!["t2".into(), "SO".into()],
+                vec!["t3".into(), "GD".into()],
+                vec!["t4".into(), "RB".into()],
+                vec!["t4".into(), "TU".into()],
+                vec!["t5".into(), "MO".into()],
+                vec!["t6".into(), "SO".into()],
+                vec!["t7".into(), "RB".into()],
+                vec!["t8".into(), "RB".into()],
+                vec!["t8".into(), "TU".into()],
+                vec!["t10".into(), "RB".into()],
+                vec!["t11".into(), "RB".into()],
+                vec!["t12".into(), "RB".into()],
+                vec!["t14".into(), "RB".into()],
+            ])
+            .finish()
+            .unwrap();
+        let mut db = Database::new();
+        db.insert(students);
+        db.insert(activities);
+        db
+    }
+
+    fn scholarship_query() -> SpjQuery {
+        SpjQuery::builder("Students")
+            .join("Activities")
+            .select(["ID", "Gender", "Income"])
+            .distinct()
+            .numeric_predicate("GPA", CmpOp::Ge, 3.7)
+            .categorical_predicate("Activity", ["RB"])
+            .order_by("SAT", SortOrder::Descending)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn table5_annotation_structure() {
+        let db = paper_database();
+        let annotated = AnnotatedRelation::build(&db, &scholarship_query()).unwrap();
+        // Table 5 of the paper: 14 annotated tuples (t4 and t8 appear twice).
+        assert_eq!(annotated.len(), 14);
+        // Every lineage has exactly two atoms (Activity, GPA).
+        assert!(annotated.tuples().iter().all(|t| t.lineage.len() == 2));
+    }
+
+    #[test]
+    fn duplicate_predecessors_for_distinct() {
+        let db = paper_database();
+        let annotated = AnnotatedRelation::build(&db, &scholarship_query()).unwrap();
+        // t4 appears twice (RB and TU) at adjacent ranks; the second
+        // occurrence's S(t) contains the first.
+        let id_idx = annotated.schema().index_of("ID").unwrap();
+        let t4_occurrences: Vec<usize> = annotated
+            .tuples()
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.row[id_idx] == Value::text("t4"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(t4_occurrences.len(), 2);
+        assert!(annotated.tuples()[t4_occurrences[0]].duplicate_predecessors.is_empty());
+        assert_eq!(
+            annotated.tuples()[t4_occurrences[1]].duplicate_predecessors,
+            vec![t4_occurrences[0]]
+        );
+    }
+
+    #[test]
+    fn lineage_classes_group_shared_lineage() {
+        let db = paper_database();
+        let annotated = AnnotatedRelation::build(&db, &scholarship_query()).unwrap();
+        // Example 4.1: [Lineage(t14)] = {t7, t10, t14} (Activity RB, GPA 3.7).
+        let id_idx = annotated.schema().index_of("ID").unwrap();
+        let t14_idx = annotated
+            .tuples()
+            .iter()
+            .position(|t| t.row[id_idx] == Value::text("t14"))
+            .unwrap();
+        let class = &annotated.classes()[annotated.class_of(t14_idx)];
+        let ids: Vec<String> =
+            class.members.iter().map(|&i| annotated.tuples()[i].row[id_idx].to_string()).collect();
+        assert_eq!(ids, vec!["t7", "t10", "t14"]);
+    }
+
+    #[test]
+    fn relevancy_pruning_drops_unreachable_tuples() {
+        let db = paper_database();
+        let annotated = AnnotatedRelation::build(&db, &scholarship_query()).unwrap();
+        // With k* = 2, t14 (third member of its class) can never reach the
+        // top-2 and must be pruned (Example 4.1).
+        let id_idx = annotated.schema().index_of("ID").unwrap();
+        let keep = annotated.relevant_indices(2);
+        let kept_ids: Vec<String> =
+            keep.iter().map(|&i| annotated.tuples()[i].row[id_idx].to_string()).collect();
+        assert!(!kept_ids.contains(&"t14".to_string()));
+        assert!(kept_ids.contains(&"t7".to_string()));
+        assert!(kept_ids.contains(&"t10".to_string()));
+        // Pruning keeps rank order and never duplicates indices.
+        assert!(keep.windows(2).all(|w| w[0] < w[1]));
+        // With k* >= max class size nothing is pruned.
+        assert_eq!(annotated.relevant_indices(100).len(), annotated.len());
+    }
+
+    #[test]
+    fn domains() {
+        let db = paper_database();
+        let annotated = AnnotatedRelation::build(&db, &scholarship_query()).unwrap();
+        let activities = annotated.categorical_domain("Activity").unwrap();
+        assert_eq!(activities, vec!["GD", "MO", "RB", "SO", "TU"]);
+        let gpas = annotated.numeric_domain("GPA").unwrap();
+        assert_eq!(gpas.first().copied(), Some(3.6));
+        assert_eq!(gpas.last().copied(), Some(4.0));
+        assert!((annotated.min_gap("GPA").unwrap() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn null_predicate_values_are_unsatisfiable() {
+        let mut db = Database::new();
+        db.insert(
+            Relation::build("T")
+                .column("id", DataType::Text)
+                .column("cat", DataType::Text)
+                .column("score", DataType::Int)
+                .row(vec!["a".into(), Value::Null, 10.into()])
+                .row(vec!["b".into(), "x".into(), 5.into()])
+                .finish()
+                .unwrap(),
+        );
+        let q = SpjQuery::builder("T")
+            .categorical_predicate("cat", ["x"])
+            .order_by("score", SortOrder::Descending)
+            .build()
+            .unwrap();
+        let annotated = AnnotatedRelation::build(&db, &q).unwrap();
+        assert!(annotated.tuples()[0].lineage.is_unsatisfiable());
+        assert!(!annotated.tuples()[1].lineage.is_unsatisfiable());
+    }
+
+    #[test]
+    fn no_distinct_means_no_duplicate_sets() {
+        let db = paper_database();
+        let mut q = scholarship_query();
+        q.distinct = false;
+        let annotated = AnnotatedRelation::build(&db, &q).unwrap();
+        assert!(annotated.tuples().iter().all(|t| t.distinct_key.is_none()));
+        assert!(annotated.tuples().iter().all(|t| t.duplicate_predecessors.is_empty()));
+    }
+}

@@ -1,0 +1,38 @@
+//! # qr-provenance
+//!
+//! Provenance (lineage) substrate for query refinement.
+//!
+//! The MILP construction of the paper (Section 3.1) never re-evaluates
+//! candidate refinements on the DBMS. Instead it annotates every tuple of the
+//! *relaxed* query `~Q(D)` (the query with all selection predicates and
+//! `DISTINCT` removed) with its **lineage**: the set of predicate/value
+//! combinations that would have to be selected by a refinement for the tuple
+//! to appear in its output. This crate computes and stores those annotations:
+//!
+//! * [`lineage`] — lineage atoms (`Activity = 'SO'`, `GPA >= 3.7`, ...) and
+//!   lineage sets,
+//! * [`annotate`] — the annotated relation: ranked tuples of `~Q(D)` with
+//!   lineage, DISTINCT duplicate sets `S(t)`, and lineage equivalence
+//!   classes (used by the optimizations of Section 4),
+//! * [`whatif`] — provenance-based what-if evaluation: re-evaluate any
+//!   concrete refinement directly over the annotations, without a DBMS
+//!   round-trip (used by the `Naive+prov` baseline and to verify MILP
+//!   outputs).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod annotate;
+pub mod lineage;
+pub mod whatif;
+
+pub use annotate::{AnnotatedRelation, AnnotatedTuple, LineageClass};
+pub use lineage::{Lineage, LineageAtom};
+pub use whatif::{PredicateAssignment, RankedOutput};
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::annotate::{AnnotatedRelation, AnnotatedTuple, LineageClass};
+    pub use crate::lineage::{Lineage, LineageAtom};
+    pub use crate::whatif::{PredicateAssignment, RankedOutput};
+}

@@ -1,0 +1,148 @@
+//! Lineage atoms and lineage sets.
+//!
+//! The lineage of a tuple `t ∈ ~Q(D)` (Section 3.1 of the paper) is the set
+//! of annotation variables that must be "selected" by a refinement for `t` to
+//! satisfy the refined query's predicates: one categorical atom per
+//! categorical predicate (the tuple's value on that attribute) and one
+//! numerical atom per numerical predicate (the tuple's value together with
+//! the predicate's comparison operator).
+
+use qr_relation::{CmpOp, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A single lineage annotation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LineageAtom {
+    /// The tuple's value `value` on a categorical predicate attribute; the
+    /// tuple satisfies that predicate iff the refinement includes `value`.
+    Categorical {
+        /// Attribute of the categorical predicate.
+        attribute: String,
+        /// The tuple's value for that attribute.
+        value: String,
+    },
+    /// The tuple's value `value` on a numerical predicate attribute with
+    /// operator `op`; the tuple satisfies that predicate iff
+    /// `value op C` holds for the refined constant `C`.
+    Numeric {
+        /// Attribute of the numerical predicate.
+        attribute: String,
+        /// Comparison operator of the predicate.
+        op: CmpOp,
+        /// The tuple's value for that attribute.
+        value: Value,
+    },
+    /// The tuple has a NULL (or otherwise untestable) value on a predicate
+    /// attribute: no refinement can ever select it.
+    Unsatisfiable {
+        /// Attribute whose value is untestable.
+        attribute: String,
+    },
+}
+
+impl fmt::Display for LineageAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LineageAtom::Categorical { attribute, value } => write!(f, "{attribute}={value}"),
+            LineageAtom::Numeric { attribute, op, value } => write!(f, "{attribute}{op}{value}"),
+            LineageAtom::Unsatisfiable { attribute } => write!(f, "{attribute}=⊥"),
+        }
+    }
+}
+
+/// The lineage of a tuple: a set of [`LineageAtom`]s, one per selection
+/// predicate of the query.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Lineage {
+    atoms: BTreeSet<LineageAtom>,
+}
+
+impl Lineage {
+    /// Create a lineage from atoms.
+    pub fn new(atoms: impl IntoIterator<Item = LineageAtom>) -> Self {
+        Lineage { atoms: atoms.into_iter().collect() }
+    }
+
+    /// The atoms, in deterministic order.
+    pub fn atoms(&self) -> impl Iterator<Item = &LineageAtom> {
+        self.atoms.iter()
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether the lineage has no atoms (a query with no predicates).
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Whether the tuple can never be selected by any refinement (it has a
+    /// NULL value on some predicate attribute).
+    pub fn is_unsatisfiable(&self) -> bool {
+        self.atoms.iter().any(|a| matches!(a, LineageAtom::Unsatisfiable { .. }))
+    }
+
+    /// Whether this lineage contains a specific atom.
+    pub fn contains(&self, atom: &LineageAtom) -> bool {
+        self.atoms.contains(atom)
+    }
+}
+
+impl fmt::Display for Lineage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.atoms.iter().map(|a| a.to_string()).collect();
+        write!(f, "{{{}}}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cat(attr: &str, value: &str) -> LineageAtom {
+        LineageAtom::Categorical { attribute: attr.into(), value: value.into() }
+    }
+
+    fn num(attr: &str, op: CmpOp, value: f64) -> LineageAtom {
+        LineageAtom::Numeric { attribute: attr.into(), op, value: Value::float(value) }
+    }
+
+    #[test]
+    fn lineage_equality_is_set_equality() {
+        let a = Lineage::new([cat("Activity", "SO"), num("GPA", CmpOp::Ge, 3.7)]);
+        let b = Lineage::new([num("GPA", CmpOp::Ge, 3.7), cat("Activity", "SO")]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn unsatisfiable_detection() {
+        let ok = Lineage::new([cat("Activity", "SO")]);
+        assert!(!ok.is_unsatisfiable());
+        let bad = Lineage::new([
+            cat("Activity", "SO"),
+            LineageAtom::Unsatisfiable { attribute: "GPA".into() },
+        ]);
+        assert!(bad.is_unsatisfiable());
+    }
+
+    #[test]
+    fn contains_and_display() {
+        let l = Lineage::new([cat("Activity", "SO"), num("GPA", CmpOp::Ge, 3.7)]);
+        assert!(l.contains(&cat("Activity", "SO")));
+        assert!(!l.contains(&cat("Activity", "RB")));
+        let s = l.to_string();
+        assert!(s.contains("Activity=SO"));
+        assert!(s.contains("GPA>=3.7"));
+    }
+
+    #[test]
+    fn empty_lineage() {
+        let l = Lineage::default();
+        assert!(l.is_empty());
+        assert!(!l.is_unsatisfiable());
+    }
+}

@@ -1,0 +1,276 @@
+//! Minimal CSV reader/writer (no external dependencies).
+//!
+//! Supports the common CSV dialect: comma separator, optional double-quote
+//! quoting with `""` escapes, a header row, and `\n` / `\r\n` record
+//! terminators. Values are parsed according to the declared column types.
+
+use crate::error::{RelationError, Result};
+use crate::relation::Relation;
+use crate::schema::{Column, DataType, Schema};
+use crate::value::Value;
+use std::fs;
+use std::path::Path;
+
+/// Read a relation from a CSV string. The first record must be a header whose
+/// field names match `columns` order is taken from `columns`, not the file.
+pub fn read_csv_str(name: &str, columns: &[(&str, DataType)], data: &str) -> Result<Relation> {
+    let records = parse_records(data)?;
+    if records.is_empty() {
+        return Err(RelationError::CsvParse { line: 1, message: "missing header row".into() });
+    }
+    let header = &records[0];
+    // Map each declared column to its position in the file.
+    let mut positions = Vec::with_capacity(columns.len());
+    let mut schema = Schema::default();
+    for (cname, dtype) in columns {
+        let pos = header.iter().position(|h| h == cname).ok_or_else(|| RelationError::CsvParse {
+            line: 1,
+            message: format!("column `{cname}` not found in header"),
+        })?;
+        positions.push(pos);
+        schema.push(Column::new(*cname, *dtype))?;
+    }
+    let mut rel = Relation::new(name, schema);
+    for (line_no, record) in records.iter().enumerate().skip(1) {
+        if record.len() == 1 && record[0].is_empty() {
+            continue; // trailing blank line
+        }
+        let mut row = Vec::with_capacity(columns.len());
+        for (&pos, (cname, dtype)) in positions.iter().zip(columns) {
+            let raw = record.get(pos).ok_or_else(|| RelationError::CsvParse {
+                line: line_no + 1,
+                message: format!("record has no field {pos} for column `{cname}`"),
+            })?;
+            row.push(parse_value(raw, *dtype, line_no + 1, cname)?);
+        }
+        rel.push_row(row)?;
+    }
+    Ok(rel)
+}
+
+/// Read a relation from a CSV file on disk.
+pub fn read_csv_file(
+    name: &str,
+    columns: &[(&str, DataType)],
+    path: impl AsRef<Path>,
+) -> Result<Relation> {
+    let data = fs::read_to_string(path.as_ref()).map_err(|e| RelationError::CsvParse {
+        line: 0,
+        message: format!("cannot read {}: {e}", path.as_ref().display()),
+    })?;
+    read_csv_str(name, columns, &data)
+}
+
+/// Serialise a relation as a CSV string (header + one record per row).
+pub fn write_csv_string(relation: &Relation) -> String {
+    let mut out = String::new();
+    let names: Vec<String> =
+        relation.schema().names().iter().map(|n| escape_field(n)).collect();
+    out.push_str(&names.join(","));
+    out.push('\n');
+    for row in relation.rows() {
+        let fields: Vec<String> = row
+            .iter()
+            .map(|v| match v {
+                Value::Null => String::new(),
+                other => escape_field(&other.to_string()),
+            })
+            .collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a relation to a CSV file on disk.
+pub fn write_csv_file(relation: &Relation, path: impl AsRef<Path>) -> Result<()> {
+    fs::write(path.as_ref(), write_csv_string(relation)).map_err(|e| RelationError::CsvParse {
+        line: 0,
+        message: format!("cannot write {}: {e}", path.as_ref().display()),
+    })
+}
+
+fn escape_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn parse_value(raw: &str, dtype: DataType, line: usize, column: &str) -> Result<Value> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(Value::Null);
+    }
+    match dtype {
+        DataType::Int => trimmed
+            .parse::<i64>()
+            .map(Value::Int)
+            // Accept float-looking integers like "3.0".
+            .or_else(|_| {
+                trimmed
+                    .parse::<f64>()
+                    .map(|f| Value::Int(f.round() as i64))
+                    .map_err(|_| type_err(line, column, trimmed, "INT"))
+            }),
+        DataType::Float => trimmed
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| type_err(line, column, trimmed, "FLOAT")),
+        DataType::Text => Ok(Value::Text(trimmed.to_string())),
+    }
+}
+
+fn type_err(line: usize, column: &str, raw: &str, dtype: &str) -> RelationError {
+    RelationError::CsvParse {
+        line,
+        message: format!("cannot parse `{raw}` as {dtype} for column `{column}`"),
+    }
+}
+
+/// Split CSV text into records of fields, handling quoted fields.
+fn parse_records(data: &str) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = data.chars().peekable();
+    let mut line = 1usize;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    fields.push(std::mem::take(&mut field));
+                }
+                '\r' => {}
+                '\n' => {
+                    line += 1;
+                    fields.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut fields));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(RelationError::CsvParse { line, message: "unterminated quoted field".into() });
+    }
+    if !field.is_empty() || !fields.is_empty() {
+        fields.push(field);
+        records.push(fields);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "id,gpa,sat,gender\nt1,3.7,1590,M\nt2,3.8,1580,F\n";
+
+    fn columns() -> Vec<(&'static str, DataType)> {
+        vec![
+            ("id", DataType::Text),
+            ("gpa", DataType::Float),
+            ("sat", DataType::Int),
+            ("gender", DataType::Text),
+        ]
+    }
+
+    #[test]
+    fn parse_simple() {
+        let rel = read_csv_str("students", &columns(), SAMPLE).unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.value(0, "gpa"), Some(&Value::float(3.7)));
+        assert_eq!(rel.value(1, "gender"), Some(&Value::text("F")));
+    }
+
+    #[test]
+    fn column_subset_and_reorder() {
+        let rel =
+            read_csv_str("s", &[("sat", DataType::Int), ("id", DataType::Text)], SAMPLE).unwrap();
+        assert_eq!(rel.schema().names(), vec!["sat", "id"]);
+        assert_eq!(rel.value(0, "sat"), Some(&Value::int(1590)));
+    }
+
+    #[test]
+    fn quoted_fields_and_escapes() {
+        let data = "name,score\n\"Smith, Jane\",10\n\"say \"\"hi\"\"\",3\n";
+        let rel = read_csv_str(
+            "t",
+            &[("name", DataType::Text), ("score", DataType::Int)],
+            data,
+        )
+        .unwrap();
+        assert_eq!(rel.value(0, "name"), Some(&Value::text("Smith, Jane")));
+        assert_eq!(rel.value(1, "name"), Some(&Value::text("say \"hi\"")));
+    }
+
+    #[test]
+    fn empty_fields_become_null() {
+        let data = "id,gpa,sat,gender\nt1,,1590,M\n";
+        let rel = read_csv_str("s", &columns(), data).unwrap();
+        assert_eq!(rel.value(0, "gpa"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn bad_number_is_error() {
+        let data = "id,gpa,sat,gender\nt1,notanumber,1590,M\n";
+        assert!(matches!(
+            read_csv_str("s", &columns(), data),
+            Err(RelationError::CsvParse { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_header_column_is_error() {
+        let data = "id,gpa\nt1,3.0\n";
+        assert!(read_csv_str("s", &columns(), data).is_err());
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        let data = "a,b\n\"oops,1\n";
+        assert!(matches!(
+            read_csv_str("s", &[("a", DataType::Text), ("b", DataType::Int)], data),
+            Err(RelationError::CsvParse { .. })
+        ));
+    }
+
+    #[test]
+    fn round_trip() {
+        let rel = read_csv_str("students", &columns(), SAMPLE).unwrap();
+        let text = write_csv_string(&rel);
+        let rel2 = read_csv_str("students", &columns(), &text).unwrap();
+        assert_eq!(rel.rows(), rel2.rows());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let rel = read_csv_str("students", &columns(), SAMPLE).unwrap();
+        let dir = std::env::temp_dir().join("qr_relation_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("students.csv");
+        write_csv_file(&rel, &path).unwrap();
+        let rel2 = read_csv_file("students", &columns(), &path).unwrap();
+        assert_eq!(rel.rows(), rel2.rows());
+    }
+}

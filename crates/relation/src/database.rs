@@ -1,0 +1,104 @@
+//! A database is a catalog of named relations.
+
+use crate::error::{RelationError, Result};
+use crate::relation::Relation;
+use std::collections::BTreeMap;
+
+/// A catalog of named relations.
+///
+/// Relation names are case-sensitive and unique; inserting a relation with an
+/// existing name replaces the previous one.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Database {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or replace) a relation under its own name.
+    pub fn insert(&mut self, relation: Relation) {
+        self.relations.insert(relation.name().to_string(), relation);
+    }
+
+    /// Look up a relation by name.
+    pub fn get(&self, name: &str) -> Result<&Relation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| RelationError::UnknownRelation(name.to_string()))
+    }
+
+    /// Whether a relation with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Remove a relation, returning it if present.
+    pub fn remove(&mut self, name: &str) -> Option<Relation> {
+        self.relations.remove(name)
+    }
+
+    /// Names of all relations, sorted.
+    pub fn relation_names(&self) -> Vec<&str> {
+        self.relations.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Number of relations in the catalog.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Total number of rows across all relations.
+    pub fn total_rows(&self) -> usize {
+        self.relations.values().map(|r| r.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+    use crate::value::Value;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut db = Database::new();
+        assert!(db.is_empty());
+        let r = Relation::build("t")
+            .column("x", DataType::Int)
+            .row(vec![Value::int(1)])
+            .finish()
+            .unwrap();
+        db.insert(r);
+        assert_eq!(db.len(), 1);
+        assert!(db.contains("t"));
+        assert_eq!(db.get("t").unwrap().len(), 1);
+        assert!(matches!(db.get("nope"), Err(RelationError::UnknownRelation(_))));
+        assert_eq!(db.total_rows(), 1);
+        assert!(db.remove("t").is_some());
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut db = Database::new();
+        let r1 = Relation::build("t").column("x", DataType::Int).finish().unwrap();
+        let r2 = Relation::build("t")
+            .column("x", DataType::Int)
+            .row(vec![Value::int(1)])
+            .finish()
+            .unwrap();
+        db.insert(r1);
+        db.insert(r2);
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.get("t").unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error types for the relational substrate.
+
+use std::fmt;
+
+/// Result alias using [`RelationError`].
+pub type Result<T> = std::result::Result<T, RelationError>;
+
+/// Errors raised by the relational substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationError {
+    /// A referenced column does not exist in the schema.
+    UnknownColumn {
+        /// Name of the missing column.
+        column: String,
+        /// Name of the relation (or derived relation) searched.
+        relation: String,
+    },
+    /// A referenced relation does not exist in the database.
+    UnknownRelation(String),
+    /// A row has a different arity than its schema.
+    ArityMismatch {
+        /// Number of columns declared by the schema.
+        expected: usize,
+        /// Number of values supplied by the row.
+        found: usize,
+    },
+    /// A value's type does not match its column type.
+    TypeMismatch {
+        /// Column whose declared type was violated.
+        column: String,
+        /// Declared data type.
+        expected: String,
+        /// Value that was supplied.
+        found: String,
+    },
+    /// Two relations cannot be naturally joined (no shared columns).
+    NoJoinColumns {
+        /// Left relation name.
+        left: String,
+        /// Right relation name.
+        right: String,
+    },
+    /// A query was structurally invalid (e.g. no tables, missing ORDER BY attribute).
+    InvalidQuery(String),
+    /// CSV input could not be parsed.
+    CsvParse {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A predicate refers to an attribute with an incompatible type.
+    PredicateType {
+        /// Attribute name referenced by the predicate.
+        attribute: String,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::UnknownColumn { column, relation } => {
+                write!(f, "unknown column `{column}` in relation `{relation}`")
+            }
+            RelationError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            RelationError::ArityMismatch { expected, found } => {
+                write!(f, "row arity mismatch: schema has {expected} columns, row has {found}")
+            }
+            RelationError::TypeMismatch { column, expected, found } => {
+                write!(f, "type mismatch in column `{column}`: expected {expected}, found {found}")
+            }
+            RelationError::NoJoinColumns { left, right } => {
+                write!(f, "cannot natural-join `{left}` and `{right}`: no shared columns")
+            }
+            RelationError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            RelationError::CsvParse { line, message } => {
+                write!(f, "CSV parse error at line {line}: {message}")
+            }
+            RelationError::PredicateType { attribute, message } => {
+                write!(f, "predicate on `{attribute}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}

@@ -1,0 +1,432 @@
+//! Query evaluation: natural joins, selection, DISTINCT, ranking, top-k.
+//!
+//! Evaluation is row-at-a-time and fully deterministic. Ranking ties on the
+//! `ORDER BY` attribute are broken by the tuple's position in the relaxed
+//! (unfiltered) join `~Q(D)`, so every query output is a total order. The MILP
+//! model in `qr-core` relies on this property: the relative order of tuples is
+//! identical across all refinements of a query (Section 3.1 of the paper).
+
+use crate::database::Database;
+use crate::error::{RelationError, Result};
+use crate::query::{SelectList, SortOrder, SpjQuery};
+use crate::relation::{Relation, Row};
+use crate::schema::Schema;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Evaluate a query, returning the ranked result relation.
+///
+/// The result's rows are ordered by the `ORDER BY` attribute (descending or
+/// ascending per the query), with ties broken by join order; projection and
+/// DISTINCT are applied as in SQL (`SELECT DISTINCT` keeps, for each
+/// combination of projected values, the highest-ranked tuple).
+pub fn evaluate(db: &Database, query: &SpjQuery) -> Result<Relation> {
+    query.validate()?;
+    let joined = join_tables(db, &query.tables)?;
+    let ranked = rank(&joined, &query.order_by, query.order)?;
+    let filtered = filter(&ranked, query)?;
+    let deduped = if query.distinct { dedup(&filtered, query)? } else { filtered };
+    project_select(&deduped, query)
+}
+
+/// Evaluate the relaxed query `~Q` (all selection predicates and DISTINCT
+/// removed, no projection): the ranked universe over which refinements range.
+///
+/// The returned relation keeps *all* columns of the natural join, so lineage
+/// can be computed from it, and is ordered exactly like [`evaluate`] orders
+/// its results.
+pub fn evaluate_relaxed(db: &Database, query: &SpjQuery) -> Result<Relation> {
+    query.validate()?;
+    let joined = join_tables(db, &query.tables)?;
+    rank(&joined, &query.order_by, query.order)
+}
+
+/// The top-k prefix of a ranked relation (fewer rows if the relation is smaller).
+pub fn top_k(relation: &Relation, k: usize) -> Relation {
+    let mut out = Relation::new(relation.name().to_string(), relation.schema().clone());
+    for row in relation.rows().iter().take(k) {
+        out.push_row_unchecked(row.clone());
+    }
+    out
+}
+
+/// Natural-join the given base relations left to right.
+fn join_tables(db: &Database, tables: &[String]) -> Result<Relation> {
+    let first = db.get(&tables[0])?;
+    let mut acc = first.clone();
+    for name in &tables[1..] {
+        let right = db.get(name)?;
+        acc = natural_join(&acc, right)?;
+    }
+    Ok(acc)
+}
+
+/// Natural join of two relations on all shared column names (hash join).
+pub fn natural_join(left: &Relation, right: &Relation) -> Result<Relation> {
+    let join_cols = left.schema().common_columns(right.schema());
+    if join_cols.is_empty() {
+        return Err(RelationError::NoJoinColumns {
+            left: left.name().to_string(),
+            right: right.name().to_string(),
+        });
+    }
+    let left_idx: Vec<usize> =
+        join_cols.iter().map(|c| left.schema().index_of(c).expect("common column")).collect();
+    let right_idx: Vec<usize> =
+        join_cols.iter().map(|c| right.schema().index_of(c).expect("common column")).collect();
+
+    // Output schema: all left columns, then right columns that are not join columns.
+    let mut schema = Schema::default();
+    for c in left.schema().columns() {
+        schema.push(c.clone())?;
+    }
+    let right_extra: Vec<usize> = right
+        .schema()
+        .columns()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !right_idx.contains(i))
+        .map(|(i, c)| {
+            schema.push(c.clone()).map(|_| i)
+        })
+        .collect::<Result<Vec<_>>>()?;
+
+    // Build a hash index on the right relation's join key.
+    let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for (i, row) in right.iter() {
+        let key: Vec<Value> = right_idx.iter().map(|&j| row[j].clone()).collect();
+        index.entry(key).or_default().push(i);
+    }
+
+    let name = format!("{}⋈{}", left.name(), right.name());
+    let mut out = Relation::new(name, schema);
+    for (_, lrow) in left.iter() {
+        let key: Vec<Value> = left_idx.iter().map(|&j| lrow[j].clone()).collect();
+        // NULL join keys never match (SQL semantics).
+        if key.iter().any(Value::is_null) {
+            continue;
+        }
+        if let Some(matches) = index.get(&key) {
+            for &ri in matches {
+                let rrow = &right.rows()[ri];
+                let mut row: Row = lrow.clone();
+                row.extend(right_extra.iter().map(|&j| rrow[j].clone()));
+                out.push_row_unchecked(row);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Order rows by the scoring attribute (stable: ties keep join order).
+fn rank(relation: &Relation, order_by: &str, order: SortOrder) -> Result<Relation> {
+    let idx = relation.schema().require(order_by, relation.name())?;
+    let mut order_keys: Vec<usize> = (0..relation.len()).collect();
+    order_keys.sort_by(|&a, &b| {
+        let va = &relation.rows()[a][idx];
+        let vb = &relation.rows()[b][idx];
+        let cmp = match order {
+            SortOrder::Descending => vb.cmp(va),
+            SortOrder::Ascending => va.cmp(vb),
+        };
+        cmp.then(a.cmp(&b))
+    });
+    let mut out = Relation::new(relation.name().to_string(), relation.schema().clone());
+    for i in order_keys {
+        out.push_row_unchecked(relation.rows()[i].clone());
+    }
+    Ok(out)
+}
+
+/// Keep only rows satisfying every predicate of the query.
+fn filter(relation: &Relation, query: &SpjQuery) -> Result<Relation> {
+    // Resolve predicate attribute indices once.
+    let mut num_idx = Vec::with_capacity(query.numeric_predicates.len());
+    for p in &query.numeric_predicates {
+        let idx = relation.schema().require(&p.attribute, relation.name())?;
+        if !relation.schema().columns()[idx].dtype.is_numeric() {
+            return Err(RelationError::PredicateType {
+                attribute: p.attribute.clone(),
+                message: "numerical predicate on non-numeric column".into(),
+            });
+        }
+        num_idx.push((idx, p));
+    }
+    let mut cat_idx = Vec::with_capacity(query.categorical_predicates.len());
+    for p in &query.categorical_predicates {
+        let idx = relation.schema().require(&p.attribute, relation.name())?;
+        cat_idx.push((idx, p));
+    }
+    let mut out = Relation::new(relation.name().to_string(), relation.schema().clone());
+    'rows: for row in relation.rows() {
+        for (idx, p) in &num_idx {
+            if !p.matches(&row[*idx]) {
+                continue 'rows;
+            }
+        }
+        for (idx, p) in &cat_idx {
+            if !p.matches(&row[*idx]) {
+                continue 'rows;
+            }
+        }
+        out.push_row_unchecked(row.clone());
+    }
+    Ok(out)
+}
+
+/// `SELECT DISTINCT` semantics: for each combination of projected attribute
+/// values, keep only the first (highest-ranked) row.
+fn dedup(relation: &Relation, query: &SpjQuery) -> Result<Relation> {
+    let key_columns: Vec<String> = match &query.select {
+        SelectList::All => relation.schema().names().iter().map(|s| s.to_string()).collect(),
+        SelectList::Columns(c) => c.clone(),
+    };
+    let mut key_idx = Vec::with_capacity(key_columns.len());
+    for c in &key_columns {
+        key_idx.push(relation.schema().require(c, relation.name())?);
+    }
+    let mut seen: HashMap<Vec<Value>, ()> = HashMap::new();
+    let mut out = Relation::new(relation.name().to_string(), relation.schema().clone());
+    for row in relation.rows() {
+        let key: Vec<Value> = key_idx.iter().map(|&i| row[i].clone()).collect();
+        if seen.insert(key, ()).is_none() {
+            out.push_row_unchecked(row.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// Apply the projection list (keeping row order).
+fn project_select(relation: &Relation, query: &SpjQuery) -> Result<Relation> {
+    match &query.select {
+        SelectList::All => Ok(relation.clone()),
+        SelectList::Columns(cols) => {
+            let refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+            relation.project(&refs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+    use crate::schema::DataType;
+
+    /// The Students/Activities database of Tables 1 and 2 in the paper.
+    pub(crate) fn paper_database() -> Database {
+        let students = Relation::build("Students")
+            .column("ID", DataType::Text)
+            .column("Gender", DataType::Text)
+            .column("Income", DataType::Text)
+            .column("GPA", DataType::Float)
+            .column("SAT", DataType::Int)
+            .rows(vec![
+                vec!["t1".into(), "M".into(), "Medium".into(), 3.7.into(), 1590.into()],
+                vec!["t2".into(), "F".into(), "Low".into(), 3.8.into(), 1580.into()],
+                vec!["t3".into(), "F".into(), "Low".into(), 3.6.into(), 1570.into()],
+                vec!["t4".into(), "M".into(), "High".into(), 3.8.into(), 1560.into()],
+                vec!["t5".into(), "F".into(), "Medium".into(), 3.6.into(), 1550.into()],
+                vec!["t6".into(), "F".into(), "Low".into(), 3.7.into(), 1550.into()],
+                vec!["t7".into(), "M".into(), "Low".into(), 3.7.into(), 1540.into()],
+                vec!["t8".into(), "F".into(), "High".into(), 3.9.into(), 1530.into()],
+                vec!["t9".into(), "F".into(), "Medium".into(), 3.8.into(), 1530.into()],
+                vec!["t10".into(), "M".into(), "High".into(), 3.7.into(), 1520.into()],
+                vec!["t11".into(), "F".into(), "Low".into(), 3.8.into(), 1490.into()],
+                vec!["t12".into(), "M".into(), "Medium".into(), 4.0.into(), 1480.into()],
+                vec!["t13".into(), "M".into(), "High".into(), 3.5.into(), 1430.into()],
+                vec!["t14".into(), "F".into(), "Low".into(), 3.7.into(), 1410.into()],
+            ])
+            .finish()
+            .unwrap();
+        let activities = Relation::build("Activities")
+            .column("ID", DataType::Text)
+            .column("Activity", DataType::Text)
+            .rows(vec![
+                vec!["t1".into(), "SO".into()],
+                vec!["t2".into(), "SO".into()],
+                vec!["t3".into(), "GD".into()],
+                vec!["t4".into(), "RB".into()],
+                vec!["t4".into(), "TU".into()],
+                vec!["t5".into(), "MO".into()],
+                vec!["t6".into(), "SO".into()],
+                vec!["t7".into(), "RB".into()],
+                vec!["t8".into(), "RB".into()],
+                vec!["t8".into(), "TU".into()],
+                vec!["t10".into(), "RB".into()],
+                vec!["t11".into(), "RB".into()],
+                vec!["t12".into(), "RB".into()],
+                vec!["t14".into(), "RB".into()],
+            ])
+            .finish()
+            .unwrap();
+        let mut db = Database::new();
+        db.insert(students);
+        db.insert(activities);
+        db
+    }
+
+    pub(crate) fn scholarship_query() -> SpjQuery {
+        SpjQuery::builder("Students")
+            .join("Activities")
+            .select(["ID", "Gender", "Income"])
+            .distinct()
+            .numeric_predicate("GPA", CmpOp::Ge, 3.7)
+            .categorical_predicate("Activity", ["RB"])
+            .order_by("SAT", SortOrder::Descending)
+            .build()
+            .unwrap()
+    }
+
+    fn ids(rel: &Relation) -> Vec<String> {
+        rel.rows().iter().map(|r| r[rel.schema().index_of("ID").unwrap()].to_string()).collect()
+    }
+
+    #[test]
+    fn scholarship_query_matches_paper_example_1_1() {
+        let db = paper_database();
+        let q = scholarship_query();
+        let result = evaluate(&db, &q).unwrap();
+        // The paper reports the ranking [t4, t7, t8, t10, t11, t12] (the six
+        // scholarship recipients); t14 also qualifies (GPA 3.7, RB) and ranks
+        // last with SAT 1410.
+        assert_eq!(ids(&top_k(&result, 6)), vec!["t4", "t7", "t8", "t10", "t11", "t12"]);
+        assert_eq!(result.len(), 7);
+        assert_eq!(ids(&result)[6], "t14");
+    }
+
+    #[test]
+    fn refined_query_example_1_2() {
+        // Add SO to the Activity predicate: top-6 = t1, t2, t4, t6, t7, t8.
+        let db = paper_database();
+        let mut q = scholarship_query();
+        q.categorical_predicates[0] =
+            q.categorical_predicates[0].with_values(["RB", "SO"]);
+        let result = evaluate(&db, &q).unwrap();
+        let top6 = top_k(&result, 6);
+        assert_eq!(ids(&top6), vec!["t1", "t2", "t4", "t6", "t7", "t8"]);
+    }
+
+    #[test]
+    fn refined_query_example_1_3() {
+        // GPA >= 3.6 and Activity in {RB, GD}: ranking starts t3, t4, t7, t8, t10, t11, t12.
+        let db = paper_database();
+        let mut q = scholarship_query();
+        q.numeric_predicates[0] = q.numeric_predicates[0].with_constant(3.6);
+        q.categorical_predicates[0] =
+            q.categorical_predicates[0].with_values(["RB", "GD"]);
+        let result = evaluate(&db, &q).unwrap();
+        let top6 = top_k(&result, 6);
+        assert_eq!(ids(&top6), vec!["t3", "t4", "t7", "t8", "t10", "t11"]);
+        assert_eq!(ids(&result)[6], "t12");
+    }
+
+    #[test]
+    fn relaxed_query_contains_all_join_tuples() {
+        // Table 5 of the paper: ~Q(D) has 14 tuples (students with activities).
+        let db = paper_database();
+        let q = scholarship_query();
+        let relaxed = evaluate_relaxed(&db, &q).unwrap();
+        assert_eq!(relaxed.len(), 14);
+        // It keeps all columns of the join, including GPA/SAT/Activity.
+        assert!(relaxed.schema().index_of("Activity").is_some());
+        assert!(relaxed.schema().index_of("GPA").is_some());
+    }
+
+    #[test]
+    fn distinct_keeps_highest_ranked_duplicate() {
+        // t4 and t8 appear twice in the join (RB and TU); DISTINCT output keeps one.
+        let db = paper_database();
+        let mut q = scholarship_query();
+        // Select both activities so the duplicates would both qualify.
+        q.categorical_predicates[0] = q.categorical_predicates[0].with_values(["RB", "TU"]);
+        let result = evaluate(&db, &q).unwrap();
+        let id_list = ids(&result);
+        assert_eq!(id_list.iter().filter(|s| s.as_str() == "t4").count(), 1);
+        assert_eq!(id_list.iter().filter(|s| s.as_str() == "t8").count(), 1);
+    }
+
+    #[test]
+    fn top_k_shorter_than_k() {
+        let db = paper_database();
+        let q = scholarship_query();
+        let result = evaluate(&db, &q).unwrap();
+        assert_eq!(top_k(&result, 100).len(), result.len());
+        assert_eq!(top_k(&result, 0).len(), 0);
+    }
+
+    #[test]
+    fn ascending_order() {
+        let db = paper_database();
+        let q = SpjQuery::builder("Students")
+            .order_by("SAT", SortOrder::Ascending)
+            .build()
+            .unwrap();
+        let result = evaluate(&db, &q).unwrap();
+        let sats: Vec<f64> = result
+            .rows()
+            .iter()
+            .map(|r| r[result.schema().index_of("SAT").unwrap()].as_f64().unwrap())
+            .collect();
+        assert!(sats.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn missing_table_and_column_errors() {
+        let db = paper_database();
+        let q = SpjQuery::builder("Nope").order_by("x", SortOrder::Descending).build().unwrap();
+        assert!(matches!(evaluate(&db, &q), Err(RelationError::UnknownRelation(_))));
+        let q = SpjQuery::builder("Students")
+            .order_by("Nope", SortOrder::Descending)
+            .build()
+            .unwrap();
+        assert!(matches!(evaluate(&db, &q), Err(RelationError::UnknownColumn { .. })));
+    }
+
+    #[test]
+    fn numeric_predicate_on_text_column_errors() {
+        let db = paper_database();
+        let q = SpjQuery::builder("Students")
+            .numeric_predicate("Gender", CmpOp::Ge, 1.0)
+            .order_by("SAT", SortOrder::Descending)
+            .build()
+            .unwrap();
+        assert!(matches!(evaluate(&db, &q), Err(RelationError::PredicateType { .. })));
+    }
+
+    #[test]
+    fn join_without_common_columns_errors() {
+        let mut db = Database::new();
+        db.insert(Relation::build("a").column("x", DataType::Int).finish().unwrap());
+        db.insert(Relation::build("b").column("y", DataType::Int).finish().unwrap());
+        let q = SpjQuery::builder("a").join("b").order_by("x", SortOrder::Descending).build().unwrap();
+        assert!(matches!(evaluate(&db, &q), Err(RelationError::NoJoinColumns { .. })));
+    }
+
+    #[test]
+    fn null_join_keys_do_not_match() {
+        let mut db = Database::new();
+        db.insert(
+            Relation::build("a")
+                .column("k", DataType::Text)
+                .column("score", DataType::Int)
+                .row(vec![Value::Null, Value::int(10)])
+                .row(vec![Value::text("x"), Value::int(5)])
+                .finish()
+                .unwrap(),
+        );
+        db.insert(
+            Relation::build("b")
+                .column("k", DataType::Text)
+                .column("tag", DataType::Text)
+                .row(vec![Value::Null, Value::text("n")])
+                .row(vec![Value::text("x"), Value::text("t")])
+                .finish()
+                .unwrap(),
+        );
+        let q = SpjQuery::builder("a").join("b").order_by("score", SortOrder::Descending).build().unwrap();
+        let result = evaluate(&db, &q).unwrap();
+        assert_eq!(result.len(), 1);
+        assert_eq!(result.value(0, "k"), Some(&Value::text("x")));
+    }
+}

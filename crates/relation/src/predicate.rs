@@ -1,0 +1,248 @@
+//! Selection predicates.
+//!
+//! The paper's query class has two kinds of selection predicates (Section 2):
+//!
+//! * **Numerical**: `A ⋄ C` where `⋄ ∈ {<, ≤, =, >, ≥}` and `C` is a constant.
+//!   Refinements change the constant `C`.
+//! * **Categorical**: `⋁_{c ∈ C} A = c`, i.e. membership of attribute `A` in a
+//!   set of constants. Refinements add/remove values from the set.
+//!
+//! A query's selection condition is the conjunction of its predicates.
+
+use crate::value::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Comparison operator of a numerical predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CmpOp {
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Equal.
+    Eq,
+    /// Greater than or equal.
+    Ge,
+    /// Strictly greater than.
+    Gt,
+}
+
+impl CmpOp {
+    /// Apply the operator to `lhs ⋄ rhs`.
+    pub fn eval(&self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ge => lhs >= rhs,
+            CmpOp::Gt => lhs > rhs,
+        }
+    }
+
+    /// Whether the comparison is strict (`<` or `>`).
+    pub fn is_strict(&self) -> bool {
+        matches!(self, CmpOp::Lt | CmpOp::Gt)
+    }
+
+    /// Whether this is a lower-bound style predicate (`>=` or `>`), i.e. the
+    /// predicate admits larger values of the attribute.
+    pub fn is_lower_bound(&self) -> bool {
+        matches!(self, CmpOp::Ge | CmpOp::Gt)
+    }
+
+    /// Whether this is an upper-bound style predicate (`<=` or `<`).
+    pub fn is_upper_bound(&self) -> bool {
+        matches!(self, CmpOp::Le | CmpOp::Lt)
+    }
+
+    /// SQL rendering of the operator.
+    pub fn as_sql(&self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Eq => "=",
+            CmpOp::Ge => ">=",
+            CmpOp::Gt => ">",
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_sql())
+    }
+}
+
+/// A numerical selection predicate `attribute ⋄ constant`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumericPredicate {
+    /// Attribute the predicate filters on.
+    pub attribute: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// The constant `C`; this is the part a refinement may change.
+    pub constant: f64,
+}
+
+impl NumericPredicate {
+    /// Create a numerical predicate.
+    pub fn new(attribute: impl Into<String>, op: CmpOp, constant: f64) -> Self {
+        NumericPredicate { attribute: attribute.into(), op, constant }
+    }
+
+    /// Evaluate the predicate on a value. NULL and non-numeric values fail.
+    pub fn matches(&self, value: &Value) -> bool {
+        value.as_f64().map(|v| self.op.eval(v, self.constant)).unwrap_or(false)
+    }
+
+    /// A copy of this predicate with a different constant.
+    pub fn with_constant(&self, constant: f64) -> Self {
+        NumericPredicate { attribute: self.attribute.clone(), op: self.op, constant }
+    }
+}
+
+impl fmt::Display for NumericPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.attribute, self.op, self.constant)
+    }
+}
+
+/// A categorical selection predicate `attribute IN {values}` (a disjunction of
+/// equalities in the paper's notation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CategoricalPredicate {
+    /// Attribute the predicate filters on.
+    pub attribute: String,
+    /// The admitted set of values; this is the part a refinement may change.
+    pub values: BTreeSet<String>,
+}
+
+impl CategoricalPredicate {
+    /// Create a categorical predicate from any collection of values.
+    pub fn new<I, S>(attribute: impl Into<String>, values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        CategoricalPredicate {
+            attribute: attribute.into(),
+            values: values.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Evaluate the predicate on a value. NULL and non-text values fail.
+    pub fn matches(&self, value: &Value) -> bool {
+        value.as_text().map(|v| self.values.contains(v)).unwrap_or(false)
+    }
+
+    /// A copy of this predicate with a different value set.
+    pub fn with_values<I, S>(&self, values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        CategoricalPredicate {
+            attribute: self.attribute.clone(),
+            values: values.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Jaccard distance `1 - |A ∩ B| / |A ∪ B|` between this predicate's value
+    /// set and another set of values.
+    pub fn jaccard_distance(&self, other: &BTreeSet<String>) -> f64 {
+        let inter = self.values.intersection(other).count() as f64;
+        let union = self.values.union(other).count() as f64;
+        if union == 0.0 {
+            0.0
+        } else {
+            1.0 - inter / union
+        }
+    }
+}
+
+impl fmt::Display for CategoricalPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> =
+            self.values.iter().map(|v| format!("{} = '{}'", self.attribute, v)).collect();
+        if parts.is_empty() {
+            write!(f, "FALSE")
+        } else if parts.len() == 1 {
+            write!(f, "{}", parts[0])
+        } else {
+            write!(f, "({})", parts.join(" OR "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_semantics() {
+        assert!(CmpOp::Ge.eval(3.7, 3.7));
+        assert!(!CmpOp::Gt.eval(3.7, 3.7));
+        assert!(CmpOp::Le.eval(3.7, 3.7));
+        assert!(!CmpOp::Lt.eval(3.7, 3.7));
+        assert!(CmpOp::Eq.eval(3.7, 3.7));
+        assert!(CmpOp::Lt.eval(1.0, 2.0));
+        assert!(CmpOp::Gt.eval(2.0, 1.0));
+    }
+
+    #[test]
+    fn op_classification() {
+        assert!(CmpOp::Ge.is_lower_bound());
+        assert!(CmpOp::Gt.is_lower_bound() && CmpOp::Gt.is_strict());
+        assert!(CmpOp::Le.is_upper_bound());
+        assert!(!CmpOp::Eq.is_lower_bound() && !CmpOp::Eq.is_upper_bound());
+    }
+
+    #[test]
+    fn numeric_predicate_matches() {
+        let p = NumericPredicate::new("gpa", CmpOp::Ge, 3.7);
+        assert!(p.matches(&Value::float(3.7)));
+        assert!(p.matches(&Value::float(3.9)));
+        assert!(!p.matches(&Value::float(3.6)));
+        assert!(p.matches(&Value::int(4)));
+        assert!(!p.matches(&Value::text("3.9")));
+        assert!(!p.matches(&Value::Null));
+        assert_eq!(p.with_constant(3.5).constant, 3.5);
+    }
+
+    #[test]
+    fn categorical_predicate_matches() {
+        let p = CategoricalPredicate::new("activity", ["RB", "SO"]);
+        assert!(p.matches(&Value::text("RB")));
+        assert!(p.matches(&Value::text("SO")));
+        assert!(!p.matches(&Value::text("GD")));
+        assert!(!p.matches(&Value::int(1)));
+        assert!(!p.matches(&Value::Null));
+    }
+
+    #[test]
+    fn jaccard_distance_examples_from_paper() {
+        // Example 2.2: J({RB}, {RB, SO}) = 1 - 1/2 = 0.5
+        let p = CategoricalPredicate::new("activity", ["RB"]);
+        let refined: BTreeSet<String> = ["RB", "SO"].iter().map(|s| s.to_string()).collect();
+        assert!((p.jaccard_distance(&refined) - 0.5).abs() < 1e-12);
+        // identical sets -> 0
+        let same: BTreeSet<String> = ["RB"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(p.jaccard_distance(&same), 0.0);
+        // disjoint sets -> 1
+        let disjoint: BTreeSet<String> = ["MO"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(p.jaccard_distance(&disjoint), 1.0);
+    }
+
+    #[test]
+    fn display_forms() {
+        let n = NumericPredicate::new("gpa", CmpOp::Ge, 3.7);
+        assert_eq!(n.to_string(), "gpa >= 3.7");
+        let c = CategoricalPredicate::new("activity", ["RB", "SO"]);
+        assert_eq!(c.to_string(), "(activity = 'RB' OR activity = 'SO')");
+        let single = CategoricalPredicate::new("activity", ["RB"]);
+        assert_eq!(single.to_string(), "activity = 'RB'");
+        let empty = CategoricalPredicate::new("activity", Vec::<String>::new());
+        assert_eq!(empty.to_string(), "FALSE");
+    }
+}

@@ -1,0 +1,282 @@
+//! Relations: a schema plus a bag of rows.
+
+use crate::error::{RelationError, Result};
+use crate::schema::{Column, DataType, Schema};
+use crate::value::Value;
+use std::fmt;
+
+/// A row is a vector of values matching the relation's schema arity.
+pub type Row = Vec<Value>;
+
+/// A named relation: schema + rows (bag semantics, insertion order preserved).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    name: String,
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Relation {
+    /// Create an empty relation with the given schema.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Relation { name: name.into(), schema, rows: Vec::new() }
+    }
+
+    /// Start building a relation fluently.
+    pub fn build(name: impl Into<String>) -> RelationBuilder {
+        RelationBuilder { name: name.into(), columns: Vec::new(), rows: Vec::new() }
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the relation (returns a new relation sharing the same data).
+    pub fn renamed(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The rows, in insertion order.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a row after validating arity and column types.
+    pub fn push_row(&mut self, row: Row) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.schema.len(),
+                found: row.len(),
+            });
+        }
+        for (value, column) in row.iter().zip(self.schema.columns()) {
+            if !column.dtype.accepts(value) {
+                return Err(RelationError::TypeMismatch {
+                    column: column.name.clone(),
+                    expected: column.dtype.to_string(),
+                    found: format!("{} ({})", value, value.type_name()),
+                });
+            }
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Append a row without validation (used internally by the evaluator,
+    /// which only produces well-typed rows).
+    pub(crate) fn push_row_unchecked(&mut self, row: Row) {
+        debug_assert_eq!(row.len(), self.schema.len());
+        self.rows.push(row);
+    }
+
+    /// Value of `column` in row `row_idx`.
+    pub fn value(&self, row_idx: usize, column: &str) -> Option<&Value> {
+        let col = self.schema.index_of(column)?;
+        self.rows.get(row_idx).map(|r| &r[col])
+    }
+
+    /// Iterate over `(row_index, row)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Row)> {
+        self.rows.iter().enumerate()
+    }
+
+    /// Project onto a subset of columns (in the given order).
+    pub fn project(&self, columns: &[&str]) -> Result<Relation> {
+        let mut indices = Vec::with_capacity(columns.len());
+        let mut schema = Schema::default();
+        for &c in columns {
+            let idx = self.schema.require(c, &self.name)?;
+            indices.push(idx);
+            schema.push(self.schema.columns()[idx].clone())?;
+        }
+        let mut out = Relation::new(self.name.clone(), schema);
+        for row in &self.rows {
+            out.push_row_unchecked(indices.iter().map(|&i| row[i].clone()).collect());
+        }
+        Ok(out)
+    }
+
+    /// Distinct values appearing in a column.
+    pub fn distinct_values(&self, column: &str) -> Result<Vec<Value>> {
+        let idx = self.schema.require(column, &self.name)?;
+        let mut values: Vec<Value> = Vec::new();
+        for row in &self.rows {
+            if row[idx].is_null() {
+                continue;
+            }
+            if !values.contains(&row[idx]) {
+                values.push(row[idx].clone());
+            }
+        }
+        values.sort();
+        Ok(values)
+    }
+
+    /// Minimum and maximum numeric value appearing in a column, ignoring NULLs.
+    pub fn numeric_range(&self, column: &str) -> Result<Option<(f64, f64)>> {
+        let idx = self.schema.require(column, &self.name)?;
+        let mut range: Option<(f64, f64)> = None;
+        for row in &self.rows {
+            if let Some(v) = row[idx].as_f64() {
+                range = Some(match range {
+                    None => (v, v),
+                    Some((lo, hi)) => (lo.min(v), hi.max(v)),
+                });
+            }
+        }
+        Ok(range)
+    }
+
+    /// Pretty-print the first `limit` rows as an ASCII table.
+    pub fn preview(&self, limit: usize) -> String {
+        let mut out = String::new();
+        let names = self.schema.names();
+        out.push_str(&names.join(" | "));
+        out.push('\n');
+        for row in self.rows.iter().take(limit) {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            out.push_str(&cells.join(" | "));
+            out.push('\n');
+        }
+        if self.rows.len() > limit {
+            out.push_str(&format!("... ({} more rows)\n", self.rows.len() - limit));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} rows)", self.name, self.rows.len())
+    }
+}
+
+/// Fluent builder for [`Relation`].
+#[derive(Debug)]
+pub struct RelationBuilder {
+    name: String,
+    columns: Vec<Column>,
+    rows: Vec<Row>,
+}
+
+impl RelationBuilder {
+    /// Declare a column.
+    pub fn column(mut self, name: impl Into<String>, dtype: DataType) -> Self {
+        self.columns.push(Column::new(name, dtype));
+        self
+    }
+
+    /// Append a row (validated when [`finish`](Self::finish) is called).
+    pub fn row(mut self, row: Row) -> Self {
+        self.rows.push(row);
+        self
+    }
+
+    /// Append many rows.
+    pub fn rows(mut self, rows: impl IntoIterator<Item = Row>) -> Self {
+        self.rows.extend(rows);
+        self
+    }
+
+    /// Validate and construct the relation.
+    pub fn finish(self) -> Result<Relation> {
+        let mut schema = Schema::default();
+        for c in self.columns {
+            schema.push(c)?;
+        }
+        let mut rel = Relation::new(self.name, schema);
+        for row in self.rows {
+            rel.push_row(row)?;
+        }
+        Ok(rel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn students() -> Relation {
+        Relation::build("students")
+            .column("id", DataType::Text)
+            .column("gpa", DataType::Float)
+            .column("sat", DataType::Int)
+            .row(vec![Value::text("t1"), Value::float(3.7), Value::int(1590)])
+            .row(vec![Value::text("t2"), Value::float(3.8), Value::int(1580)])
+            .row(vec![Value::text("t3"), Value::float(3.6), Value::int(1570)])
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_and_access() {
+        let r = students();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.value(1, "gpa"), Some(&Value::float(3.8)));
+        assert_eq!(r.value(1, "missing"), None);
+        assert_eq!(r.value(9, "gpa"), None);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut r = students();
+        let err = r.push_row(vec![Value::text("t4")]).unwrap_err();
+        assert!(matches!(err, RelationError::ArityMismatch { expected: 3, found: 1 }));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut r = students();
+        let err = r
+            .push_row(vec![Value::int(4), Value::float(3.0), Value::int(1000)])
+            .unwrap_err();
+        assert!(matches!(err, RelationError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn int_accepted_in_float_column() {
+        let mut r = students();
+        assert!(r.push_row(vec![Value::text("t4"), Value::int(4), Value::int(1000)]).is_ok());
+    }
+
+    #[test]
+    fn projection() {
+        let r = students();
+        let p = r.project(&["sat", "id"]).unwrap();
+        assert_eq!(p.schema().names(), vec!["sat", "id"]);
+        assert_eq!(p.value(0, "sat"), Some(&Value::int(1590)));
+        assert!(r.project(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn distinct_and_range() {
+        let r = students();
+        assert_eq!(r.distinct_values("id").unwrap().len(), 3);
+        assert_eq!(r.numeric_range("gpa").unwrap(), Some((3.6, 3.8)));
+        assert_eq!(r.numeric_range("id").unwrap(), None);
+    }
+
+    #[test]
+    fn preview_truncates() {
+        let r = students();
+        let p = r.preview(2);
+        assert!(p.contains("1 more rows"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Schemas: named, typed columns.
+
+use crate::error::{RelationError, Result};
+use crate::value::Value;
+use std::fmt;
+
+/// Logical data type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit floating point number.
+    Float,
+    /// UTF-8 text.
+    Text,
+}
+
+impl DataType {
+    /// Whether a value is admissible in a column of this type.
+    ///
+    /// NULL is admissible everywhere; integers are admissible in float
+    /// columns (they are widened on comparison).
+    pub fn accepts(&self, value: &Value) -> bool {
+        match (self, value) {
+            (_, Value::Null) => true,
+            (DataType::Int, Value::Int(_)) => true,
+            (DataType::Float, Value::Float(_) | Value::Int(_)) => true,
+            (DataType::Text, Value::Text(_)) => true,
+            _ => false,
+        }
+    }
+
+    /// Whether this is a numeric type.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "INT"),
+            DataType::Float => write!(f, "FLOAT"),
+            DataType::Text => write!(f, "TEXT"),
+        }
+    }
+}
+
+/// A single column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (case-sensitive).
+    pub name: String,
+    /// Declared data type.
+    pub dtype: DataType,
+}
+
+impl Column {
+    /// Create a new column definition.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Column { name: name.into(), dtype }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Create a schema from a list of columns.
+    pub fn new(columns: Vec<Column>) -> Self {
+        Schema { columns }
+    }
+
+    /// The columns, in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Index of a column by name, as a [`Result`].
+    pub fn require(&self, name: &str, relation: &str) -> Result<usize> {
+        self.index_of(name).ok_or_else(|| RelationError::UnknownColumn {
+            column: name.to_string(),
+            relation: relation.to_string(),
+        })
+    }
+
+    /// The column definition for a name, if present.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Names of all columns, in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Columns shared with another schema (in this schema's order).
+    pub fn common_columns(&self, other: &Schema) -> Vec<String> {
+        self.columns
+            .iter()
+            .filter(|c| other.index_of(&c.name).is_some())
+            .map(|c| c.name.clone())
+            .collect()
+    }
+
+    /// Append a column, returning an error if the name already exists.
+    pub fn push(&mut self, column: Column) -> Result<()> {
+        if self.index_of(&column.name).is_some() {
+            return Err(RelationError::InvalidQuery(format!(
+                "duplicate column `{}` in schema",
+                column.name
+            )));
+        }
+        self.columns.push(column);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Text),
+            Column::new("gpa", DataType::Float),
+            Column::new("sat", DataType::Int),
+        ])
+    }
+
+    #[test]
+    fn index_lookup() {
+        let s = schema();
+        assert_eq!(s.index_of("gpa"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert!(s.require("sat", "students").is_ok());
+        assert!(matches!(
+            s.require("missing", "students"),
+            Err(RelationError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn accepts_types() {
+        assert!(DataType::Float.accepts(&Value::int(3)));
+        assert!(DataType::Float.accepts(&Value::float(3.5)));
+        assert!(!DataType::Int.accepts(&Value::float(3.5)));
+        assert!(DataType::Text.accepts(&Value::Null));
+        assert!(!DataType::Text.accepts(&Value::int(1)));
+    }
+
+    #[test]
+    fn common_columns_ordered() {
+        let a = schema();
+        let b = Schema::new(vec![
+            Column::new("sat", DataType::Int),
+            Column::new("id", DataType::Text),
+            Column::new("extra", DataType::Text),
+        ]);
+        assert_eq!(a.common_columns(&b), vec!["id".to_string(), "sat".to_string()]);
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let mut s = schema();
+        assert!(s.push(Column::new("gpa", DataType::Float)).is_err());
+        assert!(s.push(Column::new("region", DataType::Text)).is_ok());
+    }
+}

@@ -1,0 +1,116 @@
+//! SQL pretty-printing for queries and predicates.
+//!
+//! Refined queries are ultimately shown to a user (the whole point of
+//! in-processing refinement is that the modified *query* is the artefact that
+//! gets applied), so the engine can render any [`SpjQuery`] back to SQL text.
+
+use crate::query::{SelectList, SortOrder, SpjQuery};
+
+/// Types that can be rendered as a SQL fragment.
+pub trait ToSql {
+    /// Render as SQL text.
+    fn to_sql(&self) -> String;
+}
+
+impl ToSql for SpjQuery {
+    fn to_sql(&self) -> String {
+        let mut out = String::from("SELECT ");
+        if self.distinct {
+            out.push_str("DISTINCT ");
+        }
+        match &self.select {
+            SelectList::All => out.push('*'),
+            SelectList::Columns(cols) => out.push_str(&cols.join(", ")),
+        }
+        out.push_str("\nFROM ");
+        out.push_str(&self.tables.join(" NATURAL JOIN "));
+        let mut predicates: Vec<String> = Vec::new();
+        for p in &self.numeric_predicates {
+            predicates.push(format!("{} {} {}", quote_ident(&p.attribute), p.op, p.constant));
+        }
+        for p in &self.categorical_predicates {
+            let parts: Vec<String> = p
+                .values
+                .iter()
+                .map(|v| format!("{} = '{}'", quote_ident(&p.attribute), v.replace('\'', "''")))
+                .collect();
+            match parts.len() {
+                0 => predicates.push("FALSE".to_string()),
+                1 => predicates.push(parts.into_iter().next().expect("one part")),
+                _ => predicates.push(format!("({})", parts.join(" OR "))),
+            }
+        }
+        if !predicates.is_empty() {
+            out.push_str("\nWHERE ");
+            out.push_str(&predicates.join(" AND "));
+        }
+        out.push_str("\nORDER BY ");
+        out.push_str(&quote_ident(&self.order_by));
+        out.push_str(match self.order {
+            SortOrder::Descending => " DESC",
+            SortOrder::Ascending => " ASC",
+        });
+        out
+    }
+}
+
+/// Quote an identifier if it contains whitespace or punctuation.
+fn quote_ident(name: &str) -> String {
+    let needs_quotes =
+        name.chars().any(|c| !(c.is_ascii_alphanumeric() || c == '_')) || name.is_empty();
+    if needs_quotes {
+        format!("\"{}\"", name.replace('"', "\"\""))
+    } else {
+        name.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+
+    #[test]
+    fn scholarship_query_sql() {
+        let q = SpjQuery::builder("Students")
+            .join("Activities")
+            .select(["ID", "Gender", "Income"])
+            .distinct()
+            .numeric_predicate("GPA", CmpOp::Ge, 3.7)
+            .categorical_predicate("Activity", ["RB", "SO"])
+            .order_by("SAT", SortOrder::Descending)
+            .build()
+            .unwrap();
+        let sql = q.to_sql();
+        assert!(sql.starts_with("SELECT DISTINCT ID, Gender, Income"));
+        assert!(sql.contains("FROM Students NATURAL JOIN Activities"));
+        assert!(sql.contains("GPA >= 3.7"));
+        assert!(sql.contains("(Activity = 'RB' OR Activity = 'SO')"));
+        assert!(sql.ends_with("ORDER BY SAT DESC"));
+    }
+
+    #[test]
+    fn quoted_identifiers_and_values() {
+        let q = SpjQuery::builder("Astronauts")
+            .numeric_predicate("Space Walks", CmpOp::Le, 3.0)
+            .categorical_predicate("Graduate Major", ["Physics", "O'Neill Studies"])
+            .order_by("Space Flight (hrs)", SortOrder::Descending)
+            .build()
+            .unwrap();
+        let sql = q.to_sql();
+        assert!(sql.contains("\"Space Walks\" <= 3"));
+        assert!(sql.contains("\"Graduate Major\" = 'O''Neill Studies'"));
+        assert!(sql.contains("ORDER BY \"Space Flight (hrs)\" DESC"));
+    }
+
+    #[test]
+    fn empty_categorical_renders_false() {
+        let q = SpjQuery::builder("t")
+            .categorical_predicate("c", Vec::<String>::new())
+            .order_by("s", SortOrder::Ascending)
+            .build()
+            .unwrap();
+        assert!(q.to_sql().contains("WHERE FALSE"));
+        assert!(q.to_sql().ends_with("ORDER BY s ASC"));
+    }
+}

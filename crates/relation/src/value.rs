@@ -1,0 +1,238 @@
+//! Typed values with a total order.
+//!
+//! The engine supports integers, floating-point numbers, text and NULL. All
+//! values are totally ordered so that rankings (and therefore the positions
+//! used by the MILP model) are deterministic: `Null < numbers < text`, with
+//! integers and floats compared numerically and floats ordered by IEEE total
+//! ordering semantics (NaN sorts above all other numbers).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single attribute value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Absent value. Fails every selection predicate.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit floating point number.
+    Float(f64),
+    /// UTF-8 text (categorical values).
+    Text(String),
+}
+
+impl Value {
+    /// Construct an integer value.
+    pub fn int(v: i64) -> Self {
+        Value::Int(v)
+    }
+
+    /// Construct a float value.
+    pub fn float(v: f64) -> Self {
+        Value::Float(v)
+    }
+
+    /// Construct a text value.
+    pub fn text(v: impl Into<String>) -> Self {
+        Value::Text(v.into())
+    }
+
+    /// Construct a NULL value.
+    pub fn null() -> Self {
+        Value::Null
+    }
+
+    /// Whether the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value, if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Text view of the value, if it is text.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// A short name of the value's runtime type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Text(_) => "text",
+        }
+    }
+
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) | Value::Float(_) => 1,
+            Value::Text(_) => 2,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Text(a), Text(b)) => a.cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            // Hash ints and floats through the same numeric representation so
+            // that `Int(3) == Float(3.0)` implies equal hashes.
+            Value::Int(v) => {
+                1u8.hash(state);
+                (*v as f64).to_bits().hash(state);
+            }
+            Value::Float(v) => {
+                1u8.hash(state);
+                v.to_bits().hash(state);
+            }
+            Value::Text(s) => {
+                2u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        assert!(Value::Null < Value::int(-100));
+        assert!(Value::Null < Value::text(""));
+    }
+
+    #[test]
+    fn numbers_before_text() {
+        assert!(Value::int(999) < Value::text("0"));
+        assert!(Value::float(1e12) < Value::text("a"));
+    }
+
+    #[test]
+    fn int_float_cross_comparison() {
+        assert_eq!(Value::int(3), Value::float(3.0));
+        assert!(Value::int(3) < Value::float(3.5));
+        assert!(Value::float(2.5) < Value::int(3));
+    }
+
+    #[test]
+    fn equal_cross_type_values_hash_equal() {
+        assert_eq!(hash_of(&Value::int(42)), hash_of(&Value::float(42.0)));
+    }
+
+    #[test]
+    fn nan_is_ordered() {
+        let nan = Value::float(f64::NAN);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert!(Value::float(f64::INFINITY) < nan);
+    }
+
+    #[test]
+    fn display_round_trip() {
+        assert_eq!(Value::int(7).to_string(), "7");
+        assert_eq!(Value::text("abc").to_string(), "abc");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::int(2).as_f64(), Some(2.0));
+        assert_eq!(Value::float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::text("x").as_f64(), None);
+        assert_eq!(Value::text("x").as_text(), Some("x"));
+        assert_eq!(Value::int(1).as_text(), None);
+        assert!(Value::null().is_null());
+    }
+}

@@ -1,0 +1,63 @@
+//! TPC-H Q5: diversifying high-revenue orders across priorities and market
+//! segments, and comparing against the Erica-style whole-output baseline
+//! (Section 5.3 of the paper).
+//!
+//! Run with: `cargo run --release --example tpch_market_segments`
+
+use query_refinement::core::prelude::*;
+use query_refinement::datagen::{DatasetId, Workload};
+use query_refinement::relation::prelude::*;
+
+fn main() {
+    let workload = Workload::new(DatasetId::Tpch, 23);
+    let k = 10;
+    let constraints = ConstraintSet::new()
+        .with(workload.constraint_with_bound(1, k, Some(3))) // >= 3 low-priority orders in top-10
+        .with(workload.constraint(3, k)); // >= k/5 AUTOMOBILE orders in top-10
+
+    println!("Query Q5 (date predicates removed):\n{}\n", workload.query.to_sql());
+    println!("Constraints: {}\n", constraints);
+
+    let result = RefinementEngine::new(&workload.db, workload.query.clone())
+        .with_constraints(constraints.clone())
+        .with_epsilon(0.5)
+        .with_distance(DistanceMeasure::Predicate)
+        .solve()
+        .expect("engine runs");
+    match result.outcome.refined() {
+        Some(refined) => println!(
+            "[top-k engine] distance {:.3}, deviation {:.3}, total {:?}\n{}\n",
+            refined.distance,
+            refined.deviation,
+            result.stats.total_time,
+            refined.query.to_sql()
+        ),
+        None => println!("[top-k engine] no refinement within ε\n"),
+    }
+
+    // Erica-style baseline: the same group requirements over the *whole
+    // output*, which additionally forces the output size to be exactly k.
+    let output_constraints: Vec<OutputConstraint> = vec![
+        OutputConstraint {
+            group: Group::single("OrderPrio", "5-LOW"),
+            bound: BoundType::Lower,
+            n: 3,
+        },
+        OutputConstraint {
+            group: Group::single("MktSegment", "AUTOMOBILE"),
+            bound: BoundType::Lower,
+            n: 2,
+        },
+    ];
+    let erica = erica_refine(&workload.db, &workload.query, &output_constraints, k)
+        .expect("erica baseline runs");
+    match erica.best {
+        Some((assignment, distance)) => println!(
+            "[Erica-style] predicate distance {:.3} (output forced to exactly {k} tuples), total {:?}\n{}\n",
+            distance,
+            erica.stats.total_time,
+            assignment.apply_to(&workload.query).to_sql()
+        ),
+        None => println!("[Erica-style] no refinement with an output of exactly {k} tuples\n"),
+    }
+}

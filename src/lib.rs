@@ -1,0 +1,22 @@
+//! Umbrella crate for the *Query Refinement for Diverse Top-k Selection*
+//! reproduction.
+//!
+//! This crate re-exports the public APIs of the workspace members so that the
+//! examples in `examples/` and the integration tests in `tests/` can use a
+//! single dependency. Downstream users will normally depend on [`qr_core`]
+//! directly (together with [`qr_relation`] for data loading).
+//!
+//! See the repository `README.md` for a quickstart and `DESIGN.md` for the
+//! system inventory.
+
+pub use qr_core as core;
+pub use qr_datagen as datagen;
+pub use qr_milp as milp;
+pub use qr_provenance as provenance;
+pub use qr_relation as relation;
+
+/// Convenience prelude bringing the most common types into scope.
+pub mod prelude {
+    pub use qr_core::prelude::*;
+    pub use qr_relation::prelude::*;
+}

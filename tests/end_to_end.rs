@@ -1,0 +1,140 @@
+//! End-to-end integration tests over the synthetic benchmark workloads:
+//! engine vs. exhaustive baseline, optimization ablations, Erica baseline.
+//!
+//! Instances are kept deliberately small so the suite stays fast in debug
+//! builds; the full-size runs live in `qr-bench`.
+
+use query_refinement::core::prelude::*;
+use query_refinement::datagen::{DatasetId, Workload};
+use query_refinement::provenance::AnnotatedRelation;
+use query_refinement::relation::prelude::*;
+
+fn tiny(id: DatasetId) -> Workload {
+    match id {
+        DatasetId::Astronauts => Workload::astronauts(80, 1),
+        DatasetId::LawStudents => Workload::law_students(150, 1),
+        DatasetId::Meps => Workload::meps(150, 1),
+        DatasetId::Tpch => Workload::tpch(40, 1),
+    }
+}
+
+fn tiny_constraints(w: &Workload) -> ConstraintSet {
+    ConstraintSet::new().with(w.constraint_with_bound(1, 5, Some(2)))
+}
+
+#[test]
+fn tpch_engine_matches_naive_optimum() {
+    let w = tiny(DatasetId::Tpch);
+    let constraints = tiny_constraints(&w);
+    let milp = RefinementEngine::new(&w.db, w.query.clone())
+        .with_constraints(constraints.clone())
+        .with_epsilon(0.5)
+        .with_distance(DistanceMeasure::Predicate)
+        .solve()
+        .unwrap();
+    let naive = naive_search(
+        &w.db,
+        &w.query,
+        &constraints,
+        0.5,
+        DistanceMeasure::Predicate,
+        &NaiveOptions::default(),
+    )
+    .unwrap();
+    let refined = milp.outcome.refined().expect("TPC-H refinement exists");
+    let (_, naive_dist, _) = naive.best.expect("naive refinement exists");
+    assert!(naive.exhausted, "TPC-H has a tiny refinement space; naive must finish");
+    assert!(
+        (refined.distance - naive_dist).abs() < 1e-6,
+        "engine {} vs naive {}",
+        refined.distance,
+        naive_dist
+    );
+}
+
+#[test]
+fn refinements_respect_the_deviation_budget_on_all_datasets() {
+    for id in DatasetId::all() {
+        let w = tiny(id);
+        let constraints = tiny_constraints(&w);
+        let result = RefinementEngine::new(&w.db, w.query.clone())
+            .with_constraints(constraints.clone())
+            .with_epsilon(0.5)
+            .with_distance(DistanceMeasure::Predicate)
+            .solve()
+            .unwrap();
+        if let Some(refined) = result.outcome.refined() {
+            assert!(
+                refined.deviation <= 0.5 + 1e-9,
+                "{}: deviation {} exceeds ε",
+                w.id.label(),
+                refined.deviation
+            );
+            // Re-evaluating the refined query on the engine gives a ranked
+            // output at least as long as k*.
+            let output = evaluate(&w.db, &refined.query).unwrap();
+            assert!(output.len() >= 5, "{}", w.id.label());
+        }
+    }
+}
+
+#[test]
+fn optimizations_preserve_the_optimum_on_tpch() {
+    // TPC-H keeps the model tiny (five lineage classes), so both the
+    // optimized and the unoptimized build prove optimality quickly and must
+    // agree on the optimum. (The heavier workloads are exercised by the
+    // benchmark harness, where the unoptimized build is allowed to time out,
+    // as in the paper.)
+    let w = tiny(DatasetId::Tpch);
+    let constraints = tiny_constraints(&w);
+    let mut distances = Vec::new();
+    for config in [OptimizationConfig::all(), OptimizationConfig::none()] {
+        let result = RefinementEngine::new(&w.db, w.query.clone())
+            .with_constraints(constraints.clone())
+            .with_epsilon(0.5)
+            .with_distance(DistanceMeasure::Predicate)
+            .with_optimizations(config)
+            .solve()
+            .unwrap();
+        let refined = result.outcome.refined().expect("refinement exists");
+        assert!(refined.proven_optimal);
+        distances.push(refined.distance);
+    }
+    assert!(
+        (distances[0] - distances[1]).abs() < 1e-6,
+        "optimized {} vs unoptimized {}",
+        distances[0],
+        distances[1]
+    );
+}
+
+#[test]
+fn erica_baseline_respects_exact_output_size() {
+    let w = tiny(DatasetId::LawStudents);
+    let constraints = vec![OutputConstraint {
+        group: Group::single("Sex", "F"),
+        bound: BoundType::Lower,
+        n: 3,
+    }];
+    let erica = erica_refine(&w.db, &w.query, &constraints, 8).unwrap();
+    if let Some((assignment, _)) = erica.best {
+        let annotated = AnnotatedRelation::build(&w.db, &w.query).unwrap();
+        let output =
+            query_refinement::provenance::whatif::evaluate_refinement(&annotated, &assignment);
+        assert_eq!(output.len(), 8);
+    }
+}
+
+#[test]
+fn stats_report_setup_and_solver_split() {
+    let w = tiny(DatasetId::Tpch);
+    let result = RefinementEngine::new(&w.db, w.query.clone())
+        .with_constraints(tiny_constraints(&w))
+        .with_epsilon(0.5)
+        .solve()
+        .unwrap();
+    let stats = &result.stats;
+    assert!(stats.total_time >= stats.setup_time);
+    assert!(stats.num_variables > 0 && stats.num_constraints > 0);
+    assert!(stats.lineage_classes >= 1 && stats.lineage_classes <= 5, "Q5 has at most 5 classes");
+}

@@ -1,0 +1,139 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+use query_refinement::core::paper_example::{paper_database, scholarship_query};
+use query_refinement::core::{
+    jaccard_topk_distance, kendall_topk_distance, CardinalityConstraint, ConstraintSet, Group,
+};
+use query_refinement::milp::{LinExpr, Model, Sense, SolveStatus, Solver};
+use query_refinement::provenance::{whatif::evaluate_refinement, AnnotatedRelation, PredicateAssignment};
+use query_refinement::relation::csv::{read_csv_str, write_csv_string};
+use query_refinement::relation::prelude::*;
+use std::collections::BTreeSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The provenance what-if evaluation agrees with the relational engine on
+    /// every refinement of the scholarship query.
+    #[test]
+    fn whatif_matches_engine_for_any_refinement(
+        activities in proptest::collection::btree_set(
+            prop_oneof!["RB", "SO", "GD", "MO", "TU"].prop_map(String::from), 0..5),
+        gpa_tenths in 34u32..41,
+    ) {
+        let db = paper_database();
+        let query = scholarship_query();
+        let annotated = AnnotatedRelation::build(&db, &query).unwrap();
+        let mut assignment = PredicateAssignment::from_query(&query);
+        assignment.categorical.insert("Activity".to_string(), activities.clone());
+        let gpa = gpa_tenths as f64 / 10.0;
+        assignment.numeric.insert(("GPA".to_string(), CmpOp::Ge), gpa);
+
+        let refined_query = assignment.apply_to(&query);
+        let engine_output = evaluate(&db, &refined_query).unwrap();
+        let whatif_output = evaluate_refinement(&annotated, &assignment);
+        prop_assert_eq!(engine_output.len(), whatif_output.len());
+
+        let id_idx = annotated.schema().index_of("ID").unwrap();
+        let whatif_ids: Vec<String> = whatif_output
+            .selected
+            .iter()
+            .map(|&i| annotated.tuples()[i].row[id_idx].to_string())
+            .collect();
+        let engine_ids: Vec<String> = engine_output
+            .rows()
+            .iter()
+            .map(|r| r[engine_output.schema().index_of("ID").unwrap()].to_string())
+            .collect();
+        prop_assert_eq!(whatif_ids, engine_ids);
+    }
+
+    /// Deviation (Definition 2.6) is always in [0, 1] for single-constraint
+    /// sets and is zero exactly when the constraint is satisfied.
+    #[test]
+    fn deviation_is_normalised(k in 1usize..20, n in 1usize..20, observed in 0usize..25, lower in any::<bool>()) {
+        prop_assume!(n <= k);
+        let group = Group::single("Gender", "F");
+        let constraint = if lower {
+            CardinalityConstraint::at_least(group, k, n)
+        } else {
+            CardinalityConstraint::at_most(group, k, n)
+        };
+        let set = ConstraintSet::new().with(constraint.clone());
+        let dev = set.deviation(&[observed]);
+        prop_assert!((0.0..=1.0).contains(&dev));
+        prop_assert_eq!(dev == 0.0, constraint.is_satisfied(observed));
+    }
+
+    /// The top-k Jaccard distance is a symmetric, bounded dissimilarity; the
+    /// Kendall distance is non-negative and zero on identical lists.
+    #[test]
+    fn outcome_distances_are_well_behaved(
+        a in proptest::collection::vec(0u8..12, 1..8),
+        b in proptest::collection::vec(0u8..12, 1..8),
+    ) {
+        // De-duplicate while preserving order (top-k lists have no repeats).
+        let dedup = |xs: &[u8]| {
+            let mut seen = BTreeSet::new();
+            xs.iter().copied().filter(|x| seen.insert(*x)).collect::<Vec<_>>()
+        };
+        let a = dedup(&a);
+        let b = dedup(&b);
+        let j_ab = jaccard_topk_distance(&a, &b);
+        let j_ba = jaccard_topk_distance(&b, &a);
+        prop_assert!((j_ab - j_ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&j_ab));
+        prop_assert_eq!(jaccard_topk_distance(&a, &a), 0.0);
+        prop_assert_eq!(kendall_topk_distance(&a, &a), 0.0);
+        prop_assert!(kendall_topk_distance(&a, &b) >= 0.0);
+    }
+
+    /// CSV round trip: writing a relation and reading it back preserves rows.
+    #[test]
+    fn csv_round_trip(rows in proptest::collection::vec((0i64..1000, -100.0f64..100.0, "[a-z ,]{0,12}"), 1..30)) {
+        let mut rel = Relation::build("t")
+            .column("id", DataType::Int)
+            .column("score", DataType::Float)
+            .column("label", DataType::Text)
+            .finish()
+            .unwrap();
+        for (id, score, label) in &rows {
+            // Round the float to avoid display-precision mismatches.
+            let score = (score * 100.0).round() / 100.0;
+            rel.push_row(vec![Value::int(*id), Value::float(score), Value::text(label.trim())]).unwrap();
+        }
+        let text = write_csv_string(&rel);
+        let back = read_csv_str(
+            "t",
+            &[("id", DataType::Int), ("score", DataType::Float), ("label", DataType::Text)],
+            &text,
+        )
+        .unwrap();
+        prop_assert_eq!(back.len(), rel.len());
+        for (orig, parsed) in rel.rows().iter().zip(back.rows()) {
+            prop_assert_eq!(&orig[0], &parsed[0]);
+            prop_assert_eq!(&orig[1], &parsed[1]);
+            // Text may lose surrounding whitespace (values are trimmed on read).
+            let orig_label = orig[2].to_string();
+            let parsed_label = parsed[2].to_string();
+            prop_assert_eq!(orig_label.trim(), parsed_label.trim());
+        }
+    }
+
+    /// MILP solver sanity on a family of two-variable problems with a known
+    /// optimum: maximise x + y over x <= a, y <= b, x + y <= c.
+    #[test]
+    fn milp_two_variable_box_problems(a in 0i64..12, b in 0i64..12, c in 0i64..20) {
+        let mut model = Model::new("box");
+        let x = model.add_integer("x", 0.0, a as f64);
+        let y = model.add_integer("y", 0.0, b as f64);
+        model.add_constraint("sum", LinExpr::from(x) + LinExpr::from(y), Sense::Le, c as f64);
+        model.set_objective(LinExpr::term(x, -1.0) + LinExpr::term(y, -1.0));
+        let solution = Solver::default().solve(&model).unwrap();
+        prop_assert_eq!(solution.status, SolveStatus::Optimal);
+        let expected = (a + b).min(c) as f64;
+        prop_assert!((solution.objective + expected).abs() < 1e-6,
+            "expected {} got {}", expected, -solution.objective);
+    }
+}

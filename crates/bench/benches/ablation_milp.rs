@@ -10,7 +10,10 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_milp");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
 
     let db = paper_database();
     let query = scholarship_query();
@@ -26,8 +29,20 @@ fn bench(c: &mut Criterion) {
 
     let configs = [
         ("default", SolverOptions::default()),
-        ("no-propagation", SolverOptions { use_propagation: false, ..SolverOptions::default() }),
-        ("no-rounding", SolverOptions { use_rounding_heuristic: false, ..SolverOptions::default() }),
+        (
+            "no-propagation",
+            SolverOptions {
+                use_propagation: false,
+                ..SolverOptions::default()
+            },
+        ),
+        (
+            "no-rounding",
+            SolverOptions {
+                use_rounding_heuristic: false,
+                ..SolverOptions::default()
+            },
+        ),
     ];
     for (label, options) in configs {
         group.bench_function(format!("scholarship/{label}"), |b| {

@@ -9,19 +9,49 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_opts");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
     let w = tiny_workload(DatasetId::Astronauts);
     let constraints = tiny_constraints(&w);
     let configs = [
         ("all", OptimizationConfig::all()),
-        ("no-relevancy", OptimizationConfig { relevancy_pruning: false, ..OptimizationConfig::all() }),
-        ("no-merging", OptimizationConfig { lineage_merging: false, ..OptimizationConfig::all() }),
-        ("no-single-bound", OptimizationConfig { single_bound_relaxation: false, ..OptimizationConfig::all() }),
+        (
+            "no-relevancy",
+            OptimizationConfig {
+                relevancy_pruning: false,
+                ..OptimizationConfig::all()
+            },
+        ),
+        (
+            "no-merging",
+            OptimizationConfig {
+                lineage_merging: false,
+                ..OptimizationConfig::all()
+            },
+        ),
+        (
+            "no-single-bound",
+            OptimizationConfig {
+                single_bound_relaxation: false,
+                ..OptimizationConfig::all()
+            },
+        ),
         ("none", OptimizationConfig::none()),
     ];
     for (label, config) in configs {
         group.bench_function(format!("Astronauts/{label}"), |b| {
-            b.iter(|| run_engine(&w, &constraints, 0.5, DistanceMeasure::Predicate, config, label))
+            b.iter(|| {
+                run_engine(
+                    &w,
+                    &constraints,
+                    0.5,
+                    DistanceMeasure::Predicate,
+                    config,
+                    label,
+                )
+            })
         });
     }
     group.finish();

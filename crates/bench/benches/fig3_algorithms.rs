@@ -11,20 +11,49 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_algorithms");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
 
     for id in [DatasetId::Tpch, DatasetId::Astronauts] {
         let w = tiny_workload(id);
         let constraints = tiny_constraints(&w);
         group.bench_function(format!("{}/MILP+opt/QD", w.id.label()), |b| {
-            b.iter(|| run_engine(&w, &constraints, 0.5, DistanceMeasure::Predicate, OptimizationConfig::all(), "bench"))
+            b.iter(|| {
+                run_engine(
+                    &w,
+                    &constraints,
+                    0.5,
+                    DistanceMeasure::Predicate,
+                    OptimizationConfig::all(),
+                    "bench",
+                )
+            })
         });
         group.bench_function(format!("{}/MILP/QD", w.id.label()), |b| {
-            b.iter(|| run_engine(&w, &constraints, 0.5, DistanceMeasure::Predicate, OptimizationConfig::none(), "bench"))
+            b.iter(|| {
+                run_engine(
+                    &w,
+                    &constraints,
+                    0.5,
+                    DistanceMeasure::Predicate,
+                    OptimizationConfig::none(),
+                    "bench",
+                )
+            })
         });
         group.bench_function(format!("{}/Naive+prov/QD", w.id.label()), |b| {
             b.iter(|| {
-                run_naive(&w, &constraints, 0.5, DistanceMeasure::Predicate, NaiveMode::Provenance, Duration::from_secs(5), "bench")
+                run_naive(
+                    &w,
+                    &constraints,
+                    0.5,
+                    DistanceMeasure::Predicate,
+                    NaiveMode::Provenance,
+                    Duration::from_secs(5),
+                    "bench",
+                )
             })
         });
     }

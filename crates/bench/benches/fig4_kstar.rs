@@ -9,12 +9,24 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_kstar");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
     let w = tiny_workload(DatasetId::Tpch);
     for k in [5usize, 10, 20] {
         let constraints = w.default_constraints(k);
         group.bench_function(format!("TPC-H/k={k}"), |b| {
-            b.iter(|| run_engine(&w, &constraints, 0.5, DistanceMeasure::Predicate, OptimizationConfig::all(), format!("k={k}")))
+            b.iter(|| {
+                run_engine(
+                    &w,
+                    &constraints,
+                    0.5,
+                    DistanceMeasure::Predicate,
+                    OptimizationConfig::all(),
+                    format!("k={k}"),
+                )
+            })
         });
     }
     group.finish();

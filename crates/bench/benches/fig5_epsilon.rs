@@ -9,12 +9,24 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_epsilon");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
     let w = tiny_workload(DatasetId::Tpch);
     let constraints = tiny_constraints(&w);
     for eps in [0.0f64, 0.5, 1.0] {
         group.bench_function(format!("TPC-H/eps={eps}"), |b| {
-            b.iter(|| run_engine(&w, &constraints, eps, DistanceMeasure::Predicate, OptimizationConfig::all(), format!("eps={eps}")))
+            b.iter(|| {
+                run_engine(
+                    &w,
+                    &constraints,
+                    eps,
+                    DistanceMeasure::Predicate,
+                    OptimizationConfig::all(),
+                    format!("eps={eps}"),
+                )
+            })
         });
     }
     group.finish();

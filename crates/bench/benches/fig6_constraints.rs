@@ -9,12 +9,24 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_constraints");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
     let w = tiny_workload(DatasetId::Tpch);
     for count in [1usize, 3, 5] {
         let constraints = w.constraint_prefix(count, TINY_K);
         group.bench_function(format!("TPC-H/constraints={count}"), |b| {
-            b.iter(|| run_engine(&w, &constraints, 0.5, DistanceMeasure::Predicate, OptimizationConfig::all(), format!("c={count}")))
+            b.iter(|| {
+                run_engine(
+                    &w,
+                    &constraints,
+                    0.5,
+                    DistanceMeasure::Predicate,
+                    OptimizationConfig::all(),
+                    format!("c={count}"),
+                )
+            })
         });
     }
     group.finish();

@@ -10,15 +10,36 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_bound_type");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
     let w = tiny_workload(DatasetId::Meps);
     let lower = w.lower_bound_pair(TINY_K);
     let mixed = w.mixed_pair(TINY_K);
     group.bench_function("MEPS/lower-bound", |b| {
-        b.iter(|| run_engine(&w, &lower, 0.5, DistanceMeasure::Predicate, OptimizationConfig::all(), "lower"))
+        b.iter(|| {
+            run_engine(
+                &w,
+                &lower,
+                0.5,
+                DistanceMeasure::Predicate,
+                OptimizationConfig::all(),
+                "lower",
+            )
+        })
     });
     group.bench_function("MEPS/combined", |b| {
-        b.iter(|| run_engine(&w, &mixed, 0.5, DistanceMeasure::Predicate, OptimizationConfig::all(), "combined"))
+        b.iter(|| {
+            run_engine(
+                &w,
+                &mixed,
+                0.5,
+                DistanceMeasure::Predicate,
+                OptimizationConfig::all(),
+                "combined",
+            )
+        })
     });
     group.finish();
 }

@@ -9,7 +9,10 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_datasize");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
     let base = tiny_workload(DatasetId::Tpch);
     for factor in [1usize, 2, 4] {
         let w = if factor == 1 {
@@ -19,7 +22,16 @@ fn bench(c: &mut Criterion) {
         };
         let constraints = tiny_constraints(&w);
         group.bench_function(format!("TPC-H/rows={}", w.main_relation_size()), |b| {
-            b.iter(|| run_engine(&w, &constraints, 0.5, DistanceMeasure::Predicate, OptimizationConfig::all(), "size"))
+            b.iter(|| {
+                run_engine(
+                    &w,
+                    &constraints,
+                    0.5,
+                    DistanceMeasure::Predicate,
+                    OptimizationConfig::all(),
+                    "size",
+                )
+            })
         });
     }
     group.finish();

@@ -9,7 +9,10 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9_predicates");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
     let w = tiny_workload(DatasetId::Astronauts);
     let constraints = tiny_constraints(&w);
 
@@ -19,9 +22,22 @@ fn bench(c: &mut Criterion) {
     num_only.categorical_predicates.clear();
 
     for (label, query) in [("categorical-only", cat_only), ("numerical-only", num_only)] {
-        let variant = Workload { id: w.id, db: w.db.clone(), query };
+        let variant = Workload {
+            id: w.id,
+            db: w.db.clone(),
+            query,
+        };
         group.bench_function(format!("Astronauts/{label}"), |b| {
-            b.iter(|| run_engine(&variant, &constraints, 0.5, DistanceMeasure::Predicate, OptimizationConfig::all(), label))
+            b.iter(|| {
+                run_engine(
+                    &variant,
+                    &constraints,
+                    0.5,
+                    DistanceMeasure::Predicate,
+                    OptimizationConfig::all(),
+                    label,
+                )
+            })
         });
     }
     group.finish();

@@ -13,7 +13,10 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrates");
-    group.sample_size(30).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
 
     // Relational engine: Q5-style three-way natural join + ranking.
     let tpch = tiny_workload(DatasetId::Tpch);

@@ -11,7 +11,7 @@
 //! total seconds, and the refinement found (distance/deviation). Shapes —
 //! which algorithm wins, how runtime scales with each parameter — correspond
 //! to the paper's Figures 3–9; absolute times differ because the MILP solver
-//! is the from-scratch `qr-milp` rather than CPLEX (see DESIGN.md).
+//! is the from-scratch `qr-milp` rather than CPLEX (see the README).
 
 use qr_bench::{
     bench_workloads, experiment_workloads, run_engine, run_naive, ExperimentRow, DEFAULT_EPSILON,
@@ -27,12 +27,19 @@ use std::time::Duration;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let which: Vec<&str> =
-        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
     let run_all = which.is_empty() || which.contains(&"all");
     let selected = |name: &str| run_all || which.contains(&name);
 
-    let workloads = if quick { bench_workloads() } else { experiment_workloads() };
+    let workloads = if quick {
+        bench_workloads()
+    } else {
+        experiment_workloads()
+    };
     println!(
         "# workloads: {}",
         workloads
@@ -73,13 +80,19 @@ fn distances(quick: bool) -> Vec<DistanceMeasure> {
     if quick {
         vec![DistanceMeasure::Predicate]
     } else {
-        vec![DistanceMeasure::JaccardTopK, DistanceMeasure::Predicate, DistanceMeasure::KendallTopK]
+        vec![
+            DistanceMeasure::JaccardTopK,
+            DistanceMeasure::Predicate,
+            DistanceMeasure::KendallTopK,
+        ]
     }
 }
 
 /// Figure 3: running time of MILP, MILP+opt, Naive and Naive+prov.
 fn fig3(workloads: &[Workload], quick: bool) {
-    println!("# Figure 3: compared algorithms (k*={DEFAULT_K}, eps={DEFAULT_EPSILON}, constraint (1))");
+    println!(
+        "# Figure 3: compared algorithms (k*={DEFAULT_K}, eps={DEFAULT_EPSILON}, constraint (1))"
+    );
     let naive_budget = Duration::from_secs(if quick { 5 } else { 30 });
     for w in workloads {
         let constraints = w.default_constraints(DEFAULT_K);
@@ -91,7 +104,14 @@ fn fig3(workloads: &[Workload], quick: bool) {
                 if quick && config == OptimizationConfig::none() && w.id != DatasetId::Astronauts {
                     continue;
                 }
-                let row = run_engine(w, &constraints, DEFAULT_EPSILON, distance, config, "default");
+                let row = run_engine(
+                    w,
+                    &constraints,
+                    DEFAULT_EPSILON,
+                    distance,
+                    config,
+                    "default",
+                );
                 println!("{}", row.render());
             }
             for mode in [NaiveMode::Provenance, NaiveMode::Database] {
@@ -113,7 +133,11 @@ fn fig3(workloads: &[Workload], quick: bool) {
 /// Figure 4: effect of k*.
 fn fig4(workloads: &[Workload], quick: bool) {
     println!("# Figure 4: effect of k*");
-    let ks: Vec<usize> = if quick { vec![10, 30] } else { vec![10, 30, 50, 70, 90] };
+    let ks: Vec<usize> = if quick {
+        vec![10, 30]
+    } else {
+        vec![10, 30, 50, 70, 90]
+    };
     for w in workloads {
         for &k in &ks {
             let constraints = w.default_constraints(k);
@@ -135,7 +159,11 @@ fn fig4(workloads: &[Workload], quick: bool) {
 /// Figure 5: effect of the maximum deviation ε.
 fn fig5(workloads: &[Workload], quick: bool) {
     println!("# Figure 5: effect of the maximum deviation");
-    let epsilons: Vec<f64> = if quick { vec![0.0, 1.0] } else { vec![0.0, 0.25, 0.5, 0.75, 1.0] };
+    let epsilons: Vec<f64> = if quick {
+        vec![0.0, 1.0]
+    } else {
+        vec![0.0, 0.25, 0.5, 0.75, 1.0]
+    };
     for w in workloads {
         let constraints = w.default_constraints(DEFAULT_K);
         for &eps in &epsilons {
@@ -157,7 +185,11 @@ fn fig5(workloads: &[Workload], quick: bool) {
 /// Figure 6: effect of the number of constraints.
 fn fig6(workloads: &[Workload], quick: bool) {
     println!("# Figure 6: effect of the number of constraints");
-    let counts: Vec<usize> = if quick { vec![1, 3] } else { vec![1, 2, 3, 4, 5] };
+    let counts: Vec<usize> = if quick {
+        vec![1, 3]
+    } else {
+        vec![1, 2, 3, 4, 5]
+    };
     for w in workloads {
         for &count in &counts {
             let constraints = w.constraint_prefix(count, DEFAULT_K);
@@ -180,9 +212,10 @@ fn fig6(workloads: &[Workload], quick: bool) {
 fn fig7(workloads: &[Workload]) {
     println!("# Figure 7: constraint types (single-bound relaxation)");
     for w in workloads {
-        for (label, constraints) in
-            [("lower-bound", w.lower_bound_pair(DEFAULT_K)), ("combined", w.mixed_pair(DEFAULT_K))]
-        {
+        for (label, constraints) in [
+            ("lower-bound", w.lower_bound_pair(DEFAULT_K)),
+            ("combined", w.mixed_pair(DEFAULT_K)),
+        ] {
             let row = run_engine(
                 w,
                 &constraints,
@@ -236,7 +269,11 @@ fn fig9(workloads: &[Workload]) {
         let mut num_only = w.query.clone();
         num_only.categorical_predicates.clear();
         for (label, query) in [("categorical-only", cat_only), ("numerical-only", num_only)] {
-            let variant = Workload { id: w.id, db: w.db.clone(), query };
+            let variant = Workload {
+                id: w.id,
+                db: w.db.clone(),
+                query,
+            };
             let row = run_engine(
                 &variant,
                 &constraints,
@@ -253,7 +290,11 @@ fn fig9(workloads: &[Workload]) {
 /// Section 5.3: comparison with the Erica-style whole-output baseline.
 fn erica_comparison(quick: bool) {
     println!("# Section 5.3: comparison with Erica (Law Students, l[Sex=F] over the top-k, eps=0)");
-    let size = if quick { 400 } else { qr_datagen::workload::default_sizes::LAW_STUDENTS };
+    let size = if quick {
+        400
+    } else {
+        qr_datagen::workload::default_sizes::LAW_STUDENTS
+    };
     let w = Workload::law_students(size, SEED);
     // The comparison query relaxes Q_L's GPA lower bound to 3.0, as in the paper.
     let mut query = w.query.clone();
@@ -262,12 +303,18 @@ fn erica_comparison(quick: bool) {
             p.constant = 3.0;
         }
     }
-    let comparison = Workload { id: w.id, db: w.db.clone(), query };
+    let comparison = Workload {
+        id: w.id,
+        db: w.db.clone(),
+        query,
+    };
     let k = if quick { 20 } else { 50 };
     let n = k / 2;
-    let constraints = qr_core::ConstraintSet::new().with(
-        qr_core::CardinalityConstraint::at_least(Group::single("Sex", "F"), k, n),
-    );
+    let constraints = qr_core::ConstraintSet::new().with(qr_core::CardinalityConstraint::at_least(
+        Group::single("Sex", "F"),
+        k,
+        n,
+    ));
     let row = run_engine(
         &comparison,
         &constraints,
@@ -282,7 +329,11 @@ fn erica_comparison(quick: bool) {
     let erica = erica_refine(
         &comparison.db,
         &comparison.query,
-        &[OutputConstraint { group: Group::single("Sex", "F"), bound: BoundType::Lower, n }],
+        &[OutputConstraint {
+            group: Group::single("Sex", "F"),
+            bound: BoundType::Lower,
+            n,
+        }],
         k,
     )
     .expect("erica baseline runs");

@@ -127,9 +127,20 @@ pub fn run_naive(
     budget: Duration,
     parameter: impl Into<String>,
 ) -> ExperimentRow {
-    let options = NaiveOptions { mode, time_limit: Some(budget), ..NaiveOptions::default() };
-    let result = naive_search(&workload.db, &workload.query, constraints, epsilon, distance, &options)
-        .expect("naive search does not error");
+    let options = NaiveOptions {
+        mode,
+        time_limit: Some(budget),
+        ..NaiveOptions::default()
+    };
+    let result = naive_search(
+        &workload.db,
+        &workload.query,
+        constraints,
+        epsilon,
+        distance,
+        &options,
+    )
+    .expect("naive search does not error");
     let (refined, dist, dev) = match &result.best {
         Some((_, d, dev)) => (true, *d, *dev),
         None => (false, f64::NAN, f64::NAN),

@@ -15,7 +15,9 @@ pub struct Group {
 impl Group {
     /// A group defined by a single `attribute = value` condition.
     pub fn single(attribute: impl Into<String>, value: impl Into<Value>) -> Self {
-        Group { conditions: vec![(attribute.into(), value.into())] }
+        Group {
+            conditions: vec![(attribute.into(), value.into())],
+        }
     }
 
     /// A group defined by a conjunction of conditions.
@@ -26,7 +28,10 @@ impl Group {
         V: Into<Value>,
     {
         Group {
-            conditions: conditions.into_iter().map(|(a, v)| (a.into(), v.into())).collect(),
+            conditions: conditions
+                .into_iter()
+                .map(|(a, v)| (a.into(), v.into()))
+                .collect(),
         }
     }
 
@@ -38,7 +43,10 @@ impl Group {
     /// Whether a row (with the given schema) belongs to the group.
     pub fn matches(&self, schema: &Schema, row: &Row) -> bool {
         self.conditions.iter().all(|(attr, value)| {
-            schema.index_of(attr).map(|i| &row[i] == value).unwrap_or(false)
+            schema
+                .index_of(attr)
+                .map(|i| &row[i] == value)
+                .unwrap_or(false)
         })
     }
 
@@ -52,7 +60,9 @@ impl Group {
             }
         }
         if self.conditions.is_empty() {
-            return Err(CoreError::InvalidConstraint("group has no conditions".into()));
+            return Err(CoreError::InvalidConstraint(
+                "group has no conditions".into(),
+            ));
         }
         Ok(())
     }
@@ -60,8 +70,11 @@ impl Group {
 
 impl fmt::Display for Group {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let parts: Vec<String> =
-            self.conditions.iter().map(|(a, v)| format!("{a}={v}")).collect();
+        let parts: Vec<String> = self
+            .conditions
+            .iter()
+            .map(|(a, v)| format!("{a}={v}"))
+            .collect();
         write!(f, "{}", parts.join(" ∧ "))
     }
 }
@@ -101,16 +114,33 @@ pub struct CardinalityConstraint {
 impl CardinalityConstraint {
     /// `ℓ_{G,k} = n`: at least `n` members of `G` in the top-`k`.
     pub fn at_least(group: Group, k: usize, n: usize) -> Self {
-        CardinalityConstraint { group, k, bound: BoundType::Lower, n }
+        CardinalityConstraint {
+            group,
+            k,
+            bound: BoundType::Lower,
+            n,
+        }
     }
 
     /// `𝓊_{G,k} = n`: at most `n` members of `G` in the top-`k`.
     pub fn at_most(group: Group, k: usize, n: usize) -> Self {
-        CardinalityConstraint { group, k, bound: BoundType::Upper, n }
+        CardinalityConstraint {
+            group,
+            k,
+            bound: BoundType::Upper,
+            n,
+        }
     }
 
     /// The per-constraint deviation term of Definition 2.6, given the number
     /// of group members observed in the top-`k`.
+    ///
+    /// The term is the violation normalised by the bound `n` and clamped to
+    /// `[0, 1]`, so a fully missed bound counts as a deviation of 1 no matter
+    /// how large the raw violation is. (The MILP of Section 3 budgets the
+    /// *unclamped* violation against ε, which is strictly tighter, so a
+    /// solution accepted by the solver always satisfies the clamped budget
+    /// reported here.)
     pub fn deviation(&self, observed: usize) -> f64 {
         if self.n == 0 {
             // A zero bound cannot be normalised; an upper bound of zero is
@@ -127,7 +157,7 @@ impl CardinalityConstraint {
             };
         }
         let diff = self.bound.sign() * (self.n as f64 - observed as f64);
-        diff.max(0.0) / self.n as f64
+        (diff.max(0.0) / self.n as f64).min(1.0)
     }
 
     /// Whether the constraint is exactly satisfied by the observed count.
@@ -208,12 +238,16 @@ impl ConstraintSet {
     /// Validate the constraint set against the annotated relation's schema.
     pub fn validate(&self, annotated: &AnnotatedRelation) -> Result<()> {
         if self.constraints.is_empty() {
-            return Err(CoreError::InvalidConstraint("constraint set is empty".into()));
+            return Err(CoreError::InvalidConstraint(
+                "constraint set is empty".into(),
+            ));
         }
         for c in &self.constraints {
             c.group.validate(annotated.schema())?;
             if c.k == 0 {
-                return Err(CoreError::InvalidConstraint(format!("constraint `{c}` has k = 0")));
+                return Err(CoreError::InvalidConstraint(format!(
+                    "constraint `{c}` has k = 0"
+                )));
             }
             if c.n > c.k {
                 return Err(CoreError::InvalidConstraint(format!(
@@ -254,7 +288,10 @@ impl ConstraintSet {
                 ranked_output
                     .iter()
                     .take(c.k)
-                    .filter(|&&i| c.group.matches(annotated.schema(), &annotated.tuples()[i].row))
+                    .filter(|&&i| {
+                        c.group
+                            .matches(annotated.schema(), &annotated.tuples()[i].row)
+                    })
                     .count()
             })
             .collect()
@@ -308,7 +345,9 @@ mod tests {
         let g = Group::single("Race", "White");
         assert!(!g.matches(&s, &vec!["F".into(), "Low".into(), 1500.into()]));
         assert!(g.validate(&s).is_err());
-        assert!(Group::conjunction(Vec::<(&str, &str)>::new()).validate(&s).is_err());
+        assert!(Group::conjunction(Vec::<(&str, &str)>::new())
+            .validate(&s)
+            .is_err());
     }
 
     #[test]
@@ -346,8 +385,16 @@ mod tests {
     #[test]
     fn constraint_set_aggregation() {
         let set = ConstraintSet::new()
-            .with(CardinalityConstraint::at_least(Group::single("Gender", "F"), 6, 3))
-            .with(CardinalityConstraint::at_most(Group::single("Income", "High"), 3, 1));
+            .with(CardinalityConstraint::at_least(
+                Group::single("Gender", "F"),
+                6,
+                3,
+            ))
+            .with(CardinalityConstraint::at_most(
+                Group::single("Income", "High"),
+                3,
+                1,
+            ));
         assert_eq!(set.len(), 2);
         assert_eq!(set.k_star(), 6);
         assert!(set.has_mixed_bounds());
@@ -361,8 +408,16 @@ mod tests {
     #[test]
     fn lower_only_set_has_no_mixed_bounds() {
         let set = ConstraintSet::new()
-            .with(CardinalityConstraint::at_least(Group::single("Gender", "F"), 6, 3))
-            .with(CardinalityConstraint::at_least(Group::single("Gender", "M"), 6, 3));
+            .with(CardinalityConstraint::at_least(
+                Group::single("Gender", "F"),
+                6,
+                3,
+            ))
+            .with(CardinalityConstraint::at_least(
+                Group::single("Gender", "M"),
+                6,
+                3,
+            ));
         assert!(!set.has_mixed_bounds());
     }
 

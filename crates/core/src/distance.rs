@@ -41,7 +41,11 @@ impl DistanceMeasure {
 
     /// All measures, in the order used by the paper's figures.
     pub fn all() -> [DistanceMeasure; 3] {
-        [DistanceMeasure::JaccardTopK, DistanceMeasure::Predicate, DistanceMeasure::KendallTopK]
+        [
+            DistanceMeasure::JaccardTopK,
+            DistanceMeasure::Predicate,
+            DistanceMeasure::KendallTopK,
+        ]
     }
 
     /// Whether the measure needs the query outputs (and hence rank/top-k
@@ -63,12 +67,19 @@ pub fn predicate_distance(query: &SpjQuery, refinement: &PredicateAssignment) ->
             .get(&(p.attribute.clone(), p.op))
             .copied()
             .unwrap_or(p.constant);
-        let denominator = if p.constant.abs() < f64::EPSILON { 1.0 } else { p.constant.abs() };
+        let denominator = if p.constant.abs() < f64::EPSILON {
+            1.0
+        } else {
+            p.constant.abs()
+        };
         total += (p.constant - refined).abs() / denominator;
     }
     for p in &query.categorical_predicates {
-        let refined: BTreeSet<String> =
-            refinement.categorical.get(&p.attribute).cloned().unwrap_or_else(|| p.values.clone());
+        let refined: BTreeSet<String> = refinement
+            .categorical
+            .get(&p.attribute)
+            .cloned()
+            .unwrap_or_else(|| p.values.clone());
         total += p.jaccard_distance(&refined);
     }
     total
@@ -140,7 +151,10 @@ pub fn kendall_topk_distance<T: Ord>(original: &[T], refined: &[T]) -> f64 {
     }
 
     // Case 3: one item only in the original, the other only in the refined list.
-    let only_original = original.iter().filter(|t| !refined_set.contains(*t)).count();
+    let only_original = original
+        .iter()
+        .filter(|t| !refined_set.contains(*t))
+        .count();
     let only_refined = refined.iter().filter(|t| !orig_set.contains(*t)).count();
     penalty += only_original * only_refined;
 
@@ -169,13 +183,19 @@ mod tests {
         let q = scholarship_query();
         // Q': Activity in {RB, SO}, GPA unchanged -> distance 0.5.
         let mut r1 = PredicateAssignment::from_query(&q);
-        r1.categorical.get_mut("Activity").unwrap().insert("SO".into());
+        r1.categorical
+            .get_mut("Activity")
+            .unwrap()
+            .insert("SO".into());
         assert!((predicate_distance(&q, &r1) - 0.5).abs() < 1e-9);
 
         // Q'': GPA -> 3.6, Activity in {RB, GD} -> 0.1/3.7 + 0.5 ≈ 0.527.
         let mut r2 = PredicateAssignment::from_query(&q);
         *r2.numeric.get_mut(&("GPA".into(), CmpOp::Ge)).unwrap() = 3.6;
-        r2.categorical.get_mut("Activity").unwrap().insert("GD".into());
+        r2.categorical
+            .get_mut("Activity")
+            .unwrap()
+            .insert("GD".into());
         let expected = (3.7 - 3.6) / 3.7 + 0.5;
         assert!((predicate_distance(&q, &r2) - expected).abs() < 1e-9);
         assert!(predicate_distance(&q, &r1) < predicate_distance(&q, &r2));

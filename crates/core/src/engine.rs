@@ -68,6 +68,7 @@ pub struct RefinedQuery {
 
 /// Outcome of a refinement run.
 #[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // the Refined payload is the common case
 pub enum RefinementOutcome {
     /// A refinement within the maximum deviation was found.
     Refined(RefinedQuery),
@@ -206,6 +207,28 @@ impl<'a> RefinementEngine<'a> {
             ..RefinementStats::default()
         };
 
+        // Exact fast path: if the original query already deviates by at most
+        // ε (and its output is long enough for the top-k* constraints to
+        // apply, matching the model's `min_output_size` row), it is itself
+        // the optimal refinement — every distance measure is zero on the
+        // identity refinement and non-negative elsewhere (Definition 2.7), so
+        // no search can do better.
+        let original = PredicateAssignment::from_query(&self.query);
+        let original_output = evaluate_refinement(&annotated, &original);
+        let original_deviation = self
+            .constraints
+            .deviation_of_output(&annotated, &original_output.selected);
+        if original_output.selected.len() >= built.k_star
+            && original_deviation <= self.epsilon + 1e-9
+        {
+            let refined = self.describe(&annotated, &built, original, 0.0, SolveStatus::Optimal);
+            stats.total_time = start.elapsed();
+            return Ok(RefinementResult {
+                outcome: RefinementOutcome::Refined(refined),
+                stats,
+            });
+        }
+
         // Solve.
         let solver = Solver::new(self.solver_options.clone());
         let solution = solver.solve(&built.model)?;
@@ -217,14 +240,21 @@ impl<'a> RefinementEngine<'a> {
         let outcome = match solution.status {
             SolveStatus::Optimal | SolveStatus::Feasible => {
                 let assignment = built.extract_assignment(&solution.values);
-                let refined =
-                    self.describe(&annotated, &built, assignment, solution.objective, solution.status);
+                let refined = self.describe(
+                    &annotated,
+                    &built,
+                    assignment,
+                    solution.objective,
+                    solution.status,
+                );
                 RefinementOutcome::Refined(refined)
             }
-            SolveStatus::Infeasible | SolveStatus::Unbounded => {
-                RefinementOutcome::NoRefinement { proven_infeasible: true }
-            }
-            SolveStatus::LimitReached => RefinementOutcome::NoRefinement { proven_infeasible: false },
+            SolveStatus::Infeasible | SolveStatus::Unbounded => RefinementOutcome::NoRefinement {
+                proven_infeasible: true,
+            },
+            SolveStatus::LimitReached => RefinementOutcome::NoRefinement {
+                proven_infeasible: false,
+            },
         };
 
         Ok(RefinementResult { outcome, stats })
@@ -241,7 +271,9 @@ impl<'a> RefinementEngine<'a> {
     ) -> RefinedQuery {
         let refined_query = assignment.apply_to(&self.query);
         let output = evaluate_refinement(annotated, &assignment);
-        let deviation = self.constraints.deviation_of_output(annotated, &output.selected);
+        let deviation = self
+            .constraints
+            .deviation_of_output(annotated, &output.selected);
         let distance = exact_distance(
             self.distance,
             annotated,
@@ -284,10 +316,16 @@ pub fn exact_distance(
         DistanceMeasure::JaccardTopK | DistanceMeasure::KendallTopK => {
             let original = evaluate_refinement(annotated, &PredicateAssignment::from_query(query));
             let refined = evaluate_refinement(annotated, assignment);
-            let orig_keys: Vec<Vec<Value>> =
-                original.top_k(k_star).iter().map(|&t| identity_key(annotated, t)).collect();
-            let refined_keys: Vec<Vec<Value>> =
-                refined.top_k(k_star).iter().map(|&t| identity_key(annotated, t)).collect();
+            let orig_keys: Vec<Vec<Value>> = original
+                .top_k(k_star)
+                .iter()
+                .map(|&t| identity_key(annotated, t))
+                .collect();
+            let refined_keys: Vec<Vec<Value>> = refined
+                .top_k(k_star)
+                .iter()
+                .map(|&t| identity_key(annotated, t))
+                .collect();
             match measure {
                 DistanceMeasure::JaccardTopK => jaccard_topk_distance(&orig_keys, &refined_keys),
                 _ => kendall_topk_distance(&orig_keys, &refined_keys),
@@ -303,7 +341,10 @@ pub fn exact_deviation(
     assignment: &PredicateAssignment,
 ) -> (f64, RankedOutput) {
     let output = evaluate_refinement(annotated, assignment);
-    (constraints.deviation_of_output(annotated, &output.selected), output)
+    (
+        constraints.deviation_of_output(annotated, &output.selected),
+        output,
+    )
 }
 
 #[cfg(test)]
@@ -376,15 +417,26 @@ mod tests {
         // Under DIS_Jaccard at k*=3 (only the high-income constraint), the
         // Example 1.3 style refinement keeps more of the original top-3 than
         // the Example 1.2 one (cf. Example 2.3).
-        let constraints = ConstraintSet::new()
-            .with(CardinalityConstraint::at_most(Group::single("Income", "High"), 3, 1));
-        let result =
-            solve_paper(DistanceMeasure::JaccardTopK, 0.0, constraints, OptimizationConfig::all());
+        let constraints = ConstraintSet::new().with(CardinalityConstraint::at_most(
+            Group::single("Income", "High"),
+            3,
+            1,
+        ));
+        let result = solve_paper(
+            DistanceMeasure::JaccardTopK,
+            0.0,
+            constraints,
+            OptimizationConfig::all(),
+        );
         let refined = result.outcome.refined().expect("a refinement exists");
         assert_eq!(refined.deviation, 0.0);
         // The original top-3 is {t4, t7, t8} with two high-income students; a
         // best refinement keeps 2 of 3 originals (Jaccard distance 0.5).
-        assert!(refined.distance <= 0.5 + 1e-6, "distance {}", refined.distance);
+        assert!(
+            refined.distance <= 0.5 + 1e-6,
+            "distance {}",
+            refined.distance
+        );
     }
 
     #[test]
@@ -415,14 +467,20 @@ mod tests {
             .build()
             .unwrap();
         let result = RefinementEngine::new(&db, query)
-            .with_constraint(CardinalityConstraint::at_least(Group::single("X", "B"), 3, 2))
+            .with_constraint(CardinalityConstraint::at_least(
+                Group::single("X", "B"),
+                3,
+                2,
+            ))
             .with_epsilon(0.0)
             .with_distance(DistanceMeasure::Predicate)
             .solve()
             .unwrap();
         assert!(matches!(
             result.outcome,
-            RefinementOutcome::NoRefinement { proven_infeasible: true }
+            RefinementOutcome::NoRefinement {
+                proven_infeasible: true
+            }
         ));
         // With ε = 0.5 a best-approximation refinement (1 of 2 required B
         // tuples, deviation 0.5) is returned instead.
@@ -433,12 +491,19 @@ mod tests {
             .build()
             .unwrap();
         let result = RefinementEngine::new(&db2, query2)
-            .with_constraint(CardinalityConstraint::at_least(Group::single("X", "B"), 3, 2))
+            .with_constraint(CardinalityConstraint::at_least(
+                Group::single("X", "B"),
+                3,
+                2,
+            ))
             .with_epsilon(0.5)
             .with_distance(DistanceMeasure::Predicate)
             .solve()
             .unwrap();
-        let refined = result.outcome.refined().expect("approximate refinement exists");
+        let refined = result
+            .outcome
+            .refined()
+            .expect("approximate refinement exists");
         assert!(refined.deviation <= 0.5 + 1e-9);
     }
 
@@ -463,11 +528,21 @@ mod tests {
     fn original_query_already_satisfying_gives_zero_distance() {
         // A trivial constraint the original query already satisfies: at least
         // one high-income student in the top-6.
-        let constraints = ConstraintSet::new()
-            .with(CardinalityConstraint::at_least(Group::single("Income", "High"), 6, 1));
-        let result =
-            solve_paper(DistanceMeasure::Predicate, 0.0, constraints, OptimizationConfig::all());
-        let refined = result.outcome.refined().expect("the original query qualifies");
+        let constraints = ConstraintSet::new().with(CardinalityConstraint::at_least(
+            Group::single("Income", "High"),
+            6,
+            1,
+        ));
+        let result = solve_paper(
+            DistanceMeasure::Predicate,
+            0.0,
+            constraints,
+            OptimizationConfig::all(),
+        );
+        let refined = result
+            .outcome
+            .refined()
+            .expect("the original query qualifies");
         assert!(refined.distance < 1e-9, "distance {}", refined.distance);
         assert_eq!(refined.deviation, 0.0);
     }
@@ -495,7 +570,10 @@ mod tests {
             assert_eq!(exact_distance(m, &annotated, &query, &identity, 6), 0.0);
         }
         let (dev, output) = exact_deviation(&annotated, &scholarship_constraints(), &identity);
-        assert!(dev > 0.0, "the original scholarship query violates the constraints");
+        assert!(
+            dev > 0.0,
+            "the original scholarship query violates the constraints"
+        );
         assert_eq!(output.top_k(6).len(), 6);
     }
 }

@@ -47,12 +47,32 @@ pub struct EricaResult {
 }
 
 /// Refine `query` so that every output constraint holds over an output of
-/// exactly `output_size` tuples, minimising the predicate distance.
+/// exactly `output_size` tuples, minimising the predicate distance. Uses the
+/// default [`SolverOptions`]; see [`erica_refine_with`] to bound the search.
 pub fn erica_refine(
     db: &Database,
     query: &SpjQuery,
     constraints: &[OutputConstraint],
     output_size: usize,
+) -> Result<EricaResult> {
+    erica_refine_with(
+        db,
+        query,
+        constraints,
+        output_size,
+        SolverOptions::default(),
+    )
+}
+
+/// [`erica_refine`] with explicit solver options (time/node limits). With a
+/// tight limit the result may be a feasible-but-unproven refinement, or
+/// `None` when no incumbent was found in time.
+pub fn erica_refine_with(
+    db: &Database,
+    query: &SpjQuery,
+    constraints: &[OutputConstraint],
+    output_size: usize,
+    solver_options: SolverOptions,
 ) -> Result<EricaResult> {
     let start = Instant::now();
     let annotated = AnnotatedRelation::build(db, query)?;
@@ -86,7 +106,9 @@ pub fn erica_refine(
             })
             .collect(),
     );
-    let BuiltModel { mut model, vars, .. } = build_model(
+    let BuiltModel {
+        mut model, vars, ..
+    } = build_model(
         &annotated,
         &card_constraints,
         0.0,
@@ -106,13 +128,20 @@ pub fn erica_refine(
     for &t in &vars.scope {
         size_expr.add_term(vars.selection[&t], 1.0);
     }
-    model.add_constraint("erica_output_size", size_expr, Sense::Eq, output_size as f64);
+    model.add_constraint(
+        "erica_output_size",
+        size_expr,
+        Sense::Eq,
+        output_size as f64,
+    );
 
     // Whole-output group constraints over the selection variables.
     for (idx, c) in constraints.iter().enumerate() {
         let mut expr = LinExpr::zero();
         for &t in &vars.scope {
-            if c.group.matches(annotated.schema(), &annotated.tuples()[t].row) {
+            if c.group
+                .matches(annotated.schema(), &annotated.tuples()[t].row)
+            {
                 expr.add_term(vars.selection[&t], 1.0);
             }
         }
@@ -134,14 +163,18 @@ pub fn erica_refine(
         ..RefinementStats::default()
     };
 
-    let solution = Solver::new(SolverOptions::default()).solve(&model)?;
+    let solution = Solver::new(solver_options).solve(&model)?;
     stats.solver_time = solution.stats.solve_time;
     stats.nodes = solution.stats.nodes;
     stats.lp_solves = solution.stats.lp_solves;
     stats.total_time = start.elapsed();
 
     let best = if solution.status.has_solution() {
-        let built = BuiltModel { model, vars, k_star: output_size };
+        let built = BuiltModel {
+            model,
+            vars,
+            k_star: output_size,
+        };
         let assignment = built.extract_assignment(&solution.values);
         let distance = predicate_distance(query, &assignment);
         Some((assignment, distance))
@@ -169,7 +202,10 @@ pub fn satisfies_output_constraints(
         let count = output
             .selected
             .iter()
-            .filter(|&&t| c.group.matches(annotated.schema(), &annotated.tuples()[t].row))
+            .filter(|&&t| {
+                c.group
+                    .matches(annotated.schema(), &annotated.tuples()[t].row)
+            })
             .count();
         match c.bound {
             BoundType::Lower => count >= c.n,
@@ -197,8 +233,16 @@ mod tests {
         let result = erica_refine(&db, &query, &constraints, 8).unwrap();
         let (assignment, distance) = result.best.expect("a refinement exists");
         let annotated = AnnotatedRelation::build(&db, &query).unwrap();
-        assert!(satisfies_output_constraints(&annotated, &assignment, &constraints, 8));
-        assert!(distance > 0.0, "the original query returns 7 tuples, so it must be refined");
+        assert!(satisfies_output_constraints(
+            &annotated,
+            &assignment,
+            &constraints,
+            8
+        ));
+        assert!(
+            distance > 0.0,
+            "the original query returns 7 tuples, so it must be refined"
+        );
     }
 
     #[test]

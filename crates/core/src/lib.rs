@@ -64,7 +64,7 @@ pub use engine::{
     exact_deviation, exact_distance, RefinedQuery, RefinementEngine, RefinementOutcome,
     RefinementResult, RefinementStats,
 };
-pub use erica::{erica_refine, EricaResult, OutputConstraint};
+pub use erica::{erica_refine, erica_refine_with, EricaResult, OutputConstraint};
 pub use error::{CoreError, Result};
 pub use milp_model::{build_model, BuiltModel, ModelVariables};
 pub use naive::{naive_search, NaiveMode, NaiveOptions, NaiveResult};
@@ -77,7 +77,7 @@ pub mod prelude {
     pub use crate::engine::{
         RefinedQuery, RefinementEngine, RefinementOutcome, RefinementResult, RefinementStats,
     };
-    pub use crate::erica::{erica_refine, OutputConstraint};
+    pub use crate::erica::{erica_refine, erica_refine_with, OutputConstraint};
     pub use crate::error::{CoreError, Result as CoreResult};
     pub use crate::naive::{naive_search, NaiveMode, NaiveOptions};
     pub use crate::optimize::OptimizationConfig;

@@ -121,7 +121,10 @@ impl BuiltModel {
             numeric.insert(key.clone(), constant);
         }
 
-        PredicateAssignment { categorical, numeric }
+        PredicateAssignment {
+            categorical,
+            numeric,
+        }
     }
 }
 
@@ -137,7 +140,11 @@ fn snap_constant(
 ) -> f64 {
     let min = |xs: &[f64]| xs.iter().copied().fold(f64::INFINITY, f64::min);
     let max = |xs: &[f64]| xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let span = if domain.is_empty() { 1.0 } else { (max(domain) - min(domain)).abs().max(1.0) };
+    let span = if domain.is_empty() {
+        1.0
+    } else {
+        (max(domain) - min(domain)).abs().max(1.0)
+    };
     match op {
         CmpOp::Ge => {
             if selected.is_empty() {
@@ -152,7 +159,11 @@ fn snap_constant(
             } else {
                 // Largest unselected value strictly below the selection, if any.
                 let low = min(selected);
-                unselected.iter().copied().filter(|v| *v < low).fold(f64::NEG_INFINITY, f64::max)
+                unselected
+                    .iter()
+                    .copied()
+                    .filter(|v| *v < low)
+                    .fold(f64::NEG_INFINITY, f64::max)
                     .max(low - span)
             }
         }
@@ -168,7 +179,11 @@ fn snap_constant(
                 min(domain) - span
             } else {
                 let high = max(selected);
-                unselected.iter().copied().filter(|v| *v > high).fold(f64::INFINITY, f64::min)
+                unselected
+                    .iter()
+                    .copied()
+                    .filter(|v| *v > high)
+                    .fold(f64::INFINITY, f64::min)
                     .min(high + span)
             }
         }
@@ -191,7 +206,9 @@ pub fn build_model(
     config: &OptimizationConfig,
 ) -> Result<BuiltModel> {
     if epsilon < 0.0 {
-        return Err(CoreError::InvalidInput("maximum deviation ε must be non-negative".into()));
+        return Err(CoreError::InvalidInput(
+            "maximum deviation ε must be non-negative".into(),
+        ));
     }
     constraints.validate(annotated)?;
     let query = annotated.query().clone();
@@ -250,7 +267,8 @@ pub fn build_model(
         for value in domain {
             let var = model.add_binary(format!("cat[{}={}]", pred.attribute, value));
             model.set_branch_priority(var, PRIORITY_CATEGORICAL);
-            vars.categorical.insert((pred.attribute.clone(), value), var);
+            vars.categorical
+                .insert((pred.attribute.clone(), value), var);
         }
     }
 
@@ -269,7 +287,7 @@ pub fn build_model(
             model.add_continuous(format!("C[{} {}]", pred.attribute, pred.op), lo, hi);
         vars.numeric_constant.insert(key.clone(), constant_var);
 
-        let delta = (annotated.min_gap(&pred.attribute)? / 2.0).min(1.0).max(1e-6);
+        let delta = (annotated.min_gap(&pred.attribute)? / 2.0).clamp(1e-6, 1.0);
         let big_m = (hi - lo) + hi.abs().max(lo.abs()) + 1.0;
         let mut indicator_vars = Vec::with_capacity(domain.len());
         for &v in &domain {
@@ -278,17 +296,49 @@ pub fn build_model(
             indicator_vars.push(ind);
             match pred.op {
                 CmpOp::Ge | CmpOp::Gt => {
-                    add_lower_bound_indicator(&mut model, constant_var, ind, v, big_m, delta, pred.op);
+                    add_lower_bound_indicator(
+                        &mut model,
+                        constant_var,
+                        ind,
+                        v,
+                        big_m,
+                        delta,
+                        pred.op,
+                    );
                 }
                 CmpOp::Le | CmpOp::Lt => {
-                    add_upper_bound_indicator(&mut model, constant_var, ind, v, big_m, delta, pred.op);
+                    add_upper_bound_indicator(
+                        &mut model,
+                        constant_var,
+                        ind,
+                        v,
+                        big_m,
+                        delta,
+                        pred.op,
+                    );
                 }
                 CmpOp::Eq => {
                     // A_{v,=} = (v >= C) AND (v <= C), via two auxiliary indicators.
                     let ge = model.add_binary(format!("ind_ge[{} = | v={v}]", pred.attribute));
                     let le = model.add_binary(format!("ind_le[{} = | v={v}]", pred.attribute));
-                    add_lower_bound_indicator(&mut model, constant_var, ge, v, big_m, delta, CmpOp::Ge);
-                    add_upper_bound_indicator(&mut model, constant_var, le, v, big_m, delta, CmpOp::Le);
+                    add_lower_bound_indicator(
+                        &mut model,
+                        constant_var,
+                        ge,
+                        v,
+                        big_m,
+                        delta,
+                        CmpOp::Ge,
+                    );
+                    add_upper_bound_indicator(
+                        &mut model,
+                        constant_var,
+                        le,
+                        v,
+                        big_m,
+                        delta,
+                        CmpOp::Le,
+                    );
                     model.add_constraint(
                         format!("eq_and_a[{v}]"),
                         LinExpr::term(ind, 1.0) - LinExpr::term(ge, 1.0),
@@ -323,10 +373,15 @@ pub fn build_model(
     // Helper that maps a lineage atom to its predicate variable.
     let atom_var = |vars: &ModelVariables, atom: &LineageAtom| -> Option<VarId> {
         match atom {
-            LineageAtom::Categorical { attribute, value } => {
-                vars.categorical.get(&(attribute.clone(), value.clone())).copied()
-            }
-            LineageAtom::Numeric { attribute, op, value } => {
+            LineageAtom::Categorical { attribute, value } => vars
+                .categorical
+                .get(&(attribute.clone(), value.clone()))
+                .copied(),
+            LineageAtom::Numeric {
+                attribute,
+                op,
+                value,
+            } => {
                 let key = (attribute.clone(), *op);
                 let domain = vars.numeric_domain.get(&key)?;
                 let v = value.as_f64()?;
@@ -342,9 +397,9 @@ pub fn build_model(
         let mut class_var: HashMap<usize, VarId> = HashMap::new();
         for &t in &scope {
             let class = annotated.class_of(t);
-            let var = *class_var.entry(class).or_insert_with(|| {
-                model.add_binary(format!("r_class[{class}]"))
-            });
+            let var = *class_var
+                .entry(class)
+                .or_insert_with(|| model.add_binary(format!("r_class[{class}]")));
             vars.selection.insert(t, var);
         }
         // Expression (3) once per class: 0 <= Σp - P*r <= P - 1.
@@ -363,7 +418,12 @@ pub fn build_model(
                 expr.add_term(var, 1.0);
             }
             expr.add_term(r, -preds_count);
-            model.add_constraint(format!("select_lo[class {class}]"), expr.clone(), Sense::Ge, 0.0);
+            model.add_constraint(
+                format!("select_lo[class {class}]"),
+                expr.clone(),
+                Sense::Ge,
+                0.0,
+            );
             model.add_constraint(
                 format!("select_hi[class {class}]"),
                 expr,
@@ -428,7 +488,10 @@ pub fn build_model(
             scope
                 .iter()
                 .copied()
-                .filter(|&t| c.group.matches(annotated.schema(), &annotated.tuples()[t].row))
+                .filter(|&t| {
+                    c.group
+                        .matches(annotated.schema(), &annotated.tuples()[t].row)
+                })
                 .collect()
         })
         .collect();
@@ -547,7 +610,12 @@ pub fn build_model(
     // Error variables and expressions (7)/(8).
     // ------------------------------------------------------------------
     let mut deviation_expr = LinExpr::zero();
-    for (idx, (c, members)) in constraints.constraints().iter().zip(&group_members).enumerate() {
+    for (idx, (c, members)) in constraints
+        .constraints()
+        .iter()
+        .zip(&group_members)
+        .enumerate()
+    {
         let e = model.add_continuous(format!("E[{idx}]"), 0.0, c.k as f64);
         vars.error.push(e);
         // E >= Sign(c) * (n - Σ l_{t,k})
@@ -576,9 +644,7 @@ pub fn build_model(
     // Objective.
     // ------------------------------------------------------------------
     let objective = match distance {
-        DistanceMeasure::Predicate => {
-            build_predicate_objective(&mut model, &vars, annotated)?
-        }
+        DistanceMeasure::Predicate => build_predicate_objective(&mut model, &vars, annotated)?,
         DistanceMeasure::JaccardTopK => {
             let mut obj = LinExpr::constant(k_star as f64);
             for &t in &original_top_k {
@@ -594,7 +660,11 @@ pub fn build_model(
     };
     model.set_objective(objective);
 
-    Ok(BuiltModel { model, vars, k_star })
+    Ok(BuiltModel {
+        model,
+        vars,
+        k_star,
+    })
 }
 
 /// Expression (1): indicators for lower-bound numerical predicates (`>=`, `>`).
@@ -667,8 +737,16 @@ fn build_predicate_objective(
     for pred in &query.numeric_predicates {
         let key: NumericKey = (pred.attribute.clone(), pred.op);
         let c_var = vars.numeric_constant[&key];
-        let denom = if pred.constant.abs() < f64::EPSILON { 1.0 } else { pred.constant.abs() };
-        let dist = model.add_continuous(format!("numdist[{} {}]", pred.attribute, pred.op), 0.0, f64::INFINITY);
+        let denom = if pred.constant.abs() < f64::EPSILON {
+            1.0
+        } else {
+            pred.constant.abs()
+        };
+        let dist = model.add_continuous(
+            format!("numdist[{} {}]", pred.attribute, pred.op),
+            0.0,
+            f64::INFINITY,
+        );
         // dist >= (C - C_orig)/denom  and  dist >= -(C - C_orig)/denom
         model.add_constraint(
             format!("numdist_pos[{} {}]", pred.attribute, pred.op),
@@ -692,8 +770,10 @@ fn build_predicate_objective(
         if original.is_empty() {
             continue;
         }
-        let non_original: Vec<&String> =
-            domain.iter().filter(|v| !original.contains(v.as_str())).collect();
+        let non_original: Vec<&String> = domain
+            .iter()
+            .filter(|v| !original.contains(v.as_str()))
+            .collect();
         let o_size = original.len() as f64;
         let max_union = o_size + non_original.len() as f64;
         let (w_lo, w_up) = (1.0 / max_union, 1.0 / o_size);
@@ -709,7 +789,8 @@ fn build_predicate_objective(
         for value in &domain {
             let a = vars.categorical[&(pred.attribute.clone(), value.clone())];
             let in_original = original.contains(value.as_str());
-            let p = model.add_continuous(format!("jacc_p[{}={}]", pred.attribute, value), 0.0, w_up);
+            let p =
+                model.add_continuous(format!("jacc_p[{}={}]", pred.attribute, value), 0.0, w_up);
             // Exact McCormick envelope for p = a * w with a binary:
             //   p <= w_up * a
             model.add_constraint(
@@ -745,7 +826,12 @@ fn build_predicate_objective(
                 union_expr.add_term(p, 1.0);
             }
         }
-        model.add_constraint(format!("jacc_norm[{}]", pred.attribute), union_expr, Sense::Eq, 1.0);
+        model.add_constraint(
+            format!("jacc_norm[{}]", pred.attribute),
+            union_expr,
+            Sense::Eq,
+            1.0,
+        );
         // Jaccard distance = 1 - intersection/union = 1 - Σ p_v (v ∈ O).
         objective.add_constant(1.0);
         objective -= intersection_expr;
@@ -779,7 +865,9 @@ fn build_kendall_objective(
     }
 
     for (pos, &t) in original_top_k.iter().enumerate() {
-        let Some(&l_t) = vars.topk.get(&(t, k_star)) else { continue };
+        let Some(&l_t) = vars.topk.get(&(t, k_star)) else {
+            continue;
+        };
 
         // Case 2: original tuples ranked below t that remain in the top-k*.
         let mut worse = LinExpr::zero();
@@ -844,8 +932,11 @@ mod tests {
         let db = paper_database();
         let query = scholarship_query();
         let annotated = AnnotatedRelation::build(&db, &query).unwrap();
-        let constraints = ConstraintSet::new()
-            .with(CardinalityConstraint::at_least(Group::single("Gender", "F"), 6, 3));
+        let constraints = ConstraintSet::new().with(CardinalityConstraint::at_least(
+            Group::single("Gender", "F"),
+            6,
+            3,
+        ));
         build_model(&annotated, &constraints, 0.0, distance, &config).unwrap()
     }
 
@@ -860,7 +951,10 @@ mod tests {
         );
         assert_eq!(built.vars.numeric_constant.len(), 1);
         // GPA values present in ~Q(D) (students with an activity): 3.6..4.0.
-        assert_eq!(built.vars.numeric_indicator[&("GPA".to_string(), CmpOp::Ge)].len(), 5);
+        assert_eq!(
+            built.vars.numeric_indicator[&("GPA".to_string(), CmpOp::Ge)].len(),
+            5
+        );
         // All 14 tuples of Table 5 are in scope without optimizations.
         assert_eq!(built.vars.scope.len(), 14);
         assert_eq!(built.vars.error.len(), 1);
@@ -895,8 +989,11 @@ mod tests {
         let db = paper_database();
         let query = scholarship_query();
         let annotated = AnnotatedRelation::build(&db, &query).unwrap();
-        let constraints = ConstraintSet::new()
-            .with(CardinalityConstraint::at_least(Group::single("Gender", "F"), 6, 3));
+        let constraints = ConstraintSet::new().with(CardinalityConstraint::at_least(
+            Group::single("Gender", "F"),
+            6,
+            3,
+        ));
         let err = build_model(
             &annotated,
             &constraints,
@@ -913,8 +1010,11 @@ mod tests {
         let db = paper_database();
         let query = scholarship_query();
         let annotated = AnnotatedRelation::build(&db, &query).unwrap();
-        let constraints = ConstraintSet::new()
-            .with(CardinalityConstraint::at_least(Group::single("Gender", "F"), 100, 3));
+        let constraints = ConstraintSet::new().with(CardinalityConstraint::at_least(
+            Group::single("Gender", "F"),
+            100,
+            3,
+        ));
         let err = build_model(
             &annotated,
             &constraints,
@@ -941,8 +1041,14 @@ mod tests {
         let c = snap_constant(CmpOp::Le, &[3.5, 3.6], &[3.7, 3.8], &domain, || 0.0);
         assert!((c - 3.6).abs() < 1e-12);
         // strict > with selection {3.8, 3.9, 4.0}: constant must exclude 3.7.
-        let c = snap_constant(CmpOp::Gt, &[3.8, 3.9, 4.0], &[3.5, 3.6, 3.7], &domain, || 0.0);
-        assert!(c >= 3.7 - 1e-12 && c < 3.8);
+        let c = snap_constant(
+            CmpOp::Gt,
+            &[3.8, 3.9, 4.0],
+            &[3.5, 3.6, 3.7],
+            &domain,
+            || 0.0,
+        );
+        assert!((3.7 - 1e-12..3.8).contains(&c));
         // strict < with selection {3.5}: constant must exclude 3.6.
         let c = snap_constant(CmpOp::Lt, &[3.5], &[3.6, 3.7], &domain, || 0.0);
         assert!(c > 3.5 && c <= 3.6 + 1e-12);

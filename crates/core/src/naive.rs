@@ -133,7 +133,9 @@ pub fn naive_search(
         }
         for (j, (attr, subsets)) in categorical_choices.iter().enumerate() {
             let idx = counters[numeric_choices.len() + j];
-            assignment.categorical.insert(attr.clone(), subsets[idx].clone());
+            assignment
+                .categorical
+                .insert(attr.clone(), subsets[idx].clone());
         }
         evaluated += 1;
 
@@ -141,7 +143,10 @@ pub fn naive_search(
         let (deviation, output_len) = match options.mode {
             NaiveMode::Provenance => {
                 let output = evaluate_refinement(&annotated, &assignment);
-                (constraints.deviation_of_output(&annotated, &output.selected), output.len())
+                (
+                    constraints.deviation_of_output(&annotated, &output.selected),
+                    output.len(),
+                )
             }
             NaiveMode::Database => {
                 let refined_query = assignment.apply_to(query);
@@ -165,7 +170,10 @@ pub fn naive_search(
 
         if output_len >= k_star && deviation <= epsilon + 1e-9 {
             let dist = exact_distance(distance, &annotated, query, &assignment, k_star);
-            let better = best.as_ref().map(|(_, d, _)| dist < *d - 1e-12).unwrap_or(true);
+            let better = best
+                .as_ref()
+                .map(|(_, d, _)| dist < *d - 1e-12)
+                .unwrap_or(true);
             if better {
                 best = Some((assignment, dist, deviation));
             }
@@ -198,7 +206,12 @@ pub fn naive_search(
         lineage_classes: annotated.classes().len(),
         ..RefinementStats::default()
     };
-    Ok(NaiveResult { best, candidates_evaluated: evaluated, exhausted, stats })
+    Ok(NaiveResult {
+        best,
+        candidates_evaluated: evaluated,
+        exhausted,
+        stats,
+    })
 }
 
 /// All non-empty subsets of a (small) domain, as value sets.
@@ -245,7 +258,10 @@ mod tests {
             &constraints,
             0.0,
             DistanceMeasure::Predicate,
-            &NaiveOptions { mode: NaiveMode::Provenance, ..Default::default() },
+            &NaiveOptions {
+                mode: NaiveMode::Provenance,
+                ..Default::default()
+            },
         )
         .unwrap();
         let dbms = naive_search(
@@ -254,7 +270,10 @@ mod tests {
             &constraints,
             0.0,
             DistanceMeasure::Predicate,
-            &NaiveOptions { mode: NaiveMode::Database, ..Default::default() },
+            &NaiveOptions {
+                mode: NaiveMode::Database,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(prov.exhausted && dbms.exhausted);
@@ -301,8 +320,11 @@ mod tests {
     fn naive_matches_milp_optimum_on_jaccard_distance() {
         let db = paper_database();
         let query = scholarship_query();
-        let constraints = ConstraintSet::new()
-            .with(CardinalityConstraint::at_least(Group::single("Gender", "F"), 6, 3));
+        let constraints = ConstraintSet::new().with(CardinalityConstraint::at_least(
+            Group::single("Gender", "F"),
+            6,
+            3,
+        ));
         let naive = naive_search(
             &db,
             &query,
@@ -353,8 +375,11 @@ mod tests {
             .order_by("Z", SortOrder::Descending)
             .build()
             .unwrap();
-        let constraints = ConstraintSet::new()
-            .with(CardinalityConstraint::at_least(Group::single("X", "B"), 3, 2));
+        let constraints = ConstraintSet::new().with(CardinalityConstraint::at_least(
+            Group::single("X", "B"),
+            3,
+            2,
+        ));
         let result = naive_search(
             &db,
             &query,
@@ -379,7 +404,10 @@ mod tests {
             &constraints,
             0.5,
             DistanceMeasure::Predicate,
-            &NaiveOptions { max_candidates: 5, ..Default::default() },
+            &NaiveOptions {
+                max_candidates: 5,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(result.candidates_evaluated, 5);

@@ -75,7 +75,10 @@ mod tests {
         assert_eq!(OptimizationConfig::default(), OptimizationConfig::all());
         assert_eq!(OptimizationConfig::all().label(), "MILP+opt");
         assert_eq!(OptimizationConfig::none().label(), "MILP");
-        let partial = OptimizationConfig { lineage_merging: false, ..OptimizationConfig::all() };
+        let partial = OptimizationConfig {
+            lineage_merging: false,
+            ..OptimizationConfig::all()
+        };
         assert_eq!(partial.label(), "MILP+partial");
     }
 }

@@ -5,7 +5,7 @@
 //! is the fastest way for a new user to see the system end to end.
 
 use crate::constraint::{CardinalityConstraint, ConstraintSet, Group};
-use qr_relation::{CmpOp, Database, DataType, Relation, SortOrder, SpjQuery};
+use qr_relation::{CmpOp, DataType, Database, Relation, SortOrder, SpjQuery};
 
 /// The `Students` ⋈ `Activities` database of Tables 1 and 2.
 pub fn paper_database() -> Database {
@@ -16,20 +16,104 @@ pub fn paper_database() -> Database {
         .column("GPA", DataType::Float)
         .column("SAT", DataType::Int)
         .rows(vec![
-            vec!["t1".into(), "M".into(), "Medium".into(), 3.7.into(), 1590.into()],
-            vec!["t2".into(), "F".into(), "Low".into(), 3.8.into(), 1580.into()],
-            vec!["t3".into(), "F".into(), "Low".into(), 3.6.into(), 1570.into()],
-            vec!["t4".into(), "M".into(), "High".into(), 3.8.into(), 1560.into()],
-            vec!["t5".into(), "F".into(), "Medium".into(), 3.6.into(), 1550.into()],
-            vec!["t6".into(), "F".into(), "Low".into(), 3.7.into(), 1550.into()],
-            vec!["t7".into(), "M".into(), "Low".into(), 3.7.into(), 1540.into()],
-            vec!["t8".into(), "F".into(), "High".into(), 3.9.into(), 1530.into()],
-            vec!["t9".into(), "F".into(), "Medium".into(), 3.8.into(), 1530.into()],
-            vec!["t10".into(), "M".into(), "High".into(), 3.7.into(), 1520.into()],
-            vec!["t11".into(), "F".into(), "Low".into(), 3.8.into(), 1490.into()],
-            vec!["t12".into(), "M".into(), "Medium".into(), 4.0.into(), 1480.into()],
-            vec!["t13".into(), "M".into(), "High".into(), 3.5.into(), 1430.into()],
-            vec!["t14".into(), "F".into(), "Low".into(), 3.7.into(), 1410.into()],
+            vec![
+                "t1".into(),
+                "M".into(),
+                "Medium".into(),
+                3.7.into(),
+                1590.into(),
+            ],
+            vec![
+                "t2".into(),
+                "F".into(),
+                "Low".into(),
+                3.8.into(),
+                1580.into(),
+            ],
+            vec![
+                "t3".into(),
+                "F".into(),
+                "Low".into(),
+                3.6.into(),
+                1570.into(),
+            ],
+            vec![
+                "t4".into(),
+                "M".into(),
+                "High".into(),
+                3.8.into(),
+                1560.into(),
+            ],
+            vec![
+                "t5".into(),
+                "F".into(),
+                "Medium".into(),
+                3.6.into(),
+                1550.into(),
+            ],
+            vec![
+                "t6".into(),
+                "F".into(),
+                "Low".into(),
+                3.7.into(),
+                1550.into(),
+            ],
+            vec![
+                "t7".into(),
+                "M".into(),
+                "Low".into(),
+                3.7.into(),
+                1540.into(),
+            ],
+            vec![
+                "t8".into(),
+                "F".into(),
+                "High".into(),
+                3.9.into(),
+                1530.into(),
+            ],
+            vec![
+                "t9".into(),
+                "F".into(),
+                "Medium".into(),
+                3.8.into(),
+                1530.into(),
+            ],
+            vec![
+                "t10".into(),
+                "M".into(),
+                "High".into(),
+                3.7.into(),
+                1520.into(),
+            ],
+            vec![
+                "t11".into(),
+                "F".into(),
+                "Low".into(),
+                3.8.into(),
+                1490.into(),
+            ],
+            vec![
+                "t12".into(),
+                "M".into(),
+                "Medium".into(),
+                4.0.into(),
+                1480.into(),
+            ],
+            vec![
+                "t13".into(),
+                "M".into(),
+                "High".into(),
+                3.5.into(),
+                1430.into(),
+            ],
+            vec![
+                "t14".into(),
+                "F".into(),
+                "Low".into(),
+                3.7.into(),
+                1410.into(),
+            ],
         ])
         .finish()
         .expect("paper Students relation is well formed");
@@ -77,8 +161,16 @@ pub fn scholarship_query() -> SpjQuery {
 /// women, at most 1 of the top-3 has a high family income.
 pub fn scholarship_constraints() -> ConstraintSet {
     ConstraintSet::new()
-        .with(CardinalityConstraint::at_least(Group::single("Gender", "F"), 6, 3))
-        .with(CardinalityConstraint::at_most(Group::single("Income", "High"), 3, 1))
+        .with(CardinalityConstraint::at_least(
+            Group::single("Gender", "F"),
+            6,
+            3,
+        ))
+        .with(CardinalityConstraint::at_most(
+            Group::single("Income", "High"),
+            3,
+            1,
+        ))
 }
 
 #[cfg(test)]

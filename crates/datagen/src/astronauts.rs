@@ -6,7 +6,7 @@
 //! of space walks, and cumulative space flight hours used as the ranking
 //! attribute.
 
-use qr_relation::{Database, DataType, Relation, Value};
+use qr_relation::{DataType, Database, Relation, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -41,8 +41,12 @@ pub const GRADUATE_MAJORS: &[&str] = &[
 ];
 
 /// Career status values with rough real-data proportions.
-const STATUS: &[(&str, f64)] =
-    &[("Retired", 0.55), ("Active", 0.22), ("Management", 0.13), ("Deceased", 0.10)];
+const STATUS: &[(&str, f64)] = &[
+    ("Retired", 0.55),
+    ("Active", 0.22),
+    ("Management", 0.13),
+    ("Deceased", 0.10),
+];
 
 /// Generate the synthetic Astronauts database with `n` rows.
 pub fn generate(n: usize, seed: u64) -> Database {
@@ -67,7 +71,8 @@ pub fn generate(n: usize, seed: u64) -> Database {
         // Space walks 0..=7, skewed towards few.
         let walks = (rng.gen::<f64>().powi(2) * 8.0) as i64;
         // Flight hours: log-normal-ish, 0..~12000, correlated with walks.
-        let hours = (rng.gen::<f64>().powf(1.5) * 9000.0) as i64 + walks * 350
+        let hours = (rng.gen::<f64>().powf(1.5) * 9000.0) as i64
+            + walks * 350
             + if status == "Management" { 500 } else { 0 };
         rel.push_row(vec![
             Value::text(format!("Astronaut {i:03}")),
@@ -105,10 +110,16 @@ mod tests {
     fn deterministic_and_sized() {
         let a = generate(357, 7);
         let b = generate(357, 7);
-        assert_eq!(a.get("Astronauts").unwrap().rows(), b.get("Astronauts").unwrap().rows());
+        assert_eq!(
+            a.get("Astronauts").unwrap().rows(),
+            b.get("Astronauts").unwrap().rows()
+        );
         assert_eq!(a.get("Astronauts").unwrap().len(), 357);
         let c = generate(357, 8);
-        assert_ne!(a.get("Astronauts").unwrap().rows(), c.get("Astronauts").unwrap().rows());
+        assert_ne!(
+            a.get("Astronauts").unwrap().rows(),
+            c.get("Astronauts").unwrap().rows()
+        );
     }
 
     #[test]
@@ -120,7 +131,10 @@ mod tests {
             .iter()
             .filter(|r| r[rel.schema().index_of("Gender").unwrap()] == Value::text("F"))
             .count();
-        assert!(women > 50 && women < 250, "female share should be roughly 12%, got {women}/1000");
+        assert!(
+            women > 50 && women < 250,
+            "female share should be roughly 12%, got {women}/1000"
+        );
         let physicists = rel
             .rows()
             .iter()
@@ -128,7 +142,10 @@ mod tests {
                 r[rel.schema().index_of("Graduate Major").unwrap()] == Value::text("Physics")
             })
             .count();
-        assert!(physicists > 30, "Physics must stay a common major, got {physicists}/1000");
+        assert!(
+            physicists > 30,
+            "Physics must stay a common major, got {physicists}/1000"
+        );
         let (lo, hi) = rel.numeric_range("Space Walks").unwrap().unwrap();
         assert!(lo >= 0.0 && hi <= 7.0);
     }

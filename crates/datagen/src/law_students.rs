@@ -4,15 +4,20 @@
 //! paper: students with sex, race, region, undergraduate GPA, LSAT score and
 //! first-year average; ranked by LSAT.
 
-use qr_relation::{Database, DataType, Relation, Value};
+use qr_relation::{DataType, Database, Relation, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Regions of the LSAC data (GL = Great Lakes is the one queried in Table 6).
 pub const REGIONS: &[&str] = &["GL", "NE", "MS", "SC", "SE", "SW", "FW", "MW", "NW", "PO"];
 
-const RACES: &[(&str, f64)] =
-    &[("White", 0.68), ("Black", 0.11), ("Asian", 0.08), ("Hispanic", 0.09), ("Other", 0.04)];
+const RACES: &[(&str, f64)] = &[
+    ("White", 0.68),
+    ("Black", 0.11),
+    ("Asian", 0.08),
+    ("Hispanic", 0.09),
+    ("Other", 0.04),
+];
 
 /// Generate the synthetic Law Students database with `n` rows.
 pub fn generate(n: usize, seed: u64) -> Database {
@@ -71,7 +76,10 @@ mod tests {
     fn deterministic_and_sized() {
         let a = generate(500, 3);
         let b = generate(500, 3);
-        assert_eq!(a.get("LawStudents").unwrap().rows(), b.get("LawStudents").unwrap().rows());
+        assert_eq!(
+            a.get("LawStudents").unwrap().rows(),
+            b.get("LawStudents").unwrap().rows()
+        );
         assert_eq!(a.get("LawStudents").unwrap().len(), 500);
     }
 

@@ -8,7 +8,7 @@
 //! SDV-synthesised scale-ups of the first three. None of the real files ship
 //! with this repository, so this crate generates seeded synthetic datasets
 //! with the same schemas, attribute domains, group proportions and ranking
-//! attributes (see `DESIGN.md` for the substitution rationale), at sizes
+//! attributes (see the module docs of each generator for the substitution rationale), at sizes
 //! small enough for the from-scratch MILP solver in `qr-milp`:
 //!
 //! * [`astronauts`] — 357 astronauts with gender, status, graduate major,

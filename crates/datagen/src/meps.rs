@@ -5,12 +5,17 @@
 //! office visits, ER visits, in-patient nights and home-health visits) used
 //! as the ranking attribute.
 
-use qr_relation::{Database, DataType, Relation, Value};
+use qr_relation::{DataType, Database, Relation, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-const RACES: &[(&str, f64)] =
-    &[("White", 0.60), ("Black", 0.19), ("Hispanic", 0.12), ("Asian", 0.07), ("Other", 0.02)];
+const RACES: &[(&str, f64)] = &[
+    ("White", 0.60),
+    ("Black", 0.19),
+    ("Hispanic", 0.12),
+    ("Asian", 0.07),
+    ("Other", 0.02),
+];
 
 /// Generate the synthetic MEPS database with `n` rows.
 pub fn generate(n: usize, seed: u64) -> Database {
@@ -79,7 +84,10 @@ mod tests {
             .iter()
             .filter(|r| {
                 r[rel.schema().index_of("Age").unwrap()].as_f64().unwrap() > 22.0
-                    && r[rel.schema().index_of("Family Size").unwrap()].as_f64().unwrap() >= 4.0
+                    && r[rel.schema().index_of("Family Size").unwrap()]
+                        .as_f64()
+                        .unwrap()
+                        >= 4.0
             })
             .count();
         assert!(

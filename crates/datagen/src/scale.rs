@@ -27,7 +27,8 @@ pub fn scale_relation(relation: &Relation, target_rows: usize, seed: u64) -> Rel
         return out;
     }
     for row in relation.rows().iter().take(target_rows) {
-        out.push_row(row.clone()).expect("copying an existing row cannot fail");
+        out.push_row(row.clone())
+            .expect("copying an existing row cannot fail");
     }
     if target_rows <= relation.len() {
         return out;
@@ -92,11 +93,17 @@ mod tests {
         // The share of GL-region students stays within a loose band of the original.
         let share = |r: &Relation| {
             let idx = r.schema().index_of("Region").unwrap();
-            r.rows().iter().filter(|row| row[idx] == Value::text("GL")).count() as f64
+            r.rows()
+                .iter()
+                .filter(|row| row[idx] == Value::text("GL"))
+                .count() as f64
                 / r.len() as f64
         };
         let (orig, big) = (share(rel), share(&scaled));
-        assert!((orig - big).abs() < 0.1, "original {orig:.3} vs scaled {big:.3}");
+        assert!(
+            (orig - big).abs() < 0.1,
+            "original {orig:.3} vs scaled {big:.3}"
+        );
         // Numeric ranges stay plausible after jitter.
         let (lo, hi) = scaled.numeric_range("LSAT").unwrap().unwrap();
         assert!(lo >= 100.0 && hi <= 200.0);

@@ -14,7 +14,7 @@
 //! with a five-value domain, which reproduces the paper's observation that Q5
 //! has only five lineage equivalence classes (Figure 8d).
 
-use qr_relation::{Database, DataType, Relation, Value};
+use qr_relation::{DataType, Database, Relation, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -22,8 +22,13 @@ use rand::{Rng, SeedableRng};
 pub const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 
 /// TPC-H market segments.
-pub const MKT_SEGMENTS: &[&str] =
-    &["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+pub const MKT_SEGMENTS: &[&str] = &[
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 
 /// TPC-H order priorities.
 pub const ORDER_PRIORITIES: &[&str] =
@@ -60,7 +65,11 @@ pub fn generate(customers: usize, orders_per_customer: usize, seed: u64) -> Data
         let seg = MKT_SEGMENTS[rng.gen_range(0..MKT_SEGMENTS.len())];
         let nation = &nations[rng.gen_range(0..nations.len())];
         customers_rel
-            .push_row(vec![Value::int(c as i64), Value::text(seg), Value::text(nation.clone())])
+            .push_row(vec![
+                Value::int(c as i64),
+                Value::text(seg),
+                Value::text(nation.clone()),
+            ])
             .expect("customer row");
     }
 
@@ -104,7 +113,10 @@ mod tests {
     fn deterministic_and_sized() {
         let a = generate(100, 3, 2);
         let b = generate(100, 3, 2);
-        assert_eq!(a.get("Orders").unwrap().rows(), b.get("Orders").unwrap().rows());
+        assert_eq!(
+            a.get("Orders").unwrap().rows(),
+            b.get("Orders").unwrap().rows()
+        );
         assert_eq!(a.get("Orders").unwrap().len(), 300);
         assert_eq!(a.get("Customers").unwrap().len(), 100);
         assert_eq!(a.get("Nations").unwrap().len(), 25);
@@ -122,10 +134,17 @@ mod tests {
             .unwrap();
         let result = evaluate(&db, &q).unwrap();
         assert!(!result.is_empty());
-        assert!(result.len() < 200, "ASIA should select roughly a fifth of the orders");
+        assert!(
+            result.len() < 200,
+            "ASIA should select roughly a fifth of the orders"
+        );
         // Ranked by revenue descending.
         let rev_idx = result.schema().index_of("Revenue").unwrap();
-        let revs: Vec<f64> = result.rows().iter().map(|r| r[rev_idx].as_f64().unwrap()).collect();
+        let revs: Vec<f64> = result
+            .rows()
+            .iter()
+            .map(|r| r[rev_idx].as_f64().unwrap())
+            .collect();
         assert!(revs.windows(2).all(|w| w[0] >= w[1]));
     }
 }

@@ -31,7 +31,12 @@ impl DatasetId {
 
     /// All datasets in the order used by the paper's figures.
     pub fn all() -> [DatasetId; 4] {
-        [DatasetId::Astronauts, DatasetId::LawStudents, DatasetId::Meps, DatasetId::Tpch]
+        [
+            DatasetId::Astronauts,
+            DatasetId::LawStudents,
+            DatasetId::Meps,
+            DatasetId::Tpch,
+        ]
     }
 }
 
@@ -74,7 +79,10 @@ impl Workload {
 
     /// All four workloads at default sizes.
     pub fn all(seed: u64) -> Vec<Workload> {
-        DatasetId::all().into_iter().map(|id| Workload::new(id, seed)).collect()
+        DatasetId::all()
+            .into_iter()
+            .map(|id| Workload::new(id, seed))
+            .collect()
     }
 
     /// The Astronauts workload with `n` rows (query Q_A of Table 6).
@@ -87,7 +95,11 @@ impl Workload {
             .order_by("Space Flight (hrs)", SortOrder::Descending)
             .build()
             .expect("Q_A is well formed");
-        Workload { id: DatasetId::Astronauts, db, query }
+        Workload {
+            id: DatasetId::Astronauts,
+            db,
+            query,
+        }
     }
 
     /// The Law Students workload with `n` rows (query Q_L of Table 6).
@@ -100,7 +112,11 @@ impl Workload {
             .order_by("LSAT", SortOrder::Descending)
             .build()
             .expect("Q_L is well formed");
-        Workload { id: DatasetId::LawStudents, db, query }
+        Workload {
+            id: DatasetId::LawStudents,
+            db,
+            query,
+        }
     }
 
     /// The MEPS workload with `n` rows (query Q_M of Table 6).
@@ -112,7 +128,11 @@ impl Workload {
             .order_by("Utilization", SortOrder::Descending)
             .build()
             .expect("Q_M is well formed");
-        Workload { id: DatasetId::Meps, db, query }
+        Workload {
+            id: DatasetId::Meps,
+            db,
+            query,
+        }
     }
 
     /// The TPC-H workload with `customers` customers (query Q5 of Table 6,
@@ -126,7 +146,11 @@ impl Workload {
             .order_by("Revenue", SortOrder::Descending)
             .build()
             .expect("Q5 is well formed");
-        Workload { id: DatasetId::Tpch, db, query }
+        Workload {
+            id: DatasetId::Tpch,
+            db,
+            query,
+        }
     }
 
     /// A copy of this workload with its main relation scaled to
@@ -145,7 +169,11 @@ impl Workload {
             seed,
         );
         db.insert(scaled);
-        Workload { id: self.id, db, query: self.query.clone() }
+        Workload {
+            id: self.id,
+            db,
+            query: self.query.clone(),
+        }
     }
 
     /// Constraint `index` (1-based, as numbered in Table 6) parameterised by
@@ -202,7 +230,11 @@ impl Workload {
     pub fn constraint_prefix(&self, count: usize, k: usize) -> ConstraintSet {
         let mut set = ConstraintSet::new();
         for index in 1..=count.clamp(1, 5) {
-            let bound = if index <= 2 { Some((k / 3).max(1)) } else { None };
+            let bound = if index <= 2 {
+                Some((k / 3).max(1))
+            } else {
+                None
+            };
             set.push(self.constraint_with_bound(index, k, bound));
         }
         set
@@ -221,11 +253,8 @@ impl Workload {
     pub fn mixed_pair(&self, k: usize) -> ConstraintSet {
         let lower = self.constraint_with_bound(1, k, Some((k / 3).max(1)));
         let upper_template = self.constraint_with_bound(2, k, None);
-        let upper = CardinalityConstraint::at_most(
-            upper_template.group,
-            k,
-            (k - (k / 3).max(1)).max(1),
-        );
+        let upper =
+            CardinalityConstraint::at_most(upper_template.group, k, (k - (k / 3).max(1)).max(1));
         ConstraintSet::new().with(lower).with(upper)
     }
 
@@ -270,7 +299,8 @@ mod tests {
             for count in 1..=5 {
                 let set = w.constraint_prefix(count, 10);
                 assert_eq!(set.len(), count);
-                set.validate(&annotated).expect("constraint groups exist in the schema");
+                set.validate(&annotated)
+                    .expect("constraint groups exist in the schema");
             }
             assert!(!w.lower_bound_pair(10).has_mixed_bounds());
             assert!(w.mixed_pair(10).has_mixed_bounds());
@@ -293,15 +323,24 @@ mod tests {
         // suite stays fast; full-size runs live in the `experiments` binary.
         let w = Workload::astronauts(60, 5);
         let result = RefinementEngine::new(&w.db, w.query.clone())
-            .with_constraints(
-                qr_core::ConstraintSet::new().with(w.constraint_with_bound(1, 5, Some(2))),
-            )
+            .with_constraints(qr_core::ConstraintSet::new().with(w.constraint_with_bound(
+                1,
+                5,
+                Some(2),
+            )))
             .with_epsilon(0.5)
             .with_distance(DistanceMeasure::Predicate)
             .with_optimizations(OptimizationConfig::all())
             .solve()
             .expect("engine runs");
-        let refined = result.outcome.refined().expect("a refinement within ε=0.5 exists");
-        assert!(refined.deviation <= 0.5 + 1e-9, "deviation {}", refined.deviation);
+        let refined = result
+            .outcome
+            .refined()
+            .expect("a refinement within ε=0.5 exists");
+        assert!(
+            refined.deviation <= 0.5 + 1e-9,
+            "deviation {}",
+            refined.deviation
+        );
     }
 }

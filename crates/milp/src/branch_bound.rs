@@ -13,7 +13,7 @@ use crate::error::Result;
 use crate::model::{Model, VarType};
 use crate::propagate::{box_objective_bound, propagate, PropagationResult};
 use crate::simplex::{solve_lp, LpStatus};
-use crate::solution::{SolveStats, SolveStatus, Solution};
+use crate::solution::{Solution, SolveStats, SolveStatus};
 use std::time::{Duration, Instant};
 
 /// Tunable solver parameters.
@@ -70,9 +70,13 @@ impl Solver {
         model.validate()?;
         let start = Instant::now();
         let opts = &self.options;
-        let mut stats = SolveStats { best_bound: f64::NEG_INFINITY, ..SolveStats::default() };
+        let mut stats = SolveStats {
+            best_bound: f64::NEG_INFINITY,
+            ..SolveStats::default()
+        };
 
         let n = model.num_variables();
+        let deadline = opts.time_limit.map(|limit| start + limit);
         let root_lower: Vec<f64> = model.variables().iter().map(|v| v.lower).collect();
         let root_upper: Vec<f64> = model.variables().iter().map(|v| v.upper).collect();
 
@@ -129,9 +133,21 @@ impl Solver {
             }
 
             // LP relaxation.
-            let lp = solve_lp(model, &lower, &upper, opts.max_lp_iterations)?;
+            let lp_start = Instant::now();
+            let lp = solve_lp(model, &lower, &upper, opts.max_lp_iterations, deadline)?;
             stats.lp_solves += 1;
             stats.simplex_iterations += lp.iterations;
+            if std::env::var_os("QR_MILP_DEBUG").is_some() {
+                eprintln!(
+                    "[qr-milp] node {} lp {:?} iters {} in {:?} (stack {}, incumbent {:?})",
+                    stats.nodes,
+                    lp.status,
+                    lp.iterations,
+                    lp_start.elapsed(),
+                    stack.len(),
+                    incumbent.as_ref().map(|(o, _)| *o),
+                );
+            }
             let (node_bound, lp_values, lp_reliable) = match lp.status {
                 LpStatus::Infeasible => continue,
                 LpStatus::Unbounded => {
@@ -171,28 +187,59 @@ impl Solver {
             }
 
             // Find a fractional integer variable to branch on.
-            let branch_var = select_branch_variable(model, &integer_vars, &lp_values, &lower, &upper, opts.integrality_tol);
+            let branch_var = select_branch_variable(
+                model,
+                &integer_vars,
+                &lp_values,
+                &lower,
+                &upper,
+                opts.integrality_tol,
+            );
 
             match branch_var {
                 None => {
                     // All integer variables are integral. Only an LP-optimal
                     // point is known to be MILP-feasible; an unreliable node
                     // (iteration-limited LP) is dropped rather than risking
-                    // an infeasible incumbent.
+                    // an infeasible incumbent — but dropping it forfeits
+                    // completeness, so the final status must not claim a
+                    // proven optimum or proven infeasibility.
                     if !lp_reliable {
+                        limit_hit = true;
                         continue;
                     }
                     let obj = node_bound;
                     let better = incumbent.as_ref().map(|(o, _)| obj < *o).unwrap_or(true);
                     if better {
-                        incumbent = Some((obj, round_integers(&lp_values, &integer_vars, opts.integrality_tol)));
+                        incumbent = Some((
+                            obj,
+                            round_integers(&lp_values, &integer_vars, opts.integrality_tol),
+                        ));
                     }
                 }
                 Some((var_idx, frac_value)) => {
-                    // Root rounding heuristic: try fixing every integer to its
-                    // rounded LP value once, to seed the incumbent early.
-                    if opts.use_rounding_heuristic && incumbent.is_none() && stats.nodes == 1 {
-                        if let Some((obj, values)) = self.rounding_heuristic(model, &integer_vars, &lp_values, &lower, &upper, &mut stats)? {
+                    // Rounding heuristic: try fixing every integer to its
+                    // rounded LP value, to seed the incumbent. Run at the root
+                    // and then periodically while no incumbent exists — deep
+                    // DFS alone can take thousands of nodes to reach its first
+                    // integral leaf on the big-M refinement models.
+                    // Diving is attempted even from unreliable (iteration-
+                    // limited) nodes: propagation rejects a bad rounding
+                    // cheaply, and the fixed-integer LP that follows a good
+                    // one is far easier than the node LP that just failed.
+                    if opts.use_rounding_heuristic
+                        && incumbent.is_none()
+                        && (stats.nodes == 1 || stats.nodes.is_multiple_of(16))
+                    {
+                        if let Some((obj, values)) = self.rounding_heuristic(
+                            model,
+                            &integer_vars,
+                            &lp_values,
+                            &lower,
+                            &upper,
+                            deadline,
+                            &mut stats,
+                        )? {
                             incumbent = Some((obj, values));
                         }
                     }
@@ -224,14 +271,27 @@ impl Solver {
         stats.solve_time = start.elapsed();
         match incumbent {
             Some((objective, values)) => {
-                let status = if limit_hit { SolveStatus::Feasible } else { SolveStatus::Optimal };
+                let status = if limit_hit {
+                    SolveStatus::Feasible
+                } else {
+                    SolveStatus::Optimal
+                };
                 if !limit_hit {
                     stats.best_bound = objective;
                 }
-                Ok(Solution { status, objective, values, stats })
+                Ok(Solution {
+                    status,
+                    objective,
+                    values,
+                    stats,
+                })
             }
             None => {
-                let status = if limit_hit { SolveStatus::LimitReached } else { SolveStatus::Infeasible };
+                let status = if limit_hit {
+                    SolveStatus::LimitReached
+                } else {
+                    SolveStatus::Infeasible
+                };
                 Ok(Solution::without_assignment(status, stats))
             }
         }
@@ -248,6 +308,7 @@ impl Solver {
         lp_values: &[f64],
         lower: &[f64],
         upper: &[f64],
+        deadline: Option<Instant>,
         stats: &mut SolveStats,
     ) -> Result<Option<(f64, Vec<f64>)>> {
         let opts = &self.options;
@@ -259,18 +320,22 @@ impl Solver {
             up[idx] = rounded;
         }
         if opts.use_propagation
-            && propagate(model, &mut lo, &mut up, opts.propagation_passes) == PropagationResult::Infeasible
+            && propagate(model, &mut lo, &mut up, opts.propagation_passes)
+                == PropagationResult::Infeasible
         {
             return Ok(None);
         }
-        let lp = solve_lp(model, &lo, &up, opts.max_lp_iterations)?;
+        let lp = solve_lp(model, &lo, &up, opts.max_lp_iterations, deadline)?;
         stats.lp_solves += 1;
         stats.simplex_iterations += lp.iterations;
         if lp.status != LpStatus::Optimal {
             return Ok(None);
         }
         // All integers are fixed, so the LP solution is MILP-feasible.
-        Ok(Some((lp.objective, round_integers(&lp.values, integer_vars, opts.integrality_tol))))
+        Ok(Some((
+            lp.objective,
+            round_integers(&lp.values, integer_vars, opts.integrality_tol),
+        )))
     }
 }
 
@@ -354,7 +419,12 @@ mod tests {
         let mut m = Model::new("int");
         let x = m.add_integer("x", 0.0, 10.0);
         let y = m.add_integer("y", 0.0, 10.0);
-        m.add_constraint("c", LinExpr::term(x, 2.0) + LinExpr::term(y, 2.0), Sense::Le, 5.0);
+        m.add_constraint(
+            "c",
+            LinExpr::term(x, 2.0) + LinExpr::term(y, 2.0),
+            Sense::Le,
+            5.0,
+        );
         m.set_objective(LinExpr::term(x, -1.0) + LinExpr::term(y, -1.0));
         let s = Solver::default().solve(&m).unwrap();
         assert_eq!(s.status, SolveStatus::Optimal);
@@ -368,7 +438,12 @@ mod tests {
         let mut m = Model::new("inf");
         let x = m.add_binary("x");
         let y = m.add_binary("y");
-        m.add_constraint("c1", LinExpr::term(x, 1.0) + LinExpr::term(y, 1.0), Sense::Ge, 3.0);
+        m.add_constraint(
+            "c1",
+            LinExpr::term(x, 1.0) + LinExpr::term(y, 1.0),
+            Sense::Ge,
+            3.0,
+        );
         m.set_objective(LinExpr::term(x, 1.0));
         let s = Solver::default().solve(&m).unwrap();
         assert_eq!(s.status, SolveStatus::Infeasible);
@@ -382,8 +457,18 @@ mod tests {
         let mut m = Model::new("mix");
         let x = m.add_binary("x");
         let y = m.add_continuous("y", -10.0, 10.0);
-        m.add_constraint("c1", LinExpr::term(y, 1.0) - LinExpr::term(x, 1.5), Sense::Ge, -1.0);
-        m.add_constraint("c2", LinExpr::term(y, 1.0) + LinExpr::term(x, 1.5), Sense::Ge, 2.0);
+        m.add_constraint(
+            "c1",
+            LinExpr::term(y, 1.0) - LinExpr::term(x, 1.5),
+            Sense::Ge,
+            -1.0,
+        );
+        m.add_constraint(
+            "c2",
+            LinExpr::term(y, 1.0) + LinExpr::term(x, 1.5),
+            Sense::Ge,
+            2.0,
+        );
         m.set_objective(LinExpr::term(y, 1.0));
         let s = Solver::default().solve(&m).unwrap();
         assert_eq!(s.status, SolveStatus::Optimal);
@@ -401,7 +486,10 @@ mod tests {
         let big_m = 5.0;
         let delta = 0.001;
         let values = [3.6, 3.7, 3.8];
-        let inds: Vec<_> = values.iter().map(|v| m.add_binary(format!("ind_{v}"))).collect();
+        let inds: Vec<_> = values
+            .iter()
+            .map(|v| m.add_binary(format!("ind_{v}")))
+            .collect();
         for (v, ind) in values.iter().zip(&inds) {
             // C + M*ind >= v + delta  (ind = 1 if v >= C)
             m.add_constraint(
@@ -453,6 +541,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn equality_constrained_assignment_problem() {
         // 3x3 assignment problem, binary, each row/col exactly one.
         let costs = [[4.0, 2.0, 8.0], [4.0, 3.0, 7.0], [3.0, 1.0, 6.0]];
@@ -503,9 +592,16 @@ mod tests {
         }
         m.add_constraint("c", e.clone(), Sense::Ge, 7.3);
         m.set_objective(e);
-        let solver = Solver::new(SolverOptions { max_nodes: 1, use_rounding_heuristic: false, ..Default::default() });
+        let solver = Solver::new(SolverOptions {
+            max_nodes: 1,
+            use_rounding_heuristic: false,
+            ..Default::default()
+        });
         let s = solver.solve(&m).unwrap();
-        assert!(matches!(s.status, SolveStatus::LimitReached | SolveStatus::Feasible | SolveStatus::Optimal));
+        assert!(matches!(
+            s.status,
+            SolveStatus::LimitReached | SolveStatus::Feasible | SolveStatus::Optimal
+        ));
     }
 
     #[test]
@@ -513,10 +609,17 @@ mod tests {
         let mut m = Model::new("noprop");
         let x = m.add_integer("x", 0.0, 10.0);
         let y = m.add_integer("y", 0.0, 10.0);
-        m.add_constraint("c", LinExpr::term(x, 3.0) + LinExpr::term(y, 5.0), Sense::Le, 19.0);
+        m.add_constraint(
+            "c",
+            LinExpr::term(x, 3.0) + LinExpr::term(y, 5.0),
+            Sense::Le,
+            19.0,
+        );
         m.set_objective(LinExpr::term(x, -2.0) + LinExpr::term(y, -3.0));
-        let mut opts = SolverOptions::default();
-        opts.use_propagation = false;
+        let opts = SolverOptions {
+            use_propagation: false,
+            ..SolverOptions::default()
+        };
         let s1 = Solver::new(opts).solve(&m).unwrap();
         let s2 = Solver::default().solve(&m).unwrap();
         assert_eq!(s1.status, SolveStatus::Optimal);

@@ -23,7 +23,10 @@ impl LinExpr {
 
     /// An expression consisting of a single constant.
     pub fn constant(value: f64) -> Self {
-        LinExpr { terms: BTreeMap::new(), constant: value }
+        LinExpr {
+            terms: BTreeMap::new(),
+            constant: value,
+        }
     }
 
     /// An expression consisting of a single term `coeff · var`.

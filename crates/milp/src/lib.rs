@@ -55,7 +55,7 @@ pub use branch_bound::{Solver, SolverOptions};
 pub use error::{MilpError, Result};
 pub use expr::LinExpr;
 pub use model::{Model, Sense, VarId, VarType};
-pub use solution::{SolveStatus, Solution};
+pub use solution::{Solution, SolveStatus};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
@@ -63,5 +63,5 @@ pub mod prelude {
     pub use crate::error::{MilpError, Result as MilpResult};
     pub use crate::expr::LinExpr;
     pub use crate::model::{Model, Sense, VarId, VarType};
-    pub use crate::solution::{SolveStatus, Solution};
+    pub use crate::solution::{Solution, SolveStatus};
 }

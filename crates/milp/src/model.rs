@@ -111,7 +111,13 @@ impl Model {
     ) -> VarId {
         let name = name.into();
         let id = VarId(self.variables.len());
-        self.variables.push(Variable { name, var_type, lower, upper, branch_priority: 0 });
+        self.variables.push(Variable {
+            name,
+            var_type,
+            lower,
+            upper,
+            branch_priority: 0,
+        });
         id
     }
 
@@ -147,7 +153,12 @@ impl Model {
         let adjusted_rhs = rhs - expr.constant_part();
         let mut expr = expr;
         expr.add_constant(-expr.constant_part());
-        self.constraints.push(Constraint { name: name.into(), expr, sense, rhs: adjusted_rhs });
+        self.constraints.push(Constraint {
+            name: name.into(),
+            expr,
+            sense,
+            rhs: adjusted_rhs,
+        });
     }
 
     /// Set the (minimisation) objective.
@@ -210,7 +221,10 @@ impl Model {
                 });
             }
             if v.lower.is_nan() || v.upper.is_nan() {
-                return Err(MilpError::NonFiniteCoefficient(format!("bounds of `{}`", v.name)));
+                return Err(MilpError::NonFiniteCoefficient(format!(
+                    "bounds of `{}`",
+                    v.name
+                )));
             }
         }
         if !self.objective.is_finite() {
@@ -218,7 +232,10 @@ impl Model {
         }
         for c in &self.constraints {
             if !c.expr.is_finite() || !c.rhs.is_finite() {
-                return Err(MilpError::NonFiniteCoefficient(format!("constraint `{}`", c.name)));
+                return Err(MilpError::NonFiniteCoefficient(format!(
+                    "constraint `{}`",
+                    c.name
+                )));
             }
             for (v, _) in c.expr.terms() {
                 if v.0 >= self.variables.len() {
@@ -256,7 +273,12 @@ mod tests {
         let x = m.add_continuous("x", 0.0, 10.0);
         let b = m.add_binary("b");
         let i = m.add_integer("i", -5.0, 5.0);
-        m.add_constraint("c1", LinExpr::term(x, 1.0) + LinExpr::term(b, 2.0), Sense::Le, 5.0);
+        m.add_constraint(
+            "c1",
+            LinExpr::term(x, 1.0) + LinExpr::term(b, 2.0),
+            Sense::Le,
+            5.0,
+        );
         m.set_objective(LinExpr::term(i, 1.0));
         assert_eq!(m.num_variables(), 3);
         assert_eq!(m.num_integer_variables(), 2);
@@ -269,7 +291,12 @@ mod tests {
     fn constraint_constant_folded_into_rhs() {
         let mut m = Model::new("t");
         let x = m.add_continuous("x", 0.0, 10.0);
-        m.add_constraint("c", LinExpr::term(x, 1.0) + LinExpr::constant(3.0), Sense::Le, 5.0);
+        m.add_constraint(
+            "c",
+            LinExpr::term(x, 1.0) + LinExpr::constant(3.0),
+            Sense::Le,
+            5.0,
+        );
         let c = &m.constraints()[0];
         assert_eq!(c.rhs, 2.0);
         assert_eq!(c.expr.constant_part(), 0.0);
@@ -284,7 +311,10 @@ mod tests {
         let mut m = Model::new("t");
         let x = m.add_continuous("x", 0.0, 1.0);
         m.set_objective(LinExpr::term(x, f64::NAN));
-        assert!(matches!(m.validate(), Err(MilpError::NonFiniteCoefficient(_))));
+        assert!(matches!(
+            m.validate(),
+            Err(MilpError::NonFiniteCoefficient(_))
+        ));
     }
 
     #[test]

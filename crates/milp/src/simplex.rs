@@ -19,6 +19,7 @@
 
 use crate::error::{MilpError, Result};
 use crate::model::{Model, Sense};
+use std::time::Instant;
 
 /// Outcome of an LP solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +63,15 @@ enum ColStatus {
     Free,
 }
 
+/// How a row obtains its initial basic column ("crash" basis).
+#[derive(Debug, Clone, Copy)]
+enum BasisPlan {
+    /// The row's slack absorbs the initial residual; no artificial needed.
+    Slack { col: usize, residual: f64 },
+    /// An artificial column carries the residual through phase 1.
+    Artificial { col: usize, residual: f64 },
+}
+
 /// The LP relaxation of a [`Model`] with (possibly tightened) variable bounds.
 pub struct LpProblem {
     /// Number of structural variables.
@@ -72,8 +82,10 @@ pub struct LpProblem {
     n_rows: usize,
     /// Dense row-major constraint matrix, `n_rows * n_cols`.
     matrix: Vec<f64>,
-    /// Right-hand sides.
+    /// Right-hand sides (for final feasibility verification).
     rhs: Vec<f64>,
+    /// Constraint senses (for final feasibility verification).
+    senses: Vec<Sense>,
     /// Lower bounds per column.
     lower: Vec<f64>,
     /// Upper bounds per column.
@@ -82,6 +94,11 @@ pub struct LpProblem {
     objective: Vec<f64>,
     /// Constant term of the phase-2 objective.
     objective_constant: f64,
+    /// Per-row crash-basis decision (computed at build time so artificial
+    /// columns exist only for the rows that need one).
+    basis_plan: Vec<BasisPlan>,
+    /// Phase-1 cost per column (non-zero only on artificials).
+    phase1_cost: Vec<f64>,
     /// Index of the first artificial column.
     first_artificial: usize,
 }
@@ -89,20 +106,65 @@ pub struct LpProblem {
 impl LpProblem {
     /// Build the LP relaxation of `model`, overriding variable bounds with
     /// `lower` / `upper` (as tightened by presolve or branching).
+    ///
+    /// The initial ("crash") basis is decided here: the nonbasic structural
+    /// variables start at a bound, and each row is covered either by its own
+    /// slack (when the slack's bounds can absorb the resulting residual) or by
+    /// an artificial column. Artificial columns are allocated **only** for the
+    /// rows that need one, which keeps the dense tableau narrow — on the
+    /// refinement MILPs most rows are inequalities whose slack suffices.
     pub fn from_model(model: &Model, lower: &[f64], upper: &[f64]) -> Result<Self> {
         model.validate()?;
         let n_struct = model.num_variables();
         let n_rows = model.num_constraints();
-        let n_slacks = model
-            .constraints()
-            .iter()
-            .filter(|c| !matches!(c.sense, Sense::Eq))
-            .count();
-        let n_cols = n_struct + n_slacks + n_rows;
-        let first_artificial = n_struct + n_slacks;
+
+        // Initial values of the structural columns (each at a finite bound,
+        // or 0 for free variables), shared by every row's residual.
+        let initial_value: Vec<f64> = (0..n_struct)
+            .map(|j| nonbasic_value(initial_status(lower[j], upper[j]), lower[j], upper[j]))
+            .collect();
+
+        // First pass: per-row slack assignment, residuals, and artificial
+        // requirements.
+        struct RowInfo {
+            slack: Option<(usize, f64, f64)>, // (col, lower, upper)
+            residual: f64,
+            needs_artificial: bool,
+        }
+        let mut rows = Vec::with_capacity(n_rows);
+        let mut slack_cursor = n_struct;
+        for cons in model.constraints() {
+            let mut residual = cons.rhs;
+            for (v, c) in cons.expr.terms() {
+                residual -= c * initial_value[v.index()];
+            }
+            let slack = match cons.sense {
+                Sense::Le => {
+                    let col = slack_cursor;
+                    slack_cursor += 1;
+                    Some((col, 0.0, f64::INFINITY))
+                }
+                Sense::Ge => {
+                    let col = slack_cursor;
+                    slack_cursor += 1;
+                    Some((col, f64::NEG_INFINITY, 0.0))
+                }
+                Sense::Eq => None,
+            };
+            let slack_feasible = slack
+                .map(|(_, lo, up)| residual >= lo - 1e-12 && residual <= up + 1e-12)
+                .unwrap_or(false);
+            rows.push(RowInfo {
+                slack,
+                residual,
+                needs_artificial: !slack_feasible,
+            });
+        }
+        let first_artificial = slack_cursor;
+        let n_artificials = rows.iter().filter(|r| r.needs_artificial).count();
+        let n_cols = first_artificial + n_artificials;
 
         let mut matrix = vec![0.0; n_rows * n_cols];
-        let mut rhs = vec![0.0; n_rows];
         let mut col_lower = vec![0.0; n_cols];
         let mut col_upper = vec![0.0; n_cols];
         col_lower[..n_struct].copy_from_slice(&lower[..n_struct]);
@@ -114,30 +176,42 @@ impl LpProblem {
         }
         let objective_constant = model.objective().constant_part();
 
-        let mut slack_cursor = n_struct;
-        for (i, cons) in model.constraints().iter().enumerate() {
+        let mut phase1_cost = vec![0.0; n_cols];
+        let mut basis_plan = Vec::with_capacity(n_rows);
+        let mut art_cursor = first_artificial;
+        for (i, (cons, info)) in model.constraints().iter().zip(&rows).enumerate() {
             for (v, c) in cons.expr.terms() {
                 matrix[i * n_cols + v.index()] = c;
             }
-            rhs[i] = cons.rhs;
-            match cons.sense {
-                Sense::Le => {
-                    matrix[i * n_cols + slack_cursor] = 1.0;
-                    col_lower[slack_cursor] = 0.0;
-                    col_upper[slack_cursor] = f64::INFINITY;
-                    slack_cursor += 1;
-                }
-                Sense::Ge => {
-                    matrix[i * n_cols + slack_cursor] = 1.0;
-                    col_lower[slack_cursor] = f64::NEG_INFINITY;
-                    col_upper[slack_cursor] = 0.0;
-                    slack_cursor += 1;
-                }
-                Sense::Eq => {}
+            if let Some((col, lo, up)) = info.slack {
+                matrix[i * n_cols + col] = 1.0;
+                col_lower[col] = lo;
+                col_upper[col] = up;
             }
-            // Artificial column for this row (bounds fixed once the initial
-            // residual is known, in `solve`).
-            matrix[i * n_cols + first_artificial + i] = 1.0;
+            if info.needs_artificial {
+                let art = art_cursor;
+                art_cursor += 1;
+                matrix[i * n_cols + art] = 1.0;
+                if info.residual >= 0.0 {
+                    col_lower[art] = 0.0;
+                    col_upper[art] = f64::INFINITY;
+                    phase1_cost[art] = 1.0;
+                } else {
+                    col_lower[art] = f64::NEG_INFINITY;
+                    col_upper[art] = 0.0;
+                    phase1_cost[art] = -1.0;
+                }
+                basis_plan.push(BasisPlan::Artificial {
+                    col: art,
+                    residual: info.residual,
+                });
+            } else {
+                let (col, _, _) = info.slack.expect("row without artificial has a slack");
+                basis_plan.push(BasisPlan::Slack {
+                    col,
+                    residual: info.residual,
+                });
+            }
         }
 
         Ok(LpProblem {
@@ -145,91 +219,51 @@ impl LpProblem {
             n_cols,
             n_rows,
             matrix,
-            rhs,
+            rhs: model.constraints().iter().map(|c| c.rhs).collect(),
+            senses: model.constraints().iter().map(|c| c.sense).collect(),
             lower: col_lower,
             upper: col_upper,
             objective,
             objective_constant,
+            basis_plan,
+            phase1_cost,
             first_artificial,
         })
     }
 
-    #[inline]
-    fn a(&self, row: usize, col: usize) -> f64 {
-        self.matrix[row * self.n_cols + col]
-    }
-
-    /// Solve the LP with the two-phase bounded simplex.
-    pub fn solve(&self, max_iterations: usize) -> Result<LpSolution> {
+    /// Solve the LP with the two-phase bounded simplex. `deadline`, when set,
+    /// aborts the solve with [`LpStatus::IterationLimit`] once passed (checked
+    /// periodically), so a single LP can never overshoot the caller's time
+    /// budget by more than a few pivots.
+    pub fn solve(&self, max_iterations: usize, deadline: Option<Instant>) -> Result<LpSolution> {
         let m = self.n_rows;
         let n = self.n_cols;
 
         // Working tableau: starts as a copy of the constraint matrix and is
         // transformed in place by pivots so that basic columns stay unit.
         let mut tab = self.matrix.clone();
-        let mut lower = self.lower.clone();
-        let mut upper = self.upper.clone();
+        let lower = self.lower.clone();
+        let upper = self.upper.clone();
 
-        // Initial nonbasic statuses for structural + slack columns.
+        // Initial nonbasic statuses for structural + slack columns; basic
+        // columns are overwritten from the basis plan below.
         let mut status = vec![ColStatus::AtLower; n];
         #[allow(clippy::needless_range_loop)]
         for j in 0..self.first_artificial {
             status[j] = initial_status(lower[j], upper[j]);
         }
 
-        // Residuals determine the initial basis: the row's slack when it can
-        // absorb the residual within its own bounds (a "crash" basis that
-        // avoids most artificials), otherwise the row's artificial.
         let mut basis = vec![0usize; m];
         let mut x_basic = vec![0.0; m];
-        let mut phase1_cost = vec![0.0; n];
-        let mut slack_cursor = self.n_struct;
-        for i in 0..m {
-            // Residual over the structural columns only (slack of row i is
-            // nonbasic at 0 for this computation and no other slack appears
-            // in row i).
-            let mut residual = self.rhs[i];
-            for j in 0..self.n_struct {
-                let v = nonbasic_value(status[j], lower[j], upper[j]);
-                residual -= self.a(i, j) * v;
-            }
-            // Does this row have a slack, and can it hold the residual?
-            let slack_col = if self.a(i, slack_cursor.min(n - 1)) == 1.0
-                && slack_cursor < self.first_artificial
-            {
-                Some(slack_cursor)
-            } else {
-                None
+        let phase1_cost = self.phase1_cost.clone();
+        for (i, plan) in self.basis_plan.iter().enumerate() {
+            let (col, residual) = match *plan {
+                BasisPlan::Slack { col, residual } => (col, residual),
+                BasisPlan::Artificial { col, residual } => (col, residual),
             };
-            let art = self.first_artificial + i;
-            let slack_feasible = slack_col
-                .map(|s| residual >= lower[s] - 1e-12 && residual <= upper[s] + 1e-12)
-                .unwrap_or(false);
-            if let (Some(s), true) = (slack_col, slack_feasible) {
-                basis[i] = s;
-                status[s] = ColStatus::Basic(i);
-                x_basic[i] = residual;
-                // The artificial of this row is never needed: pin it at zero.
-                lower[art] = 0.0;
-                upper[art] = 0.0;
-                status[art] = ColStatus::AtLower;
-            } else {
-                basis[i] = art;
-                status[art] = ColStatus::Basic(i);
-                x_basic[i] = residual;
-                if residual >= 0.0 {
-                    lower[art] = 0.0;
-                    upper[art] = f64::INFINITY;
-                    phase1_cost[art] = 1.0;
-                } else {
-                    lower[art] = f64::NEG_INFINITY;
-                    upper[art] = 0.0;
-                    phase1_cost[art] = -1.0;
-                }
-            }
-            if slack_col.is_some() {
-                slack_cursor += 1;
-            }
+            basis[i] = col;
+            status[col] = ColStatus::Basic(i);
+            x_basic[i] = residual;
         }
 
         let mut iterations = 0usize;
@@ -246,8 +280,12 @@ impl LpProblem {
             n,
             m,
             max_iterations,
+            deadline,
             &mut iterations,
         )?;
+        if std::env::var_os("QR_MILP_DEBUG").is_some() {
+            eprintln!("[qr-milp] phase1: {iterations} iters, status {status1:?}");
+        }
         if status1 == LpStatus::IterationLimit {
             return Ok(LpSolution {
                 status: LpStatus::IterationLimit,
@@ -259,9 +297,34 @@ impl LpProblem {
         let phase1_obj: f64 = (0..n)
             .map(|j| phase1_cost[j] * column_value(j, &status, &x_basic, &lower, &upper))
             .sum();
-        if phase1_obj > 1e-6 {
+        // Judge phase-1 success by re-checking the point against the pristine
+        // rows, not only by the (drift-prone) artificial total: a corrupted
+        // "feasible" claim must not reach phase 2, and a clean point whose
+        // artificial total merely drifted must not be declared infeasible.
+        let phase1_point: Vec<f64> = (0..self.n_struct)
+            .map(|j| column_value(j, &status, &x_basic, &lower, &upper))
+            .collect();
+        if !self.verify(&phase1_point) {
+            let status = if phase1_obj > 1e-6 {
+                LpStatus::Infeasible
+            } else {
+                LpStatus::IterationLimit
+            };
             return Ok(LpSolution {
-                status: LpStatus::Infeasible,
+                status,
+                objective: f64::INFINITY,
+                values: vec![0.0; self.n_struct],
+                iterations,
+            });
+        }
+        if phase1_obj > 1e-6 {
+            // The structural point satisfies the rows, yet a basic artificial
+            // still carries a material value: the tableau has drifted. Phase 2
+            // would run against clamped-to-zero artificial bounds that its
+            // basis violates, and its "optimal" objective could over-prune in
+            // branch-and-bound. Report the solve as unreliable instead.
+            return Ok(LpSolution {
+                status: LpStatus::IterationLimit,
                 objective: f64::INFINITY,
                 values: vec![0.0; self.n_struct],
                 iterations,
@@ -272,8 +335,7 @@ impl LpProblem {
         // a non-zero value.
         let mut lower2 = lower;
         let mut upper2 = upper;
-        for i in 0..m {
-            let art = self.first_artificial + i;
+        for art in self.first_artificial..n {
             lower2[art] = 0.0;
             upper2[art] = 0.0;
             // A basic artificial sitting at zero is harmless; a nonbasic one
@@ -295,6 +357,7 @@ impl LpProblem {
             n,
             m,
             max_iterations,
+            deadline,
             &mut iterations,
         )?;
 
@@ -304,13 +367,50 @@ impl LpProblem {
             values[j] = column_value(j, &status, &x_basic, &lower2, &upper2);
         }
         let objective = self.objective_constant
-            + (0..self.n_struct).map(|j| self.objective[j] * values[j]).sum::<f64>();
+            + (0..self.n_struct)
+                .map(|j| self.objective[j] * values[j])
+                .sum::<f64>();
 
         let status = match status2 {
-            LpStatus::Optimal => LpStatus::Optimal,
+            // Long degenerate stalls can corrupt the in-place tableau beyond
+            // the periodic reduced-cost refresh. An "optimal" point that does
+            // not actually satisfy the model is downgraded to the unreliable
+            // status so branch-and-bound never builds an incumbent from it.
+            LpStatus::Optimal if !self.verify(&values) => LpStatus::IterationLimit,
             other => other,
         };
-        Ok(LpSolution { status, objective, values, iterations })
+        Ok(LpSolution {
+            status,
+            objective,
+            values,
+            iterations,
+        })
+    }
+
+    /// Check a candidate point against the original (un-pivoted) rows and
+    /// bounds within a scaled tolerance. Guards against numerical drift in
+    /// the pivoted tableau — the solution reported to callers must satisfy
+    /// the *model*, not the tableau's opinion of it.
+    fn verify(&self, values: &[f64]) -> bool {
+        for (j, &v) in values.iter().enumerate().take(self.n_struct) {
+            if v < self.lower[j] - 1e-6 || v > self.upper[j] + 1e-6 {
+                return false;
+            }
+        }
+        for i in 0..self.n_rows {
+            let row = &self.matrix[i * self.n_cols..i * self.n_cols + self.n_struct];
+            let activity: f64 = row.iter().zip(values).map(|(a, v)| a * v).sum();
+            let tol = 1e-5 * (1.0 + self.rhs[i].abs());
+            let ok = match self.senses[i] {
+                Sense::Le => activity <= self.rhs[i] + tol,
+                Sense::Ge => activity >= self.rhs[i] - tol,
+                Sense::Eq => (activity - self.rhs[i]).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
     }
 }
 
@@ -333,7 +433,13 @@ fn nonbasic_value(status: ColStatus, lower: f64, upper: f64) -> f64 {
     }
 }
 
-fn column_value(col: usize, status: &[ColStatus], x_basic: &[f64], lower: &[f64], upper: &[f64]) -> f64 {
+fn column_value(
+    col: usize,
+    status: &[ColStatus],
+    x_basic: &[f64],
+    lower: &[f64],
+    upper: &[f64],
+) -> f64 {
     match status[col] {
         ColStatus::Basic(row) => x_basic[row],
         ColStatus::AtLower => lower[col],
@@ -356,6 +462,7 @@ fn simplex_phase(
     n: usize,
     m: usize,
     max_iterations: usize,
+    deadline: Option<Instant>,
     iterations: &mut usize,
 ) -> Result<LpStatus> {
     // Reduced-cost row, kept consistent by pivoting.
@@ -364,18 +471,37 @@ fn simplex_phase(
     let mut phase_iters = 0usize;
     // Anti-cycling: after a run of degenerate (zero-step) pivots, entering
     // columns are picked pseudo-randomly among the improving candidates
-    // instead of by the Dantzig rule, which breaks the stalling patterns the
+    // instead of by the devex rule, which breaks the stalling patterns the
     // big-M refinement LPs otherwise exhibit.
     let mut degenerate_streak = 0usize;
     let mut rng_state: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut pivot_row_buf: Vec<f64> = Vec::with_capacity(n);
+    // Devex reference weights (Forrest–Goldfarb, simplified): pricing by
+    // d_j^2 / w_j approximates steepest-edge at a fraction of its cost and
+    // cuts the degenerate stalling the plain Dantzig rule exhibits on the
+    // big-M refinement LPs by orders of magnitude.
+    let mut devex_weight = vec![1.0f64; n];
 
     loop {
         if *iterations >= max_iterations {
             return Ok(LpStatus::IterationLimit);
         }
+        // Checking the clock every pivot would be noticeable on small LPs;
+        // every 64 pivots bounds the overshoot to well under a millisecond.
+        if (*iterations).is_multiple_of(64) {
+            if let Some(deadline) = deadline {
+                if Instant::now() > deadline {
+                    return Ok(LpStatus::IterationLimit);
+                }
+            }
+        }
         *iterations += 1;
         phase_iters += 1;
-        let use_bland = phase_iters > bland_threshold;
+        // Bland's rule guarantees escape from a degenerate vertex (or a
+        // finite optimality proof), so engage it as soon as a genuine stall
+        // is detected — not only after a global iteration budget. It
+        // disengages automatically once a pivot makes real progress.
+        let use_bland = phase_iters > bland_threshold || degenerate_streak > 100;
         let randomize = !use_bland && degenerate_streak > 8;
 
         // --- Pricing: pick an entering column and a direction. ---
@@ -401,7 +527,7 @@ fn simplex_phase(
                 continue;
             }
             improving_count += 1;
-            let score = d.abs();
+            let score = d * d / devex_weight[j];
             if use_bland {
                 entering = Some((j, dir, score));
                 break;
@@ -411,7 +537,7 @@ fn simplex_phase(
                 rng_state ^= rng_state << 13;
                 rng_state ^= rng_state >> 7;
                 rng_state ^= rng_state << 17;
-                if entering.is_none() || rng_state % improving_count as u64 == 0 {
+                if entering.is_none() || rng_state.is_multiple_of(improving_count as u64) {
                     entering = Some((j, dir, score));
                 }
             } else if entering.map(|(_, _, s)| score > s).unwrap_or(true) {
@@ -426,7 +552,11 @@ fn simplex_phase(
         // The entering variable moves away from its bound by `t >= 0` in
         // `direction`; basic variables change by `-direction * t * tab[i][enter_col]`.
         let own_range = upper[enter_col] - lower[enter_col];
-        let mut best_t = if own_range.is_finite() { own_range } else { f64::INFINITY };
+        let mut best_t = if own_range.is_finite() {
+            own_range
+        } else {
+            f64::INFINITY
+        };
         let mut leaving: Option<(usize, bool)> = None; // (row, leaves_at_upper)
         let mut best_pivot_mag = 0.0f64;
         for i in 0..m {
@@ -434,15 +564,19 @@ fn simplex_phase(
             let candidate = if alpha > PIVOT_TOL {
                 // Basic variable decreases towards its lower bound.
                 let lo = lower[basis[i]];
-                lo.is_finite().then(|| ((x_basic[i] - lo) / alpha, (i, false)))
+                lo.is_finite()
+                    .then(|| ((x_basic[i] - lo) / alpha, (i, false)))
             } else if alpha < -PIVOT_TOL {
                 // Basic variable increases towards its upper bound.
                 let up = upper[basis[i]];
-                up.is_finite().then(|| ((up - x_basic[i]) / (-alpha), (i, true)))
+                up.is_finite()
+                    .then(|| ((up - x_basic[i]) / (-alpha), (i, true)))
             } else {
                 None
             };
-            let Some((t, which)) = candidate else { continue };
+            let Some((t, which)) = candidate else {
+                continue;
+            };
             let t = t.max(0.0);
             // Strictly smaller step wins; among (near-)ties prefer the larger
             // pivot element for numerical stability and fewer degenerate
@@ -471,6 +605,12 @@ fn simplex_phase(
         }
         if best_t <= 1e-12 {
             degenerate_streak += 1;
+            // A stall that survives hundreds of Bland pivots is not going to
+            // resolve; long in-place pivot runs only corrupt the tableau.
+            // Give up on this LP and let the caller fall back to box bounds.
+            if degenerate_streak > 600 {
+                return Ok(LpStatus::IterationLimit);
+            }
         } else {
             degenerate_streak = 0;
         }
@@ -492,7 +632,8 @@ fn simplex_phase(
             Some((leave_row, leaves_at_upper)) => {
                 let leave_col = basis[leave_row];
                 // New value of the entering variable.
-                let enter_from = nonbasic_value(status[enter_col], lower[enter_col], upper[enter_col]);
+                let enter_from =
+                    nonbasic_value(status[enter_col], lower[enter_col], upper[enter_col]);
                 let enter_value = enter_from + direction * best_t;
 
                 // Pivot the tableau on (leave_row, enter_col).
@@ -503,28 +644,54 @@ fn simplex_phase(
                     )));
                 }
                 let inv = 1.0 / pivot;
-                for j in 0..n {
-                    tab[leave_row * n + j] *= inv;
+                let pivot_row = &mut tab[leave_row * n..(leave_row + 1) * n];
+                for a in pivot_row.iter_mut() {
+                    *a *= inv;
                 }
-                for i in 0..m {
+                // Snapshot the scaled pivot row so the elimination loops below
+                // can run on disjoint slices (and autovectorize).
+                pivot_row_buf.clear();
+                pivot_row_buf.extend_from_slice(&tab[leave_row * n..(leave_row + 1) * n]);
+                for (i, row) in tab.chunks_exact_mut(n).enumerate() {
                     if i == leave_row {
                         continue;
                     }
-                    let factor = tab[i * n + enter_col];
+                    let factor = row[enter_col];
                     if factor != 0.0 {
-                        for j in 0..n {
-                            tab[i * n + j] -= factor * tab[leave_row * n + j];
+                        for (a, &p) in row.iter_mut().zip(&pivot_row_buf) {
+                            *a -= factor * p;
                         }
                     }
                 }
                 let factor = reduced[enter_col];
                 if factor != 0.0 {
-                    for j in 0..n {
-                        reduced[j] -= factor * tab[leave_row * n + j];
+                    for (r, &p) in reduced.iter_mut().zip(&pivot_row_buf) {
+                        *r -= factor * p;
                     }
                 }
 
-                status[leave_col] = if leaves_at_upper { ColStatus::AtUpper } else { ColStatus::AtLower };
+                // Devex weight update over the (scaled) pivot row; the
+                // leaving column inherits the entering column's reference
+                // weight through the pivot element.
+                let gamma = devex_weight[enter_col].max(1.0);
+                for (w, &p) in devex_weight.iter_mut().zip(&pivot_row_buf) {
+                    let candidate = p * p * gamma;
+                    if candidate > *w {
+                        *w = candidate;
+                    }
+                }
+                devex_weight[leave_col] = (gamma / (pivot * pivot)).max(1.0);
+                devex_weight[enter_col] = 1.0;
+                if devex_weight.iter().any(|&w| w > 1e8) {
+                    // Reference framework reset keeps the weights meaningful.
+                    devex_weight.iter_mut().for_each(|w| *w = 1.0);
+                }
+
+                status[leave_col] = if leaves_at_upper {
+                    ColStatus::AtUpper
+                } else {
+                    ColStatus::AtLower
+                };
                 status[enter_col] = ColStatus::Basic(leave_row);
                 basis[leave_row] = enter_col;
                 x_basic[leave_row] = enter_value;
@@ -532,13 +699,26 @@ fn simplex_phase(
         }
 
         // Periodically refresh reduced costs to limit drift.
-        if phase_iters % 256 == 0 {
+        if phase_iters.is_multiple_of(256) {
             reduced = compute_reduced_costs(tab, basis, cost, n, m);
+            if phase_iters.is_multiple_of(2048) && std::env::var_os("QR_MILP_DEBUG").is_some() {
+                let obj: f64 = (0..n)
+                    .map(|j| cost[j] * column_value(j, status, x_basic, lower, upper))
+                    .sum();
+                eprintln!(
+                    "[qr-milp]   iter {phase_iters}: obj {obj:.6}, degenerate streak {degenerate_streak}"
+                );
+            }
         }
     }
 }
 
-fn leaving_is_better(current: &Option<(usize, bool)>, candidate_row: usize, use_bland: bool, basis: &[usize]) -> bool {
+fn leaving_is_better(
+    current: &Option<(usize, bool)>,
+    candidate_row: usize,
+    use_bland: bool,
+    basis: &[usize],
+) -> bool {
     match current {
         None => true,
         Some((row, _)) => {
@@ -552,7 +732,13 @@ fn leaving_is_better(current: &Option<(usize, bool)>, candidate_row: usize, use_
     }
 }
 
-fn compute_reduced_costs(tab: &[f64], basis: &[usize], cost: &[f64], n: usize, m: usize) -> Vec<f64> {
+fn compute_reduced_costs(
+    tab: &[f64],
+    basis: &[usize],
+    cost: &[f64],
+    n: usize,
+    m: usize,
+) -> Vec<f64> {
     // reduced = cost - cost_B^T * tab
     let mut reduced = cost.to_vec();
     for i in 0..m {
@@ -570,9 +756,16 @@ fn compute_reduced_costs(tab: &[f64], basis: &[usize], cost: &[f64], n: usize, m
     reduced
 }
 
-/// Convenience: build and solve the LP relaxation of a model with given bounds.
-pub fn solve_lp(model: &Model, lower: &[f64], upper: &[f64], max_iterations: usize) -> Result<LpSolution> {
-    LpProblem::from_model(model, lower, upper)?.solve(max_iterations)
+/// Convenience: build and solve the LP relaxation of a model with given
+/// bounds, optionally bounded by a wall-clock deadline.
+pub fn solve_lp(
+    model: &Model,
+    lower: &[f64],
+    upper: &[f64],
+    max_iterations: usize,
+    deadline: Option<Instant>,
+) -> Result<LpSolution> {
+    LpProblem::from_model(model, lower, upper)?.solve(max_iterations, deadline)
 }
 
 #[cfg(test)]
@@ -590,7 +783,7 @@ mod tests {
 
     fn solve(model: &Model) -> LpSolution {
         let (lo, up) = bounds_of(model);
-        solve_lp(model, &lo, &up, 100_000).unwrap()
+        solve_lp(model, &lo, &up, 100_000, None).unwrap()
     }
 
     #[test]
@@ -599,12 +792,26 @@ mod tests {
         let mut m = Model::new("lp");
         let x = m.add_continuous("x", 0.0, f64::INFINITY);
         let y = m.add_continuous("y", 0.0, f64::INFINITY);
-        m.add_constraint("c1", LinExpr::term(x, 1.0) + LinExpr::term(y, 1.0), Sense::Le, 4.0);
-        m.add_constraint("c2", LinExpr::term(x, 1.0) + LinExpr::term(y, 3.0), Sense::Le, 6.0);
+        m.add_constraint(
+            "c1",
+            LinExpr::term(x, 1.0) + LinExpr::term(y, 1.0),
+            Sense::Le,
+            4.0,
+        );
+        m.add_constraint(
+            "c2",
+            LinExpr::term(x, 1.0) + LinExpr::term(y, 3.0),
+            Sense::Le,
+            6.0,
+        );
         m.set_objective(LinExpr::term(x, -3.0) + LinExpr::term(y, -2.0));
         let s = solve(&m);
         assert_eq!(s.status, LpStatus::Optimal);
-        assert!((s.objective - (-12.0)).abs() < 1e-6, "objective {}", s.objective);
+        assert!(
+            (s.objective - (-12.0)).abs() < 1e-6,
+            "objective {}",
+            s.objective
+        );
         assert!((s.values[x.index()] - 4.0).abs() < 1e-6);
         assert!(s.values[y.index()].abs() < 1e-6);
     }
@@ -615,7 +822,12 @@ mod tests {
         let mut m = Model::new("lp");
         let x = m.add_continuous("x", 3.0, f64::INFINITY);
         let y = m.add_continuous("y", 2.0, f64::INFINITY);
-        m.add_constraint("sum", LinExpr::term(x, 1.0) + LinExpr::term(y, 1.0), Sense::Eq, 10.0);
+        m.add_constraint(
+            "sum",
+            LinExpr::term(x, 1.0) + LinExpr::term(y, 1.0),
+            Sense::Eq,
+            10.0,
+        );
         m.set_objective(LinExpr::term(x, 1.0) + LinExpr::term(y, 1.0));
         let s = solve(&m);
         assert_eq!(s.status, LpStatus::Optimal);
@@ -649,7 +861,12 @@ mod tests {
         let mut m = Model::new("lp");
         let x = m.add_continuous("x", 0.0, 3.0);
         let y = m.add_continuous("y", 0.0, 4.0);
-        m.add_constraint("c", LinExpr::term(x, 1.0) + LinExpr::term(y, 1.0), Sense::Le, 10.0);
+        m.add_constraint(
+            "c",
+            LinExpr::term(x, 1.0) + LinExpr::term(y, 1.0),
+            Sense::Le,
+            10.0,
+        );
         m.set_objective(LinExpr::term(x, -1.0) + LinExpr::term(y, -1.0));
         let s = solve(&m);
         assert_eq!(s.status, LpStatus::Optimal);
@@ -701,6 +918,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn bigger_random_lp_feasible_and_optimal_bound() {
         // A transportation-style LP with known optimum.
         // min sum_{i,j} c_ij x_ij, row sums = supply, col sums = demand.
@@ -754,6 +972,10 @@ mod tests {
             let row: f64 = (0..4).map(|j| s.values[vars[i][j].index()]).sum();
             assert!(row <= supplies[i] + 1e-5);
         }
-        assert!((s.objective - 615.0).abs() < 1e-5, "objective {}", s.objective);
+        assert!(
+            (s.objective - 615.0).abs() < 1e-5,
+            "objective {}",
+            s.objective
+        );
     }
 }

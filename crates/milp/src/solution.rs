@@ -72,7 +72,12 @@ impl Solution {
 
     /// A solution representing an infeasible or limit outcome.
     pub fn without_assignment(status: SolveStatus, stats: SolveStats) -> Self {
-        Solution { status, objective: f64::INFINITY, values: Vec::new(), stats }
+        Solution {
+            status,
+            objective: f64::INFINITY,
+            values: Vec::new(),
+            stats,
+        }
     }
 }
 

@@ -56,11 +56,18 @@ impl AnnotatedRelation {
         // Resolve predicate attribute indices once.
         let mut cat_attrs = Vec::new();
         for p in &query.categorical_predicates {
-            cat_attrs.push((p.attribute.clone(), schema.require(&p.attribute, relaxed.name())?));
+            cat_attrs.push((
+                p.attribute.clone(),
+                schema.require(&p.attribute, relaxed.name())?,
+            ));
         }
         let mut num_attrs = Vec::new();
         for p in &query.numeric_predicates {
-            num_attrs.push((p.attribute.clone(), p.op, schema.require(&p.attribute, relaxed.name())?));
+            num_attrs.push((
+                p.attribute.clone(),
+                p.op,
+                schema.require(&p.attribute, relaxed.name())?,
+            ));
         }
 
         // DISTINCT key columns (the projected attributes).
@@ -88,7 +95,9 @@ impl AnnotatedRelation {
                         attribute: attr.clone(),
                         value: v.to_string(),
                     }),
-                    None => atoms.push(LineageAtom::Unsatisfiable { attribute: attr.clone() }),
+                    None => atoms.push(LineageAtom::Unsatisfiable {
+                        attribute: attr.clone(),
+                    }),
                 }
             }
             for (attr, op, idx) in &num_attrs {
@@ -99,7 +108,9 @@ impl AnnotatedRelation {
                         value: row[*idx].clone(),
                     });
                 } else {
-                    atoms.push(LineageAtom::Unsatisfiable { attribute: attr.clone() });
+                    atoms.push(LineageAtom::Unsatisfiable {
+                        attribute: attr.clone(),
+                    });
                 }
             }
             let lineage = Lineage::new(atoms);
@@ -129,14 +140,23 @@ impl AnnotatedRelation {
         let mut class_of = vec![0usize; tuples.len()];
         for (i, t) in tuples.iter().enumerate() {
             let idx = *class_index.entry(t.lineage.clone()).or_insert_with(|| {
-                classes.push(LineageClass { lineage: t.lineage.clone(), members: Vec::new() });
+                classes.push(LineageClass {
+                    lineage: t.lineage.clone(),
+                    members: Vec::new(),
+                });
                 classes.len() - 1
             });
             classes[idx].members.push(i);
             class_of[i] = idx;
         }
 
-        Ok(AnnotatedRelation { query: query.clone(), schema, tuples, classes, class_of })
+        Ok(AnnotatedRelation {
+            query: query.clone(),
+            schema,
+            tuples,
+            classes,
+            class_of,
+        })
     }
 
     /// The query the annotation was built for.
@@ -180,7 +200,9 @@ impl AnnotatedRelation {
         self.tuples
             .get(tuple_index)
             .map(|t| &t.row[idx])
-            .ok_or_else(|| RelationError::InvalidQuery(format!("tuple index {tuple_index} out of range")))
+            .ok_or_else(|| {
+                RelationError::InvalidQuery(format!("tuple index {tuple_index} out of range"))
+            })
     }
 
     /// The relevancy-based pruning of Section 4: the indices of tuples that
@@ -254,20 +276,104 @@ mod tests {
             .column("GPA", DataType::Float)
             .column("SAT", DataType::Int)
             .rows(vec![
-                vec!["t1".into(), "M".into(), "Medium".into(), 3.7.into(), 1590.into()],
-                vec!["t2".into(), "F".into(), "Low".into(), 3.8.into(), 1580.into()],
-                vec!["t3".into(), "F".into(), "Low".into(), 3.6.into(), 1570.into()],
-                vec!["t4".into(), "M".into(), "High".into(), 3.8.into(), 1560.into()],
-                vec!["t5".into(), "F".into(), "Medium".into(), 3.6.into(), 1550.into()],
-                vec!["t6".into(), "F".into(), "Low".into(), 3.7.into(), 1550.into()],
-                vec!["t7".into(), "M".into(), "Low".into(), 3.7.into(), 1540.into()],
-                vec!["t8".into(), "F".into(), "High".into(), 3.9.into(), 1530.into()],
-                vec!["t9".into(), "F".into(), "Medium".into(), 3.8.into(), 1530.into()],
-                vec!["t10".into(), "M".into(), "High".into(), 3.7.into(), 1520.into()],
-                vec!["t11".into(), "F".into(), "Low".into(), 3.8.into(), 1490.into()],
-                vec!["t12".into(), "M".into(), "Medium".into(), 4.0.into(), 1480.into()],
-                vec!["t13".into(), "M".into(), "High".into(), 3.5.into(), 1430.into()],
-                vec!["t14".into(), "F".into(), "Low".into(), 3.7.into(), 1410.into()],
+                vec![
+                    "t1".into(),
+                    "M".into(),
+                    "Medium".into(),
+                    3.7.into(),
+                    1590.into(),
+                ],
+                vec![
+                    "t2".into(),
+                    "F".into(),
+                    "Low".into(),
+                    3.8.into(),
+                    1580.into(),
+                ],
+                vec![
+                    "t3".into(),
+                    "F".into(),
+                    "Low".into(),
+                    3.6.into(),
+                    1570.into(),
+                ],
+                vec![
+                    "t4".into(),
+                    "M".into(),
+                    "High".into(),
+                    3.8.into(),
+                    1560.into(),
+                ],
+                vec![
+                    "t5".into(),
+                    "F".into(),
+                    "Medium".into(),
+                    3.6.into(),
+                    1550.into(),
+                ],
+                vec![
+                    "t6".into(),
+                    "F".into(),
+                    "Low".into(),
+                    3.7.into(),
+                    1550.into(),
+                ],
+                vec![
+                    "t7".into(),
+                    "M".into(),
+                    "Low".into(),
+                    3.7.into(),
+                    1540.into(),
+                ],
+                vec![
+                    "t8".into(),
+                    "F".into(),
+                    "High".into(),
+                    3.9.into(),
+                    1530.into(),
+                ],
+                vec![
+                    "t9".into(),
+                    "F".into(),
+                    "Medium".into(),
+                    3.8.into(),
+                    1530.into(),
+                ],
+                vec![
+                    "t10".into(),
+                    "M".into(),
+                    "High".into(),
+                    3.7.into(),
+                    1520.into(),
+                ],
+                vec![
+                    "t11".into(),
+                    "F".into(),
+                    "Low".into(),
+                    3.8.into(),
+                    1490.into(),
+                ],
+                vec![
+                    "t12".into(),
+                    "M".into(),
+                    "Medium".into(),
+                    4.0.into(),
+                    1480.into(),
+                ],
+                vec![
+                    "t13".into(),
+                    "M".into(),
+                    "High".into(),
+                    3.5.into(),
+                    1430.into(),
+                ],
+                vec![
+                    "t14".into(),
+                    "F".into(),
+                    "Low".into(),
+                    3.7.into(),
+                    1410.into(),
+                ],
             ])
             .finish()
             .unwrap();
@@ -335,7 +441,9 @@ mod tests {
             .map(|(i, _)| i)
             .collect();
         assert_eq!(t4_occurrences.len(), 2);
-        assert!(annotated.tuples()[t4_occurrences[0]].duplicate_predecessors.is_empty());
+        assert!(annotated.tuples()[t4_occurrences[0]]
+            .duplicate_predecessors
+            .is_empty());
         assert_eq!(
             annotated.tuples()[t4_occurrences[1]].duplicate_predecessors,
             vec![t4_occurrences[0]]
@@ -354,8 +462,11 @@ mod tests {
             .position(|t| t.row[id_idx] == Value::text("t14"))
             .unwrap();
         let class = &annotated.classes()[annotated.class_of(t14_idx)];
-        let ids: Vec<String> =
-            class.members.iter().map(|&i| annotated.tuples()[i].row[id_idx].to_string()).collect();
+        let ids: Vec<String> = class
+            .members
+            .iter()
+            .map(|&i| annotated.tuples()[i].row[id_idx].to_string())
+            .collect();
         assert_eq!(ids, vec!["t7", "t10", "t14"]);
     }
 
@@ -367,8 +478,10 @@ mod tests {
         // top-2 and must be pruned (Example 4.1).
         let id_idx = annotated.schema().index_of("ID").unwrap();
         let keep = annotated.relevant_indices(2);
-        let kept_ids: Vec<String> =
-            keep.iter().map(|&i| annotated.tuples()[i].row[id_idx].to_string()).collect();
+        let kept_ids: Vec<String> = keep
+            .iter()
+            .map(|&i| annotated.tuples()[i].row[id_idx].to_string())
+            .collect();
         assert!(!kept_ids.contains(&"t14".to_string()));
         assert!(kept_ids.contains(&"t7".to_string()));
         assert!(kept_ids.contains(&"t10".to_string()));
@@ -420,6 +533,9 @@ mod tests {
         q.distinct = false;
         let annotated = AnnotatedRelation::build(&db, &q).unwrap();
         assert!(annotated.tuples().iter().all(|t| t.distinct_key.is_none()));
-        assert!(annotated.tuples().iter().all(|t| t.duplicate_predecessors.is_empty()));
+        assert!(annotated
+            .tuples()
+            .iter()
+            .all(|t| t.duplicate_predecessors.is_empty()));
     }
 }

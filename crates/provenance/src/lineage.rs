@@ -45,7 +45,11 @@ impl fmt::Display for LineageAtom {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LineageAtom::Categorical { attribute, value } => write!(f, "{attribute}={value}"),
-            LineageAtom::Numeric { attribute, op, value } => write!(f, "{attribute}{op}{value}"),
+            LineageAtom::Numeric {
+                attribute,
+                op,
+                value,
+            } => write!(f, "{attribute}{op}{value}"),
             LineageAtom::Unsatisfiable { attribute } => write!(f, "{attribute}=⊥"),
         }
     }
@@ -61,7 +65,9 @@ pub struct Lineage {
 impl Lineage {
     /// Create a lineage from atoms.
     pub fn new(atoms: impl IntoIterator<Item = LineageAtom>) -> Self {
-        Lineage { atoms: atoms.into_iter().collect() }
+        Lineage {
+            atoms: atoms.into_iter().collect(),
+        }
     }
 
     /// The atoms, in deterministic order.
@@ -82,7 +88,9 @@ impl Lineage {
     /// Whether the tuple can never be selected by any refinement (it has a
     /// NULL value on some predicate attribute).
     pub fn is_unsatisfiable(&self) -> bool {
-        self.atoms.iter().any(|a| matches!(a, LineageAtom::Unsatisfiable { .. }))
+        self.atoms
+            .iter()
+            .any(|a| matches!(a, LineageAtom::Unsatisfiable { .. }))
     }
 
     /// Whether this lineage contains a specific atom.
@@ -103,11 +111,18 @@ mod tests {
     use super::*;
 
     fn cat(attr: &str, value: &str) -> LineageAtom {
-        LineageAtom::Categorical { attribute: attr.into(), value: value.into() }
+        LineageAtom::Categorical {
+            attribute: attr.into(),
+            value: value.into(),
+        }
     }
 
     fn num(attr: &str, op: CmpOp, value: f64) -> LineageAtom {
-        LineageAtom::Numeric { attribute: attr.into(), op, value: Value::float(value) }
+        LineageAtom::Numeric {
+            attribute: attr.into(),
+            op,
+            value: Value::float(value),
+        }
     }
 
     #[test]
@@ -124,7 +139,9 @@ mod tests {
         assert!(!ok.is_unsatisfiable());
         let bad = Lineage::new([
             cat("Activity", "SO"),
-            LineageAtom::Unsatisfiable { attribute: "GPA".into() },
+            LineageAtom::Unsatisfiable {
+                attribute: "GPA".into(),
+            },
         ]);
         assert!(bad.is_unsatisfiable());
     }

@@ -34,7 +34,10 @@ impl PredicateAssignment {
             .iter()
             .map(|p| ((p.attribute.clone(), p.op), p.constant))
             .collect();
-        PredicateAssignment { categorical, numeric }
+        PredicateAssignment {
+            categorical,
+            numeric,
+        }
     }
 
     /// Whether a tuple with the given lineage satisfies every predicate under
@@ -46,12 +49,14 @@ impl PredicateAssignment {
                 .get(attribute)
                 .map(|values| values.contains(value))
                 .unwrap_or(false),
-            LineageAtom::Numeric { attribute, op, value } => {
-                match (self.numeric.get(&(attribute.clone(), *op)), value.as_f64()) {
-                    (Some(&constant), Some(v)) => op.eval(v, constant),
-                    _ => false,
-                }
-            }
+            LineageAtom::Numeric {
+                attribute,
+                op,
+                value,
+            } => match (self.numeric.get(&(attribute.clone(), *op)), value.as_f64()) {
+                (Some(&constant), Some(v)) => op.eval(v, constant),
+                _ => false,
+            },
             LineageAtom::Unsatisfiable { .. } => false,
         })
     }
@@ -110,7 +115,12 @@ pub fn evaluate_refinement(
         if !assignment.satisfies(&tuple.lineage) {
             continue;
         }
-        if distinct && tuple.duplicate_predecessors.iter().any(|p| selected_set.contains(p)) {
+        if distinct
+            && tuple
+                .duplicate_predecessors
+                .iter()
+                .any(|p| selected_set.contains(p))
+        {
             continue;
         }
         selected.push(i);
@@ -134,20 +144,104 @@ mod tests {
             .column("GPA", DataType::Float)
             .column("SAT", DataType::Int)
             .rows(vec![
-                vec!["t1".into(), "M".into(), "Medium".into(), 3.7.into(), 1590.into()],
-                vec!["t2".into(), "F".into(), "Low".into(), 3.8.into(), 1580.into()],
-                vec!["t3".into(), "F".into(), "Low".into(), 3.6.into(), 1570.into()],
-                vec!["t4".into(), "M".into(), "High".into(), 3.8.into(), 1560.into()],
-                vec!["t5".into(), "F".into(), "Medium".into(), 3.6.into(), 1550.into()],
-                vec!["t6".into(), "F".into(), "Low".into(), 3.7.into(), 1550.into()],
-                vec!["t7".into(), "M".into(), "Low".into(), 3.7.into(), 1540.into()],
-                vec!["t8".into(), "F".into(), "High".into(), 3.9.into(), 1530.into()],
-                vec!["t9".into(), "F".into(), "Medium".into(), 3.8.into(), 1530.into()],
-                vec!["t10".into(), "M".into(), "High".into(), 3.7.into(), 1520.into()],
-                vec!["t11".into(), "F".into(), "Low".into(), 3.8.into(), 1490.into()],
-                vec!["t12".into(), "M".into(), "Medium".into(), 4.0.into(), 1480.into()],
-                vec!["t13".into(), "M".into(), "High".into(), 3.5.into(), 1430.into()],
-                vec!["t14".into(), "F".into(), "Low".into(), 3.7.into(), 1410.into()],
+                vec![
+                    "t1".into(),
+                    "M".into(),
+                    "Medium".into(),
+                    3.7.into(),
+                    1590.into(),
+                ],
+                vec![
+                    "t2".into(),
+                    "F".into(),
+                    "Low".into(),
+                    3.8.into(),
+                    1580.into(),
+                ],
+                vec![
+                    "t3".into(),
+                    "F".into(),
+                    "Low".into(),
+                    3.6.into(),
+                    1570.into(),
+                ],
+                vec![
+                    "t4".into(),
+                    "M".into(),
+                    "High".into(),
+                    3.8.into(),
+                    1560.into(),
+                ],
+                vec![
+                    "t5".into(),
+                    "F".into(),
+                    "Medium".into(),
+                    3.6.into(),
+                    1550.into(),
+                ],
+                vec![
+                    "t6".into(),
+                    "F".into(),
+                    "Low".into(),
+                    3.7.into(),
+                    1550.into(),
+                ],
+                vec![
+                    "t7".into(),
+                    "M".into(),
+                    "Low".into(),
+                    3.7.into(),
+                    1540.into(),
+                ],
+                vec![
+                    "t8".into(),
+                    "F".into(),
+                    "High".into(),
+                    3.9.into(),
+                    1530.into(),
+                ],
+                vec![
+                    "t9".into(),
+                    "F".into(),
+                    "Medium".into(),
+                    3.8.into(),
+                    1530.into(),
+                ],
+                vec![
+                    "t10".into(),
+                    "M".into(),
+                    "High".into(),
+                    3.7.into(),
+                    1520.into(),
+                ],
+                vec![
+                    "t11".into(),
+                    "F".into(),
+                    "Low".into(),
+                    3.8.into(),
+                    1490.into(),
+                ],
+                vec![
+                    "t12".into(),
+                    "M".into(),
+                    "Medium".into(),
+                    4.0.into(),
+                    1480.into(),
+                ],
+                vec![
+                    "t13".into(),
+                    "M".into(),
+                    "High".into(),
+                    3.5.into(),
+                    1430.into(),
+                ],
+                vec![
+                    "t14".into(),
+                    "F".into(),
+                    "Low".into(),
+                    3.7.into(),
+                    1410.into(),
+                ],
             ])
             .finish()
             .unwrap();
@@ -192,14 +286,22 @@ mod tests {
 
     fn ids_of(annotated: &AnnotatedRelation, output: &RankedOutput) -> Vec<String> {
         let id_idx = annotated.schema().index_of("ID").unwrap();
-        output.selected.iter().map(|&i| annotated.tuples()[i].row[id_idx].to_string()).collect()
+        output
+            .selected
+            .iter()
+            .map(|&i| annotated.tuples()[i].row[id_idx].to_string())
+            .collect()
     }
 
     /// What-if evaluation must agree with full query evaluation on the engine.
     fn engine_ids(db: &Database, query: &SpjQuery) -> Vec<String> {
         let result = evaluate(db, query).unwrap();
         let id_idx = result.schema().index_of("ID").unwrap();
-        result.rows().iter().map(|r| r[id_idx].to_string()).collect()
+        result
+            .rows()
+            .iter()
+            .map(|r| r[id_idx].to_string())
+            .collect()
     }
 
     #[test]
@@ -220,7 +322,10 @@ mod tests {
 
         // Example 1.2: Activity in {RB, SO}.
         let mut a1 = PredicateAssignment::from_query(&q);
-        a1.categorical.get_mut("Activity").unwrap().insert("SO".to_string());
+        a1.categorical
+            .get_mut("Activity")
+            .unwrap()
+            .insert("SO".to_string());
         let refined_q1 = a1.apply_to(&q);
         let out1 = evaluate_refinement(&annotated, &a1);
         assert_eq!(ids_of(&annotated, &out1), engine_ids(&db, &refined_q1));
@@ -269,7 +374,10 @@ mod tests {
         let q = scholarship_query();
         let mut a = PredicateAssignment::from_query(&q);
         *a.numeric.get_mut(&("GPA".to_string(), CmpOp::Ge)).unwrap() = 3.5;
-        a.categorical.get_mut("Activity").unwrap().insert("SO".to_string());
+        a.categorical
+            .get_mut("Activity")
+            .unwrap()
+            .insert("SO".to_string());
         let refined = a.apply_to(&q);
         assert_eq!(refined.numeric_predicates[0].constant, 3.5);
         assert!(refined.categorical_predicates[0].values.contains("SO"));

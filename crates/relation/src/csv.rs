@@ -16,24 +16,34 @@ use std::path::Path;
 pub fn read_csv_str(name: &str, columns: &[(&str, DataType)], data: &str) -> Result<Relation> {
     let records = parse_records(data)?;
     if records.is_empty() {
-        return Err(RelationError::CsvParse { line: 1, message: "missing header row".into() });
+        return Err(RelationError::CsvParse {
+            line: 1,
+            message: "missing header row".into(),
+        });
     }
     let header = &records[0];
     // Map each declared column to its position in the file.
     let mut positions = Vec::with_capacity(columns.len());
     let mut schema = Schema::default();
     for (cname, dtype) in columns {
-        let pos = header.iter().position(|h| h == cname).ok_or_else(|| RelationError::CsvParse {
-            line: 1,
-            message: format!("column `{cname}` not found in header"),
-        })?;
+        let pos = header
+            .iter()
+            .position(|h| h.text == *cname)
+            .ok_or_else(|| RelationError::CsvParse {
+                line: 1,
+                message: format!("column `{cname}` not found in header"),
+            })?;
         positions.push(pos);
         schema.push(Column::new(*cname, *dtype))?;
     }
     let mut rel = Relation::new(name, schema);
     for (line_no, record) in records.iter().enumerate().skip(1) {
-        if record.len() == 1 && record[0].is_empty() {
-            continue; // trailing blank line
+        // A blank line can only be skipped when the file has several columns
+        // (a single empty field cannot be a data row then). In a one-column
+        // file an empty line IS a data row — a NULL — and skipping it would
+        // drop NULL rows on a write/read round trip.
+        if header.len() > 1 && record.len() == 1 && record[0].text.is_empty() && !record[0].quoted {
+            continue;
         }
         let mut row = Vec::with_capacity(columns.len());
         for (&pos, (cname, dtype)) in positions.iter().zip(columns) {
@@ -64,14 +74,20 @@ pub fn read_csv_file(
 /// Serialise a relation as a CSV string (header + one record per row).
 pub fn write_csv_string(relation: &Relation) -> String {
     let mut out = String::new();
-    let names: Vec<String> =
-        relation.schema().names().iter().map(|n| escape_field(n)).collect();
+    let names: Vec<String> = relation
+        .schema()
+        .names()
+        .iter()
+        .map(|n| escape_field(n))
+        .collect();
     out.push_str(&names.join(","));
     out.push('\n');
     for row in relation.rows() {
         let fields: Vec<String> = row
             .iter()
             .map(|v| match v {
+                // NULL is an unquoted empty field; empty *text* is a quoted
+                // one, so the two survive a round trip (see `parse_value`).
                 Value::Null => String::new(),
                 other => escape_field(&other.to_string()),
             })
@@ -91,17 +107,23 @@ pub fn write_csv_file(relation: &Relation, path: impl AsRef<Path>) -> Result<()>
 }
 
 fn escape_field(s: &str) -> String {
-    if s.contains(',') || s.contains('"') || s.contains('\n') {
+    if s.is_empty() || s.contains(',') || s.contains('"') || s.contains('\n') {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
         s.to_string()
     }
 }
 
-fn parse_value(raw: &str, dtype: DataType, line: usize, column: &str) -> Result<Value> {
-    let trimmed = raw.trim();
+fn parse_value(raw: &Field, dtype: DataType, line: usize, column: &str) -> Result<Value> {
+    let trimmed = raw.text.trim();
     if trimmed.is_empty() {
-        return Ok(Value::Null);
+        // An unquoted empty field is NULL; a quoted empty field is an empty
+        // text value (for text columns — numeric columns treat both as NULL).
+        return Ok(if raw.quoted && dtype == DataType::Text {
+            Value::Text(trimmed.to_string())
+        } else {
+            Value::Null
+        });
     }
     match dtype {
         DataType::Int => trimmed
@@ -129,11 +151,19 @@ fn type_err(line: usize, column: &str, raw: &str, dtype: &str) -> RelationError 
     }
 }
 
+/// One parsed CSV field: its text plus whether it appeared quoted (which
+/// distinguishes an empty text value from a NULL).
+#[derive(Debug, Clone, Default)]
+struct Field {
+    text: String,
+    quoted: bool,
+}
+
 /// Split CSV text into records of fields, handling quoted fields.
-fn parse_records(data: &str) -> Result<Vec<Vec<String>>> {
+fn parse_records(data: &str) -> Result<Vec<Vec<Field>>> {
     let mut records = Vec::new();
-    let mut fields = Vec::new();
-    let mut field = String::new();
+    let mut fields: Vec<Field> = Vec::new();
+    let mut field = Field::default();
     let mut in_quotes = false;
     let mut chars = data.chars().peekable();
     let mut line = 1usize;
@@ -143,20 +173,23 @@ fn parse_records(data: &str) -> Result<Vec<Vec<String>>> {
                 '"' => {
                     if chars.peek() == Some(&'"') {
                         chars.next();
-                        field.push('"');
+                        field.text.push('"');
                     } else {
                         in_quotes = false;
                     }
                 }
                 '\n' => {
                     line += 1;
-                    field.push(c);
+                    field.text.push(c);
                 }
-                _ => field.push(c),
+                _ => field.text.push(c),
             }
         } else {
             match c {
-                '"' => in_quotes = true,
+                '"' => {
+                    in_quotes = true;
+                    field.quoted = true;
+                }
                 ',' => {
                     fields.push(std::mem::take(&mut field));
                 }
@@ -166,14 +199,17 @@ fn parse_records(data: &str) -> Result<Vec<Vec<String>>> {
                     fields.push(std::mem::take(&mut field));
                     records.push(std::mem::take(&mut fields));
                 }
-                _ => field.push(c),
+                _ => field.text.push(c),
             }
         }
     }
     if in_quotes {
-        return Err(RelationError::CsvParse { line, message: "unterminated quoted field".into() });
+        return Err(RelationError::CsvParse {
+            line,
+            message: "unterminated quoted field".into(),
+        });
     }
-    if !field.is_empty() || !fields.is_empty() {
+    if !field.text.is_empty() || field.quoted || !fields.is_empty() {
         fields.push(field);
         records.push(fields);
     }
@@ -205,8 +241,12 @@ mod tests {
 
     #[test]
     fn column_subset_and_reorder() {
-        let rel =
-            read_csv_str("s", &[("sat", DataType::Int), ("id", DataType::Text)], SAMPLE).unwrap();
+        let rel = read_csv_str(
+            "s",
+            &[("sat", DataType::Int), ("id", DataType::Text)],
+            SAMPLE,
+        )
+        .unwrap();
         assert_eq!(rel.schema().names(), vec!["sat", "id"]);
         assert_eq!(rel.value(0, "sat"), Some(&Value::int(1590)));
     }
@@ -227,6 +267,38 @@ mod tests {
     #[test]
     fn empty_fields_become_null() {
         let data = "id,gpa,sat,gender\nt1,,1590,M\n";
+        let rel = read_csv_str("s", &columns(), data).unwrap();
+        assert_eq!(rel.value(0, "gpa"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn quoted_empty_is_empty_text_not_null() {
+        let data = "id,gpa,sat,gender\nt1,3.0,1500,\"\"\n";
+        let rel = read_csv_str("s", &columns(), data).unwrap();
+        assert_eq!(rel.value(0, "gender"), Some(&Value::text("")));
+        // Empty text survives a write/read round trip (NULL stays NULL).
+        let text = write_csv_string(&rel);
+        let rel2 = read_csv_str("s", &columns(), &text).unwrap();
+        assert_eq!(rel.rows(), rel2.rows());
+    }
+
+    #[test]
+    fn single_column_null_rows_round_trip() {
+        let mut rel = Relation::build("t")
+            .column("label", DataType::Text)
+            .finish()
+            .unwrap();
+        rel.push_row(vec![Value::text("a")]).unwrap();
+        rel.push_row(vec![Value::Null]).unwrap();
+        rel.push_row(vec![Value::text("")]).unwrap();
+        let text = write_csv_string(&rel);
+        let back = read_csv_str("t", &[("label", DataType::Text)], &text).unwrap();
+        assert_eq!(rel.rows(), back.rows());
+    }
+
+    #[test]
+    fn quoted_empty_numeric_is_null() {
+        let data = "id,gpa,sat,gender\nt1,\"\",1500,M\n";
         let rel = read_csv_str("s", &columns(), data).unwrap();
         assert_eq!(rel.value(0, "gpa"), Some(&Value::Null));
     }

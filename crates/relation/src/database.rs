@@ -81,7 +81,10 @@ mod tests {
         assert_eq!(db.len(), 1);
         assert!(db.contains("t"));
         assert_eq!(db.get("t").unwrap().len(), 1);
-        assert!(matches!(db.get("nope"), Err(RelationError::UnknownRelation(_))));
+        assert!(matches!(
+            db.get("nope"),
+            Err(RelationError::UnknownRelation(_))
+        ));
         assert_eq!(db.total_rows(), 1);
         assert!(db.remove("t").is_some());
         assert!(db.is_empty());
@@ -90,7 +93,10 @@ mod tests {
     #[test]
     fn insert_replaces() {
         let mut db = Database::new();
-        let r1 = Relation::build("t").column("x", DataType::Int).finish().unwrap();
+        let r1 = Relation::build("t")
+            .column("x", DataType::Int)
+            .finish()
+            .unwrap();
         let r2 = Relation::build("t")
             .column("x", DataType::Int)
             .row(vec![Value::int(1)])

@@ -66,13 +66,26 @@ impl fmt::Display for RelationError {
             }
             RelationError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
             RelationError::ArityMismatch { expected, found } => {
-                write!(f, "row arity mismatch: schema has {expected} columns, row has {found}")
+                write!(
+                    f,
+                    "row arity mismatch: schema has {expected} columns, row has {found}"
+                )
             }
-            RelationError::TypeMismatch { column, expected, found } => {
-                write!(f, "type mismatch in column `{column}`: expected {expected}, found {found}")
+            RelationError::TypeMismatch {
+                column,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "type mismatch in column `{column}`: expected {expected}, found {found}"
+                )
             }
             RelationError::NoJoinColumns { left, right } => {
-                write!(f, "cannot natural-join `{left}` and `{right}`: no shared columns")
+                write!(
+                    f,
+                    "cannot natural-join `{left}` and `{right}`: no shared columns"
+                )
             }
             RelationError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
             RelationError::CsvParse { line, message } => {

@@ -25,7 +25,11 @@ pub fn evaluate(db: &Database, query: &SpjQuery) -> Result<Relation> {
     let joined = join_tables(db, &query.tables)?;
     let ranked = rank(&joined, &query.order_by, query.order)?;
     let filtered = filter(&ranked, query)?;
-    let deduped = if query.distinct { dedup(&filtered, query)? } else { filtered };
+    let deduped = if query.distinct {
+        dedup(&filtered, query)?
+    } else {
+        filtered
+    };
     project_select(&deduped, query)
 }
 
@@ -70,10 +74,14 @@ pub fn natural_join(left: &Relation, right: &Relation) -> Result<Relation> {
             right: right.name().to_string(),
         });
     }
-    let left_idx: Vec<usize> =
-        join_cols.iter().map(|c| left.schema().index_of(c).expect("common column")).collect();
-    let right_idx: Vec<usize> =
-        join_cols.iter().map(|c| right.schema().index_of(c).expect("common column")).collect();
+    let left_idx: Vec<usize> = join_cols
+        .iter()
+        .map(|c| left.schema().index_of(c).expect("common column"))
+        .collect();
+    let right_idx: Vec<usize> = join_cols
+        .iter()
+        .map(|c| right.schema().index_of(c).expect("common column"))
+        .collect();
 
     // Output schema: all left columns, then right columns that are not join columns.
     let mut schema = Schema::default();
@@ -86,9 +94,7 @@ pub fn natural_join(left: &Relation, right: &Relation) -> Result<Relation> {
         .iter()
         .enumerate()
         .filter(|(i, _)| !right_idx.contains(i))
-        .map(|(i, c)| {
-            schema.push(c.clone()).map(|_| i)
-        })
+        .map(|(i, c)| schema.push(c.clone()).map(|_| i))
         .collect::<Result<Vec<_>>>()?;
 
     // Build a hash index on the right relation's join key.
@@ -178,7 +184,12 @@ fn filter(relation: &Relation, query: &SpjQuery) -> Result<Relation> {
 /// values, keep only the first (highest-ranked) row.
 fn dedup(relation: &Relation, query: &SpjQuery) -> Result<Relation> {
     let key_columns: Vec<String> = match &query.select {
-        SelectList::All => relation.schema().names().iter().map(|s| s.to_string()).collect(),
+        SelectList::All => relation
+            .schema()
+            .names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         SelectList::Columns(c) => c.clone(),
     };
     let mut key_idx = Vec::with_capacity(key_columns.len());
@@ -222,20 +233,104 @@ mod tests {
             .column("GPA", DataType::Float)
             .column("SAT", DataType::Int)
             .rows(vec![
-                vec!["t1".into(), "M".into(), "Medium".into(), 3.7.into(), 1590.into()],
-                vec!["t2".into(), "F".into(), "Low".into(), 3.8.into(), 1580.into()],
-                vec!["t3".into(), "F".into(), "Low".into(), 3.6.into(), 1570.into()],
-                vec!["t4".into(), "M".into(), "High".into(), 3.8.into(), 1560.into()],
-                vec!["t5".into(), "F".into(), "Medium".into(), 3.6.into(), 1550.into()],
-                vec!["t6".into(), "F".into(), "Low".into(), 3.7.into(), 1550.into()],
-                vec!["t7".into(), "M".into(), "Low".into(), 3.7.into(), 1540.into()],
-                vec!["t8".into(), "F".into(), "High".into(), 3.9.into(), 1530.into()],
-                vec!["t9".into(), "F".into(), "Medium".into(), 3.8.into(), 1530.into()],
-                vec!["t10".into(), "M".into(), "High".into(), 3.7.into(), 1520.into()],
-                vec!["t11".into(), "F".into(), "Low".into(), 3.8.into(), 1490.into()],
-                vec!["t12".into(), "M".into(), "Medium".into(), 4.0.into(), 1480.into()],
-                vec!["t13".into(), "M".into(), "High".into(), 3.5.into(), 1430.into()],
-                vec!["t14".into(), "F".into(), "Low".into(), 3.7.into(), 1410.into()],
+                vec![
+                    "t1".into(),
+                    "M".into(),
+                    "Medium".into(),
+                    3.7.into(),
+                    1590.into(),
+                ],
+                vec![
+                    "t2".into(),
+                    "F".into(),
+                    "Low".into(),
+                    3.8.into(),
+                    1580.into(),
+                ],
+                vec![
+                    "t3".into(),
+                    "F".into(),
+                    "Low".into(),
+                    3.6.into(),
+                    1570.into(),
+                ],
+                vec![
+                    "t4".into(),
+                    "M".into(),
+                    "High".into(),
+                    3.8.into(),
+                    1560.into(),
+                ],
+                vec![
+                    "t5".into(),
+                    "F".into(),
+                    "Medium".into(),
+                    3.6.into(),
+                    1550.into(),
+                ],
+                vec![
+                    "t6".into(),
+                    "F".into(),
+                    "Low".into(),
+                    3.7.into(),
+                    1550.into(),
+                ],
+                vec![
+                    "t7".into(),
+                    "M".into(),
+                    "Low".into(),
+                    3.7.into(),
+                    1540.into(),
+                ],
+                vec![
+                    "t8".into(),
+                    "F".into(),
+                    "High".into(),
+                    3.9.into(),
+                    1530.into(),
+                ],
+                vec![
+                    "t9".into(),
+                    "F".into(),
+                    "Medium".into(),
+                    3.8.into(),
+                    1530.into(),
+                ],
+                vec![
+                    "t10".into(),
+                    "M".into(),
+                    "High".into(),
+                    3.7.into(),
+                    1520.into(),
+                ],
+                vec![
+                    "t11".into(),
+                    "F".into(),
+                    "Low".into(),
+                    3.8.into(),
+                    1490.into(),
+                ],
+                vec![
+                    "t12".into(),
+                    "M".into(),
+                    "Medium".into(),
+                    4.0.into(),
+                    1480.into(),
+                ],
+                vec![
+                    "t13".into(),
+                    "M".into(),
+                    "High".into(),
+                    3.5.into(),
+                    1430.into(),
+                ],
+                vec![
+                    "t14".into(),
+                    "F".into(),
+                    "Low".into(),
+                    3.7.into(),
+                    1410.into(),
+                ],
             ])
             .finish()
             .unwrap();
@@ -279,7 +374,10 @@ mod tests {
     }
 
     fn ids(rel: &Relation) -> Vec<String> {
-        rel.rows().iter().map(|r| r[rel.schema().index_of("ID").unwrap()].to_string()).collect()
+        rel.rows()
+            .iter()
+            .map(|r| r[rel.schema().index_of("ID").unwrap()].to_string())
+            .collect()
     }
 
     #[test]
@@ -290,7 +388,10 @@ mod tests {
         // The paper reports the ranking [t4, t7, t8, t10, t11, t12] (the six
         // scholarship recipients); t14 also qualifies (GPA 3.7, RB) and ranks
         // last with SAT 1410.
-        assert_eq!(ids(&top_k(&result, 6)), vec!["t4", "t7", "t8", "t10", "t11", "t12"]);
+        assert_eq!(
+            ids(&top_k(&result, 6)),
+            vec!["t4", "t7", "t8", "t10", "t11", "t12"]
+        );
         assert_eq!(result.len(), 7);
         assert_eq!(ids(&result)[6], "t14");
     }
@@ -300,8 +401,7 @@ mod tests {
         // Add SO to the Activity predicate: top-6 = t1, t2, t4, t6, t7, t8.
         let db = paper_database();
         let mut q = scholarship_query();
-        q.categorical_predicates[0] =
-            q.categorical_predicates[0].with_values(["RB", "SO"]);
+        q.categorical_predicates[0] = q.categorical_predicates[0].with_values(["RB", "SO"]);
         let result = evaluate(&db, &q).unwrap();
         let top6 = top_k(&result, 6);
         assert_eq!(ids(&top6), vec!["t1", "t2", "t4", "t6", "t7", "t8"]);
@@ -313,8 +413,7 @@ mod tests {
         let db = paper_database();
         let mut q = scholarship_query();
         q.numeric_predicates[0] = q.numeric_predicates[0].with_constant(3.6);
-        q.categorical_predicates[0] =
-            q.categorical_predicates[0].with_values(["RB", "GD"]);
+        q.categorical_predicates[0] = q.categorical_predicates[0].with_values(["RB", "GD"]);
         let result = evaluate(&db, &q).unwrap();
         let top6 = top_k(&result, 6);
         assert_eq!(ids(&top6), vec!["t3", "t4", "t7", "t8", "t10", "t11"]);
@@ -366,7 +465,11 @@ mod tests {
         let sats: Vec<f64> = result
             .rows()
             .iter()
-            .map(|r| r[result.schema().index_of("SAT").unwrap()].as_f64().unwrap())
+            .map(|r| {
+                r[result.schema().index_of("SAT").unwrap()]
+                    .as_f64()
+                    .unwrap()
+            })
             .collect();
         assert!(sats.windows(2).all(|w| w[0] <= w[1]));
     }
@@ -374,13 +477,22 @@ mod tests {
     #[test]
     fn missing_table_and_column_errors() {
         let db = paper_database();
-        let q = SpjQuery::builder("Nope").order_by("x", SortOrder::Descending).build().unwrap();
-        assert!(matches!(evaluate(&db, &q), Err(RelationError::UnknownRelation(_))));
+        let q = SpjQuery::builder("Nope")
+            .order_by("x", SortOrder::Descending)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            evaluate(&db, &q),
+            Err(RelationError::UnknownRelation(_))
+        ));
         let q = SpjQuery::builder("Students")
             .order_by("Nope", SortOrder::Descending)
             .build()
             .unwrap();
-        assert!(matches!(evaluate(&db, &q), Err(RelationError::UnknownColumn { .. })));
+        assert!(matches!(
+            evaluate(&db, &q),
+            Err(RelationError::UnknownColumn { .. })
+        ));
     }
 
     #[test]
@@ -391,16 +503,36 @@ mod tests {
             .order_by("SAT", SortOrder::Descending)
             .build()
             .unwrap();
-        assert!(matches!(evaluate(&db, &q), Err(RelationError::PredicateType { .. })));
+        assert!(matches!(
+            evaluate(&db, &q),
+            Err(RelationError::PredicateType { .. })
+        ));
     }
 
     #[test]
     fn join_without_common_columns_errors() {
         let mut db = Database::new();
-        db.insert(Relation::build("a").column("x", DataType::Int).finish().unwrap());
-        db.insert(Relation::build("b").column("y", DataType::Int).finish().unwrap());
-        let q = SpjQuery::builder("a").join("b").order_by("x", SortOrder::Descending).build().unwrap();
-        assert!(matches!(evaluate(&db, &q), Err(RelationError::NoJoinColumns { .. })));
+        db.insert(
+            Relation::build("a")
+                .column("x", DataType::Int)
+                .finish()
+                .unwrap(),
+        );
+        db.insert(
+            Relation::build("b")
+                .column("y", DataType::Int)
+                .finish()
+                .unwrap(),
+        );
+        let q = SpjQuery::builder("a")
+            .join("b")
+            .order_by("x", SortOrder::Descending)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            evaluate(&db, &q),
+            Err(RelationError::NoJoinColumns { .. })
+        ));
     }
 
     #[test]
@@ -424,7 +556,11 @@ mod tests {
                 .finish()
                 .unwrap(),
         );
-        let q = SpjQuery::builder("a").join("b").order_by("score", SortOrder::Descending).build().unwrap();
+        let q = SpjQuery::builder("a")
+            .join("b")
+            .order_by("score", SortOrder::Descending)
+            .build()
+            .unwrap();
         let result = evaluate(&db, &q).unwrap();
         assert_eq!(result.len(), 1);
         assert_eq!(result.value(0, "k"), Some(&Value::text("x")));

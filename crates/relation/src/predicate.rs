@@ -88,17 +88,28 @@ pub struct NumericPredicate {
 impl NumericPredicate {
     /// Create a numerical predicate.
     pub fn new(attribute: impl Into<String>, op: CmpOp, constant: f64) -> Self {
-        NumericPredicate { attribute: attribute.into(), op, constant }
+        NumericPredicate {
+            attribute: attribute.into(),
+            op,
+            constant,
+        }
     }
 
     /// Evaluate the predicate on a value. NULL and non-numeric values fail.
     pub fn matches(&self, value: &Value) -> bool {
-        value.as_f64().map(|v| self.op.eval(v, self.constant)).unwrap_or(false)
+        value
+            .as_f64()
+            .map(|v| self.op.eval(v, self.constant))
+            .unwrap_or(false)
     }
 
     /// A copy of this predicate with a different constant.
     pub fn with_constant(&self, constant: f64) -> Self {
-        NumericPredicate { attribute: self.attribute.clone(), op: self.op, constant }
+        NumericPredicate {
+            attribute: self.attribute.clone(),
+            op: self.op,
+            constant,
+        }
     }
 }
 
@@ -133,7 +144,10 @@ impl CategoricalPredicate {
 
     /// Evaluate the predicate on a value. NULL and non-text values fail.
     pub fn matches(&self, value: &Value) -> bool {
-        value.as_text().map(|v| self.values.contains(v)).unwrap_or(false)
+        value
+            .as_text()
+            .map(|v| self.values.contains(v))
+            .unwrap_or(false)
     }
 
     /// A copy of this predicate with a different value set.
@@ -163,8 +177,11 @@ impl CategoricalPredicate {
 
 impl fmt::Display for CategoricalPredicate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let parts: Vec<String> =
-            self.values.iter().map(|v| format!("{} = '{}'", self.attribute, v)).collect();
+        let parts: Vec<String> = self
+            .values
+            .iter()
+            .map(|v| format!("{} = '{}'", self.attribute, v))
+            .collect();
         if parts.is_empty() {
             write!(f, "FALSE")
         } else if parts.len() == 1 {

@@ -84,17 +84,27 @@ impl SpjQuery {
     /// is returned; use [`SpjQuery::numeric_predicate_with_op`] to
     /// disambiguate.
     pub fn numeric_predicate(&self, attribute: &str) -> Option<&NumericPredicate> {
-        self.numeric_predicates.iter().find(|p| p.attribute == attribute)
+        self.numeric_predicates
+            .iter()
+            .find(|p| p.attribute == attribute)
     }
 
     /// The numerical predicate on an attribute with a specific operator.
-    pub fn numeric_predicate_with_op(&self, attribute: &str, op: CmpOp) -> Option<&NumericPredicate> {
-        self.numeric_predicates.iter().find(|p| p.attribute == attribute && p.op == op)
+    pub fn numeric_predicate_with_op(
+        &self,
+        attribute: &str,
+        op: CmpOp,
+    ) -> Option<&NumericPredicate> {
+        self.numeric_predicates
+            .iter()
+            .find(|p| p.attribute == attribute && p.op == op)
     }
 
     /// The categorical predicate on an attribute, if any.
     pub fn categorical_predicate(&self, attribute: &str) -> Option<&CategoricalPredicate> {
-        self.categorical_predicates.iter().find(|p| p.attribute == attribute)
+        self.categorical_predicates
+            .iter()
+            .find(|p| p.attribute == attribute)
     }
 
     /// Attributes appearing in selection predicates, `Preds(Q)` in the paper.
@@ -102,7 +112,11 @@ impl SpjQuery {
         self.numeric_predicates
             .iter()
             .map(|p| p.attribute.as_str())
-            .chain(self.categorical_predicates.iter().map(|p| p.attribute.as_str()))
+            .chain(
+                self.categorical_predicates
+                    .iter()
+                    .map(|p| p.attribute.as_str()),
+            )
             .collect()
     }
 
@@ -125,10 +139,14 @@ impl SpjQuery {
     /// predicate attributes).
     pub fn validate(&self) -> Result<()> {
         if self.tables.is_empty() {
-            return Err(RelationError::InvalidQuery("query has no base relations".into()));
+            return Err(RelationError::InvalidQuery(
+                "query has no base relations".into(),
+            ));
         }
         if self.order_by.is_empty() {
-            return Err(RelationError::InvalidQuery("query has no ORDER BY attribute".into()));
+            return Err(RelationError::InvalidQuery(
+                "query has no ORDER BY attribute".into(),
+            ));
         }
         // Numerical predicates are identified by (attribute, operator): the
         // same attribute may carry e.g. both a lower and an upper bound
@@ -196,8 +214,14 @@ impl SpjQueryBuilder {
     }
 
     /// Add a numerical predicate `attribute op constant`.
-    pub fn numeric_predicate(mut self, attribute: impl Into<String>, op: CmpOp, constant: f64) -> Self {
-        self.numeric_predicates.push(NumericPredicate::new(attribute, op, constant));
+    pub fn numeric_predicate(
+        mut self,
+        attribute: impl Into<String>,
+        op: CmpOp,
+        constant: f64,
+    ) -> Self {
+        self.numeric_predicates
+            .push(NumericPredicate::new(attribute, op, constant));
         self
     }
 
@@ -207,7 +231,8 @@ impl SpjQueryBuilder {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        self.categorical_predicates.push(CategoricalPredicate::new(attribute, values));
+        self.categorical_predicates
+            .push(CategoricalPredicate::new(attribute, values));
         self
     }
 
@@ -292,7 +317,12 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(q.numeric_predicates.len(), 2);
-        assert_eq!(q.numeric_predicate_with_op("x", CmpOp::Le).unwrap().constant, 2.0);
+        assert_eq!(
+            q.numeric_predicate_with_op("x", CmpOp::Le)
+                .unwrap()
+                .constant,
+            2.0
+        );
     }
 
     #[test]

@@ -19,12 +19,20 @@ pub struct Relation {
 impl Relation {
     /// Create an empty relation with the given schema.
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
-        Relation { name: name.into(), schema, rows: Vec::new() }
+        Relation {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Start building a relation fluently.
     pub fn build(name: impl Into<String>) -> RelationBuilder {
-        RelationBuilder { name: name.into(), columns: Vec::new(), rows: Vec::new() }
+        RelationBuilder {
+            name: name.into(),
+            columns: Vec::new(),
+            rows: Vec::new(),
+        }
     }
 
     /// The relation's name.
@@ -238,7 +246,13 @@ mod tests {
     fn arity_mismatch_rejected() {
         let mut r = students();
         let err = r.push_row(vec![Value::text("t4")]).unwrap_err();
-        assert!(matches!(err, RelationError::ArityMismatch { expected: 3, found: 1 }));
+        assert!(matches!(
+            err,
+            RelationError::ArityMismatch {
+                expected: 3,
+                found: 1
+            }
+        ));
     }
 
     #[test]
@@ -253,7 +267,9 @@ mod tests {
     #[test]
     fn int_accepted_in_float_column() {
         let mut r = students();
-        assert!(r.push_row(vec![Value::text("t4"), Value::int(4), Value::int(1000)]).is_ok());
+        assert!(r
+            .push_row(vec![Value::text("t4"), Value::int(4), Value::int(1000)])
+            .is_ok());
     }
 
     #[test]

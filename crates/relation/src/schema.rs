@@ -21,13 +21,13 @@ impl DataType {
     /// NULL is admissible everywhere; integers are admissible in float
     /// columns (they are widened on comparison).
     pub fn accepts(&self, value: &Value) -> bool {
-        match (self, value) {
-            (_, Value::Null) => true,
-            (DataType::Int, Value::Int(_)) => true,
-            (DataType::Float, Value::Float(_) | Value::Int(_)) => true,
-            (DataType::Text, Value::Text(_)) => true,
-            _ => false,
-        }
+        matches!(
+            (self, value),
+            (_, Value::Null)
+                | (DataType::Int, Value::Int(_))
+                | (DataType::Float, Value::Float(_) | Value::Int(_))
+                | (DataType::Text, Value::Text(_))
+        )
     }
 
     /// Whether this is a numeric type.
@@ -58,7 +58,10 @@ pub struct Column {
 impl Column {
     /// Create a new column definition.
     pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
-        Column { name: name.into(), dtype }
+        Column {
+            name: name.into(),
+            dtype,
+        }
     }
 }
 
@@ -96,10 +99,11 @@ impl Schema {
 
     /// Index of a column by name, as a [`Result`].
     pub fn require(&self, name: &str, relation: &str) -> Result<usize> {
-        self.index_of(name).ok_or_else(|| RelationError::UnknownColumn {
-            column: name.to_string(),
-            relation: relation.to_string(),
-        })
+        self.index_of(name)
+            .ok_or_else(|| RelationError::UnknownColumn {
+                column: name.to_string(),
+                relation: relation.to_string(),
+            })
     }
 
     /// The column definition for a name, if present.
@@ -175,7 +179,10 @@ mod tests {
             Column::new("id", DataType::Text),
             Column::new("extra", DataType::Text),
         ]);
-        assert_eq!(a.common_columns(&b), vec!["id".to_string(), "sat".to_string()]);
+        assert_eq!(
+            a.common_columns(&b),
+            vec!["id".to_string(), "sat".to_string()]
+        );
     }
 
     #[test]

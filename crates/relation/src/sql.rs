@@ -26,13 +26,24 @@ impl ToSql for SpjQuery {
         out.push_str(&self.tables.join(" NATURAL JOIN "));
         let mut predicates: Vec<String> = Vec::new();
         for p in &self.numeric_predicates {
-            predicates.push(format!("{} {} {}", quote_ident(&p.attribute), p.op, p.constant));
+            predicates.push(format!(
+                "{} {} {}",
+                quote_ident(&p.attribute),
+                p.op,
+                p.constant
+            ));
         }
         for p in &self.categorical_predicates {
             let parts: Vec<String> = p
                 .values
                 .iter()
-                .map(|v| format!("{} = '{}'", quote_ident(&p.attribute), v.replace('\'', "''")))
+                .map(|v| {
+                    format!(
+                        "{} = '{}'",
+                        quote_ident(&p.attribute),
+                        v.replace('\'', "''")
+                    )
+                })
                 .collect();
             match parts.len() {
                 0 => predicates.push("FALSE".to_string()),
@@ -56,8 +67,10 @@ impl ToSql for SpjQuery {
 
 /// Quote an identifier if it contains whitespace or punctuation.
 fn quote_ident(name: &str) -> String {
-    let needs_quotes =
-        name.chars().any(|c| !(c.is_ascii_alphanumeric() || c == '_')) || name.is_empty();
+    let needs_quotes = name
+        .chars()
+        .any(|c| !(c.is_ascii_alphanumeric() || c == '_'))
+        || name.is_empty();
     if needs_quotes {
         format!("\"{}\"", name.replace('"', "\"\""))
     } else {

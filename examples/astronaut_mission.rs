@@ -10,7 +10,9 @@
 
 use query_refinement::core::prelude::*;
 use query_refinement::datagen::{DatasetId, Workload};
+use query_refinement::milp::SolverOptions;
 use query_refinement::relation::prelude::*;
+use std::time::Duration;
 
 fn main() {
     let workload = Workload::new(DatasetId::Astronauts, 7);
@@ -22,6 +24,14 @@ fn main() {
     println!("Query Q_A:\n{}\n", workload.query.to_sql());
     println!("Constraints: {}\n", constraints);
 
+    // A visible search budget: the unoptimized build in particular may return
+    // its best incumbent rather than a proven optimum within this window.
+    let budget = SolverOptions {
+        time_limit: Some(Duration::from_secs(10)),
+        max_nodes: 50_000,
+        ..SolverOptions::default()
+    };
+
     // Compare the unoptimized and optimized MILP builds (Figure 3a).
     for config in [OptimizationConfig::none(), OptimizationConfig::all()] {
         let result = RefinementEngine::new(&workload.db, workload.query.clone())
@@ -29,6 +39,7 @@ fn main() {
             .with_epsilon(0.5)
             .with_distance(DistanceMeasure::Predicate)
             .with_optimizations(config)
+            .with_solver_options(budget.clone())
             .solve()
             .expect("engine runs");
         println!(

@@ -11,8 +11,10 @@
 use query_refinement::core::prelude::*;
 use query_refinement::core::{exact_distance, DistanceMeasure as DM};
 use query_refinement::datagen::{DatasetId, Workload};
+use query_refinement::milp::SolverOptions;
 use query_refinement::provenance::AnnotatedRelation;
 use query_refinement::relation::prelude::*;
+use std::time::Duration;
 
 fn main() {
     let workload = Workload::new(DatasetId::Meps, 11);
@@ -29,18 +31,38 @@ fn main() {
         annotated.classes().len()
     );
 
+    // A visible search budget: at this dataset size the from-scratch solver
+    // may return the best incumbent found rather than a proven optimum.
+    let budget = SolverOptions {
+        time_limit: Some(Duration::from_secs(10)),
+        max_nodes: 50_000,
+        ..SolverOptions::default()
+    };
+
     let mut refinements = Vec::new();
     for distance in [DistanceMeasure::Predicate, DistanceMeasure::JaccardTopK] {
         let result = RefinementEngine::new(&workload.db, workload.query.clone())
             .with_constraints(constraints.clone())
             .with_epsilon(0.5)
             .with_distance(distance)
+            .with_solver_options(budget.clone())
             .solve()
             .expect("engine runs");
         if let Some(refined) = result.outcome.refined() {
-            let qd = exact_distance(DM::Predicate, &annotated, &workload.query, &refined.assignment, k);
-            let jac =
-                exact_distance(DM::JaccardTopK, &annotated, &workload.query, &refined.assignment, k);
+            let qd = exact_distance(
+                DM::Predicate,
+                &annotated,
+                &workload.query,
+                &refined.assignment,
+                k,
+            );
+            let jac = exact_distance(
+                DM::JaccardTopK,
+                &annotated,
+                &workload.query,
+                &refined.assignment,
+                k,
+            );
             println!(
                 "[{}] refined query:\n{}\n  predicate distance {:.3} | top-k Jaccard {:.3} | deviation {:.3}\n",
                 distance.label(),

@@ -19,7 +19,10 @@ fn main() {
 
     println!("Original query:\n{}\n", query.to_sql());
     let original = evaluate(&db, &query).expect("query evaluates");
-    println!("Original ranking (top 6):\n{}", top_k(&original, 6).preview(6));
+    println!(
+        "Original ranking (top 6):\n{}",
+        top_k(&original, 6).preview(6)
+    );
 
     let constraints = scholarship_constraints();
     println!("Diversity constraints: {}\n", constraints);

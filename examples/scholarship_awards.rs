@@ -9,7 +9,9 @@
 
 use query_refinement::core::prelude::*;
 use query_refinement::datagen::{DatasetId, Workload};
+use query_refinement::milp::SolverOptions;
 use query_refinement::relation::prelude::*;
+use std::time::Duration;
 
 fn main() {
     let workload = Workload::new(DatasetId::LawStudents, 42);
@@ -19,11 +21,20 @@ fn main() {
     println!("Query Q_L:\n{}\n", workload.query.to_sql());
     println!("Constraints: {}\n", constraints);
 
+    // A visible search budget: at this dataset size the from-scratch solver
+    // may return the best incumbent found rather than a proven optimum.
+    let budget = SolverOptions {
+        time_limit: Some(Duration::from_secs(10)),
+        max_nodes: 50_000,
+        ..SolverOptions::default()
+    };
+
     for distance in [DistanceMeasure::Predicate, DistanceMeasure::JaccardTopK] {
         let result = RefinementEngine::new(&workload.db, workload.query.clone())
             .with_constraints(constraints.clone())
             .with_epsilon(0.25)
             .with_distance(distance)
+            .with_solver_options(budget.clone())
             .solve()
             .expect("engine runs");
         match result.outcome.refined() {
@@ -37,7 +48,10 @@ fn main() {
                 result.stats.total_time,
                 refined.query.to_sql()
             ),
-            None => println!("[{}] no refinement within the deviation budget\n", distance.label()),
+            None => println!(
+                "[{}] no refinement within the deviation budget\n",
+                distance.label()
+            ),
         }
     }
 
@@ -49,7 +63,10 @@ fn main() {
         &constraints,
         0.25,
         DistanceMeasure::Predicate,
-        &NaiveOptions::default(),
+        &NaiveOptions {
+            time_limit: Some(Duration::from_secs(10)),
+            ..NaiveOptions::default()
+        },
     )
     .expect("naive search runs");
     match naive.best {

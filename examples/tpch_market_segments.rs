@@ -15,7 +15,10 @@ fn main() {
         .with(workload.constraint_with_bound(1, k, Some(3))) // >= 3 low-priority orders in top-10
         .with(workload.constraint(3, k)); // >= k/5 AUTOMOBILE orders in top-10
 
-    println!("Query Q5 (date predicates removed):\n{}\n", workload.query.to_sql());
+    println!(
+        "Query Q5 (date predicates removed):\n{}\n",
+        workload.query.to_sql()
+    );
     println!("Constraints: {}\n", constraints);
 
     let result = RefinementEngine::new(&workload.db, workload.query.clone())

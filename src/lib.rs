@@ -6,8 +6,8 @@
 //! single dependency. Downstream users will normally depend on [`qr_core`]
 //! directly (together with [`qr_relation`] for data loading).
 //!
-//! See the repository `README.md` for a quickstart and `DESIGN.md` for the
-//! system inventory.
+//! See the repository `README.md` for a quickstart and the
+//! crate map.
 
 pub use qr_core as core;
 pub use qr_datagen as datagen;

@@ -4,10 +4,13 @@
 //! Instances are kept deliberately small so the suite stays fast in debug
 //! builds; the full-size runs live in `qr-bench`.
 
+use query_refinement::core::erica_refine_with;
 use query_refinement::core::prelude::*;
 use query_refinement::datagen::{DatasetId, Workload};
+use query_refinement::milp::SolverOptions;
 use query_refinement::provenance::AnnotatedRelation;
 use query_refinement::relation::prelude::*;
+use std::time::Duration;
 
 fn tiny(id: DatasetId) -> Workload {
     match id {
@@ -15,6 +18,17 @@ fn tiny(id: DatasetId) -> Workload {
         DatasetId::LawStudents => Workload::law_students(150, 1),
         DatasetId::Meps => Workload::meps(150, 1),
         DatasetId::Tpch => Workload::tpch(40, 1),
+    }
+}
+
+/// Tight search limits: the Law-Students/MEPS instances are NP-hard MILPs the
+/// from-scratch solver cannot prove optimal quickly, and these tests assert
+/// properties of whatever incumbent the budget yields, not optimality.
+fn bounded_solver_options() -> SolverOptions {
+    SolverOptions {
+        time_limit: Some(Duration::from_secs(10)),
+        max_nodes: 20_000,
+        ..SolverOptions::default()
     }
 }
 
@@ -43,7 +57,10 @@ fn tpch_engine_matches_naive_optimum() {
     .unwrap();
     let refined = milp.outcome.refined().expect("TPC-H refinement exists");
     let (_, naive_dist, _) = naive.best.expect("naive refinement exists");
-    assert!(naive.exhausted, "TPC-H has a tiny refinement space; naive must finish");
+    assert!(
+        naive.exhausted,
+        "TPC-H has a tiny refinement space; naive must finish"
+    );
     assert!(
         (refined.distance - naive_dist).abs() < 1e-6,
         "engine {} vs naive {}",
@@ -61,6 +78,7 @@ fn refinements_respect_the_deviation_budget_on_all_datasets() {
             .with_constraints(constraints.clone())
             .with_epsilon(0.5)
             .with_distance(DistanceMeasure::Predicate)
+            .with_solver_options(bounded_solver_options())
             .solve()
             .unwrap();
         if let Some(refined) = result.outcome.refined() {
@@ -116,7 +134,8 @@ fn erica_baseline_respects_exact_output_size() {
         bound: BoundType::Lower,
         n: 3,
     }];
-    let erica = erica_refine(&w.db, &w.query, &constraints, 8).unwrap();
+    let erica =
+        erica_refine_with(&w.db, &w.query, &constraints, 8, bounded_solver_options()).unwrap();
     if let Some((assignment, _)) = erica.best {
         let annotated = AnnotatedRelation::build(&w.db, &w.query).unwrap();
         let output =
@@ -136,5 +155,8 @@ fn stats_report_setup_and_solver_split() {
     let stats = &result.stats;
     assert!(stats.total_time >= stats.setup_time);
     assert!(stats.num_variables > 0 && stats.num_constraints > 0);
-    assert!(stats.lineage_classes >= 1 && stats.lineage_classes <= 5, "Q5 has at most 5 classes");
+    assert!(
+        stats.lineage_classes >= 1 && stats.lineage_classes <= 5,
+        "Q5 has at most 5 classes"
+    );
 }

@@ -1,0 +1,80 @@
+//! Smoke test for the doc-facing entry points: every example under
+//! `examples/` must run to completion via `cargo run --example`, and the
+//! quickstart must actually print a refined query. Examples rot silently
+//! otherwise — they are compiled by `cargo test` but never executed.
+
+use std::path::Path;
+use std::process::Command;
+
+/// All examples, in roughly increasing runtime order. Keep in sync with
+/// `examples/*.rs`.
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "tpch_market_segments",
+    "healthcare_study",
+    "scholarship_awards",
+    "astronaut_mission",
+];
+
+fn run_example(name: &str) -> std::process::Output {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    Command::new(cargo)
+        .args(["run", "-q", "--example", name])
+        .current_dir(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example `{name}`: {e}"))
+}
+
+#[test]
+fn quickstart_prints_a_refined_query() {
+    let out = run_example("quickstart");
+    assert!(
+        out.status.success(),
+        "quickstart failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The quickstart prints the refined query's SQL and a deviation report.
+    assert!(
+        stdout.contains("WHERE"),
+        "quickstart did not print a refined query:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("deviation"),
+        "quickstart did not report the deviation:\n{stdout}"
+    );
+}
+
+#[test]
+fn all_examples_run_to_completion() {
+    // Sequential on purpose: each example may use its full solver budget, and
+    // running them in parallel would thrash the machine the suite times on.
+    for &name in EXAMPLES {
+        let out = run_example(name);
+        assert!(
+            out.status.success(),
+            "example `{name}` exited with {:?}:\n{}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn example_list_is_exhaustive() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut on_disk: Vec<String> = std::fs::read_dir(dir)
+        .expect("examples/ exists")
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".rs").map(String::from)
+        })
+        .collect();
+    on_disk.sort();
+    let mut listed: Vec<String> = EXAMPLES.iter().map(|s| s.to_string()).collect();
+    listed.sort();
+    assert_eq!(
+        listed, on_disk,
+        "examples_smoke.rs EXAMPLES list is out of sync with examples/"
+    );
+}

@@ -6,7 +6,9 @@ use query_refinement::core::paper_example::{
 };
 use query_refinement::core::prelude::*;
 use query_refinement::core::{exact_distance, DistanceMeasure as DM};
-use query_refinement::provenance::{whatif::evaluate_refinement, AnnotatedRelation, PredicateAssignment};
+use query_refinement::provenance::{
+    whatif::evaluate_refinement, AnnotatedRelation, PredicateAssignment,
+};
 use query_refinement::relation::prelude::*;
 
 fn ids(rel: &Relation) -> Vec<String> {
@@ -18,7 +20,10 @@ fn ids(rel: &Relation) -> Vec<String> {
 fn example_1_1_original_ranking() {
     let db = paper_database();
     let result = evaluate(&db, &scholarship_query()).unwrap();
-    assert_eq!(ids(&top_k(&result, 6)), vec!["t4", "t7", "t8", "t10", "t11", "t12"]);
+    assert_eq!(
+        ids(&top_k(&result, 6)),
+        vec!["t4", "t7", "t8", "t10", "t11", "t12"]
+    );
 }
 
 #[test]
@@ -30,7 +35,10 @@ fn example_1_2_engine_finds_the_so_refinement() {
         .with_distance(DistanceMeasure::Predicate)
         .solve()
         .unwrap();
-    let refined = result.outcome.refined().expect("Example 1.2 refinement exists");
+    let refined = result
+        .outcome
+        .refined()
+        .expect("Example 1.2 refinement exists");
     // The closest refinement under DIS_pred adds 'SO' to the activity set.
     assert!(refined.assignment.categorical["Activity"].contains("SO"));
     assert!((refined.distance - 0.5).abs() < 1e-6);
@@ -60,10 +68,21 @@ fn example_2_2_and_2_3_distances_for_the_two_refinements() {
     let annotated = AnnotatedRelation::build(&db, &query).unwrap();
 
     let mut q_prime = PredicateAssignment::from_query(&query);
-    q_prime.categorical.get_mut("Activity").unwrap().insert("SO".into());
+    q_prime
+        .categorical
+        .get_mut("Activity")
+        .unwrap()
+        .insert("SO".into());
     let mut q_double = PredicateAssignment::from_query(&query);
-    *q_double.numeric.get_mut(&("GPA".into(), CmpOp::Ge)).unwrap() = 3.6;
-    q_double.categorical.get_mut("Activity").unwrap().insert("GD".into());
+    *q_double
+        .numeric
+        .get_mut(&("GPA".into(), CmpOp::Ge))
+        .unwrap() = 3.6;
+    q_double
+        .categorical
+        .get_mut("Activity")
+        .unwrap()
+        .insert("GD".into());
 
     // Example 2.2: DIS_pred(Q, Q') = 0.5 < DIS_pred(Q, Q'') ≈ 0.527.
     let d_pred_prime = exact_distance(DM::Predicate, &annotated, &query, &q_prime, 3);
@@ -88,8 +107,15 @@ fn example_2_4_kendall_ordering() {
     // Q'': GPA >= 3.6, Activity in {RB, GD}; Q''': GPA >= 3.6, Activity in {GD?, MO}
     // (the paper's Q''' uses {CS, MO}; CS does not appear in the data, MO does).
     let mut q_double = PredicateAssignment::from_query(&query);
-    *q_double.numeric.get_mut(&("GPA".into(), CmpOp::Ge)).unwrap() = 3.6;
-    q_double.categorical.get_mut("Activity").unwrap().insert("GD".into());
+    *q_double
+        .numeric
+        .get_mut(&("GPA".into(), CmpOp::Ge))
+        .unwrap() = 3.6;
+    q_double
+        .categorical
+        .get_mut("Activity")
+        .unwrap()
+        .insert("GD".into());
 
     let d_double = exact_distance(DM::KendallTopK, &annotated, &query, &q_double, 3);
     // The newcomer (t3) enters at rank 1, displacing two original tuples.
@@ -124,7 +150,11 @@ fn theorem_2_5_instance_has_no_exact_refinement() {
     let naive = naive_search(
         &db,
         &query,
-        &ConstraintSet::new().with(CardinalityConstraint::at_least(Group::single("X", "B"), 3, 2)),
+        &ConstraintSet::new().with(CardinalityConstraint::at_least(
+            Group::single("X", "B"),
+            3,
+            2,
+        )),
         0.0,
         DistanceMeasure::Predicate,
         &NaiveOptions::default(),

@@ -6,7 +6,9 @@ use query_refinement::core::{
     jaccard_topk_distance, kendall_topk_distance, CardinalityConstraint, ConstraintSet, Group,
 };
 use query_refinement::milp::{LinExpr, Model, Sense, SolveStatus, Solver};
-use query_refinement::provenance::{whatif::evaluate_refinement, AnnotatedRelation, PredicateAssignment};
+use query_refinement::provenance::{
+    whatif::evaluate_refinement, AnnotatedRelation, PredicateAssignment,
+};
 use query_refinement::relation::csv::{read_csv_str, write_csv_string};
 use query_refinement::relation::prelude::*;
 use std::collections::BTreeSet;

@@ -1,0 +1,217 @@
+//! Offline shim for the `criterion` 0.5 API surface used by this workspace.
+//!
+//! The build environment has no access to a crate registry, so this crate
+//! stands in for the real Criterion. It implements the subset the `qr-bench`
+//! targets use — `Criterion::benchmark_group`, group configuration
+//! (`sample_size` / `measurement_time` / `warm_up_time`), `bench_function`,
+//! `Bencher::iter` and the `criterion_group!` / `criterion_main!` macros —
+//! with a simple wall-clock mean/min/max report instead of Criterion's
+//! statistical analysis. Swap the `vendor/criterion` path dependency for
+//! `criterion = "0.5"` when a registry is reachable.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from discarding a value, mirroring
+/// `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Entry point handed to each bench function, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Criterion {
+    /// Parse command-line arguments (`--quick` shrinks every budget; other
+    /// Cargo-forwarded flags such as `--bench` are accepted and ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        self.quick = std::env::args().any(|a| a == "--quick");
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("benchmarking group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+
+    fn is_quick(&self) -> bool {
+        self.quick
+    }
+}
+
+/// A group of benchmarks sharing configuration, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the target number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the measurement time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up time budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Measure one closure and print a one-line report.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let (samples, measurement, warm_up) = if self._criterion.is_quick() {
+            (
+                self.sample_size.min(10),
+                Duration::from_millis(200),
+                Duration::from_millis(50),
+            )
+        } else {
+            (self.sample_size, self.measurement_time, self.warm_up_time)
+        };
+
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        // Warm-up: run until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < warm_up {
+            f(&mut bencher);
+        }
+
+        // Measurement: run until we have the requested samples or the time
+        // budget is exhausted (always at least one sample).
+        bencher.elapsed = Duration::ZERO;
+        bencher.iterations = 0;
+        let mut times = Vec::with_capacity(samples);
+        let measure_start = Instant::now();
+        while times.len() < samples {
+            let before = (bencher.elapsed, bencher.iterations);
+            f(&mut bencher);
+            let iters = bencher.iterations - before.1;
+            if iters > 0 {
+                times.push((bencher.elapsed - before.0).as_secs_f64() / iters as f64);
+            }
+            if measure_start.elapsed() > measurement && !times.is_empty() {
+                break;
+            }
+        }
+
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = times.iter().copied().fold(0.0f64, f64::max);
+        println!(
+            "{}/{id}: {} samples, mean {}, min {}, max {}",
+            self.name,
+            times.len(),
+            fmt_seconds(mean),
+            fmt_seconds(min),
+            fmt_seconds(max),
+        );
+        self
+    }
+
+    /// Finish the group (report separator).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+fn fmt_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Timing helper handed to `bench_function` closures, mirroring
+/// `criterion::Bencher`.
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Time one execution of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+        black_box(out);
+    }
+}
+
+/// Declare a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the benchmark entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(1));
+        let mut runs = 0u64;
+        group.bench_function("noop", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs >= 5);
+    }
+}

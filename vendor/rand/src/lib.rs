@@ -1,0 +1,239 @@
+//! Offline shim for the `rand` 0.8 API surface used by this workspace.
+//!
+//! The build environment has no access to a crate registry, so this crate
+//! stands in for the real `rand`. It implements a deterministic
+//! [SplitMix64](https://prng.di.unimi.it/splitmix64.c) generator behind the
+//! same names the workspace imports (`rand::rngs::StdRng`, `rand::Rng`,
+//! `rand::SeedableRng`). Streams are reproducible for a given seed but are
+//! **not** identical to the real `rand`'s ChaCha-based `StdRng`, and the shim
+//! is not cryptographically secure — it exists to make seeded synthetic data
+//! generation work, nothing more. Swap the `vendor/rand` path dependency for
+//! `rand = "0.8"` when a registry is reachable.
+
+#![warn(missing_docs)]
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// A deterministic 64-bit generator (SplitMix64) standing in for the real
+    /// `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+use rngs::StdRng;
+
+impl StdRng {
+    #[inline]
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform float in `[0, 1)` using the high 53 bits.
+    #[inline]
+    pub(crate) fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Seeding support, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Pre-mix the seed once so small seeds don't start in a low-entropy
+        // region of the SplitMix64 sequence.
+        let mut rng = StdRng {
+            state: seed ^ 0x5851_F42D_4C95_7F2D,
+        };
+        let _ = rng.next_u64();
+        rng
+    }
+}
+
+/// Types that can be sampled uniformly by [`Rng::gen`], mirroring the real
+/// crate's `Standard` distribution.
+pub trait Standard: Sized {
+    /// Draw one uniform value.
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_f64()
+    }
+}
+
+impl Standard for f32 {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_f64() as f32
+    }
+}
+
+impl Standard for u64 {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types with a uniform sampler over a range, mirroring
+/// `rand::distributions::uniform::SampleUniform`. The blanket
+/// [`SampleRange`] impls below rely on this so numeric-literal type fallback
+/// works in calls like `rng.gen_range(-8.0..12.0)`.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[start, end)`.
+    fn sample_half_open(start: Self, end: Self, rng: &mut StdRng) -> Self;
+    /// Uniform draw from `[start, end]`.
+    fn sample_inclusive(start: Self, end: Self, rng: &mut StdRng) -> Self;
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(start: Self, end: Self, rng: &mut StdRng) -> Self {
+                assert!(start < end, "gen_range: empty range");
+                let span = (end as i128 - start as i128) as u128;
+                let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (start as i128 + draw as i128) as $t
+            }
+
+            fn sample_inclusive(start: Self, end: Self, rng: &mut StdRng) -> Self {
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(start: Self, end: Self, rng: &mut StdRng) -> Self {
+                assert!(start < end, "gen_range: empty range");
+                start + (rng.next_f64() as $t) * (end - start)
+            }
+
+            fn sample_inclusive(start: Self, end: Self, rng: &mut StdRng) -> Self {
+                assert!(start <= end, "gen_range: empty range");
+                start + (rng.next_f64() as $t) * (end - start)
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f32, f64);
+
+/// Ranges that [`Rng::gen_range`] accepts, mirroring
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_from(self, rng: &mut StdRng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from(self, rng: &mut StdRng) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from(self, rng: &mut StdRng) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// The user-facing generator trait, mirroring `rand::Rng`.
+pub trait Rng {
+    /// Draw a uniform value of type `T` (see [`Standard`]).
+    fn gen<T: Standard>(&mut self) -> T;
+
+    /// Draw a value uniformly from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+
+    /// Return `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for StdRng {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p not a probability");
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x: usize = rng.gen_range(0..17);
+            assert!(x < 17);
+            let y: i64 = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&y));
+            let z: f64 = rng.gen_range(-0.3..0.3);
+            assert!((-0.3..0.3).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn uniform_f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

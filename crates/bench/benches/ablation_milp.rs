@@ -1,11 +1,11 @@
 //! Ablation of the MILP solver's design choices (bound propagation, rounding
-//! heuristic) on the paper's running example.
+//! heuristic) on the paper's running example. The model is built once from a
+//! session's shared annotations; only the raw solver is measured.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use qr_core::paper_example::{paper_database, scholarship_constraints, scholarship_query};
-use qr_core::{build_model, DistanceMeasure, OptimizationConfig};
+use qr_core::{build_model, DistanceMeasure, OptimizationConfig, RefinementSession};
 use qr_milp::{Solver, SolverOptions};
-use qr_provenance::AnnotatedRelation;
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
@@ -15,11 +15,9 @@ fn bench(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(500));
 
-    let db = paper_database();
-    let query = scholarship_query();
-    let annotated = AnnotatedRelation::build(&db, &query).unwrap();
+    let session = RefinementSession::new(paper_database(), scholarship_query()).unwrap();
     let built = build_model(
-        &annotated,
+        session.annotated(),
         &scholarship_constraints(),
         0.0,
         DistanceMeasure::Predicate,

@@ -1,8 +1,8 @@
 //! Ablation of the Section 4 optimizations: each optimization is disabled in
-//! turn on a small Astronauts instance.
+//! turn on a small Astronauts instance, all requests answered by one session.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use qr_bench::{run_engine, tiny_constraints, tiny_workload};
+use qr_bench::{benchmark_request, session_for, tiny_constraints, tiny_workload};
 use qr_core::{DistanceMeasure, OptimizationConfig};
 use qr_datagen::DatasetId;
 use std::time::Duration;
@@ -15,6 +15,7 @@ fn bench(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(500));
     let w = tiny_workload(DatasetId::Astronauts);
     let constraints = tiny_constraints(&w);
+    let session = session_for(&w);
     let configs = [
         ("all", OptimizationConfig::all()),
         (
@@ -41,17 +42,9 @@ fn bench(c: &mut Criterion) {
         ("none", OptimizationConfig::none()),
     ];
     for (label, config) in configs {
+        let request = benchmark_request(&constraints, 0.5, DistanceMeasure::Predicate, config);
         group.bench_function(format!("Astronauts/{label}"), |b| {
-            b.iter(|| {
-                run_engine(
-                    &w,
-                    &constraints,
-                    0.5,
-                    DistanceMeasure::Predicate,
-                    config,
-                    label,
-                )
-            })
+            b.iter(|| session.solve(&request).unwrap())
         });
     }
     group.finish();

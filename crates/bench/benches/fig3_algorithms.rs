@@ -1,11 +1,15 @@
-//! Figure 3: running time of the compared algorithms (MILP, MILP+opt,
-//! Naive+prov) on small instances of the benchmark workloads. The full-size
+//! Figure 3: per-request running time of the compared algorithms (MILP,
+//! MILP+opt, Naive+prov) on small instances of the benchmark workloads, all
+//! dispatched through the solver trait against one prepared session per
+//! dataset (annotation is paid outside the measured loop). The full-size
 //! comparison, including the plain Naive baseline and all three distance
 //! measures, is produced by `cargo run -p qr-bench --release --bin experiments -- fig3`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use qr_bench::{run_engine, run_naive, tiny_constraints, tiny_workload};
-use qr_core::{DistanceMeasure, NaiveMode, OptimizationConfig};
+use qr_bench::{benchmark_request, session_for, tiny_constraints, tiny_workload};
+use qr_core::{
+    DistanceMeasure, MilpSolver, NaiveMode, NaiveOptions, NaiveSolver, OptimizationConfig,
+};
 use qr_datagen::DatasetId;
 use std::time::Duration;
 
@@ -19,42 +23,34 @@ fn bench(c: &mut Criterion) {
     for id in [DatasetId::Tpch, DatasetId::Astronauts] {
         let w = tiny_workload(id);
         let constraints = tiny_constraints(&w);
+        let session = session_for(&w);
+        let opt = benchmark_request(
+            &constraints,
+            0.5,
+            DistanceMeasure::Predicate,
+            OptimizationConfig::all(),
+        );
+        let unopt = benchmark_request(
+            &constraints,
+            0.5,
+            DistanceMeasure::Predicate,
+            OptimizationConfig::none(),
+        );
+        let naive = NaiveSolver {
+            options: NaiveOptions {
+                mode: NaiveMode::Provenance,
+                time_limit: Some(Duration::from_secs(5)),
+                ..NaiveOptions::default()
+            },
+        };
         group.bench_function(format!("{}/MILP+opt/QD", w.id.label()), |b| {
-            b.iter(|| {
-                run_engine(
-                    &w,
-                    &constraints,
-                    0.5,
-                    DistanceMeasure::Predicate,
-                    OptimizationConfig::all(),
-                    "bench",
-                )
-            })
+            b.iter(|| session.solve_with(&MilpSolver, &opt).unwrap())
         });
         group.bench_function(format!("{}/MILP/QD", w.id.label()), |b| {
-            b.iter(|| {
-                run_engine(
-                    &w,
-                    &constraints,
-                    0.5,
-                    DistanceMeasure::Predicate,
-                    OptimizationConfig::none(),
-                    "bench",
-                )
-            })
+            b.iter(|| session.solve_with(&MilpSolver, &unopt).unwrap())
         });
         group.bench_function(format!("{}/Naive+prov/QD", w.id.label()), |b| {
-            b.iter(|| {
-                run_naive(
-                    &w,
-                    &constraints,
-                    0.5,
-                    DistanceMeasure::Predicate,
-                    NaiveMode::Provenance,
-                    Duration::from_secs(5),
-                    "bench",
-                )
-            })
+            b.iter(|| session.solve_with(&naive, &opt).unwrap())
         });
     }
     group.finish();

@@ -1,8 +1,10 @@
 //! Figure 4: effect of k* (the largest k in the constraint set) on the
-//! running time, on a small TPC-H instance. Full sweeps: `experiments fig4`.
+//! per-request running time, on a small TPC-H instance. One session serves
+//! every k (annotation outside the measured loop). Full sweeps:
+//! `experiments fig4`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use qr_bench::{run_engine, tiny_workload};
+use qr_bench::{benchmark_request, session_for, tiny_workload};
 use qr_core::{DistanceMeasure, OptimizationConfig};
 use qr_datagen::DatasetId;
 use std::time::Duration;
@@ -14,19 +16,16 @@ fn bench(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(500));
     let w = tiny_workload(DatasetId::Tpch);
+    let session = session_for(&w);
     for k in [5usize, 10, 20] {
-        let constraints = w.default_constraints(k);
+        let request = benchmark_request(
+            &w.default_constraints(k),
+            0.5,
+            DistanceMeasure::Predicate,
+            OptimizationConfig::all(),
+        );
         group.bench_function(format!("TPC-H/k={k}"), |b| {
-            b.iter(|| {
-                run_engine(
-                    &w,
-                    &constraints,
-                    0.5,
-                    DistanceMeasure::Predicate,
-                    OptimizationConfig::all(),
-                    format!("k={k}"),
-                )
-            })
+            b.iter(|| session.solve(&request).unwrap())
         });
     }
     group.finish();

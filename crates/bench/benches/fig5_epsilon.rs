@@ -1,8 +1,10 @@
-//! Figure 5: effect of the maximum deviation ε on the running time, on a
-//! small TPC-H instance. Full sweeps: `experiments fig5`.
+//! Figure 5: effect of the maximum deviation ε on the per-request running
+//! time, on a small TPC-H instance. One session serves the whole ε-sweep —
+//! exactly the access pattern `RefinementSession::sweep_epsilon` amortizes —
+//! plus a whole-sweep benchmark of that helper. Full sweeps: `experiments fig5`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use qr_bench::{run_engine, tiny_constraints, tiny_workload};
+use qr_bench::{benchmark_request, session_for, tiny_constraints, tiny_workload};
 use qr_core::{DistanceMeasure, OptimizationConfig};
 use qr_datagen::DatasetId;
 use std::time::Duration;
@@ -15,20 +17,23 @@ fn bench(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(500));
     let w = tiny_workload(DatasetId::Tpch);
     let constraints = tiny_constraints(&w);
-    for eps in [0.0f64, 0.5, 1.0] {
+    let session = session_for(&w);
+    let epsilons = [0.0f64, 0.5, 1.0];
+    let base = benchmark_request(
+        &constraints,
+        0.0,
+        DistanceMeasure::Predicate,
+        OptimizationConfig::all(),
+    );
+    for eps in epsilons {
+        let request = base.clone().with_epsilon(eps);
         group.bench_function(format!("TPC-H/eps={eps}"), |b| {
-            b.iter(|| {
-                run_engine(
-                    &w,
-                    &constraints,
-                    eps,
-                    DistanceMeasure::Predicate,
-                    OptimizationConfig::all(),
-                    format!("eps={eps}"),
-                )
-            })
+            b.iter(|| session.solve(&request).unwrap())
         });
     }
+    group.bench_function("TPC-H/sweep", |b| {
+        b.iter(|| session.sweep_epsilon(&base, &epsilons).unwrap())
+    });
     group.finish();
 }
 

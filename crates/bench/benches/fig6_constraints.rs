@@ -1,8 +1,9 @@
-//! Figure 6: effect of the number of constraints on the running time, on a
-//! small TPC-H instance. Full sweeps: `experiments fig6`.
+//! Figure 6: effect of the number of constraints on the per-request running
+//! time, on a small TPC-H instance. One session serves every constraint
+//! count. Full sweeps: `experiments fig6`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use qr_bench::{run_engine, tiny_workload, TINY_K};
+use qr_bench::{benchmark_request, session_for, tiny_workload, TINY_K};
 use qr_core::{DistanceMeasure, OptimizationConfig};
 use qr_datagen::DatasetId;
 use std::time::Duration;
@@ -14,19 +15,16 @@ fn bench(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(500));
     let w = tiny_workload(DatasetId::Tpch);
+    let session = session_for(&w);
     for count in [1usize, 3, 5] {
-        let constraints = w.constraint_prefix(count, TINY_K);
+        let request = benchmark_request(
+            &w.constraint_prefix(count, TINY_K),
+            0.5,
+            DistanceMeasure::Predicate,
+            OptimizationConfig::all(),
+        );
         group.bench_function(format!("TPC-H/constraints={count}"), |b| {
-            b.iter(|| {
-                run_engine(
-                    &w,
-                    &constraints,
-                    0.5,
-                    DistanceMeasure::Predicate,
-                    OptimizationConfig::all(),
-                    format!("c={count}"),
-                )
-            })
+            b.iter(|| session.solve(&request).unwrap())
         });
     }
     group.finish();

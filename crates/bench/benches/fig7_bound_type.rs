@@ -1,9 +1,9 @@
 //! Figure 7: lower-bound-only versus mixed constraint sets (the single-bound
-//! relaxation of Section 4), on a small MEPS instance. Full sweeps:
-//! `experiments fig7`.
+//! relaxation of Section 4), on a small MEPS instance served by one session.
+//! Full sweeps: `experiments fig7`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use qr_bench::{run_engine, tiny_workload, TINY_K};
+use qr_bench::{benchmark_request, session_for, tiny_workload, TINY_K};
 use qr_core::{DistanceMeasure, OptimizationConfig};
 use qr_datagen::DatasetId;
 use std::time::Duration;
@@ -15,32 +15,21 @@ fn bench(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(500));
     let w = tiny_workload(DatasetId::Meps);
-    let lower = w.lower_bound_pair(TINY_K);
-    let mixed = w.mixed_pair(TINY_K);
-    group.bench_function("MEPS/lower-bound", |b| {
-        b.iter(|| {
-            run_engine(
-                &w,
-                &lower,
-                0.5,
-                DistanceMeasure::Predicate,
-                OptimizationConfig::all(),
-                "lower",
-            )
-        })
-    });
-    group.bench_function("MEPS/combined", |b| {
-        b.iter(|| {
-            run_engine(
-                &w,
-                &mixed,
-                0.5,
-                DistanceMeasure::Predicate,
-                OptimizationConfig::all(),
-                "combined",
-            )
-        })
-    });
+    let session = session_for(&w);
+    for (label, constraints) in [
+        ("lower-bound", w.lower_bound_pair(TINY_K)),
+        ("combined", w.mixed_pair(TINY_K)),
+    ] {
+        let request = benchmark_request(
+            &constraints,
+            0.5,
+            DistanceMeasure::Predicate,
+            OptimizationConfig::all(),
+        );
+        group.bench_function(format!("MEPS/{label}"), |b| {
+            b.iter(|| session.solve(&request).unwrap())
+        });
+    }
     group.finish();
 }
 

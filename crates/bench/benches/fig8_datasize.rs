@@ -1,8 +1,10 @@
 //! Figure 8: effect of the data size (SDV-style scale-up) on the running
-//! time, on small TPC-H instances. Full sweeps: `experiments fig8`.
+//! time, on small TPC-H instances. Each size is a different database, so
+//! each gets its own session built outside the measured loop; the measured
+//! quantity is the per-request solve. Full sweeps: `experiments fig8`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use qr_bench::{run_engine, tiny_constraints, tiny_workload, SEED};
+use qr_bench::{benchmark_request, session_for, tiny_constraints, tiny_workload, SEED};
 use qr_core::{DistanceMeasure, OptimizationConfig};
 use qr_datagen::DatasetId;
 use std::time::Duration;
@@ -20,18 +22,15 @@ fn bench(c: &mut Criterion) {
         } else {
             base.scaled(base.main_relation_size() * factor, SEED + factor as u64)
         };
-        let constraints = tiny_constraints(&w);
+        let session = session_for(&w);
+        let request = benchmark_request(
+            &tiny_constraints(&w),
+            0.5,
+            DistanceMeasure::Predicate,
+            OptimizationConfig::all(),
+        );
         group.bench_function(format!("TPC-H/rows={}", w.main_relation_size()), |b| {
-            b.iter(|| {
-                run_engine(
-                    &w,
-                    &constraints,
-                    0.5,
-                    DistanceMeasure::Predicate,
-                    OptimizationConfig::all(),
-                    "size",
-                )
-            })
+            b.iter(|| session.solve(&request).unwrap())
         });
     }
     group.finish();

@@ -1,8 +1,9 @@
 //! Figure 9: categorical-only versus numerical-only predicates, on a small
-//! Astronauts instance. Full sweeps: `experiments fig9`.
+//! Astronauts instance. Each variant is a different query, hence its own
+//! session built outside the measured loop. Full sweeps: `experiments fig9`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use qr_bench::{run_engine, tiny_constraints, tiny_workload};
+use qr_bench::{benchmark_request, session_for, tiny_constraints, tiny_workload};
 use qr_core::{DistanceMeasure, OptimizationConfig};
 use qr_datagen::{DatasetId, Workload};
 use std::time::Duration;
@@ -27,17 +28,15 @@ fn bench(c: &mut Criterion) {
             db: w.db.clone(),
             query,
         };
+        let session = session_for(&variant);
+        let request = benchmark_request(
+            &constraints,
+            0.5,
+            DistanceMeasure::Predicate,
+            OptimizationConfig::all(),
+        );
         group.bench_function(format!("Astronauts/{label}"), |b| {
-            b.iter(|| {
-                run_engine(
-                    &variant,
-                    &constraints,
-                    0.5,
-                    DistanceMeasure::Predicate,
-                    OptimizationConfig::all(),
-                    label,
-                )
-            })
+            b.iter(|| session.solve(&request).unwrap())
         });
     }
     group.finish();

@@ -3,7 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run -p qr-bench --release --bin experiments -- [fig3|fig4|fig5|fig6|fig7|fig8|fig9|erica|all] [--quick]
+//! cargo run -p qr-bench --release --bin experiments -- \
+//!     [fig3|fig4|fig5|fig6|fig7|fig8|fig9|erica|all] [--quick] [--distance QD,JAC,KEN]
 //! ```
 //!
 //! Each figure prints one tab-separated row per measured configuration:
@@ -12,14 +13,18 @@
 //! which algorithm wins, how runtime scales with each parameter — correspond
 //! to the paper's Figures 3–9; absolute times differ because the MILP solver
 //! is the from-scratch `qr-milp` rather than CPLEX (see the README).
+//!
+//! `--distance` restricts the measured distance measures; labels are parsed
+//! with [`DistanceMeasure`]'s `FromStr` (QD/JAC/KEN or
+//! predicate/jaccard/kendall, case-insensitive).
 
 use qr_bench::{
-    bench_workloads, experiment_workloads, run_engine, run_naive, ExperimentRow, DEFAULT_EPSILON,
-    DEFAULT_K, SEED,
+    bench_workloads, benchmark_request, experiment_workloads, run_engine, run_epsilon_sweep,
+    run_naive, session_for, ExperimentRow, DEFAULT_EPSILON, DEFAULT_K, SEED,
 };
 use qr_core::{
-    erica_refine, BoundType, DistanceMeasure, Group, NaiveMode, OptimizationConfig,
-    OutputConstraint,
+    CardinalityConstraint, ConstraintSet, DistanceMeasure, EricaSolver, Group, NaiveMode,
+    OptimizationConfig, RefinementSolver,
 };
 use qr_datagen::{DatasetId, Workload};
 use std::time::Duration;
@@ -27,11 +32,18 @@ use std::time::Duration;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let which: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
-        .collect();
+    let distance_override = parse_distance_override(&args);
+    // Figure names: positional arguments, minus the value consumed by a
+    // space-separated `--distance <labels>`.
+    let mut which: Vec<&str> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--distance" {
+            iter.next();
+        } else if !arg.starts_with("--") {
+            which.push(arg.as_str());
+        }
+    }
     let run_all = which.is_empty() || which.contains(&"all");
     let selected = |name: &str| run_all || which.contains(&name);
 
@@ -50,17 +62,27 @@ fn main() {
     );
     println!("{}", ExperimentRow::header());
 
+    let distances = |quick: bool| -> Vec<DistanceMeasure> {
+        if let Some(ms) = &distance_override {
+            ms.clone()
+        } else if quick {
+            vec![DistanceMeasure::Predicate]
+        } else {
+            DistanceMeasure::all().to_vec()
+        }
+    };
+
     if selected("fig3") {
-        fig3(&workloads, quick);
+        fig3(&workloads, quick, &distances(quick));
     }
     if selected("fig4") {
-        fig4(&workloads, quick);
+        fig4(&workloads, quick, &distances(quick));
     }
     if selected("fig5") {
-        fig5(&workloads, quick);
+        fig5(&workloads, quick, &distances(quick));
     }
     if selected("fig6") {
-        fig6(&workloads, quick);
+        fig6(&workloads, quick, &distances(quick));
     }
     if selected("fig7") {
         fig7(&workloads);
@@ -76,27 +98,42 @@ fn main() {
     }
 }
 
-fn distances(quick: bool) -> Vec<DistanceMeasure> {
-    if quick {
-        vec![DistanceMeasure::Predicate]
-    } else {
-        vec![
-            DistanceMeasure::JaccardTopK,
-            DistanceMeasure::Predicate,
-            DistanceMeasure::KendallTopK,
-        ]
+/// Parse `--distance QD,JAC` (or `--distance=QD,JAC`) into measures, using
+/// [`DistanceMeasure`]'s `FromStr` instead of hand-rolled match arms.
+fn parse_distance_override(args: &[String]) -> Option<Vec<DistanceMeasure>> {
+    let mut labels: Option<&str> = None;
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(rest) = arg.strip_prefix("--distance=") {
+            labels = Some(rest);
+        } else if arg == "--distance" {
+            labels = Some(
+                args.get(i + 1)
+                    .unwrap_or_else(|| panic!("--distance requires a value (QD, JAC or KEN)"))
+                    .as_str(),
+            );
+        }
     }
+    labels.map(|list| {
+        list.split(',')
+            .map(|label| {
+                label
+                    .trim()
+                    .parse::<DistanceMeasure>()
+                    .unwrap_or_else(|e| panic!("--distance: {e}"))
+            })
+            .collect()
+    })
 }
 
 /// Figure 3: running time of MILP, MILP+opt, Naive and Naive+prov.
-fn fig3(workloads: &[Workload], quick: bool) {
+fn fig3(workloads: &[Workload], quick: bool, distances: &[DistanceMeasure]) {
     println!(
         "# Figure 3: compared algorithms (k*={DEFAULT_K}, eps={DEFAULT_EPSILON}, constraint (1))"
     );
     let naive_budget = Duration::from_secs(if quick { 5 } else { 30 });
     for w in workloads {
         let constraints = w.default_constraints(DEFAULT_K);
-        for distance in distances(quick) {
+        for &distance in distances {
             for config in [OptimizationConfig::all(), OptimizationConfig::none()] {
                 // The unoptimized MILP on the larger workloads is exactly the
                 // configuration the paper reports as timing out; skip it in
@@ -130,8 +167,10 @@ fn fig3(workloads: &[Workload], quick: bool) {
     }
 }
 
-/// Figure 4: effect of k*.
-fn fig4(workloads: &[Workload], quick: bool) {
+/// Figure 4: effect of k*. One session per workload answers every (k,
+/// distance) request — annotation is paid once per dataset, not once per
+/// configuration.
+fn fig4(workloads: &[Workload], quick: bool, distances: &[DistanceMeasure]) {
     println!("# Figure 4: effect of k*");
     let ks: Vec<usize> = if quick {
         vec![10, 30]
@@ -139,16 +178,29 @@ fn fig4(workloads: &[Workload], quick: bool) {
         vec![10, 30, 50, 70, 90]
     };
     for w in workloads {
+        let session = session_for(w);
+        println!(
+            "# {} session: annotation {:.3}s (shared by {} solves)",
+            w.id.label(),
+            session.setup_stats().annotation_time.as_secs_f64(),
+            ks.len() * distances.len()
+        );
         for &k in &ks {
             let constraints = w.default_constraints(k);
-            for distance in distances(quick) {
-                let row = run_engine(
-                    w,
+            for &distance in distances {
+                let request = benchmark_request(
                     &constraints,
                     DEFAULT_EPSILON,
                     distance,
                     OptimizationConfig::all(),
+                );
+                let result = session.solve(&request).expect("engine run does not error");
+                let row = ExperimentRow::from_result(
+                    w.id.label(),
+                    OptimizationConfig::all().label(),
+                    distance,
                     format!("k={k}"),
+                    &result,
                 );
                 println!("{}", row.render());
             }
@@ -156,8 +208,9 @@ fn fig4(workloads: &[Workload], quick: bool) {
     }
 }
 
-/// Figure 5: effect of the maximum deviation ε.
-fn fig5(workloads: &[Workload], quick: bool) {
+/// Figure 5: effect of the maximum deviation ε, swept through one session
+/// per workload and distance measure.
+fn fig5(workloads: &[Workload], quick: bool, distances: &[DistanceMeasure]) {
     println!("# Figure 5: effect of the maximum deviation");
     let epsilons: Vec<f64> = if quick {
         vec![0.0, 1.0]
@@ -166,24 +219,29 @@ fn fig5(workloads: &[Workload], quick: bool) {
     };
     for w in workloads {
         let constraints = w.default_constraints(DEFAULT_K);
-        for &eps in &epsilons {
-            for distance in distances(quick) {
-                let row = run_engine(
-                    w,
-                    &constraints,
-                    eps,
-                    distance,
-                    OptimizationConfig::all(),
-                    format!("eps={eps}"),
-                );
+        for &distance in distances {
+            let (annotation_seconds, rows) = run_epsilon_sweep(
+                w,
+                &constraints,
+                &epsilons,
+                distance,
+                OptimizationConfig::all(),
+            );
+            println!(
+                "# {} {distance} sweep: annotation {annotation_seconds:.3}s, paid once for {} eps values",
+                w.id.label(),
+                epsilons.len()
+            );
+            for row in rows {
                 println!("{}", row.render());
             }
         }
     }
 }
 
-/// Figure 6: effect of the number of constraints.
-fn fig6(workloads: &[Workload], quick: bool) {
+/// Figure 6: effect of the number of constraints, via one session per
+/// workload.
+fn fig6(workloads: &[Workload], quick: bool, distances: &[DistanceMeasure]) {
     println!("# Figure 6: effect of the number of constraints");
     let counts: Vec<usize> = if quick {
         vec![1, 3]
@@ -191,16 +249,23 @@ fn fig6(workloads: &[Workload], quick: bool) {
         vec![1, 2, 3, 4, 5]
     };
     for w in workloads {
+        let session = session_for(w);
         for &count in &counts {
             let constraints = w.constraint_prefix(count, DEFAULT_K);
-            for distance in distances(quick) {
-                let row = run_engine(
-                    w,
+            for &distance in distances {
+                let request = benchmark_request(
                     &constraints,
                     DEFAULT_EPSILON,
                     distance,
                     OptimizationConfig::all(),
+                );
+                let result = session.solve(&request).expect("engine run does not error");
+                let row = ExperimentRow::from_result(
+                    w.id.label(),
+                    OptimizationConfig::all().label(),
+                    distance,
                     format!("constraints={count}"),
+                    &result,
                 );
                 println!("{}", row.render());
             }
@@ -212,24 +277,33 @@ fn fig6(workloads: &[Workload], quick: bool) {
 fn fig7(workloads: &[Workload]) {
     println!("# Figure 7: constraint types (single-bound relaxation)");
     for w in workloads {
+        let session = session_for(w);
         for (label, constraints) in [
             ("lower-bound", w.lower_bound_pair(DEFAULT_K)),
             ("combined", w.mixed_pair(DEFAULT_K)),
         ] {
-            let row = run_engine(
-                w,
+            let request = benchmark_request(
                 &constraints,
                 DEFAULT_EPSILON,
                 DistanceMeasure::Predicate,
                 OptimizationConfig::all(),
+            );
+            let result = session.solve(&request).expect("engine run does not error");
+            let row = ExperimentRow::from_result(
+                w.id.label(),
+                OptimizationConfig::all().label(),
+                DistanceMeasure::Predicate,
                 label,
+                &result,
             );
             println!("{}", row.render());
         }
     }
 }
 
-/// Figure 8: effect of the data size (SDV-style scale-up).
+/// Figure 8: effect of the data size (SDV-style scale-up). Every size is a
+/// different database, so each gets its own session (annotation is part of
+/// what scales with the data).
 fn fig8(quick: bool) {
     println!("# Figure 8: effect of data size");
     let factors: Vec<usize> = if quick { vec![1, 2] } else { vec![1, 2, 3, 4] };
@@ -256,7 +330,8 @@ fn fig8(quick: bool) {
     }
 }
 
-/// Figure 9: categorical-only versus numerical-only predicates.
+/// Figure 9: categorical-only versus numerical-only predicates. Each variant
+/// is a different query, hence its own session.
 fn fig9(workloads: &[Workload]) {
     println!("# Figure 9: predicate types (Astronauts, Law Students)");
     for w in workloads {
@@ -287,7 +362,9 @@ fn fig9(workloads: &[Workload]) {
     }
 }
 
-/// Section 5.3: comparison with the Erica-style whole-output baseline.
+/// Section 5.3: comparison with the Erica-style whole-output baseline, both
+/// algorithms dispatched uniformly through the solver trait against one
+/// session.
 fn erica_comparison(quick: bool) {
     println!("# Section 5.3: comparison with Erica (Law Students, l[Sex=F] over the top-k, eps=0)");
     let size = if quick {
@@ -310,47 +387,34 @@ fn erica_comparison(quick: bool) {
     };
     let k = if quick { 20 } else { 50 };
     let n = k / 2;
-    let constraints = qr_core::ConstraintSet::new().with(qr_core::CardinalityConstraint::at_least(
+    let constraints = ConstraintSet::new().with(CardinalityConstraint::at_least(
         Group::single("Sex", "F"),
         k,
         n,
     ));
-    let row = run_engine(
-        &comparison,
+
+    let session = session_for(&comparison);
+    let request = benchmark_request(
         &constraints,
         0.0,
         DistanceMeasure::Predicate,
         OptimizationConfig::all(),
-        format!("top-k engine k={k}"),
     );
-    println!("{}", row.render());
-
-    let start = std::time::Instant::now();
-    let erica = erica_refine(
-        &comparison.db,
-        &comparison.query,
-        &[OutputConstraint {
-            group: Group::single("Sex", "F"),
-            bound: BoundType::Lower,
-            n,
-        }],
-        k,
-    )
-    .expect("erica baseline runs");
-    let (refined, dist) = match &erica.best {
-        Some((_, d)) => (true, *d),
-        None => (false, f64::NAN),
-    };
-    let row = ExperimentRow {
-        dataset: comparison.id.label().to_string(),
-        algorithm: "Erica-style".to_string(),
-        distance: "QD".to_string(),
-        parameter: format!("output=={k}"),
-        setup_seconds: erica.stats.setup_time.as_secs_f64(),
-        total_seconds: start.elapsed().as_secs_f64(),
-        refined,
-        distance_value: dist,
-        deviation: 0.0,
-    };
-    println!("{}", row.render());
+    let backends: [(&dyn RefinementSolver, String); 2] = [
+        (&qr_core::MilpSolver, format!("top-k engine k={k}")),
+        (&EricaSolver, format!("output=={k}")),
+    ];
+    for (backend, parameter) in backends {
+        let result = session
+            .solve_with(backend, &request)
+            .expect("comparison backend runs");
+        let row = ExperimentRow::from_result(
+            comparison.id.label(),
+            backend.label(&request),
+            DistanceMeasure::Predicate,
+            parameter,
+            &result,
+        );
+        println!("{}", row.render());
+    }
 }

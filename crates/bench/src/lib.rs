@@ -7,13 +7,19 @@
 //! (`cargo run -p qr-bench --release --bin experiments -- <figure>`), which
 //! prints the same series the paper plots: setup time, solver time and total
 //! time per dataset, distance measure and swept parameter.
+//!
+//! The harness is built on `qr-core`'s session API: a [`RefinementSession`]
+//! per workload (provenance annotation paid once), algorithm backends
+//! selected uniformly through the [`RefinementSolver`] trait, and parameter
+//! sweeps submitted as [`RefinementRequest`]s.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 use qr_core::{
-    naive_search, ConstraintSet, DistanceMeasure, NaiveMode, NaiveOptions, OptimizationConfig,
-    RefinementEngine, RefinementResult,
+    ConstraintSet, DistanceMeasure, MilpSolver, NaiveMode, NaiveOptions, NaiveSolver,
+    OptimizationConfig, RefinementOutcome, RefinementRequest, RefinementResult, RefinementSession,
+    RefinementSolver,
 };
 use qr_datagen::Workload;
 use qr_milp::SolverOptions;
@@ -35,6 +41,27 @@ pub fn benchmark_solver_options() -> SolverOptions {
         max_nodes: 20_000,
         ..SolverOptions::default()
     }
+}
+
+/// Prepare a session for a workload (annotation happens here, once).
+pub fn session_for(workload: &Workload) -> RefinementSession {
+    RefinementSession::new(workload.db.clone(), workload.query.clone())
+        .expect("workload annotation builds")
+}
+
+/// A request with the benchmark solver budget applied.
+pub fn benchmark_request(
+    constraints: &ConstraintSet,
+    epsilon: f64,
+    distance: DistanceMeasure,
+    config: OptimizationConfig,
+) -> RefinementRequest {
+    RefinementRequest::new()
+        .with_constraints(constraints.clone())
+        .with_epsilon(epsilon)
+        .with_distance(distance)
+        .with_optimizations(config)
+        .with_solver_options(benchmark_solver_options())
 }
 
 /// A single measurement row, printed by the `experiments` binary.
@@ -81,6 +108,64 @@ impl ExperimentRow {
             self.deviation
         )
     }
+
+    /// Build a row from a unified solve result.
+    pub fn from_result(
+        dataset: impl Into<String>,
+        algorithm: impl Into<String>,
+        distance: DistanceMeasure,
+        parameter: impl Into<String>,
+        result: &RefinementResult,
+    ) -> ExperimentRow {
+        let (refined, dist, dev) = match result.outcome.refined() {
+            Some(r) => (true, r.distance, r.deviation),
+            None => (false, f64::NAN, f64::NAN),
+        };
+        ExperimentRow {
+            dataset: dataset.into(),
+            algorithm: algorithm.into(),
+            distance: distance.to_string(),
+            parameter: parameter.into(),
+            setup_seconds: result.stats.setup_time.as_secs_f64(),
+            total_seconds: result.stats.total_time.as_secs_f64(),
+            refined,
+            distance_value: dist,
+            deviation: dev,
+        }
+    }
+}
+
+/// Whether a solve stopped at its budget rather than proving its answer.
+fn timed_out(outcome: &RefinementOutcome) -> bool {
+    match outcome {
+        RefinementOutcome::Refined(r) => !r.proven_optimal,
+        RefinementOutcome::NoRefinement { proven_infeasible } => !proven_infeasible,
+    }
+}
+
+/// Run any algorithm backend end-to-end on a workload (session construction
+/// included, charged to the row's setup/total so one-shot rows stay
+/// comparable with the paper's per-run "Setup" column).
+pub fn run_solver(
+    workload: &Workload,
+    solver: &dyn RefinementSolver,
+    request: &RefinementRequest,
+    parameter: impl Into<String>,
+) -> ExperimentRow {
+    let session = session_for(workload);
+    let mut result = session
+        .solve_with(solver, request)
+        .expect("solver run does not error");
+    result
+        .stats
+        .charge_annotation(session.setup_stats().annotation_time);
+    ExperimentRow::from_result(
+        workload.id.label(),
+        solver.label(request),
+        request.distance,
+        parameter,
+        &result,
+    )
 }
 
 /// Run the MILP-based engine on a workload and convert the result to a row.
@@ -92,29 +177,8 @@ pub fn run_engine(
     config: OptimizationConfig,
     parameter: impl Into<String>,
 ) -> ExperimentRow {
-    let result: RefinementResult = RefinementEngine::new(&workload.db, workload.query.clone())
-        .with_constraints(constraints.clone())
-        .with_epsilon(epsilon)
-        .with_distance(distance)
-        .with_optimizations(config)
-        .with_solver_options(benchmark_solver_options())
-        .solve()
-        .expect("engine run does not error");
-    let (refined, dist, dev) = match result.outcome.refined() {
-        Some(r) => (true, r.distance, r.deviation),
-        None => (false, f64::NAN, f64::NAN),
-    };
-    ExperimentRow {
-        dataset: workload.id.label().to_string(),
-        algorithm: config.label().to_string(),
-        distance: distance.label().to_string(),
-        parameter: parameter.into(),
-        setup_seconds: result.stats.setup_time.as_secs_f64(),
-        total_seconds: result.stats.total_time.as_secs_f64(),
-        refined,
-        distance_value: dist,
-        deviation: dev,
-    }
+    let request = benchmark_request(constraints, epsilon, distance, config);
+    run_solver(workload, &MilpSolver, &request, parameter)
 }
 
 /// Run one of the exhaustive baselines on a workload.
@@ -127,39 +191,63 @@ pub fn run_naive(
     budget: Duration,
     parameter: impl Into<String>,
 ) -> ExperimentRow {
-    let options = NaiveOptions {
-        mode,
-        time_limit: Some(budget),
-        ..NaiveOptions::default()
+    let solver = NaiveSolver {
+        options: NaiveOptions {
+            mode,
+            time_limit: Some(budget),
+            ..NaiveOptions::default()
+        },
     };
-    let result = naive_search(
-        &workload.db,
-        &workload.query,
-        constraints,
-        epsilon,
-        distance,
-        &options,
-    )
-    .expect("naive search does not error");
-    let (refined, dist, dev) = match &result.best {
-        Some((_, d, dev)) => (true, *d, *dev),
-        None => (false, f64::NAN, f64::NAN),
-    };
-    let mut algorithm = mode.label().to_string();
-    if !result.exhausted {
+    let request = benchmark_request(constraints, epsilon, distance, OptimizationConfig::all());
+    let session = session_for(workload);
+    let mut result = session
+        .solve_with(&solver, &request)
+        .expect("naive search does not error");
+    result
+        .stats
+        .charge_annotation(session.setup_stats().annotation_time);
+    let mut algorithm = solver.label(&request);
+    if timed_out(&result.outcome) {
         algorithm.push_str(" (timeout)");
     }
-    ExperimentRow {
-        dataset: workload.id.label().to_string(),
+    ExperimentRow::from_result(
+        workload.id.label(),
         algorithm,
-        distance: distance.label().to_string(),
-        parameter: parameter.into(),
-        setup_seconds: result.stats.setup_time.as_secs_f64(),
-        total_seconds: result.stats.total_time.as_secs_f64(),
-        refined,
-        distance_value: dist,
-        deviation: dev,
-    }
+        request.distance,
+        parameter,
+        &result,
+    )
+}
+
+/// Sweep ε through one session (Figure 5's access pattern): annotation is
+/// paid once by the session, and each row reports only its per-request
+/// times. Returns the shared annotation seconds alongside the rows.
+pub fn run_epsilon_sweep(
+    workload: &Workload,
+    constraints: &ConstraintSet,
+    epsilons: &[f64],
+    distance: DistanceMeasure,
+    config: OptimizationConfig,
+) -> (f64, Vec<ExperimentRow>) {
+    let session = session_for(workload);
+    let base = benchmark_request(constraints, 0.0, distance, config);
+    let results = session
+        .sweep_epsilon(&base, epsilons)
+        .expect("epsilon sweep does not error");
+    let rows = epsilons
+        .iter()
+        .zip(&results)
+        .map(|(eps, result)| {
+            ExperimentRow::from_result(
+                workload.id.label(),
+                config.label(),
+                distance,
+                format!("eps={eps}"),
+                result,
+            )
+        })
+        .collect();
+    (session.setup_stats().annotation_time.as_secs_f64(), rows)
 }
 
 /// Workloads used by the Criterion benches: smaller than the defaults so that
@@ -204,6 +292,7 @@ pub fn tiny_constraints(workload: &Workload) -> ConstraintSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qr_datagen::DatasetId;
 
     #[test]
     fn row_rendering() {
@@ -228,5 +317,21 @@ mod tests {
         for w in bench_workloads() {
             assert!(w.main_relation_size() <= 400);
         }
+    }
+
+    #[test]
+    fn epsilon_sweep_amortizes_annotation() {
+        let w = tiny_workload(DatasetId::Tpch);
+        let constraints = tiny_constraints(&w);
+        let (annotation_seconds, rows) = run_epsilon_sweep(
+            &w,
+            &constraints,
+            &[0.5, 1.0],
+            DistanceMeasure::Predicate,
+            OptimizationConfig::all(),
+        );
+        assert!(annotation_seconds >= 0.0);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.algorithm == "MILP+opt"));
     }
 }

@@ -14,9 +14,12 @@
 //! measure for a concrete refinement, and are used for reporting, for the
 //! exhaustive baselines, and to cross-check the MILP objective.
 
+use crate::error::CoreError;
 use qr_provenance::PredicateAssignment;
 use qr_relation::SpjQuery;
 use std::collections::BTreeSet;
+use std::fmt;
+use std::str::FromStr;
 
 /// Which distance measure the refinement engine minimises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +55,31 @@ impl DistanceMeasure {
     /// variables for every tuple) rather than just the predicates.
     pub fn is_outcome_based(&self) -> bool {
         !matches!(self, DistanceMeasure::Predicate)
+    }
+}
+
+impl fmt::Display for DistanceMeasure {
+    /// Renders the figure label (QD / JAC / KEN), the format accepted back by
+    /// [`FromStr`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for DistanceMeasure {
+    type Err = CoreError;
+
+    /// Parse a figure label (`QD` / `JAC` / `KEN`) or a measure name
+    /// (`predicate` / `jaccard` / `kendall`), case-insensitive.
+    fn from_str(s: &str) -> Result<Self, CoreError> {
+        match s.to_ascii_lowercase().as_str() {
+            "qd" | "pred" | "predicate" | "dis_pred" => Ok(DistanceMeasure::Predicate),
+            "jac" | "jaccard" | "dis_jaccard" => Ok(DistanceMeasure::JaccardTopK),
+            "ken" | "kendall" | "dis_kendall" => Ok(DistanceMeasure::KendallTopK),
+            _ => Err(CoreError::Parse(format!(
+                "unknown distance measure '{s}' (expected QD, JAC or KEN)"
+            ))),
+        }
     }
 }
 
@@ -272,6 +300,23 @@ mod tests {
         assert!(!DistanceMeasure::Predicate.is_outcome_based());
         assert!(DistanceMeasure::KendallTopK.is_outcome_based());
         assert_eq!(DistanceMeasure::all().len(), 3);
+    }
+
+    #[test]
+    fn measure_display_and_from_str_round_trip() {
+        for m in DistanceMeasure::all() {
+            assert_eq!(m.to_string(), m.label());
+            assert_eq!(m.to_string().parse::<DistanceMeasure>().unwrap(), m);
+        }
+        assert_eq!(
+            "kendall".parse::<DistanceMeasure>().unwrap(),
+            DistanceMeasure::KendallTopK
+        );
+        assert_eq!(
+            "Jaccard".parse::<DistanceMeasure>().unwrap(),
+            DistanceMeasure::JaccardTopK
+        );
+        assert!("euclid".parse::<DistanceMeasure>().is_err());
     }
 
     #[test]

@@ -1,108 +1,26 @@
-//! The Best Approximation Refinement engine (Definition 2.7).
+//! The deprecated one-shot refinement engine, kept as a thin shim over the
+//! session API.
 //!
-//! [`RefinementEngine`] is the crate's main entry point: given a database, a
-//! ranked SPJ query, a set of cardinality constraints, a maximum deviation ε
-//! and a distance measure, it builds the refinement MILP
-//! ([`crate::milp_model`]), solves it with `qr-milp`, and returns the closest
-//! refinement whose top-k deviation is at most ε — or reports that none
-//! exists (the "special value" of Definition 2.7).
+//! [`RefinementEngine`] was the crate's original entry point: it rebuilt the
+//! provenance annotations of `~Q(D)` on *every* solve, which made ε-sweeps
+//! and what-if exploration pay the setup N times. New code should create a
+//! [`RefinementSession`] once and submit [`RefinementRequest`]s to it; this
+//! shim remains so existing one-shot callers keep working, and simply
+//! delegates (one session per solve), charging the annotation time to the
+//! request's stats so the reported "Setup" matches the historical behaviour.
 
 use crate::constraint::ConstraintSet;
-use crate::distance::{
-    jaccard_topk_distance, kendall_topk_distance, predicate_distance, DistanceMeasure,
-};
+use crate::distance::DistanceMeasure;
 use crate::error::Result;
-use crate::milp_model::{build_model, BuiltModel};
 use crate::optimize::OptimizationConfig;
-use qr_milp::{SolveStatus, Solver, SolverOptions};
-use qr_provenance::{
-    whatif::evaluate_refinement, AnnotatedRelation, PredicateAssignment, RankedOutput,
-};
-use qr_relation::{Database, SpjQuery, Value};
-use std::time::{Duration, Instant};
+use crate::session::{RefinementRequest, RefinementResult, RefinementSession};
+use qr_milp::SolverOptions;
+use qr_relation::{Database, SpjQuery};
 
-/// Timing and model-size statistics of a refinement run, mirroring the
-/// quantities the paper reports (setup time vs. solver time, program size).
-#[derive(Debug, Clone, Default)]
-pub struct RefinementStats {
-    /// Time spent building provenance annotations and the MILP ("Setup").
-    pub setup_time: Duration,
-    /// Time spent inside the MILP solver ("Solver").
-    pub solver_time: Duration,
-    /// Total wall-clock time.
-    pub total_time: Duration,
-    /// Number of MILP variables.
-    pub num_variables: usize,
-    /// Number of MILP integer/binary variables.
-    pub num_integer_variables: usize,
-    /// Number of MILP constraints.
-    pub num_constraints: usize,
-    /// Number of tuples of `~Q(D)` kept in the program (after pruning).
-    pub scope_size: usize,
-    /// Number of lineage equivalence classes in `~Q(D)`.
-    pub lineage_classes: usize,
-    /// Branch-and-bound nodes explored.
-    pub nodes: usize,
-    /// LP relaxations solved.
-    pub lp_solves: usize,
-}
-
-/// A refinement returned by the engine.
-#[derive(Debug, Clone)]
-pub struct RefinedQuery {
-    /// The concrete predicate assignment.
-    pub assignment: PredicateAssignment,
-    /// The refined query (the original query with the assignment applied).
-    pub query: SpjQuery,
-    /// Exact value of the requested distance measure for this refinement.
-    pub distance: f64,
-    /// The MILP objective value (may differ slightly from `distance` for the
-    /// outcome-based measures, whose objectives are linear surrogates).
-    pub objective: f64,
-    /// Exact deviation (Definition 2.6) of the refined query's output.
-    pub deviation: f64,
-    /// Whether the solver proved optimality (vs. stopping at a feasible
-    /// solution due to node/time limits).
-    pub proven_optimal: bool,
-}
-
-/// Outcome of a refinement run.
-#[derive(Debug, Clone)]
-#[allow(clippy::large_enum_variant)] // the Refined payload is the common case
-pub enum RefinementOutcome {
-    /// A refinement within the maximum deviation was found.
-    Refined(RefinedQuery),
-    /// No refinement with deviation at most ε exists (or none was found
-    /// within the solver's limits — see the flag).
-    NoRefinement {
-        /// True when the solver proved infeasibility; false when it merely
-        /// hit a node/time limit first.
-        proven_infeasible: bool,
-    },
-}
-
-impl RefinementOutcome {
-    /// The refined query, if one was found.
-    pub fn refined(&self) -> Option<&RefinedQuery> {
-        match self {
-            RefinementOutcome::Refined(r) => Some(r),
-            RefinementOutcome::NoRefinement { .. } => None,
-        }
-    }
-}
-
-/// Result of [`RefinementEngine::solve`].
-#[derive(Debug, Clone)]
-pub struct RefinementResult {
-    /// The outcome (refined query or proof of absence).
-    pub outcome: RefinementOutcome,
-    /// Timing and size statistics.
-    pub stats: RefinementStats,
-}
-
-/// Best Approximation Refinement solver.
+/// One-shot Best Approximation Refinement solver (deprecated shim).
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// use qr_core::prelude::*;
 /// use qr_core::paper_example::{paper_database, scholarship_query};
 ///
@@ -115,465 +33,130 @@ pub struct RefinementResult {
 ///     .unwrap();
 /// assert!(result.outcome.refined().is_some());
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use RefinementSession::new(db, query) and RefinementRequest: the session builds \
+            provenance annotations once and answers any number of requests"
+)]
 #[derive(Debug, Clone)]
 pub struct RefinementEngine<'a> {
     db: &'a Database,
     query: SpjQuery,
-    constraints: ConstraintSet,
-    epsilon: f64,
-    distance: DistanceMeasure,
-    optimizations: OptimizationConfig,
-    solver_options: SolverOptions,
+    request: RefinementRequest,
 }
 
+#[allow(deprecated)]
 impl<'a> RefinementEngine<'a> {
     /// Create an engine for a query over a database. Constraints must be
     /// added before calling [`solve`](Self::solve).
+    #[must_use]
     pub fn new(db: &'a Database, query: SpjQuery) -> Self {
         RefinementEngine {
             db,
             query,
-            constraints: ConstraintSet::new(),
-            epsilon: 0.5,
-            distance: DistanceMeasure::Predicate,
-            optimizations: OptimizationConfig::all(),
-            solver_options: SolverOptions::default(),
+            request: RefinementRequest::new(),
         }
     }
 
     /// Replace the whole constraint set.
+    #[must_use]
     pub fn with_constraints(mut self, constraints: ConstraintSet) -> Self {
-        self.constraints = constraints;
+        self.request = self.request.with_constraints(constraints);
         self
     }
 
     /// Add a single cardinality constraint.
+    #[must_use]
     pub fn with_constraint(mut self, constraint: crate::constraint::CardinalityConstraint) -> Self {
-        self.constraints.push(constraint);
+        self.request = self.request.with_constraint(constraint);
         self
     }
 
     /// Set the maximum deviation ε (default 0.5, the paper's default).
+    #[must_use]
     pub fn with_epsilon(mut self, epsilon: f64) -> Self {
-        self.epsilon = epsilon;
+        self.request = self.request.with_epsilon(epsilon);
         self
     }
 
     /// Set the distance measure to minimise (default `DIS_pred`).
+    #[must_use]
     pub fn with_distance(mut self, distance: DistanceMeasure) -> Self {
-        self.distance = distance;
+        self.request = self.request.with_distance(distance);
         self
     }
 
     /// Set which Section 4 optimizations to apply (default: all).
+    #[must_use]
     pub fn with_optimizations(mut self, optimizations: OptimizationConfig) -> Self {
-        self.optimizations = optimizations;
+        self.request = self.request.with_optimizations(optimizations);
         self
     }
 
     /// Override the MILP solver options (node/time limits, ...).
+    #[must_use]
     pub fn with_solver_options(mut self, options: SolverOptions) -> Self {
-        self.solver_options = options;
+        self.request = self.request.with_solver_options(options);
         self
     }
 
     /// Access the configured constraint set.
     pub fn constraints(&self) -> &ConstraintSet {
-        &self.constraints
+        &self.request.constraints
     }
 
-    /// Solve the Best Approximation Refinement problem.
+    /// Solve the Best Approximation Refinement problem by delegating to a
+    /// fresh single-use [`RefinementSession`].
+    ///
+    /// Because the session owns its data, every call clones the borrowed
+    /// database and query — on top of re-annotating, the cost this shim has
+    /// always paid per solve. Callers that solve more than once should hold a
+    /// [`RefinementSession`] instead and pay both exactly once.
     pub fn solve(&self) -> Result<RefinementResult> {
-        let start = Instant::now();
-
-        // Setup: provenance annotations + MILP construction.
-        let annotated = AnnotatedRelation::build(self.db, &self.query)?;
-        let built = build_model(
-            &annotated,
-            &self.constraints,
-            self.epsilon,
-            self.distance,
-            &self.optimizations,
-        )?;
-        let setup_time = start.elapsed();
-
-        let mut stats = RefinementStats {
-            setup_time,
-            num_variables: built.model.num_variables(),
-            num_integer_variables: built.model.num_integer_variables(),
-            num_constraints: built.model.num_constraints(),
-            scope_size: built.vars.scope.len(),
-            lineage_classes: annotated.classes().len(),
-            ..RefinementStats::default()
-        };
-
-        // Exact fast path: if the original query already deviates by at most
-        // ε (and its output is long enough for the top-k* constraints to
-        // apply, matching the model's `min_output_size` row), it is itself
-        // the optimal refinement — every distance measure is zero on the
-        // identity refinement and non-negative elsewhere (Definition 2.7), so
-        // no search can do better.
-        let original = PredicateAssignment::from_query(&self.query);
-        let original_output = evaluate_refinement(&annotated, &original);
-        let original_deviation = self
-            .constraints
-            .deviation_of_output(&annotated, &original_output.selected);
-        if original_output.selected.len() >= built.k_star
-            && original_deviation <= self.epsilon + 1e-9
-        {
-            let refined = self.describe(&annotated, &built, original, 0.0, SolveStatus::Optimal);
-            stats.total_time = start.elapsed();
-            return Ok(RefinementResult {
-                outcome: RefinementOutcome::Refined(refined),
-                stats,
-            });
-        }
-
-        // Solve.
-        let solver = Solver::new(self.solver_options.clone());
-        let solution = solver.solve(&built.model)?;
-        stats.solver_time = solution.stats.solve_time;
-        stats.nodes = solution.stats.nodes;
-        stats.lp_solves = solution.stats.lp_solves;
-        stats.total_time = start.elapsed();
-
-        let outcome = match solution.status {
-            SolveStatus::Optimal | SolveStatus::Feasible => {
-                let assignment = built.extract_assignment(&solution.values);
-                let refined = self.describe(
-                    &annotated,
-                    &built,
-                    assignment,
-                    solution.objective,
-                    solution.status,
-                );
-                RefinementOutcome::Refined(refined)
-            }
-            SolveStatus::Infeasible | SolveStatus::Unbounded => RefinementOutcome::NoRefinement {
-                proven_infeasible: true,
-            },
-            SolveStatus::LimitReached => RefinementOutcome::NoRefinement {
-                proven_infeasible: false,
-            },
-        };
-
-        Ok(RefinementResult { outcome, stats })
+        let session = RefinementSession::new(self.db.clone(), self.query.clone())?;
+        let mut result = session.solve(&self.request)?;
+        // One-shot semantics: the caller pays annotation on this very solve,
+        // so surface it in the per-request stats as before the session API.
+        result
+            .stats
+            .charge_annotation(session.setup_stats().annotation_time);
+        Ok(result)
     }
-
-    /// Compute the exact distance/deviation of an assignment and package it.
-    fn describe(
-        &self,
-        annotated: &AnnotatedRelation,
-        built: &BuiltModel,
-        assignment: PredicateAssignment,
-        objective: f64,
-        status: SolveStatus,
-    ) -> RefinedQuery {
-        let refined_query = assignment.apply_to(&self.query);
-        let output = evaluate_refinement(annotated, &assignment);
-        let deviation = self
-            .constraints
-            .deviation_of_output(annotated, &output.selected);
-        let distance = exact_distance(
-            self.distance,
-            annotated,
-            &self.query,
-            &assignment,
-            built.k_star,
-        );
-        RefinedQuery {
-            assignment,
-            query: refined_query,
-            distance,
-            objective,
-            deviation,
-            proven_optimal: status == SolveStatus::Optimal,
-        }
-    }
-}
-
-/// Identity key of an output tuple for top-k comparisons: the DISTINCT key if
-/// the query de-duplicates (so the "same" entity selected through a different
-/// join partner still counts as the same item), otherwise the tuple's
-/// position in `~Q(D)`.
-fn identity_key(annotated: &AnnotatedRelation, tuple_index: usize) -> Vec<Value> {
-    match &annotated.tuples()[tuple_index].distinct_key {
-        Some(key) => key.clone(),
-        None => vec![Value::Int(tuple_index as i64)],
-    }
-}
-
-/// Exact value of a distance measure for a concrete refinement.
-pub fn exact_distance(
-    measure: DistanceMeasure,
-    annotated: &AnnotatedRelation,
-    query: &SpjQuery,
-    assignment: &PredicateAssignment,
-    k_star: usize,
-) -> f64 {
-    match measure {
-        DistanceMeasure::Predicate => predicate_distance(query, assignment),
-        DistanceMeasure::JaccardTopK | DistanceMeasure::KendallTopK => {
-            let original = evaluate_refinement(annotated, &PredicateAssignment::from_query(query));
-            let refined = evaluate_refinement(annotated, assignment);
-            let orig_keys: Vec<Vec<Value>> = original
-                .top_k(k_star)
-                .iter()
-                .map(|&t| identity_key(annotated, t))
-                .collect();
-            let refined_keys: Vec<Vec<Value>> = refined
-                .top_k(k_star)
-                .iter()
-                .map(|&t| identity_key(annotated, t))
-                .collect();
-            match measure {
-                DistanceMeasure::JaccardTopK => jaccard_topk_distance(&orig_keys, &refined_keys),
-                _ => kendall_topk_distance(&orig_keys, &refined_keys),
-            }
-        }
-    }
-}
-
-/// Exact deviation of a concrete refinement's output (Definition 2.6).
-pub fn exact_deviation(
-    annotated: &AnnotatedRelation,
-    constraints: &ConstraintSet,
-    assignment: &PredicateAssignment,
-) -> (f64, RankedOutput) {
-    let output = evaluate_refinement(annotated, assignment);
-    (
-        constraints.deviation_of_output(annotated, &output.selected),
-        output,
-    )
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::constraint::{CardinalityConstraint, Group};
     use crate::paper_example::{paper_database, scholarship_constraints, scholarship_query};
-    use qr_relation::CmpOp;
+    use std::time::Duration;
 
-    fn solve_paper(
-        distance: DistanceMeasure,
-        epsilon: f64,
-        constraints: ConstraintSet,
-        optimizations: OptimizationConfig,
-    ) -> RefinementResult {
+    /// The shim's stats keep the one-shot shape: annotation is charged to
+    /// the solve. (Full engine-vs-session equivalence across all distance
+    /// measures is pinned by `tests/session_reuse.rs`.)
+    #[test]
+    fn engine_shim_charges_annotation_to_the_solve() {
         let db = paper_database();
-        RefinementEngine::new(&db, scholarship_query())
-            .with_constraints(constraints)
-            .with_epsilon(epsilon)
-            .with_distance(distance)
-            .with_optimizations(optimizations)
-            .solve()
-            .unwrap()
-    }
-
-    #[test]
-    fn scholarship_example_predicate_distance() {
-        // Example 1.2: the closest refinement under DIS_pred that puts >= 3
-        // women in the top-6 (and <= 1 high income in the top-3) adds SO to
-        // the Activity predicate, at distance 0.5.
-        let result = solve_paper(
-            DistanceMeasure::Predicate,
-            0.0,
-            scholarship_constraints(),
-            OptimizationConfig::all(),
-        );
-        let refined = result.outcome.refined().expect("a refinement exists");
-        assert_eq!(refined.deviation, 0.0);
-        assert!(refined.proven_optimal);
-        assert!(
-            (refined.distance - 0.5).abs() < 1e-6,
-            "expected the Example 1.2 refinement at distance 0.5, got {} ({:?})",
-            refined.distance,
-            refined.assignment
-        );
-        let activity = &refined.assignment.categorical["Activity"];
-        assert!(activity.contains("RB") && activity.contains("SO"));
-        // GPA threshold unchanged.
-        let gpa = refined.assignment.numeric[&("GPA".to_string(), CmpOp::Ge)];
-        assert!((gpa - 3.7).abs() < 1e-9);
-    }
-
-    #[test]
-    fn optimizations_do_not_change_the_optimum() {
-        for config in [OptimizationConfig::all(), OptimizationConfig::none()] {
-            let result = solve_paper(
-                DistanceMeasure::Predicate,
-                0.0,
-                scholarship_constraints(),
-                config,
-            );
-            let refined = result.outcome.refined().expect("a refinement exists");
-            assert!((refined.distance - 0.5).abs() < 1e-6, "config {config:?}");
-            assert_eq!(refined.deviation, 0.0);
-        }
-    }
-
-    #[test]
-    fn jaccard_distance_prefers_output_overlap() {
-        // Under DIS_Jaccard at k*=3 (only the high-income constraint), the
-        // Example 1.3 style refinement keeps more of the original top-3 than
-        // the Example 1.2 one (cf. Example 2.3).
-        let constraints = ConstraintSet::new().with(CardinalityConstraint::at_most(
-            Group::single("Income", "High"),
-            3,
-            1,
-        ));
-        let result = solve_paper(
-            DistanceMeasure::JaccardTopK,
-            0.0,
-            constraints,
-            OptimizationConfig::all(),
-        );
-        let refined = result.outcome.refined().expect("a refinement exists");
-        assert_eq!(refined.deviation, 0.0);
-        // The original top-3 is {t4, t7, t8} with two high-income students; a
-        // best refinement keeps 2 of 3 originals (Jaccard distance 0.5).
-        assert!(
-            refined.distance <= 0.5 + 1e-6,
-            "distance {}",
-            refined.distance
-        );
-    }
-
-    #[test]
-    fn theorem_2_5_no_refinement_case() {
-        // The Table 3 instance of Theorem 2.5: no refinement can put 2 tuples
-        // of group X='B' in the top-3 when ε = 0.
-        use qr_relation::{DataType, Relation, SortOrder};
-        let mut db = Database::new();
-        db.insert(
-            Relation::build("T")
-                .column("X", DataType::Text)
-                .column("Y", DataType::Text)
-                .column("Z", DataType::Int)
-                .rows(vec![
-                    vec!["A".into(), "C".into(), 6.into()],
-                    vec!["A".into(), "D".into(), 5.into()],
-                    vec!["A".into(), "D".into(), 4.into()],
-                    vec!["B".into(), "C".into(), 3.into()],
-                    vec!["A".into(), "C".into(), 2.into()],
-                    vec!["B".into(), "D".into(), 1.into()],
-                ])
-                .finish()
-                .unwrap(),
-        );
-        let query = SpjQuery::builder("T")
-            .categorical_predicate("Y", ["C", "D"])
-            .order_by("Z", SortOrder::Descending)
-            .build()
-            .unwrap();
-        let result = RefinementEngine::new(&db, query)
-            .with_constraint(CardinalityConstraint::at_least(
-                Group::single("X", "B"),
-                3,
-                2,
-            ))
+        let result = RefinementEngine::new(&db, scholarship_query())
+            .with_constraints(scholarship_constraints())
             .with_epsilon(0.0)
             .with_distance(DistanceMeasure::Predicate)
             .solve()
             .unwrap();
-        assert!(matches!(
-            result.outcome,
-            RefinementOutcome::NoRefinement {
-                proven_infeasible: true
-            }
-        ));
-        // With ε = 0.5 a best-approximation refinement (1 of 2 required B
-        // tuples, deviation 0.5) is returned instead.
-        let db2 = db.clone();
-        let query2 = SpjQuery::builder("T")
-            .categorical_predicate("Y", ["C", "D"])
-            .order_by("Z", SortOrder::Descending)
-            .build()
-            .unwrap();
-        let result = RefinementEngine::new(&db2, query2)
-            .with_constraint(CardinalityConstraint::at_least(
-                Group::single("X", "B"),
-                3,
-                2,
-            ))
-            .with_epsilon(0.5)
-            .with_distance(DistanceMeasure::Predicate)
-            .solve()
-            .unwrap();
-        let refined = result
-            .outcome
-            .refined()
-            .expect("approximate refinement exists");
-        assert!(refined.deviation <= 0.5 + 1e-9);
-    }
-
-    #[test]
-    fn stats_are_populated() {
-        let result = solve_paper(
-            DistanceMeasure::Predicate,
-            0.5,
-            scholarship_constraints(),
-            OptimizationConfig::all(),
+        let refined = result.outcome.refined().expect("engine refines");
+        assert!((refined.distance - 0.5).abs() < 1e-6);
+        assert!(result.stats.annotation_time > Duration::ZERO);
+        assert_eq!(
+            result.stats.setup_time,
+            result.stats.annotation_time + result.stats.model_build_time
         );
-        let stats = &result.stats;
-        assert!(stats.num_variables > 0);
-        assert!(stats.num_constraints > 0);
-        assert!(stats.num_integer_variables > 0);
-        assert!(stats.scope_size > 0);
-        assert!(stats.lineage_classes > 0);
-        assert!(stats.total_time >= stats.setup_time);
     }
 
     #[test]
-    fn original_query_already_satisfying_gives_zero_distance() {
-        // A trivial constraint the original query already satisfies: at least
-        // one high-income student in the top-6.
-        let constraints = ConstraintSet::new().with(CardinalityConstraint::at_least(
-            Group::single("Income", "High"),
-            6,
-            1,
-        ));
-        let result = solve_paper(
-            DistanceMeasure::Predicate,
-            0.0,
-            constraints,
-            OptimizationConfig::all(),
-        );
-        let refined = result
-            .outcome
-            .refined()
-            .expect("the original query qualifies");
-        assert!(refined.distance < 1e-9, "distance {}", refined.distance);
-        assert_eq!(refined.deviation, 0.0);
-    }
-
-    #[test]
-    fn kendall_distance_runs_and_satisfies_constraints() {
-        let result = solve_paper(
-            DistanceMeasure::KendallTopK,
-            0.0,
-            scholarship_constraints(),
-            OptimizationConfig::all(),
-        );
-        let refined = result.outcome.refined().expect("a refinement exists");
-        assert_eq!(refined.deviation, 0.0);
-        assert!(refined.distance >= 0.0);
-    }
-
-    #[test]
-    fn exact_distance_consistency() {
+    fn constraints_accessor_reflects_builder() {
         let db = paper_database();
-        let query = scholarship_query();
-        let annotated = AnnotatedRelation::build(&db, &query).unwrap();
-        let identity = PredicateAssignment::from_query(&query);
-        for m in DistanceMeasure::all() {
-            assert_eq!(exact_distance(m, &annotated, &query, &identity, 6), 0.0);
-        }
-        let (dev, output) = exact_deviation(&annotated, &scholarship_constraints(), &identity);
-        assert!(
-            dev > 0.0,
-            "the original scholarship query violates the constraints"
-        );
-        assert_eq!(output.top_k(6).len(), 6);
+        let engine = RefinementEngine::new(&db, scholarship_query())
+            .with_constraints(scholarship_constraints());
+        assert_eq!(engine.constraints().len(), 2);
     }
 }

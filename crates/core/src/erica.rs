@@ -17,10 +17,10 @@
 
 use crate::constraint::{BoundType, CardinalityConstraint, ConstraintSet};
 use crate::distance::{predicate_distance, DistanceMeasure};
-use crate::engine::RefinementStats;
 use crate::error::Result;
 use crate::milp_model::{build_model, BuiltModel};
 use crate::optimize::OptimizationConfig;
+use crate::session::RefinementStats;
 use qr_milp::{LinExpr, Sense, SolveStatus, Solver, SolverOptions};
 use qr_provenance::{whatif::evaluate_refinement, AnnotatedRelation, PredicateAssignment};
 use qr_relation::{Database, SpjQuery};
@@ -42,6 +42,10 @@ pub struct OutputConstraint {
 pub struct EricaResult {
     /// The refinement found, with its predicate distance, if any exists.
     pub best: Option<(PredicateAssignment, f64)>,
+    /// When a refinement was found: whether the solver proved it optimal.
+    /// When none was found: whether infeasibility was proven (vs. merely
+    /// running out of budget).
+    pub proven: bool,
     /// Timing/size statistics.
     pub stats: RefinementStats,
 }
@@ -67,6 +71,11 @@ pub fn erica_refine(
 /// [`erica_refine`] with explicit solver options (time/node limits). With a
 /// tight limit the result may be a feasible-but-unproven refinement, or
 /// `None` when no incumbent was found in time.
+///
+/// Annotates from scratch; amortized callers should prepare a
+/// [`RefinementSession`](crate::session::RefinementSession) and go through
+/// [`EricaSolver`](crate::solver::EricaSolver) or
+/// [`erica_refine_prepared`].
 pub fn erica_refine_with(
     db: &Database,
     query: &SpjQuery,
@@ -76,17 +85,38 @@ pub fn erica_refine_with(
 ) -> Result<EricaResult> {
     let start = Instant::now();
     let annotated = AnnotatedRelation::build(db, query)?;
+    let annotation_time = start.elapsed();
+    let mut result = erica_refine_prepared(&annotated, constraints, output_size, solver_options)?;
+    result.stats.charge_annotation(annotation_time);
+    Ok(result)
+}
+
+/// The Erica-style baseline over already-built provenance annotations (the
+/// shared setup of a session).
+pub fn erica_refine_prepared(
+    annotated: &AnnotatedRelation,
+    constraints: &[OutputConstraint],
+    output_size: usize,
+    solver_options: SolverOptions,
+) -> Result<EricaResult> {
+    let start = Instant::now();
+    let query = annotated.query();
 
     // No refinement can produce more output tuples than ~Q(D) contains.
     if output_size > annotated.len() {
         let stats = RefinementStats {
+            model_build_time: start.elapsed(),
             setup_time: start.elapsed(),
             total_time: start.elapsed(),
             scope_size: annotated.len(),
             lineage_classes: annotated.classes().len(),
             ..RefinementStats::default()
         };
-        return Ok(EricaResult { best: None, stats });
+        return Ok(EricaResult {
+            best: None,
+            proven: true,
+            stats,
+        });
     }
 
     // Reuse the refinement model builder for expressions (1)-(3) by posing
@@ -109,7 +139,7 @@ pub fn erica_refine_with(
     let BuiltModel {
         mut model, vars, ..
     } = build_model(
-        &annotated,
+        annotated,
         &card_constraints,
         0.0,
         DistanceMeasure::Predicate,
@@ -154,6 +184,7 @@ pub fn erica_refine_with(
 
     let setup_time = start.elapsed();
     let mut stats = RefinementStats {
+        model_build_time: setup_time,
         setup_time,
         num_variables: model.num_variables(),
         num_integer_variables: model.num_integer_variables(),
@@ -181,9 +212,16 @@ pub fn erica_refine_with(
     } else {
         None
     };
-    let _ = solution.status == SolveStatus::Optimal;
+    let proven = match solution.status {
+        SolveStatus::Optimal | SolveStatus::Infeasible | SolveStatus::Unbounded => true,
+        SolveStatus::Feasible | SolveStatus::LimitReached => false,
+    };
 
-    Ok(EricaResult { best, stats })
+    Ok(EricaResult {
+        best,
+        proven,
+        stats,
+    })
 }
 
 /// Verify that an Erica refinement indeed satisfies its whole-output

@@ -19,6 +19,8 @@ pub enum CoreError {
     InvalidConstraint(String),
     /// The problem input is invalid (e.g. negative ε, k* larger than the data).
     InvalidInput(String),
+    /// A textual label (distance measure, algorithm mode, ...) failed to parse.
+    Parse(String),
 }
 
 impl fmt::Display for CoreError {
@@ -28,6 +30,7 @@ impl fmt::Display for CoreError {
             CoreError::Milp(e) => write!(f, "MILP error: {e}"),
             CoreError::InvalidConstraint(msg) => write!(f, "invalid constraint: {msg}"),
             CoreError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            CoreError::Parse(msg) => write!(f, "parse error: {msg}"),
         }
     }
 }

@@ -19,29 +19,60 @@
 //!   lists,
 //! * three optimizations shrink the program ([`optimize`], Section 4),
 //! * exhaustive-search baselines ([`naive`]) and an Erica-style whole-output
-//!   baseline ([`erica`]) reproduce the paper's comparisons (Section 5).
+//!   baseline ([`erica`]) reproduce the paper's comparisons (Section 5), all
+//!   selectable through one [`solver::RefinementSolver`] trait.
 //!
 //! ## Quickstart
+//!
+//! The entry point is a [`RefinementSession`]: it owns the database, the
+//! query, and the provenance annotations of `~Q(D)` — built exactly once, at
+//! session construction — and answers any number of [`RefinementRequest`]s:
 //!
 //! ```
 //! use qr_core::prelude::*;
 //! use qr_core::paper_example::{paper_database, scholarship_query};
 //!
-//! let db = paper_database();
-//! let result = RefinementEngine::new(&db, scholarship_query())
-//!     // at least 3 of the top-6 scholarship recipients are women
-//!     .with_constraint(CardinalityConstraint::at_least(Group::single("Gender", "F"), 6, 3))
-//!     // at most 1 of the top-3 has a high family income
-//!     .with_constraint(CardinalityConstraint::at_most(Group::single("Income", "High"), 3, 1))
-//!     .with_epsilon(0.0)
-//!     .with_distance(DistanceMeasure::Predicate)
-//!     .solve()
+//! let session = RefinementSession::new(paper_database(), scholarship_query()).unwrap();
+//! let result = session
+//!     .solve(
+//!         &RefinementRequest::new()
+//!             // at least 3 of the top-6 scholarship recipients are women
+//!             .with_constraint(CardinalityConstraint::at_least(Group::single("Gender", "F"), 6, 3))
+//!             // at most 1 of the top-3 has a high family income
+//!             .with_constraint(CardinalityConstraint::at_most(Group::single("Income", "High"), 3, 1))
+//!             .with_epsilon(0.0)
+//!             .with_distance(DistanceMeasure::Predicate),
+//!     )
 //!     .unwrap();
 //!
 //! let refined = result.outcome.refined().expect("a refinement exists");
 //! assert_eq!(refined.deviation, 0.0);
 //! println!("{}", qr_relation::sql::ToSql::to_sql(&refined.query));
 //! ```
+//!
+//! ## Amortizing setup across an ε-sweep
+//!
+//! Because the session holds the annotations, a sweep (here over the maximum
+//! deviation ε, as in the paper's Figure 5) pays provenance setup once
+//! instead of once per point:
+//!
+//! ```
+//! use qr_core::prelude::*;
+//! use qr_core::paper_example::{paper_database, scholarship_constraints, scholarship_query};
+//!
+//! let session = RefinementSession::new(paper_database(), scholarship_query()).unwrap();
+//! let base = RefinementRequest::new().with_constraints(scholarship_constraints());
+//! for result in session.sweep_epsilon(&base, &[0.0, 0.25, 0.5]).unwrap() {
+//!     // every per-request stat shows zero annotation time ...
+//!     assert!(result.stats.annotation_time.is_zero());
+//! }
+//! // ... because the session paid it exactly once, up front.
+//! assert_eq!(session.setup_stats().annotation_builds, 1);
+//! ```
+//!
+//! The old one-shot [`RefinementEngine`] (which re-annotated on every call)
+//! is deprecated and now delegates to a single-use session; migrate to
+//! [`RefinementSession`] + [`RefinementRequest`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -55,30 +86,41 @@ pub mod milp_model;
 pub mod naive;
 pub mod optimize;
 pub mod paper_example;
+pub mod session;
+pub mod solver;
 
 pub use constraint::{BoundType, CardinalityConstraint, ConstraintSet, Group};
 pub use distance::{
     jaccard_topk_distance, kendall_topk_distance, predicate_distance, DistanceMeasure,
 };
-pub use engine::{
-    exact_deviation, exact_distance, RefinedQuery, RefinementEngine, RefinementOutcome,
-    RefinementResult, RefinementStats,
+#[allow(deprecated)]
+pub use engine::RefinementEngine;
+pub use erica::{
+    erica_refine, erica_refine_prepared, erica_refine_with, EricaResult, OutputConstraint,
 };
-pub use erica::{erica_refine, erica_refine_with, EricaResult, OutputConstraint};
 pub use error::{CoreError, Result};
 pub use milp_model::{build_model, BuiltModel, ModelVariables};
-pub use naive::{naive_search, NaiveMode, NaiveOptions, NaiveResult};
+pub use naive::{naive_search, naive_search_prepared, NaiveMode, NaiveOptions, NaiveResult};
 pub use optimize::OptimizationConfig;
+pub use session::{
+    exact_deviation, exact_distance, RefinedQuery, RefinementOutcome, RefinementRequest,
+    RefinementResult, RefinementSession, RefinementStats, SessionStats,
+};
+pub use solver::{EricaSolver, MilpSolver, NaiveSolver, RefinementSolver};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::constraint::{BoundType, CardinalityConstraint, ConstraintSet, Group};
     pub use crate::distance::DistanceMeasure;
-    pub use crate::engine::{
-        RefinedQuery, RefinementEngine, RefinementOutcome, RefinementResult, RefinementStats,
-    };
+    #[allow(deprecated)]
+    pub use crate::engine::RefinementEngine;
     pub use crate::erica::{erica_refine, erica_refine_with, OutputConstraint};
     pub use crate::error::{CoreError, Result as CoreResult};
     pub use crate::naive::{naive_search, NaiveMode, NaiveOptions};
     pub use crate::optimize::OptimizationConfig;
+    pub use crate::session::{
+        RefinedQuery, RefinementOutcome, RefinementRequest, RefinementResult, RefinementSession,
+        RefinementStats, SessionStats,
+    };
+    pub use crate::solver::{EricaSolver, MilpSolver, NaiveSolver, RefinementSolver};
 }

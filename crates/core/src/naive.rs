@@ -10,11 +10,15 @@
 
 use crate::constraint::ConstraintSet;
 use crate::distance::DistanceMeasure;
-use crate::engine::{exact_distance, RefinementStats};
-use crate::error::Result;
+use crate::error::{CoreError, Result};
+use crate::session::{
+    exact_distance, RefinedQuery, RefinementOutcome, RefinementResult, RefinementStats,
+};
 use qr_provenance::{whatif::evaluate_refinement, AnnotatedRelation, PredicateAssignment};
 use qr_relation::{evaluate, CmpOp, Database, SpjQuery};
 use std::collections::BTreeSet;
+use std::fmt;
+use std::str::FromStr;
 use std::time::{Duration, Instant};
 
 /// How candidate refinements are evaluated.
@@ -32,6 +36,29 @@ impl NaiveMode {
         match self {
             NaiveMode::Database => "Naive",
             NaiveMode::Provenance => "Naive+prov",
+        }
+    }
+}
+
+impl fmt::Display for NaiveMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for NaiveMode {
+    type Err = CoreError;
+
+    /// Parse a benchmark label or mode name: `Naive` / `database` / `db` for
+    /// the relational-engine mode, `Naive+prov` / `provenance` / `prov` for
+    /// the provenance mode (case-insensitive).
+    fn from_str(s: &str) -> Result<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "naive" | "database" | "db" => Ok(NaiveMode::Database),
+            "naive+prov" | "naiveprov" | "provenance" | "prov" => Ok(NaiveMode::Provenance),
+            _ => Err(CoreError::Parse(format!(
+                "unknown naive mode '{s}' (expected Naive or Naive+prov)"
+            ))),
         }
     }
 }
@@ -72,7 +99,36 @@ pub struct NaiveResult {
     pub stats: RefinementStats,
 }
 
-/// Run the exhaustive search baseline.
+impl NaiveResult {
+    /// Convert into the common [`RefinementResult`], so the exhaustive
+    /// baselines report through the same channel as the MILP engine:
+    /// `exhausted` becomes the proof flag (a completed enumeration proves
+    /// optimality of the best candidate, or infeasibility when none passed).
+    pub fn into_refinement_result(self, query: &SpjQuery) -> RefinementResult {
+        let outcome = match self.best {
+            Some((assignment, distance, deviation)) => RefinementOutcome::Refined(RefinedQuery {
+                query: assignment.apply_to(query),
+                assignment,
+                distance,
+                objective: distance,
+                deviation,
+                proven_optimal: self.exhausted,
+            }),
+            None => RefinementOutcome::NoRefinement {
+                proven_infeasible: self.exhausted,
+            },
+        };
+        RefinementResult {
+            outcome,
+            stats: self.stats,
+        }
+    }
+}
+
+/// Run the exhaustive search baseline, annotating from scratch (one-shot
+/// convenience). Amortized callers should prepare a
+/// [`RefinementSession`](crate::session::RefinementSession) and go through
+/// [`NaiveSolver`](crate::solver::NaiveSolver) instead.
 pub fn naive_search(
     db: &Database,
     query: &SpjQuery,
@@ -83,7 +139,28 @@ pub fn naive_search(
 ) -> Result<NaiveResult> {
     let start = Instant::now();
     let annotated = AnnotatedRelation::build(db, query)?;
-    constraints.validate(&annotated)?;
+    let annotation_time = start.elapsed();
+    let mut result =
+        naive_search_prepared(db, &annotated, constraints, epsilon, distance, options)?;
+    result.stats.charge_annotation(annotation_time);
+    Ok(result)
+}
+
+/// Run the exhaustive search baseline over already-built provenance
+/// annotations (the shared setup of a session). `db` is only consulted in
+/// [`NaiveMode::Database`], which re-evaluates every candidate on the
+/// relational engine.
+pub fn naive_search_prepared(
+    db: &Database,
+    annotated: &AnnotatedRelation,
+    constraints: &ConstraintSet,
+    epsilon: f64,
+    distance: DistanceMeasure,
+    options: &NaiveOptions,
+) -> Result<NaiveResult> {
+    let start = Instant::now();
+    let query = annotated.query();
+    constraints.validate(annotated)?;
     let k_star = constraints.k_star();
     let setup_time = start.elapsed();
 
@@ -142,9 +219,9 @@ pub fn naive_search(
         // Evaluate deviation (and output size) for the candidate.
         let (deviation, output_len) = match options.mode {
             NaiveMode::Provenance => {
-                let output = evaluate_refinement(&annotated, &assignment);
+                let output = evaluate_refinement(annotated, &assignment);
                 (
-                    constraints.deviation_of_output(&annotated, &output.selected),
+                    constraints.deviation_of_output(annotated, &output.selected),
                     output.len(),
                 )
             }
@@ -169,7 +246,7 @@ pub fn naive_search(
         };
 
         if output_len >= k_star && deviation <= epsilon + 1e-9 {
-            let dist = exact_distance(distance, &annotated, query, &assignment, k_star);
+            let dist = exact_distance(distance, annotated, query, &assignment, k_star);
             let better = best
                 .as_ref()
                 .map(|(_, d, _)| dist < *d - 1e-12)
@@ -199,11 +276,13 @@ pub fn naive_search(
 
     let total = start.elapsed();
     let stats = RefinementStats {
+        model_build_time: setup_time,
         setup_time,
         solver_time: total.saturating_sub(setup_time),
         total_time: total,
         scope_size: annotated.len(),
         lineage_classes: annotated.classes().len(),
+        candidates_evaluated: evaluated,
         ..RefinementStats::default()
     };
     Ok(NaiveResult {
@@ -236,8 +315,8 @@ mod tests {
     use super::*;
     use crate::constraint::{CardinalityConstraint, Group};
     use crate::distance::DistanceMeasure;
-    use crate::engine::RefinementEngine;
     use crate::paper_example::{paper_database, scholarship_constraints, scholarship_query};
+    use crate::session::{RefinementRequest, RefinementSession};
 
     #[test]
     fn subsets_enumeration() {
@@ -245,6 +324,16 @@ mod tests {
         let subsets = non_empty_subsets(&domain);
         assert_eq!(subsets.len(), 7);
         assert!(subsets.iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn mode_display_and_from_str_round_trip() {
+        for mode in [NaiveMode::Database, NaiveMode::Provenance] {
+            assert_eq!(mode.to_string().parse::<NaiveMode>().unwrap(), mode);
+        }
+        assert_eq!("prov".parse::<NaiveMode>().unwrap(), NaiveMode::Provenance);
+        assert_eq!("DB".parse::<NaiveMode>().unwrap(), NaiveMode::Database);
+        assert!("cplex".parse::<NaiveMode>().is_err());
     }
 
     #[test]
@@ -301,11 +390,14 @@ mod tests {
         .unwrap();
         let (_, naive_dist, _) = naive.best.expect("refinement exists");
 
-        let milp = RefinementEngine::new(&db, query)
-            .with_constraints(constraints)
-            .with_epsilon(0.0)
-            .with_distance(DistanceMeasure::Predicate)
-            .solve()
+        let milp = RefinementSession::new(db, query)
+            .unwrap()
+            .solve(
+                &RefinementRequest::new()
+                    .with_constraints(constraints)
+                    .with_epsilon(0.0)
+                    .with_distance(DistanceMeasure::Predicate),
+            )
             .unwrap();
         let refined = milp.outcome.refined().expect("refinement exists");
         assert!(
@@ -335,11 +427,14 @@ mod tests {
         )
         .unwrap();
         let (_, naive_dist, _) = naive.best.expect("refinement exists");
-        let milp = RefinementEngine::new(&db, query)
-            .with_constraints(constraints)
-            .with_epsilon(0.0)
-            .with_distance(DistanceMeasure::JaccardTopK)
-            .solve()
+        let milp = RefinementSession::new(db, query)
+            .unwrap()
+            .solve(
+                &RefinementRequest::new()
+                    .with_constraints(constraints)
+                    .with_epsilon(0.0)
+                    .with_distance(DistanceMeasure::JaccardTopK),
+            )
             .unwrap();
         let refined = milp.outcome.refined().expect("refinement exists");
         assert!(

@@ -273,7 +273,7 @@ impl Workload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qr_core::{DistanceMeasure, OptimizationConfig, RefinementEngine};
+    use qr_core::{DistanceMeasure, OptimizationConfig, RefinementRequest, RefinementSession};
     use qr_provenance::AnnotatedRelation;
     use qr_relation::evaluate;
 
@@ -322,16 +322,19 @@ mod tests {
         // instance. The instance and k are kept small so the debug-mode test
         // suite stays fast; full-size runs live in the `experiments` binary.
         let w = Workload::astronauts(60, 5);
-        let result = RefinementEngine::new(&w.db, w.query.clone())
-            .with_constraints(qr_core::ConstraintSet::new().with(w.constraint_with_bound(
-                1,
-                5,
-                Some(2),
-            )))
-            .with_epsilon(0.5)
-            .with_distance(DistanceMeasure::Predicate)
-            .with_optimizations(OptimizationConfig::all())
-            .solve()
+        let result = RefinementSession::new(w.db.clone(), w.query.clone())
+            .expect("annotation builds")
+            .solve(
+                &RefinementRequest::new()
+                    .with_constraints(qr_core::ConstraintSet::new().with(w.constraint_with_bound(
+                        1,
+                        5,
+                        Some(2),
+                    )))
+                    .with_epsilon(0.5)
+                    .with_distance(DistanceMeasure::Predicate)
+                    .with_optimizations(OptimizationConfig::all()),
+            )
             .expect("engine runs");
         let refined = result
             .outcome

@@ -12,7 +12,6 @@ use query_refinement::core::prelude::*;
 use query_refinement::core::{exact_distance, DistanceMeasure as DM};
 use query_refinement::datagen::{DatasetId, Workload};
 use query_refinement::milp::SolverOptions;
-use query_refinement::provenance::AnnotatedRelation;
 use query_refinement::relation::prelude::*;
 use std::time::Duration;
 
@@ -23,12 +22,15 @@ fn main() {
     println!("Query Q_M:\n{}\n", workload.query.to_sql());
     println!("Constraints: {}\n", constraints);
 
-    let annotated =
-        AnnotatedRelation::build(&workload.db, &workload.query).expect("annotation builds");
+    // The session's annotations serve both solves *and* the exact distance
+    // cross-checks below — no separate AnnotatedRelation::build needed.
+    let session = RefinementSession::new(workload.db.clone(), workload.query.clone())
+        .expect("annotation builds");
     println!(
-        "~Q(D): {} tuples in {} lineage equivalence classes\n",
-        annotated.len(),
-        annotated.classes().len()
+        "~Q(D): {} tuples in {} lineage equivalence classes (annotated once, {:?})\n",
+        session.annotated().len(),
+        session.annotated().classes().len(),
+        session.setup_stats().annotation_time
     );
 
     // A visible search budget: at this dataset size the from-scratch solver
@@ -38,34 +40,34 @@ fn main() {
         max_nodes: 50_000,
         ..SolverOptions::default()
     };
+    let base = RefinementRequest::new()
+        .with_constraints(constraints)
+        .with_epsilon(0.5)
+        .with_solver_options(budget);
 
     let mut refinements = Vec::new();
     for distance in [DistanceMeasure::Predicate, DistanceMeasure::JaccardTopK] {
-        let result = RefinementEngine::new(&workload.db, workload.query.clone())
-            .with_constraints(constraints.clone())
-            .with_epsilon(0.5)
-            .with_distance(distance)
-            .with_solver_options(budget.clone())
-            .solve()
+        let result = session
+            .solve(&base.clone().with_distance(distance))
             .expect("engine runs");
         if let Some(refined) = result.outcome.refined() {
             let qd = exact_distance(
                 DM::Predicate,
-                &annotated,
-                &workload.query,
+                session.annotated(),
+                session.query(),
                 &refined.assignment,
                 k,
             );
             let jac = exact_distance(
                 DM::JaccardTopK,
-                &annotated,
-                &workload.query,
+                session.annotated(),
+                session.query(),
                 &refined.assignment,
                 k,
             );
             println!(
                 "[{}] refined query:\n{}\n  predicate distance {:.3} | top-k Jaccard {:.3} | deviation {:.3}\n",
-                distance.label(),
+                distance,
                 refined.query.to_sql(),
                 qd,
                 jac,
@@ -73,7 +75,7 @@ fn main() {
             );
             refinements.push((distance, refined.clone()));
         } else {
-            println!("[{}] no refinement within ε\n", distance.label());
+            println!("[{}] no refinement within ε\n", distance);
         }
     }
 

@@ -3,7 +3,9 @@
 //! A scholarship foundation ranks students by SAT score among those who
 //! satisfy a GPA and extracurricular-activity filter. The original query
 //! yields only two women in the top-6 and two high-income students in the
-//! top-3; we ask the engine for the *closest* refined query that fixes both.
+//! top-3; we ask for the *closest* refined query that fixes both — under two
+//! different distance measures, through one [`RefinementSession`] that pays
+//! provenance setup once.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -27,15 +29,19 @@ fn main() {
     let constraints = scholarship_constraints();
     println!("Diversity constraints: {}\n", constraints);
 
+    // One session: the provenance annotations behind both solves below are
+    // built here, exactly once.
+    let session = RefinementSession::new(db.clone(), query.clone()).expect("annotation builds");
+    let base = RefinementRequest::new()
+        .with_constraints(constraints)
+        .with_epsilon(0.0);
+
     for distance in [DistanceMeasure::Predicate, DistanceMeasure::JaccardTopK] {
-        let result = RefinementEngine::new(&db, query.clone())
-            .with_constraints(constraints.clone())
-            .with_epsilon(0.0)
-            .with_distance(distance)
-            .solve()
+        let result = session
+            .solve(&base.clone().with_distance(distance))
             .expect("engine runs");
 
-        println!("=== distance measure: {} ===", distance.label());
+        println!("=== distance measure: {} ===", distance);
         match result.outcome.refined() {
             Some(refined) => {
                 println!(
@@ -46,11 +52,17 @@ fn main() {
                 let output = evaluate(&db, &refined.query).expect("refined query evaluates");
                 println!("New top-6:\n{}", top_k(&output, 6).preview(6));
                 println!(
-                    "deviation from constraints: {:.3} (setup {:?}, solver {:?})\n",
-                    refined.deviation, result.stats.setup_time, result.stats.solver_time
+                    "deviation from constraints: {:.3} (model build {:?}, solver {:?})\n",
+                    refined.deviation, result.stats.model_build_time, result.stats.solver_time
                 );
             }
             None => println!("no refinement satisfies the constraints within ε\n"),
         }
     }
+    println!(
+        "shared setup: annotation {:?}, built {} time(s) for {} solves",
+        session.setup_stats().annotation_time,
+        session.setup_stats().annotation_builds,
+        2
+    );
 }

@@ -3,7 +3,8 @@
 //! A foundation ranks Great-Lakes-region students with a high GPA by their
 //! LSAT score and awards the top ten. We require gender balance in the top
 //! ten and compare the refinements chosen by the predicate and Jaccard
-//! distance measures, plus the exhaustive `Naive+prov` baseline.
+//! distance measures, plus the exhaustive `Naive+prov` baseline — every
+//! algorithm dispatched through the same session and solver trait.
 //!
 //! Run with: `cargo run --release --example scholarship_awards`
 
@@ -29,18 +30,21 @@ fn main() {
         ..SolverOptions::default()
     };
 
+    let session = RefinementSession::new(workload.db.clone(), workload.query.clone())
+        .expect("annotation builds");
+    let base = RefinementRequest::new()
+        .with_constraints(constraints)
+        .with_epsilon(0.25)
+        .with_solver_options(budget);
+
     for distance in [DistanceMeasure::Predicate, DistanceMeasure::JaccardTopK] {
-        let result = RefinementEngine::new(&workload.db, workload.query.clone())
-            .with_constraints(constraints.clone())
-            .with_epsilon(0.25)
-            .with_distance(distance)
-            .with_solver_options(budget.clone())
-            .solve()
+        let result = session
+            .solve(&base.clone().with_distance(distance))
             .expect("engine runs");
         match result.outcome.refined() {
             Some(refined) => println!(
                 "[{}] distance {:.3}, deviation {:.3}, {} vars / {} constraints, total {:?}\n{}\n",
-                distance.label(),
+                distance,
                 refined.distance,
                 refined.deviation,
                 result.stats.num_variables,
@@ -48,32 +52,31 @@ fn main() {
                 result.stats.total_time,
                 refined.query.to_sql()
             ),
-            None => println!(
-                "[{}] no refinement within the deviation budget\n",
-                distance.label()
-            ),
+            None => println!("[{}] no refinement within the deviation budget\n", distance),
         }
     }
 
     // The exhaustive baseline enumerates every refinement; on Q_L's domain it
-    // is still feasible, just slower.
-    let naive = naive_search(
-        &workload.db,
-        &workload.query,
-        &constraints,
-        0.25,
-        DistanceMeasure::Predicate,
-        &NaiveOptions {
-            time_limit: Some(Duration::from_secs(10)),
-            ..NaiveOptions::default()
-        },
-    )
-    .expect("naive search runs");
-    match naive.best {
-        Some((_, dist, dev)) => println!(
-            "[Naive+prov] best distance {:.3}, deviation {:.3}, {} candidates in {:?} (exhausted: {})",
-            dist, dev, naive.candidates_evaluated, naive.stats.total_time, naive.exhausted
+    // is still feasible, just slower. Same session, same request — only the
+    // solver backend differs.
+    let naive = NaiveSolver::new(NaiveMode::Provenance).with_options(NaiveOptions {
+        time_limit: Some(Duration::from_secs(10)),
+        ..NaiveOptions::default()
+    });
+    let request = base.with_distance(DistanceMeasure::Predicate);
+    let result = session
+        .solve_with(&naive, &request)
+        .expect("naive search runs");
+    match result.outcome.refined() {
+        Some(refined) => println!(
+            "[{}] best distance {:.3}, deviation {:.3}, {} candidates in {:?} (exhausted: {})",
+            naive.label(&request),
+            refined.distance,
+            refined.deviation,
+            result.stats.candidates_evaluated,
+            result.stats.total_time,
+            refined.proven_optimal
         ),
-        None => println!("[Naive+prov] found no refinement"),
+        None => println!("[{}] found no refinement", naive.label(&request)),
     }
 }

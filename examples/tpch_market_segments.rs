@@ -1,6 +1,9 @@
 //! TPC-H Q5: diversifying high-revenue orders across priorities and market
 //! segments, and comparing against the Erica-style whole-output baseline
-//! (Section 5.3 of the paper).
+//! (Section 5.3 of the paper). Both algorithms answer the *same*
+//! `RefinementRequest` against one session, dispatched through the solver
+//! trait: the Erica backend reinterprets the top-k constraints as
+//! whole-output constraints with the output size forced to exactly k*.
 //!
 //! Run with: `cargo run --release --example tpch_market_segments`
 
@@ -21,12 +24,14 @@ fn main() {
     );
     println!("Constraints: {}\n", constraints);
 
-    let result = RefinementEngine::new(&workload.db, workload.query.clone())
-        .with_constraints(constraints.clone())
+    let session = RefinementSession::new(workload.db.clone(), workload.query.clone())
+        .expect("annotation builds");
+    let request = RefinementRequest::new()
+        .with_constraints(constraints)
         .with_epsilon(0.5)
-        .with_distance(DistanceMeasure::Predicate)
-        .solve()
-        .expect("engine runs");
+        .with_distance(DistanceMeasure::Predicate);
+
+    let result = session.solve(&request).expect("engine runs");
     match result.outcome.refined() {
         Some(refined) => println!(
             "[top-k engine] distance {:.3}, deviation {:.3}, total {:?}\n{}\n",
@@ -40,26 +45,15 @@ fn main() {
 
     // Erica-style baseline: the same group requirements over the *whole
     // output*, which additionally forces the output size to be exactly k.
-    let output_constraints: Vec<OutputConstraint> = vec![
-        OutputConstraint {
-            group: Group::single("OrderPrio", "5-LOW"),
-            bound: BoundType::Lower,
-            n: 3,
-        },
-        OutputConstraint {
-            group: Group::single("MktSegment", "AUTOMOBILE"),
-            bound: BoundType::Lower,
-            n: 2,
-        },
-    ];
-    let erica = erica_refine(&workload.db, &workload.query, &output_constraints, k)
+    let erica = session
+        .solve_with(&EricaSolver, &request)
         .expect("erica baseline runs");
-    match erica.best {
-        Some((assignment, distance)) => println!(
+    match erica.outcome.refined() {
+        Some(refined) => println!(
             "[Erica-style] predicate distance {:.3} (output forced to exactly {k} tuples), total {:?}\n{}\n",
-            distance,
+            refined.distance,
             erica.stats.total_time,
-            assignment.apply_to(&workload.query).to_sql()
+            refined.query.to_sql()
         ),
         None => println!("[Erica-style] no refinement with an output of exactly {k} tuples\n"),
     }

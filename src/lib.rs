@@ -4,7 +4,9 @@
 //! This crate re-exports the public APIs of the workspace members so that the
 //! examples in `examples/` and the integration tests in `tests/` can use a
 //! single dependency. Downstream users will normally depend on [`qr_core`]
-//! directly (together with [`qr_relation`] for data loading).
+//! directly (together with [`qr_relation`] for data loading); its entry point
+//! is [`qr_core::RefinementSession`], which builds provenance annotations
+//! once and answers any number of [`qr_core::RefinementRequest`]s.
 //!
 //! See the repository `README.md` for a quickstart and the
 //! crate map.

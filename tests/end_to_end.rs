@@ -1,5 +1,6 @@
 //! End-to-end integration tests over the synthetic benchmark workloads:
-//! engine vs. exhaustive baseline, optimization ablations, Erica baseline.
+//! engine vs. exhaustive baseline, optimization ablations, Erica baseline —
+//! all driven through the session API.
 //!
 //! Instances are kept deliberately small so the suite stays fast in debug
 //! builds; the full-size runs live in `qr-bench`.
@@ -8,7 +9,6 @@ use query_refinement::core::erica_refine_with;
 use query_refinement::core::prelude::*;
 use query_refinement::datagen::{DatasetId, Workload};
 use query_refinement::milp::SolverOptions;
-use query_refinement::provenance::AnnotatedRelation;
 use query_refinement::relation::prelude::*;
 use std::time::Duration;
 
@@ -19,6 +19,10 @@ fn tiny(id: DatasetId) -> Workload {
         DatasetId::Meps => Workload::meps(150, 1),
         DatasetId::Tpch => Workload::tpch(40, 1),
     }
+}
+
+fn session_for(w: &Workload) -> RefinementSession {
+    RefinementSession::new(w.db.clone(), w.query.clone()).expect("annotation builds")
 }
 
 /// Tight search limits: the Law-Students/MEPS instances are NP-hard MILPs the
@@ -40,32 +44,28 @@ fn tiny_constraints(w: &Workload) -> ConstraintSet {
 fn tpch_engine_matches_naive_optimum() {
     let w = tiny(DatasetId::Tpch);
     let constraints = tiny_constraints(&w);
-    let milp = RefinementEngine::new(&w.db, w.query.clone())
+    let session = session_for(&w);
+    let request = RefinementRequest::new()
         .with_constraints(constraints.clone())
         .with_epsilon(0.5)
-        .with_distance(DistanceMeasure::Predicate)
-        .solve()
+        .with_distance(DistanceMeasure::Predicate);
+    let milp = session.solve(&request).unwrap();
+    // The exhaustive baseline goes through the same session and request,
+    // only the backend differs.
+    let naive = session
+        .solve_with(&NaiveSolver::new(NaiveMode::Provenance), &request)
         .unwrap();
-    let naive = naive_search(
-        &w.db,
-        &w.query,
-        &constraints,
-        0.5,
-        DistanceMeasure::Predicate,
-        &NaiveOptions::default(),
-    )
-    .unwrap();
     let refined = milp.outcome.refined().expect("TPC-H refinement exists");
-    let (_, naive_dist, _) = naive.best.expect("naive refinement exists");
+    let naive_refined = naive.outcome.refined().expect("naive refinement exists");
     assert!(
-        naive.exhausted,
+        naive_refined.proven_optimal,
         "TPC-H has a tiny refinement space; naive must finish"
     );
     assert!(
-        (refined.distance - naive_dist).abs() < 1e-6,
+        (refined.distance - naive_refined.distance).abs() < 1e-6,
         "engine {} vs naive {}",
         refined.distance,
-        naive_dist
+        naive_refined.distance
     );
 }
 
@@ -74,12 +74,14 @@ fn refinements_respect_the_deviation_budget_on_all_datasets() {
     for id in DatasetId::all() {
         let w = tiny(id);
         let constraints = tiny_constraints(&w);
-        let result = RefinementEngine::new(&w.db, w.query.clone())
-            .with_constraints(constraints.clone())
-            .with_epsilon(0.5)
-            .with_distance(DistanceMeasure::Predicate)
-            .with_solver_options(bounded_solver_options())
-            .solve()
+        let result = session_for(&w)
+            .solve(
+                &RefinementRequest::new()
+                    .with_constraints(constraints)
+                    .with_epsilon(0.5)
+                    .with_distance(DistanceMeasure::Predicate)
+                    .with_solver_options(bounded_solver_options()),
+            )
             .unwrap();
         if let Some(refined) = result.outcome.refined() {
             assert!(
@@ -102,17 +104,17 @@ fn optimizations_preserve_the_optimum_on_tpch() {
     // optimized and the unoptimized build prove optimality quickly and must
     // agree on the optimum. (The heavier workloads are exercised by the
     // benchmark harness, where the unoptimized build is allowed to time out,
-    // as in the paper.)
+    // as in the paper.) One session serves both configurations.
     let w = tiny(DatasetId::Tpch);
-    let constraints = tiny_constraints(&w);
+    let session = session_for(&w);
+    let base = RefinementRequest::new()
+        .with_constraints(tiny_constraints(&w))
+        .with_epsilon(0.5)
+        .with_distance(DistanceMeasure::Predicate);
     let mut distances = Vec::new();
     for config in [OptimizationConfig::all(), OptimizationConfig::none()] {
-        let result = RefinementEngine::new(&w.db, w.query.clone())
-            .with_constraints(constraints.clone())
-            .with_epsilon(0.5)
-            .with_distance(DistanceMeasure::Predicate)
-            .with_optimizations(config)
-            .solve()
+        let result = session
+            .solve(&base.clone().with_optimizations(config))
             .unwrap();
         let refined = result.outcome.refined().expect("refinement exists");
         assert!(refined.proven_optimal);
@@ -124,6 +126,7 @@ fn optimizations_preserve_the_optimum_on_tpch() {
         distances[0],
         distances[1]
     );
+    assert_eq!(session.setup_stats().annotation_builds, 1);
 }
 
 #[test]
@@ -137,20 +140,68 @@ fn erica_baseline_respects_exact_output_size() {
     let erica =
         erica_refine_with(&w.db, &w.query, &constraints, 8, bounded_solver_options()).unwrap();
     if let Some((assignment, _)) = erica.best {
-        let annotated = AnnotatedRelation::build(&w.db, &w.query).unwrap();
-        let output =
-            query_refinement::provenance::whatif::evaluate_refinement(&annotated, &assignment);
+        let session = session_for(&w);
+        let output = query_refinement::provenance::whatif::evaluate_refinement(
+            session.annotated(),
+            &assignment,
+        );
         assert_eq!(output.len(), 8);
+    }
+}
+
+#[test]
+fn erica_solver_trait_agrees_with_direct_entry_point() {
+    // The trait backend poses the request's top-k constraints as whole-output
+    // constraints with output size k*; calling the direct function with that
+    // same translation must give the same distance.
+    let w = tiny(DatasetId::Tpch);
+    let session = session_for(&w);
+    let k = 5;
+    let request = RefinementRequest::new()
+        .with_constraint(w.constraint_with_bound(1, k, Some(2)))
+        .with_solver_options(bounded_solver_options());
+    let via_trait = session.solve_with(&EricaSolver, &request).unwrap();
+    let constraint = &request.constraints.constraints()[0];
+    let direct = erica_refine_with(
+        &w.db,
+        &w.query,
+        &[OutputConstraint {
+            group: constraint.group.clone(),
+            bound: constraint.bound,
+            n: constraint.n,
+        }],
+        k,
+        bounded_solver_options(),
+    )
+    .unwrap();
+    match (via_trait.outcome.refined(), &direct.best) {
+        (Some(refined), Some((_, distance))) => {
+            assert!(
+                (refined.distance - distance).abs() < 1e-6,
+                "trait {} vs direct {}",
+                refined.distance,
+                distance
+            );
+        }
+        (None, None) => {}
+        (trait_outcome, direct_outcome) => panic!(
+            "trait and direct Erica disagree: {:?} vs {:?}",
+            trait_outcome.is_some(),
+            direct_outcome.is_some()
+        ),
     }
 }
 
 #[test]
 fn stats_report_setup_and_solver_split() {
     let w = tiny(DatasetId::Tpch);
-    let result = RefinementEngine::new(&w.db, w.query.clone())
-        .with_constraints(tiny_constraints(&w))
-        .with_epsilon(0.5)
-        .solve()
+    let session = session_for(&w);
+    let result = session
+        .solve(
+            &RefinementRequest::new()
+                .with_constraints(tiny_constraints(&w))
+                .with_epsilon(0.5),
+        )
         .unwrap();
     let stats = &result.stats;
     assert!(stats.total_time >= stats.setup_time);
@@ -159,4 +210,9 @@ fn stats_report_setup_and_solver_split() {
         stats.lineage_classes >= 1 && stats.lineage_classes <= 5,
         "Q5 has at most 5 classes"
     );
+    // The split: session solves carry no annotation time of their own ...
+    assert!(stats.annotation_time.is_zero());
+    assert_eq!(stats.setup_time, stats.model_build_time);
+    // ... the session does, once.
+    assert_eq!(session.setup_stats().annotation_builds, 1);
 }

@@ -29,11 +29,14 @@ fn example_1_1_original_ranking() {
 #[test]
 fn example_1_2_engine_finds_the_so_refinement() {
     let db = paper_database();
-    let result = RefinementEngine::new(&db, scholarship_query())
-        .with_constraints(scholarship_constraints())
-        .with_epsilon(0.0)
-        .with_distance(DistanceMeasure::Predicate)
-        .solve()
+    let result = RefinementSession::new(db.clone(), scholarship_query())
+        .unwrap()
+        .solve(
+            &RefinementRequest::new()
+                .with_constraints(scholarship_constraints())
+                .with_epsilon(0.0)
+                .with_distance(DistanceMeasure::Predicate),
+        )
         .unwrap();
     let refined = result
         .outcome
@@ -167,19 +170,23 @@ fn theorem_2_5_instance_has_no_exact_refinement() {
 #[test]
 fn whatif_agrees_with_engine_for_the_milp_result() {
     // Cross-substrate consistency: the refinement returned by the MILP, when
-    // re-evaluated on the relational engine, matches the provenance what-if.
+    // re-evaluated on the relational engine, matches the provenance what-if —
+    // using the session's own annotations for the what-if.
     let db = paper_database();
     let query = scholarship_query();
-    let annotated = AnnotatedRelation::build(&db, &query).unwrap();
-    let result = RefinementEngine::new(&db, query.clone())
-        .with_constraints(scholarship_constraints())
-        .with_epsilon(0.0)
-        .with_distance(DistanceMeasure::JaccardTopK)
-        .solve()
+    let session = RefinementSession::new(db.clone(), query).unwrap();
+    let result = session
+        .solve(
+            &RefinementRequest::new()
+                .with_constraints(scholarship_constraints())
+                .with_epsilon(0.0)
+                .with_distance(DistanceMeasure::JaccardTopK),
+        )
         .unwrap();
     let refined = result.outcome.refined().unwrap();
     let engine_output = evaluate(&db, &refined.query).unwrap();
-    let whatif_output = evaluate_refinement(&annotated, &refined.assignment);
+    let annotated = session.annotated();
+    let whatif_output = evaluate_refinement(annotated, &refined.assignment);
     assert_eq!(engine_output.len(), whatif_output.len());
     let id_idx = annotated.schema().index_of("ID").unwrap();
     let whatif_ids: Vec<String> = whatif_output

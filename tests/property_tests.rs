@@ -3,12 +3,11 @@
 use proptest::prelude::*;
 use query_refinement::core::paper_example::{paper_database, scholarship_query};
 use query_refinement::core::{
-    jaccard_topk_distance, kendall_topk_distance, CardinalityConstraint, ConstraintSet, Group,
+    jaccard_topk_distance, kendall_topk_distance, CardinalityConstraint, ConstraintSet,
+    DistanceMeasure, Group, NaiveMode, RefinementRequest, RefinementSession,
 };
 use query_refinement::milp::{LinExpr, Model, Sense, SolveStatus, Solver};
-use query_refinement::provenance::{
-    whatif::evaluate_refinement, AnnotatedRelation, PredicateAssignment,
-};
+use query_refinement::provenance::{whatif::evaluate_refinement, PredicateAssignment};
 use query_refinement::relation::csv::{read_csv_str, write_csv_string};
 use query_refinement::relation::prelude::*;
 use std::collections::BTreeSet;
@@ -17,7 +16,8 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// The provenance what-if evaluation agrees with the relational engine on
-    /// every refinement of the scholarship query.
+    /// every refinement of the scholarship query, using a session's shared
+    /// annotations for the what-if side.
     #[test]
     fn whatif_matches_engine_for_any_refinement(
         activities in proptest::collection::btree_set(
@@ -26,7 +26,8 @@ proptest! {
     ) {
         let db = paper_database();
         let query = scholarship_query();
-        let annotated = AnnotatedRelation::build(&db, &query).unwrap();
+        let session = RefinementSession::new(db.clone(), query.clone()).unwrap();
+        let annotated = session.annotated();
         let mut assignment = PredicateAssignment::from_query(&query);
         assignment.categorical.insert("Activity".to_string(), activities.clone());
         let gpa = gpa_tenths as f64 / 10.0;
@@ -34,7 +35,7 @@ proptest! {
 
         let refined_query = assignment.apply_to(&query);
         let engine_output = evaluate(&db, &refined_query).unwrap();
-        let whatif_output = evaluate_refinement(&annotated, &assignment);
+        let whatif_output = evaluate_refinement(annotated, &assignment);
         prop_assert_eq!(engine_output.len(), whatif_output.len());
 
         let id_idx = annotated.schema().index_of("ID").unwrap();
@@ -49,6 +50,42 @@ proptest! {
             .map(|r| r[engine_output.schema().index_of("ID").unwrap()].to_string())
             .collect();
         prop_assert_eq!(whatif_ids, engine_ids);
+    }
+
+    /// The request builder stores exactly what it is given, and label
+    /// round-trips hold for every distance measure and naive mode spelled in
+    /// any ASCII case.
+    #[test]
+    fn request_builder_and_label_round_trips(
+        epsilon in 0.0f64..2.0,
+        measure_idx in 0usize..3,
+        mode in any::<bool>(),
+        uppercase in any::<bool>(),
+    ) {
+        let measure = DistanceMeasure::all()[measure_idx];
+        let request = RefinementRequest::new()
+            .with_epsilon(epsilon)
+            .with_distance(measure)
+            .with_constraint(CardinalityConstraint::at_least(
+                Group::single("Gender", "F"), 6, 3));
+        prop_assert_eq!(request.epsilon, epsilon);
+        prop_assert_eq!(request.distance, measure);
+        prop_assert_eq!(request.constraints.len(), 1);
+
+        let label = if uppercase {
+            measure.to_string().to_ascii_uppercase()
+        } else {
+            measure.to_string().to_ascii_lowercase()
+        };
+        prop_assert_eq!(label.parse::<DistanceMeasure>().unwrap(), measure);
+
+        let naive_mode = if mode { NaiveMode::Provenance } else { NaiveMode::Database };
+        let label = if uppercase {
+            naive_mode.to_string().to_ascii_uppercase()
+        } else {
+            naive_mode.to_string().to_ascii_lowercase()
+        };
+        prop_assert_eq!(label.parse::<NaiveMode>().unwrap(), naive_mode);
     }
 
     /// Deviation (Definition 2.6) is always in [0, 1] for single-constraint

@@ -310,7 +310,7 @@ pub mod strategy {
         }
     }
 
-    /// Strategy returned by [`any`](crate::prelude::any).
+    /// Strategy returned by [`any`].
     pub struct Any<T> {
         _marker: core::marker::PhantomData<T>,
     }

@@ -198,6 +198,9 @@ pub fn erica_refine_prepared(
     stats.solver_time = solution.stats.solve_time;
     stats.nodes = solution.stats.nodes;
     stats.lp_solves = solution.stats.lp_solves;
+    stats.simplex_iterations = solution.stats.simplex_iterations;
+    stats.warm_lp_solves = solution.stats.warm_lp_solves;
+    stats.cold_lp_solves = solution.stats.cold_lp_solves;
     stats.total_time = start.elapsed();
 
     let best = if solution.status.has_solution() {

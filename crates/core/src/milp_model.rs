@@ -34,6 +34,12 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 const PRIORITY_CATEGORICAL: i32 = 100;
 /// Branch priority assigned to numerical indicator variables `A_{v,⋄}`.
 const PRIORITY_NUMERIC_INDICATOR: i32 = 90;
+/// Branch priority assigned to tuple selection variables `r_t`. Positive (so
+/// the solver's structure-aware dive fixes them together with the predicate
+/// decisions, and branching prefers them over the rank/top-k followers they
+/// imply) but well below the predicate variables that actually *drive* the
+/// refinement.
+const PRIORITY_SELECTION: i32 = 10;
 
 /// Key identifying a numerical predicate: attribute and comparison operator.
 pub type NumericKey = (String, CmpOp);
@@ -397,9 +403,11 @@ pub fn build_model(
         let mut class_var: HashMap<usize, VarId> = HashMap::new();
         for &t in &scope {
             let class = annotated.class_of(t);
-            let var = *class_var
-                .entry(class)
-                .or_insert_with(|| model.add_binary(format!("r_class[{class}]")));
+            let var = *class_var.entry(class).or_insert_with(|| {
+                let v = model.add_binary(format!("r_class[{class}]"));
+                model.set_branch_priority(v, PRIORITY_SELECTION);
+                v
+            });
             vars.selection.insert(t, var);
         }
         // Expression (3) once per class: 0 <= Σp - P*r <= P - 1.
@@ -434,6 +442,7 @@ pub fn build_model(
     } else {
         for &t in &scope {
             let var = model.add_binary(format!("r[{t}]"));
+            model.set_branch_priority(var, PRIORITY_SELECTION);
             vars.selection.insert(t, var);
         }
         for &t in &scope {

@@ -105,6 +105,12 @@ pub struct RefinementStats {
     pub nodes: usize,
     /// LP relaxations solved.
     pub lp_solves: usize,
+    /// Total simplex pivots across all LP solves (MILP backend only).
+    pub simplex_iterations: usize,
+    /// Node LPs warm-started from a parent basis (MILP backend only).
+    pub warm_lp_solves: usize,
+    /// Node LPs solved from a cold crash basis (MILP backend only).
+    pub cold_lp_solves: usize,
     /// Candidate refinements evaluated (exhaustive baselines only).
     pub candidates_evaluated: usize,
 }
@@ -379,6 +385,9 @@ impl RefinementSession {
         stats.solver_time = solution.stats.solve_time;
         stats.nodes = solution.stats.nodes;
         stats.lp_solves = solution.stats.lp_solves;
+        stats.simplex_iterations = solution.stats.simplex_iterations;
+        stats.warm_lp_solves = solution.stats.warm_lp_solves;
+        stats.cold_lp_solves = solution.stats.cold_lp_solves;
         stats.total_time = start.elapsed();
 
         let outcome = match solution.status {

@@ -8,12 +8,24 @@
 //! incumbent. Branching prefers variables with a higher user-assigned
 //! priority (the `qr-core` model marks the refinement decision variables as
 //! high priority), breaking ties by most-fractional value.
+//!
+//! Node LPs are **warm-started**: a child differs from its parent by a single
+//! branched bound (plus propagation tightenings), so after the cold root
+//! solve every node re-solves from its parent's optimal [`Basis`] with the
+//! bound-flip dual simplex instead of a fresh two-phase run. One
+//! [`crate::simplex::LpWorkspace`] is shared by all node solves (the matrix
+//! is extracted once, scratch buffers are reused), and the rounding-dive
+//! heuristic reuses the current node's basis the same way. Warm solves that
+//! fail (stale/singular basis, dual stall) fall back to a cold solve; the
+//! warm/cold split is reported in [`SolveStats`].
 
+use crate::basis::Basis;
 use crate::error::Result;
 use crate::model::{Model, VarType};
 use crate::propagate::{box_objective_bound, propagate, PropagationResult};
-use crate::simplex::{solve_lp, LpStatus};
+use crate::simplex::{LpSolution, LpStatus, LpWorkspace};
 use crate::solution::{Solution, SolveStats, SolveStatus};
+use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 /// Tunable solver parameters.
@@ -35,6 +47,9 @@ pub struct SolverOptions {
     pub use_propagation: bool,
     /// Run a rounding heuristic at the root to seed the incumbent.
     pub use_rounding_heuristic: bool,
+    /// Warm-start node LPs from the parent's optimal basis (disable only for
+    /// ablation — cold solves re-run phase 1 at every node).
+    pub use_warm_start: bool,
 }
 
 impl Default for SolverOptions {
@@ -48,8 +63,19 @@ impl Default for SolverOptions {
             absolute_gap: 1e-9,
             use_propagation: true,
             use_rounding_heuristic: true,
+            use_warm_start: true,
         }
     }
+}
+
+/// A branch-and-bound node: a box of variable bounds, the parent's LP bound
+/// (for pruning before paying for this node's LP), and the parent's optimal
+/// basis (for warm-starting this node's LP; shared with the sibling).
+struct Node {
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    parent_bound: f64,
+    parent_basis: Option<Rc<Basis>>,
 }
 
 /// The MILP solver.
@@ -87,16 +113,52 @@ impl Solver {
             .filter(|(_, v)| matches!(v.var_type, VarType::Integer | VarType::Binary))
             .map(|(i, _)| i)
             .collect();
+        // The structure-aware dive fixes integer variables tier by tier in
+        // descending branch-priority order (decision variables first, the
+        // follower variables they imply last), re-solving the relaxation
+        // between tiers.
+        let priority_tiers: Vec<Vec<usize>> = {
+            let mut levels: Vec<i32> = integer_vars
+                .iter()
+                .map(|&i| model.variables()[i].branch_priority)
+                .collect();
+            levels.sort_unstable_by(|a, b| b.cmp(a));
+            levels.dedup();
+            levels
+                .into_iter()
+                .map(|level| {
+                    integer_vars
+                        .iter()
+                        .copied()
+                        .filter(|&i| model.variables()[i].branch_priority == level)
+                        .collect()
+                })
+                .collect()
+        };
+
+        // One workspace answers every node LP: the matrix is extracted once,
+        // scratch buffers are reused, and the previous node's factorized
+        // tableau makes first-child warm starts nearly free.
+        let mut workspace = LpWorkspace::new(model)?;
 
         let mut incumbent: Option<(f64, Vec<f64>)> = None;
         let mut limit_hit = false;
 
-        // Depth-first stack of (lower, upper, parent_bound).
-        let mut stack: Vec<(Vec<f64>, Vec<f64>, f64)> =
-            vec![(root_lower, root_upper, f64::NEG_INFINITY)];
+        let mut stack: Vec<Node> = vec![Node {
+            lower: root_lower,
+            upper: root_upper,
+            parent_bound: f64::NEG_INFINITY,
+            parent_basis: None,
+        }];
         let mut root_processed = false;
 
-        while let Some((mut lower, mut upper, parent_bound)) = stack.pop() {
+        while let Some(node) = stack.pop() {
+            let Node {
+                mut lower,
+                mut upper,
+                parent_bound,
+                parent_basis,
+            } = node;
             if stats.nodes >= opts.max_nodes {
                 limit_hit = true;
                 break;
@@ -132,17 +194,29 @@ impl Solver {
                 }
             }
 
-            // LP relaxation.
+            // LP relaxation, warm-started from the parent basis when allowed.
             let lp_start = Instant::now();
-            let lp = solve_lp(model, &lower, &upper, opts.max_lp_iterations, deadline)?;
-            stats.lp_solves += 1;
-            stats.simplex_iterations += lp.iterations;
+            let warm = if opts.use_warm_start {
+                parent_basis.as_deref()
+            } else {
+                None
+            };
+            let lp = solve_node_lp(
+                &mut workspace,
+                &lower,
+                &upper,
+                warm,
+                opts,
+                deadline,
+                &mut stats,
+            )?;
             if std::env::var_os("QR_MILP_DEBUG").is_some() {
                 eprintln!(
-                    "[qr-milp] node {} lp {:?} iters {} in {:?} (stack {}, incumbent {:?})",
+                    "[qr-milp] node {} lp {:?} iters {} ({}) in {:?} (stack {}, incumbent {:?})",
                     stats.nodes,
                     lp.status,
                     lp.iterations,
+                    if lp.warm_started { "warm" } else { "cold" },
                     lp_start.elapsed(),
                     stack.len(),
                     incumbent.as_ref().map(|(o, _)| *o),
@@ -218,25 +292,42 @@ impl Solver {
                     }
                 }
                 Some((var_idx, frac_value)) => {
-                    // Rounding heuristic: try fixing every integer to its
-                    // rounded LP value, to seed the incumbent. Run at the root
-                    // and then periodically while no incumbent exists — deep
-                    // DFS alone can take thousands of nodes to reach its first
-                    // integral leaf on the big-M refinement models.
-                    // Diving is attempted even from unreliable (iteration-
-                    // limited) nodes: propagation rejects a bad rounding
-                    // cheaply, and the fixed-integer LP that follows a good
-                    // one is far easier than the node LP that just failed.
+                    // Snapshot this node's optimal basis for its children
+                    // (and the dive below). Shared via Rc — both children
+                    // and the heuristic read the same snapshot. Skipped for
+                    // integral leaves (no consumers) and when warm starts
+                    // are off, so the ablation baseline pays none of the
+                    // bookkeeping.
+                    let node_basis: Option<Rc<Basis>> =
+                        if opts.use_warm_start && lp.status == LpStatus::Optimal {
+                            workspace.snapshot_basis().map(Rc::new)
+                        } else {
+                            None
+                        };
+
+                    // Structure-aware dive: fix the refinement decision
+                    // variables first, then the follower integers, to seed
+                    // the incumbent. Run at the root and then periodically
+                    // while no incumbent exists — deep DFS alone can take
+                    // thousands of nodes to reach its first integral leaf on
+                    // the big-M refinement models. Diving is attempted even
+                    // from unreliable (iteration-limited) nodes: propagation
+                    // rejects a bad rounding cheaply, and the fixed-integer
+                    // LP that follows a good one is far easier than the node
+                    // LP that just failed.
                     if opts.use_rounding_heuristic
                         && incumbent.is_none()
                         && (stats.nodes == 1 || stats.nodes.is_multiple_of(16))
                     {
-                        if let Some((obj, values)) = self.rounding_heuristic(
+                        if let Some((obj, values)) = self.structure_dive(
                             model,
+                            &mut workspace,
                             &integer_vars,
+                            &priority_tiers,
                             &lp_values,
                             &lower,
                             &upper,
+                            node_basis.as_deref(),
                             deadline,
                             &mut stats,
                         )? {
@@ -250,11 +341,21 @@ impl Solver {
                     // Down child: var <= floor, Up child: var >= ceil.
                     let mut down_upper = upper.clone();
                     down_upper[var_idx] = down_upper[var_idx].min(floor_val);
-                    let down = (lower.clone(), down_upper, node_bound);
+                    let down = Node {
+                        lower: lower.clone(),
+                        upper: down_upper,
+                        parent_bound: node_bound,
+                        parent_basis: node_basis.clone(),
+                    };
 
                     let mut up_lower = lower.clone();
                     up_lower[var_idx] = up_lower[var_idx].max(ceil_val);
-                    let up = (up_lower, upper, node_bound);
+                    let up = Node {
+                        lower: up_lower,
+                        upper,
+                        parent_bound: node_bound,
+                        parent_basis: node_basis,
+                    };
 
                     // Explore the child closer to the LP value first (pushed last).
                     if frac_value - floor_val <= 0.5 {
@@ -297,45 +398,123 @@ impl Solver {
         }
     }
 
-    /// Try to build a feasible point by fixing all integer variables to their
-    /// rounded LP values, propagating, and re-solving the LP for the
-    /// continuous part. Returns `(objective, values)` on success.
+    /// Structure-aware rounding dive: fix the integer variables tier by tier
+    /// in descending branch-priority order — the refinement decision
+    /// variables first; propagation then implies most of the follower
+    /// variables they drive — re-solving the LP (warm) between tiers so each
+    /// tier is rounded from a relaxation consistent with the fixes so far.
+    /// With a single priority tier this degenerates to the classic all-fix
+    /// rounding dive. Returns `(objective, values)` on success.
     #[allow(clippy::too_many_arguments)]
-    fn rounding_heuristic(
+    fn structure_dive(
         &self,
         model: &Model,
+        workspace: &mut LpWorkspace,
         integer_vars: &[usize],
+        priority_tiers: &[Vec<usize>],
         lp_values: &[f64],
         lower: &[f64],
         upper: &[f64],
+        warm: Option<&Basis>,
         deadline: Option<Instant>,
         stats: &mut SolveStats,
     ) -> Result<Option<(f64, Vec<f64>)>> {
         let opts = &self.options;
         let mut lo = lower.to_vec();
         let mut up = upper.to_vec();
-        for &idx in integer_vars {
-            let rounded = lp_values[idx].round().clamp(lo[idx], up[idx]).round();
-            lo[idx] = rounded;
-            up[idx] = rounded;
+        let mut values = lp_values.to_vec();
+        let mut basis: Option<Basis> = if opts.use_warm_start {
+            warm.cloned()
+        } else {
+            None
+        };
+
+        for (tier_idx, tier) in priority_tiers.iter().enumerate() {
+            fix_rounded(tier, &values, &mut lo, &mut up);
+            if opts.use_propagation
+                && propagate(model, &mut lo, &mut up, opts.propagation_passes)
+                    == PropagationResult::Infeasible
+            {
+                return Ok(None);
+            }
+            // Skip the intermediate LP when every remaining integer is
+            // already integral (or this was the last tier anyway).
+            let remaining_fractional = priority_tiers[tier_idx + 1..]
+                .iter()
+                .flatten()
+                .any(|&i| (values[i] - values[i].round()).abs() > opts.integrality_tol);
+            if !remaining_fractional && tier_idx + 1 < priority_tiers.len() {
+                fix_rounded(
+                    &priority_tiers[tier_idx + 1..].concat(),
+                    &values,
+                    &mut lo,
+                    &mut up,
+                );
+                if opts.use_propagation
+                    && propagate(model, &mut lo, &mut up, opts.propagation_passes)
+                        == PropagationResult::Infeasible
+                {
+                    return Ok(None);
+                }
+            }
+            let lp = solve_node_lp(workspace, &lo, &up, basis.as_ref(), opts, deadline, stats)?;
+            if lp.status != LpStatus::Optimal {
+                return Ok(None);
+            }
+            values = lp.values;
+            if !remaining_fractional {
+                break;
+            }
+            basis = if opts.use_warm_start {
+                workspace.snapshot_basis()
+            } else {
+                None
+            };
         }
-        if opts.use_propagation
-            && propagate(model, &mut lo, &mut up, opts.propagation_passes)
-                == PropagationResult::Infeasible
-        {
-            return Ok(None);
-        }
-        let lp = solve_lp(model, &lo, &up, opts.max_lp_iterations, deadline)?;
-        stats.lp_solves += 1;
-        stats.simplex_iterations += lp.iterations;
-        if lp.status != LpStatus::Optimal {
-            return Ok(None);
-        }
-        // All integers are fixed, so the LP solution is MILP-feasible.
+
+        // All integers are fixed (or integral), so the LP solution is
+        // MILP-feasible.
+        let objective = model.objective().constant_part()
+            + model
+                .objective()
+                .terms()
+                .map(|(v, c)| c * values[v.index()])
+                .sum::<f64>();
         Ok(Some((
-            lp.objective,
-            round_integers(&lp.values, integer_vars, opts.integrality_tol),
+            objective,
+            round_integers(&values, integer_vars, opts.integrality_tol),
         )))
+    }
+}
+
+/// Solve one node LP through the shared workspace, recording warm/cold and
+/// pivot statistics.
+fn solve_node_lp(
+    workspace: &mut LpWorkspace,
+    lower: &[f64],
+    upper: &[f64],
+    warm: Option<&Basis>,
+    opts: &SolverOptions,
+    deadline: Option<Instant>,
+    stats: &mut SolveStats,
+) -> Result<LpSolution> {
+    let lp = workspace.solve(lower, upper, warm, opts.max_lp_iterations, deadline)?;
+    stats.lp_solves += 1;
+    stats.simplex_iterations += lp.iterations;
+    if lp.warm_started {
+        stats.warm_lp_solves += 1;
+    } else {
+        stats.cold_lp_solves += 1;
+    }
+    Ok(lp)
+}
+
+/// Clamp-and-fix a set of integer variables to their rounded values.
+fn fix_rounded(vars: &[usize], values: &[f64], lo: &mut [f64], up: &mut [f64]) {
+    for &idx in vars {
+        let rounded = values[idx].round().clamp(lo[idx], up[idx]).round();
+        lo[idx] = rounded;
+        up[idx] = rounded;
     }
 }
 
@@ -624,5 +803,87 @@ mod tests {
         let s2 = Solver::default().solve(&m).unwrap();
         assert_eq!(s1.status, SolveStatus::Optimal);
         assert!((s1.objective - s2.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_start_disabled_matches_enabled() {
+        // The warm-start path is a pure performance optimisation: the
+        // optimum must be identical with it on and off.
+        let mut m = Model::new("warm-ablation");
+        let xs: Vec<_> = (0..8).map(|i| m.add_binary(format!("x{i}"))).collect();
+        let mut weight = LinExpr::zero();
+        let mut profit = LinExpr::zero();
+        for (i, &x) in xs.iter().enumerate() {
+            weight.add_term(x, ((i % 4) + 2) as f64);
+            profit.add_term(x, -(((i * 7) % 5 + 1) as f64));
+        }
+        m.add_constraint("w", weight, Sense::Le, 11.0);
+        m.set_objective(profit);
+        let warm = Solver::default().solve(&m).unwrap();
+        let cold = Solver::new(SolverOptions {
+            use_warm_start: false,
+            ..SolverOptions::default()
+        })
+        .solve(&m)
+        .unwrap();
+        assert_eq!(warm.status, SolveStatus::Optimal);
+        assert_eq!(cold.status, SolveStatus::Optimal);
+        assert!((warm.objective - cold.objective).abs() < 1e-6);
+        // With warm starts off every LP is a cold solve.
+        assert_eq!(cold.stats.warm_lp_solves, 0);
+        assert_eq!(
+            cold.stats.cold_lp_solves + cold.stats.warm_lp_solves,
+            cold.stats.lp_solves
+        );
+        assert_eq!(
+            warm.stats.cold_lp_solves + warm.stats.warm_lp_solves,
+            warm.stats.lp_solves
+        );
+    }
+
+    #[test]
+    fn warm_starts_dominate_on_branchy_model() {
+        // Max-weight matchings on odd cycles have half-integral LP optima, so
+        // the tree must branch; most node LPs after the root must take the
+        // warm path.
+        let mut m = Model::new("warm-share");
+        let mut profit = LinExpr::zero();
+        for (cycle, len) in [5usize, 7, 9].into_iter().enumerate() {
+            let xs: Vec<_> = (0..len)
+                .map(|i| m.add_binary(format!("x{cycle}_{i}")))
+                .collect();
+            for i in 0..len {
+                let j = (i + 1) % len;
+                m.add_constraint(
+                    format!("edge{cycle}_{i}"),
+                    LinExpr::term(xs[i], 1.0) + LinExpr::term(xs[j], 1.0),
+                    Sense::Le,
+                    1.0,
+                );
+            }
+            for (i, &x) in xs.iter().enumerate() {
+                profit.add_term(x, -(1.0 + 0.01 * (i + cycle) as f64));
+            }
+        }
+        m.set_objective(profit);
+        let s = Solver::new(SolverOptions {
+            use_rounding_heuristic: false,
+            ..SolverOptions::default()
+        })
+        .solve(&m)
+        .unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!(s.stats.lp_solves > 4, "model should branch");
+        assert!(
+            s.stats.warm_start_share() >= 0.5,
+            "warm share {:.2} (warm {} / cold {})",
+            s.stats.warm_start_share(),
+            s.stats.warm_lp_solves,
+            s.stats.cold_lp_solves
+        );
+        assert_eq!(
+            s.stats.warm_lp_solves + s.stats.cold_lp_solves,
+            s.stats.lp_solves
+        );
     }
 }

@@ -1,4 +1,4 @@
-//! Dense two-phase primal simplex with bounded variables.
+//! Dense bounded-variable simplex with a reusable workspace and warm starts.
 //!
 //! The LP relaxations produced by `qr-core` have many variables whose only
 //! bound structure is `0 <= x <= u` (binary relaxations, rank variables,
@@ -6,17 +6,39 @@
 //! keeps the tableau at `m × (n + m)` and makes the solver fast enough for
 //! the instance sizes in the benchmark.
 //!
-//! The implementation is a textbook bounded-variable primal simplex:
+//! The solver is organised around [`LpWorkspace`], which is built **once per
+//! model** and then answers any number of solves with different variable
+//! bounds (exactly the branch-and-bound access pattern — every node changes
+//! bounds, never the matrix):
 //!
-//! * every constraint becomes an equality by adding a slack with the
-//!   appropriate sign bounds (`<=` → slack in `[0, ∞)`, `>=` → `(-∞, 0]`,
-//!   `==` → no slack),
-//! * an artificial variable per row provides the initial basis; phase 1
-//!   minimises the total artificial magnitude, phase 2 the true objective,
-//! * entering variables are chosen by the Dantzig rule with a Bland's-rule
-//!   fallback to guarantee termination, and the ratio test supports bound
-//!   flips.
+//! * the constraint matrix, slack layout and objective are bound-independent
+//!   and shared by every solve; per-solve scratch (tableau, costs, reduced
+//!   costs, devex weights) lives in reusable buffers, so a node solve
+//!   performs no per-call allocation beyond the first,
+//! * a **cold** solve runs the textbook two-phase primal simplex: an
+//!   artificial column per row whose slack cannot absorb the initial
+//!   residual, phase 1 minimising total artificial magnitude, phase 2 the
+//!   true objective. Entering variables are chosen by devex pricing with
+//!   anti-cycling fallbacks (randomised pricing, cost perturbation, Bland's
+//!   rule),
+//! * a **warm** solve ([`LpWorkspace::solve`] with a [`Basis`]) re-pivots the
+//!   in-memory tableau to a previously snapshotted basis and runs the
+//!   bound-flip dual simplex ([`crate::dual`]) to repair the (few) bound
+//!   violations a branch introduces, skipping phase 1 entirely. A short
+//!   primal clean-up phase then certifies optimality. Warm solves that go
+//!   numerically wrong (singular basis, dual stall, failed verification)
+//!   fall back to a cold solve transparently.
+//!
+//! Degenerate stalls — endemic to the big-M refinement LPs — are broken by
+//! *cost perturbation*: after a run of zero-step pivots the working costs are
+//! shifted by tiny status-aligned amounts, the phase runs to optimality on
+//! the perturbed costs, and the perturbation is then removed and optimality
+//! re-established on the true costs. The hard stall bailout that used to
+//! abort such LPs after 600 degenerate pivots survives only as a last-resort
+//! safety valve at a much higher threshold.
 
+use crate::basis::{Basis, VarStatus};
+use crate::dual::{dual_simplex, DualStatus};
 use crate::error::{MilpError, Result};
 use crate::model::{Model, Sense};
 use std::time::Instant;
@@ -43,8 +65,23 @@ pub struct LpSolution {
     pub objective: f64,
     /// Values of the model's structural variables, indexed by [`crate::model::VarId`] index.
     pub values: Vec<f64>,
-    /// Number of simplex pivots performed (both phases).
+    /// Number of simplex pivots performed (all phases, dual included).
     pub iterations: usize,
+    /// Whether the solve started from a warm basis (dual simplex path) rather
+    /// than a cold two-phase run.
+    pub warm_started: bool,
+}
+
+impl LpSolution {
+    fn without_point(status: LpStatus, n_struct: usize, iterations: usize) -> Self {
+        LpSolution {
+            status,
+            objective: f64::INFINITY,
+            values: vec![0.0; n_struct],
+            iterations,
+            warm_started: false,
+        }
+    }
 }
 
 /// Feasibility tolerance used throughout the solver.
@@ -52,257 +89,724 @@ pub const FEAS_TOL: f64 = 1e-7;
 /// Reduced-cost (optimality) tolerance.
 const COST_TOL: f64 = 1e-9;
 /// Pivot element magnitude below which a pivot is rejected.
-const PIVOT_TOL: f64 = 1e-10;
+pub(crate) const PIVOT_TOL: f64 = 1e-10;
+/// Pivot magnitude below which a basis-loading pivot counts as singular.
+const REFACTOR_TOL: f64 = 1e-8;
+/// Warm solves allowed to chain on one in-place tableau before the next warm
+/// solve refactorizes from the pristine matrix (bounds rounding drift).
+const REFACTOR_INTERVAL: usize = 64;
 
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum ColStatus {
-    Basic(usize),
-    AtLower,
-    AtUpper,
-    /// Free variable (both bounds infinite), currently at value 0.
-    Free,
-}
-
-/// How a row obtains its initial basic column ("crash" basis).
+/// How a row obtains its initial basic column in a cold solve.
 #[derive(Debug, Clone, Copy)]
-enum BasisPlan {
+enum CrashPlan {
     /// The row's slack absorbs the initial residual; no artificial needed.
     Slack { col: usize, residual: f64 },
     /// An artificial column carries the residual through phase 1.
     Artificial { col: usize, residual: f64 },
 }
 
-/// The LP relaxation of a [`Model`] with (possibly tightened) variable bounds.
-pub struct LpProblem {
-    /// Number of structural variables.
-    n_struct: usize,
-    /// Total number of columns (structural + slack + artificial).
-    n_cols: usize,
-    /// Number of rows.
-    n_rows: usize,
-    /// Dense row-major constraint matrix, `n_rows * n_cols`.
-    matrix: Vec<f64>,
-    /// Right-hand sides (for final feasibility verification).
-    rhs: Vec<f64>,
-    /// Constraint senses (for final feasibility verification).
-    senses: Vec<Sense>,
-    /// Lower bounds per column.
-    lower: Vec<f64>,
-    /// Upper bounds per column.
-    upper: Vec<f64>,
-    /// Phase-2 objective per column.
-    objective: Vec<f64>,
-    /// Constant term of the phase-2 objective.
-    objective_constant: f64,
-    /// Per-row crash-basis decision (computed at build time so artificial
-    /// columns exist only for the rows that need one).
-    basis_plan: Vec<BasisPlan>,
-    /// Phase-1 cost per column (non-zero only on artificials).
-    phase1_cost: Vec<f64>,
-    /// Index of the first artificial column.
-    first_artificial: usize,
+/// Per-phase scratch buffers, reused across solves (no per-call allocation
+/// once warmed up).
+#[derive(Debug, Default)]
+struct Scratch {
+    reduced: Vec<f64>,
+    devex: Vec<f64>,
+    work_cost: Vec<f64>,
+    pivot_row: Vec<f64>,
 }
 
-impl LpProblem {
-    /// Build the LP relaxation of `model`, overriding variable bounds with
-    /// `lower` / `upper` (as tightened by presolve or branching).
-    ///
-    /// The initial ("crash") basis is decided here: the nonbasic structural
-    /// variables start at a bound, and each row is covered either by its own
-    /// slack (when the slack's bounds can absorb the resulting residual) or by
-    /// an artificial column. Artificial columns are allocated **only** for the
-    /// rows that need one, which keeps the dense tableau narrow — on the
-    /// refinement MILPs most rows are inequalities whose slack suffices.
-    pub fn from_model(model: &Model, lower: &[f64], upper: &[f64]) -> Result<Self> {
+/// A reusable LP solving context for one [`Model`]: the bound-independent
+/// problem data (matrix, slack layout, objective) plus all per-solve scratch.
+///
+/// Build it once, then call [`solve`](Self::solve) per bound set. After an
+/// optimal solve, [`snapshot_basis`](Self::snapshot_basis) captures the basis
+/// for warm-starting related solves (branch-and-bound children).
+pub struct LpWorkspace {
+    // Bound-independent problem data.
+    n_struct: usize,
+    n_rows: usize,
+    /// Structural + slack column count (artificials, when present, follow).
+    core_cols: usize,
+    /// `n_rows x core_cols` row-major matrix, slack unit entries included.
+    matrix: Vec<f64>,
+    rhs: Vec<f64>,
+    senses: Vec<Sense>,
+    /// Lower/upper bounds of the slack columns (index `core_lower[j]` is only
+    /// meaningful for `j >= n_struct`; structural entries are overwritten per
+    /// solve).
+    core_lower: Vec<f64>,
+    core_upper: Vec<f64>,
+    objective: Vec<f64>,
+    objective_constant: f64,
+
+    // Per-solve scratch, reused.
+    tab: Vec<f64>,
+    /// Column stride of `tab` (>= `core_cols`; larger after a cold solve that
+    /// needed artificial columns).
+    cur_cols: usize,
+    /// `B^-1 rhs`, maintained through every pivot alongside the tableau.
+    rhs_work: Vec<f64>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    status: Vec<VarStatus>,
+    basis: Vec<usize>,
+    x_basic: Vec<f64>,
+    cost: Vec<f64>,
+    values_buf: Vec<f64>,
+    scratch: Scratch,
+    /// Whether `tab`/`basis`/`status` describe a consistent basis from the
+    /// previous solve (enables cheap warm transitions).
+    tableau_valid: bool,
+    /// Consecutive warm solves that reused the in-place tableau since the
+    /// last refactorization (see [`REFACTOR_INTERVAL`]).
+    warm_reuse_streak: usize,
+}
+
+impl LpWorkspace {
+    /// Build a workspace for `model`. The constraint matrix, slack layout and
+    /// objective are extracted once here; variable bounds are supplied per
+    /// [`solve`](Self::solve).
+    pub fn new(model: &Model) -> Result<Self> {
         model.validate()?;
         let n_struct = model.num_variables();
         let n_rows = model.num_constraints();
 
-        // Initial values of the structural columns (each at a finite bound,
-        // or 0 for free variables), shared by every row's residual.
-        let initial_value: Vec<f64> = (0..n_struct)
-            .map(|j| nonbasic_value(initial_status(lower[j], upper[j]), lower[j], upper[j]))
-            .collect();
-
-        // First pass: per-row slack assignment, residuals, and artificial
-        // requirements.
-        struct RowInfo {
-            slack: Option<(usize, f64, f64)>, // (col, lower, upper)
-            residual: f64,
-            needs_artificial: bool,
-        }
-        let mut rows = Vec::with_capacity(n_rows);
-        let mut slack_cursor = n_struct;
+        let mut slack_count = 0usize;
         for cons in model.constraints() {
-            let mut residual = cons.rhs;
-            for (v, c) in cons.expr.terms() {
-                residual -= c * initial_value[v.index()];
+            if !matches!(cons.sense, Sense::Eq) {
+                slack_count += 1;
             }
-            let slack = match cons.sense {
+        }
+        let core_cols = n_struct + slack_count;
+
+        let mut matrix = vec![0.0; n_rows * core_cols];
+        let mut core_lower = vec![0.0; core_cols];
+        let mut core_upper = vec![0.0; core_cols];
+        let mut slack_cursor = n_struct;
+        for (i, cons) in model.constraints().iter().enumerate() {
+            for (v, c) in cons.expr.terms() {
+                matrix[i * core_cols + v.index()] = c;
+            }
+            match cons.sense {
                 Sense::Le => {
-                    let col = slack_cursor;
+                    matrix[i * core_cols + slack_cursor] = 1.0;
+                    core_lower[slack_cursor] = 0.0;
+                    core_upper[slack_cursor] = f64::INFINITY;
                     slack_cursor += 1;
-                    Some((col, 0.0, f64::INFINITY))
                 }
                 Sense::Ge => {
-                    let col = slack_cursor;
+                    matrix[i * core_cols + slack_cursor] = 1.0;
+                    core_lower[slack_cursor] = f64::NEG_INFINITY;
+                    core_upper[slack_cursor] = 0.0;
                     slack_cursor += 1;
-                    Some((col, f64::NEG_INFINITY, 0.0))
                 }
-                Sense::Eq => None,
-            };
-            let slack_feasible = slack
-                .map(|(_, lo, up)| residual >= lo - 1e-12 && residual <= up + 1e-12)
-                .unwrap_or(false);
-            rows.push(RowInfo {
-                slack,
-                residual,
-                needs_artificial: !slack_feasible,
-            });
+                Sense::Eq => {}
+            }
         }
-        let first_artificial = slack_cursor;
-        let n_artificials = rows.iter().filter(|r| r.needs_artificial).count();
-        let n_cols = first_artificial + n_artificials;
 
-        let mut matrix = vec![0.0; n_rows * n_cols];
-        let mut col_lower = vec![0.0; n_cols];
-        let mut col_upper = vec![0.0; n_cols];
-        col_lower[..n_struct].copy_from_slice(&lower[..n_struct]);
-        col_upper[..n_struct].copy_from_slice(&upper[..n_struct]);
-
-        let mut objective = vec![0.0; n_cols];
+        let mut objective = vec![0.0; core_cols];
         for (v, c) in model.objective().terms() {
             objective[v.index()] = c;
         }
-        let objective_constant = model.objective().constant_part();
 
-        let mut phase1_cost = vec![0.0; n_cols];
-        let mut basis_plan = Vec::with_capacity(n_rows);
-        let mut art_cursor = first_artificial;
-        for (i, (cons, info)) in model.constraints().iter().zip(&rows).enumerate() {
-            for (v, c) in cons.expr.terms() {
-                matrix[i * n_cols + v.index()] = c;
-            }
-            if let Some((col, lo, up)) = info.slack {
-                matrix[i * n_cols + col] = 1.0;
-                col_lower[col] = lo;
-                col_upper[col] = up;
-            }
-            if info.needs_artificial {
-                let art = art_cursor;
-                art_cursor += 1;
-                matrix[i * n_cols + art] = 1.0;
-                if info.residual >= 0.0 {
-                    col_lower[art] = 0.0;
-                    col_upper[art] = f64::INFINITY;
-                    phase1_cost[art] = 1.0;
-                } else {
-                    col_lower[art] = f64::NEG_INFINITY;
-                    col_upper[art] = 0.0;
-                    phase1_cost[art] = -1.0;
-                }
-                basis_plan.push(BasisPlan::Artificial {
-                    col: art,
-                    residual: info.residual,
-                });
-            } else {
-                let (col, _, _) = info.slack.expect("row without artificial has a slack");
-                basis_plan.push(BasisPlan::Slack {
-                    col,
-                    residual: info.residual,
-                });
-            }
-        }
-
-        Ok(LpProblem {
+        Ok(LpWorkspace {
             n_struct,
-            n_cols,
             n_rows,
+            core_cols,
             matrix,
             rhs: model.constraints().iter().map(|c| c.rhs).collect(),
             senses: model.constraints().iter().map(|c| c.sense).collect(),
-            lower: col_lower,
-            upper: col_upper,
+            core_lower,
+            core_upper,
             objective,
-            objective_constant,
-            basis_plan,
-            phase1_cost,
-            first_artificial,
+            objective_constant: model.objective().constant_part(),
+            tab: Vec::new(),
+            cur_cols: 0,
+            rhs_work: Vec::new(),
+            lower: Vec::new(),
+            upper: Vec::new(),
+            status: Vec::new(),
+            basis: Vec::new(),
+            x_basic: Vec::new(),
+            cost: Vec::new(),
+            values_buf: Vec::new(),
+            scratch: Scratch::default(),
+            tableau_valid: false,
+            warm_reuse_streak: 0,
         })
     }
 
-    /// Solve the LP with the two-phase bounded simplex. `deadline`, when set,
-    /// aborts the solve with [`LpStatus::IterationLimit`] once passed (checked
-    /// periodically), so a single LP can never overshoot the caller's time
-    /// budget by more than a few pivots.
-    pub fn solve(&self, max_iterations: usize, deadline: Option<Instant>) -> Result<LpSolution> {
+    /// Solve the LP with the given variable bounds. When `warm` is provided,
+    /// the solver first attempts a warm start from that basis (dual simplex
+    /// repair of the branched bounds); any warm-path failure falls back to a
+    /// cold two-phase solve transparently.
+    ///
+    /// `deadline`, when set, aborts the solve with [`LpStatus::IterationLimit`]
+    /// once passed (checked periodically), so a single LP can never overshoot
+    /// the caller's time budget by more than a few pivots.
+    pub fn solve(
+        &mut self,
+        lower: &[f64],
+        upper: &[f64],
+        warm: Option<&Basis>,
+        max_iterations: usize,
+        deadline: Option<Instant>,
+    ) -> Result<LpSolution> {
+        // Pivots burned in abandoned warm attempts still count towards the
+        // solve's iteration total — the statistics must reflect all work done.
+        let mut wasted = 0usize;
+        if let Some(basis) = warm {
+            if let Some(mut solution) =
+                self.try_warm(lower, upper, basis, max_iterations, deadline, &mut wasted)?
+            {
+                solution.iterations += wasted;
+                return Ok(solution);
+            }
+        }
+        let mut solution = self.solve_cold(
+            lower,
+            upper,
+            max_iterations.saturating_sub(wasted),
+            deadline,
+        )?;
+        solution.iterations += wasted;
+        Ok(solution)
+    }
+
+    /// Snapshot the basis of the last verified-optimal solve, for
+    /// warm-starting a related solve. Returns `None` when the workspace holds
+    /// no reusable basis (the last solve did not end optimal, or an
+    /// artificial column is stuck basic at a non-zero value).
+    pub fn snapshot_basis(&mut self) -> Option<Basis> {
+        if !self.tableau_valid {
+            return None;
+        }
         let m = self.n_rows;
-        let n = self.n_cols;
+        let n = self.cur_cols;
+        // Pivot out any artificial column that is still basic (degenerate
+        // equality rows leave them basic at value zero). The replacement is
+        // chosen by pivot magnitude only; any dual infeasibility this
+        // introduces is repaired by the warm path's clean-up phase.
+        for r in 0..m {
+            if self.basis[r] < self.core_cols {
+                continue;
+            }
+            if self.x_basic[r].abs() > FEAS_TOL {
+                return None;
+            }
+            let mut best: Option<(usize, f64)> = None;
+            for j in 0..self.core_cols {
+                if self.status[j].is_basic() {
+                    continue;
+                }
+                let a = self.tab[r * n + j].abs();
+                if a > REFACTOR_TOL && best.map(|(_, b)| a > b).unwrap_or(true) {
+                    best = Some((j, a));
+                }
+            }
+            let (enter, _) = best?;
+            pivot_inplace(
+                &mut self.tab,
+                &mut self.rhs_work,
+                n,
+                m,
+                r,
+                enter,
+                None,
+                &mut self.scratch.pivot_row,
+            );
+            let art = self.basis[r];
+            let enter_value =
+                nonbasic_value(self.status[enter], self.lower[enter], self.upper[enter]);
+            self.status[art] = VarStatus::AtLower;
+            self.status[enter] = VarStatus::Basic(r);
+            self.basis[r] = enter;
+            self.x_basic[r] = enter_value;
+        }
+        Some(Basis::new(self.status[..self.core_cols].to_vec()))
+    }
 
-        // Working tableau: starts as a copy of the constraint matrix and is
-        // transformed in place by pivots so that basic columns stay unit.
-        let mut tab = self.matrix.clone();
-        let lower = self.lower.clone();
-        let upper = self.upper.clone();
+    /// Attempt a warm-started solve; `Ok(None)` means "fall back to cold".
+    /// Pivots spent on abandoned attempts are accumulated into `wasted`.
+    ///
+    /// A first attempt reuses the previous solve's in-place tableau when
+    /// available (a first-child warm start is then nearly free). Any anomaly
+    /// on that reused tableau — singular transition, dual stall, an
+    /// infeasibility certificate, a failed verification — earns one retry
+    /// from a *fresh refactorization* of the pristine matrix before the cold
+    /// fallback, so accumulated pivot drift cannot masquerade as a stale
+    /// basis (and an infeasibility verdict is only ever trusted from a
+    /// freshly refactorized tableau).
+    fn try_warm(
+        &mut self,
+        lower: &[f64],
+        upper: &[f64],
+        basis: &Basis,
+        max_iterations: usize,
+        deadline: Option<Instant>,
+        wasted: &mut usize,
+    ) -> Result<Option<LpSolution>> {
+        if basis.num_columns() != self.core_cols || basis.num_basic() != self.n_rows {
+            return Ok(None);
+        }
+        // Reusing the previous solve's tableau makes a first-child warm start
+        // nearly free, but every in-place pivot accumulates rounding error;
+        // refactorize from the pristine matrix periodically so drift cannot
+        // chain unboundedly across a long run of warm solves.
+        let mut reuse = self.tableau_valid && self.warm_reuse_streak < REFACTOR_INTERVAL;
+        loop {
+            // One iteration budget spans every attempt (and, via `wasted`,
+            // the cold fallback): a node LP cannot overshoot the caller's
+            // `max_iterations` severalfold by restarting its counter.
+            let budget = max_iterations.saturating_sub(*wasted);
+            if budget == 0 {
+                return Ok(None);
+            }
+            match self.warm_attempt(lower, upper, basis, budget, deadline, reuse, wasted)? {
+                Some(solution) => return Ok(Some(solution)),
+                None if reuse => reuse = false,
+                None => return Ok(None),
+            }
+        }
+    }
 
-        // Initial nonbasic statuses for structural + slack columns; basic
-        // columns are overwritten from the basis plan below.
-        let mut status = vec![ColStatus::AtLower; n];
-        #[allow(clippy::needless_range_loop)]
-        for j in 0..self.first_artificial {
-            status[j] = initial_status(lower[j], upper[j]);
+    /// One warm attempt at a fixed `reuse` choice; `Ok(None)` means the
+    /// attempt was abandoned (retry refactorized or fall back cold).
+    #[allow(clippy::too_many_arguments)]
+    fn warm_attempt(
+        &mut self,
+        lower: &[f64],
+        upper: &[f64],
+        basis: &Basis,
+        max_iterations: usize,
+        deadline: Option<Instant>,
+        reuse: bool,
+        wasted: &mut usize,
+    ) -> Result<Option<LpSolution>> {
+        self.tableau_valid = false;
+        if !self.load_basis(basis, reuse) {
+            return Ok(None);
+        }
+        self.warm_reuse_streak = if reuse { self.warm_reuse_streak + 1 } else { 0 };
+        let m = self.n_rows;
+        let n = self.cur_cols;
+
+        // Working bounds: caller's structural bounds, fixed slack bounds,
+        // artificial leftovers pinned to zero.
+        self.lower[..self.n_struct].copy_from_slice(&lower[..self.n_struct]);
+        self.upper[..self.n_struct].copy_from_slice(&upper[..self.n_struct]);
+        self.lower[self.n_struct..self.core_cols]
+            .copy_from_slice(&self.core_lower[self.n_struct..]);
+        self.upper[self.n_struct..self.core_cols]
+            .copy_from_slice(&self.core_upper[self.n_struct..]);
+        for j in self.core_cols..n {
+            self.lower[j] = 0.0;
+            self.upper[j] = 0.0;
+            if !self.status[j].is_basic() {
+                self.status[j] = VarStatus::AtLower;
+            }
         }
 
-        let mut basis = vec![0usize; m];
-        let mut x_basic = vec![0.0; m];
-        let phase1_cost = self.phase1_cost.clone();
-        for (i, plan) in self.basis_plan.iter().enumerate() {
-            let (col, residual) = match *plan {
-                BasisPlan::Slack { col, residual } => (col, residual),
-                BasisPlan::Artificial { col, residual } => (col, residual),
+        // Reconcile nonbasic rest points with the (tightened) bounds.
+        for j in 0..n {
+            if !self.status[j].is_basic() {
+                self.status[j] = reconcile_status(self.status[j], self.lower[j], self.upper[j]);
+            }
+        }
+
+        // x_B = B^-1 b - (B^-1 N) x_N, using the maintained B^-1 b column.
+        self.values_buf.resize(n, 0.0);
+        for j in 0..n {
+            self.values_buf[j] = match self.status[j] {
+                VarStatus::Basic(_) => 0.0,
+                s => nonbasic_value(s, self.lower[j], self.upper[j]),
             };
-            basis[i] = col;
-            status[col] = ColStatus::Basic(i);
-            x_basic[i] = residual;
         }
+        self.x_basic.resize(m, 0.0);
+        for i in 0..m {
+            let row = &self.tab[i * n..(i + 1) * n];
+            let dot: f64 = row.iter().zip(&self.values_buf).map(|(a, v)| a * v).sum();
+            self.x_basic[i] = self.rhs_work[i] - dot;
+        }
+
+        // True objective over the current column set.
+        self.cost.resize(n, 0.0);
+        self.cost[..self.core_cols].copy_from_slice(&self.objective);
+        for c in self.cost[self.core_cols..].iter_mut() {
+            *c = 0.0;
+        }
+
+        compute_reduced_costs(
+            &self.tab,
+            &self.basis,
+            &self.cost,
+            n,
+            m,
+            &mut self.scratch.reduced,
+        );
 
         let mut iterations = 0usize;
+        // The dual repair of a single branched bound needs few pivots; a stall
+        // beyond this cap means the warm basis is a bad start — fall back.
+        let dual_cap = max_iterations.min(4 * (n + m) + 1000);
+        let dual_status = dual_simplex(
+            &mut self.tab,
+            &mut self.rhs_work,
+            &mut self.x_basic,
+            &mut self.basis,
+            &mut self.status,
+            &self.lower,
+            &self.upper,
+            &mut self.scratch.reduced,
+            self.core_cols,
+            n,
+            m,
+            dual_cap,
+            deadline,
+            &mut iterations,
+            &mut self.scratch.pivot_row,
+        )?;
+        let debug = std::env::var_os("QR_MILP_DEBUG").is_some();
+        match dual_status {
+            DualStatus::Infeasible => {
+                // The certificate is a tableau row, which pivot drift could
+                // corrupt into a *false* infeasibility — and branch-and-bound
+                // would prune a feasible subtree on it. Unlike an Optimal
+                // claim there is no pristine-row check for "no feasible point
+                // exists", so only trust a certificate read off a tableau
+                // refactorized from the pristine matrix *this* solve; a
+                // reused tableau earns a refactorized retry instead.
+                if reuse {
+                    if debug {
+                        eprintln!(
+                            "[qr-milp] warm: infeasible after {iterations} dual pivots, re-checking refactorized"
+                        );
+                    }
+                    *wasted += iterations;
+                    return Ok(None);
+                }
+                if debug {
+                    eprintln!("[qr-milp] warm: infeasible after {iterations} dual pivots");
+                }
+                self.tableau_valid = true;
+                let mut sol =
+                    LpSolution::without_point(LpStatus::Infeasible, self.n_struct, iterations);
+                sol.warm_started = true;
+                return Ok(Some(sol));
+            }
+            DualStatus::IterationLimit => {
+                if debug {
+                    eprintln!("[qr-milp] warm: dual stalled after {iterations} pivots, going cold");
+                }
+                *wasted += iterations;
+                return Ok(None);
+            }
+            DualStatus::Feasible => {}
+        }
 
-        // Phase 1: minimise total artificial magnitude.
-        let status1 = simplex_phase(
-            &mut tab,
-            &mut x_basic,
-            &mut basis,
-            &mut status,
-            &lower,
-            &upper,
-            &phase1_cost,
+        // Primal clean-up: certify optimality on the true costs (the dual run
+        // maintains dual feasibility only up to the Harris tolerance).
+        let status2 = simplex_phase(
+            &mut self.tab,
+            &mut self.rhs_work,
+            &mut self.x_basic,
+            &mut self.basis,
+            &mut self.status,
+            &self.lower,
+            &self.upper,
+            &self.cost,
             n,
             m,
             max_iterations,
             deadline,
             &mut iterations,
+            &mut self.scratch,
+        )?;
+        if debug {
+            eprintln!("[qr-milp] warm: {iterations} pivots, cleanup status {status2:?}");
+        }
+        match status2 {
+            LpStatus::Optimal => {}
+            // A child LP of a bounded-optimal parent cannot truly be
+            // unbounded, so this is drift; a stalled clean-up likewise means
+            // the warm trajectory went bad. Either way, abandon the attempt
+            // (refactorized retry, then the cold path with its stronger
+            // anti-cycling machinery) rather than fabricating a point.
+            _ => {
+                *wasted += iterations;
+                return Ok(None);
+            }
+        }
+
+        let solution = self.package_optimal(iterations);
+        match solution {
+            Some(mut sol) => {
+                self.tableau_valid = true;
+                sol.warm_started = true;
+                Ok(Some(sol))
+            }
+            // A warm "optimal" point that fails verification is numerical
+            // drift; abandon the attempt rather than surfacing an unreliable
+            // solve.
+            None => {
+                *wasted += iterations;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Re-pivot the tableau so the basic set matches `target`. With
+    /// `reuse == true` the transition starts from the previous solve's
+    /// factorized tableau (cost: one pivot per differing column — zero for a
+    /// first child); otherwise it refactorizes from the raw matrix. Returns
+    /// `false` on a singular/stale basis.
+    fn load_basis(&mut self, target: &Basis, reuse: bool) -> bool {
+        let m = self.n_rows;
+        if !reuse {
+            self.cur_cols = self.core_cols;
+            self.tab.clear();
+            self.tab.extend_from_slice(&self.matrix);
+            self.rhs_work.clear();
+            self.rhs_work.extend_from_slice(&self.rhs);
+            self.basis.clear();
+            self.basis.resize(m, usize::MAX);
+        }
+        let n = self.cur_cols;
+        let core_cols = self.core_cols;
+        self.lower.resize(n, 0.0);
+        self.upper.resize(n, 0.0);
+        self.status.resize(n, VarStatus::AtLower);
+
+        let target_statuses = target.statuses();
+        let in_target = |col: usize| col < core_cols && target_statuses[col].is_basic();
+
+        // Rows whose current basic column is not wanted are free to receive a
+        // target column; every target column not currently basic needs one.
+        // `basis` is the authoritative row map (statuses can be stale here);
+        // mark membership in the reusable values buffer to avoid a per-solve
+        // set allocation.
+        let mut free_rows: Vec<usize> = Vec::new();
+        self.values_buf.clear();
+        self.values_buf.resize(n, 0.0);
+        for r in 0..m {
+            let col = self.basis[r];
+            if col == usize::MAX || !in_target(col) {
+                free_rows.push(r);
+            } else {
+                self.values_buf[col] = 1.0;
+            }
+        }
+        let pending: Vec<usize> = (0..core_cols)
+            .filter(|&j| target_statuses[j].is_basic() && self.values_buf[j] == 0.0)
+            .collect();
+
+        for q in pending {
+            // Partial pivoting: place q in the free row with the largest
+            // pivot magnitude.
+            let mut best: Option<(usize, usize, f64)> = None; // (slot, row, |pivot|)
+            for (slot, &r) in free_rows.iter().enumerate() {
+                let a = self.tab[r * n + q].abs();
+                if a > REFACTOR_TOL && best.map(|(_, _, b)| a > b).unwrap_or(true) {
+                    best = Some((slot, r, a));
+                }
+            }
+            let Some((slot, r, _)) = best else {
+                return false; // singular or stale basis
+            };
+            pivot_inplace(
+                &mut self.tab,
+                &mut self.rhs_work,
+                n,
+                m,
+                r,
+                q,
+                None,
+                &mut self.scratch.pivot_row,
+            );
+            self.basis[r] = q;
+            free_rows.swap_remove(slot);
+        }
+
+        // Final statuses: basic from the (re-derived) row map, nonbasic from
+        // the snapshot's recorded bound side.
+        for (j, status) in self.status.iter_mut().enumerate() {
+            *status = if j < core_cols {
+                match target_statuses[j] {
+                    VarStatus::Basic(_) => VarStatus::Basic(usize::MAX), // fixed below
+                    s => s,
+                }
+            } else {
+                VarStatus::AtLower
+            };
+        }
+        for r in 0..m {
+            let col = self.basis[r];
+            if col == usize::MAX || !in_target(col) {
+                return false; // a row was left without a target column
+            }
+            self.status[col] = VarStatus::Basic(r);
+        }
+        true
+    }
+
+    /// Cold two-phase solve from a crash basis.
+    fn solve_cold(
+        &mut self,
+        lower: &[f64],
+        upper: &[f64],
+        max_iterations: usize,
+        deadline: Option<Instant>,
+    ) -> Result<LpSolution> {
+        self.tableau_valid = false;
+        self.warm_reuse_streak = 0;
+        let m = self.n_rows;
+
+        // Working bounds over the core columns.
+        self.lower.clear();
+        self.lower.extend_from_slice(&lower[..self.n_struct]);
+        self.lower
+            .extend_from_slice(&self.core_lower[self.n_struct..]);
+        self.upper.clear();
+        self.upper.extend_from_slice(&upper[..self.n_struct]);
+        self.upper
+            .extend_from_slice(&self.core_upper[self.n_struct..]);
+
+        // Initial nonbasic statuses and values for the core columns.
+        self.status.clear();
+        for j in 0..self.core_cols {
+            self.status
+                .push(initial_status(self.lower[j], self.upper[j]));
+        }
+        self.values_buf.resize(self.core_cols, 0.0);
+        for j in 0..self.core_cols {
+            self.values_buf[j] = nonbasic_value(self.status[j], self.lower[j], self.upper[j]);
+        }
+
+        // Crash plan: per row, the slack absorbs the residual when its bounds
+        // allow; otherwise an artificial column carries it through phase 1.
+        let mut plans: Vec<CrashPlan> = Vec::with_capacity(m);
+        let mut slack_cursor = self.n_struct;
+        let mut n_art = 0usize;
+        for i in 0..m {
+            let mut residual = self.rhs[i];
+            let row = &self.matrix[i * self.core_cols..i * self.core_cols + self.n_struct];
+            for (a, v) in row.iter().zip(&self.values_buf) {
+                residual -= a * v;
+            }
+            let slack = match self.senses[i] {
+                Sense::Eq => None,
+                _ => {
+                    let col = slack_cursor;
+                    slack_cursor += 1;
+                    Some(col)
+                }
+            };
+            let slack_feasible = slack
+                .map(|col| {
+                    residual >= self.core_lower[col] - 1e-12
+                        && residual <= self.core_upper[col] + 1e-12
+                })
+                .unwrap_or(false);
+            if slack_feasible {
+                plans.push(CrashPlan::Slack {
+                    col: slack.expect("slack-feasible row has a slack"),
+                    residual,
+                });
+            } else {
+                plans.push(CrashPlan::Artificial {
+                    col: self.core_cols + n_art,
+                    residual,
+                });
+                n_art += 1;
+            }
+        }
+        let n = self.core_cols + n_art;
+        self.cur_cols = n;
+
+        // Tableau: the core matrix re-strided, plus artificial unit entries.
+        self.tab.clear();
+        self.tab.resize(m * n, 0.0);
+        for i in 0..m {
+            self.tab[i * n..i * n + self.core_cols]
+                .copy_from_slice(&self.matrix[i * self.core_cols..(i + 1) * self.core_cols]);
+        }
+        self.rhs_work.clear();
+        self.rhs_work.extend_from_slice(&self.rhs);
+
+        self.lower.resize(n, 0.0);
+        self.upper.resize(n, 0.0);
+        self.status.resize(n, VarStatus::AtLower);
+        self.cost.clear();
+        self.cost.resize(n, 0.0);
+        self.basis.clear();
+        self.basis.resize(m, 0);
+        self.x_basic.clear();
+        self.x_basic.resize(m, 0.0);
+
+        for (i, plan) in plans.iter().enumerate() {
+            let (col, residual) = match *plan {
+                CrashPlan::Slack { col, residual } => (col, residual),
+                CrashPlan::Artificial { col, residual } => {
+                    self.tab[i * n + col] = 1.0;
+                    if residual >= 0.0 {
+                        self.lower[col] = 0.0;
+                        self.upper[col] = f64::INFINITY;
+                        self.cost[col] = 1.0;
+                    } else {
+                        self.lower[col] = f64::NEG_INFINITY;
+                        self.upper[col] = 0.0;
+                        self.cost[col] = -1.0;
+                    }
+                    (col, residual)
+                }
+            };
+            self.basis[i] = col;
+            self.status[col] = VarStatus::Basic(i);
+            self.x_basic[i] = residual;
+        }
+
+        let mut iterations = 0usize;
+
+        // Phase 1: minimise total artificial magnitude (cost is ±1 on
+        // artificials, zero elsewhere — already in `self.cost`).
+        let status1 = simplex_phase(
+            &mut self.tab,
+            &mut self.rhs_work,
+            &mut self.x_basic,
+            &mut self.basis,
+            &mut self.status,
+            &self.lower,
+            &self.upper,
+            &self.cost,
+            n,
+            m,
+            max_iterations,
+            deadline,
+            &mut iterations,
+            &mut self.scratch,
         )?;
         if std::env::var_os("QR_MILP_DEBUG").is_some() {
             eprintln!("[qr-milp] phase1: {iterations} iters, status {status1:?}");
         }
         if status1 == LpStatus::IterationLimit {
-            return Ok(LpSolution {
-                status: LpStatus::IterationLimit,
-                objective: f64::INFINITY,
-                values: vec![0.0; self.n_struct],
+            return Ok(LpSolution::without_point(
+                LpStatus::IterationLimit,
+                self.n_struct,
                 iterations,
-            });
+            ));
         }
         let phase1_obj: f64 = (0..n)
-            .map(|j| phase1_cost[j] * column_value(j, &status, &x_basic, &lower, &upper))
+            .map(|j| {
+                self.cost[j]
+                    * column_value(j, &self.status, &self.x_basic, &self.lower, &self.upper)
+            })
             .sum();
         // Judge phase-1 success by re-checking the point against the pristine
         // rows, not only by the (drift-prone) artificial total: a corrupted
         // "feasible" claim must not reach phase 2, and a clean point whose
         // artificial total merely drifted must not be declared infeasible.
         let phase1_point: Vec<f64> = (0..self.n_struct)
-            .map(|j| column_value(j, &status, &x_basic, &lower, &upper))
+            .map(|j| column_value(j, &self.status, &self.x_basic, &self.lower, &self.upper))
             .collect();
         if !self.verify(&phase1_point) {
             let status = if phase1_obj > 1e-6 {
@@ -310,12 +814,7 @@ impl LpProblem {
             } else {
                 LpStatus::IterationLimit
             };
-            return Ok(LpSolution {
-                status,
-                objective: f64::INFINITY,
-                values: vec![0.0; self.n_struct],
-                iterations,
-            });
+            return Ok(LpSolution::without_point(status, self.n_struct, iterations));
         }
         if phase1_obj > 1e-6 {
             // The structural point satisfies the rows, yet a basic artificial
@@ -323,67 +822,109 @@ impl LpProblem {
             // would run against clamped-to-zero artificial bounds that its
             // basis violates, and its "optimal" objective could over-prune in
             // branch-and-bound. Report the solve as unreliable instead.
-            return Ok(LpSolution {
-                status: LpStatus::IterationLimit,
-                objective: f64::INFINITY,
-                values: vec![0.0; self.n_struct],
+            return Ok(LpSolution::without_point(
+                LpStatus::IterationLimit,
+                self.n_struct,
                 iterations,
-            });
+            ));
         }
 
         // Fix artificials to zero for phase 2 so they can never re-enter with
         // a non-zero value.
-        let mut lower2 = lower;
-        let mut upper2 = upper;
-        for art in self.first_artificial..n {
-            lower2[art] = 0.0;
-            upper2[art] = 0.0;
-            // A basic artificial sitting at zero is harmless; a nonbasic one
-            // must be recorded as being at a bound.
-            if !matches!(status[art], ColStatus::Basic(_)) {
-                status[art] = ColStatus::AtLower;
+        for art in self.core_cols..n {
+            self.lower[art] = 0.0;
+            self.upper[art] = 0.0;
+            if !self.status[art].is_basic() {
+                self.status[art] = VarStatus::AtLower;
             }
         }
 
         // Phase 2: minimise the true objective.
+        self.cost[..self.core_cols].copy_from_slice(&self.objective);
+        for c in self.cost[self.core_cols..].iter_mut() {
+            *c = 0.0;
+        }
         let status2 = simplex_phase(
-            &mut tab,
-            &mut x_basic,
-            &mut basis,
-            &mut status,
-            &lower2,
-            &upper2,
-            &self.objective,
+            &mut self.tab,
+            &mut self.rhs_work,
+            &mut self.x_basic,
+            &mut self.basis,
+            &mut self.status,
+            &self.lower,
+            &self.upper,
+            &self.cost,
             n,
             m,
             max_iterations,
             deadline,
             &mut iterations,
+            &mut self.scratch,
         )?;
 
+        match status2 {
+            LpStatus::Optimal => match self.package_optimal(iterations) {
+                Some(sol) => {
+                    self.tableau_valid = true;
+                    Ok(sol)
+                }
+                // Long degenerate stalls can corrupt the in-place tableau. An
+                // "optimal" point that does not actually satisfy the model is
+                // downgraded to the unreliable status so branch-and-bound
+                // never builds an incumbent from it.
+                None => Ok(LpSolution::without_point(
+                    LpStatus::IterationLimit,
+                    self.n_struct,
+                    iterations,
+                )),
+            },
+            other => {
+                // Unbounded / iteration-limited: report the current point
+                // (callers treat it as advisory only — branch-and-bound
+                // ignores iteration-limited values and only the root handles
+                // Unbounded).
+                let mut values = vec![0.0; self.n_struct];
+                #[allow(clippy::needless_range_loop)]
+                for j in 0..self.n_struct {
+                    values[j] =
+                        column_value(j, &self.status, &self.x_basic, &self.lower, &self.upper);
+                }
+                let objective = self.objective_constant
+                    + (0..self.n_struct)
+                        .map(|j| self.objective[j] * values[j])
+                        .sum::<f64>();
+                Ok(LpSolution {
+                    status: other,
+                    objective,
+                    values,
+                    iterations,
+                    warm_started: false,
+                })
+            }
+        }
+    }
+
+    /// Extract and verify the optimal point from the current workspace state.
+    /// Returns `None` when the point fails verification against the pristine
+    /// rows (numerical drift).
+    fn package_optimal(&mut self, iterations: usize) -> Option<LpSolution> {
         let mut values = vec![0.0; self.n_struct];
         #[allow(clippy::needless_range_loop)]
         for j in 0..self.n_struct {
-            values[j] = column_value(j, &status, &x_basic, &lower2, &upper2);
+            values[j] = column_value(j, &self.status, &self.x_basic, &self.lower, &self.upper);
+        }
+        if !self.verify(&values) {
+            return None;
         }
         let objective = self.objective_constant
             + (0..self.n_struct)
                 .map(|j| self.objective[j] * values[j])
                 .sum::<f64>();
-
-        let status = match status2 {
-            // Long degenerate stalls can corrupt the in-place tableau beyond
-            // the periodic reduced-cost refresh. An "optimal" point that does
-            // not actually satisfy the model is downgraded to the unreliable
-            // status so branch-and-bound never builds an incumbent from it.
-            LpStatus::Optimal if !self.verify(&values) => LpStatus::IterationLimit,
-            other => other,
-        };
-        Ok(LpSolution {
-            status,
+        Some(LpSolution {
+            status: LpStatus::Optimal,
             objective,
             values,
             iterations,
+            warm_started: false,
         })
     }
 
@@ -398,7 +939,7 @@ impl LpProblem {
             }
         }
         for i in 0..self.n_rows {
-            let row = &self.matrix[i * self.n_cols..i * self.n_cols + self.n_struct];
+            let row = &self.matrix[i * self.core_cols..i * self.core_cols + self.n_struct];
             let activity: f64 = row.iter().zip(values).map(|(a, v)| a * v).sum();
             let tol = 1e-5 * (1.0 + self.rhs[i].abs());
             let ok = match self.senses[i] {
@@ -414,48 +955,116 @@ impl LpProblem {
     }
 }
 
-fn initial_status(lower: f64, upper: f64) -> ColStatus {
+fn initial_status(lower: f64, upper: f64) -> VarStatus {
     if lower.is_finite() {
-        ColStatus::AtLower
+        VarStatus::AtLower
     } else if upper.is_finite() {
-        ColStatus::AtUpper
+        VarStatus::AtUpper
     } else {
-        ColStatus::Free
+        VarStatus::Free
     }
 }
 
-fn nonbasic_value(status: ColStatus, lower: f64, upper: f64) -> f64 {
+/// Re-anchor a nonbasic status after its bounds changed (a tightened branch
+/// can give a previously free column a finite bound, or remove the bound a
+/// status referred to entirely).
+fn reconcile_status(status: VarStatus, lower: f64, upper: f64) -> VarStatus {
     match status {
-        ColStatus::AtLower => lower,
-        ColStatus::AtUpper => upper,
-        ColStatus::Free => 0.0,
-        ColStatus::Basic(_) => unreachable!("nonbasic_value called on basic column"),
+        VarStatus::Basic(r) => VarStatus::Basic(r),
+        VarStatus::AtLower if lower.is_finite() => VarStatus::AtLower,
+        VarStatus::AtUpper if upper.is_finite() => VarStatus::AtUpper,
+        _ => initial_status(lower, upper),
+    }
+}
+
+pub(crate) fn nonbasic_value(status: VarStatus, lower: f64, upper: f64) -> f64 {
+    match status {
+        VarStatus::AtLower => lower,
+        VarStatus::AtUpper => upper,
+        VarStatus::Free => 0.0,
+        VarStatus::Basic(_) => unreachable!("nonbasic_value called on basic column"),
     }
 }
 
 fn column_value(
     col: usize,
-    status: &[ColStatus],
+    status: &[VarStatus],
     x_basic: &[f64],
     lower: &[f64],
     upper: &[f64],
 ) -> f64 {
     match status[col] {
-        ColStatus::Basic(row) => x_basic[row],
-        ColStatus::AtLower => lower[col],
-        ColStatus::AtUpper => upper[col],
-        ColStatus::Free => 0.0,
+        VarStatus::Basic(row) => x_basic[row],
+        VarStatus::AtLower => lower[col],
+        VarStatus::AtUpper => upper[col],
+        VarStatus::Free => 0.0,
     }
 }
 
-/// Run one simplex phase to optimality (w.r.t. `cost`), mutating the tableau,
-/// basis and statuses in place.
+/// Pivot the tableau (and the maintained `B^-1 b` column) on
+/// `(leave_row, enter_col)`, optionally updating a reduced-cost row. The
+/// scaled pivot row is left in `pivot_row_buf` for the caller (devex update).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pivot_inplace(
+    tab: &mut [f64],
+    rhs_work: &mut [f64],
+    n: usize,
+    m: usize,
+    leave_row: usize,
+    enter_col: usize,
+    reduced: Option<&mut [f64]>,
+    pivot_row_buf: &mut Vec<f64>,
+) -> f64 {
+    let pivot = tab[leave_row * n + enter_col];
+    let inv = 1.0 / pivot;
+    let pivot_row = &mut tab[leave_row * n..(leave_row + 1) * n];
+    for a in pivot_row.iter_mut() {
+        *a *= inv;
+    }
+    rhs_work[leave_row] *= inv;
+    // Snapshot the scaled pivot row so the elimination loops below can run on
+    // disjoint slices (and autovectorize).
+    pivot_row_buf.clear();
+    pivot_row_buf.extend_from_slice(&tab[leave_row * n..(leave_row + 1) * n]);
+    let pivot_rhs = rhs_work[leave_row];
+    for (i, row) in tab.chunks_exact_mut(n).enumerate() {
+        if i == leave_row {
+            continue;
+        }
+        let factor = row[enter_col];
+        if factor != 0.0 {
+            for (a, &p) in row.iter_mut().zip(pivot_row_buf.iter()) {
+                *a -= factor * p;
+            }
+            rhs_work[i] -= factor * pivot_rhs;
+        }
+    }
+    debug_assert_eq!(rhs_work.len(), m);
+    if let Some(reduced) = reduced {
+        let factor = reduced[enter_col];
+        if factor != 0.0 {
+            for (r, &p) in reduced.iter_mut().zip(pivot_row_buf.iter()) {
+                *r -= factor * p;
+            }
+        }
+    }
+    pivot
+}
+
+/// Run one primal simplex phase to optimality (w.r.t. `cost`), mutating the
+/// tableau, basis and statuses in place.
+///
+/// Degenerate stalls trigger, in escalating order: randomised pricing, cost
+/// perturbation (tiny status-aligned shifts, removed before returning
+/// `Optimal`), Bland's rule, and — as a last-resort safety valve — an
+/// [`LpStatus::IterationLimit`] bailout.
 #[allow(clippy::too_many_arguments)]
 fn simplex_phase(
     tab: &mut [f64],
+    rhs_work: &mut [f64],
     x_basic: &mut [f64],
     basis: &mut [usize],
-    status: &mut [ColStatus],
+    status: &mut [VarStatus],
     lower: &[f64],
     upper: &[f64],
     cost: &[f64],
@@ -464,56 +1073,97 @@ fn simplex_phase(
     max_iterations: usize,
     deadline: Option<Instant>,
     iterations: &mut usize,
+    scratch: &mut Scratch,
 ) -> Result<LpStatus> {
-    // Reduced-cost row, kept consistent by pivoting.
-    let mut reduced: Vec<f64> = compute_reduced_costs(tab, basis, cost, n, m);
+    // Working (possibly perturbed) costs and the reduced-cost row, kept
+    // consistent by pivoting.
+    scratch.work_cost.clear();
+    scratch.work_cost.extend_from_slice(cost);
+    let mut reduced = std::mem::take(&mut scratch.reduced);
+    compute_reduced_costs(tab, basis, &scratch.work_cost, n, m, &mut reduced);
     let bland_threshold = 20 * (n + m) + 2000;
     let mut phase_iters = 0usize;
-    // Anti-cycling: after a run of degenerate (zero-step) pivots, entering
-    // columns are picked pseudo-randomly among the improving candidates
-    // instead of by the devex rule, which breaks the stalling patterns the
-    // big-M refinement LPs otherwise exhibit.
+    // Anti-cycling ladder (see the phase docs): randomised pricing first,
+    // then cost perturbation, then Bland.
     let mut degenerate_streak = 0usize;
+    let mut perturbed = false;
+    let mut perturbation_rounds = 0usize;
     let mut rng_state: u64 = 0x9E37_79B9_7F4A_7C15;
-    let mut pivot_row_buf: Vec<f64> = Vec::with_capacity(n);
     // Devex reference weights (Forrest–Goldfarb, simplified): pricing by
     // d_j^2 / w_j approximates steepest-edge at a fraction of its cost and
     // cuts the degenerate stalling the plain Dantzig rule exhibits on the
     // big-M refinement LPs by orders of magnitude.
-    let mut devex_weight = vec![1.0f64; n];
+    scratch.devex.clear();
+    scratch.devex.resize(n, 1.0);
 
-    loop {
+    let outcome = loop {
         if *iterations >= max_iterations {
-            return Ok(LpStatus::IterationLimit);
+            break LpStatus::IterationLimit;
         }
         // Checking the clock every pivot would be noticeable on small LPs;
         // every 64 pivots bounds the overshoot to well under a millisecond.
         if (*iterations).is_multiple_of(64) {
             if let Some(deadline) = deadline {
                 if Instant::now() > deadline {
-                    return Ok(LpStatus::IterationLimit);
+                    break LpStatus::IterationLimit;
                 }
             }
         }
         *iterations += 1;
         phase_iters += 1;
         // Bland's rule guarantees escape from a degenerate vertex (or a
-        // finite optimality proof), so engage it as soon as a genuine stall
-        // is detected — not only after a global iteration budget. It
-        // disengages automatically once a pivot makes real progress.
-        let use_bland = phase_iters > bland_threshold || degenerate_streak > 100;
+        // finite optimality proof), so engage it once perturbation has had
+        // its chance. It disengages automatically on real progress.
+        let use_bland =
+            phase_iters > bland_threshold || (degenerate_streak > 150 && perturbation_rounds >= 2);
         let randomize = !use_bland && degenerate_streak > 8;
+
+        // Cost perturbation: after a sustained stall, shift every nonbasic
+        // column's cost away from its bound by a tiny pseudo-random amount.
+        // The current statuses stay dual-consistent (the shift only *grows*
+        // each reduced cost's distance from the improving side), but exact
+        // ties — the fuel of degenerate cycling — are broken. The shift is
+        // removed before this phase can return `Optimal`.
+        if !perturbed && degenerate_streak > 48 && perturbation_rounds < 2 {
+            for j in 0..n {
+                let sign = match status[j] {
+                    VarStatus::AtLower => 1.0,
+                    VarStatus::AtUpper => -1.0,
+                    _ => continue,
+                };
+                rng_state ^= rng_state << 13;
+                rng_state ^= rng_state >> 7;
+                rng_state ^= rng_state << 17;
+                let unit = (rng_state >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+                let eps = sign * (0.5 + unit) * 1e-7 * (1.0 + cost[j].abs());
+                scratch.work_cost[j] += eps;
+                reduced[j] += eps;
+            }
+            perturbed = true;
+            perturbation_rounds += 1;
+            degenerate_streak = 0;
+            if std::env::var_os("QR_MILP_DEBUG").is_some() {
+                eprintln!(
+                    "[qr-milp]   iter {phase_iters}: cost perturbation round {perturbation_rounds}"
+                );
+            }
+        }
 
         // --- Pricing: pick an entering column and a direction. ---
         let mut entering: Option<(usize, f64, f64)> = None; // (col, direction, score)
         let mut improving_count = 0usize;
         for j in 0..n {
+            // A fixed column cannot move; pricing it only buys degenerate
+            // bound-flip churn.
+            if lower[j] >= upper[j] && !status[j].is_basic() {
+                continue;
+            }
             let d = reduced[j];
             let (dir, improving) = match status[j] {
-                ColStatus::Basic(_) => continue,
-                ColStatus::AtLower => (1.0, d < -COST_TOL),
-                ColStatus::AtUpper => (-1.0, d > COST_TOL),
-                ColStatus::Free => {
+                VarStatus::Basic(_) => continue,
+                VarStatus::AtLower => (1.0, d < -COST_TOL),
+                VarStatus::AtUpper => (-1.0, d > COST_TOL),
+                VarStatus::Free => {
                     if d < -COST_TOL {
                         (1.0, true)
                     } else if d > COST_TOL {
@@ -527,7 +1177,7 @@ fn simplex_phase(
                 continue;
             }
             improving_count += 1;
-            let score = d * d / devex_weight[j];
+            let score = d * d / scratch.devex[j];
             if use_bland {
                 entering = Some((j, dir, score));
                 break;
@@ -545,7 +1195,17 @@ fn simplex_phase(
             }
         }
         let Some((enter_col, direction, _)) = entering else {
-            return Ok(LpStatus::Optimal);
+            if perturbed {
+                // Optimal for the perturbed costs: remove the shift and keep
+                // pivoting on the true costs (usually zero or a handful of
+                // pivots remain).
+                scratch.work_cost.copy_from_slice(cost);
+                compute_reduced_costs(tab, basis, &scratch.work_cost, n, m, &mut reduced);
+                perturbed = false;
+                degenerate_streak = 0;
+                continue;
+            }
+            break LpStatus::Optimal;
         };
 
         // --- Ratio test. ---
@@ -586,7 +1246,8 @@ fn simplex_phase(
                 true
             } else if is_tie {
                 if use_bland {
-                    leaving_is_better(&leaving, i, true, basis)
+                    // Bland: prefer the smallest leaving column index.
+                    leaving.is_none_or(|(row, _)| basis[i] < basis[row])
                 } else {
                     alpha.abs() > best_pivot_mag
                 }
@@ -601,15 +1262,16 @@ fn simplex_phase(
         }
 
         if best_t.is_infinite() {
-            return Ok(LpStatus::Unbounded);
+            break LpStatus::Unbounded;
         }
         if best_t <= 1e-12 {
             degenerate_streak += 1;
-            // A stall that survives hundreds of Bland pivots is not going to
-            // resolve; long in-place pivot runs only corrupt the tableau.
-            // Give up on this LP and let the caller fall back to box bounds.
-            if degenerate_streak > 600 {
-                return Ok(LpStatus::IterationLimit);
+            // Last-resort safety valve: a stall that survives randomised
+            // pricing, two perturbation rounds *and* hundreds of Bland pivots
+            // is not going to resolve; long in-place pivot runs only corrupt
+            // the tableau. Give up on this LP and let the caller fall back.
+            if degenerate_streak > 5000 {
+                break LpStatus::IterationLimit;
             }
         } else {
             degenerate_streak = 0;
@@ -624,8 +1286,8 @@ fn simplex_phase(
             None => {
                 // Bound flip: the entering column moves to its opposite bound.
                 status[enter_col] = match status[enter_col] {
-                    ColStatus::AtLower => ColStatus::AtUpper,
-                    ColStatus::AtUpper => ColStatus::AtLower,
+                    VarStatus::AtLower => VarStatus::AtUpper,
+                    VarStatus::AtUpper => VarStatus::AtLower,
                     other => other,
                 };
             }
@@ -639,60 +1301,45 @@ fn simplex_phase(
                 // Pivot the tableau on (leave_row, enter_col).
                 let pivot = tab[leave_row * n + enter_col];
                 if pivot.abs() < PIVOT_TOL {
+                    scratch.reduced = reduced;
                     return Err(MilpError::NumericalTrouble(format!(
                         "pivot element too small ({pivot:.3e})"
                     )));
                 }
-                let inv = 1.0 / pivot;
-                let pivot_row = &mut tab[leave_row * n..(leave_row + 1) * n];
-                for a in pivot_row.iter_mut() {
-                    *a *= inv;
-                }
-                // Snapshot the scaled pivot row so the elimination loops below
-                // can run on disjoint slices (and autovectorize).
-                pivot_row_buf.clear();
-                pivot_row_buf.extend_from_slice(&tab[leave_row * n..(leave_row + 1) * n]);
-                for (i, row) in tab.chunks_exact_mut(n).enumerate() {
-                    if i == leave_row {
-                        continue;
-                    }
-                    let factor = row[enter_col];
-                    if factor != 0.0 {
-                        for (a, &p) in row.iter_mut().zip(&pivot_row_buf) {
-                            *a -= factor * p;
-                        }
-                    }
-                }
-                let factor = reduced[enter_col];
-                if factor != 0.0 {
-                    for (r, &p) in reduced.iter_mut().zip(&pivot_row_buf) {
-                        *r -= factor * p;
-                    }
-                }
+                pivot_inplace(
+                    tab,
+                    rhs_work,
+                    n,
+                    m,
+                    leave_row,
+                    enter_col,
+                    Some(&mut reduced),
+                    &mut scratch.pivot_row,
+                );
 
                 // Devex weight update over the (scaled) pivot row; the
                 // leaving column inherits the entering column's reference
                 // weight through the pivot element.
-                let gamma = devex_weight[enter_col].max(1.0);
-                for (w, &p) in devex_weight.iter_mut().zip(&pivot_row_buf) {
+                let gamma = scratch.devex[enter_col].max(1.0);
+                for (w, &p) in scratch.devex.iter_mut().zip(&scratch.pivot_row) {
                     let candidate = p * p * gamma;
                     if candidate > *w {
                         *w = candidate;
                     }
                 }
-                devex_weight[leave_col] = (gamma / (pivot * pivot)).max(1.0);
-                devex_weight[enter_col] = 1.0;
-                if devex_weight.iter().any(|&w| w > 1e8) {
+                scratch.devex[leave_col] = (gamma / (pivot * pivot)).max(1.0);
+                scratch.devex[enter_col] = 1.0;
+                if scratch.devex.iter().any(|&w| w > 1e8) {
                     // Reference framework reset keeps the weights meaningful.
-                    devex_weight.iter_mut().for_each(|w| *w = 1.0);
+                    scratch.devex.iter_mut().for_each(|w| *w = 1.0);
                 }
 
                 status[leave_col] = if leaves_at_upper {
-                    ColStatus::AtUpper
+                    VarStatus::AtUpper
                 } else {
-                    ColStatus::AtLower
+                    VarStatus::AtLower
                 };
-                status[enter_col] = ColStatus::Basic(leave_row);
+                status[enter_col] = VarStatus::Basic(leave_row);
                 basis[leave_row] = enter_col;
                 x_basic[leave_row] = enter_value;
             }
@@ -700,7 +1347,7 @@ fn simplex_phase(
 
         // Periodically refresh reduced costs to limit drift.
         if phase_iters.is_multiple_of(256) {
-            reduced = compute_reduced_costs(tab, basis, cost, n, m);
+            compute_reduced_costs(tab, basis, &scratch.work_cost, n, m, &mut reduced);
             if phase_iters.is_multiple_of(2048) && std::env::var_os("QR_MILP_DEBUG").is_some() {
                 let obj: f64 = (0..n)
                     .map(|j| cost[j] * column_value(j, status, x_basic, lower, upper))
@@ -710,37 +1357,22 @@ fn simplex_phase(
                 );
             }
         }
-    }
+    };
+    scratch.reduced = reduced;
+    Ok(outcome)
 }
 
-fn leaving_is_better(
-    current: &Option<(usize, bool)>,
-    candidate_row: usize,
-    use_bland: bool,
-    basis: &[usize],
-) -> bool {
-    match current {
-        None => true,
-        Some((row, _)) => {
-            if use_bland {
-                // Bland: prefer the smallest leaving column index.
-                basis[candidate_row] < basis[*row]
-            } else {
-                false
-            }
-        }
-    }
-}
-
-fn compute_reduced_costs(
+pub(crate) fn compute_reduced_costs(
     tab: &[f64],
     basis: &[usize],
     cost: &[f64],
     n: usize,
     m: usize,
-) -> Vec<f64> {
+    reduced: &mut Vec<f64>,
+) {
     // reduced = cost - cost_B^T * tab
-    let mut reduced = cost.to_vec();
+    reduced.clear();
+    reduced.extend_from_slice(cost);
     for i in 0..m {
         let cb = cost[basis[i]];
         if cb != 0.0 {
@@ -753,11 +1385,11 @@ fn compute_reduced_costs(
     for i in 0..m {
         reduced[basis[i]] = 0.0;
     }
-    reduced
 }
 
-/// Convenience: build and solve the LP relaxation of a model with given
-/// bounds, optionally bounded by a wall-clock deadline.
+/// Convenience: build a one-shot workspace and cold-solve the LP relaxation
+/// of a model with the given bounds, optionally bounded by a wall-clock
+/// deadline. Branch-and-bound keeps a long-lived [`LpWorkspace`] instead.
 pub fn solve_lp(
     model: &Model,
     lower: &[f64],
@@ -765,7 +1397,7 @@ pub fn solve_lp(
     max_iterations: usize,
     deadline: Option<Instant>,
 ) -> Result<LpSolution> {
-    LpProblem::from_model(model, lower, upper)?.solve(max_iterations, deadline)
+    LpWorkspace::new(model)?.solve(lower, upper, None, max_iterations, deadline)
 }
 
 #[cfg(test)]
@@ -977,5 +1609,104 @@ mod tests {
             "objective {}",
             s.objective
         );
+    }
+
+    #[test]
+    fn warm_start_matches_cold_after_bound_change() {
+        // Solve, snapshot, tighten a bound as branching would, and check the
+        // warm re-solve agrees with a from-scratch cold solve.
+        let mut m = Model::new("warm");
+        let x = m.add_continuous("x", 0.0, 4.0);
+        let y = m.add_continuous("y", 0.0, 4.0);
+        m.add_constraint(
+            "c1",
+            LinExpr::term(x, 1.0) + LinExpr::term(y, 1.0),
+            Sense::Le,
+            6.0,
+        );
+        m.add_constraint(
+            "c2",
+            LinExpr::term(x, 2.0) + LinExpr::term(y, 1.0),
+            Sense::Ge,
+            2.0,
+        );
+        m.set_objective(LinExpr::term(x, -2.0) + LinExpr::term(y, -1.0));
+        let (lo, up) = bounds_of(&m);
+
+        let mut ws = LpWorkspace::new(&m).unwrap();
+        let root = ws.solve(&lo, &up, None, 10_000, None).unwrap();
+        assert_eq!(root.status, LpStatus::Optimal);
+        assert!(!root.warm_started);
+        let basis = ws.snapshot_basis().expect("optimal solve snapshots");
+
+        // Branch: x <= 1.
+        let mut up2 = up.clone();
+        up2[x.index()] = 1.0;
+        let warm = ws.solve(&lo, &up2, Some(&basis), 10_000, None).unwrap();
+        assert!(warm.warm_started, "child solve should take the warm path");
+        assert_eq!(warm.status, LpStatus::Optimal);
+        let cold = solve_lp(&m, &lo, &up2, 10_000, None).unwrap();
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-6,
+            "warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+    }
+
+    #[test]
+    fn warm_start_detects_child_infeasibility() {
+        let mut m = Model::new("warm-inf");
+        let x = m.add_continuous("x", 0.0, 10.0);
+        let y = m.add_continuous("y", 0.0, 10.0);
+        m.add_constraint(
+            "c",
+            LinExpr::term(x, 1.0) + LinExpr::term(y, 1.0),
+            Sense::Ge,
+            5.0,
+        );
+        m.set_objective(LinExpr::term(x, 1.0) + LinExpr::term(y, 1.0));
+        let (lo, up) = bounds_of(&m);
+        let mut ws = LpWorkspace::new(&m).unwrap();
+        let root = ws.solve(&lo, &up, None, 10_000, None).unwrap();
+        assert_eq!(root.status, LpStatus::Optimal);
+        let basis = ws.snapshot_basis().unwrap();
+        // x <= 1, y <= 2 makes the >= 5 row unsatisfiable.
+        let mut up2 = up.clone();
+        up2[x.index()] = 1.0;
+        up2[y.index()] = 2.0;
+        let warm = ws.solve(&lo, &up2, Some(&basis), 10_000, None).unwrap();
+        assert_eq!(warm.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn workspace_is_reusable_across_many_solves() {
+        let mut m = Model::new("reuse");
+        let x = m.add_continuous("x", 0.0, 10.0);
+        let y = m.add_continuous("y", 0.0, 10.0);
+        m.add_constraint(
+            "c",
+            LinExpr::term(x, 1.0) + LinExpr::term(y, 2.0),
+            Sense::Le,
+            10.0,
+        );
+        m.set_objective(LinExpr::term(x, -1.0) + LinExpr::term(y, -1.0));
+        let (lo, up) = bounds_of(&m);
+        let mut ws = LpWorkspace::new(&m).unwrap();
+        let mut basis: Option<Basis> = None;
+        for cap in [10.0, 8.0, 6.0, 4.0, 2.0] {
+            let mut up2 = up.clone();
+            up2[x.index()] = cap;
+            let sol = ws.solve(&lo, &up2, basis.as_ref(), 10_000, None).unwrap();
+            assert_eq!(sol.status, LpStatus::Optimal);
+            let expected = -(cap + (10.0 - cap) / 2.0);
+            assert!(
+                (sol.objective - expected).abs() < 1e-6,
+                "cap {cap}: got {} want {expected}",
+                sol.objective
+            );
+            basis = ws.snapshot_basis();
+            assert!(basis.is_some());
+        }
     }
 }

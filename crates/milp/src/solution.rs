@@ -35,10 +35,28 @@ pub struct SolveStats {
     pub lp_solves: usize,
     /// Total simplex iterations across all LP solves.
     pub simplex_iterations: usize,
+    /// LP solves that started from a parent basis (dual simplex warm start).
+    pub warm_lp_solves: usize,
+    /// LP solves that ran the cold two-phase method (root, warm-start
+    /// fallbacks, and solves with warm starts disabled).
+    pub cold_lp_solves: usize,
     /// Wall-clock time spent solving.
     pub solve_time: Duration,
     /// Best lower (dual) bound proven on the objective.
     pub best_bound: f64,
+}
+
+impl SolveStats {
+    /// Fraction of LP solves that took the warm-start path (0 when no LP was
+    /// solved).
+    pub fn warm_start_share(&self) -> f64 {
+        let total = self.warm_lp_solves + self.cold_lp_solves;
+        if total == 0 {
+            0.0
+        } else {
+            self.warm_lp_solves as f64 / total as f64
+        }
+    }
 }
 
 /// Result of solving a MILP.

@@ -124,3 +124,69 @@ fn outcome_conveniences_round_trip() {
     let by_val = result.outcome.into_refined().map(|r| r.distance);
     assert_eq!(by_ref, by_val);
 }
+
+/// Warm-started node LPs are the common case on a fig3-style workload, and
+/// they cut total simplex pivots by a large factor vs. forcing every node LP
+/// cold — the acceptance criterion of the warm-start redesign, pinned through
+/// the new `RefinementStats` fields.
+#[test]
+fn warm_starts_cut_fig3_workload_pivots() {
+    use query_refinement::datagen::Workload;
+    use query_refinement::milp::SolverOptions;
+
+    let w = Workload::astronauts(100, 20240317);
+    let constraints = ConstraintSet::new().with(w.constraint_with_bound(1, 5, Some(2)));
+    let session = RefinementSession::new(w.db.clone(), w.query.clone()).unwrap();
+    let base = RefinementRequest::new()
+        .with_constraints(constraints)
+        .with_epsilon(0.5)
+        .with_solver_options(SolverOptions {
+            time_limit: Some(Duration::from_secs(60)),
+            max_nodes: 20_000,
+            ..SolverOptions::default()
+        });
+
+    let warm = session.solve(&base).unwrap();
+    let mut cold_opts = base.solver_options.clone();
+    cold_opts.use_warm_start = false;
+    let cold = session
+        .solve(&base.clone().with_solver_options(cold_opts))
+        .unwrap();
+
+    eprintln!(
+        "warm: pivots {} lps {} (warm {} cold {}), cold: pivots {} lps {}",
+        warm.stats.simplex_iterations,
+        warm.stats.lp_solves,
+        warm.stats.warm_lp_solves,
+        warm.stats.cold_lp_solves,
+        cold.stats.simplex_iterations,
+        cold.stats.lp_solves,
+    );
+    assert_eq!(
+        warm.outcome.is_refined(),
+        cold.outcome.is_refined(),
+        "warm starts must not change the refinement outcome"
+    );
+    assert_eq!(cold.stats.warm_lp_solves, 0);
+    assert!(
+        warm.stats.warm_lp_solves + warm.stats.cold_lp_solves == warm.stats.lp_solves,
+        "warm/cold split must partition the LP count"
+    );
+    let warm_share = warm.stats.warm_lp_solves as f64 / warm.stats.lp_solves.max(1) as f64;
+    assert!(warm_share >= 0.8, "warm share {warm_share:.2}");
+    // The degenerate alternative optima of these LPs mean the two searches
+    // can take different trees, so compare per-LP pivot cost (the measured
+    // gap is ~12x; pin conservatively) as well as the total.
+    let warm_per_lp = warm.stats.simplex_iterations as f64 / warm.stats.lp_solves.max(1) as f64;
+    let cold_per_lp = cold.stats.simplex_iterations as f64 / cold.stats.lp_solves.max(1) as f64;
+    assert!(
+        cold_per_lp >= 5.0 * warm_per_lp,
+        "per-LP pivots: warm {warm_per_lp:.1} vs cold {cold_per_lp:.1}"
+    );
+    assert!(
+        cold.stats.simplex_iterations as f64 >= 3.0 * warm.stats.simplex_iterations as f64,
+        "total pivots: warm {} vs cold {}",
+        warm.stats.simplex_iterations,
+        cold.stats.simplex_iterations
+    );
+}

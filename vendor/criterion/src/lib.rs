@@ -23,13 +23,35 @@ pub fn black_box<T>(x: T) -> T {
 #[derive(Default)]
 pub struct Criterion {
     quick: bool,
+    baseline: Option<std::path::PathBuf>,
 }
 
 impl Criterion {
-    /// Parse command-line arguments (`--quick` shrinks every budget; other
-    /// Cargo-forwarded flags such as `--bench` are accepted and ignored).
+    /// Parse command-line arguments (`--quick` shrinks every budget;
+    /// `--save-baseline NAME` appends every measurement to
+    /// `target/criterion/NAME.tsv`, mirroring real Criterion's baseline
+    /// artifacts in a CI-uploadable form; other Cargo-forwarded flags such as
+    /// `--bench` are accepted and ignored).
     pub fn configure_from_args(mut self) -> Self {
-        self.quick = std::env::args().any(|a| a == "--quick");
+        let args: Vec<String> = std::env::args().collect();
+        self.quick = args.iter().any(|a| a == "--quick");
+        if let Some(pos) = args.iter().position(|a| a == "--save-baseline") {
+            if let Some(name) = args.get(pos + 1) {
+                let dir = target_dir().join("criterion");
+                let path = dir.join(format!("{name}.tsv"));
+                // Truncate up front: a re-run *replaces* the named baseline
+                // (as real Criterion does), while measurements within the run
+                // append to it.
+                let created = std::fs::create_dir_all(&dir)
+                    .and_then(|()| std::fs::File::create(&path).map(drop));
+                match created {
+                    Ok(()) => self.baseline = Some(path),
+                    Err(err) => {
+                        eprintln!("criterion shim: cannot create {}: {err}", path.display())
+                    }
+                }
+            }
+        }
         self
     }
 
@@ -43,6 +65,30 @@ impl Criterion {
             sample_size: 100,
             measurement_time: Duration::from_secs(5),
             warm_up_time: Duration::from_secs(3),
+        }
+    }
+
+    fn record_baseline(
+        &self,
+        group: &str,
+        id: &str,
+        samples: usize,
+        mean: f64,
+        min: f64,
+        max: f64,
+    ) {
+        let Some(path) = &self.baseline else {
+            return;
+        };
+        use std::io::Write as _;
+        let line = format!("{group}\t{id}\t{samples}\t{mean:.9}\t{min:.9}\t{max:.9}\n");
+        let result = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| f.write_all(line.as_bytes()));
+        if let Err(err) = result {
+            eprintln!("criterion shim: cannot write {}: {err}", path.display());
         }
     }
 
@@ -136,6 +182,8 @@ impl BenchmarkGroup<'_> {
             fmt_seconds(min),
             fmt_seconds(max),
         );
+        self._criterion
+            .record_baseline(&self.name, &id, times.len(), mean, min, max);
         self
     }
 
@@ -143,6 +191,23 @@ impl BenchmarkGroup<'_> {
     pub fn finish(&mut self) {
         println!();
     }
+}
+
+/// The Cargo target directory: `$CARGO_TARGET_DIR` when set, else the
+/// `target` ancestor of the running bench executable (benches run with the
+/// *package* root as cwd, so a relative `target/` would miss the workspace's).
+fn target_dir() -> std::path::PathBuf {
+    if let Some(dir) = std::env::var_os("CARGO_TARGET_DIR") {
+        return std::path::PathBuf::from(dir);
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        for ancestor in exe.ancestors() {
+            if ancestor.file_name().is_some_and(|n| n == "target") {
+                return ancestor.to_path_buf();
+            }
+        }
+    }
+    std::path::PathBuf::from("target")
 }
 
 fn fmt_seconds(s: f64) -> String {

@@ -1,0 +1,81 @@
+//! Ablation: the sparse revised simplex (LU-factorized basis, product-form
+//! eta updates) on the fig3 astronaut workload, warm vs. cold, with the
+//! factorization-health counters (`refactorizations`, `eta_updates`,
+//! `lu_nnz`/`matrix_nnz`) that the sparse rewrite added to
+//! `RefinementStats`.
+//!
+//! Dense-tableau baseline on this machine (PR 3 code, recorded immediately
+//! before the sparse rewrite, `--quick`):
+//!
+//! ```text
+//! ablation_warmstart/Astronauts/warm: mean 317.8 ms — 5546 pivots over 605 LPs (warm share 99.8%)
+//! ablation_warmstart/Astronauts/cold: mean 429.1 ms — 31335 pivots over 323 LPs
+//! ablation_warmstart/TPC-H/warm:      mean 127.8 µs — 73 pivots over 2 LPs
+//! ablation_warmstart/TPC-H/cold:      mean 165.4 µs — 110 pivots over 2 LPs
+//! ```
+//!
+//! Sparse revised simplex on the same machine (same `--quick` protocol):
+//! Astronauts warm ≈ 90–100 ms (3.3× faster than the dense warm path) and
+//! cold ≈ 230 ms (1.9× faster than dense cold), with the warm-over-cold gap
+//! widening from ~1.35× to ~2.4× — warm node LPs re-solve through an
+//! `O(nnz)` basis refactorization plus a handful of dual pivots, which is
+//! exactly the "convert the pivot reduction into wall-clock" goal of the
+//! rewrite. LU fill stays below the matrix's own nonzero count (~0.6×).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qr_bench::{benchmark_request, session_for, tiny_workload, TINY_K};
+use qr_core::{ConstraintSet, DistanceMeasure, MilpSolver, OptimizationConfig, RefinementRequest};
+use qr_datagen::DatasetId;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sparse");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+
+    // The fig3 astronaut workload with a bound the original query violates,
+    // so every solve runs a real MILP search.
+    let w = tiny_workload(DatasetId::Astronauts);
+    let constraints = ConstraintSet::new().with(w.constraint_with_bound(1, TINY_K, Some(2)));
+    let session = session_for(&w);
+    let warm = benchmark_request(
+        &constraints,
+        0.5,
+        DistanceMeasure::Predicate,
+        OptimizationConfig::all(),
+    );
+    let cold = {
+        let mut request = warm.clone();
+        request.solver_options.use_warm_start = false;
+        request
+    };
+    let configs: [(&str, &RefinementRequest); 2] = [("warm", &warm), ("cold", &cold)];
+    for (label, request) in configs {
+        group.bench_function(format!("{}/{label}", w.id.label()), |b| {
+            b.iter(|| session.solve_with(&MilpSolver, request).unwrap())
+        });
+        // Factorization accounting (printed once, outside the timed loop).
+        let result = session.solve_with(&MilpSolver, request).unwrap();
+        let stats = &result.stats;
+        println!(
+            "{}/{label}: {} pivots over {} LPs ({} warm / {} cold), \
+             {} refactorizations, {} eta updates, lu fill {}/{} ({:.2}x)",
+            w.id.label(),
+            stats.simplex_iterations,
+            stats.lp_solves,
+            stats.warm_lp_solves,
+            stats.cold_lp_solves,
+            stats.refactorizations,
+            stats.eta_updates,
+            stats.lu_nnz,
+            stats.matrix_nnz,
+            stats.lu_nnz as f64 / stats.matrix_nnz.max(1) as f64,
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

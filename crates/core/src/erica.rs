@@ -201,6 +201,10 @@ pub fn erica_refine_prepared(
     stats.simplex_iterations = solution.stats.simplex_iterations;
     stats.warm_lp_solves = solution.stats.warm_lp_solves;
     stats.cold_lp_solves = solution.stats.cold_lp_solves;
+    stats.refactorizations = solution.stats.refactorizations;
+    stats.eta_updates = solution.stats.eta_updates;
+    stats.lu_nnz = solution.stats.lu_nnz;
+    stats.matrix_nnz = solution.stats.matrix_nnz;
     stats.total_time = start.elapsed();
 
     let best = if solution.status.has_solution() {

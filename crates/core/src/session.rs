@@ -111,6 +111,17 @@ pub struct RefinementStats {
     pub warm_lp_solves: usize,
     /// Node LPs solved from a cold crash basis (MILP backend only).
     pub cold_lp_solves: usize,
+    /// Basis LU refactorizations across all node LPs (MILP backend only).
+    pub refactorizations: usize,
+    /// Product-form eta updates across all node LPs — the factorized
+    /// solver's per-pivot work proxy (MILP backend only).
+    pub eta_updates: usize,
+    /// Peak basis LU fill-in (nonzeros) across the solve (MILP backend
+    /// only); compare against [`Self::matrix_nnz`].
+    pub lu_nnz: usize,
+    /// Nonzeros of the sparse constraint matrix the solver stored (MILP
+    /// backend only).
+    pub matrix_nnz: usize,
     /// Candidate refinements evaluated (exhaustive baselines only).
     pub candidates_evaluated: usize,
 }
@@ -388,6 +399,10 @@ impl RefinementSession {
         stats.simplex_iterations = solution.stats.simplex_iterations;
         stats.warm_lp_solves = solution.stats.warm_lp_solves;
         stats.cold_lp_solves = solution.stats.cold_lp_solves;
+        stats.refactorizations = solution.stats.refactorizations;
+        stats.eta_updates = solution.stats.eta_updates;
+        stats.lu_nnz = solution.stats.lu_nnz;
+        stats.matrix_nnz = solution.stats.matrix_nnz;
         stats.total_time = start.elapsed();
 
         let outcome = match solution.status {

@@ -6,9 +6,10 @@
 //! matrix are unchanged, only bounds move. [`Basis`] captures exactly the
 //! information needed to restart the simplex from that point — which columns
 //! are basic and at which bound every nonbasic column rests — without storing
-//! the (large) factorized tableau itself. [`crate::simplex::LpWorkspace`]
-//! re-pivots its in-memory tableau to a snapshot's basic set and then runs the
-//! bound-flip dual simplex ([`crate::dual`]) to restore primal feasibility.
+//! any factorization. [`crate::simplex::LpWorkspace`] restores a snapshot by
+//! LU-factorizing its basic set directly from the sparse constraint matrix
+//! (`O(nnz)` — see [`crate::lu`]) and then runs the bound-flip dual simplex
+//! ([`crate::dual`]) to restore primal feasibility.
 
 /// Status of one column in a simplex basis.
 ///
@@ -17,9 +18,9 @@
 /// when both bounds are infinite).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VarStatus {
-    /// Basic in the given row. The row index is advisory: a warm start only
-    /// uses the *set* of basic columns (row assignment is re-derived while
-    /// re-pivoting, with partial pivoting for stability).
+    /// Basic in the given basis slot. The slot index is advisory: a warm
+    /// start only uses the *set* of basic columns (slot assignment is
+    /// re-derived when the basis is refactorized).
     Basic(usize),
     /// Nonbasic at its lower bound.
     AtLower,
@@ -38,8 +39,7 @@ impl VarStatus {
 }
 
 /// A snapshot of a simplex basis: one [`VarStatus`] per column of the LP
-/// (structural variables first, then slacks; artificial columns are never
-/// part of a snapshot).
+/// (structural variables first, then one logical column per row).
 ///
 /// Snapshots are taken from an optimal solve via
 /// [`crate::simplex::LpWorkspace::snapshot_basis`] and handed back to
@@ -53,12 +53,12 @@ pub struct Basis {
 
 impl Basis {
     /// Build a snapshot from per-column statuses. `statuses[j]` describes
-    /// column `j` in the workspace's column order (structural, then slack).
+    /// column `j` in the workspace's column order (structural, then logical).
     pub(crate) fn new(statuses: Vec<VarStatus>) -> Self {
         Basis { statuses }
     }
 
-    /// Per-column statuses (structural variables first, then slacks).
+    /// Per-column statuses (structural variables first, then logicals).
     pub fn statuses(&self) -> &[VarStatus] {
         &self.statuses
     }

@@ -13,11 +13,15 @@
 //! branched bound (plus propagation tightenings), so after the cold root
 //! solve every node re-solves from its parent's optimal [`Basis`] with the
 //! bound-flip dual simplex instead of a fresh two-phase run. One
-//! [`crate::simplex::LpWorkspace`] is shared by all node solves (the matrix
-//! is extracted once, scratch buffers are reused), and the rounding-dive
-//! heuristic reuses the current node's basis the same way. Warm solves that
-//! fail (stale/singular basis, dual stall) fall back to a cold solve; the
-//! warm/cold split is reported in [`SolveStats`].
+//! [`crate::simplex::LpWorkspace`] is shared by all node solves (the sparse
+//! matrix is extracted once, the basis factorization and scratch buffers are
+//! reused), and the rounding-dive heuristic reuses the current node's basis
+//! the same way. Restoring a sibling's basis is an `O(nnz)` LU
+//! refactorization of the sparse matrix — not a tableau re-pivot — and
+//! refactorization cadence is owned by the factorization's stability policy
+//! ([`crate::factor`]), not a fixed per-node counter. Warm solves that fail
+//! (stale/singular basis, dual stall) fall back to a cold solve; the
+//! warm/cold split and factorization health are reported in [`SolveStats`].
 
 use crate::basis::Basis;
 use crate::error::Result;
@@ -136,10 +140,11 @@ impl Solver {
                 .collect()
         };
 
-        // One workspace answers every node LP: the matrix is extracted once,
-        // scratch buffers are reused, and the previous node's factorized
-        // tableau makes first-child warm starts nearly free.
+        // One workspace answers every node LP: the sparse matrix is extracted
+        // once, scratch buffers are reused, and the previous node's basis
+        // factorization makes first-child warm starts nearly free.
         let mut workspace = LpWorkspace::new(model)?;
+        stats.matrix_nnz = workspace.matrix_nnz();
 
         let mut incumbent: Option<(f64, Vec<f64>)> = None;
         let mut limit_hit = false;
@@ -501,6 +506,9 @@ fn solve_node_lp(
     let lp = workspace.solve(lower, upper, warm, opts.max_lp_iterations, deadline)?;
     stats.lp_solves += 1;
     stats.simplex_iterations += lp.iterations;
+    stats.refactorizations += lp.refactorizations;
+    stats.eta_updates += lp.eta_updates;
+    stats.lu_nnz = stats.lu_nnz.max(lp.lu_nnz);
     if lp.warm_started {
         stats.warm_lp_solves += 1;
     } else {

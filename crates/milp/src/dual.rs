@@ -1,4 +1,5 @@
-//! Bounded-variable dual simplex with a bound-flipping Harris ratio test.
+//! Bounded-variable dual simplex with a bound-flipping Harris ratio test,
+//! running through the LU-factorized basis.
 //!
 //! This is the warm-start engine: after branching, the parent's optimal
 //! basis is still *dual* feasible for the child (the matrix and objective are
@@ -8,13 +9,19 @@
 //! and restores its bound, preserving dual feasibility, until the point is
 //! primal feasible (= optimal) or a row proves the child infeasible.
 //!
+//! Each iteration costs one BTRAN (the pivot row `ρᵀA`, computed over the
+//! CSR rows where `ρ` is nonzero), one FTRAN per entering column, and one
+//! batched FTRAN for all bound flips of the iteration — the dense tableau's
+//! per-pivot `O(m·n)` elimination is gone.
+//!
 //! Two refinements matter on the big-M refinement LPs:
 //!
 //! * **Bound flips** (the "long step" ratio test): candidates whose dual
 //!   ratio is passed by the step are *flipped* to their opposite bound
 //!   instead of entering the basis, consuming part of the violation without
 //!   a pivot. Boxed binaries make this very effective — one dual iteration
-//!   can move many columns.
+//!   can move many columns, and all their basic-value updates share a single
+//!   FTRAN.
 //! * **Harris two-pass selection**: the pivot column is chosen among all
 //!   candidates whose ratio lies within a small tolerance of the minimum,
 //!   preferring the largest pivot element. This trades a bounded amount of
@@ -23,7 +30,7 @@
 
 use crate::basis::VarStatus;
 use crate::error::Result;
-use crate::simplex::{nonbasic_value, pivot_inplace, FEAS_TOL, PIVOT_TOL};
+use crate::simplex::{nonbasic_value, LpWorkspace, FEAS_TOL, PIVOT_TOL};
 use std::time::Instant;
 
 /// Relative slack admitted by the Harris pass when collecting near-tie pivot
@@ -55,228 +62,229 @@ struct Candidate {
     flip_gain: f64,
 }
 
-/// Run the dual simplex until primal feasibility, infeasibility proof, or
-/// the iteration budget. `entering_limit` bounds the columns eligible to
-/// enter (artificial columns beyond it are permanently fixed at zero).
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn dual_simplex(
-    tab: &mut [f64],
-    rhs_work: &mut [f64],
-    x_basic: &mut [f64],
-    basis: &mut [usize],
-    status: &mut [VarStatus],
-    lower: &[f64],
-    upper: &[f64],
-    reduced: &mut [f64],
-    entering_limit: usize,
-    n: usize,
-    m: usize,
-    max_iterations: usize,
-    deadline: Option<Instant>,
-    iterations: &mut usize,
-    pivot_row_buf: &mut Vec<f64>,
-) -> Result<DualStatus> {
-    let mut candidates: Vec<Candidate> = Vec::new();
-    let mut local_iters = 0usize;
+impl LpWorkspace {
+    /// Run the dual simplex until primal feasibility, infeasibility proof, or
+    /// the iteration budget. Operates on the workspace's current basis,
+    /// statuses, basic values and reduced costs (all maintained in place).
+    pub(crate) fn dual_simplex(
+        &mut self,
+        max_iterations: usize,
+        deadline: Option<Instant>,
+        iterations: &mut usize,
+    ) -> Result<DualStatus> {
+        let m = self.n_rows;
+        let mut candidates: Vec<Candidate> = Vec::new();
+        let mut flips: Vec<(usize, f64)> = Vec::new();
+        let mut local_iters = 0usize;
 
-    loop {
-        if local_iters >= max_iterations {
-            return Ok(DualStatus::IterationLimit);
-        }
-        if local_iters.is_multiple_of(64) {
-            if let Some(deadline) = deadline {
-                if Instant::now() > deadline {
-                    return Ok(DualStatus::IterationLimit);
-                }
+        loop {
+            if local_iters >= max_iterations {
+                return Ok(DualStatus::IterationLimit);
             }
-        }
-
-        // --- Leaving row: the most violated basic variable. ---
-        let mut leave: Option<(usize, f64, bool)> = None; // (row, violation, below_lower)
-        for i in 0..m {
-            let col = basis[i];
-            let v = x_basic[i];
-            let (violation, below) = if v < lower[col] - FEAS_TOL {
-                (lower[col] - v, true)
-            } else if v > upper[col] + FEAS_TOL {
-                (v - upper[col], false)
-            } else {
-                continue;
-            };
-            if leave.map(|(_, w, _)| violation > w).unwrap_or(true) {
-                leave = Some((i, violation, below));
-            }
-        }
-        let Some((leave_row, violation, below_lower)) = leave else {
-            return Ok(DualStatus::Feasible);
-        };
-        local_iters += 1;
-
-        // The leaving variable must move towards its violated bound:
-        // delta x_B[r] = +violation when below its lower bound, -violation
-        // when above its upper bound. With x_B[r] = beta_r - sum alpha_rj x_j,
-        // an entering column j moves it by -alpha_rj * delta x_j.
-        let row = &tab[leave_row * n..leave_row * n + entering_limit];
-
-        // --- Candidate collection (eligibility + dual ratio). ---
-        candidates.clear();
-        for (j, &alpha_raw) in row.iter().enumerate() {
-            if status[j].is_basic() || alpha_raw.abs() <= PIVOT_TOL {
-                continue;
-            }
-            // Eligibility: can moving x_j in its allowed direction push
-            // x_B[r] towards the violated bound (delta x_B[r] = -alpha *
-            // delta x_j)?
-            let eligible = match status[j] {
-                // delta x_j >= 0 allowed; raises x_B[r] iff alpha < 0.
-                VarStatus::AtLower => {
-                    if below_lower {
-                        alpha_raw < 0.0
-                    } else {
-                        alpha_raw > 0.0
+            if local_iters.is_multiple_of(64) {
+                if let Some(deadline) = deadline {
+                    if Instant::now() > deadline {
+                        return Ok(DualStatus::IterationLimit);
                     }
                 }
-                // delta x_j <= 0 allowed; raises x_B[r] iff alpha > 0.
-                VarStatus::AtUpper => {
-                    if below_lower {
-                        alpha_raw > 0.0
-                    } else {
-                        alpha_raw < 0.0
-                    }
+            }
+
+            // --- Leaving slot: the most violated basic variable. ---
+            let mut leave: Option<(usize, f64, bool)> = None; // (slot, violation, below_lower)
+            for i in 0..m {
+                let col = self.basis[i];
+                let v = self.x_basic[i];
+                let (violation, below) = if v < self.lower[col] - FEAS_TOL {
+                    (self.lower[col] - v, true)
+                } else if v > self.upper[col] + FEAS_TOL {
+                    (v - self.upper[col], false)
+                } else {
+                    continue;
+                };
+                if leave.map(|(_, w, _)| violation > w).unwrap_or(true) {
+                    leave = Some((i, violation, below));
                 }
-                VarStatus::Free => true,
-                VarStatus::Basic(_) => unreachable!(),
+            }
+            let Some((leave_slot, violation, below_lower)) = leave else {
+                return Ok(DualStatus::Feasible);
             };
-            if !eligible {
-                continue;
+            local_iters += 1;
+
+            // The leaving variable must move towards its violated bound:
+            // delta x_B[r] = +violation when below its lower bound,
+            // -violation when above its upper bound. With
+            // x_B[r] = beta_r - sum alpha_rj x_j, an entering column j moves
+            // it by -alpha_rj * delta x_j.
+            self.compute_pivot_row(leave_slot);
+
+            // --- Candidate collection (eligibility + dual ratio). ---
+            candidates.clear();
+            for idx in 0..self.pivot_touched.len() {
+                let j = self.pivot_touched[idx];
+                let alpha_raw = self.pivot_row[j];
+                if self.status[j].is_basic() || alpha_raw.abs() <= PIVOT_TOL {
+                    continue;
+                }
+                // Eligibility: can moving x_j in its allowed direction push
+                // x_B[r] towards the violated bound (delta x_B[r] = -alpha *
+                // delta x_j)?
+                let eligible = match self.status[j] {
+                    // delta x_j >= 0 allowed; raises x_B[r] iff alpha < 0.
+                    VarStatus::AtLower => {
+                        if below_lower {
+                            alpha_raw < 0.0
+                        } else {
+                            alpha_raw > 0.0
+                        }
+                    }
+                    // delta x_j <= 0 allowed; raises x_B[r] iff alpha > 0.
+                    VarStatus::AtUpper => {
+                        if below_lower {
+                            alpha_raw > 0.0
+                        } else {
+                            alpha_raw < 0.0
+                        }
+                    }
+                    VarStatus::Free => true,
+                    VarStatus::Basic(_) => unreachable!(),
+                };
+                if !eligible {
+                    continue;
+                }
+                let range = self.upper[j] - self.lower[j];
+                if range <= 0.0 && !matches!(self.status[j], VarStatus::Free) {
+                    continue; // fixed column: cannot move
+                }
+                let ratio = self.reduced[j].abs() / alpha_raw.abs();
+                let flip_gain = if range.is_finite() {
+                    alpha_raw.abs() * range
+                } else {
+                    f64::INFINITY
+                };
+                candidates.push(Candidate {
+                    col: j,
+                    ratio,
+                    alpha: alpha_raw,
+                    flip_gain,
+                });
             }
-            let range = upper[j] - lower[j];
-            if range <= 0.0 && !matches!(status[j], VarStatus::Free) {
-                continue; // fixed column: cannot move
+            if candidates.is_empty() {
+                // Even the most favourable box corner cannot repair this row:
+                // the row is a valid (aggregated) infeasibility certificate.
+                return Ok(DualStatus::Infeasible);
             }
-            let ratio = reduced[j].abs() / alpha_raw.abs();
-            let flip_gain = if range.is_finite() {
-                alpha_raw.abs() * range
+            candidates.sort_unstable_by(|a, b| a.ratio.total_cmp(&b.ratio));
+
+            // --- Bound-flipping pass: consume violation with flips while
+            // later candidates can still provide a pivot. The last candidate
+            // is always pivoted on, even when its own flip gain would not
+            // cover the remaining violation — the entering variable then
+            // lands beyond its opposite bound, which is just a new basic
+            // violation for a later iteration (true infeasibility still
+            // surfaces as an empty candidate list on some row, or as the
+            // iteration cap). Flips change statuses immediately; their
+            // basic-value effect is applied below through one batched FTRAN.
+            // Flips are not counted as pivots. ---
+            let mut remaining = violation;
+            let mut entering: Option<Candidate> = None;
+            flips.clear();
+            for (idx, cand) in candidates.iter().enumerate() {
+                if idx + 1 < candidates.len() && cand.flip_gain < remaining {
+                    let j = cand.col;
+                    let (delta, new_status) = match self.status[j] {
+                        VarStatus::AtLower => (self.upper[j] - self.lower[j], VarStatus::AtUpper),
+                        VarStatus::AtUpper => (self.lower[j] - self.upper[j], VarStatus::AtLower),
+                        other => {
+                            debug_assert!(false, "flip on non-bounded status {other:?}");
+                            continue;
+                        }
+                    };
+                    self.status[j] = new_status;
+                    if delta != 0.0 {
+                        flips.push((j, delta));
+                    }
+                    remaining -= cand.flip_gain;
+                    continue;
+                }
+                // Harris pass: among near-tie ratios from here, take the
+                // largest pivot magnitude.
+                let cutoff = cand.ratio * (1.0 + HARRIS_TOL) + HARRIS_TOL;
+                entering = candidates[idx..]
+                    .iter()
+                    .take_while(|c| c.ratio <= cutoff)
+                    .max_by(|a, b| a.alpha.abs().total_cmp(&b.alpha.abs()))
+                    .copied()
+                    .or(Some(*cand));
+                break;
+            }
+            let entering = entering.expect("non-empty candidate list always yields a pivot");
+
+            // Apply the flips' effect on the basic values with one batched
+            // FTRAN: x_B -= B^-1 (sum_j delta_j a_j).
+            if !flips.is_empty() {
+                self.row_buf[..m].fill(0.0);
+                for &(col, delta) in &flips {
+                    self.matrix.scatter_column(col, delta, &mut self.row_buf);
+                }
+                self.factor.ftran(&mut self.row_buf);
+                for i in 0..m {
+                    self.x_basic[i] -= self.row_buf[i];
+                }
+            }
+
+            // --- Pivot. ---
+            let enter_col = entering.col;
+            self.ftran_column(enter_col); // col_buf = B^-1 a_q
+            let alpha_rq = self.col_buf[leave_slot];
+            if alpha_rq.abs() < PIVOT_TOL {
+                // The FTRANed pivot disagrees with the pivot row badly enough
+                // to be unusable: treat as a stall so the caller falls back.
+                return Ok(DualStatus::IterationLimit);
+            }
+            let leave_col = self.basis[leave_slot];
+            let target = if below_lower {
+                self.lower[leave_col]
             } else {
-                f64::INFINITY
+                self.upper[leave_col]
             };
-            candidates.push(Candidate {
-                col: j,
-                ratio,
-                alpha: alpha_raw,
-                flip_gain,
-            });
-        }
-        if candidates.is_empty() {
-            // Even the most favourable box corner cannot repair this row: the
-            // row is a valid (aggregated) infeasibility certificate.
-            return Ok(DualStatus::Infeasible);
-        }
-        candidates.sort_unstable_by(|a, b| a.ratio.total_cmp(&b.ratio));
+            let delta_p = target - self.x_basic[leave_slot];
+            let delta_q = -delta_p / alpha_rq;
 
-        // --- Bound-flipping pass: consume violation with flips while later
-        // candidates can still provide a pivot. The last candidate is always
-        // pivoted on, even when its own flip gain would not cover the
-        // remaining violation — the entering variable then lands beyond its
-        // opposite bound, which is just a new basic violation for a later
-        // iteration (true infeasibility still surfaces as an empty candidate
-        // list on some row, or as the iteration cap). Flips are applied
-        // immediately (they touch only x_basic/status, never the tableau or
-        // the remaining candidates) and are not counted as pivots. ---
-        let mut remaining = violation;
-        let mut entering: Option<Candidate> = None;
-        for (idx, cand) in candidates.iter().enumerate() {
-            if idx + 1 < candidates.len() && cand.flip_gain < remaining {
-                apply_flip(cand.col, tab, x_basic, status, lower, upper, n, m);
-                remaining -= cand.flip_gain;
-                continue;
+            for i in 0..m {
+                if i != leave_slot {
+                    self.x_basic[i] -= self.col_buf[i] * delta_q;
+                }
             }
-            // Harris pass: among near-tie ratios from here, take the largest
-            // pivot magnitude.
-            let cutoff = cand.ratio * (1.0 + HARRIS_TOL) + HARRIS_TOL;
-            entering = candidates[idx..]
-                .iter()
-                .take_while(|c| c.ratio <= cutoff)
-                .max_by(|a, b| a.alpha.abs().total_cmp(&b.alpha.abs()))
-                .copied()
-                .or(Some(*cand));
-            break;
-        }
-        let entering = entering.expect("non-empty candidate list always yields a pivot");
+            let enter_value = nonbasic_value(
+                self.status[enter_col],
+                self.lower[enter_col],
+                self.upper[enter_col],
+            ) + delta_q;
 
-        // --- Pivot. ---
-        let enter_col = entering.col;
-        let target = if below_lower {
-            lower[basis[leave_row]]
-        } else {
-            upper[basis[leave_row]]
-        };
-        let delta_p = target - x_basic[leave_row];
-        let alpha_rq = tab[leave_row * n + enter_col];
-        let delta_q = -delta_p / alpha_rq;
-
-        for i in 0..m {
-            if i != leave_row {
-                x_basic[i] -= tab[i * n + enter_col] * delta_q;
+            // Reduced-cost update through the pivot row (same algebra as the
+            // primal: d_j -= (d_q / alpha_rq) * alpha_rj, d_enter = 0; the
+            // leaving column's entry is alpha_r,leave = 1, giving it
+            // -d_q / alpha_rq automatically).
+            let d_q = self.reduced[enter_col];
+            let ratio = d_q / self.pivot_row[enter_col];
+            if ratio != 0.0 {
+                for idx in 0..self.pivot_touched.len() {
+                    let j = self.pivot_touched[idx];
+                    self.reduced[j] -= ratio * self.pivot_row[j];
+                }
             }
-        }
-        let enter_value =
-            nonbasic_value(status[enter_col], lower[enter_col], upper[enter_col]) + delta_q;
+            self.reduced[enter_col] = 0.0;
 
-        pivot_inplace(
-            tab,
-            rhs_work,
-            n,
-            m,
-            leave_row,
-            enter_col,
-            Some(reduced),
-            pivot_row_buf,
-        );
-
-        let leave_col = basis[leave_row];
-        status[leave_col] = if below_lower {
-            VarStatus::AtLower
-        } else {
-            VarStatus::AtUpper
-        };
-        status[enter_col] = VarStatus::Basic(leave_row);
-        basis[leave_row] = enter_col;
-        x_basic[leave_row] = enter_value;
-        *iterations += 1;
-    }
-}
-
-/// Move a boxed nonbasic column to its opposite bound, updating every basic
-/// value for the shift.
-#[allow(clippy::too_many_arguments)]
-fn apply_flip(
-    col: usize,
-    tab: &[f64],
-    x_basic: &mut [f64],
-    status: &mut [VarStatus],
-    lower: &[f64],
-    upper: &[f64],
-    n: usize,
-    m: usize,
-) {
-    let (delta, new_status) = match status[col] {
-        VarStatus::AtLower => (upper[col] - lower[col], VarStatus::AtUpper),
-        VarStatus::AtUpper => (lower[col] - upper[col], VarStatus::AtLower),
-        other => {
-            debug_assert!(false, "flip on non-bounded status {other:?}");
-            return;
-        }
-    };
-    if delta == 0.0 {
-        status[col] = new_status;
-        return;
-    }
-    for i in 0..m {
-        let a = tab[i * n + col];
-        if a != 0.0 {
-            x_basic[i] -= a * delta;
+            self.status[leave_col] = if below_lower {
+                VarStatus::AtLower
+            } else {
+                VarStatus::AtUpper
+            };
+            self.status[enter_col] = VarStatus::Basic(leave_slot);
+            self.basis[leave_slot] = enter_col;
+            self.x_basic[leave_slot] = enter_value;
+            self.update_factor_after_pivot(leave_slot)?;
+            *iterations += 1;
         }
     }
-    status[col] = new_status;
 }

@@ -9,11 +9,16 @@
 //! * a PuLP-style [`Model`] builder with continuous, integer and binary
 //!   variables, linear expressions and `<=` / `>=` / `==` constraints
 //!   ([`model`], [`expr`]),
-//! * a dense bounded-variable simplex for the LP relaxation, organised
-//!   around a reusable per-model workspace ([`simplex`]): cold solves run
-//!   the two-phase primal method, warm solves restart from a snapshotted
-//!   basis ([`basis`]) and repair branched bounds with a bound-flipping
-//!   dual simplex ([`dual`]), skipping phase 1 entirely,
+//! * a **sparse revised simplex** for the LP relaxation, organised around a
+//!   reusable per-model workspace ([`simplex`]): the constraint matrix is
+//!   stored once in CSC + CSR form ([`factor`]), the basis is LU-factorized
+//!   with Markowitz pivoting ([`lu`]) and kept current across pivots by
+//!   product-form eta updates with a stability-triggered refactorization
+//!   policy ([`factor`]). Cold solves run a two-phase primal method from the
+//!   all-logical basis; warm solves restore a snapshotted basis ([`basis`])
+//!   by refactorizing it straight from the sparse matrix — `O(nnz)` — and
+//!   repair branched bounds with a bound-flipping dual simplex ([`dual`]),
+//!   skipping phase 1 entirely,
 //! * interval-arithmetic bound propagation used as a presolve and at every
 //!   branch-and-bound node ([`propagate`]),
 //! * branch-and-bound with branching priorities, best-bound pruning, a
@@ -21,8 +26,9 @@
 //!   ([`branch_bound`]). Each node LP is warm-started from its parent's
 //!   optimal basis (a child differs by a single branched bound), which cuts
 //!   per-node simplex pivots by an order of magnitude on the refinement
-//!   MILPs; [`solution::SolveStats`] reports the warm/cold split and total
-//!   pivots so the gain is observable.
+//!   MILPs; [`solution::SolveStats`] reports the warm/cold split, total
+//!   pivots, refactorizations, eta updates and LU fill-in so both the
+//!   warm-start gain and factorization health are observable.
 //!
 //! Set `QR_MILP_DEBUG=1` to trace phase transitions, warm-start outcomes and
 //! per-node LP statistics on stderr.
@@ -59,6 +65,8 @@ pub mod branch_bound;
 pub mod dual;
 pub mod error;
 pub mod expr;
+pub mod factor;
+pub mod lu;
 pub mod model;
 pub mod propagate;
 pub mod simplex;

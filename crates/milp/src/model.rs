@@ -196,6 +196,19 @@ impl Model {
         self.constraints.len()
     }
 
+    /// Number of structural nonzero coefficients across all constraints.
+    /// The refinement encodings keep this near `3 × num_constraints` (big-M
+    /// indicator rows touch 2–3 columns), which is what makes the revised
+    /// simplex pay off. The LP workspace stores this plus one logical unit
+    /// entry per row (`SolveStats::matrix_nnz = num_nonzeros() +
+    /// num_constraints()`).
+    pub fn num_nonzeros(&self) -> usize {
+        self.constraints
+            .iter()
+            .map(|c| c.expr.terms().filter(|&(_, coeff)| coeff != 0.0).count())
+            .sum()
+    }
+
     /// Number of integer (incl. binary) variables.
     pub fn num_integer_variables(&self) -> usize {
         self.variables
@@ -254,11 +267,12 @@ impl Model {
     /// A short human-readable summary (sizes only).
     pub fn summary(&self) -> String {
         format!(
-            "{}: {} variables ({} integer), {} constraints",
+            "{}: {} variables ({} integer), {} constraints, {} nonzeros",
             self.name,
             self.num_variables(),
             self.num_integer_variables(),
-            self.num_constraints()
+            self.num_constraints(),
+            self.num_nonzeros()
         )
     }
 }

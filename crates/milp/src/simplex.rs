@@ -1,45 +1,49 @@
-//! Dense bounded-variable simplex with a reusable workspace and warm starts.
+//! Sparse revised simplex with an LU-factorized basis and warm starts.
 //!
-//! The LP relaxations produced by `qr-core` have many variables whose only
-//! bound structure is `0 <= x <= u` (binary relaxations, rank variables,
-//! error variables). Handling bounds natively — rather than as extra rows —
-//! keeps the tableau at `m × (n + m)` and makes the solver fast enough for
-//! the instance sizes in the benchmark.
+//! The LP relaxations produced by `qr-core` are extremely sparse (big-M
+//! indicator rows touch 2–3 structural columns; >95% zeros) with many boxed
+//! variables (`0 <= x <= u`). The solver exploits both: the constraint
+//! matrix is stored **once** in CSC + CSR form ([`crate::factor::SparseMatrix`]),
+//! every row owns a *logical* column (slack for `<=`/`>=`, a fixed-at-zero
+//! column for `==`), and all linear algebra runs through an LU factorization
+//! of the basis ([`crate::lu`]) maintained by product-form eta updates
+//! ([`crate::factor`]). A pivot costs one FTRAN (entering column), one BTRAN
+//! (pivot row) and sparse bookkeeping — never the dense tableau's `O(m·n)`
+//! elimination, which this module used to pay on every pivot.
 //!
-//! The solver is organised around [`LpWorkspace`], which is built **once per
-//! model** and then answers any number of solves with different variable
-//! bounds (exactly the branch-and-bound access pattern — every node changes
-//! bounds, never the matrix):
+//! The solver is organised around [`LpWorkspace`], built **once per model**
+//! and answering any number of solves with different variable bounds (the
+//! branch-and-bound access pattern — every node changes bounds, never the
+//! matrix):
 //!
-//! * the constraint matrix, slack layout and objective are bound-independent
-//!   and shared by every solve; per-solve scratch (tableau, costs, reduced
-//!   costs, devex weights) lives in reusable buffers, so a node solve
-//!   performs no per-call allocation beyond the first,
-//! * a **cold** solve runs the textbook two-phase primal simplex: an
-//!   artificial column per row whose slack cannot absorb the initial
-//!   residual, phase 1 minimising total artificial magnitude, phase 2 the
-//!   true objective. Entering variables are chosen by devex pricing with
-//!   anti-cycling fallbacks (randomised pricing, cost perturbation, Bland's
-//!   rule),
-//! * a **warm** solve ([`LpWorkspace::solve`] with a [`Basis`]) re-pivots the
-//!   in-memory tableau to a previously snapshotted basis and runs the
-//!   bound-flip dual simplex ([`crate::dual`]) to repair the (few) bound
-//!   violations a branch introduces, skipping phase 1 entirely. A short
-//!   primal clean-up phase then certifies optimality. Warm solves that go
-//!   numerically wrong (singular basis, dual stall, failed verification)
-//!   fall back to a cold solve transparently.
+//! * a **cold** solve runs the textbook two-phase primal simplex from a
+//!   crash basis: each row's logical column absorbs the initial residual
+//!   when its bounds allow, and otherwise the row's *artificial* column — a
+//!   permanent unit column of the sparse matrix, fixed at zero outside
+//!   phase 1 — carries it through a phase-1 run minimising total artificial
+//!   magnitude. Entering variables are priced partially (a rotating window
+//!   over the column range) by devex, with the same anti-cycling ladder as
+//!   before: randomised pricing, cost perturbation, Bland's rule,
+//! * a **warm** solve ([`LpWorkspace::solve`] with a [`Basis`]) refactorizes
+//!   `B` directly from the sparse matrix — `O(nnz)`, replacing the dense
+//!   path's per-column tableau re-pivoting — and runs the bound-flipping
+//!   dual simplex ([`crate::dual`]) to repair the (few) bound violations a
+//!   branch introduces, skipping phase 1 entirely. A first child reuses the
+//!   parent's factorization outright (its basis is the parent's). Any warm
+//!   anomaly falls back to a cold solve transparently,
+//! * refactorization is **stability-triggered** (eta-file length/fill or a
+//!   too-small eta pivot — see [`crate::factor`]), not the old fixed
+//!   64-reuse cadence; each refactorization also recomputes the basic values
+//!   exactly, so drift can no longer chain across a long run of warm solves.
 //!
-//! Degenerate stalls — endemic to the big-M refinement LPs — are broken by
-//! *cost perturbation*: after a run of zero-step pivots the working costs are
-//! shifted by tiny status-aligned amounts, the phase runs to optimality on
-//! the perturbed costs, and the perturbation is then removed and optimality
-//! re-established on the true costs. The hard stall bailout that used to
-//! abort such LPs after 600 degenerate pivots survives only as a last-resort
-//! safety valve at a much higher threshold.
+//! Factorization health is observable: [`LpSolution`] reports
+//! refactorizations, eta updates and LU fill per solve, and
+//! [`crate::solution::SolveStats`] aggregates them across a tree.
 
 use crate::basis::{Basis, VarStatus};
-use crate::dual::{dual_simplex, DualStatus};
+use crate::dual::DualStatus;
 use crate::error::{MilpError, Result};
+use crate::factor::{BasisFactorization, EtaUpdate, SparseMatrix};
 use crate::model::{Model, Sense};
 use std::time::Instant;
 
@@ -70,6 +74,13 @@ pub struct LpSolution {
     /// Whether the solve started from a warm basis (dual simplex path) rather
     /// than a cold two-phase run.
     pub warm_started: bool,
+    /// Basis refactorizations performed during this solve.
+    pub refactorizations: usize,
+    /// Product-form eta updates appended during this solve.
+    pub eta_updates: usize,
+    /// Peak nonzeros of the basis LU factors observed during the solve
+    /// (fill-in health; compare against the constraint matrix nonzeros).
+    pub lu_nnz: usize,
 }
 
 impl LpSolution {
@@ -80,6 +91,9 @@ impl LpSolution {
             values: vec![0.0; n_struct],
             iterations,
             warm_started: false,
+            refactorizations: 0,
+            eta_updates: 0,
+            lu_nnz: 0,
         }
     }
 }
@@ -90,121 +104,111 @@ pub const FEAS_TOL: f64 = 1e-7;
 const COST_TOL: f64 = 1e-9;
 /// Pivot element magnitude below which a pivot is rejected.
 pub(crate) const PIVOT_TOL: f64 = 1e-10;
-/// Pivot magnitude below which a basis-loading pivot counts as singular.
-const REFACTOR_TOL: f64 = 1e-8;
-/// Warm solves allowed to chain on one in-place tableau before the next warm
-/// solve refactorizes from the pristine matrix (bounds rounding drift).
-const REFACTOR_INTERVAL: usize = 64;
-
-/// How a row obtains its initial basic column in a cold solve.
-#[derive(Debug, Clone, Copy)]
-enum CrashPlan {
-    /// The row's slack absorbs the initial residual; no artificial needed.
-    Slack { col: usize, residual: f64 },
-    /// An artificial column carries the residual through phase 1.
-    Artificial { col: usize, residual: f64 },
-}
-
-/// Per-phase scratch buffers, reused across solves (no per-call allocation
-/// once warmed up).
-#[derive(Debug, Default)]
-struct Scratch {
-    reduced: Vec<f64>,
-    devex: Vec<f64>,
-    work_cost: Vec<f64>,
-    pivot_row: Vec<f64>,
-}
+/// Partial pricing scans at least this many columns per pivot before
+/// settling on the best candidate seen.
+const PRICING_WINDOW: usize = 128;
 
 /// A reusable LP solving context for one [`Model`]: the bound-independent
-/// problem data (matrix, slack layout, objective) plus all per-solve scratch.
+/// problem data (sparse matrix, logical-column layout, objective) plus the
+/// basis factorization and all per-solve scratch.
 ///
 /// Build it once, then call [`solve`](Self::solve) per bound set. After an
 /// optimal solve, [`snapshot_basis`](Self::snapshot_basis) captures the basis
 /// for warm-starting related solves (branch-and-bound children).
 pub struct LpWorkspace {
     // Bound-independent problem data.
-    n_struct: usize,
-    n_rows: usize,
-    /// Structural + slack column count (artificials, when present, follow).
-    core_cols: usize,
-    /// `n_rows x core_cols` row-major matrix, slack unit entries included.
-    matrix: Vec<f64>,
-    rhs: Vec<f64>,
+    pub(crate) n_struct: usize,
+    pub(crate) n_rows: usize,
+    /// Structural + logical column count (`n_struct + n_rows`: every row
+    /// owns a logical column, `==` rows a fixed-at-zero one). This is the
+    /// column space [`Basis`] snapshots cover.
+    pub(crate) core_cols: usize,
+    /// Full column count including one artificial unit column per row
+    /// (`core_cols + n_rows`). Artificials are fixed at zero except during a
+    /// cold solve's phase 1.
+    pub(crate) total_cols: usize,
+    /// The constraint matrix in CSC + CSR form, logical and artificial unit
+    /// columns included.
+    pub(crate) matrix: SparseMatrix,
+    pub(crate) rhs: Vec<f64>,
     senses: Vec<Sense>,
-    /// Lower/upper bounds of the slack columns (index `core_lower[j]` is only
-    /// meaningful for `j >= n_struct`; structural entries are overwritten per
-    /// solve).
+    /// Bounds of the logical columns (entries `>= n_struct`; structural
+    /// entries are placeholders overwritten per solve).
     core_lower: Vec<f64>,
     core_upper: Vec<f64>,
     objective: Vec<f64>,
     objective_constant: f64,
 
-    // Per-solve scratch, reused.
-    tab: Vec<f64>,
-    /// Column stride of `tab` (>= `core_cols`; larger after a cold solve that
-    /// needed artificial columns).
-    cur_cols: usize,
-    /// `B^-1 rhs`, maintained through every pivot alongside the tableau.
-    rhs_work: Vec<f64>,
-    lower: Vec<f64>,
-    upper: Vec<f64>,
-    status: Vec<VarStatus>,
-    basis: Vec<usize>,
-    x_basic: Vec<f64>,
-    cost: Vec<f64>,
-    values_buf: Vec<f64>,
-    scratch: Scratch,
-    /// Whether `tab`/`basis`/`status` describe a consistent basis from the
-    /// previous solve (enables cheap warm transitions).
-    tableau_valid: bool,
-    /// Consecutive warm solves that reused the in-place tableau since the
-    /// last refactorization (see [`REFACTOR_INTERVAL`]).
-    warm_reuse_streak: usize,
+    // Basis representation.
+    pub(crate) factor: BasisFactorization,
+    /// Slot -> column currently basic in that slot.
+    pub(crate) basis: Vec<usize>,
+    pub(crate) status: Vec<VarStatus>,
+    /// Values of the basic variables, indexed by basis slot.
+    pub(crate) x_basic: Vec<f64>,
+
+    // Per-solve working data.
+    pub(crate) lower: Vec<f64>,
+    pub(crate) upper: Vec<f64>,
+    /// True costs of the current phase.
+    pub(crate) cost: Vec<f64>,
+    /// Working (possibly perturbed) costs.
+    work_cost: Vec<f64>,
+    pub(crate) reduced: Vec<f64>,
+    devex: Vec<f64>,
+    pricing_cursor: usize,
+
+    // Dense scratch.
+    /// FTRAN staging/output: the entering column `B⁻¹ a_q` (slot space).
+    pub(crate) col_buf: Vec<f64>,
+    /// BTRAN/right-hand-side staging (row space).
+    pub(crate) row_buf: Vec<f64>,
+    /// The pivot row `ρᵀA` over column space — valid only at the indices in
+    /// [`Self::pivot_touched`] (stamp-guarded sparse accumulator).
+    pub(crate) pivot_row: Vec<f64>,
+    pub(crate) pivot_touched: Vec<usize>,
+    pivot_stamp: Vec<u32>,
+    stamp: u32,
+
+    /// Whether `basis`/`status`/`factor` describe a consistent basis from the
+    /// previous solve (enables free first-child warm starts).
+    basis_valid: bool,
 }
 
 impl LpWorkspace {
-    /// Build a workspace for `model`. The constraint matrix, slack layout and
-    /// objective are extracted once here; variable bounds are supplied per
-    /// [`solve`](Self::solve).
+    /// Build a workspace for `model`. The sparse constraint matrix, logical
+    /// column layout and objective are extracted once here; variable bounds
+    /// are supplied per [`solve`](Self::solve).
     pub fn new(model: &Model) -> Result<Self> {
         model.validate()?;
         let n_struct = model.num_variables();
         let n_rows = model.num_constraints();
+        let core_cols = n_struct + n_rows;
+        let total_cols = core_cols + n_rows;
 
-        let mut slack_count = 0usize;
-        for cons in model.constraints() {
-            if !matches!(cons.sense, Sense::Eq) {
-                slack_count += 1;
-            }
-        }
-        let core_cols = n_struct + slack_count;
-
-        let mut matrix = vec![0.0; n_rows * core_cols];
+        let mut columns: Vec<Vec<(usize, f64)>> = vec![Vec::new(); total_cols];
         let mut core_lower = vec![0.0; core_cols];
         let mut core_upper = vec![0.0; core_cols];
-        let mut slack_cursor = n_struct;
         for (i, cons) in model.constraints().iter().enumerate() {
             for (v, c) in cons.expr.terms() {
-                matrix[i * core_cols + v.index()] = c;
-            }
-            match cons.sense {
-                Sense::Le => {
-                    matrix[i * core_cols + slack_cursor] = 1.0;
-                    core_lower[slack_cursor] = 0.0;
-                    core_upper[slack_cursor] = f64::INFINITY;
-                    slack_cursor += 1;
+                if c != 0.0 {
+                    columns[v.index()].push((i, c));
                 }
-                Sense::Ge => {
-                    matrix[i * core_cols + slack_cursor] = 1.0;
-                    core_lower[slack_cursor] = f64::NEG_INFINITY;
-                    core_upper[slack_cursor] = 0.0;
-                    slack_cursor += 1;
-                }
-                Sense::Eq => {}
             }
+            let logical = n_struct + i;
+            columns[logical].push((i, 1.0));
+            columns[core_cols + i].push((i, 1.0)); // artificial
+            let (lo, up) = match cons.sense {
+                Sense::Le => (0.0, f64::INFINITY),
+                Sense::Ge => (f64::NEG_INFINITY, 0.0),
+                Sense::Eq => (0.0, 0.0),
+            };
+            core_lower[logical] = lo;
+            core_upper[logical] = up;
         }
+        let matrix = SparseMatrix::from_columns(n_rows, &columns);
 
-        let mut objective = vec![0.0; core_cols];
+        let mut objective = vec![0.0; total_cols];
         for (v, c) in model.objective().terms() {
             objective[v.index()] = c;
         }
@@ -213,6 +217,7 @@ impl LpWorkspace {
             n_struct,
             n_rows,
             core_cols,
+            total_cols,
             matrix,
             rhs: model.constraints().iter().map(|c| c.rhs).collect(),
             senses: model.constraints().iter().map(|c| c.sense).collect(),
@@ -220,20 +225,32 @@ impl LpWorkspace {
             core_upper,
             objective,
             objective_constant: model.objective().constant_part(),
-            tab: Vec::new(),
-            cur_cols: 0,
-            rhs_work: Vec::new(),
-            lower: Vec::new(),
-            upper: Vec::new(),
-            status: Vec::new(),
+            factor: BasisFactorization::default(),
             basis: Vec::new(),
-            x_basic: Vec::new(),
-            cost: Vec::new(),
-            values_buf: Vec::new(),
-            scratch: Scratch::default(),
-            tableau_valid: false,
-            warm_reuse_streak: 0,
+            status: vec![VarStatus::AtLower; total_cols],
+            x_basic: vec![0.0; n_rows],
+            lower: vec![0.0; total_cols],
+            upper: vec![0.0; total_cols],
+            cost: vec![0.0; total_cols],
+            work_cost: vec![0.0; total_cols],
+            reduced: vec![0.0; total_cols],
+            devex: vec![1.0; total_cols],
+            pricing_cursor: 0,
+            col_buf: vec![0.0; n_rows],
+            row_buf: vec![0.0; n_rows],
+            pivot_row: vec![0.0; total_cols],
+            pivot_touched: Vec::new(),
+            pivot_stamp: vec![0; total_cols],
+            stamp: 0,
+            basis_valid: false,
         })
+    }
+
+    /// Nonzeros of the stored constraint matrix (structural + logical
+    /// columns; the per-row phase-1 artificials are excluded) — the
+    /// denominator of the LU fill-in health metric.
+    pub fn matrix_nnz(&self) -> usize {
+        self.matrix.nnz() - self.n_rows
     }
 
     /// Solve the LP with the given variable bounds. When `warm` is provided,
@@ -252,24 +269,32 @@ impl LpWorkspace {
         max_iterations: usize,
         deadline: Option<Instant>,
     ) -> Result<LpSolution> {
+        let refac0 = self.factor.refactorization_count();
+        let eta0 = self.factor.eta_update_count();
         // Pivots burned in abandoned warm attempts still count towards the
         // solve's iteration total — the statistics must reflect all work done.
         let mut wasted = 0usize;
-        if let Some(basis) = warm {
-            if let Some(mut solution) =
-                self.try_warm(lower, upper, basis, max_iterations, deadline, &mut wasted)?
-            {
-                solution.iterations += wasted;
-                return Ok(solution);
+        let mut solution = 'solved: {
+            if let Some(basis) = warm {
+                if let Some(mut solution) =
+                    self.try_warm(lower, upper, basis, max_iterations, deadline, &mut wasted)?
+                {
+                    solution.iterations += wasted;
+                    break 'solved solution;
+                }
             }
-        }
-        let mut solution = self.solve_cold(
-            lower,
-            upper,
-            max_iterations.saturating_sub(wasted),
-            deadline,
-        )?;
-        solution.iterations += wasted;
+            let mut solution = self.solve_cold(
+                lower,
+                upper,
+                max_iterations.saturating_sub(wasted),
+                deadline,
+            )?;
+            solution.iterations += wasted;
+            solution
+        };
+        solution.refactorizations = self.factor.refactorization_count() - refac0;
+        solution.eta_updates = self.factor.eta_update_count() - eta0;
+        solution.lu_nnz = self.factor.take_peak_lu_nnz();
         Ok(solution)
     }
 
@@ -278,50 +303,57 @@ impl LpWorkspace {
     /// no reusable basis (the last solve did not end optimal, or an
     /// artificial column is stuck basic at a non-zero value).
     pub fn snapshot_basis(&mut self) -> Option<Basis> {
-        if !self.tableau_valid {
+        if !self.basis_valid {
             return None;
         }
-        let m = self.n_rows;
-        let n = self.cur_cols;
         // Pivot out any artificial column that is still basic (degenerate
-        // equality rows leave them basic at value zero). The replacement is
-        // chosen by pivot magnitude only; any dual infeasibility this
-        // introduces is repaired by the warm path's clean-up phase.
-        for r in 0..m {
-            if self.basis[r] < self.core_cols {
+        // equality rows leave them basic at value zero): a degenerate basis
+        // change to the best-pivot nonbasic core column. Any dual
+        // infeasibility this introduces is repaired by the warm path's
+        // clean-up phase.
+        for slot in 0..self.n_rows {
+            if self.basis[slot] < self.core_cols {
                 continue;
             }
-            if self.x_basic[r].abs() > FEAS_TOL {
+            if self.x_basic[slot].abs() > FEAS_TOL {
+                self.basis_valid = false;
                 return None;
             }
+            self.compute_pivot_row(slot);
             let mut best: Option<(usize, f64)> = None;
-            for j in 0..self.core_cols {
-                if self.status[j].is_basic() {
+            for idx in 0..self.pivot_touched.len() {
+                let j = self.pivot_touched[idx];
+                if j >= self.core_cols || self.status[j].is_basic() {
                     continue;
                 }
-                let a = self.tab[r * n + j].abs();
-                if a > REFACTOR_TOL && best.map(|(_, b)| a > b).unwrap_or(true) {
+                let a = self.pivot_row[j].abs();
+                if a > 1e-8 && best.map(|(_, b)| a > b).unwrap_or(true) {
                     best = Some((j, a));
                 }
             }
-            let (enter, _) = best?;
-            pivot_inplace(
-                &mut self.tab,
-                &mut self.rhs_work,
-                n,
-                m,
-                r,
-                enter,
-                None,
-                &mut self.scratch.pivot_row,
+            let Some((enter_col, _)) = best else {
+                self.basis_valid = false;
+                return None;
+            };
+            self.ftran_column(enter_col);
+            if self.col_buf[slot].abs() < PIVOT_TOL {
+                self.basis_valid = false;
+                return None;
+            }
+            let art = self.basis[slot];
+            let enter_value = nonbasic_value(
+                self.status[enter_col],
+                self.lower[enter_col],
+                self.upper[enter_col],
             );
-            let art = self.basis[r];
-            let enter_value =
-                nonbasic_value(self.status[enter], self.lower[enter], self.upper[enter]);
             self.status[art] = VarStatus::AtLower;
-            self.status[enter] = VarStatus::Basic(r);
-            self.basis[r] = enter;
-            self.x_basic[r] = enter_value;
+            self.status[enter_col] = VarStatus::Basic(slot);
+            self.basis[slot] = enter_col;
+            self.x_basic[slot] = enter_value;
+            if self.update_factor_after_pivot(slot).is_err() {
+                self.basis_valid = false;
+                return None;
+            }
         }
         Some(Basis::new(self.status[..self.core_cols].to_vec()))
     }
@@ -329,14 +361,13 @@ impl LpWorkspace {
     /// Attempt a warm-started solve; `Ok(None)` means "fall back to cold".
     /// Pivots spent on abandoned attempts are accumulated into `wasted`.
     ///
-    /// A first attempt reuses the previous solve's in-place tableau when
-    /// available (a first-child warm start is then nearly free). Any anomaly
-    /// on that reused tableau — singular transition, dual stall, an
-    /// infeasibility certificate, a failed verification — earns one retry
-    /// from a *fresh refactorization* of the pristine matrix before the cold
-    /// fallback, so accumulated pivot drift cannot masquerade as a stale
-    /// basis (and an infeasibility verdict is only ever trusted from a
-    /// freshly refactorized tableau).
+    /// A first attempt reuses the previous solve's factorization when the
+    /// basic sets agree (a first-child warm start then pays nothing). Any
+    /// anomaly on that reused factorization — dual stall, an infeasibility
+    /// certificate, a failed verification, numerical trouble — earns one
+    /// retry from a *fresh* `O(nnz)` refactorization of the sparse matrix
+    /// before the cold fallback (and an infeasibility verdict is only ever
+    /// trusted from a freshly refactorized basis).
     fn try_warm(
         &mut self,
         lower: &[f64],
@@ -349,11 +380,7 @@ impl LpWorkspace {
         if basis.num_columns() != self.core_cols || basis.num_basic() != self.n_rows {
             return Ok(None);
         }
-        // Reusing the previous solve's tableau makes a first-child warm start
-        // nearly free, but every in-place pivot accumulates rounding error;
-        // refactorize from the pristine matrix periodically so drift cannot
-        // chain unboundedly across a long run of warm solves.
-        let mut reuse = self.tableau_valid && self.warm_reuse_streak < REFACTOR_INTERVAL;
+        let mut reuse = self.basis_valid && self.basis_matches(basis);
         loop {
             // One iteration budget spans every attempt (and, via `wasted`,
             // the cold fallback): a node LP cannot overshoot the caller's
@@ -370,6 +397,17 @@ impl LpWorkspace {
         }
     }
 
+    /// Whether the workspace's current basic set equals the snapshot's (no
+    /// artificial may be basic: snapshots only cover the core columns).
+    fn basis_matches(&self, target: &Basis) -> bool {
+        self.basis.iter().all(|&col| col < self.core_cols)
+            && target
+                .statuses()
+                .iter()
+                .zip(&self.status)
+                .all(|(t, s)| t.is_basic() == s.is_basic())
+    }
+
     /// One warm attempt at a fixed `reuse` choice; `Ok(None)` means the
     /// attempt was abandoned (retry refactorized or fall back cold).
     #[allow(clippy::too_many_arguments)]
@@ -377,105 +415,70 @@ impl LpWorkspace {
         &mut self,
         lower: &[f64],
         upper: &[f64],
-        basis: &Basis,
+        target: &Basis,
         max_iterations: usize,
         deadline: Option<Instant>,
         reuse: bool,
         wasted: &mut usize,
     ) -> Result<Option<LpSolution>> {
-        self.tableau_valid = false;
-        if !self.load_basis(basis, reuse) {
-            return Ok(None);
-        }
-        self.warm_reuse_streak = if reuse { self.warm_reuse_streak + 1 } else { 0 };
-        let m = self.n_rows;
-        let n = self.cur_cols;
-
-        // Working bounds: caller's structural bounds, fixed slack bounds,
-        // artificial leftovers pinned to zero.
-        self.lower[..self.n_struct].copy_from_slice(&lower[..self.n_struct]);
-        self.upper[..self.n_struct].copy_from_slice(&upper[..self.n_struct]);
-        self.lower[self.n_struct..self.core_cols]
-            .copy_from_slice(&self.core_lower[self.n_struct..]);
-        self.upper[self.n_struct..self.core_cols]
-            .copy_from_slice(&self.core_upper[self.n_struct..]);
-        for j in self.core_cols..n {
-            self.lower[j] = 0.0;
-            self.upper[j] = 0.0;
-            if !self.status[j].is_basic() {
-                self.status[j] = VarStatus::AtLower;
+        self.basis_valid = false;
+        if !reuse {
+            // Restore the snapshot by refactorizing B straight from the
+            // sparse matrix: O(nnz), no tableau re-pivoting.
+            self.basis.clear();
+            for (j, s) in target.statuses().iter().enumerate() {
+                if s.is_basic() {
+                    self.basis.push(j);
+                }
+            }
+            if !self.factor.refactorize(&self.matrix, &self.basis) {
+                return Ok(None); // singular/stale snapshot: go cold
             }
         }
 
-        // Reconcile nonbasic rest points with the (tightened) bounds.
-        for j in 0..n {
-            if !self.status[j].is_basic() {
-                self.status[j] = reconcile_status(self.status[j], self.lower[j], self.upper[j]);
-            }
-        }
+        self.load_bounds(lower, upper);
 
-        // x_B = B^-1 b - (B^-1 N) x_N, using the maintained B^-1 b column.
-        self.values_buf.resize(n, 0.0);
-        for j in 0..n {
-            self.values_buf[j] = match self.status[j] {
-                VarStatus::Basic(_) => 0.0,
-                s => nonbasic_value(s, self.lower[j], self.upper[j]),
+        // Statuses: nonbasic rest points from the snapshot (reconciled with
+        // the tightened bounds), basic slots from the installed basis,
+        // artificials nonbasic at zero.
+        for (j, s) in target.statuses().iter().enumerate() {
+            self.status[j] = match s {
+                VarStatus::Basic(_) => VarStatus::Basic(usize::MAX), // fixed below
+                s => reconcile_status(*s, self.lower[j], self.upper[j]),
             };
         }
-        self.x_basic.resize(m, 0.0);
-        for i in 0..m {
-            let row = &self.tab[i * n..(i + 1) * n];
-            let dot: f64 = row.iter().zip(&self.values_buf).map(|(a, v)| a * v).sum();
-            self.x_basic[i] = self.rhs_work[i] - dot;
+        for j in self.core_cols..self.total_cols {
+            self.status[j] = VarStatus::AtLower;
+        }
+        for (slot, &col) in self.basis.iter().enumerate() {
+            self.status[col] = VarStatus::Basic(slot);
         }
 
-        // True objective over the current column set.
-        self.cost.resize(n, 0.0);
-        self.cost[..self.core_cols].copy_from_slice(&self.objective);
-        for c in self.cost[self.core_cols..].iter_mut() {
-            *c = 0.0;
-        }
-
-        compute_reduced_costs(
-            &self.tab,
-            &self.basis,
-            &self.cost,
-            n,
-            m,
-            &mut self.scratch.reduced,
-        );
+        self.recompute_x_basic();
+        self.cost.copy_from_slice(&self.objective);
+        self.work_cost.copy_from_slice(&self.cost);
+        self.refresh_reduced();
 
         let mut iterations = 0usize;
         // The dual repair of a single branched bound needs few pivots; a stall
         // beyond this cap means the warm basis is a bad start — fall back.
-        let dual_cap = max_iterations.min(4 * (n + m) + 1000);
-        let dual_status = dual_simplex(
-            &mut self.tab,
-            &mut self.rhs_work,
-            &mut self.x_basic,
-            &mut self.basis,
-            &mut self.status,
-            &self.lower,
-            &self.upper,
-            &mut self.scratch.reduced,
-            self.core_cols,
-            n,
-            m,
-            dual_cap,
-            deadline,
-            &mut iterations,
-            &mut self.scratch.pivot_row,
-        )?;
+        let dual_cap = max_iterations.min(4 * (self.core_cols + self.n_rows) + 1000);
+        let dual_status = match self.dual_simplex(dual_cap, deadline, &mut iterations) {
+            Ok(status) => status,
+            // Numerical trouble on the warm path is never fatal: abandon the
+            // attempt (refactorized retry, then cold).
+            Err(MilpError::NumericalTrouble(_)) => {
+                *wasted += iterations;
+                return Ok(None);
+            }
+            Err(e) => return Err(e),
+        };
         let debug = std::env::var_os("QR_MILP_DEBUG").is_some();
         match dual_status {
             DualStatus::Infeasible => {
-                // The certificate is a tableau row, which pivot drift could
-                // corrupt into a *false* infeasibility — and branch-and-bound
-                // would prune a feasible subtree on it. Unlike an Optimal
-                // claim there is no pristine-row check for "no feasible point
-                // exists", so only trust a certificate read off a tableau
-                // refactorized from the pristine matrix *this* solve; a
-                // reused tableau earns a refactorized retry instead.
+                // An infeasibility certificate prunes a subtree, so only
+                // trust one derived from a basis refactorized this solve; a
+                // reused factorization earns a refactorized retry instead.
                 if reuse {
                     if debug {
                         eprintln!(
@@ -488,7 +491,7 @@ impl LpWorkspace {
                 if debug {
                     eprintln!("[qr-milp] warm: infeasible after {iterations} dual pivots");
                 }
-                self.tableau_valid = true;
+                self.basis_valid = true;
                 let mut sol =
                     LpSolution::without_point(LpStatus::Infeasible, self.n_struct, iterations);
                 sol.warm_started = true;
@@ -506,42 +509,32 @@ impl LpWorkspace {
 
         // Primal clean-up: certify optimality on the true costs (the dual run
         // maintains dual feasibility only up to the Harris tolerance).
-        let status2 = simplex_phase(
-            &mut self.tab,
-            &mut self.rhs_work,
-            &mut self.x_basic,
-            &mut self.basis,
-            &mut self.status,
-            &self.lower,
-            &self.upper,
-            &self.cost,
-            n,
-            m,
-            max_iterations,
-            deadline,
-            &mut iterations,
-            &mut self.scratch,
-        )?;
+        let status2 = match self.primal_phase(max_iterations, deadline, &mut iterations) {
+            Ok(status) => status,
+            Err(MilpError::NumericalTrouble(_)) => {
+                *wasted += iterations;
+                return Ok(None);
+            }
+            Err(e) => return Err(e),
+        };
         if debug {
             eprintln!("[qr-milp] warm: {iterations} pivots, cleanup status {status2:?}");
         }
         match status2 {
             LpStatus::Optimal => {}
             // A child LP of a bounded-optimal parent cannot truly be
-            // unbounded, so this is drift; a stalled clean-up likewise means
-            // the warm trajectory went bad. Either way, abandon the attempt
-            // (refactorized retry, then the cold path with its stronger
-            // anti-cycling machinery) rather than fabricating a point.
+            // unbounded, and a stalled clean-up means the warm trajectory
+            // went bad. Either way, abandon the attempt rather than
+            // fabricating a point.
             _ => {
                 *wasted += iterations;
                 return Ok(None);
             }
         }
 
-        let solution = self.package_optimal(iterations);
-        match solution {
+        match self.package_optimal(iterations) {
             Some(mut sol) => {
-                self.tableau_valid = true;
+                self.basis_valid = true;
                 sol.warm_started = true;
                 Ok(Some(sol))
             }
@@ -555,100 +548,6 @@ impl LpWorkspace {
         }
     }
 
-    /// Re-pivot the tableau so the basic set matches `target`. With
-    /// `reuse == true` the transition starts from the previous solve's
-    /// factorized tableau (cost: one pivot per differing column — zero for a
-    /// first child); otherwise it refactorizes from the raw matrix. Returns
-    /// `false` on a singular/stale basis.
-    fn load_basis(&mut self, target: &Basis, reuse: bool) -> bool {
-        let m = self.n_rows;
-        if !reuse {
-            self.cur_cols = self.core_cols;
-            self.tab.clear();
-            self.tab.extend_from_slice(&self.matrix);
-            self.rhs_work.clear();
-            self.rhs_work.extend_from_slice(&self.rhs);
-            self.basis.clear();
-            self.basis.resize(m, usize::MAX);
-        }
-        let n = self.cur_cols;
-        let core_cols = self.core_cols;
-        self.lower.resize(n, 0.0);
-        self.upper.resize(n, 0.0);
-        self.status.resize(n, VarStatus::AtLower);
-
-        let target_statuses = target.statuses();
-        let in_target = |col: usize| col < core_cols && target_statuses[col].is_basic();
-
-        // Rows whose current basic column is not wanted are free to receive a
-        // target column; every target column not currently basic needs one.
-        // `basis` is the authoritative row map (statuses can be stale here);
-        // mark membership in the reusable values buffer to avoid a per-solve
-        // set allocation.
-        let mut free_rows: Vec<usize> = Vec::new();
-        self.values_buf.clear();
-        self.values_buf.resize(n, 0.0);
-        for r in 0..m {
-            let col = self.basis[r];
-            if col == usize::MAX || !in_target(col) {
-                free_rows.push(r);
-            } else {
-                self.values_buf[col] = 1.0;
-            }
-        }
-        let pending: Vec<usize> = (0..core_cols)
-            .filter(|&j| target_statuses[j].is_basic() && self.values_buf[j] == 0.0)
-            .collect();
-
-        for q in pending {
-            // Partial pivoting: place q in the free row with the largest
-            // pivot magnitude.
-            let mut best: Option<(usize, usize, f64)> = None; // (slot, row, |pivot|)
-            for (slot, &r) in free_rows.iter().enumerate() {
-                let a = self.tab[r * n + q].abs();
-                if a > REFACTOR_TOL && best.map(|(_, _, b)| a > b).unwrap_or(true) {
-                    best = Some((slot, r, a));
-                }
-            }
-            let Some((slot, r, _)) = best else {
-                return false; // singular or stale basis
-            };
-            pivot_inplace(
-                &mut self.tab,
-                &mut self.rhs_work,
-                n,
-                m,
-                r,
-                q,
-                None,
-                &mut self.scratch.pivot_row,
-            );
-            self.basis[r] = q;
-            free_rows.swap_remove(slot);
-        }
-
-        // Final statuses: basic from the (re-derived) row map, nonbasic from
-        // the snapshot's recorded bound side.
-        for (j, status) in self.status.iter_mut().enumerate() {
-            *status = if j < core_cols {
-                match target_statuses[j] {
-                    VarStatus::Basic(_) => VarStatus::Basic(usize::MAX), // fixed below
-                    s => s,
-                }
-            } else {
-                VarStatus::AtLower
-            };
-        }
-        for r in 0..m {
-            let col = self.basis[r];
-            if col == usize::MAX || !in_target(col) {
-                return false; // a row was left without a target column
-            }
-            self.status[col] = VarStatus::Basic(r);
-        }
-        true
-    }
-
     /// Cold two-phase solve from a crash basis.
     fn solve_cold(
         &mut self,
@@ -657,220 +556,148 @@ impl LpWorkspace {
         max_iterations: usize,
         deadline: Option<Instant>,
     ) -> Result<LpSolution> {
-        self.tableau_valid = false;
-        self.warm_reuse_streak = 0;
+        self.basis_valid = false;
         let m = self.n_rows;
+        let debug = std::env::var_os("QR_MILP_DEBUG").is_some();
 
-        // Working bounds over the core columns.
-        self.lower.clear();
-        self.lower.extend_from_slice(&lower[..self.n_struct]);
-        self.lower
-            .extend_from_slice(&self.core_lower[self.n_struct..]);
-        self.upper.clear();
-        self.upper.extend_from_slice(&upper[..self.n_struct]);
-        self.upper
-            .extend_from_slice(&self.core_upper[self.n_struct..]);
+        // (The crash below re-frees the artificials phase 1 needs.)
+        self.load_bounds(lower, upper);
 
-        // Initial nonbasic statuses and values for the core columns.
-        self.status.clear();
-        for j in 0..self.core_cols {
-            self.status
-                .push(initial_status(self.lower[j], self.upper[j]));
+        // Initial nonbasic statuses and the crash residuals.
+        for j in 0..self.n_struct {
+            self.status[j] = initial_status(self.lower[j], self.upper[j]);
         }
-        self.values_buf.resize(self.core_cols, 0.0);
-        for j in 0..self.core_cols {
-            self.values_buf[j] = nonbasic_value(self.status[j], self.lower[j], self.upper[j]);
+        self.row_buf[..m].copy_from_slice(&self.rhs);
+        for j in 0..self.n_struct {
+            let v = nonbasic_value(self.status[j], self.lower[j], self.upper[j]);
+            if v != 0.0 {
+                self.matrix.scatter_column(j, -v, &mut self.row_buf);
+            }
         }
 
-        // Crash plan: per row, the slack absorbs the residual when its bounds
-        // allow; otherwise an artificial column carries it through phase 1.
-        let mut plans: Vec<CrashPlan> = Vec::with_capacity(m);
-        let mut slack_cursor = self.n_struct;
+        // Crash plan: per row, the logical absorbs the residual when its
+        // bounds allow; otherwise the row's artificial column is freed on
+        // the residual's side, given a ±1 phase-1 cost, and made basic.
+        self.basis.clear();
+        self.cost.iter_mut().for_each(|c| *c = 0.0);
         let mut n_art = 0usize;
         for i in 0..m {
-            let mut residual = self.rhs[i];
-            let row = &self.matrix[i * self.core_cols..i * self.core_cols + self.n_struct];
-            for (a, v) in row.iter().zip(&self.values_buf) {
-                residual -= a * v;
-            }
-            let slack = match self.senses[i] {
-                Sense::Eq => None,
-                _ => {
-                    let col = slack_cursor;
-                    slack_cursor += 1;
-                    Some(col)
-                }
-            };
-            let slack_feasible = slack
-                .map(|col| {
-                    residual >= self.core_lower[col] - 1e-12
-                        && residual <= self.core_upper[col] + 1e-12
-                })
-                .unwrap_or(false);
-            if slack_feasible {
-                plans.push(CrashPlan::Slack {
-                    col: slack.expect("slack-feasible row has a slack"),
-                    residual,
-                });
+            let logical = self.n_struct + i;
+            let artificial = self.core_cols + i;
+            let residual = self.row_buf[i];
+            let logical_feasible =
+                residual >= self.lower[logical] - 1e-12 && residual <= self.upper[logical] + 1e-12;
+            self.status[artificial] = VarStatus::AtLower;
+            if logical_feasible {
+                self.basis.push(logical);
+                self.status[logical] = VarStatus::Basic(i);
             } else {
-                plans.push(CrashPlan::Artificial {
-                    col: self.core_cols + n_art,
-                    residual,
-                });
+                // The logical rests at zero (a true bound of all three row
+                // kinds) while the artificial carries the residual.
+                self.status[logical] = if self.upper[logical] == 0.0 && self.lower[logical] != 0.0 {
+                    VarStatus::AtUpper
+                } else {
+                    VarStatus::AtLower
+                };
+                if residual >= 0.0 {
+                    self.upper[artificial] = f64::INFINITY;
+                    self.cost[artificial] = 1.0;
+                } else {
+                    self.lower[artificial] = f64::NEG_INFINITY;
+                    self.cost[artificial] = -1.0;
+                }
+                self.basis.push(artificial);
+                self.status[artificial] = VarStatus::Basic(i);
                 n_art += 1;
             }
-        }
-        let n = self.core_cols + n_art;
-        self.cur_cols = n;
-
-        // Tableau: the core matrix re-strided, plus artificial unit entries.
-        self.tab.clear();
-        self.tab.resize(m * n, 0.0);
-        for i in 0..m {
-            self.tab[i * n..i * n + self.core_cols]
-                .copy_from_slice(&self.matrix[i * self.core_cols..(i + 1) * self.core_cols]);
-        }
-        self.rhs_work.clear();
-        self.rhs_work.extend_from_slice(&self.rhs);
-
-        self.lower.resize(n, 0.0);
-        self.upper.resize(n, 0.0);
-        self.status.resize(n, VarStatus::AtLower);
-        self.cost.clear();
-        self.cost.resize(n, 0.0);
-        self.basis.clear();
-        self.basis.resize(m, 0);
-        self.x_basic.clear();
-        self.x_basic.resize(m, 0.0);
-
-        for (i, plan) in plans.iter().enumerate() {
-            let (col, residual) = match *plan {
-                CrashPlan::Slack { col, residual } => (col, residual),
-                CrashPlan::Artificial { col, residual } => {
-                    self.tab[i * n + col] = 1.0;
-                    if residual >= 0.0 {
-                        self.lower[col] = 0.0;
-                        self.upper[col] = f64::INFINITY;
-                        self.cost[col] = 1.0;
-                    } else {
-                        self.lower[col] = f64::NEG_INFINITY;
-                        self.upper[col] = 0.0;
-                        self.cost[col] = -1.0;
-                    }
-                    (col, residual)
-                }
-            };
-            self.basis[i] = col;
-            self.status[col] = VarStatus::Basic(i);
             self.x_basic[i] = residual;
+        }
+        if !self.factor.refactorize(&self.matrix, &self.basis) {
+            // Cannot happen: the crash basis is a signed permutation of I.
+            return Err(MilpError::NumericalTrouble(
+                "crash basis failed to factorize".into(),
+            ));
         }
 
         let mut iterations = 0usize;
+        if n_art > 0 {
+            // Phase 1: minimise total artificial magnitude (cost is ±1 on
+            // the freed artificials, zero elsewhere — already in `cost`).
+            let status1 = self.primal_phase(max_iterations, deadline, &mut iterations)?;
+            if debug {
+                eprintln!(
+                    "[qr-milp] phase1: {iterations} iters, status {status1:?}, {n_art} artificials"
+                );
+            }
+            // Phase 1's objective (total infeasibility) is bounded below by
+            // zero, so `Unbounded` can only be numerical noise — treat both
+            // non-optimal outcomes as an unreliable solve.
+            if status1 != LpStatus::Optimal {
+                return Ok(LpSolution::without_point(
+                    LpStatus::IterationLimit,
+                    self.n_struct,
+                    iterations,
+                ));
+            }
 
-        // Phase 1: minimise total artificial magnitude (cost is ±1 on
-        // artificials, zero elsewhere — already in `self.cost`).
-        let status1 = simplex_phase(
-            &mut self.tab,
-            &mut self.rhs_work,
-            &mut self.x_basic,
-            &mut self.basis,
-            &mut self.status,
-            &self.lower,
-            &self.upper,
-            &self.cost,
-            n,
-            m,
-            max_iterations,
-            deadline,
-            &mut iterations,
-            &mut self.scratch,
-        )?;
-        if std::env::var_os("QR_MILP_DEBUG").is_some() {
-            eprintln!("[qr-milp] phase1: {iterations} iters, status {status1:?}");
-        }
-        if status1 == LpStatus::IterationLimit {
-            return Ok(LpSolution::without_point(
-                LpStatus::IterationLimit,
-                self.n_struct,
-                iterations,
-            ));
-        }
-        let phase1_obj: f64 = (0..n)
-            .map(|j| {
-                self.cost[j]
-                    * column_value(j, &self.status, &self.x_basic, &self.lower, &self.upper)
-            })
-            .sum();
-        // Judge phase-1 success by re-checking the point against the pristine
-        // rows, not only by the (drift-prone) artificial total: a corrupted
-        // "feasible" claim must not reach phase 2, and a clean point whose
-        // artificial total merely drifted must not be declared infeasible.
-        let phase1_point: Vec<f64> = (0..self.n_struct)
-            .map(|j| column_value(j, &self.status, &self.x_basic, &self.lower, &self.upper))
-            .collect();
-        if !self.verify(&phase1_point) {
-            let status = if phase1_obj > 1e-6 {
-                LpStatus::Infeasible
-            } else {
-                LpStatus::IterationLimit
-            };
-            return Ok(LpSolution::without_point(status, self.n_struct, iterations));
-        }
-        if phase1_obj > 1e-6 {
-            // The structural point satisfies the rows, yet a basic artificial
-            // still carries a material value: the tableau has drifted. Phase 2
-            // would run against clamped-to-zero artificial bounds that its
-            // basis violates, and its "optimal" objective could over-prune in
-            // branch-and-bound. Report the solve as unreliable instead.
-            return Ok(LpSolution::without_point(
-                LpStatus::IterationLimit,
-                self.n_struct,
-                iterations,
-            ));
-        }
+            // Judge feasibility on exact arithmetic: refactorize and
+            // recompute the basic values from the pristine matrix, then
+            // measure the leftover artificial magnitude.
+            if !self.factor.refactorize(&self.matrix, &self.basis) {
+                return Ok(LpSolution::without_point(
+                    LpStatus::IterationLimit,
+                    self.n_struct,
+                    iterations,
+                ));
+            }
+            self.recompute_x_basic();
+            let mut phase1_obj = 0.0f64;
+            for i in 0..m {
+                if self.basis[i] >= self.core_cols {
+                    phase1_obj += self.x_basic[i].abs();
+                }
+            }
+            for j in self.core_cols..self.total_cols {
+                if !self.status[j].is_basic() {
+                    phase1_obj +=
+                        nonbasic_value(self.status[j], self.lower[j], self.upper[j]).abs();
+                }
+            }
+            if phase1_obj > 1e-6 {
+                return Ok(LpSolution::without_point(
+                    LpStatus::Infeasible,
+                    self.n_struct,
+                    iterations,
+                ));
+            }
 
-        // Fix artificials to zero for phase 2 so they can never re-enter with
-        // a non-zero value.
-        for art in self.core_cols..n {
-            self.lower[art] = 0.0;
-            self.upper[art] = 0.0;
-            if !self.status[art].is_basic() {
-                self.status[art] = VarStatus::AtLower;
+            // Fix artificials back to zero for phase 2 so they can never
+            // re-enter with a non-zero value.
+            for j in self.core_cols..self.total_cols {
+                self.lower[j] = 0.0;
+                self.upper[j] = 0.0;
+                if !self.status[j].is_basic() {
+                    self.status[j] = VarStatus::AtLower;
+                }
             }
         }
 
         // Phase 2: minimise the true objective.
-        self.cost[..self.core_cols].copy_from_slice(&self.objective);
-        for c in self.cost[self.core_cols..].iter_mut() {
-            *c = 0.0;
+        self.cost.copy_from_slice(&self.objective);
+        let status2 = self.primal_phase(max_iterations, deadline, &mut iterations)?;
+        if debug {
+            eprintln!("[qr-milp] phase2: {iterations} iters total, status {status2:?}");
         }
-        let status2 = simplex_phase(
-            &mut self.tab,
-            &mut self.rhs_work,
-            &mut self.x_basic,
-            &mut self.basis,
-            &mut self.status,
-            &self.lower,
-            &self.upper,
-            &self.cost,
-            n,
-            m,
-            max_iterations,
-            deadline,
-            &mut iterations,
-            &mut self.scratch,
-        )?;
 
         match status2 {
             LpStatus::Optimal => match self.package_optimal(iterations) {
                 Some(sol) => {
-                    self.tableau_valid = true;
+                    self.basis_valid = true;
                     Ok(sol)
                 }
-                // Long degenerate stalls can corrupt the in-place tableau. An
-                // "optimal" point that does not actually satisfy the model is
-                // downgraded to the unreliable status so branch-and-bound
-                // never builds an incumbent from it.
+                // An "optimal" point that does not actually satisfy the model
+                // is numerical drift; downgrade to the unreliable status so
+                // branch-and-bound never builds an incumbent from it.
                 None => Ok(LpSolution::without_point(
                     LpStatus::IterationLimit,
                     self.n_struct,
@@ -882,12 +709,7 @@ impl LpWorkspace {
                 // (callers treat it as advisory only — branch-and-bound
                 // ignores iteration-limited values and only the root handles
                 // Unbounded).
-                let mut values = vec![0.0; self.n_struct];
-                #[allow(clippy::needless_range_loop)]
-                for j in 0..self.n_struct {
-                    values[j] =
-                        column_value(j, &self.status, &self.x_basic, &self.lower, &self.upper);
-                }
+                let values = self.current_structural_values();
                 let objective = self.objective_constant
                     + (0..self.n_struct)
                         .map(|j| self.objective[j] * values[j])
@@ -898,20 +720,148 @@ impl LpWorkspace {
                     values,
                     iterations,
                     warm_started: false,
+                    refactorizations: 0,
+                    eta_updates: 0,
+                    lu_nnz: 0,
                 })
             }
         }
+    }
+
+    // --- Revised-simplex linear algebra helpers. ---
+
+    /// Install the working bounds for a solve: the caller's structural
+    /// bounds, the fixed logical bounds, and artificials pinned at zero.
+    fn load_bounds(&mut self, lower: &[f64], upper: &[f64]) {
+        self.lower[..self.n_struct].copy_from_slice(&lower[..self.n_struct]);
+        self.upper[..self.n_struct].copy_from_slice(&upper[..self.n_struct]);
+        self.lower[self.n_struct..self.core_cols]
+            .copy_from_slice(&self.core_lower[self.n_struct..]);
+        self.upper[self.n_struct..self.core_cols]
+            .copy_from_slice(&self.core_upper[self.n_struct..]);
+        self.lower[self.core_cols..].fill(0.0);
+        self.upper[self.core_cols..].fill(0.0);
+    }
+
+    /// `col_buf = B⁻¹ a_col` (FTRAN of a matrix column).
+    pub(crate) fn ftran_column(&mut self, col: usize) {
+        self.col_buf[..self.n_rows].fill(0.0);
+        self.matrix.scatter_column(col, 1.0, &mut self.col_buf);
+        self.factor.ftran(&mut self.col_buf);
+    }
+
+    /// Compute the pivot row `ρᵀA` for basis slot `r` (`ρ = B⁻ᵀ e_r`) into
+    /// the stamped sparse accumulator [`Self::pivot_row`]/[`Self::pivot_touched`]:
+    /// one BTRAN, then a pass over the CSR rows where `ρ` is nonzero.
+    pub(crate) fn compute_pivot_row(&mut self, r: usize) {
+        let m = self.n_rows;
+        self.row_buf[..m].fill(0.0);
+        self.row_buf[r] = 1.0;
+        self.factor.btran(&mut self.row_buf);
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            self.pivot_stamp.iter_mut().for_each(|s| *s = 0);
+            self.stamp = 1;
+        }
+        let stamp = self.stamp;
+        self.pivot_touched.clear();
+        for i in 0..m {
+            let rho = self.row_buf[i];
+            if rho == 0.0 {
+                continue;
+            }
+            let (cols, vals) = self.matrix.row(i);
+            for (&j, &a) in cols.iter().zip(vals) {
+                if self.pivot_stamp[j] != stamp {
+                    self.pivot_stamp[j] = stamp;
+                    self.pivot_row[j] = 0.0;
+                    self.pivot_touched.push(j);
+                }
+                self.pivot_row[j] += rho * a;
+            }
+        }
+    }
+
+    /// Recompute the basic values exactly: `x_B = B⁻¹ (b - N x_N)`.
+    pub(crate) fn recompute_x_basic(&mut self) {
+        let m = self.n_rows;
+        self.row_buf[..m].copy_from_slice(&self.rhs);
+        for j in 0..self.total_cols {
+            if self.status[j].is_basic() {
+                continue;
+            }
+            let v = nonbasic_value(self.status[j], self.lower[j], self.upper[j]);
+            if v != 0.0 && v.is_finite() {
+                self.matrix.scatter_column(j, -v, &mut self.row_buf);
+            }
+        }
+        self.factor.ftran(&mut self.row_buf);
+        self.x_basic[..m].copy_from_slice(&self.row_buf[..m]);
+    }
+
+    /// Recompute every reduced cost from the working costs: one BTRAN of the
+    /// basic costs, then a pass over the CSR rows where the dual vector is
+    /// nonzero.
+    pub(crate) fn refresh_reduced(&mut self) {
+        let m = self.n_rows;
+        for i in 0..m {
+            self.row_buf[i] = self.work_cost[self.basis[i]];
+        }
+        self.factor.btran(&mut self.row_buf);
+        self.reduced.copy_from_slice(&self.work_cost);
+        for i in 0..m {
+            let y = self.row_buf[i];
+            if y == 0.0 {
+                continue;
+            }
+            let (cols, vals) = self.matrix.row(i);
+            for (&j, &a) in cols.iter().zip(vals) {
+                self.reduced[j] -= y * a;
+            }
+        }
+        for i in 0..m {
+            self.reduced[self.basis[i]] = 0.0;
+        }
+    }
+
+    /// Record a completed basis change (slot `r` now holds a new column whose
+    /// FTRAN image is in `col_buf`) with the factorization: a product-form
+    /// eta when stable, otherwise a fresh refactorization — the
+    /// stability-triggered policy that replaced the fixed 64-reuse cadence.
+    /// A refactorization also recomputes the basic values exactly.
+    pub(crate) fn update_factor_after_pivot(&mut self, r: usize) -> Result<()> {
+        match self.factor.update(r, &self.col_buf) {
+            EtaUpdate::Applied => Ok(()),
+            EtaUpdate::Refactor => {
+                if !self.factor.refactorize(&self.matrix, &self.basis) {
+                    return Err(MilpError::NumericalTrouble(
+                        "basis became singular during refactorization".into(),
+                    ));
+                }
+                self.recompute_x_basic();
+                Ok(())
+            }
+        }
+    }
+
+    /// Structural variable values at the current basis point.
+    fn current_structural_values(&self) -> Vec<f64> {
+        let mut values = vec![0.0; self.n_struct];
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..self.n_struct {
+            values[j] = match self.status[j] {
+                VarStatus::Basic(slot) => self.x_basic[slot],
+                s => nonbasic_value(s, self.lower[j], self.upper[j]),
+            };
+        }
+        values
     }
 
     /// Extract and verify the optimal point from the current workspace state.
     /// Returns `None` when the point fails verification against the pristine
     /// rows (numerical drift).
     fn package_optimal(&mut self, iterations: usize) -> Option<LpSolution> {
-        let mut values = vec![0.0; self.n_struct];
-        #[allow(clippy::needless_range_loop)]
-        for j in 0..self.n_struct {
-            values[j] = column_value(j, &self.status, &self.x_basic, &self.lower, &self.upper);
-        }
+        let values = self.current_structural_values();
         if !self.verify(&values) {
             return None;
         }
@@ -925,13 +875,16 @@ impl LpWorkspace {
             values,
             iterations,
             warm_started: false,
+            refactorizations: 0,
+            eta_updates: 0,
+            lu_nnz: 0,
         })
     }
 
-    /// Check a candidate point against the original (un-pivoted) rows and
-    /// bounds within a scaled tolerance. Guards against numerical drift in
-    /// the pivoted tableau — the solution reported to callers must satisfy
-    /// the *model*, not the tableau's opinion of it.
+    /// Check a candidate point against the original rows and bounds within a
+    /// scaled tolerance. Guards against numerical drift — the solution
+    /// reported to callers must satisfy the *model*, not the factorization's
+    /// opinion of it.
     fn verify(&self, values: &[f64]) -> bool {
         for (j, &v) in values.iter().enumerate().take(self.n_struct) {
             if v < self.lower[j] - 1e-6 || v > self.upper[j] + 1e-6 {
@@ -939,8 +892,13 @@ impl LpWorkspace {
             }
         }
         for i in 0..self.n_rows {
-            let row = &self.matrix[i * self.core_cols..i * self.core_cols + self.n_struct];
-            let activity: f64 = row.iter().zip(values).map(|(a, v)| a * v).sum();
+            let (cols, vals) = self.matrix.row(i);
+            let activity: f64 = cols
+                .iter()
+                .zip(vals)
+                .filter(|&(&j, _)| j < self.n_struct)
+                .map(|(&j, &a)| a * values[j])
+                .sum();
             let tol = 1e-5 * (1.0 + self.rhs[i].abs());
             let ok = match self.senses[i] {
                 Sense::Le => activity <= self.rhs[i] + tol,
@@ -952,6 +910,341 @@ impl LpWorkspace {
             }
         }
         true
+    }
+
+    /// Run one primal simplex phase to optimality w.r.t. `self.cost`,
+    /// mutating the basis, statuses and factorization in place.
+    ///
+    /// Pricing is partial devex: a rotating window over the column range is
+    /// scanned per pivot, with reduced costs maintained through the pivot row
+    /// (BTRAN + one CSR pass — the dense tableau's `O(m·n)` elimination is
+    /// gone). Degenerate stalls trigger, in escalating order: randomised
+    /// pricing, cost perturbation (tiny status-aligned shifts, removed before
+    /// returning `Optimal`), and Bland's rule. The old 5000-pivot stall
+    /// bailout is retired: it existed to stop long in-place pivot runs from
+    /// corrupting the dense tableau, and the factorized path refactorizes
+    /// instead of accumulating that corruption.
+    fn primal_phase(
+        &mut self,
+        max_iterations: usize,
+        deadline: Option<Instant>,
+        iterations: &mut usize,
+    ) -> Result<LpStatus> {
+        let n = self.total_cols;
+        let m = self.n_rows;
+        self.work_cost.copy_from_slice(&self.cost);
+        self.refresh_reduced();
+        let bland_threshold = 20 * (n + m) + 2000;
+        let mut phase_iters = 0usize;
+        // Anti-cycling ladder (see the phase docs): randomised pricing first,
+        // then cost perturbation, then Bland.
+        let mut degenerate_streak = 0usize;
+        let mut perturbed = false;
+        let mut perturbation_rounds = 0usize;
+        let mut rng_state: u64 = 0x9E37_79B9_7F4A_7C15;
+        // Devex reference weights (Forrest–Goldfarb, simplified): pricing by
+        // d_j^2 / w_j approximates steepest-edge at a fraction of its cost.
+        self.devex.iter_mut().for_each(|w| *w = 1.0);
+
+        loop {
+            if *iterations >= max_iterations {
+                return Ok(LpStatus::IterationLimit);
+            }
+            // Checking the clock every pivot would be noticeable on small
+            // LPs; every 64 pivots bounds the overshoot well under a
+            // millisecond.
+            if (*iterations).is_multiple_of(64) {
+                if let Some(deadline) = deadline {
+                    if Instant::now() > deadline {
+                        return Ok(LpStatus::IterationLimit);
+                    }
+                }
+            }
+            *iterations += 1;
+            phase_iters += 1;
+            let use_bland = phase_iters > bland_threshold
+                || (degenerate_streak > 150 && perturbation_rounds >= 2);
+            let randomize = !use_bland && degenerate_streak > 8;
+
+            // Cost perturbation: after a sustained stall, shift every
+            // nonbasic column's cost away from its bound by a tiny
+            // pseudo-random amount. The statuses stay dual-consistent (the
+            // shift only *grows* each reduced cost's distance from the
+            // improving side), but exact ties — the fuel of degenerate
+            // cycling — are broken. Removed before returning `Optimal`.
+            if !perturbed && degenerate_streak > 48 && perturbation_rounds < 2 {
+                for j in 0..n {
+                    let sign = match self.status[j] {
+                        VarStatus::AtLower => 1.0,
+                        VarStatus::AtUpper => -1.0,
+                        _ => continue,
+                    };
+                    rng_state ^= rng_state << 13;
+                    rng_state ^= rng_state >> 7;
+                    rng_state ^= rng_state << 17;
+                    let unit = (rng_state >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+                    let eps = sign * (0.5 + unit) * 1e-7 * (1.0 + self.cost[j].abs());
+                    self.work_cost[j] += eps;
+                    self.reduced[j] += eps;
+                }
+                perturbed = true;
+                perturbation_rounds += 1;
+                degenerate_streak = 0;
+                if std::env::var_os("QR_MILP_DEBUG").is_some() {
+                    eprintln!(
+                        "[qr-milp]   iter {phase_iters}: cost perturbation round {perturbation_rounds}"
+                    );
+                }
+            }
+
+            // --- Pricing: pick an entering column and a direction. ---
+            let entering = if use_bland {
+                let mut found = None;
+                for j in 0..n {
+                    if let Some((dir, _)) = self.price_column(j) {
+                        found = Some((j, dir, 0.0));
+                        break;
+                    }
+                }
+                found
+            } else if randomize {
+                // Reservoir-sample one improving column uniformly.
+                let mut found: Option<(usize, f64, f64)> = None;
+                let mut improving_count = 0usize;
+                for j in 0..n {
+                    let Some((dir, score)) = self.price_column(j) else {
+                        continue;
+                    };
+                    improving_count += 1;
+                    rng_state ^= rng_state << 13;
+                    rng_state ^= rng_state >> 7;
+                    rng_state ^= rng_state << 17;
+                    if found.is_none() || rng_state.is_multiple_of(improving_count as u64) {
+                        found = Some((j, dir, score));
+                    }
+                }
+                found
+            } else {
+                // Partial devex pricing: scan rotating windows until one
+                // holds an improving column, then take the best of that
+                // window; a full fruitless wrap proves optimality.
+                let mut found: Option<(usize, f64, f64)> = None;
+                let mut scanned = 0usize;
+                let mut pos = self.pricing_cursor.min(n.saturating_sub(1));
+                while scanned < n {
+                    let j = pos;
+                    pos += 1;
+                    if pos == n {
+                        pos = 0;
+                    }
+                    scanned += 1;
+                    if let Some((dir, score)) = self.price_column(j) {
+                        if found.map(|(_, _, s)| score > s).unwrap_or(true) {
+                            found = Some((j, dir, score));
+                        }
+                    }
+                    if found.is_some() && scanned.is_multiple_of(PRICING_WINDOW) {
+                        break;
+                    }
+                }
+                self.pricing_cursor = pos;
+                found
+            };
+
+            let Some((enter_col, direction, _)) = entering else {
+                if perturbed {
+                    // Optimal for the perturbed costs: remove the shift and
+                    // keep pivoting on the true costs (usually zero or a
+                    // handful of pivots remain).
+                    self.work_cost.copy_from_slice(&self.cost);
+                    self.refresh_reduced();
+                    perturbed = false;
+                    degenerate_streak = 0;
+                    continue;
+                }
+                return Ok(LpStatus::Optimal);
+            };
+
+            // --- Ratio test over the FTRANed entering column. ---
+            // The entering variable moves away from its bound by `t >= 0` in
+            // `direction`; basic variables change by
+            // `-direction * t * col_buf[i]`.
+            self.ftran_column(enter_col);
+            let own_range = self.upper[enter_col] - self.lower[enter_col];
+            let mut best_t = if own_range.is_finite() {
+                own_range
+            } else {
+                f64::INFINITY
+            };
+            let mut leaving: Option<(usize, bool)> = None; // (slot, leaves_at_upper)
+            let mut best_pivot_mag = 0.0f64;
+            for i in 0..m {
+                let alpha = direction * self.col_buf[i];
+                let candidate = if alpha > PIVOT_TOL {
+                    // Basic variable decreases towards its lower bound.
+                    let lo = self.lower[self.basis[i]];
+                    lo.is_finite()
+                        .then(|| ((self.x_basic[i] - lo) / alpha, (i, false)))
+                } else if alpha < -PIVOT_TOL {
+                    // Basic variable increases towards its upper bound.
+                    let up = self.upper[self.basis[i]];
+                    up.is_finite()
+                        .then(|| ((up - self.x_basic[i]) / (-alpha), (i, true)))
+                } else {
+                    None
+                };
+                let Some((t, which)) = candidate else {
+                    continue;
+                };
+                let t = t.max(0.0);
+                // Strictly smaller step wins; among (near-)ties prefer the
+                // larger pivot element for numerical stability (or the
+                // smallest leaving index under Bland).
+                let is_tie = (t - best_t).abs() <= 1e-12;
+                let better = if t < best_t - 1e-12 {
+                    true
+                } else if is_tie {
+                    if use_bland {
+                        leaving.is_none_or(|(slot, _)| self.basis[i] < self.basis[slot])
+                    } else {
+                        alpha.abs() > best_pivot_mag
+                    }
+                } else {
+                    false
+                };
+                if better {
+                    best_t = t;
+                    best_pivot_mag = alpha.abs();
+                    leaving = Some(which);
+                }
+            }
+
+            if best_t.is_infinite() {
+                return Ok(LpStatus::Unbounded);
+            }
+            if best_t <= 1e-12 {
+                degenerate_streak += 1;
+            } else {
+                degenerate_streak = 0;
+            }
+
+            // --- Update basic values. ---
+            for i in 0..m {
+                self.x_basic[i] -= direction * best_t * self.col_buf[i];
+            }
+
+            match leaving {
+                None => {
+                    // Bound flip: the entering column moves to its opposite
+                    // bound; the basis (and factorization) are unchanged.
+                    self.status[enter_col] = match self.status[enter_col] {
+                        VarStatus::AtLower => VarStatus::AtUpper,
+                        VarStatus::AtUpper => VarStatus::AtLower,
+                        other => other,
+                    };
+                }
+                Some((leave_slot, leaves_at_upper)) => {
+                    let leave_col = self.basis[leave_slot];
+                    let enter_from = nonbasic_value(
+                        self.status[enter_col],
+                        self.lower[enter_col],
+                        self.upper[enter_col],
+                    );
+                    let enter_value = enter_from + direction * best_t;
+                    let alpha_rq = self.col_buf[leave_slot];
+                    if alpha_rq.abs() < PIVOT_TOL {
+                        return Err(MilpError::NumericalTrouble(format!(
+                            "pivot element too small ({alpha_rq:.3e})"
+                        )));
+                    }
+
+                    // Pivot row (w.r.t. the *current* factorization), used to
+                    // maintain reduced costs and devex weights.
+                    self.compute_pivot_row(leave_slot);
+                    let d_q = self.reduced[enter_col];
+                    let ratio = d_q / alpha_rq;
+                    let gamma = self.devex[enter_col].max(1.0);
+                    for idx in 0..self.pivot_touched.len() {
+                        let j = self.pivot_touched[idx];
+                        let a = self.pivot_row[j];
+                        if ratio != 0.0 {
+                            self.reduced[j] -= ratio * a;
+                        }
+                        // Devex update over the scaled pivot row; the leaving
+                        // column inherits the entering column's reference
+                        // weight through the pivot element.
+                        let p = a / alpha_rq;
+                        let candidate = p * p * gamma;
+                        if candidate > self.devex[j] {
+                            self.devex[j] = candidate;
+                        }
+                    }
+                    self.reduced[enter_col] = 0.0;
+                    self.devex[leave_col] = (gamma / (alpha_rq * alpha_rq)).max(1.0);
+                    self.devex[enter_col] = 1.0;
+                    if self.devex.iter().any(|&w| w > 1e8) {
+                        // Reference framework reset keeps weights meaningful.
+                        self.devex.iter_mut().for_each(|w| *w = 1.0);
+                    }
+
+                    self.status[leave_col] = if leaves_at_upper {
+                        VarStatus::AtUpper
+                    } else {
+                        VarStatus::AtLower
+                    };
+                    self.status[enter_col] = VarStatus::Basic(leave_slot);
+                    self.basis[leave_slot] = enter_col;
+                    self.x_basic[leave_slot] = enter_value;
+                    self.update_factor_after_pivot(leave_slot)?;
+                }
+            }
+
+            // Periodically refresh reduced costs to limit drift.
+            if phase_iters.is_multiple_of(256) {
+                self.refresh_reduced();
+                if phase_iters.is_multiple_of(2048) && std::env::var_os("QR_MILP_DEBUG").is_some() {
+                    let obj: f64 = (0..n)
+                        .map(|j| {
+                            let v = match self.status[j] {
+                                VarStatus::Basic(slot) => self.x_basic[slot],
+                                s => nonbasic_value(s, self.lower[j], self.upper[j]),
+                            };
+                            self.cost[j] * v
+                        })
+                        .sum();
+                    eprintln!(
+                        "[qr-milp]   iter {phase_iters}: obj {obj:.6}, degenerate streak {degenerate_streak}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Devex pricing of one column: `Some((direction, score))` when entering
+    /// it (in that direction) improves the working objective.
+    #[inline]
+    fn price_column(&self, j: usize) -> Option<(f64, f64)> {
+        // A fixed column cannot move; pricing it only buys degenerate
+        // bound-flip churn.
+        if self.lower[j] >= self.upper[j] && !self.status[j].is_basic() {
+            return None;
+        }
+        let d = self.reduced[j];
+        let (dir, improving) = match self.status[j] {
+            VarStatus::Basic(_) => return None,
+            VarStatus::AtLower => (1.0, d < -COST_TOL),
+            VarStatus::AtUpper => (-1.0, d > COST_TOL),
+            VarStatus::Free => {
+                if d < -COST_TOL {
+                    (1.0, true)
+                } else if d > COST_TOL {
+                    (-1.0, true)
+                } else {
+                    (1.0, false)
+                }
+            }
+        };
+        improving.then(|| (dir, d * d / self.devex[j]))
     }
 }
 
@@ -986,407 +1279,6 @@ pub(crate) fn nonbasic_value(status: VarStatus, lower: f64, upper: f64) -> f64 {
     }
 }
 
-fn column_value(
-    col: usize,
-    status: &[VarStatus],
-    x_basic: &[f64],
-    lower: &[f64],
-    upper: &[f64],
-) -> f64 {
-    match status[col] {
-        VarStatus::Basic(row) => x_basic[row],
-        VarStatus::AtLower => lower[col],
-        VarStatus::AtUpper => upper[col],
-        VarStatus::Free => 0.0,
-    }
-}
-
-/// Pivot the tableau (and the maintained `B^-1 b` column) on
-/// `(leave_row, enter_col)`, optionally updating a reduced-cost row. The
-/// scaled pivot row is left in `pivot_row_buf` for the caller (devex update).
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn pivot_inplace(
-    tab: &mut [f64],
-    rhs_work: &mut [f64],
-    n: usize,
-    m: usize,
-    leave_row: usize,
-    enter_col: usize,
-    reduced: Option<&mut [f64]>,
-    pivot_row_buf: &mut Vec<f64>,
-) -> f64 {
-    let pivot = tab[leave_row * n + enter_col];
-    let inv = 1.0 / pivot;
-    let pivot_row = &mut tab[leave_row * n..(leave_row + 1) * n];
-    for a in pivot_row.iter_mut() {
-        *a *= inv;
-    }
-    rhs_work[leave_row] *= inv;
-    // Snapshot the scaled pivot row so the elimination loops below can run on
-    // disjoint slices (and autovectorize).
-    pivot_row_buf.clear();
-    pivot_row_buf.extend_from_slice(&tab[leave_row * n..(leave_row + 1) * n]);
-    let pivot_rhs = rhs_work[leave_row];
-    for (i, row) in tab.chunks_exact_mut(n).enumerate() {
-        if i == leave_row {
-            continue;
-        }
-        let factor = row[enter_col];
-        if factor != 0.0 {
-            for (a, &p) in row.iter_mut().zip(pivot_row_buf.iter()) {
-                *a -= factor * p;
-            }
-            rhs_work[i] -= factor * pivot_rhs;
-        }
-    }
-    debug_assert_eq!(rhs_work.len(), m);
-    if let Some(reduced) = reduced {
-        let factor = reduced[enter_col];
-        if factor != 0.0 {
-            for (r, &p) in reduced.iter_mut().zip(pivot_row_buf.iter()) {
-                *r -= factor * p;
-            }
-        }
-    }
-    pivot
-}
-
-/// Run one primal simplex phase to optimality (w.r.t. `cost`), mutating the
-/// tableau, basis and statuses in place.
-///
-/// Degenerate stalls trigger, in escalating order: randomised pricing, cost
-/// perturbation (tiny status-aligned shifts, removed before returning
-/// `Optimal`), Bland's rule, and — as a last-resort safety valve — an
-/// [`LpStatus::IterationLimit`] bailout.
-#[allow(clippy::too_many_arguments)]
-fn simplex_phase(
-    tab: &mut [f64],
-    rhs_work: &mut [f64],
-    x_basic: &mut [f64],
-    basis: &mut [usize],
-    status: &mut [VarStatus],
-    lower: &[f64],
-    upper: &[f64],
-    cost: &[f64],
-    n: usize,
-    m: usize,
-    max_iterations: usize,
-    deadline: Option<Instant>,
-    iterations: &mut usize,
-    scratch: &mut Scratch,
-) -> Result<LpStatus> {
-    // Working (possibly perturbed) costs and the reduced-cost row, kept
-    // consistent by pivoting.
-    scratch.work_cost.clear();
-    scratch.work_cost.extend_from_slice(cost);
-    let mut reduced = std::mem::take(&mut scratch.reduced);
-    compute_reduced_costs(tab, basis, &scratch.work_cost, n, m, &mut reduced);
-    let bland_threshold = 20 * (n + m) + 2000;
-    let mut phase_iters = 0usize;
-    // Anti-cycling ladder (see the phase docs): randomised pricing first,
-    // then cost perturbation, then Bland.
-    let mut degenerate_streak = 0usize;
-    let mut perturbed = false;
-    let mut perturbation_rounds = 0usize;
-    let mut rng_state: u64 = 0x9E37_79B9_7F4A_7C15;
-    // Devex reference weights (Forrest–Goldfarb, simplified): pricing by
-    // d_j^2 / w_j approximates steepest-edge at a fraction of its cost and
-    // cuts the degenerate stalling the plain Dantzig rule exhibits on the
-    // big-M refinement LPs by orders of magnitude.
-    scratch.devex.clear();
-    scratch.devex.resize(n, 1.0);
-
-    let outcome = loop {
-        if *iterations >= max_iterations {
-            break LpStatus::IterationLimit;
-        }
-        // Checking the clock every pivot would be noticeable on small LPs;
-        // every 64 pivots bounds the overshoot to well under a millisecond.
-        if (*iterations).is_multiple_of(64) {
-            if let Some(deadline) = deadline {
-                if Instant::now() > deadline {
-                    break LpStatus::IterationLimit;
-                }
-            }
-        }
-        *iterations += 1;
-        phase_iters += 1;
-        // Bland's rule guarantees escape from a degenerate vertex (or a
-        // finite optimality proof), so engage it once perturbation has had
-        // its chance. It disengages automatically on real progress.
-        let use_bland =
-            phase_iters > bland_threshold || (degenerate_streak > 150 && perturbation_rounds >= 2);
-        let randomize = !use_bland && degenerate_streak > 8;
-
-        // Cost perturbation: after a sustained stall, shift every nonbasic
-        // column's cost away from its bound by a tiny pseudo-random amount.
-        // The current statuses stay dual-consistent (the shift only *grows*
-        // each reduced cost's distance from the improving side), but exact
-        // ties — the fuel of degenerate cycling — are broken. The shift is
-        // removed before this phase can return `Optimal`.
-        if !perturbed && degenerate_streak > 48 && perturbation_rounds < 2 {
-            for j in 0..n {
-                let sign = match status[j] {
-                    VarStatus::AtLower => 1.0,
-                    VarStatus::AtUpper => -1.0,
-                    _ => continue,
-                };
-                rng_state ^= rng_state << 13;
-                rng_state ^= rng_state >> 7;
-                rng_state ^= rng_state << 17;
-                let unit = (rng_state >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
-                let eps = sign * (0.5 + unit) * 1e-7 * (1.0 + cost[j].abs());
-                scratch.work_cost[j] += eps;
-                reduced[j] += eps;
-            }
-            perturbed = true;
-            perturbation_rounds += 1;
-            degenerate_streak = 0;
-            if std::env::var_os("QR_MILP_DEBUG").is_some() {
-                eprintln!(
-                    "[qr-milp]   iter {phase_iters}: cost perturbation round {perturbation_rounds}"
-                );
-            }
-        }
-
-        // --- Pricing: pick an entering column and a direction. ---
-        let mut entering: Option<(usize, f64, f64)> = None; // (col, direction, score)
-        let mut improving_count = 0usize;
-        for j in 0..n {
-            // A fixed column cannot move; pricing it only buys degenerate
-            // bound-flip churn.
-            if lower[j] >= upper[j] && !status[j].is_basic() {
-                continue;
-            }
-            let d = reduced[j];
-            let (dir, improving) = match status[j] {
-                VarStatus::Basic(_) => continue,
-                VarStatus::AtLower => (1.0, d < -COST_TOL),
-                VarStatus::AtUpper => (-1.0, d > COST_TOL),
-                VarStatus::Free => {
-                    if d < -COST_TOL {
-                        (1.0, true)
-                    } else if d > COST_TOL {
-                        (-1.0, true)
-                    } else {
-                        (1.0, false)
-                    }
-                }
-            };
-            if !improving {
-                continue;
-            }
-            improving_count += 1;
-            let score = d * d / scratch.devex[j];
-            if use_bland {
-                entering = Some((j, dir, score));
-                break;
-            }
-            if randomize {
-                // Reservoir-sample one improving column uniformly.
-                rng_state ^= rng_state << 13;
-                rng_state ^= rng_state >> 7;
-                rng_state ^= rng_state << 17;
-                if entering.is_none() || rng_state.is_multiple_of(improving_count as u64) {
-                    entering = Some((j, dir, score));
-                }
-            } else if entering.map(|(_, _, s)| score > s).unwrap_or(true) {
-                entering = Some((j, dir, score));
-            }
-        }
-        let Some((enter_col, direction, _)) = entering else {
-            if perturbed {
-                // Optimal for the perturbed costs: remove the shift and keep
-                // pivoting on the true costs (usually zero or a handful of
-                // pivots remain).
-                scratch.work_cost.copy_from_slice(cost);
-                compute_reduced_costs(tab, basis, &scratch.work_cost, n, m, &mut reduced);
-                perturbed = false;
-                degenerate_streak = 0;
-                continue;
-            }
-            break LpStatus::Optimal;
-        };
-
-        // --- Ratio test. ---
-        // The entering variable moves away from its bound by `t >= 0` in
-        // `direction`; basic variables change by `-direction * t * tab[i][enter_col]`.
-        let own_range = upper[enter_col] - lower[enter_col];
-        let mut best_t = if own_range.is_finite() {
-            own_range
-        } else {
-            f64::INFINITY
-        };
-        let mut leaving: Option<(usize, bool)> = None; // (row, leaves_at_upper)
-        let mut best_pivot_mag = 0.0f64;
-        for i in 0..m {
-            let alpha = direction * tab[i * n + enter_col];
-            let candidate = if alpha > PIVOT_TOL {
-                // Basic variable decreases towards its lower bound.
-                let lo = lower[basis[i]];
-                lo.is_finite()
-                    .then(|| ((x_basic[i] - lo) / alpha, (i, false)))
-            } else if alpha < -PIVOT_TOL {
-                // Basic variable increases towards its upper bound.
-                let up = upper[basis[i]];
-                up.is_finite()
-                    .then(|| ((up - x_basic[i]) / (-alpha), (i, true)))
-            } else {
-                None
-            };
-            let Some((t, which)) = candidate else {
-                continue;
-            };
-            let t = t.max(0.0);
-            // Strictly smaller step wins; among (near-)ties prefer the larger
-            // pivot element for numerical stability and fewer degenerate
-            // follow-up pivots (or the smallest leaving index under Bland).
-            let is_tie = (t - best_t).abs() <= 1e-12;
-            let better = if t < best_t - 1e-12 {
-                true
-            } else if is_tie {
-                if use_bland {
-                    // Bland: prefer the smallest leaving column index.
-                    leaving.is_none_or(|(row, _)| basis[i] < basis[row])
-                } else {
-                    alpha.abs() > best_pivot_mag
-                }
-            } else {
-                false
-            };
-            if better {
-                best_t = t;
-                best_pivot_mag = alpha.abs();
-                leaving = Some(which);
-            }
-        }
-
-        if best_t.is_infinite() {
-            break LpStatus::Unbounded;
-        }
-        if best_t <= 1e-12 {
-            degenerate_streak += 1;
-            // Last-resort safety valve: a stall that survives randomised
-            // pricing, two perturbation rounds *and* hundreds of Bland pivots
-            // is not going to resolve; long in-place pivot runs only corrupt
-            // the tableau. Give up on this LP and let the caller fall back.
-            if degenerate_streak > 5000 {
-                break LpStatus::IterationLimit;
-            }
-        } else {
-            degenerate_streak = 0;
-        }
-
-        // --- Update basic values. ---
-        for i in 0..m {
-            x_basic[i] -= direction * best_t * tab[i * n + enter_col];
-        }
-
-        match leaving {
-            None => {
-                // Bound flip: the entering column moves to its opposite bound.
-                status[enter_col] = match status[enter_col] {
-                    VarStatus::AtLower => VarStatus::AtUpper,
-                    VarStatus::AtUpper => VarStatus::AtLower,
-                    other => other,
-                };
-            }
-            Some((leave_row, leaves_at_upper)) => {
-                let leave_col = basis[leave_row];
-                // New value of the entering variable.
-                let enter_from =
-                    nonbasic_value(status[enter_col], lower[enter_col], upper[enter_col]);
-                let enter_value = enter_from + direction * best_t;
-
-                // Pivot the tableau on (leave_row, enter_col).
-                let pivot = tab[leave_row * n + enter_col];
-                if pivot.abs() < PIVOT_TOL {
-                    scratch.reduced = reduced;
-                    return Err(MilpError::NumericalTrouble(format!(
-                        "pivot element too small ({pivot:.3e})"
-                    )));
-                }
-                pivot_inplace(
-                    tab,
-                    rhs_work,
-                    n,
-                    m,
-                    leave_row,
-                    enter_col,
-                    Some(&mut reduced),
-                    &mut scratch.pivot_row,
-                );
-
-                // Devex weight update over the (scaled) pivot row; the
-                // leaving column inherits the entering column's reference
-                // weight through the pivot element.
-                let gamma = scratch.devex[enter_col].max(1.0);
-                for (w, &p) in scratch.devex.iter_mut().zip(&scratch.pivot_row) {
-                    let candidate = p * p * gamma;
-                    if candidate > *w {
-                        *w = candidate;
-                    }
-                }
-                scratch.devex[leave_col] = (gamma / (pivot * pivot)).max(1.0);
-                scratch.devex[enter_col] = 1.0;
-                if scratch.devex.iter().any(|&w| w > 1e8) {
-                    // Reference framework reset keeps the weights meaningful.
-                    scratch.devex.iter_mut().for_each(|w| *w = 1.0);
-                }
-
-                status[leave_col] = if leaves_at_upper {
-                    VarStatus::AtUpper
-                } else {
-                    VarStatus::AtLower
-                };
-                status[enter_col] = VarStatus::Basic(leave_row);
-                basis[leave_row] = enter_col;
-                x_basic[leave_row] = enter_value;
-            }
-        }
-
-        // Periodically refresh reduced costs to limit drift.
-        if phase_iters.is_multiple_of(256) {
-            compute_reduced_costs(tab, basis, &scratch.work_cost, n, m, &mut reduced);
-            if phase_iters.is_multiple_of(2048) && std::env::var_os("QR_MILP_DEBUG").is_some() {
-                let obj: f64 = (0..n)
-                    .map(|j| cost[j] * column_value(j, status, x_basic, lower, upper))
-                    .sum();
-                eprintln!(
-                    "[qr-milp]   iter {phase_iters}: obj {obj:.6}, degenerate streak {degenerate_streak}"
-                );
-            }
-        }
-    };
-    scratch.reduced = reduced;
-    Ok(outcome)
-}
-
-pub(crate) fn compute_reduced_costs(
-    tab: &[f64],
-    basis: &[usize],
-    cost: &[f64],
-    n: usize,
-    m: usize,
-    reduced: &mut Vec<f64>,
-) {
-    // reduced = cost - cost_B^T * tab
-    reduced.clear();
-    reduced.extend_from_slice(cost);
-    for i in 0..m {
-        let cb = cost[basis[i]];
-        if cb != 0.0 {
-            for j in 0..n {
-                reduced[j] -= cb * tab[i * n + j];
-            }
-        }
-    }
-    // Basic columns have exactly zero reduced cost by construction.
-    for i in 0..m {
-        reduced[basis[i]] = 0.0;
-    }
-}
-
 /// Convenience: build a one-shot workspace and cold-solve the LP relaxation
 /// of a model with the given bounds, optionally bounded by a wall-clock
 /// deadline. Branch-and-bound keeps a long-lived [`LpWorkspace`] instead.
@@ -1399,7 +1291,6 @@ pub fn solve_lp(
 ) -> Result<LpSolution> {
     LpWorkspace::new(model)?.solve(lower, upper, None, max_iterations, deadline)
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

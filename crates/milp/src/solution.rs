@@ -40,6 +40,19 @@ pub struct SolveStats {
     /// LP solves that ran the cold two-phase method (root, warm-start
     /// fallbacks, and solves with warm starts disabled).
     pub cold_lp_solves: usize,
+    /// Basis LU refactorizations across all LP solves (cold starts, warm
+    /// basis restores, and stability-triggered rebuilds of the eta file).
+    pub refactorizations: usize,
+    /// Product-form eta updates across all LP solves — the factorized
+    /// solver's per-pivot work proxy (each eta is `O(nnz)` bookkeeping where
+    /// the dense tableau paid an `O(m·n)` elimination).
+    pub eta_updates: usize,
+    /// Peak nonzeros of the basis LU factors observed across the solve
+    /// (fill-in health; compare against [`Self::matrix_nnz`]).
+    pub lu_nnz: usize,
+    /// Nonzeros of the stored sparse constraint matrix (structural + logical
+    /// columns) — the denominator of the fill-in ratio.
+    pub matrix_nnz: usize,
     /// Wall-clock time spent solving.
     pub solve_time: Duration,
     /// Best lower (dual) bound proven on the objective.
@@ -55,6 +68,17 @@ impl SolveStats {
             0.0
         } else {
             self.warm_lp_solves as f64 / total as f64
+        }
+    }
+
+    /// Peak LU fill-in relative to the constraint matrix (`lu_nnz /
+    /// matrix_nnz`; 0 when no LP was solved). Values near 1 mean the
+    /// Markowitz factorization is preserving the model's sparsity.
+    pub fn lu_fill_ratio(&self) -> f64 {
+        if self.matrix_nnz == 0 {
+            0.0
+        } else {
+            self.lu_nnz as f64 / self.matrix_nnz as f64
         }
     }
 }

@@ -1,0 +1,499 @@
+//! Factorization-level and solver-level checks for the sparse revised
+//! simplex:
+//!
+//! * LU factorize / FTRAN / BTRAN round-trip proptests on random sparse
+//!   nonsingular bases (constructed as `L·U` with a column permutation, so
+//!   nonsingularity is guaranteed by construction),
+//! * singular-basis rejection (zero column, duplicated column, linearly
+//!   dependent columns),
+//! * a dense-vs-sparse optimal-objective parity proptest over random bounded
+//!   LPs: the retired dense tableau algorithm survives here as a compact
+//!   textbook reference implementation (standard form + Bland's rule) that
+//!   independently reproduces every optimum the sparse solver reports.
+
+use proptest::prelude::*;
+use qr_milp::factor::SparseMatrix;
+use qr_milp::lu::{LuFactors, LuScratch};
+use qr_milp::prelude::*;
+use qr_milp::simplex::{solve_lp, LpStatus};
+
+// ---------------------------------------------------------------------------
+// Helpers.
+// ---------------------------------------------------------------------------
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed | 1)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// Build a dense `m x m` nonsingular matrix as `L * U` (unit lower / upper
+/// with bounded-away-from-zero diagonal) followed by a column rotation, with
+/// off-diagonal sparsity controlled by `density`.
+#[allow(clippy::needless_range_loop)]
+fn random_nonsingular_dense(m: usize, rng: &mut XorShift, density: f64) -> Vec<Vec<f64>> {
+    let mut l = vec![vec![0.0; m]; m];
+    let mut u = vec![vec![0.0; m]; m];
+    for i in 0..m {
+        l[i][i] = 1.0;
+        u[i][i] = (0.5 + 2.5 * rng.unit()) * if rng.below(2) == 0 { 1.0 } else { -1.0 };
+        for j in 0..i {
+            if rng.unit() < density {
+                l[i][j] = 4.0 * rng.unit() - 2.0;
+            }
+        }
+        for j in (i + 1)..m {
+            if rng.unit() < density {
+                u[i][j] = 4.0 * rng.unit() - 2.0;
+            }
+        }
+    }
+    let rot = (rng.below(m as u64)) as usize;
+    let mut b = vec![vec![0.0; m]; m];
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..m {
+        for j in 0..m {
+            let mut acc = 0.0;
+            for k in 0..m {
+                acc += l[i][k] * u[k][j];
+            }
+            b[i][(j + rot) % m] = acc;
+        }
+    }
+    b
+}
+
+fn sparse_from_dense(dense: &[Vec<f64>]) -> SparseMatrix {
+    let m = dense.len();
+    let cols: Vec<Vec<(usize, f64)>> = (0..m)
+        .map(|j| {
+            (0..m)
+                .filter(|&i| dense[i][j] != 0.0)
+                .map(|i| (i, dense[i][j]))
+                .collect()
+        })
+        .collect();
+    SparseMatrix::from_columns(m, &cols)
+}
+
+// ---------------------------------------------------------------------------
+// LU round-trip proptests.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `B * ftran(b) == b` and `B^T * btran(c) == c` for random sparse
+    /// nonsingular bases: the Markowitz factorization must both accept the
+    /// basis and solve through it accurately.
+    #[test]
+    fn lu_ftran_btran_round_trip(seed in 1u64..100_000, m in 2usize..9, dens_pct in 10u64..70) {
+        let mut rng = XorShift::new(seed);
+        let dense = random_nonsingular_dense(m, &mut rng, dens_pct as f64 / 100.0);
+        let matrix = sparse_from_dense(&dense);
+        let basis: Vec<usize> = (0..m).collect();
+        let mut lu = LuFactors::default();
+        let mut ws = LuScratch::default();
+        prop_assert!(
+            lu.factorize(&matrix, &basis, &mut ws),
+            "nonsingular-by-construction basis rejected"
+        );
+
+        // FTRAN: B x = b.
+        let b: Vec<f64> = (0..m).map(|_| 10.0 * rng.unit() - 5.0).collect();
+        let mut x = b.clone();
+        lu.ftran(&mut x);
+        for i in 0..m {
+            let acc: f64 = (0..m).map(|j| dense[i][j] * x[j]).sum();
+            prop_assert!(
+                (acc - b[i]).abs() < 1e-7 * (1.0 + b[i].abs()),
+                "ftran row {i}: {acc} vs {}", b[i]
+            );
+        }
+
+        // BTRAN: B^T y = c.
+        let c: Vec<f64> = (0..m).map(|_| 10.0 * rng.unit() - 5.0).collect();
+        let mut y = c.clone();
+        lu.btran(&mut y);
+        for j in 0..m {
+            let acc: f64 = (0..m).map(|i| dense[i][j] * y[i]).sum();
+            prop_assert!(
+                (acc - c[j]).abs() < 1e-7 * (1.0 + c[j].abs()),
+                "btran col {j}: {acc} vs {}", c[j]
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Singular-basis rejection.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn singular_bases_are_rejected() {
+    // Zero column.
+    let matrix = SparseMatrix::from_columns(3, &[vec![(0, 1.0), (2, 2.0)], vec![], vec![(1, 1.0)]]);
+    let mut lu = LuFactors::default();
+    let mut ws = LuScratch::default();
+    assert!(
+        !lu.factorize(&matrix, &[0, 1, 2], &mut ws),
+        "zero column accepted"
+    );
+
+    // Duplicated column (same column index twice in the basis).
+    let matrix = SparseMatrix::from_columns(2, &[vec![(0, 1.0), (1, 3.0)], vec![(1, 1.0)]]);
+    assert!(
+        !lu.factorize(&matrix, &[0, 0], &mut ws),
+        "duplicated column accepted"
+    );
+
+    // Linearly dependent columns: col2 = col0 + col1.
+    let matrix = SparseMatrix::from_columns(
+        3,
+        &[
+            vec![(0, 1.0), (1, 2.0)],
+            vec![(1, 1.0), (2, 4.0)],
+            vec![(0, 1.0), (1, 3.0), (2, 4.0)],
+        ],
+    );
+    assert!(
+        !lu.factorize(&matrix, &[0, 1, 2], &mut ws),
+        "dependent columns accepted"
+    );
+
+    // The factors recover on the next nonsingular basis.
+    let matrix = SparseMatrix::from_columns(2, &[vec![(0, 2.0)], vec![(1, 5.0)]]);
+    assert!(lu.factorize(&matrix, &[0, 1], &mut ws));
+    let mut x = vec![4.0, 10.0];
+    lu.ftran(&mut x);
+    assert!((x[0] - 2.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Dense-vs-sparse LP parity.
+// ---------------------------------------------------------------------------
+
+/// Outcome of the dense reference solver.
+#[derive(Debug, PartialEq)]
+enum RefOutcome {
+    Optimal(f64),
+    Infeasible,
+}
+
+/// A compact textbook dense simplex used as the independent oracle: the LP is
+/// rewritten in standard form (shifted variables `y = x - l >= 0`, explicit
+/// upper-bound rows, slack/surplus/artificial columns, `b >= 0` by row
+/// negation) and solved by the two-phase method with Bland's rule throughout
+/// (slow but cycle-free — fine at oracle sizes).
+#[allow(clippy::needless_range_loop)]
+fn dense_reference_solve(model: &Model) -> RefOutcome {
+    let n = model.num_variables();
+    let vars = model.variables();
+
+    // Row data over the shifted variables: (coeffs, sense, rhs).
+    let mut rows: Vec<(Vec<f64>, Sense, f64)> = Vec::new();
+    for cons in model.constraints() {
+        let mut coeffs = vec![0.0; n];
+        let mut shift = 0.0;
+        for (v, c) in cons.expr.terms() {
+            coeffs[v.index()] = c;
+            shift += c * vars[v.index()].lower;
+        }
+        rows.push((coeffs, cons.sense, cons.rhs - shift));
+    }
+    // Upper-bound rows y_j <= u_j - l_j.
+    for (j, v) in vars.iter().enumerate() {
+        let mut coeffs = vec![0.0; n];
+        coeffs[j] = 1.0;
+        rows.push((coeffs, Sense::Le, v.upper - v.lower));
+    }
+
+    // Standard form with b >= 0.
+    let m = rows.len();
+    let mut n_slack = 0usize;
+    let mut n_art = 0usize;
+    for (coeffs, sense, rhs) in rows.iter_mut() {
+        if *rhs < 0.0 {
+            coeffs.iter_mut().for_each(|c| *c = -*c);
+            *rhs = -*rhs;
+            *sense = match *sense {
+                Sense::Le => Sense::Ge,
+                Sense::Ge => Sense::Le,
+                Sense::Eq => Sense::Eq,
+            };
+        }
+        match sense {
+            Sense::Le => n_slack += 1,
+            Sense::Ge => {
+                n_slack += 1;
+                n_art += 1;
+            }
+            Sense::Eq => n_art += 1,
+        }
+    }
+    let total = n + n_slack + n_art;
+    let mut tab = vec![vec![0.0; total]; m];
+    let mut rhs = vec![0.0; m];
+    let mut basis = vec![0usize; m];
+    let mut active = vec![true; m];
+    let art_start = n + n_slack;
+    let mut slack_cursor = n;
+    let mut art_cursor = art_start;
+    for (i, (coeffs, sense, b)) in rows.iter().enumerate() {
+        tab[i][..n].copy_from_slice(coeffs);
+        rhs[i] = *b;
+        match sense {
+            Sense::Le => {
+                tab[i][slack_cursor] = 1.0;
+                basis[i] = slack_cursor;
+                slack_cursor += 1;
+            }
+            Sense::Ge => {
+                tab[i][slack_cursor] = -1.0;
+                slack_cursor += 1;
+                tab[i][art_cursor] = 1.0;
+                basis[i] = art_cursor;
+                art_cursor += 1;
+            }
+            Sense::Eq => {
+                tab[i][art_cursor] = 1.0;
+                basis[i] = art_cursor;
+                art_cursor += 1;
+            }
+        }
+    }
+
+    // One Bland-rule phase: minimise `cost` over the non-banned columns.
+    let run_phase = |tab: &mut Vec<Vec<f64>>,
+                     rhs: &mut Vec<f64>,
+                     basis: &mut Vec<usize>,
+                     active: &Vec<bool>,
+                     cost: &[f64],
+                     banned_from: usize| {
+        for _ in 0..20_000 {
+            // Reduced costs from the current tableau.
+            let mut enter = None;
+            for j in 0..banned_from {
+                let mut d = cost[j];
+                for i in 0..tab.len() {
+                    if active[i] && cost[basis[i]] != 0.0 {
+                        d -= cost[basis[i]] * tab[i][j];
+                    }
+                }
+                if d < -1e-9 {
+                    enter = Some(j);
+                    break; // Bland: smallest improving index
+                }
+            }
+            let Some(q) = enter else {
+                return true; // optimal
+            };
+            // Ratio test (Bland ties: smallest basis column).
+            let mut leave: Option<(usize, f64)> = None;
+            for i in 0..tab.len() {
+                if !active[i] || tab[i][q] <= 1e-9 {
+                    continue;
+                }
+                let t = rhs[i] / tab[i][q];
+                let better = match leave {
+                    None => true,
+                    Some((li, lt)) => {
+                        t < lt - 1e-12 || ((t - lt).abs() <= 1e-12 && basis[i] < basis[li])
+                    }
+                };
+                if better {
+                    leave = Some((i, t));
+                }
+            }
+            let Some((r, _)) = leave else {
+                return false; // unbounded (cannot happen on boxed instances)
+            };
+            // Pivot.
+            let piv = tab[r][q];
+            for v in tab[r].iter_mut() {
+                *v /= piv;
+            }
+            rhs[r] /= piv;
+            for i in 0..tab.len() {
+                if i == r {
+                    continue;
+                }
+                let f = tab[i][q];
+                if f != 0.0 {
+                    for j in 0..total {
+                        tab[i][j] -= f * tab[r][j];
+                    }
+                    rhs[i] -= f * rhs[r];
+                }
+            }
+            basis[r] = q;
+        }
+        panic!("dense reference did not terminate");
+    };
+
+    // Phase 1.
+    if n_art > 0 {
+        let mut cost = vec![0.0; total];
+        for c in cost[art_start..].iter_mut() {
+            *c = 1.0;
+        }
+        assert!(
+            run_phase(&mut tab, &mut rhs, &mut basis, &active, &cost, total),
+            "phase 1 cannot be unbounded"
+        );
+        let p1: f64 = (0..m)
+            .filter(|&i| active[i] && basis[i] >= art_start)
+            .map(|i| rhs[i])
+            .sum();
+        if p1 > 1e-6 {
+            return RefOutcome::Infeasible;
+        }
+        // Drive leftover basic artificials out (or drop their redundant rows).
+        for i in 0..m {
+            if !active[i] || basis[i] < art_start {
+                continue;
+            }
+            let enter = (0..art_start).find(|&j| tab[i][j].abs() > 1e-7);
+            match enter {
+                Some(q) => {
+                    let piv = tab[i][q];
+                    for v in tab[i].iter_mut() {
+                        *v /= piv;
+                    }
+                    rhs[i] /= piv;
+                    for i2 in 0..m {
+                        if i2 == i || !active[i2] {
+                            continue;
+                        }
+                        let f = tab[i2][q];
+                        if f != 0.0 {
+                            for j in 0..total {
+                                tab[i2][j] -= f * tab[i][j];
+                            }
+                            rhs[i2] -= f * rhs[i];
+                        }
+                    }
+                    basis[i] = q;
+                }
+                None => active[i] = false, // redundant row
+            }
+        }
+    }
+
+    // Phase 2: true costs over the shifted variables, artificials banned.
+    let mut cost = vec![0.0; total];
+    let mut constant = model.objective().constant_part();
+    for (v, c) in model.objective().terms() {
+        cost[v.index()] = c;
+        constant += c * vars[v.index()].lower;
+    }
+    assert!(
+        run_phase(&mut tab, &mut rhs, &mut basis, &active, &cost, art_start),
+        "boxed reference LP cannot be unbounded"
+    );
+    let obj: f64 = (0..m)
+        .filter(|&i| active[i])
+        .map(|i| cost[basis[i]] * rhs[i])
+        .sum();
+    RefOutcome::Optimal(obj + constant)
+}
+
+/// Random bounded LP: every variable boxed with finite bounds, sparse rows,
+/// mixed senses — the shape (if not the scale) of the refinement LPs.
+fn random_bounded_lp(seed: u64, n_vars: usize, n_rows: usize) -> Model {
+    let mut rng = XorShift::new(seed);
+    let mut m = Model::new("random-lp");
+    let mut ids = Vec::with_capacity(n_vars);
+    for j in 0..n_vars {
+        let lo = -(rng.below(3) as f64);
+        let up = lo + 1.0 + rng.below(4) as f64;
+        ids.push(m.add_continuous(format!("x{j}"), lo, up));
+    }
+    let mut obj = LinExpr::zero();
+    for &v in &ids {
+        let c = rng.below(7) as f64 - 3.0;
+        if c != 0.0 {
+            obj.add_term(v, c);
+        }
+    }
+    m.set_objective(obj);
+    for r in 0..n_rows {
+        let mut e = LinExpr::zero();
+        let mut nonzero = false;
+        for &v in &ids {
+            if rng.unit() < 0.6 {
+                continue; // sparse rows, like the refinement encodings
+            }
+            let c = rng.below(5) as f64 - 2.0;
+            if c != 0.0 {
+                e.add_term(v, c);
+                nonzero = true;
+            }
+        }
+        if !nonzero {
+            e.add_term(ids[r % n_vars], 1.0);
+        }
+        let rhs = rng.below(10) as f64 - 4.0;
+        let sense = match rng.below(4) {
+            0 => Sense::Ge,
+            1 => Sense::Eq,
+            _ => Sense::Le,
+        };
+        m.add_constraint(format!("r{r}"), e, sense, rhs);
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The sparse revised simplex and the dense textbook reference agree on
+    /// feasibility and (when feasible) on the optimal objective for random
+    /// bounded LPs.
+    #[test]
+    fn sparse_matches_dense_reference(
+        seed in 1u64..1_000_000,
+        n_vars in 2usize..7,
+        n_rows in 1usize..6,
+    ) {
+        let model = random_bounded_lp(seed, n_vars, n_rows);
+        let (lo, up): (Vec<f64>, Vec<f64>) = (
+            model.variables().iter().map(|v| v.lower).collect(),
+            model.variables().iter().map(|v| v.upper).collect(),
+        );
+        let sparse = solve_lp(&model, &lo, &up, 50_000, None).unwrap();
+        let reference = dense_reference_solve(&model);
+        match reference {
+            RefOutcome::Infeasible => {
+                prop_assert!(
+                    sparse.status == LpStatus::Infeasible,
+                    "reference infeasible, sparse {:?} (obj {})", sparse.status, sparse.objective
+                );
+            }
+            RefOutcome::Optimal(ref_obj) => {
+                prop_assert!(
+                    sparse.status == LpStatus::Optimal,
+                    "reference optimal {}, sparse {:?}", ref_obj, sparse.status
+                );
+                prop_assert!(
+                    (sparse.objective - ref_obj).abs() < 1e-5 * (1.0 + ref_obj.abs()),
+                    "objective mismatch: sparse {} vs dense {}", sparse.objective, ref_obj
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Ablation: parallel vs sequential batch execution on one shared session.
+//!
+//! A batch of 8 refinement requests (an ε × bound grid on the fig3 astronaut
+//! workload) is answered through `solve_batch_parallel` with 1 worker (the
+//! sequential path) and with 4 workers. On a multi-core box the 4-worker
+//! run's wall-clock should sit well under half of the 1-worker run's (the
+//! solves are embarrassingly parallel — one shared read-only session, no
+//! locks on the hot path); on a single hardware thread the two converge,
+//! which the printed per-configuration timing makes visible. The
+//! parallel-≡-sequential result contract itself is pinned by
+//! `tests/parallel_batch.rs`, not here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qr_bench::{benchmark_request, session_for, tiny_workload, TINY_K};
+use qr_core::{ConstraintSet, DistanceMeasure, OptimizationConfig, RefinementRequest};
+use qr_datagen::DatasetId;
+use std::time::Duration;
+
+/// The benchmarked batch: 8 requests covering an ε × bound grid, each a real
+/// MILP search (bounds the original astronaut query violates).
+fn batch(w: &qr_datagen::Workload) -> Vec<RefinementRequest> {
+    let mut requests = Vec::new();
+    for &bound in &[2usize, 3] {
+        for &epsilon in &[0.0, 0.25, 0.5, 1.0] {
+            let constraints =
+                ConstraintSet::new().with(w.constraint_with_bound(1, TINY_K, Some(bound)));
+            requests.push(benchmark_request(
+                &constraints,
+                epsilon,
+                DistanceMeasure::Predicate,
+                OptimizationConfig::all(),
+            ));
+        }
+    }
+    requests
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_parallel");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500));
+
+    let w = tiny_workload(DatasetId::Astronauts);
+    let session = session_for(&w);
+    let requests = batch(&w);
+
+    for workers in [1usize, 4] {
+        group.bench_function(format!("{}-batch8/{workers}w", w.id.label()), |b| {
+            b.iter(|| session.solve_batch_parallel(&requests, workers).unwrap())
+        });
+    }
+    group.finish();
+
+    // Context line for the uploaded baseline: available hardware parallelism
+    // (the expected speedup ceiling) printed once, outside the timed loops.
+    println!(
+        "ablation_parallel: batch of {} requests, hardware threads available: {}",
+        requests.len(),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -5,6 +5,7 @@
 //! ```text
 //! cargo run -p qr-bench --release --bin experiments -- \
 //!     [fig3|fig4|fig5|fig6|fig7|fig8|fig9|erica|all] [--quick] [--distance QD,JAC,KEN]
+//!     [--threads N]
 //! ```
 //!
 //! Each figure prints one tab-separated row per measured configuration:
@@ -17,6 +18,12 @@
 //! `--distance` restricts the measured distance measures; labels are parsed
 //! with [`DistanceMeasure`]'s `FromStr` (QD/JAC/KEN or
 //! predicate/jaccard/kendall, case-insensitive).
+//!
+//! `--threads N` answers each session's request batch on N worker threads
+//! through the parallel batch API (`solve_batch_parallel` /
+//! `sweep_epsilon_parallel`) for the per-session sweeps (Figures 4–6).
+//! Results are identical to the sequential run — only wall-clock changes —
+//! so the reproduced series stay comparable.
 
 use qr_bench::{
     bench_workloads, benchmark_request, experiment_workloads, run_engine, run_epsilon_sweep,
@@ -33,12 +40,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let distance_override = parse_distance_override(&args);
-    // Figure names: positional arguments, minus the value consumed by a
-    // space-separated `--distance <labels>`.
+    let threads = parse_threads(&args);
+    // Figure names: positional arguments, minus the values consumed by
+    // space-separated `--distance <labels>` / `--threads <n>`.
     let mut which: Vec<&str> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
-        if arg == "--distance" {
+        if arg == "--distance" || arg == "--threads" {
             iter.next();
         } else if !arg.starts_with("--") {
             which.push(arg.as_str());
@@ -60,6 +68,9 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ")
     );
+    if threads > 1 {
+        println!("# per-session sweeps run on {threads} worker threads");
+    }
     println!("{}", ExperimentRow::header());
 
     let distances = |quick: bool| -> Vec<DistanceMeasure> {
@@ -76,13 +87,13 @@ fn main() {
         fig3(&workloads, quick, &distances(quick));
     }
     if selected("fig4") {
-        fig4(&workloads, quick, &distances(quick));
+        fig4(&workloads, quick, &distances(quick), threads);
     }
     if selected("fig5") {
-        fig5(&workloads, quick, &distances(quick));
+        fig5(&workloads, quick, &distances(quick), threads);
     }
     if selected("fig6") {
-        fig6(&workloads, quick, &distances(quick));
+        fig6(&workloads, quick, &distances(quick), threads);
     }
     if selected("fig7") {
         fig7(&workloads);
@@ -96,6 +107,28 @@ fn main() {
     if selected("erica") {
         erica_comparison(quick);
     }
+}
+
+/// Parse `--threads N` (or `--threads=N`); defaults to 1 (sequential).
+fn parse_threads(args: &[String]) -> usize {
+    let mut value: Option<&str> = None;
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(rest) = arg.strip_prefix("--threads=") {
+            value = Some(rest);
+        } else if arg == "--threads" {
+            value = Some(
+                args.get(i + 1)
+                    .unwrap_or_else(|| panic!("--threads requires a worker count"))
+                    .as_str(),
+            );
+        }
+    }
+    value.map_or(1, |v| {
+        let n: usize = v
+            .parse()
+            .unwrap_or_else(|e| panic!("--threads: invalid worker count '{v}': {e}"));
+        n.max(1)
+    })
 }
 
 /// Parse `--distance QD,JAC` (or `--distance=QD,JAC`) into measures, using
@@ -167,10 +200,36 @@ fn fig3(workloads: &[Workload], quick: bool, distances: &[DistanceMeasure]) {
     }
 }
 
+/// Answer a session's request grid as one batch on the parallel batch API
+/// (sequential when `threads == 1`) and print one row per entry, labelled by
+/// the grid's swept-parameter strings. Shared by the per-session figures.
+fn run_session_batch(
+    w: &Workload,
+    session: &qr_core::RefinementSession,
+    grid: Vec<(String, DistanceMeasure, qr_core::RefinementRequest)>,
+    threads: usize,
+) {
+    let requests: Vec<_> = grid.iter().map(|(_, _, r)| r.clone()).collect();
+    let results = session
+        .solve_batch_parallel(&requests, threads)
+        .expect("engine run does not error");
+    for ((parameter, distance, _), result) in grid.iter().zip(&results) {
+        let row = ExperimentRow::from_result(
+            w.id.label(),
+            OptimizationConfig::all().label(),
+            *distance,
+            parameter.clone(),
+            result,
+        );
+        println!("{}", row.render());
+    }
+}
+
 /// Figure 4: effect of k*. One session per workload answers every (k,
 /// distance) request — annotation is paid once per dataset, not once per
-/// configuration.
-fn fig4(workloads: &[Workload], quick: bool, distances: &[DistanceMeasure]) {
+/// configuration — and the whole request grid is submitted as one batch to
+/// the parallel batch API (sequential when `--threads 1`).
+fn fig4(workloads: &[Workload], quick: bool, distances: &[DistanceMeasure], threads: usize) {
     println!("# Figure 4: effect of k*");
     let ks: Vec<usize> = if quick {
         vec![10, 30]
@@ -185,32 +244,29 @@ fn fig4(workloads: &[Workload], quick: bool, distances: &[DistanceMeasure]) {
             session.setup_stats().annotation_time.as_secs_f64(),
             ks.len() * distances.len()
         );
+        let mut grid = Vec::new();
         for &k in &ks {
             let constraints = w.default_constraints(k);
             for &distance in distances {
-                let request = benchmark_request(
-                    &constraints,
-                    DEFAULT_EPSILON,
-                    distance,
-                    OptimizationConfig::all(),
-                );
-                let result = session.solve(&request).expect("engine run does not error");
-                let row = ExperimentRow::from_result(
-                    w.id.label(),
-                    OptimizationConfig::all().label(),
-                    distance,
+                grid.push((
                     format!("k={k}"),
-                    &result,
-                );
-                println!("{}", row.render());
+                    distance,
+                    benchmark_request(
+                        &constraints,
+                        DEFAULT_EPSILON,
+                        distance,
+                        OptimizationConfig::all(),
+                    ),
+                ));
             }
         }
+        run_session_batch(w, &session, grid, threads);
     }
 }
 
 /// Figure 5: effect of the maximum deviation ε, swept through one session
 /// per workload and distance measure.
-fn fig5(workloads: &[Workload], quick: bool, distances: &[DistanceMeasure]) {
+fn fig5(workloads: &[Workload], quick: bool, distances: &[DistanceMeasure], threads: usize) {
     println!("# Figure 5: effect of the maximum deviation");
     let epsilons: Vec<f64> = if quick {
         vec![0.0, 1.0]
@@ -226,6 +282,7 @@ fn fig5(workloads: &[Workload], quick: bool, distances: &[DistanceMeasure]) {
                 &epsilons,
                 distance,
                 OptimizationConfig::all(),
+                threads,
             );
             println!(
                 "# {} {distance} sweep: annotation {annotation_seconds:.3}s, paid once for {} eps values",
@@ -239,9 +296,9 @@ fn fig5(workloads: &[Workload], quick: bool, distances: &[DistanceMeasure]) {
     }
 }
 
-/// Figure 6: effect of the number of constraints, via one session per
-/// workload.
-fn fig6(workloads: &[Workload], quick: bool, distances: &[DistanceMeasure]) {
+/// Figure 6: effect of the number of constraints, via one session (and one
+/// parallel batch) per workload.
+fn fig6(workloads: &[Workload], quick: bool, distances: &[DistanceMeasure], threads: usize) {
     println!("# Figure 6: effect of the number of constraints");
     let counts: Vec<usize> = if quick {
         vec![1, 3]
@@ -250,26 +307,23 @@ fn fig6(workloads: &[Workload], quick: bool, distances: &[DistanceMeasure]) {
     };
     for w in workloads {
         let session = session_for(w);
+        let mut grid = Vec::new();
         for &count in &counts {
             let constraints = w.constraint_prefix(count, DEFAULT_K);
             for &distance in distances {
-                let request = benchmark_request(
-                    &constraints,
-                    DEFAULT_EPSILON,
-                    distance,
-                    OptimizationConfig::all(),
-                );
-                let result = session.solve(&request).expect("engine run does not error");
-                let row = ExperimentRow::from_result(
-                    w.id.label(),
-                    OptimizationConfig::all().label(),
-                    distance,
+                grid.push((
                     format!("constraints={count}"),
-                    &result,
-                );
-                println!("{}", row.render());
+                    distance,
+                    benchmark_request(
+                        &constraints,
+                        DEFAULT_EPSILON,
+                        distance,
+                        OptimizationConfig::all(),
+                    ),
+                ));
             }
         }
+        run_session_batch(w, &session, grid, threads);
     }
 }
 

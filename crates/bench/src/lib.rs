@@ -140,6 +140,7 @@ fn timed_out(outcome: &RefinementOutcome) -> bool {
     match outcome {
         RefinementOutcome::Refined(r) => !r.proven_optimal,
         RefinementOutcome::NoRefinement { proven_infeasible } => !proven_infeasible,
+        RefinementOutcome::Interrupted { .. } => true,
     }
 }
 
@@ -221,18 +222,21 @@ pub fn run_naive(
 
 /// Sweep ε through one session (Figure 5's access pattern): annotation is
 /// paid once by the session, and each row reports only its per-request
-/// times. Returns the shared annotation seconds alongside the rows.
+/// times. With `threads > 1` the sweep runs on the session's internal worker
+/// pool ([`RefinementSession::sweep_epsilon_parallel`]) — same results, same
+/// order. Returns the shared annotation seconds alongside the rows.
 pub fn run_epsilon_sweep(
     workload: &Workload,
     constraints: &ConstraintSet,
     epsilons: &[f64],
     distance: DistanceMeasure,
     config: OptimizationConfig,
+    threads: usize,
 ) -> (f64, Vec<ExperimentRow>) {
     let session = session_for(workload);
     let base = benchmark_request(constraints, 0.0, distance, config);
     let results = session
-        .sweep_epsilon(&base, epsilons)
+        .sweep_epsilon_parallel(&base, epsilons, threads.max(1))
         .expect("epsilon sweep does not error");
     let rows = epsilons
         .iter()
@@ -329,6 +333,7 @@ mod tests {
             &[0.5, 1.0],
             DistanceMeasure::Predicate,
             OptimizationConfig::all(),
+            1,
         );
         assert!(annotation_seconds >= 0.0);
         assert_eq!(rows.len(), 2);

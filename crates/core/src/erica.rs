@@ -21,6 +21,7 @@ use crate::error::Result;
 use crate::milp_model::{build_model, BuiltModel};
 use crate::optimize::OptimizationConfig;
 use crate::session::RefinementStats;
+use qr_milp::control::SolveControl;
 use qr_milp::{LinExpr, Sense, SolveStatus, Solver, SolverOptions};
 use qr_provenance::{whatif::evaluate_refinement, AnnotatedRelation, PredicateAssignment};
 use qr_relation::{Database, SpjQuery};
@@ -46,6 +47,9 @@ pub struct EricaResult {
     /// When none was found: whether infeasibility was proven (vs. merely
     /// running out of budget).
     pub proven: bool,
+    /// Whether the solve was stopped by its [`SolveControl`] (cancellation
+    /// or the unified deadline) rather than reaching a terminal answer.
+    pub interrupted: bool,
     /// Timing/size statistics.
     pub stats: RefinementStats,
 }
@@ -86,18 +90,27 @@ pub fn erica_refine_with(
     let start = Instant::now();
     let annotated = AnnotatedRelation::build(db, query)?;
     let annotation_time = start.elapsed();
-    let mut result = erica_refine_prepared(&annotated, constraints, output_size, solver_options)?;
+    let mut result = erica_refine_prepared(
+        &annotated,
+        constraints,
+        output_size,
+        solver_options,
+        &SolveControl::default(),
+    )?;
     result.stats.charge_annotation(annotation_time);
     Ok(result)
 }
 
 /// The Erica-style baseline over already-built provenance annotations (the
-/// shared setup of a session).
+/// shared setup of a session). `control` carries the unified deadline and
+/// cancellation shared with the other backends; an interrupted solve reports
+/// `interrupted` (and its best incumbent) instead of running to completion.
 pub fn erica_refine_prepared(
     annotated: &AnnotatedRelation,
     constraints: &[OutputConstraint],
     output_size: usize,
     solver_options: SolverOptions,
+    control: &SolveControl,
 ) -> Result<EricaResult> {
     let start = Instant::now();
     let query = annotated.query();
@@ -115,6 +128,7 @@ pub fn erica_refine_prepared(
         return Ok(EricaResult {
             best: None,
             proven: true,
+            interrupted: false,
             stats,
         });
     }
@@ -194,7 +208,7 @@ pub fn erica_refine_prepared(
         ..RefinementStats::default()
     };
 
-    let solution = Solver::new(solver_options).solve(&model)?;
+    let solution = Solver::new(solver_options).solve_with_control(&model, control)?;
     stats.solver_time = solution.stats.solve_time;
     stats.nodes = solution.stats.nodes;
     stats.lp_solves = solution.stats.lp_solves;
@@ -205,9 +219,12 @@ pub fn erica_refine_prepared(
     stats.eta_updates = solution.stats.eta_updates;
     stats.lu_nnz = solution.stats.lu_nnz;
     stats.matrix_nnz = solution.stats.matrix_nnz;
+    stats.interrupted = solution.stats.interrupted;
     stats.total_time = start.elapsed();
 
-    let best = if solution.status.has_solution() {
+    // Any status with an assignment — Optimal, Feasible, or an interrupted
+    // solve carrying its incumbent — reports it through `values`.
+    let best = if !solution.values.is_empty() {
         let built = BuiltModel {
             model,
             vars,
@@ -221,12 +238,13 @@ pub fn erica_refine_prepared(
     };
     let proven = match solution.status {
         SolveStatus::Optimal | SolveStatus::Infeasible | SolveStatus::Unbounded => true,
-        SolveStatus::Feasible | SolveStatus::LimitReached => false,
+        SolveStatus::Feasible | SolveStatus::LimitReached | SolveStatus::Interrupted => false,
     };
 
     Ok(EricaResult {
         best,
         proven,
+        interrupted: solution.status == SolveStatus::Interrupted,
         stats,
     })
 }

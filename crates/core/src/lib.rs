@@ -20,7 +20,16 @@
 //! * three optimizations shrink the program ([`optimize`], Section 4),
 //! * exhaustive-search baselines ([`naive`]) and an Erica-style whole-output
 //!   baseline ([`erica`]) reproduce the paper's comparisons (Section 5), all
-//!   selectable through one [`solver::RefinementSolver`] trait.
+//!   selectable through one [`solver::RefinementSolver`] trait,
+//! * the whole solve path is a **concurrent refinement service**:
+//!   [`RefinementSession`] is `Send + Sync` (share it via `Arc` or solve
+//!   batches on the built-in worker pool,
+//!   [`RefinementSession::solve_batch_parallel`]), every backend honors one
+//!   unified deadline and cooperative cancellation through a
+//!   [`SolveControl`], and interrupted solves return
+//!   [`RefinementOutcome::Interrupted`] with their best incumbent and full
+//!   statistics. A [`SolveObserver`] streams incumbent / node / bound events
+//!   from a running MILP solve.
 //!
 //! ## Quickstart
 //!
@@ -102,6 +111,7 @@ pub use error::{CoreError, Result};
 pub use milp_model::{build_model, BuiltModel, ModelVariables};
 pub use naive::{naive_search, naive_search_prepared, NaiveMode, NaiveOptions, NaiveResult};
 pub use optimize::OptimizationConfig;
+pub use qr_milp::control::{CancelToken, SolveControl, SolveObserver, SolveProgress};
 pub use session::{
     exact_deviation, exact_distance, RefinedQuery, RefinementOutcome, RefinementRequest,
     RefinementResult, RefinementSession, RefinementStats, SessionStats,
@@ -123,4 +133,5 @@ pub mod prelude {
         RefinementStats, SessionStats,
     };
     pub use crate::solver::{EricaSolver, MilpSolver, NaiveSolver, RefinementSolver};
+    pub use qr_milp::control::{CancelToken, SolveControl, SolveObserver, SolveProgress};
 }

@@ -14,6 +14,7 @@ use crate::error::{CoreError, Result};
 use crate::session::{
     exact_distance, RefinedQuery, RefinementOutcome, RefinementResult, RefinementStats,
 };
+use qr_milp::control::SolveControl;
 use qr_provenance::{whatif::evaluate_refinement, AnnotatedRelation, PredicateAssignment};
 use qr_relation::{evaluate, CmpOp, Database, SpjQuery};
 use std::collections::BTreeSet;
@@ -95,6 +96,9 @@ pub struct NaiveResult {
     /// Whether the whole refinement space was enumerated (false when a cap or
     /// the time limit stopped the search early).
     pub exhausted: bool,
+    /// Whether the search was stopped by its [`SolveControl`] (cancellation
+    /// or the unified deadline) rather than by its own budget.
+    pub interrupted: bool,
     /// Timing statistics (setup = provenance construction; solver = search).
     pub stats: RefinementStats,
 }
@@ -105,18 +109,25 @@ impl NaiveResult {
     /// `exhausted` becomes the proof flag (a completed enumeration proves
     /// optimality of the best candidate, or infeasibility when none passed).
     pub fn into_refinement_result(self, query: &SpjQuery) -> RefinementResult {
-        let outcome = match self.best {
-            Some((assignment, distance, deviation)) => RefinementOutcome::Refined(RefinedQuery {
+        let best = self
+            .best
+            .map(|(assignment, distance, deviation)| RefinedQuery {
                 query: assignment.apply_to(query),
                 assignment,
                 distance,
                 objective: distance,
                 deviation,
                 proven_optimal: self.exhausted,
-            }),
-            None => RefinementOutcome::NoRefinement {
-                proven_infeasible: self.exhausted,
-            },
+            });
+        let outcome = if self.interrupted {
+            RefinementOutcome::Interrupted { best }
+        } else {
+            match best {
+                Some(refined) => RefinementOutcome::Refined(refined),
+                None => RefinementOutcome::NoRefinement {
+                    proven_infeasible: self.exhausted,
+                },
+            }
         };
         RefinementResult {
             outcome,
@@ -140,8 +151,15 @@ pub fn naive_search(
     let start = Instant::now();
     let annotated = AnnotatedRelation::build(db, query)?;
     let annotation_time = start.elapsed();
-    let mut result =
-        naive_search_prepared(db, &annotated, constraints, epsilon, distance, options)?;
+    let mut result = naive_search_prepared(
+        db,
+        &annotated,
+        constraints,
+        epsilon,
+        distance,
+        options,
+        &SolveControl::default(),
+    )?;
     result.stats.charge_annotation(annotation_time);
     Ok(result)
 }
@@ -150,6 +168,12 @@ pub fn naive_search(
 /// annotations (the shared setup of a session). `db` is only consulted in
 /// [`NaiveMode::Database`], which re-evaluates every candidate on the
 /// relational engine.
+///
+/// `control` carries the unified deadline and cancellation: the candidate
+/// loop polls it, and a triggered control stops the search with
+/// `interrupted` set, so the outcome becomes
+/// [`RefinementOutcome::Interrupted`] carrying the best candidate so far —
+/// the same semantics as the MILP engine, instead of running to completion.
 pub fn naive_search_prepared(
     db: &Database,
     annotated: &AnnotatedRelation,
@@ -157,8 +181,10 @@ pub fn naive_search_prepared(
     epsilon: f64,
     distance: DistanceMeasure,
     options: &NaiveOptions,
+    control: &SolveControl,
 ) -> Result<NaiveResult> {
     let start = Instant::now();
+    let stop = control.stop_condition(start, None);
     let query = annotated.query();
     constraints.validate(annotated)?;
     let k_star = constraints.k_star();
@@ -190,8 +216,14 @@ pub fn naive_search_prepared(
     let mut best: Option<(PredicateAssignment, f64, f64)> = None;
     let mut evaluated = 0usize;
     let mut exhausted = true;
+    let mut interrupted = false;
 
     'search: loop {
+        if stop.should_stop() {
+            exhausted = false;
+            interrupted = true;
+            break;
+        }
         if evaluated >= options.max_candidates {
             exhausted = false;
             break;
@@ -283,12 +315,14 @@ pub fn naive_search_prepared(
         scope_size: annotated.len(),
         lineage_classes: annotated.classes().len(),
         candidates_evaluated: evaluated,
+        interrupted,
         ..RefinementStats::default()
     };
     Ok(NaiveResult {
         best,
         candidates_evaluated: evaluated,
         exhausted,
+        interrupted,
         stats,
     })
 }

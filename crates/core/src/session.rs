@@ -33,6 +33,21 @@
 //! Algorithms other than the MILP engine — the exhaustive baselines and the
 //! Erica-style whole-output baseline — plug in uniformly through the
 //! [`RefinementSolver`] trait via [`RefinementSession::solve_with`].
+//!
+//! # Concurrency, cancellation and progress
+//!
+//! A session is `Send + Sync` (checked at compile time): share it across
+//! worker threads via `Arc`, or let the built-in worker pool do it —
+//! [`RefinementSession::solve_batch_parallel`] and
+//! [`RefinementSession::sweep_epsilon_parallel`] fan a batch out over std
+//! threads and return results in request order, identical to the sequential
+//! path. Each request carries a [`SolveControl`]: a unified wall-clock
+//! deadline ([`RefinementRequest::with_time_limit`]) and a cooperative
+//! [`CancelToken`] honored by *every* backend, plus an optional
+//! [`SolveObserver`] streaming incumbent / node / bound events from the MILP
+//! search. A cancelled or deadline-struck solve returns
+//! [`RefinementOutcome::Interrupted`] carrying the best incumbent found so
+//! far and complete statistics.
 
 use crate::constraint::ConstraintSet;
 use crate::distance::{
@@ -42,11 +57,14 @@ use crate::error::Result;
 use crate::milp_model::{build_model, BuiltModel};
 use crate::optimize::OptimizationConfig;
 use crate::solver::RefinementSolver;
+use qr_milp::control::{CancelToken, SolveControl, SolveObserver};
 use qr_milp::{SolveStatus, Solver, SolverOptions};
 use qr_provenance::{
     whatif::evaluate_refinement, AnnotatedRelation, PredicateAssignment, RankedOutput,
 };
 use qr_relation::{Database, SpjQuery, Value};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Shared, amortized setup work of a [`RefinementSession`], reported
@@ -124,6 +142,9 @@ pub struct RefinementStats {
     pub matrix_nnz: usize,
     /// Candidate refinements evaluated (exhaustive baselines only).
     pub candidates_evaluated: usize,
+    /// Whether the solve was stopped by its [`SolveControl`] (cancellation
+    /// or control deadline) before reaching a terminal answer.
+    pub interrupted: bool,
 }
 
 impl RefinementStats {
@@ -169,14 +190,26 @@ pub enum RefinementOutcome {
         /// hit a node/time limit first.
         proven_infeasible: bool,
     },
+    /// The solve was interrupted by its [`SolveControl`] — a cancelled
+    /// [`CancelToken`] or an exceeded unified deadline — before reaching a
+    /// terminal answer. The best incumbent found so far (a genuinely
+    /// feasible refinement within ε, just not proven optimal) is carried
+    /// along, and the result's [`RefinementStats`] reflect all work done up
+    /// to the interruption.
+    Interrupted {
+        /// Best incumbent at the moment of interruption, if any was found.
+        best: Option<RefinedQuery>,
+    },
 }
 
 impl RefinementOutcome {
-    /// The refined query, if one was found.
+    /// The refined query, if one was found — including the best incumbent of
+    /// an [`Interrupted`](Self::Interrupted) solve.
     #[must_use]
     pub fn refined(&self) -> Option<&RefinedQuery> {
         match self {
             RefinementOutcome::Refined(r) => Some(r),
+            RefinementOutcome::Interrupted { best } => best.as_ref(),
             RefinementOutcome::NoRefinement { .. } => None,
         }
     }
@@ -186,14 +219,23 @@ impl RefinementOutcome {
     pub fn into_refined(self) -> Option<RefinedQuery> {
         match self {
             RefinementOutcome::Refined(r) => Some(r),
+            RefinementOutcome::Interrupted { best } => best,
             RefinementOutcome::NoRefinement { .. } => None,
         }
     }
 
-    /// Whether a refinement within the deviation budget was found.
+    /// Whether a refinement within the deviation budget was found (true for
+    /// an interrupted solve that carries an incumbent).
     #[must_use]
     pub fn is_refined(&self) -> bool {
-        matches!(self, RefinementOutcome::Refined(_))
+        self.refined().is_some()
+    }
+
+    /// Whether the solve was interrupted (cancelled or past its unified
+    /// deadline) before reaching a terminal answer.
+    #[must_use]
+    pub fn is_interrupted(&self) -> bool {
+        matches!(self, RefinementOutcome::Interrupted { .. })
     }
 }
 
@@ -223,6 +265,11 @@ pub struct RefinementRequest {
     pub optimizations: OptimizationConfig,
     /// MILP solver budget (node/time limits, ...).
     pub solver_options: SolverOptions,
+    /// Execution control: cooperative cancellation, the unified deadline
+    /// honored by *every* backend (MILP, Naive, Erica), and an optional
+    /// progress observer. Interrupting a solve through it yields
+    /// [`RefinementOutcome::Interrupted`].
+    pub control: SolveControl,
 }
 
 impl Default for RefinementRequest {
@@ -233,6 +280,7 @@ impl Default for RefinementRequest {
             distance: DistanceMeasure::Predicate,
             optimizations: OptimizationConfig::all(),
             solver_options: SolverOptions::default(),
+            control: SolveControl::default(),
         }
     }
 }
@@ -283,6 +331,43 @@ impl RefinementRequest {
     #[must_use]
     pub fn with_solver_options(mut self, options: SolverOptions) -> Self {
         self.solver_options = options;
+        self
+    }
+
+    /// Bound the solve's wall-clock time — the *unified* deadline, honored
+    /// identically by every backend (the MILP engine, the exhaustive
+    /// baselines, and the Erica-style baseline). Exceeding it yields
+    /// [`RefinementOutcome::Interrupted`] carrying the best incumbent found,
+    /// unlike the budget-style [`SolverOptions::time_limit`] whose historical
+    /// `Feasible`/`NoRefinement` semantics are preserved.
+    #[must_use]
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.control = self.control.with_time_limit(limit);
+        self
+    }
+
+    /// Attach a cancellation token (keep a clone; calling
+    /// [`CancelToken::cancel`] from any thread interrupts the solve within a
+    /// few simplex pivots).
+    #[must_use]
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.control = self.control.with_cancel_token(token);
+        self
+    }
+
+    /// Attach a progress observer receiving incumbent / node / bound events
+    /// while the MILP engine searches.
+    #[must_use]
+    pub fn with_observer(mut self, observer: Arc<dyn SolveObserver>) -> Self {
+        self.control = self.control.with_observer(observer);
+        self
+    }
+
+    /// Replace the whole execution control (cancellation + deadline +
+    /// observer), e.g. to share one control across a batch.
+    #[must_use]
+    pub fn with_control(mut self, control: SolveControl) -> Self {
+        self.control = control;
         self
     }
 }
@@ -392,7 +477,7 @@ impl RefinementSession {
 
         // Solve.
         let solver = Solver::new(request.solver_options.clone());
-        let solution = solver.solve(&built.model)?;
+        let solution = solver.solve_with_control(&built.model, &request.control)?;
         stats.solver_time = solution.stats.solve_time;
         stats.nodes = solution.stats.nodes;
         stats.lp_solves = solution.stats.lp_solves;
@@ -403,6 +488,7 @@ impl RefinementSession {
         stats.eta_updates = solution.stats.eta_updates;
         stats.lu_nnz = solution.stats.lu_nnz;
         stats.matrix_nnz = solution.stats.matrix_nnz;
+        stats.interrupted = solution.stats.interrupted;
         stats.total_time = start.elapsed();
 
         let outcome = match solution.status {
@@ -423,6 +509,22 @@ impl RefinementSession {
             SolveStatus::LimitReached => RefinementOutcome::NoRefinement {
                 proven_infeasible: false,
             },
+            SolveStatus::Interrupted => {
+                // The incumbent (when one exists) is a feasible refinement
+                // within ε; package it exactly like a Feasible answer, but
+                // keep the interruption visible in the outcome.
+                let best = (!solution.values.is_empty()).then(|| {
+                    let assignment = built.extract_assignment(&solution.values);
+                    self.describe(
+                        request,
+                        &built,
+                        assignment,
+                        solution.objective,
+                        solution.status,
+                    )
+                });
+                RefinementOutcome::Interrupted { best }
+            }
         };
 
         Ok(RefinementResult { outcome, stats })
@@ -443,6 +545,55 @@ impl RefinementSession {
         requests.iter().map(|r| self.solve(r)).collect()
     }
 
+    /// Solve a batch of requests on an internal pool of `workers` OS
+    /// threads, sharing this session's annotations across all of them (the
+    /// session is `Send + Sync`; each solve builds its own MILP and
+    /// workspace, so nothing is locked on the hot path).
+    ///
+    /// Results come back **in request order**, and each individual result is
+    /// identical to what the sequential [`solve_batch`](Self::solve_batch)
+    /// returns for the same request (the solver is deterministic; only the
+    /// timing statistics differ). `workers <= 1` degenerates to the
+    /// sequential path.
+    ///
+    /// ```
+    /// use qr_core::paper_example::{paper_database, scholarship_constraints, scholarship_query};
+    /// use qr_core::prelude::*;
+    ///
+    /// let session = RefinementSession::new(paper_database(), scholarship_query()).unwrap();
+    /// let requests: Vec<RefinementRequest> = [0.0, 0.25, 0.5]
+    ///     .iter()
+    ///     .map(|&eps| {
+    ///         RefinementRequest::new()
+    ///             .with_constraints(scholarship_constraints())
+    ///             .with_epsilon(eps)
+    ///     })
+    ///     .collect();
+    /// let results = session.solve_batch_parallel(&requests, 4).unwrap();
+    /// assert_eq!(results.len(), 3);
+    /// assert_eq!(session.setup_stats().annotation_builds, 1);
+    /// ```
+    pub fn solve_batch_parallel(
+        &self,
+        requests: &[RefinementRequest],
+        workers: usize,
+    ) -> Result<Vec<RefinementResult>> {
+        self.run_parallel(requests.len(), workers, |i| self.solve(&requests[i]))
+    }
+
+    /// [`solve_batch_parallel`](Self::solve_batch_parallel) with an explicit
+    /// algorithm backend instead of the MILP engine.
+    pub fn solve_batch_parallel_with(
+        &self,
+        solver: &dyn RefinementSolver,
+        requests: &[RefinementRequest],
+        workers: usize,
+    ) -> Result<Vec<RefinementResult>> {
+        self.run_parallel(requests.len(), workers, |i| {
+            solver.solve(self, &requests[i])
+        })
+    }
+
     /// Sweep the maximum deviation ε over a base request (as in Figure 5),
     /// annotation paid once by the session rather than once per ε.
     pub fn sweep_epsilon(
@@ -453,6 +604,61 @@ impl RefinementSession {
         epsilons
             .iter()
             .map(|&eps| self.solve(&base.clone().with_epsilon(eps)))
+            .collect()
+    }
+
+    /// [`sweep_epsilon`](Self::sweep_epsilon) across an internal pool of
+    /// `workers` threads; results are ordered like `epsilons` and identical
+    /// to the sequential sweep's.
+    pub fn sweep_epsilon_parallel(
+        &self,
+        base: &RefinementRequest,
+        epsilons: &[f64],
+        workers: usize,
+    ) -> Result<Vec<RefinementResult>> {
+        self.run_parallel(epsilons.len(), workers, |i| {
+            self.solve(&base.clone().with_epsilon(epsilons[i]))
+        })
+    }
+
+    /// Shared worker-pool driver: run `task` for indices `0..len` on up to
+    /// `workers` scoped std threads, handing out indices through one atomic
+    /// counter (dynamic load balancing — solves vary wildly in cost) and
+    /// reassembling results in index order for deterministic output.
+    fn run_parallel<F>(&self, len: usize, workers: usize, task: F) -> Result<Vec<RefinementResult>>
+    where
+        F: Fn(usize) -> Result<RefinementResult> + Sync,
+    {
+        let workers = workers.min(len);
+        if workers <= 1 {
+            return (0..len).map(task).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<Result<RefinementResult>>> = (0..len).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut done: Vec<(usize, Result<RefinementResult>)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= len {
+                                break done;
+                            }
+                            done.push((i, task(i)));
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, result) in handle.join().expect("batch worker panicked") {
+                    slots[i] = Some(result);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every index was handed to exactly one worker"))
             .collect()
     }
 
@@ -542,6 +748,21 @@ pub fn exact_deviation(
         output,
     )
 }
+
+// The concurrent-service contract: a session (and everything needed to
+// submit requests to it and read results back) can cross and be shared
+// across threads. Compile-time check — reintroducing interior mutability or
+// an `Rc` anywhere in these types stops the build here.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<RefinementSession>();
+    assert_send_sync::<RefinementRequest>();
+    assert_send_sync::<RefinementResult>();
+    assert_send_sync::<RefinementOutcome>();
+    assert_send_sync::<RefinementStats>();
+    assert_send_sync::<SessionStats>();
+    assert_send_sync::<RefinedQuery>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -807,6 +1028,62 @@ mod tests {
         };
         assert!(!none.is_refined());
         assert!(none.into_refined().is_none());
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential_and_preserves_order() {
+        let session = paper_session();
+        let requests: Vec<RefinementRequest> = [0.0, 0.25, 0.5, 0.75]
+            .iter()
+            .map(|&eps| {
+                RefinementRequest::new()
+                    .with_constraints(scholarship_constraints())
+                    .with_epsilon(eps)
+            })
+            .collect();
+        let sequential = session.solve_batch(&requests).unwrap();
+        let parallel = session.solve_batch_parallel(&requests, 4).unwrap();
+        assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(
+                format!("{:?}", s.outcome),
+                format!("{:?}", p.outcome),
+                "parallel result must be byte-identical to sequential"
+            );
+        }
+        assert_eq!(session.setup_stats().annotation_builds, 1);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        let session = paper_session();
+        let base = RefinementRequest::new()
+            .with_constraints(scholarship_constraints())
+            .with_distance(DistanceMeasure::Predicate);
+        let epsilons = [0.0, 0.5, 1.0];
+        let sequential = session.sweep_epsilon(&base, &epsilons).unwrap();
+        let parallel = session.sweep_epsilon_parallel(&base, &epsilons, 3).unwrap();
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(format!("{:?}", s.outcome), format!("{:?}", p.outcome));
+        }
+    }
+
+    #[test]
+    fn cancelled_request_returns_interrupted() {
+        use qr_milp::control::CancelToken;
+        let session = paper_session();
+        let token = CancelToken::new();
+        token.cancel();
+        // Constraints the original query violates, so the exact fast path
+        // cannot answer before the solver sees the cancelled token.
+        let request = RefinementRequest::new()
+            .with_constraints(scholarship_constraints())
+            .with_epsilon(0.0)
+            .with_cancel_token(token);
+        let result = session.solve(&request).unwrap();
+        assert!(result.outcome.is_interrupted());
+        assert!(result.stats.interrupted);
+        assert!(!result.outcome.is_refined(), "cancelled before any node");
     }
 
     #[test]

@@ -42,7 +42,15 @@ use crate::session::{
 /// Implementations must not re-annotate: the session's
 /// [`annotated`](RefinementSession::annotated) relation is the shared,
 /// already-paid setup.
-pub trait RefinementSolver {
+///
+/// The `Send + Sync` supertraits are the concurrency contract: a backend can
+/// be shared by reference across the worker threads of
+/// [`RefinementSession::solve_batch_parallel_with`], so any internal state
+/// must be immutable or synchronized. Implementations must also honor the
+/// request's [`SolveControl`](qr_milp::control::SolveControl) — its unified
+/// deadline and cancellation — and report an interrupted solve through
+/// [`RefinementOutcome::Interrupted`].
+pub trait RefinementSolver: Send + Sync {
     /// Human-readable algorithm label for benchmark output (may depend on the
     /// request, e.g. the MILP label reflects the optimization configuration).
     fn label(&self, request: &RefinementRequest) -> String;
@@ -125,6 +133,7 @@ impl RefinementSolver for NaiveSolver {
             request.epsilon,
             request.distance,
             &self.options,
+            &request.control,
         )?;
         Ok(result.into_refinement_result(session.query()))
     }
@@ -167,23 +176,29 @@ impl RefinementSolver for EricaSolver {
             &output_constraints,
             output_size,
             request.solver_options.clone(),
+            &request.control,
         )?;
-        let outcome = match result.best {
-            Some((assignment, distance)) => {
-                let (deviation, _) =
-                    exact_deviation(session.annotated(), &request.constraints, &assignment);
-                RefinementOutcome::Refined(RefinedQuery {
-                    query: assignment.apply_to(session.query()),
-                    assignment,
-                    distance,
-                    objective: distance,
-                    deviation,
-                    proven_optimal: result.proven,
-                })
+        let best = result.best.map(|(assignment, distance)| {
+            let (deviation, _) =
+                exact_deviation(session.annotated(), &request.constraints, &assignment);
+            RefinedQuery {
+                query: assignment.apply_to(session.query()),
+                assignment,
+                distance,
+                objective: distance,
+                deviation,
+                proven_optimal: result.proven,
             }
-            None => RefinementOutcome::NoRefinement {
-                proven_infeasible: result.proven,
-            },
+        });
+        let outcome = if result.interrupted {
+            RefinementOutcome::Interrupted { best }
+        } else {
+            match best {
+                Some(refined) => RefinementOutcome::Refined(refined),
+                None => RefinementOutcome::NoRefinement {
+                    proven_infeasible: result.proven,
+                },
+            }
         };
         Ok(RefinementResult {
             outcome,
@@ -247,6 +262,36 @@ mod tests {
         let refined = result.outcome.refined().expect("a refinement exists");
         let output = evaluate_refinement(session.annotated(), &refined.assignment);
         assert_eq!(output.len(), 6, "Erica's output size is exact");
+    }
+
+    /// Satellite contract of the unified deadline: every backend honors the
+    /// request's `SolveControl` and reports `Interrupted` instead of running
+    /// to completion. A pre-cancelled token is the sharpest version of it.
+    #[test]
+    fn all_backends_honor_the_unified_control() {
+        use qr_milp::control::CancelToken;
+        let session = paper_session();
+        let backends: Vec<Box<dyn RefinementSolver>> = vec![
+            Box::new(MilpSolver),
+            Box::new(NaiveSolver::new(NaiveMode::Provenance)),
+            Box::new(NaiveSolver::new(NaiveMode::Database)),
+            Box::new(EricaSolver),
+        ];
+        for backend in &backends {
+            let token = CancelToken::new();
+            token.cancel();
+            let request = RefinementRequest::new()
+                .with_constraints(scholarship_constraints())
+                .with_epsilon(0.0)
+                .with_cancel_token(token);
+            let result = session.solve_with(backend.as_ref(), &request).unwrap();
+            assert!(
+                result.outcome.is_interrupted(),
+                "{} must report the interruption",
+                backend.label(&request)
+            );
+            assert!(result.stats.interrupted, "{}", backend.label(&request));
+        }
     }
 
     #[test]

@@ -24,12 +24,13 @@
 //! warm/cold split and factorization health are reported in [`SolveStats`].
 
 use crate::basis::Basis;
+use crate::control::{SolveControl, SolveProgress, StopCondition};
 use crate::error::Result;
 use crate::model::{Model, VarType};
 use crate::propagate::{box_objective_bound, propagate, PropagationResult};
 use crate::simplex::{LpSolution, LpStatus, LpWorkspace};
 use crate::solution::{Solution, SolveStats, SolveStatus};
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Tunable solver parameters.
@@ -37,7 +38,11 @@ use std::time::{Duration, Instant};
 pub struct SolverOptions {
     /// Maximum number of branch-and-bound nodes to process.
     pub max_nodes: usize,
-    /// Wall-clock time limit.
+    /// Wall-clock time limit. This is the *budget* limit with the historical
+    /// `Feasible`/`LimitReached` semantics; the execution-control deadline
+    /// ([`SolveControl::with_time_limit`]) instead ends the solve with
+    /// [`SolveStatus::Interrupted`]. When both are set, LPs stop on whichever
+    /// cut-off comes first.
     pub time_limit: Option<Duration>,
     /// Tolerance for considering an LP value integral.
     pub integrality_tol: f64,
@@ -74,12 +79,13 @@ impl Default for SolverOptions {
 
 /// A branch-and-bound node: a box of variable bounds, the parent's LP bound
 /// (for pruning before paying for this node's LP), and the parent's optimal
-/// basis (for warm-starting this node's LP; shared with the sibling).
+/// basis (for warm-starting this node's LP; shared with the sibling via
+/// `Arc` so the whole solve path stays `Send + Sync`).
 struct Node {
     lower: Vec<f64>,
     upper: Vec<f64>,
     parent_bound: f64,
-    parent_basis: Option<Rc<Basis>>,
+    parent_basis: Option<Arc<Basis>>,
 }
 
 /// The MILP solver.
@@ -95,8 +101,33 @@ impl Solver {
         Solver { options }
     }
 
-    /// Solve a model, minimising its objective.
+    /// Solve a model, minimising its objective, with no external execution
+    /// control (equivalent to [`solve_with_control`](Self::solve_with_control)
+    /// with a default [`SolveControl`]).
     pub fn solve(&self, model: &Model) -> Result<Solution> {
+        self.solve_with_control(model, &SolveControl::default())
+    }
+
+    /// Solve a model under an execution control: cooperative cancellation
+    /// and the unified deadline end the solve with
+    /// [`SolveStatus::Interrupted`] — best incumbent and complete statistics
+    /// still reported — and the attached
+    /// [`SolveObserver`](crate::control::SolveObserver) receives incumbent /
+    /// node / bound events as the search progresses.
+    ///
+    /// ```
+    /// use qr_milp::control::SolveControl;
+    /// use qr_milp::prelude::*;
+    /// use std::time::Duration;
+    ///
+    /// let mut m = Model::new("doc");
+    /// let x = m.add_binary("x");
+    /// m.set_objective(LinExpr::term(x, 1.0));
+    /// let control = SolveControl::new().with_time_limit(Duration::from_secs(30));
+    /// let s = Solver::default().solve_with_control(&m, &control).unwrap();
+    /// assert_eq!(s.status, SolveStatus::Optimal); // well within the deadline
+    /// ```
+    pub fn solve_with_control(&self, model: &Model, control: &SolveControl) -> Result<Solution> {
         model.validate()?;
         let start = Instant::now();
         let opts = &self.options;
@@ -106,7 +137,12 @@ impl Solver {
         };
 
         let n = model.num_variables();
-        let deadline = opts.time_limit.map(|limit| start + limit);
+        let legacy_deadline = opts.time_limit.map(|limit| start + limit);
+        let control_deadline = control.deadline_from(start);
+        // The LP pivot loops stop on whichever cut-off comes first — and on
+        // cancellation; which of the two deadlines fired is re-derived at the
+        // node loop to pick the right terminal status.
+        let lp_stop = control.stop_condition(start, legacy_deadline);
         let root_lower: Vec<f64> = model.variables().iter().map(|v| v.lower).collect();
         let root_upper: Vec<f64> = model.variables().iter().map(|v| v.upper).collect();
 
@@ -148,6 +184,7 @@ impl Solver {
 
         let mut incumbent: Option<(f64, Vec<f64>)> = None;
         let mut limit_hit = false;
+        let mut interrupted = false;
 
         let mut stack: Vec<Node> = vec![Node {
             lower: root_lower,
@@ -164,17 +201,22 @@ impl Solver {
                 parent_bound,
                 parent_basis,
             } = node;
-            if stats.nodes >= opts.max_nodes {
+            if control.is_cancelled() || control_deadline.is_some_and(|d| Instant::now() > d) {
+                interrupted = true;
+                break;
+            }
+            if stats.nodes >= opts.max_nodes || legacy_deadline.is_some_and(|d| Instant::now() > d)
+            {
                 limit_hit = true;
                 break;
             }
-            if let Some(limit) = opts.time_limit {
-                if start.elapsed() > limit {
-                    limit_hit = true;
-                    break;
-                }
-            }
             stats.nodes += 1;
+            if let Some(observer) = control.observer() {
+                observer.node_processed(&progress_of(
+                    &stats,
+                    incumbent.as_ref().map(|(obj, _)| *obj),
+                ));
+            }
 
             // Prune against the incumbent using the parent's bound.
             if let Some((inc_obj, _)) = &incumbent {
@@ -212,7 +254,7 @@ impl Solver {
                 &upper,
                 warm,
                 opts,
-                deadline,
+                &lp_stop,
                 &mut stats,
             )?;
             if std::env::var_os("QR_MILP_DEBUG").is_some() {
@@ -257,6 +299,12 @@ impl Solver {
             if !root_processed {
                 stats.best_bound = node_bound;
                 root_processed = true;
+                if let Some(observer) = control.observer() {
+                    observer.bound_improved(&progress_of(
+                        &stats,
+                        incumbent.as_ref().map(|(obj, _)| *obj),
+                    ));
+                }
             }
 
             if let Some((inc_obj, _)) = &incumbent {
@@ -294,18 +342,21 @@ impl Solver {
                             obj,
                             round_integers(&lp_values, &integer_vars, opts.integrality_tol),
                         ));
+                        if let Some(observer) = control.observer() {
+                            observer.incumbent_found(&progress_of(&stats, Some(obj)));
+                        }
                     }
                 }
                 Some((var_idx, frac_value)) => {
                     // Snapshot this node's optimal basis for its children
-                    // (and the dive below). Shared via Rc — both children
+                    // (and the dive below). Shared via Arc — both children
                     // and the heuristic read the same snapshot. Skipped for
                     // integral leaves (no consumers) and when warm starts
                     // are off, so the ablation baseline pays none of the
                     // bookkeeping.
-                    let node_basis: Option<Rc<Basis>> =
+                    let node_basis: Option<Arc<Basis>> =
                         if opts.use_warm_start && lp.status == LpStatus::Optimal {
-                            workspace.snapshot_basis().map(Rc::new)
+                            workspace.snapshot_basis().map(Arc::new)
                         } else {
                             None
                         };
@@ -333,10 +384,13 @@ impl Solver {
                             &lower,
                             &upper,
                             node_basis.as_deref(),
-                            deadline,
+                            &lp_stop,
                             &mut stats,
                         )? {
                             incumbent = Some((obj, values));
+                            if let Some(observer) = control.observer() {
+                                observer.incumbent_found(&progress_of(&stats, Some(obj)));
+                            }
                         }
                     }
 
@@ -374,15 +428,26 @@ impl Solver {
             }
         }
 
+        // A stop that fires inside the last stacked node's LP surfaces as an
+        // unreliable (iteration-limited) LP rather than at the loop head, so
+        // the loop can drain with only `limit_hit` set. Reconcile here: a
+        // triggered control is always reported as the interruption it is.
+        if limit_hit && !interrupted {
+            interrupted =
+                control.is_cancelled() || control_deadline.is_some_and(|d| Instant::now() > d);
+        }
         stats.solve_time = start.elapsed();
+        stats.interrupted = interrupted;
         match incumbent {
             Some((objective, values)) => {
-                let status = if limit_hit {
+                let status = if interrupted {
+                    SolveStatus::Interrupted
+                } else if limit_hit {
                     SolveStatus::Feasible
                 } else {
                     SolveStatus::Optimal
                 };
-                if !limit_hit {
+                if status == SolveStatus::Optimal {
                     stats.best_bound = objective;
                 }
                 Ok(Solution {
@@ -393,7 +458,9 @@ impl Solver {
                 })
             }
             None => {
-                let status = if limit_hit {
+                let status = if interrupted {
+                    SolveStatus::Interrupted
+                } else if limit_hit {
                     SolveStatus::LimitReached
                 } else {
                     SolveStatus::Infeasible
@@ -421,7 +488,7 @@ impl Solver {
         lower: &[f64],
         upper: &[f64],
         warm: Option<&Basis>,
-        deadline: Option<Instant>,
+        stop: &StopCondition,
         stats: &mut SolveStats,
     ) -> Result<Option<(f64, Vec<f64>)>> {
         let opts = &self.options;
@@ -462,7 +529,7 @@ impl Solver {
                     return Ok(None);
                 }
             }
-            let lp = solve_node_lp(workspace, &lo, &up, basis.as_ref(), opts, deadline, stats)?;
+            let lp = solve_node_lp(workspace, &lo, &up, basis.as_ref(), opts, stop, stats)?;
             if lp.status != LpStatus::Optimal {
                 return Ok(None);
             }
@@ -500,10 +567,10 @@ fn solve_node_lp(
     upper: &[f64],
     warm: Option<&Basis>,
     opts: &SolverOptions,
-    deadline: Option<Instant>,
+    stop: &StopCondition,
     stats: &mut SolveStats,
 ) -> Result<LpSolution> {
-    let lp = workspace.solve(lower, upper, warm, opts.max_lp_iterations, deadline)?;
+    let lp = workspace.solve(lower, upper, warm, opts.max_lp_iterations, stop)?;
     stats.lp_solves += 1;
     stats.simplex_iterations += lp.iterations;
     stats.refactorizations += lp.refactorizations;
@@ -515,6 +582,17 @@ fn solve_node_lp(
         stats.cold_lp_solves += 1;
     }
     Ok(lp)
+}
+
+/// Snapshot the running statistics for a [`SolveObserver`](crate::control::SolveObserver) callback.
+fn progress_of(stats: &SolveStats, incumbent_objective: Option<f64>) -> SolveProgress {
+    SolveProgress {
+        nodes: stats.nodes,
+        lp_solves: stats.lp_solves,
+        simplex_iterations: stats.simplex_iterations,
+        incumbent_objective,
+        best_bound: stats.best_bound,
+    }
 }
 
 /// Clamp-and-fix a set of integer variables to their rounded values.

@@ -29,9 +29,9 @@
 //!   better numerical behaviour on degenerate duals.
 
 use crate::basis::VarStatus;
+use crate::control::StopCondition;
 use crate::error::Result;
 use crate::simplex::{nonbasic_value, LpWorkspace, FEAS_TOL, PIVOT_TOL};
-use std::time::Instant;
 
 /// Relative slack admitted by the Harris pass when collecting near-tie pivot
 /// candidates (bounded dual infeasibility, repaired by the primal clean-up).
@@ -69,7 +69,7 @@ impl LpWorkspace {
     pub(crate) fn dual_simplex(
         &mut self,
         max_iterations: usize,
-        deadline: Option<Instant>,
+        stop: &StopCondition,
         iterations: &mut usize,
     ) -> Result<DualStatus> {
         let m = self.n_rows;
@@ -81,12 +81,10 @@ impl LpWorkspace {
             if local_iters >= max_iterations {
                 return Ok(DualStatus::IterationLimit);
             }
-            if local_iters.is_multiple_of(64) {
-                if let Some(deadline) = deadline {
-                    if Instant::now() > deadline {
-                        return Ok(DualStatus::IterationLimit);
-                    }
-                }
+            // Deadline and cancellation are polled on the same 64-pivot
+            // stride as the primal loop.
+            if local_iters.is_multiple_of(64) && stop.should_stop() {
+                return Ok(DualStatus::IterationLimit);
             }
 
             // --- Leaving slot: the most violated basic variable. ---

@@ -28,7 +28,14 @@
 //!   per-node simplex pivots by an order of magnitude on the refinement
 //!   MILPs; [`solution::SolveStats`] reports the warm/cold split, total
 //!   pivots, refactorizations, eta updates and LU fill-in so both the
-//!   warm-start gain and factorization health are observable.
+//!   warm-start gain and factorization health are observable,
+//! * execution control for service use ([`control`]): the whole solve path
+//!   is `Send + Sync`, and [`Solver::solve_with_control`] accepts a
+//!   [`SolveControl`] carrying a cooperative [`CancelToken`], a unified
+//!   deadline, and a [`SolveObserver`] for incumbent / node / bound progress
+//!   events. A cancelled or deadline-struck solve ends with
+//!   [`SolveStatus::Interrupted`], still reporting its best incumbent and
+//!   complete statistics.
 //!
 //! Set `QR_MILP_DEBUG=1` to trace phase transitions, warm-start outcomes and
 //! per-node LP statistics on stderr.
@@ -62,6 +69,7 @@
 
 pub mod basis;
 pub mod branch_bound;
+pub mod control;
 pub mod dual;
 pub mod error;
 pub mod expr;
@@ -74,6 +82,7 @@ pub mod solution;
 
 pub use basis::{Basis, VarStatus};
 pub use branch_bound::{Solver, SolverOptions};
+pub use control::{CancelToken, SolveControl, SolveObserver, SolveProgress, StopCondition};
 pub use error::{MilpError, Result};
 pub use expr::LinExpr;
 pub use model::{Model, Sense, VarId, VarType};
@@ -82,8 +91,25 @@ pub use solution::{Solution, SolveStatus};
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::branch_bound::{Solver, SolverOptions};
+    pub use crate::control::{CancelToken, SolveControl, SolveObserver, SolveProgress};
     pub use crate::error::{MilpError, Result as MilpResult};
     pub use crate::expr::LinExpr;
     pub use crate::model::{Model, Sense, VarId, VarType};
     pub use crate::solution::{Solution, SolveStatus};
 }
+
+// The concurrent-service contract: everything a worker thread needs to share
+// or move must be `Send + Sync`. Checked at compile time — if a future change
+// reintroduces an `Rc` or raw pointer anywhere on the solve path, this block
+// stops compiling.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Model>();
+    assert_send_sync::<Solver>();
+    assert_send_sync::<SolverOptions>();
+    assert_send_sync::<Solution>();
+    assert_send_sync::<Basis>();
+    assert_send_sync::<SolveControl>();
+    assert_send_sync::<CancelToken>();
+    assert_send_sync::<StopCondition>();
+};

@@ -41,11 +41,11 @@
 //! [`crate::solution::SolveStats`] aggregates them across a tree.
 
 use crate::basis::{Basis, VarStatus};
+use crate::control::StopCondition;
 use crate::dual::DualStatus;
 use crate::error::{MilpError, Result};
 use crate::factor::{BasisFactorization, EtaUpdate, SparseMatrix};
 use crate::model::{Model, Sense};
-use std::time::Instant;
 
 /// Outcome of an LP solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -258,16 +258,18 @@ impl LpWorkspace {
     /// repair of the branched bounds); any warm-path failure falls back to a
     /// cold two-phase solve transparently.
     ///
-    /// `deadline`, when set, aborts the solve with [`LpStatus::IterationLimit`]
-    /// once passed (checked periodically), so a single LP can never overshoot
-    /// the caller's time budget by more than a few pivots.
+    /// `stop` aborts the solve with [`LpStatus::IterationLimit`] once it
+    /// triggers — a passed deadline or a cancelled
+    /// [`CancelToken`](crate::control::CancelToken), polled every 64 pivots —
+    /// so a single LP can never overshoot the caller's budget (or ignore a
+    /// cancellation) by more than a few pivots.
     pub fn solve(
         &mut self,
         lower: &[f64],
         upper: &[f64],
         warm: Option<&Basis>,
         max_iterations: usize,
-        deadline: Option<Instant>,
+        stop: &StopCondition,
     ) -> Result<LpSolution> {
         let refac0 = self.factor.refactorization_count();
         let eta0 = self.factor.eta_update_count();
@@ -277,18 +279,14 @@ impl LpWorkspace {
         let mut solution = 'solved: {
             if let Some(basis) = warm {
                 if let Some(mut solution) =
-                    self.try_warm(lower, upper, basis, max_iterations, deadline, &mut wasted)?
+                    self.try_warm(lower, upper, basis, max_iterations, stop, &mut wasted)?
                 {
                     solution.iterations += wasted;
                     break 'solved solution;
                 }
             }
-            let mut solution = self.solve_cold(
-                lower,
-                upper,
-                max_iterations.saturating_sub(wasted),
-                deadline,
-            )?;
+            let mut solution =
+                self.solve_cold(lower, upper, max_iterations.saturating_sub(wasted), stop)?;
             solution.iterations += wasted;
             solution
         };
@@ -374,7 +372,7 @@ impl LpWorkspace {
         upper: &[f64],
         basis: &Basis,
         max_iterations: usize,
-        deadline: Option<Instant>,
+        stop: &StopCondition,
         wasted: &mut usize,
     ) -> Result<Option<LpSolution>> {
         if basis.num_columns() != self.core_cols || basis.num_basic() != self.n_rows {
@@ -389,7 +387,7 @@ impl LpWorkspace {
             if budget == 0 {
                 return Ok(None);
             }
-            match self.warm_attempt(lower, upper, basis, budget, deadline, reuse, wasted)? {
+            match self.warm_attempt(lower, upper, basis, budget, stop, reuse, wasted)? {
                 Some(solution) => return Ok(Some(solution)),
                 None if reuse => reuse = false,
                 None => return Ok(None),
@@ -417,7 +415,7 @@ impl LpWorkspace {
         upper: &[f64],
         target: &Basis,
         max_iterations: usize,
-        deadline: Option<Instant>,
+        stop: &StopCondition,
         reuse: bool,
         wasted: &mut usize,
     ) -> Result<Option<LpSolution>> {
@@ -463,7 +461,7 @@ impl LpWorkspace {
         // The dual repair of a single branched bound needs few pivots; a stall
         // beyond this cap means the warm basis is a bad start — fall back.
         let dual_cap = max_iterations.min(4 * (self.core_cols + self.n_rows) + 1000);
-        let dual_status = match self.dual_simplex(dual_cap, deadline, &mut iterations) {
+        let dual_status = match self.dual_simplex(dual_cap, stop, &mut iterations) {
             Ok(status) => status,
             // Numerical trouble on the warm path is never fatal: abandon the
             // attempt (refactorized retry, then cold).
@@ -509,7 +507,7 @@ impl LpWorkspace {
 
         // Primal clean-up: certify optimality on the true costs (the dual run
         // maintains dual feasibility only up to the Harris tolerance).
-        let status2 = match self.primal_phase(max_iterations, deadline, &mut iterations) {
+        let status2 = match self.primal_phase(max_iterations, stop, &mut iterations) {
             Ok(status) => status,
             Err(MilpError::NumericalTrouble(_)) => {
                 *wasted += iterations;
@@ -554,7 +552,7 @@ impl LpWorkspace {
         lower: &[f64],
         upper: &[f64],
         max_iterations: usize,
-        deadline: Option<Instant>,
+        stop: &StopCondition,
     ) -> Result<LpSolution> {
         self.basis_valid = false;
         let m = self.n_rows;
@@ -623,7 +621,7 @@ impl LpWorkspace {
         if n_art > 0 {
             // Phase 1: minimise total artificial magnitude (cost is ±1 on
             // the freed artificials, zero elsewhere — already in `cost`).
-            let status1 = self.primal_phase(max_iterations, deadline, &mut iterations)?;
+            let status1 = self.primal_phase(max_iterations, stop, &mut iterations)?;
             if debug {
                 eprintln!(
                     "[qr-milp] phase1: {iterations} iters, status {status1:?}, {n_art} artificials"
@@ -684,7 +682,7 @@ impl LpWorkspace {
 
         // Phase 2: minimise the true objective.
         self.cost.copy_from_slice(&self.objective);
-        let status2 = self.primal_phase(max_iterations, deadline, &mut iterations)?;
+        let status2 = self.primal_phase(max_iterations, stop, &mut iterations)?;
         if debug {
             eprintln!("[qr-milp] phase2: {iterations} iters total, status {status2:?}");
         }
@@ -927,7 +925,7 @@ impl LpWorkspace {
     fn primal_phase(
         &mut self,
         max_iterations: usize,
-        deadline: Option<Instant>,
+        stop: &StopCondition,
         iterations: &mut usize,
     ) -> Result<LpStatus> {
         let n = self.total_cols;
@@ -950,15 +948,11 @@ impl LpWorkspace {
             if *iterations >= max_iterations {
                 return Ok(LpStatus::IterationLimit);
             }
-            // Checking the clock every pivot would be noticeable on small
-            // LPs; every 64 pivots bounds the overshoot well under a
-            // millisecond.
-            if (*iterations).is_multiple_of(64) {
-                if let Some(deadline) = deadline {
-                    if Instant::now() > deadline {
-                        return Ok(LpStatus::IterationLimit);
-                    }
-                }
+            // Checking the clock (and the cancel flag) every pivot would be
+            // noticeable on small LPs; every 64 pivots bounds the overshoot
+            // well under a millisecond.
+            if (*iterations).is_multiple_of(64) && stop.should_stop() {
+                return Ok(LpStatus::IterationLimit);
             }
             *iterations += 1;
             phase_iters += 1;
@@ -1280,16 +1274,17 @@ pub(crate) fn nonbasic_value(status: VarStatus, lower: f64, upper: f64) -> f64 {
 }
 
 /// Convenience: build a one-shot workspace and cold-solve the LP relaxation
-/// of a model with the given bounds, optionally bounded by a wall-clock
-/// deadline. Branch-and-bound keeps a long-lived [`LpWorkspace`] instead.
+/// of a model with the given bounds, optionally bounded by a
+/// [`StopCondition`] (deadline and/or cancellation). Branch-and-bound keeps
+/// a long-lived [`LpWorkspace`] instead.
 pub fn solve_lp(
     model: &Model,
     lower: &[f64],
     upper: &[f64],
     max_iterations: usize,
-    deadline: Option<Instant>,
+    stop: &StopCondition,
 ) -> Result<LpSolution> {
-    LpWorkspace::new(model)?.solve(lower, upper, None, max_iterations, deadline)
+    LpWorkspace::new(model)?.solve(lower, upper, None, max_iterations, stop)
 }
 #[cfg(test)]
 mod tests {
@@ -1306,7 +1301,7 @@ mod tests {
 
     fn solve(model: &Model) -> LpSolution {
         let (lo, up) = bounds_of(model);
-        solve_lp(model, &lo, &up, 100_000, None).unwrap()
+        solve_lp(model, &lo, &up, 100_000, &StopCondition::none()).unwrap()
     }
 
     #[test]
@@ -1525,7 +1520,9 @@ mod tests {
         let (lo, up) = bounds_of(&m);
 
         let mut ws = LpWorkspace::new(&m).unwrap();
-        let root = ws.solve(&lo, &up, None, 10_000, None).unwrap();
+        let root = ws
+            .solve(&lo, &up, None, 10_000, &StopCondition::none())
+            .unwrap();
         assert_eq!(root.status, LpStatus::Optimal);
         assert!(!root.warm_started);
         let basis = ws.snapshot_basis().expect("optimal solve snapshots");
@@ -1533,10 +1530,12 @@ mod tests {
         // Branch: x <= 1.
         let mut up2 = up.clone();
         up2[x.index()] = 1.0;
-        let warm = ws.solve(&lo, &up2, Some(&basis), 10_000, None).unwrap();
+        let warm = ws
+            .solve(&lo, &up2, Some(&basis), 10_000, &StopCondition::none())
+            .unwrap();
         assert!(warm.warm_started, "child solve should take the warm path");
         assert_eq!(warm.status, LpStatus::Optimal);
-        let cold = solve_lp(&m, &lo, &up2, 10_000, None).unwrap();
+        let cold = solve_lp(&m, &lo, &up2, 10_000, &StopCondition::none()).unwrap();
         assert!(
             (warm.objective - cold.objective).abs() < 1e-6,
             "warm {} vs cold {}",
@@ -1559,14 +1558,18 @@ mod tests {
         m.set_objective(LinExpr::term(x, 1.0) + LinExpr::term(y, 1.0));
         let (lo, up) = bounds_of(&m);
         let mut ws = LpWorkspace::new(&m).unwrap();
-        let root = ws.solve(&lo, &up, None, 10_000, None).unwrap();
+        let root = ws
+            .solve(&lo, &up, None, 10_000, &StopCondition::none())
+            .unwrap();
         assert_eq!(root.status, LpStatus::Optimal);
         let basis = ws.snapshot_basis().unwrap();
         // x <= 1, y <= 2 makes the >= 5 row unsatisfiable.
         let mut up2 = up.clone();
         up2[x.index()] = 1.0;
         up2[y.index()] = 2.0;
-        let warm = ws.solve(&lo, &up2, Some(&basis), 10_000, None).unwrap();
+        let warm = ws
+            .solve(&lo, &up2, Some(&basis), 10_000, &StopCondition::none())
+            .unwrap();
         assert_eq!(warm.status, LpStatus::Infeasible);
     }
 
@@ -1588,7 +1591,9 @@ mod tests {
         for cap in [10.0, 8.0, 6.0, 4.0, 2.0] {
             let mut up2 = up.clone();
             up2[x.index()] = cap;
-            let sol = ws.solve(&lo, &up2, basis.as_ref(), 10_000, None).unwrap();
+            let sol = ws
+                .solve(&lo, &up2, basis.as_ref(), 10_000, &StopCondition::none())
+                .unwrap();
             assert_eq!(sol.status, LpStatus::Optimal);
             let expected = -(cap + (10.0 - cap) / 2.0);
             assert!(

@@ -17,10 +17,20 @@ pub enum SolveStatus {
     Unbounded,
     /// A node/time limit was reached before any feasible assignment was found.
     LimitReached,
+    /// The solve was interrupted by its [`SolveControl`] — a cancelled
+    /// [`CancelToken`] or an exceeded control deadline. The best incumbent
+    /// found so far (if any) is returned in [`Solution::values`], and
+    /// [`Solution::stats`] reflects all work done up to the interruption.
+    ///
+    /// [`SolveControl`]: crate::control::SolveControl
+    /// [`CancelToken`]: crate::control::CancelToken
+    Interrupted,
 }
 
 impl SolveStatus {
-    /// Whether a usable assignment is available.
+    /// Whether a usable assignment is available. For
+    /// [`SolveStatus::Interrupted`] an incumbent may or may not exist; check
+    /// [`Solution::values`] for emptiness.
     pub fn has_solution(&self) -> bool {
         matches!(self, SolveStatus::Optimal | SolveStatus::Feasible)
     }
@@ -57,6 +67,10 @@ pub struct SolveStats {
     pub solve_time: Duration,
     /// Best lower (dual) bound proven on the objective.
     pub best_bound: f64,
+    /// Whether the solve was stopped by its
+    /// [`SolveControl`](crate::control::SolveControl) (cancellation or
+    /// control deadline) rather than running to a terminal status.
+    pub interrupted: bool,
 }
 
 impl SolveStats {

@@ -1,0 +1,147 @@
+//! Execution-control contract tests at the MILP level: cancellation and the
+//! control deadline end a solve with `SolveStatus::Interrupted` (best
+//! incumbent and statistics intact), and `SolveObserver` callbacks stream
+//! incumbent / node / bound events from the branch-and-bound loop.
+
+use qr_milp::control::{CancelToken, SolveControl, SolveObserver, SolveProgress};
+use qr_milp::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Max-weight matchings on odd cycles: half-integral LP optima force real
+/// branching, so the tree is deep enough to observe and interrupt.
+fn branchy_model(cycles: &[usize]) -> Model {
+    let mut m = Model::new("branchy");
+    let mut profit = LinExpr::zero();
+    for (cycle, &len) in cycles.iter().enumerate() {
+        let xs: Vec<_> = (0..len)
+            .map(|i| m.add_binary(format!("x{cycle}_{i}")))
+            .collect();
+        for i in 0..len {
+            let j = (i + 1) % len;
+            m.add_constraint(
+                format!("edge{cycle}_{i}"),
+                LinExpr::term(xs[i], 1.0) + LinExpr::term(xs[j], 1.0),
+                Sense::Le,
+                1.0,
+            );
+        }
+        for (i, &x) in xs.iter().enumerate() {
+            profit.add_term(x, -(1.0 + 0.01 * (i + cycle) as f64));
+        }
+    }
+    m.set_objective(profit);
+    m
+}
+
+#[test]
+fn pre_cancelled_token_interrupts_immediately() {
+    let token = CancelToken::new();
+    token.cancel();
+    let control = SolveControl::new().with_cancel_token(token);
+    let s = Solver::default()
+        .solve_with_control(&branchy_model(&[5, 7, 9]), &control)
+        .unwrap();
+    assert_eq!(s.status, SolveStatus::Interrupted);
+    assert!(s.values.is_empty(), "no incumbent before the first node");
+    assert_eq!(s.stats.nodes, 0);
+    assert!(s.stats.interrupted);
+}
+
+#[test]
+fn expired_control_deadline_interrupts() {
+    let control = SolveControl::new().with_time_limit(Duration::ZERO);
+    let s = Solver::default()
+        .solve_with_control(&branchy_model(&[5, 7, 9]), &control)
+        .unwrap();
+    assert_eq!(s.status, SolveStatus::Interrupted);
+    assert!(s.stats.interrupted);
+}
+
+/// Observer that counts events and cancels the solve a few nodes after the
+/// first incumbent appears — a deterministic mid-flight cancellation that
+/// does not depend on machine speed.
+struct CancelAfterIncumbent {
+    token: CancelToken,
+    nodes: AtomicUsize,
+    incumbents: AtomicUsize,
+    bounds: AtomicUsize,
+}
+
+impl SolveObserver for CancelAfterIncumbent {
+    fn incumbent_found(&self, progress: &SolveProgress) {
+        assert!(progress.incumbent_objective.is_some());
+        self.incumbents.fetch_add(1, Ordering::Relaxed);
+        self.token.cancel();
+    }
+
+    fn node_processed(&self, progress: &SolveProgress) {
+        assert!(progress.nodes > self.nodes.swap(progress.nodes, Ordering::Relaxed));
+    }
+
+    fn bound_improved(&self, _progress: &SolveProgress) {
+        self.bounds.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[test]
+fn observer_streams_events_and_can_cancel_mid_flight() {
+    let token = CancelToken::new();
+    let observer = Arc::new(CancelAfterIncumbent {
+        token: token.clone(),
+        nodes: AtomicUsize::new(0),
+        incumbents: AtomicUsize::new(0),
+        bounds: AtomicUsize::new(0),
+    });
+    let control = SolveControl::new()
+        .with_cancel_token(token)
+        .with_observer(observer.clone());
+    // Disable the dive so the first incumbent comes from an integral leaf
+    // deep in the tree, guaranteeing the cancel lands mid-search.
+    let solver = Solver::new(SolverOptions {
+        use_rounding_heuristic: false,
+        ..SolverOptions::default()
+    });
+    let s = solver
+        .solve_with_control(&branchy_model(&[5, 7, 9, 11]), &control)
+        .unwrap();
+
+    assert_eq!(s.status, SolveStatus::Interrupted);
+    assert!(s.stats.interrupted);
+    // The interrupted solve still carries the incumbent the observer saw...
+    assert_eq!(observer.incumbents.load(Ordering::Relaxed), 1);
+    assert!(!s.values.is_empty(), "incumbent survives the interruption");
+    assert!(s.objective.is_finite());
+    // ... and a complete statistics snapshot.
+    assert!(s.stats.nodes > 0);
+    assert_eq!(observer.nodes.load(Ordering::Relaxed), s.stats.nodes);
+    assert!(s.stats.lp_solves > 0);
+    assert_eq!(
+        observer.bounds.load(Ordering::Relaxed),
+        1,
+        "root bound event"
+    );
+
+    // An uncontrolled run of the same model proves the cancel cut it short.
+    let full = solver.solve(&branchy_model(&[5, 7, 9, 11])).unwrap();
+    assert_eq!(full.status, SolveStatus::Optimal);
+    assert!(full.stats.nodes > s.stats.nodes);
+    // The incumbent reported at interruption is a genuinely feasible point:
+    // the full solve's optimum can only be at least as good.
+    assert!(full.objective <= s.objective + 1e-9);
+}
+
+/// The legacy `SolverOptions::time_limit` keeps its historical semantics
+/// (`Feasible`/`LimitReached`, not `Interrupted`) alongside the new control.
+#[test]
+fn legacy_time_limit_is_not_an_interruption() {
+    let solver = Solver::new(SolverOptions {
+        time_limit: Some(Duration::ZERO),
+        use_rounding_heuristic: false,
+        ..SolverOptions::default()
+    });
+    let s = solver.solve(&branchy_model(&[5, 7, 9])).unwrap();
+    assert_eq!(s.status, SolveStatus::LimitReached);
+    assert!(!s.stats.interrupted);
+}

@@ -12,6 +12,7 @@
 //!   independently reproduces every optimum the sparse solver reports.
 
 use proptest::prelude::*;
+use qr_milp::control::StopCondition;
 use qr_milp::factor::SparseMatrix;
 use qr_milp::lu::{LuFactors, LuScratch};
 use qr_milp::prelude::*;
@@ -475,7 +476,7 @@ proptest! {
             model.variables().iter().map(|v| v.lower).collect(),
             model.variables().iter().map(|v| v.upper).collect(),
         );
-        let sparse = solve_lp(&model, &lo, &up, 50_000, None).unwrap();
+        let sparse = solve_lp(&model, &lo, &up, 50_000, &StopCondition::none()).unwrap();
         let reference = dense_reference_solve(&model);
         match reference {
             RefOutcome::Infeasible => {

@@ -8,6 +8,7 @@
 //! enough to keep the suite snappy.
 
 use proptest::prelude::*;
+use qr_milp::control::StopCondition;
 use qr_milp::prelude::*;
 use qr_milp::simplex::{solve_lp, LpStatus};
 
@@ -105,7 +106,7 @@ fn degenerate_lp_terminates_without_stall_bailout() {
         m.variables().iter().map(|v| v.lower).collect(),
         m.variables().iter().map(|v| v.upper).collect(),
     );
-    let s = solve_lp(&m, &lo, &up, 50_000, None).unwrap();
+    let s = solve_lp(&m, &lo, &up, 50_000, &StopCondition::none()).unwrap();
     assert_eq!(s.status, LpStatus::Optimal);
     assert!(
         (s.objective + 6.0).abs() < 1e-5,

@@ -10,6 +10,7 @@ use std::process::Command;
 /// `examples/*.rs`.
 const EXAMPLES: &[&str] = &[
     "quickstart",
+    "concurrent_service",
     "tpch_market_segments",
     "healthcare_study",
     "scholarship_awards",

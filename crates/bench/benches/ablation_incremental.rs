@@ -1,0 +1,90 @@
+//! Ablation of the incremental annotation path: repairing an existing
+//! annotation from a typed delta (`AnnotatedRelation::apply_delta`) vs.
+//! rebuilding it from scratch, across delta sizes, on the fig8 TPC-H
+//! datasize workload.
+//!
+//! Two questions this answers with measurements rather than guesses:
+//!
+//! * how much faster is a single-row-update repair than a full rebuild
+//!   (the live-session acceptance target is >= 10x), and
+//! * where is the crossover — the delta fraction past which repairing costs
+//!   more than rebuilding — which is what `DEFAULT_REBUILD_FRACTION` pins.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qr_bench::{tiny_workload, SEED};
+use qr_datagen::DatasetId;
+use qr_provenance::AnnotatedRelation;
+use qr_relation::{Database, DatabaseDelta, RowId, Value};
+use std::time::Duration;
+
+/// Update the first `rows` Orders rows (nudging the order-by Revenue value,
+/// so the repair has to re-rank, not just substitute), returning the mutated
+/// database and the composed delta.
+fn update_orders(db: &Database, rows: usize) -> (Database, DatabaseDelta) {
+    let mut mutated = db.clone();
+    let orders = db.get("Orders").expect("TPC-H has Orders");
+    let revenue = orders
+        .schema()
+        .index_of("Revenue")
+        .expect("Orders has Revenue");
+    let updates: Vec<(RowId, Vec<Value>)> = orders
+        .row_ids()
+        .iter()
+        .take(rows)
+        .map(|&id| {
+            let mut row = orders.row_by_id(id).expect("id exists").clone();
+            if let Value::Float(v) = row[revenue] {
+                row[revenue] = Value::float(v + 0.5);
+            }
+            (id, row)
+        })
+        .collect();
+    let delta = mutated
+        .update_rows("Orders", updates)
+        .expect("updates are well formed")
+        .into();
+    (mutated, delta)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_incremental");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+
+    let base = tiny_workload(DatasetId::Tpch);
+    for factor in [1usize, 4] {
+        let w = if factor == 1 {
+            base.clone()
+        } else {
+            base.scaled(base.main_relation_size() * factor, SEED + factor as u64)
+        };
+        let rows = w.main_relation_size();
+        let annotated = AnnotatedRelation::build(&w.db, &w.query).expect("annotation builds");
+
+        group.bench_function(format!("TPC-H/rows={rows}/full_build"), |b| {
+            b.iter(|| AnnotatedRelation::build(&w.db, &w.query).unwrap())
+        });
+
+        // Delta sizes from a single row up to half the relation; threshold
+        // 1.0 forces the incremental path so the crossover against
+        // full_build is visible in the numbers, not hidden by the fallback.
+        let mut sizes = vec![1usize, rows / 20, rows / 5, rows / 2, rows];
+        sizes.dedup();
+        for delta_rows in sizes.into_iter().filter(|&n| n >= 1) {
+            let (mutated, delta) = update_orders(&w.db, delta_rows);
+            group.bench_function(format!("TPC-H/rows={rows}/delta_rows={delta_rows}"), |b| {
+                b.iter(|| {
+                    annotated
+                        .apply_delta_with_threshold(&mutated, &delta, 1.0)
+                        .unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -16,8 +16,9 @@ fn bench(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(500));
 
     let session = RefinementSession::new(paper_database(), scholarship_query()).unwrap();
+    let snapshot = session.snapshot();
     let built = build_model(
-        session.annotated(),
+        snapshot.annotated(),
         &scholarship_constraints(),
         0.0,
         DistanceMeasure::Predicate,

@@ -31,11 +31,19 @@
 //!   statistics. A [`SolveObserver`] streams incumbent / node / bound events
 //!   from a running MILP solve.
 //!
+//! * sessions are **live**: [`RefinementSession::apply`] mutates the
+//!   database at the tuple level ([`session::Mutation`]), repairs the
+//!   provenance annotations incrementally from the typed delta and installs
+//!   a new versioned [`session::AnnotatedSnapshot`] atomically — in-flight
+//!   solves keep the snapshot they pinned, later requests see the new
+//!   version.
+//!
 //! ## Quickstart
 //!
-//! The entry point is a [`RefinementSession`]: it owns the database, the
-//! query, and the provenance annotations of `~Q(D)` — built exactly once, at
-//! session construction — and answers any number of [`RefinementRequest`]s:
+//! The entry point is a [`RefinementSession`]: it owns the query and a
+//! versioned snapshot (database + provenance annotations of `~Q(D)` — built
+//! in full exactly once, at session construction) and answers any number of
+//! [`RefinementRequest`]s:
 //!
 //! ```
 //! use qr_core::prelude::*;
@@ -77,6 +85,16 @@
 //! }
 //! // ... because the session paid it exactly once, up front.
 //! assert_eq!(session.setup_stats().annotation_builds, 1);
+//!
+//! // Even a database mutation doesn't re-annotate from scratch: the session
+//! // repairs the annotations from the delta and bumps its version instead.
+//! session
+//!     .apply(vec![Mutation::delete("Activities", vec![0])])
+//!     .unwrap();
+//! let stats = session.setup_stats();
+//! assert_eq!(stats.annotation_builds, 1); // full builds: still just one
+//! assert_eq!(stats.delta_annotations, 1); // the mutation was a repair
+//! assert_eq!(stats.snapshot_version, 2);
 //! ```
 //!
 //! The old one-shot [`RefinementEngine`] (which re-annotated on every call)
@@ -113,8 +131,8 @@ pub use naive::{naive_search, naive_search_prepared, NaiveMode, NaiveOptions, Na
 pub use optimize::OptimizationConfig;
 pub use qr_milp::control::{CancelToken, SolveControl, SolveObserver, SolveProgress};
 pub use session::{
-    exact_deviation, exact_distance, RefinedQuery, RefinementOutcome, RefinementRequest,
-    RefinementResult, RefinementSession, RefinementStats, SessionStats,
+    exact_deviation, exact_distance, AnnotatedSnapshot, Mutation, RefinedQuery, RefinementOutcome,
+    RefinementRequest, RefinementResult, RefinementSession, RefinementStats, SessionStats,
 };
 pub use solver::{EricaSolver, MilpSolver, NaiveSolver, RefinementSolver};
 
@@ -129,8 +147,8 @@ pub mod prelude {
     pub use crate::naive::{naive_search, NaiveMode, NaiveOptions};
     pub use crate::optimize::OptimizationConfig;
     pub use crate::session::{
-        RefinedQuery, RefinementOutcome, RefinementRequest, RefinementResult, RefinementSession,
-        RefinementStats, SessionStats,
+        AnnotatedSnapshot, Mutation, RefinedQuery, RefinementOutcome, RefinementRequest,
+        RefinementResult, RefinementSession, RefinementStats, SessionStats,
     };
     pub use crate::solver::{EricaSolver, MilpSolver, NaiveSolver, RefinementSolver};
     pub use qr_milp::control::{CancelToken, SolveControl, SolveObserver, SolveProgress};

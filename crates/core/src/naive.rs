@@ -498,7 +498,8 @@ mod tests {
                 ])
                 .finish()
                 .unwrap(),
-        );
+        )
+        .expect("fresh relation name");
         let query = SpjQuery::builder("T")
             .categorical_predicate("Y", ["C", "D"])
             .order_by("Z", SortOrder::Descending)

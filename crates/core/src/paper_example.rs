@@ -139,8 +139,8 @@ pub fn paper_database() -> Database {
         .finish()
         .expect("paper Activities relation is well formed");
     let mut db = Database::new();
-    db.insert(students);
-    db.insert(activities);
+    db.insert(students).expect("fresh relation name");
+    db.insert(activities).expect("fresh relation name");
     db
 }
 

@@ -7,12 +7,13 @@
 //! on the database and the query, so a sweep of N requests needs it exactly
 //! once.
 //!
-//! [`RefinementSession`] captures that invariant: it owns the database, the
-//! query, and the [`AnnotatedRelation`] (built exactly once, at session
-//! construction), and answers any number of [`RefinementRequest`]s against
-//! them. A request bundles everything that may vary between solves:
-//! constraints, the maximum deviation ε, the distance measure, the Section 4
-//! optimizations, and the MILP solver budget.
+//! [`RefinementSession`] captures that invariant: it owns the query and a
+//! versioned [`AnnotatedSnapshot`] (database + [`AnnotatedRelation`], the
+//! annotation built in full exactly once, at session construction, and
+//! repaired incrementally afterwards), and answers any number of
+//! [`RefinementRequest`]s against it. A request bundles everything that may
+//! vary between solves: constraints, the maximum deviation ε, the distance
+//! measure, the Section 4 optimizations, and the MILP solver budget.
 //!
 //! ```
 //! use qr_core::paper_example::{paper_database, scholarship_constraints, scholarship_query};
@@ -48,6 +49,36 @@
 //! search. A cancelled or deadline-struck solve returns
 //! [`RefinementOutcome::Interrupted`] carrying the best incumbent found so
 //! far and complete statistics.
+//!
+//! # Live sessions: versioned snapshots
+//!
+//! A session is not pinned to a static database. [`RefinementSession::apply`]
+//! takes tuple-level [`Mutation`]s, repairs the annotation incrementally
+//! (see [`AnnotatedRelation::apply_delta`]) and atomically installs a new
+//! [`AnnotatedSnapshot`] with a monotonically increasing version. Every
+//! solve pins the snapshot current at its start — in-flight solves (including
+//! batch workers and cancellable solves) are never affected by a concurrent
+//! mutation, while requests submitted afterwards see the new version:
+//!
+//! ```
+//! use qr_core::paper_example::{paper_database, scholarship_constraints, scholarship_query};
+//! use qr_core::prelude::*;
+//! use qr_relation::Value;
+//!
+//! let session = RefinementSession::new(paper_database(), scholarship_query()).unwrap();
+//! assert_eq!(session.version(), 1);
+//!
+//! // A student drops out: delete their activity row by stable id.
+//! let version = session
+//!     .apply(vec![Mutation::delete("Activities", vec![0])])
+//!     .unwrap();
+//! assert_eq!(version, 2);
+//!
+//! let stats = session.setup_stats();
+//! assert_eq!(stats.annotation_builds, 1); // full builds: construction only
+//! assert_eq!(stats.delta_annotations, 1); // the mutation repaired in place
+//! assert_eq!(stats.snapshot_version, 2);
+//! ```
 
 use crate::constraint::ConstraintSet;
 use crate::distance::{
@@ -62,9 +93,9 @@ use qr_milp::{SolveStatus, Solver, SolverOptions};
 use qr_provenance::{
     whatif::evaluate_refinement, AnnotatedRelation, PredicateAssignment, RankedOutput,
 };
-use qr_relation::{Database, SpjQuery, Value};
+use qr_relation::{Database, DatabaseDelta, Row, RowId, SpjQuery, Value};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Shared, amortized setup work of a [`RefinementSession`], reported
@@ -73,14 +104,30 @@ use std::time::{Duration, Instant};
 /// once per solve.
 #[derive(Debug, Clone, Default)]
 pub struct SessionStats {
-    /// Time spent building the provenance annotations of `~Q(D)`.
+    /// Total time spent deriving annotations of `~Q(D)` — full builds and
+    /// incremental delta repairs combined.
     pub annotation_time: Duration,
-    /// How many times the annotation was built. Always 1 for a live session;
-    /// tests assert on it to pin the amortization contract.
+    /// How many times the annotation was built *from scratch*: 1 at session
+    /// construction, plus one per [`RefinementSession::apply`] whose delta
+    /// exceeded the rebuild threshold (those are also counted in
+    /// [`Self::full_rebuilds`]). Incremental repairs are counted in
+    /// [`Self::delta_annotations`] instead, so for a session that only ever
+    /// repairs incrementally this stays 1 — tests assert on it to pin the
+    /// amortization contract.
     pub annotation_builds: usize,
-    /// Number of tuples of `~Q(D)`.
+    /// How many [`RefinementSession::apply`] calls repaired the annotation
+    /// incrementally from the database delta.
+    pub delta_annotations: usize,
+    /// How many [`RefinementSession::apply`] calls fell back to a full
+    /// rebuild because the delta exceeded the rebuild threshold.
+    pub full_rebuilds: usize,
+    /// Version of the currently installed [`AnnotatedSnapshot`] (1 at
+    /// construction, +1 per applied mutation batch).
+    pub snapshot_version: u64,
+    /// Number of tuples of `~Q(D)` in the current snapshot.
     pub tuples: usize,
-    /// Number of lineage equivalence classes in `~Q(D)`.
+    /// Number of lineage equivalence classes in `~Q(D)` in the current
+    /// snapshot.
     pub lineage_classes: usize,
 }
 
@@ -372,40 +419,147 @@ impl RefinementRequest {
     }
 }
 
-/// A prepared refinement context: database + query + provenance annotations,
-/// the latter built exactly once. See the [module docs](self) for the why and
-/// a sweep example.
+/// One immutable version of a session's database together with the matching
+/// provenance annotations of `~Q(D)`.
+///
+/// Snapshots are what solves actually run against: a solve pins the `Arc` of
+/// the snapshot current when it starts and keeps it for its whole duration,
+/// so a concurrent [`RefinementSession::apply`] — which installs a *new*
+/// snapshot rather than mutating the current one — can never change a result
+/// mid-flight.
 #[derive(Debug, Clone)]
-pub struct RefinementSession {
+pub struct AnnotatedSnapshot {
+    version: u64,
     db: Database,
-    query: SpjQuery,
     annotated: AnnotatedRelation,
-    setup: SessionStats,
+}
+
+impl AnnotatedSnapshot {
+    /// Monotonic version: 1 for the snapshot built at session construction,
+    /// +1 per applied mutation batch.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The database state of this snapshot.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The provenance annotations of `~Q(D)` for this snapshot's database.
+    pub fn annotated(&self) -> &AnnotatedRelation {
+        &self.annotated
+    }
+}
+
+/// One tuple-level database mutation, addressed by relation name and stable
+/// [`RowId`]s, applied through [`RefinementSession::apply`].
+#[derive(Debug, Clone)]
+pub enum Mutation {
+    /// Append rows to a relation (ids are assigned by the database and
+    /// reported in the session's delta bookkeeping).
+    Insert {
+        /// Name of the relation to insert into.
+        relation: String,
+        /// The rows to append, matching the relation's schema.
+        rows: Vec<Row>,
+    },
+    /// Delete rows by stable id.
+    Delete {
+        /// Name of the relation to delete from.
+        relation: String,
+        /// Stable ids of the rows to delete.
+        ids: Vec<RowId>,
+    },
+    /// Replace the values of existing rows in place (ids and ranking
+    /// tie-break positions are kept).
+    Update {
+        /// Name of the relation to update.
+        relation: String,
+        /// `(row id, new row)` pairs; the new rows must match the schema.
+        updates: Vec<(RowId, Row)>,
+    },
+}
+
+impl Mutation {
+    /// Insert rows into `relation`.
+    pub fn insert(relation: impl Into<String>, rows: Vec<Row>) -> Self {
+        Mutation::Insert {
+            relation: relation.into(),
+            rows,
+        }
+    }
+
+    /// Delete the rows of `relation` with the given stable ids.
+    pub fn delete(relation: impl Into<String>, ids: Vec<RowId>) -> Self {
+        Mutation::Delete {
+            relation: relation.into(),
+            ids,
+        }
+    }
+
+    /// Update rows of `relation` in place.
+    pub fn update(relation: impl Into<String>, updates: Vec<(RowId, Row)>) -> Self {
+        Mutation::Update {
+            relation: relation.into(),
+            updates,
+        }
+    }
+}
+
+/// A prepared refinement context: query + a versioned, atomically swapped
+/// [`AnnotatedSnapshot`] (database + provenance annotations, the latter built
+/// in full exactly once and repaired incrementally on mutation). See the
+/// [module docs](self) for the why, a sweep example and the live-session
+/// semantics.
+#[derive(Debug)]
+pub struct RefinementSession {
+    query: SpjQuery,
+    /// Current snapshot; read-locked only long enough to clone the `Arc`.
+    current: RwLock<Arc<AnnotatedSnapshot>>,
+    /// Accumulated setup statistics; doubles as the writer lock serializing
+    /// [`apply`](RefinementSession::apply) calls.
+    stats: Mutex<SessionStats>,
+}
+
+impl Clone for RefinementSession {
+    /// Cloning forks the session at its current snapshot: the clone starts
+    /// from the same version and stats, and future [`apply`](Self::apply)
+    /// calls on either side are independent.
+    fn clone(&self) -> Self {
+        RefinementSession {
+            query: self.query.clone(),
+            current: RwLock::new(self.snapshot()),
+            stats: Mutex::new(self.setup_stats()),
+        }
+    }
 }
 
 impl RefinementSession {
     /// Create a session for a query over a database, building the provenance
-    /// annotations of `~Q(D)` now so that no subsequent solve has to.
+    /// annotations of `~Q(D)` now so that no subsequent solve has to. The
+    /// initial snapshot has version 1.
     pub fn new(db: Database, query: SpjQuery) -> Result<Self> {
         let start = Instant::now();
         let annotated = AnnotatedRelation::build(&db, &query)?;
         let setup = SessionStats {
             annotation_time: start.elapsed(),
             annotation_builds: 1,
+            delta_annotations: 0,
+            full_rebuilds: 0,
+            snapshot_version: 1,
             tuples: annotated.len(),
             lineage_classes: annotated.classes().len(),
         };
         Ok(RefinementSession {
-            db,
             query,
-            annotated,
-            setup,
+            current: RwLock::new(Arc::new(AnnotatedSnapshot {
+                version: 1,
+                db,
+                annotated,
+            })),
+            stats: Mutex::new(setup),
         })
-    }
-
-    /// The database the session was created over.
-    pub fn db(&self) -> &Database {
-        &self.db
     }
 
     /// The original (unrefined) query.
@@ -413,28 +567,134 @@ impl RefinementSession {
         &self.query
     }
 
-    /// The provenance annotations of `~Q(D)`, shared by every solve.
-    pub fn annotated(&self) -> &AnnotatedRelation {
-        &self.annotated
+    /// Pin the current snapshot. The returned `Arc` stays valid (and
+    /// unchanged) for as long as the caller holds it, no matter how many
+    /// mutations are applied concurrently.
+    pub fn snapshot(&self) -> Arc<AnnotatedSnapshot> {
+        Arc::clone(&self.current.read().expect("session snapshot lock poisoned"))
     }
 
-    /// Statistics of the shared setup work (annotation time, and the number
-    /// of times annotation ran — always 1).
-    pub fn setup_stats(&self) -> &SessionStats {
-        &self.setup
+    /// Version of the current snapshot (1 at construction, +1 per applied
+    /// mutation batch).
+    pub fn version(&self) -> u64 {
+        self.snapshot().version
     }
 
-    /// Solve one Best Approximation Refinement request with the MILP engine.
+    /// Apply a batch of tuple-level [`Mutation`]s, atomically installing a
+    /// new [`AnnotatedSnapshot`] with the next version, and return that
+    /// version.
+    ///
+    /// The annotations of the new snapshot are repaired incrementally from
+    /// the typed [`DatabaseDelta`] the mutations produce (see
+    /// [`AnnotatedRelation::apply_delta`]); only when the composed delta
+    /// exceeds the rebuild threshold does a full rebuild run (counted in
+    /// [`SessionStats::full_rebuilds`]). In-flight solves keep the snapshot
+    /// they pinned at start and are not affected. Writers are serialized;
+    /// readers are never blocked for longer than an `Arc` clone.
+    ///
+    /// The batch is atomic: if any mutation fails (unknown relation or row
+    /// id, arity/type mismatch), no new snapshot is installed and the
+    /// session is unchanged.
+    pub fn apply(&self, mutations: impl IntoIterator<Item = Mutation>) -> Result<u64> {
+        // The stats mutex doubles as the writer lock: clone-mutate-repair
+        // happens outside the snapshot RwLock so readers never wait on it.
+        let mut stats = self.stats.lock().expect("session stats lock poisoned");
+        let current = self.snapshot();
+        let mut db = current.db.clone();
+        let mut delta = DatabaseDelta::new();
+        for mutation in mutations {
+            let step = match mutation {
+                Mutation::Insert { relation, rows } => db.insert_rows(&relation, rows)?,
+                Mutation::Delete { relation, ids } => db.delete_rows(&relation, &ids)?,
+                Mutation::Update { relation, updates } => db.update_rows(&relation, updates)?,
+            };
+            delta.merge(step);
+        }
+        self.repair_and_install(&mut stats, &current, db, &delta)
+    }
+
+    /// Apply a pre-composed [`DatabaseDelta`] against a database that already
+    /// reflects it, installing it as the next snapshot. This is the low-level
+    /// sibling of [`apply`](Self::apply) for callers that mutate a database
+    /// copy themselves; the delta must accurately describe `db` relative to
+    /// the current snapshot's database.
+    pub fn apply_delta(&self, db: Database, delta: &DatabaseDelta) -> Result<u64> {
+        let mut stats = self.stats.lock().expect("session stats lock poisoned");
+        let current = self.snapshot();
+        self.repair_and_install(&mut stats, &current, db, delta)
+    }
+
+    /// Writer tail shared by [`apply`](Self::apply) and
+    /// [`apply_delta`](Self::apply_delta): repair the annotation against the
+    /// mutated database, account the work, and atomically publish the next
+    /// snapshot. Caller holds the stats lock (the writer lock).
+    fn repair_and_install(
+        &self,
+        stats: &mut SessionStats,
+        current: &AnnotatedSnapshot,
+        db: Database,
+        delta: &DatabaseDelta,
+    ) -> Result<u64> {
+        let start = Instant::now();
+        let repaired = current.annotated.apply_delta(&db, delta)?;
+        stats.annotation_time += start.elapsed();
+        if repaired.rebuilt {
+            stats.annotation_builds += 1;
+            stats.full_rebuilds += 1;
+        } else {
+            stats.delta_annotations += 1;
+        }
+        let version = current.version + 1;
+        stats.snapshot_version = version;
+        stats.tuples = repaired.annotated.len();
+        stats.lineage_classes = repaired.annotated.classes().len();
+        let snapshot = Arc::new(AnnotatedSnapshot {
+            version,
+            db,
+            annotated: repaired.annotated,
+        });
+        *self
+            .current
+            .write()
+            .expect("session snapshot lock poisoned") = snapshot;
+        Ok(version)
+    }
+
+    /// Statistics of the shared setup work: annotation time, full builds vs.
+    /// incremental delta repairs, and the current snapshot version. Returned
+    /// by value (a consistent copy under the stats lock).
+    pub fn setup_stats(&self) -> SessionStats {
+        self.stats
+            .lock()
+            .expect("session stats lock poisoned")
+            .clone()
+    }
+
+    /// Solve one Best Approximation Refinement request with the MILP engine,
+    /// against the snapshot current when the call starts.
     ///
     /// The returned stats have [`RefinementStats::annotation_time`] zero: the
     /// session already paid annotation at construction (see
     /// [`setup_stats`](Self::setup_stats)).
     pub fn solve(&self, request: &RefinementRequest) -> Result<RefinementResult> {
-        let start = Instant::now();
+        self.solve_on(&self.snapshot(), request)
+    }
 
-        // Per-request setup: MILP construction over the shared annotations.
+    /// Solve one request against an explicitly pinned [`AnnotatedSnapshot`]
+    /// (obtained from [`snapshot`](Self::snapshot)); lets a caller run many
+    /// solves against one coherent database version regardless of concurrent
+    /// [`apply`](Self::apply) calls.
+    pub fn solve_on(
+        &self,
+        snapshot: &AnnotatedSnapshot,
+        request: &RefinementRequest,
+    ) -> Result<RefinementResult> {
+        let start = Instant::now();
+        let annotated = snapshot.annotated();
+
+        // Per-request setup: MILP construction over the pinned annotations.
         let built = build_model(
-            &self.annotated,
+            annotated,
             &request.constraints,
             request.epsilon,
             request.distance,
@@ -449,7 +709,7 @@ impl RefinementSession {
             num_integer_variables: built.model.num_integer_variables(),
             num_constraints: built.model.num_constraints(),
             scope_size: built.vars.scope.len(),
-            lineage_classes: self.annotated.classes().len(),
+            lineage_classes: annotated.classes().len(),
             ..RefinementStats::default()
         };
 
@@ -460,14 +720,21 @@ impl RefinementSession {
         // identity refinement and non-negative elsewhere (Definition 2.7), so
         // no search can do better.
         let original = PredicateAssignment::from_query(&self.query);
-        let original_output = evaluate_refinement(&self.annotated, &original);
+        let original_output = evaluate_refinement(annotated, &original);
         let original_deviation = request
             .constraints
-            .deviation_of_output(&self.annotated, &original_output.selected);
+            .deviation_of_output(annotated, &original_output.selected);
         if original_output.selected.len() >= built.k_star
             && original_deviation <= request.epsilon + 1e-9
         {
-            let refined = self.describe(request, &built, original, 0.0, SolveStatus::Optimal);
+            let refined = self.describe(
+                snapshot,
+                request,
+                &built,
+                original,
+                0.0,
+                SolveStatus::Optimal,
+            );
             stats.total_time = start.elapsed();
             return Ok(RefinementResult {
                 outcome: RefinementOutcome::Refined(refined),
@@ -495,6 +762,7 @@ impl RefinementSession {
             SolveStatus::Optimal | SolveStatus::Feasible => {
                 let assignment = built.extract_assignment(&solution.values);
                 let refined = self.describe(
+                    snapshot,
                     request,
                     &built,
                     assignment,
@@ -516,6 +784,7 @@ impl RefinementSession {
                 let best = (!solution.values.is_empty()).then(|| {
                     let assignment = built.extract_assignment(&solution.values);
                     self.describe(
+                        snapshot,
                         request,
                         &built,
                         assignment,
@@ -540,9 +809,15 @@ impl RefinementSession {
         solver.solve(self, request)
     }
 
-    /// Solve a batch of requests against the shared annotations, in order.
+    /// Solve a batch of requests in order, all against the single snapshot
+    /// current when the batch starts (so a concurrent [`apply`](Self::apply)
+    /// cannot make the batch internally inconsistent).
     pub fn solve_batch(&self, requests: &[RefinementRequest]) -> Result<Vec<RefinementResult>> {
-        requests.iter().map(|r| self.solve(r)).collect()
+        let snapshot = self.snapshot();
+        requests
+            .iter()
+            .map(|r| self.solve_on(&snapshot, r))
+            .collect()
     }
 
     /// Solve a batch of requests on an internal pool of `workers` OS
@@ -578,7 +853,12 @@ impl RefinementSession {
         requests: &[RefinementRequest],
         workers: usize,
     ) -> Result<Vec<RefinementResult>> {
-        self.run_parallel(requests.len(), workers, |i| self.solve(&requests[i]))
+        // One snapshot for the whole batch: every worker solves against the
+        // same pinned database version, exactly like the sequential path.
+        let snapshot = self.snapshot();
+        self.run_parallel(requests.len(), workers, |i| {
+            self.solve_on(&snapshot, &requests[i])
+        })
     }
 
     /// [`solve_batch_parallel`](Self::solve_batch_parallel) with an explicit
@@ -601,9 +881,10 @@ impl RefinementSession {
         base: &RefinementRequest,
         epsilons: &[f64],
     ) -> Result<Vec<RefinementResult>> {
+        let snapshot = self.snapshot();
         epsilons
             .iter()
-            .map(|&eps| self.solve(&base.clone().with_epsilon(eps)))
+            .map(|&eps| self.solve_on(&snapshot, &base.clone().with_epsilon(eps)))
             .collect()
     }
 
@@ -616,8 +897,9 @@ impl RefinementSession {
         epsilons: &[f64],
         workers: usize,
     ) -> Result<Vec<RefinementResult>> {
+        let snapshot = self.snapshot();
         self.run_parallel(epsilons.len(), workers, |i| {
-            self.solve(&base.clone().with_epsilon(epsilons[i]))
+            self.solve_on(&snapshot, &base.clone().with_epsilon(epsilons[i]))
         })
     }
 
@@ -662,23 +944,26 @@ impl RefinementSession {
             .collect()
     }
 
-    /// Compute the exact distance/deviation of an assignment and package it.
+    /// Compute the exact distance/deviation of an assignment against one
+    /// pinned snapshot and package it.
     fn describe(
         &self,
+        snapshot: &AnnotatedSnapshot,
         request: &RefinementRequest,
         built: &BuiltModel,
         assignment: PredicateAssignment,
         objective: f64,
         status: SolveStatus,
     ) -> RefinedQuery {
+        let annotated = snapshot.annotated();
         let refined_query = assignment.apply_to(&self.query);
-        let output = evaluate_refinement(&self.annotated, &assignment);
+        let output = evaluate_refinement(annotated, &assignment);
         let deviation = request
             .constraints
-            .deviation_of_output(&self.annotated, &output.selected);
+            .deviation_of_output(annotated, &output.selected);
         let distance = exact_distance(
             request.distance,
-            &self.annotated,
+            annotated,
             &self.query,
             &assignment,
             built.k_star,
@@ -756,6 +1041,8 @@ pub fn exact_deviation(
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<RefinementSession>();
+    assert_send_sync::<AnnotatedSnapshot>();
+    assert_send_sync::<Mutation>();
     assert_send_sync::<RefinementRequest>();
     assert_send_sync::<RefinementResult>();
     assert_send_sync::<RefinementOutcome>();
@@ -882,7 +1169,8 @@ mod tests {
                 ])
                 .finish()
                 .unwrap(),
-        );
+        )
+        .expect("fresh relation name");
         let query = SpjQuery::builder("T")
             .categorical_predicate("Y", ["C", "D"])
             .order_by("Z", SortOrder::Descending)
@@ -975,16 +1263,17 @@ mod tests {
     #[test]
     fn exact_distance_consistency() {
         let session = paper_session();
+        let snapshot = session.snapshot();
         let query = session.query().clone();
         let identity = PredicateAssignment::from_query(&query);
         for m in DistanceMeasure::all() {
             assert_eq!(
-                exact_distance(m, session.annotated(), &query, &identity, 6),
+                exact_distance(m, snapshot.annotated(), &query, &identity, 6),
                 0.0
             );
         }
         let (dev, output) =
-            exact_deviation(session.annotated(), &scholarship_constraints(), &identity);
+            exact_deviation(snapshot.annotated(), &scholarship_constraints(), &identity);
         assert!(
             dev > 0.0,
             "the original scholarship query violates the constraints"
@@ -1084,6 +1373,87 @@ mod tests {
         assert!(result.outcome.is_interrupted());
         assert!(result.stats.interrupted);
         assert!(!result.outcome.is_refined(), "cancelled before any node");
+    }
+
+    #[test]
+    fn apply_repairs_incrementally_and_matches_fresh_build() {
+        let session = paper_session();
+        assert_eq!(session.version(), 1);
+        let request = RefinementRequest::new()
+            .with_constraints(scholarship_constraints())
+            .with_epsilon(0.0);
+        let pinned = session.snapshot();
+        let before = format!("{:?}", session.solve(&request).unwrap().outcome);
+
+        // A new high-SAT robotics student joins mid-session.
+        let version = session
+            .apply(vec![
+                Mutation::insert(
+                    "Students",
+                    vec![vec![
+                        "t99".into(),
+                        "F".into(),
+                        "Low".into(),
+                        3.9.into(),
+                        1610.into(),
+                    ]],
+                ),
+                Mutation::insert("Activities", vec![vec!["t99".into(), "RB".into()]]),
+            ])
+            .unwrap();
+        assert_eq!(version, 2);
+        assert_eq!(session.version(), 2);
+        let stats = session.setup_stats();
+        assert_eq!(stats.annotation_builds, 1, "small delta repairs in place");
+        assert_eq!(stats.delta_annotations, 1);
+        assert_eq!(stats.full_rebuilds, 0);
+        assert_eq!(stats.snapshot_version, 2);
+
+        // The repaired annotation is structurally identical to a fresh build
+        // against the mutated database.
+        let snapshot = session.snapshot();
+        let fresh = AnnotatedRelation::build(snapshot.db(), session.query()).unwrap();
+        assert_eq!(format!("{:?}", snapshot.annotated()), format!("{fresh:?}"),);
+
+        // The pinned pre-mutation snapshot is untouched: solving on it still
+        // reproduces the original answer, byte for byte.
+        assert_eq!(pinned.version(), 1);
+        let replay = format!("{:?}", session.solve_on(&pinned, &request).unwrap().outcome);
+        assert_eq!(before, replay);
+    }
+
+    #[test]
+    fn oversized_delta_falls_back_to_full_rebuild() {
+        let session = paper_session();
+        let snapshot = session.snapshot();
+        let students: Vec<qr_relation::RowId> =
+            snapshot.db().get("Students").unwrap().row_ids().to_vec();
+        let version = session
+            .apply(vec![Mutation::delete("Students", students)])
+            .unwrap();
+        assert_eq!(version, 2);
+        let stats = session.setup_stats();
+        assert_eq!(stats.full_rebuilds, 1, "delta touches most of the base");
+        assert_eq!(stats.annotation_builds, 2);
+        assert_eq!(stats.delta_annotations, 0);
+        assert_eq!(stats.tuples, 0, "no students left to join");
+    }
+
+    #[test]
+    fn failed_apply_leaves_the_session_unchanged() {
+        let session = paper_session();
+        let result = session.apply(vec![
+            Mutation::delete("Students", vec![0]),
+            Mutation::delete("NoSuchRelation", vec![0]),
+        ]);
+        assert!(
+            result.is_err(),
+            "unknown relation must fail the whole batch"
+        );
+        assert_eq!(session.version(), 1);
+        let stats = session.setup_stats();
+        assert_eq!(stats.delta_annotations, 0);
+        assert_eq!(stats.annotation_builds, 1);
     }
 
     #[test]

@@ -39,9 +39,11 @@ use crate::session::{
 /// An algorithm that can answer a [`RefinementRequest`] against a prepared
 /// [`RefinementSession`], returning the common [`RefinementResult`].
 ///
-/// Implementations must not re-annotate: the session's
-/// [`annotated`](RefinementSession::annotated) relation is the shared,
-/// already-paid setup.
+/// Implementations must not re-annotate: the annotated relation inside the
+/// session's current [`snapshot`](RefinementSession::snapshot) is the
+/// shared, already-paid setup. A backend must pin **one** snapshot at the
+/// start of a solve and use it throughout, so a concurrent
+/// [`apply`](RefinementSession::apply) cannot change its answer mid-flight.
 ///
 /// The `Send + Sync` supertraits are the concurrency contract: a backend can
 /// be shared by reference across the worker threads of
@@ -126,9 +128,10 @@ impl RefinementSolver for NaiveSolver {
         session: &RefinementSession,
         request: &RefinementRequest,
     ) -> Result<RefinementResult> {
+        let snapshot = session.snapshot();
         let result = naive_search_prepared(
-            session.db(),
-            session.annotated(),
+            snapshot.db(),
+            snapshot.annotated(),
             &request.constraints,
             request.epsilon,
             request.distance,
@@ -171,8 +174,9 @@ impl RefinementSolver for EricaSolver {
                 n: c.n,
             })
             .collect();
+        let snapshot = session.snapshot();
         let result = erica_refine_prepared(
-            session.annotated(),
+            snapshot.annotated(),
             &output_constraints,
             output_size,
             request.solver_options.clone(),
@@ -180,7 +184,7 @@ impl RefinementSolver for EricaSolver {
         )?;
         let best = result.best.map(|(assignment, distance)| {
             let (deviation, _) =
-                exact_deviation(session.annotated(), &request.constraints, &assignment);
+                exact_deviation(snapshot.annotated(), &request.constraints, &assignment);
             RefinedQuery {
                 query: assignment.apply_to(session.query()),
                 assignment,
@@ -260,7 +264,7 @@ mod tests {
         );
         let result = session.solve_with(&EricaSolver, &request).unwrap();
         let refined = result.outcome.refined().expect("a refinement exists");
-        let output = evaluate_refinement(session.annotated(), &refined.assignment);
+        let output = evaluate_refinement(session.snapshot().annotated(), &refined.assignment);
         assert_eq!(output.len(), 6, "Erica's output size is exact");
     }
 

@@ -64,7 +64,7 @@ pub fn generate(n: usize, seed: u64) -> Database {
     }
 
     let mut db = Database::new();
-    db.insert(rel);
+    db.insert(rel).expect("fresh relation name");
     db
 }
 

@@ -98,9 +98,9 @@ pub fn generate(customers: usize, orders_per_customer: usize, seed: u64) -> Data
     }
 
     let mut db = Database::new();
-    db.insert(nations_rel);
-    db.insert(customers_rel);
-    db.insert(orders_rel);
+    db.insert(nations_rel).expect("fresh relation name");
+    db.insert(customers_rel).expect("fresh relation name");
+    db.insert(orders_rel).expect("fresh relation name");
     db
 }
 

@@ -168,7 +168,7 @@ impl Workload {
             target_rows,
             seed,
         );
-        db.insert(scaled);
+        db.replace(scaled);
         Workload {
             id: self.id,
             db,

@@ -267,8 +267,8 @@ mod tests {
             .finish()
             .unwrap();
         let mut db = Database::new();
-        db.insert(students);
-        db.insert(activities);
+        db.insert(students).expect("fresh relation name");
+        db.insert(activities).expect("fresh relation name");
         db
     }
 

@@ -17,6 +17,15 @@ pub enum RelationError {
     },
     /// A referenced relation does not exist in the database.
     UnknownRelation(String),
+    /// A relation with this name already exists in the database.
+    DuplicateRelation(String),
+    /// A referenced row id does not exist in the relation.
+    UnknownRowId {
+        /// Name of the relation searched.
+        relation: String,
+        /// The missing row id.
+        id: u64,
+    },
     /// A row has a different arity than its schema.
     ArityMismatch {
         /// Number of columns declared by the schema.
@@ -65,6 +74,15 @@ impl fmt::Display for RelationError {
                 write!(f, "unknown column `{column}` in relation `{relation}`")
             }
             RelationError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            RelationError::DuplicateRelation(name) => {
+                write!(
+                    f,
+                    "relation `{name}` already exists (use `Database::replace` to overwrite)"
+                )
+            }
+            RelationError::UnknownRowId { relation, id } => {
+                write!(f, "unknown row id {id} in relation `{relation}`")
+            }
             RelationError::ArityMismatch { expected, found } => {
                 write!(
                     f,

@@ -9,10 +9,10 @@
 use crate::database::Database;
 use crate::error::{RelationError, Result};
 use crate::query::{SelectList, SortOrder, SpjQuery};
-use crate::relation::{Relation, Row};
+use crate::relation::{Relation, Row, RowId};
 use crate::schema::Schema;
 use crate::value::Value;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Evaluate a query, returning the ranked result relation.
 ///
@@ -40,9 +40,111 @@ pub fn evaluate(db: &Database, query: &SpjQuery) -> Result<Relation> {
 /// can be computed from it, and is ordered exactly like [`evaluate`] orders
 /// its results.
 pub fn evaluate_relaxed(db: &Database, query: &SpjQuery) -> Result<Relation> {
+    Ok(evaluate_relaxed_traced(db, query)?.relation)
+}
+
+/// A ranked relaxed result together with, for each output row, the stable
+/// [`RowId`]s of the base rows it joins (one per query table, in table order).
+#[derive(Debug, Clone)]
+pub struct TracedRelaxed {
+    /// The ranked relaxed relation `~Q(D)` (all join columns kept).
+    pub relation: Relation,
+    /// `sources[i][t]` is the id of the row of `query.tables[t]` that output
+    /// row `i` was joined from.
+    pub sources: Vec<Vec<RowId>>,
+}
+
+/// [`evaluate_relaxed`], additionally tracing each output row back to the
+/// stable ids of its base rows. Incremental provenance annotation uses the
+/// trace to decide which output tuples a database delta invalidates.
+pub fn evaluate_relaxed_traced(db: &Database, query: &SpjQuery) -> Result<TracedRelaxed> {
     query.validate()?;
-    let joined = join_tables(db, &query.tables)?;
-    rank(&joined, &query.order_by, query.order)
+    let filters = vec![RowFilter::All; query.tables.len()];
+    let (joined, sources) = join_tables_traced(db, &query.tables, &filters)?;
+    rank_traced(joined, sources, &query.order_by, query.order)
+}
+
+/// A per-table admission filter over stable row ids, used by
+/// [`join_tables_traced`] to join only the delta-relevant slice of the
+/// database.
+#[derive(Debug, Clone, Copy)]
+pub enum RowFilter<'a> {
+    /// Admit every row.
+    All,
+    /// Admit only rows whose id is in the set.
+    Only(&'a HashSet<RowId>),
+    /// Admit only rows whose id is *not* in the set.
+    Except(&'a HashSet<RowId>),
+}
+
+impl RowFilter<'_> {
+    fn admits(&self, id: RowId) -> bool {
+        match self {
+            RowFilter::All => true,
+            RowFilter::Only(set) => set.contains(&id),
+            RowFilter::Except(set) => !set.contains(&id),
+        }
+    }
+}
+
+/// Natural-join the query's tables left to right, admitting only base rows
+/// that pass the per-table filter, and tracing each output row to the stable
+/// ids of its base rows. With all filters set to [`RowFilter::All`] the output
+/// order is identical to the untraced join.
+pub fn join_tables_traced(
+    db: &Database,
+    tables: &[String],
+    filters: &[RowFilter<'_>],
+) -> Result<(Relation, Vec<Vec<RowId>>)> {
+    debug_assert_eq!(tables.len(), filters.len());
+    let first = db.get(&tables[0])?;
+    let mut acc = Relation::new(first.name().to_string(), first.schema().clone());
+    let mut sources: Vec<Vec<RowId>> = Vec::new();
+    for (i, row) in first.iter() {
+        let id = first.row_ids()[i];
+        if filters[0].admits(id) {
+            acc.push_row_unchecked(row.clone());
+            sources.push(vec![id]);
+        }
+    }
+    for (t, name) in tables.iter().enumerate().skip(1) {
+        let right = db.get(name)?;
+        let (next, next_sources) = natural_join_traced(&acc, &sources, right, filters[t])?;
+        acc = next;
+        sources = next_sources;
+    }
+    Ok((acc, sources))
+}
+
+/// Order rows by the scoring attribute (ties keep join order), permuting the
+/// source trace alongside.
+fn rank_traced(
+    relation: Relation,
+    sources: Vec<Vec<RowId>>,
+    order_by: &str,
+    order: SortOrder,
+) -> Result<TracedRelaxed> {
+    let idx = relation.schema().require(order_by, relation.name())?;
+    let mut order_keys: Vec<usize> = (0..relation.len()).collect();
+    order_keys.sort_by(|&a, &b| {
+        let va = &relation.rows()[a][idx];
+        let vb = &relation.rows()[b][idx];
+        let cmp = match order {
+            SortOrder::Descending => vb.cmp(va),
+            SortOrder::Ascending => va.cmp(vb),
+        };
+        cmp.then(a.cmp(&b))
+    });
+    let mut out = Relation::new(relation.name().to_string(), relation.schema().clone());
+    let mut out_sources = Vec::with_capacity(order_keys.len());
+    for &i in &order_keys {
+        out.push_row_unchecked(relation.rows()[i].clone());
+        out_sources.push(sources[i].clone());
+    }
+    Ok(TracedRelaxed {
+        relation: out,
+        sources: out_sources,
+    })
 }
 
 /// The top-k prefix of a ranked relation (fewer rows if the relation is smaller).
@@ -56,13 +158,111 @@ pub fn top_k(relation: &Relation, k: usize) -> Relation {
 
 /// Natural-join the given base relations left to right.
 fn join_tables(db: &Database, tables: &[String]) -> Result<Relation> {
-    let first = db.get(&tables[0])?;
-    let mut acc = first.clone();
-    for name in &tables[1..] {
-        let right = db.get(name)?;
-        acc = natural_join(&acc, right)?;
+    let filters = vec![RowFilter::All; tables.len()];
+    Ok(join_tables_traced(db, tables, &filters)?.0)
+}
+
+/// Left-side row count up to which the traced join step probes the right
+/// relation directly instead of building a hash index over it.
+const SMALL_LEFT_NESTED_LOOP: usize = 16;
+
+/// One traced step of the left-to-right join: accumulator (with its source
+/// trace) against a base relation, admitting only filtered base rows.
+fn natural_join_traced(
+    left: &Relation,
+    left_sources: &[Vec<RowId>],
+    right: &Relation,
+    right_filter: RowFilter<'_>,
+) -> Result<(Relation, Vec<Vec<RowId>>)> {
+    let join_cols = left.schema().common_columns(right.schema());
+    if join_cols.is_empty() {
+        return Err(RelationError::NoJoinColumns {
+            left: left.name().to_string(),
+            right: right.name().to_string(),
+        });
     }
-    Ok(acc)
+    let left_idx: Vec<usize> = join_cols
+        .iter()
+        .map(|c| left.schema().index_of(c).expect("common column"))
+        .collect();
+    let right_idx: Vec<usize> = join_cols
+        .iter()
+        .map(|c| right.schema().index_of(c).expect("common column"))
+        .collect();
+
+    let mut schema = Schema::default();
+    for c in left.schema().columns() {
+        schema.push(c.clone())?;
+    }
+    let right_extra: Vec<usize> = right
+        .schema()
+        .columns()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !right_idx.contains(i))
+        .map(|(i, c)| schema.push(c.clone()).map(|_| i))
+        .collect::<Result<Vec<_>>>()?;
+
+    let name = format!("{}⋈{}", left.name(), right.name());
+    let mut out = Relation::new(name, schema);
+    let mut out_sources: Vec<Vec<RowId>> = Vec::new();
+    let mut emit = |li: usize, lrow: &Row, ri: usize| {
+        let rrow = &right.rows()[ri];
+        let mut row: Row = lrow.clone();
+        row.extend(right_extra.iter().map(|&j| rrow[j].clone()));
+        out.push_row_unchecked(row);
+        let mut src = left_sources[li].clone();
+        src.push(right.row_ids()[ri]);
+        out_sources.push(src);
+    };
+
+    // A tiny left side (the delta-repair path filters the accumulator down
+    // to a handful of fresh rows) probes the right rows directly: same
+    // output order as the hash join below, none of its per-row key
+    // allocations — the index build would dominate the whole join.
+    if left.len() <= SMALL_LEFT_NESTED_LOOP {
+        for (li, lrow) in left.iter() {
+            // NULL join keys never match (SQL semantics).
+            if left_idx.iter().any(|&j| lrow[j].is_null()) {
+                continue;
+            }
+            for (ri, rrow) in right.iter() {
+                if right_filter.admits(right.row_ids()[ri])
+                    && left_idx
+                        .iter()
+                        .zip(right_idx.iter())
+                        .all(|(&lj, &rj)| lrow[lj] == rrow[rj])
+                {
+                    emit(li, lrow, ri);
+                }
+            }
+        }
+        return Ok((out, out_sources));
+    }
+
+    // Hash index over the admitted right rows, in storage order.
+    let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for (i, row) in right.iter() {
+        if !right_filter.admits(right.row_ids()[i]) {
+            continue;
+        }
+        let key: Vec<Value> = right_idx.iter().map(|&j| row[j].clone()).collect();
+        index.entry(key).or_default().push(i);
+    }
+
+    for (li, lrow) in left.iter() {
+        let key: Vec<Value> = left_idx.iter().map(|&j| lrow[j].clone()).collect();
+        // NULL join keys never match (SQL semantics).
+        if key.iter().any(Value::is_null) {
+            continue;
+        }
+        if let Some(matches) = index.get(&key) {
+            for &ri in matches {
+                emit(li, lrow, ri);
+            }
+        }
+    }
+    Ok((out, out_sources))
 }
 
 /// Natural join of two relations on all shared column names (hash join).
@@ -356,8 +556,8 @@ mod tests {
             .finish()
             .unwrap();
         let mut db = Database::new();
-        db.insert(students);
-        db.insert(activities);
+        db.insert(students).unwrap();
+        db.insert(activities).unwrap();
         db
     }
 
@@ -517,13 +717,15 @@ mod tests {
                 .column("x", DataType::Int)
                 .finish()
                 .unwrap(),
-        );
+        )
+        .unwrap();
         db.insert(
             Relation::build("b")
                 .column("y", DataType::Int)
                 .finish()
                 .unwrap(),
-        );
+        )
+        .unwrap();
         let q = SpjQuery::builder("a")
             .join("b")
             .order_by("x", SortOrder::Descending)
@@ -546,7 +748,8 @@ mod tests {
                 .row(vec![Value::text("x"), Value::int(5)])
                 .finish()
                 .unwrap(),
-        );
+        )
+        .unwrap();
         db.insert(
             Relation::build("b")
                 .column("k", DataType::Text)
@@ -555,7 +758,8 @@ mod tests {
                 .row(vec![Value::text("x"), Value::text("t")])
                 .finish()
                 .unwrap(),
-        );
+        )
+        .unwrap();
         let q = SpjQuery::builder("a")
             .join("b")
             .order_by("score", SortOrder::Descending)

@@ -35,7 +35,17 @@
 //!         .row(vec![Value::text("t2"), Value::float(3.5), Value::int(1580)])
 //!         .finish()
 //!         .unwrap(),
-//! );
+//! )
+//! .unwrap();
+//!
+//! // Tuple-level mutations return typed deltas with stable row ids.
+//! let delta = db
+//!     .insert_rows(
+//!         "students",
+//!         vec![vec![Value::text("t3"), Value::float(3.4), Value::int(1600)]],
+//!     )
+//!     .unwrap();
+//! assert_eq!(delta.added, vec![2]);
 //!
 //! let query = SpjQuery::builder("students")
 //!     .numeric_predicate("gpa", CmpOp::Ge, 3.7)
@@ -52,6 +62,7 @@
 
 pub mod csv;
 pub mod database;
+pub mod delta;
 pub mod error;
 pub mod eval;
 pub mod predicate;
@@ -62,11 +73,15 @@ pub mod sql;
 pub mod value;
 
 pub use database::Database;
+pub use delta::{DatabaseDelta, RelationDelta};
 pub use error::{RelationError, Result};
-pub use eval::{evaluate, evaluate_relaxed, top_k};
+pub use eval::{
+    evaluate, evaluate_relaxed, evaluate_relaxed_traced, join_tables_traced, top_k, RowFilter,
+    TracedRelaxed,
+};
 pub use predicate::{CategoricalPredicate, CmpOp, NumericPredicate};
 pub use query::{SelectList, SortOrder, SpjQuery, SpjQueryBuilder};
-pub use relation::{Relation, RelationBuilder, Row};
+pub use relation::{Relation, RelationBuilder, Row, RowId};
 pub use schema::{Column, DataType, Schema};
 pub use value::Value;
 
@@ -74,11 +89,12 @@ pub use value::Value;
 pub mod prelude {
     pub use crate::csv::{read_csv_str, write_csv_string};
     pub use crate::database::Database;
+    pub use crate::delta::{DatabaseDelta, RelationDelta};
     pub use crate::error::{RelationError, Result as RelationResult};
     pub use crate::eval::{evaluate, evaluate_relaxed, top_k};
     pub use crate::predicate::{CategoricalPredicate, CmpOp, NumericPredicate};
     pub use crate::query::{SelectList, SortOrder, SpjQuery, SpjQueryBuilder};
-    pub use crate::relation::{Relation, RelationBuilder, Row};
+    pub use crate::relation::{Relation, RelationBuilder, Row, RowId};
     pub use crate::schema::{Column, DataType, Schema};
     pub use crate::sql::ToSql;
     pub use crate::value::Value;

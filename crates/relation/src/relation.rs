@@ -8,12 +8,36 @@ use std::fmt;
 /// A row is a vector of values matching the relation's schema arity.
 pub type Row = Vec<Value>;
 
+/// Stable identity of a row within one relation.
+///
+/// Ids are assigned from a per-relation counter that never reuses a value:
+/// inserts append fresh ids, deletes preserve the order of the survivors and
+/// updates keep the id of the row they rewrite. Consequently ids are
+/// **strictly increasing in storage order** — downstream incremental
+/// provenance relies on this to equate "compare rows by id" with "compare
+/// rows by position".
+pub type RowId = u64;
+
 /// A named relation: schema + rows (bag semantics, insertion order preserved).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Every row carries a stable [`RowId`] so that tuple-level mutations
+/// ([`insert_rows`](Relation::insert_rows), [`delete_rows`](Relation::delete_rows),
+/// [`update_rows`](Relation::update_rows)) can be described by typed deltas.
+/// Equality compares name, schema and row values only — id bookkeeping is
+/// deliberately excluded so that e.g. a CSV round trip compares equal.
+#[derive(Debug, Clone)]
 pub struct Relation {
     name: String,
     schema: Schema,
     rows: Vec<Row>,
+    row_ids: Vec<RowId>,
+    next_row_id: RowId,
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.schema == other.schema && self.rows == other.rows
+    }
 }
 
 impl Relation {
@@ -23,6 +47,8 @@ impl Relation {
             name: name.into(),
             schema,
             rows: Vec::new(),
+            row_ids: Vec::new(),
+            next_row_id: 0,
         }
     }
 
@@ -68,6 +94,13 @@ impl Relation {
 
     /// Append a row after validating arity and column types.
     pub fn push_row(&mut self, row: Row) -> Result<()> {
+        self.validate_row(&row)?;
+        self.push_row_unchecked(row);
+        Ok(())
+    }
+
+    /// Check that a row matches the schema's arity and column types.
+    fn validate_row(&self, row: &Row) -> Result<()> {
         if row.len() != self.schema.len() {
             return Err(RelationError::ArityMismatch {
                 expected: self.schema.len(),
@@ -83,7 +116,6 @@ impl Relation {
                 });
             }
         }
-        self.rows.push(row);
         Ok(())
     }
 
@@ -91,7 +123,106 @@ impl Relation {
     /// which only produces well-typed rows).
     pub(crate) fn push_row_unchecked(&mut self, row: Row) {
         debug_assert_eq!(row.len(), self.schema.len());
+        self.row_ids.push(self.next_row_id);
+        self.next_row_id += 1;
         self.rows.push(row);
+    }
+
+    /// Stable ids of the rows, aligned with [`rows`](Relation::rows) and
+    /// strictly increasing in storage order.
+    pub fn row_ids(&self) -> &[RowId] {
+        &self.row_ids
+    }
+
+    /// Stable id of the row at a storage position.
+    pub fn row_id(&self, row_idx: usize) -> Option<RowId> {
+        self.row_ids.get(row_idx).copied()
+    }
+
+    /// Storage position of the row with a stable id (binary search: ids are
+    /// strictly increasing in storage order).
+    pub fn position_of(&self, id: RowId) -> Option<usize> {
+        self.row_ids.binary_search(&id).ok()
+    }
+
+    /// The row with a stable id, if it still exists.
+    pub fn row_by_id(&self, id: RowId) -> Option<&Row> {
+        self.position_of(id).map(|idx| &self.rows[idx])
+    }
+
+    /// Append rows, assigning each a fresh [`RowId`]; returns the new ids in
+    /// order. Validation happens before any row is appended, so the relation
+    /// is untouched on error.
+    pub fn insert_rows(&mut self, rows: Vec<Row>) -> Result<Vec<RowId>> {
+        for row in &rows {
+            self.validate_row(row)?;
+        }
+        let mut ids = Vec::with_capacity(rows.len());
+        for row in rows {
+            ids.push(self.next_row_id);
+            self.push_row_unchecked(row);
+        }
+        Ok(ids)
+    }
+
+    /// Delete the rows with the given ids (duplicates are tolerated),
+    /// preserving the storage order of the survivors. Returns the deleted
+    /// ids in storage order. Errors — without deleting anything — if any id
+    /// is unknown.
+    pub fn delete_rows(&mut self, ids: &[RowId]) -> Result<Vec<RowId>> {
+        let mut doomed: Vec<RowId> = Vec::with_capacity(ids.len());
+        for &id in ids {
+            if self.position_of(id).is_none() {
+                return Err(RelationError::UnknownRowId {
+                    relation: self.name.clone(),
+                    id,
+                });
+            }
+            if !doomed.contains(&id) {
+                doomed.push(id);
+            }
+        }
+        doomed.sort_unstable();
+        let mut write = 0;
+        for read in 0..self.rows.len() {
+            if doomed.binary_search(&self.row_ids[read]).is_ok() {
+                continue;
+            }
+            if write != read {
+                self.rows.swap(write, read);
+                self.row_ids.swap(write, read);
+            }
+            write += 1;
+        }
+        self.rows.truncate(write);
+        self.row_ids.truncate(write);
+        Ok(doomed)
+    }
+
+    /// Rewrite rows in place, keeping each row's id and storage position.
+    /// Returns the changed ids in first-touch order (duplicate ids apply
+    /// last-writer-wins and are reported once). Validation happens before
+    /// any row is rewritten, so the relation is untouched on error.
+    pub fn update_rows(&mut self, updates: Vec<(RowId, Row)>) -> Result<Vec<RowId>> {
+        let mut positions = Vec::with_capacity(updates.len());
+        for (id, row) in &updates {
+            let idx = self
+                .position_of(*id)
+                .ok_or_else(|| RelationError::UnknownRowId {
+                    relation: self.name.clone(),
+                    id: *id,
+                })?;
+            self.validate_row(row)?;
+            positions.push(idx);
+        }
+        let mut changed: Vec<RowId> = Vec::with_capacity(updates.len());
+        for ((id, row), idx) in updates.into_iter().zip(positions) {
+            self.rows[idx] = row;
+            if !changed.contains(&id) {
+                changed.push(id);
+            }
+        }
+        Ok(changed)
     }
 
     /// Value of `column` in row `row_idx`.
@@ -294,5 +425,72 @@ mod tests {
         let r = students();
         let p = r.preview(2);
         assert!(p.contains("1 more rows"));
+    }
+
+    #[test]
+    fn row_ids_survive_mutation() {
+        let mut r = students();
+        assert_eq!(r.row_ids(), &[0, 1, 2]);
+
+        let added = r
+            .insert_rows(vec![
+                vec![Value::text("t4"), Value::float(3.9), Value::int(1500)],
+                vec![Value::text("t5"), Value::float(3.5), Value::int(1510)],
+            ])
+            .unwrap();
+        assert_eq!(added, vec![3, 4]);
+
+        let removed = r.delete_rows(&[3, 1, 3]).unwrap();
+        assert_eq!(removed, vec![1, 3]);
+        assert_eq!(r.row_ids(), &[0, 2, 4]);
+        assert_eq!(r.value(2, "id"), Some(&Value::text("t5")));
+
+        let changed = r
+            .update_rows(vec![(
+                2,
+                vec![Value::text("t3b"), Value::float(3.65), Value::int(1571)],
+            )])
+            .unwrap();
+        assert_eq!(changed, vec![2]);
+        assert_eq!(r.position_of(2), Some(1));
+        assert_eq!(r.row_by_id(2).unwrap()[0], Value::text("t3b"));
+        // Ids stay strictly increasing in storage order.
+        assert!(r.row_ids().windows(2).all(|w| w[0] < w[1]));
+
+        // New inserts never reuse a deleted id.
+        let re_added = r
+            .insert_rows(vec![vec![
+                Value::text("t6"),
+                Value::float(3.2),
+                Value::int(1400),
+            ]])
+            .unwrap();
+        assert_eq!(re_added, vec![5]);
+    }
+
+    #[test]
+    fn mutations_are_atomic_on_error() {
+        let mut r = students();
+        let err = r
+            .insert_rows(vec![
+                vec![Value::text("ok"), Value::float(3.0), Value::int(1)],
+                vec![Value::text("bad")],
+            ])
+            .unwrap_err();
+        assert!(matches!(err, RelationError::ArityMismatch { .. }));
+        assert_eq!(r.len(), 3);
+
+        let err = r.delete_rows(&[0, 99]).unwrap_err();
+        assert!(matches!(err, RelationError::UnknownRowId { id: 99, .. }));
+        assert_eq!(r.len(), 3);
+
+        let err = r
+            .update_rows(vec![
+                (0, vec![Value::text("x"), Value::float(1.0), Value::int(1)]),
+                (42, vec![]),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, RelationError::UnknownRowId { id: 42, .. }));
+        assert_eq!(r.value(0, "id"), Some(&Value::text("t1")));
     }
 }

@@ -26,10 +26,11 @@ fn main() {
     // cross-checks below — no separate AnnotatedRelation::build needed.
     let session = RefinementSession::new(workload.db.clone(), workload.query.clone())
         .expect("annotation builds");
+    let snapshot = session.snapshot();
     println!(
         "~Q(D): {} tuples in {} lineage equivalence classes (annotated once, {:?})\n",
-        session.annotated().len(),
-        session.annotated().classes().len(),
+        snapshot.annotated().len(),
+        snapshot.annotated().classes().len(),
         session.setup_stats().annotation_time
     );
 
@@ -53,14 +54,14 @@ fn main() {
         if let Some(refined) = result.outcome.refined() {
             let qd = exact_distance(
                 DM::Predicate,
-                session.annotated(),
+                snapshot.annotated(),
                 session.query(),
                 &refined.assignment,
                 k,
             );
             let jac = exact_distance(
                 DM::JaccardTopK,
-                session.annotated(),
+                snapshot.annotated(),
                 session.query(),
                 &refined.assignment,
                 k,

@@ -142,7 +142,7 @@ fn erica_baseline_respects_exact_output_size() {
     if let Some((assignment, _)) = erica.best {
         let session = session_for(&w);
         let output = query_refinement::provenance::whatif::evaluate_refinement(
-            session.annotated(),
+            session.snapshot().annotated(),
             &assignment,
         );
         assert_eq!(output.len(), 8);

@@ -143,7 +143,8 @@ fn theorem_2_5_instance_has_no_exact_refinement() {
             ])
             .finish()
             .unwrap(),
-    );
+    )
+    .expect("fresh relation name");
     let query = SpjQuery::builder("T")
         .categorical_predicate("Y", ["C", "D"])
         .order_by("Z", SortOrder::Descending)
@@ -185,7 +186,8 @@ fn whatif_agrees_with_engine_for_the_milp_result() {
         .unwrap();
     let refined = result.outcome.refined().unwrap();
     let engine_output = evaluate(&db, &refined.query).unwrap();
-    let annotated = session.annotated();
+    let snapshot = session.snapshot();
+    let annotated = snapshot.annotated();
     let whatif_output = evaluate_refinement(annotated, &refined.assignment);
     assert_eq!(engine_output.len(), whatif_output.len());
     let id_idx = annotated.schema().index_of("ID").unwrap();

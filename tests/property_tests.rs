@@ -27,7 +27,8 @@ proptest! {
         let db = paper_database();
         let query = scholarship_query();
         let session = RefinementSession::new(db.clone(), query.clone()).unwrap();
-        let annotated = session.annotated();
+        let snapshot = session.snapshot();
+        let annotated = snapshot.annotated();
         let mut assignment = PredicateAssignment::from_query(&query);
         assignment.categorical.insert("Activity".to_string(), activities.clone());
         let gpa = gpa_tenths as f64 / 10.0;

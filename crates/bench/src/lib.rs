@@ -13,7 +13,8 @@
 //! selected uniformly through the [`RefinementSolver`] trait, and parameter
 //! sweeps submitted as [`RefinementRequest`]s.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 use qr_core::{

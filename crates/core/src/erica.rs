@@ -22,6 +22,7 @@ use crate::milp_model::{build_model, BuiltModel};
 use crate::optimize::OptimizationConfig;
 use crate::session::RefinementStats;
 use qr_milp::control::SolveControl;
+use qr_milp::solution::SolveStats;
 use qr_milp::{LinExpr, Sense, SolveStatus, Solver, SolverOptions};
 use qr_provenance::{whatif::evaluate_refinement, AnnotatedRelation, PredicateAssignment};
 use qr_relation::{Database, SpjQuery};
@@ -209,17 +210,36 @@ pub fn erica_refine_prepared(
     };
 
     let solution = Solver::new(solver_options).solve_with_control(&model, control)?;
-    stats.solver_time = solution.stats.solve_time;
-    stats.nodes = solution.stats.nodes;
-    stats.lp_solves = solution.stats.lp_solves;
-    stats.simplex_iterations = solution.stats.simplex_iterations;
-    stats.warm_lp_solves = solution.stats.warm_lp_solves;
-    stats.cold_lp_solves = solution.stats.cold_lp_solves;
-    stats.refactorizations = solution.stats.refactorizations;
-    stats.eta_updates = solution.stats.eta_updates;
-    stats.lu_nnz = solution.stats.lu_nnz;
-    stats.matrix_nnz = solution.stats.matrix_nnz;
-    stats.interrupted = solution.stats.interrupted;
+    // Exhaustive destructuring — not field-by-field copies — so adding a
+    // field to `SolveStats` without deciding how it reaches
+    // `RefinementStats` is a compile error at this merge site.
+    let SolveStats {
+        nodes,
+        lp_solves,
+        simplex_iterations,
+        warm_lp_solves,
+        cold_lp_solves,
+        refactorizations,
+        eta_updates,
+        lu_nnz,
+        matrix_nnz,
+        solve_time,
+        // The objective bound is already carried by the solution's
+        // objective/status; the Erica baseline never reads it.
+        best_bound: _,
+        interrupted,
+    } = solution.stats;
+    stats.solver_time = solve_time;
+    stats.nodes = nodes;
+    stats.lp_solves = lp_solves;
+    stats.simplex_iterations = simplex_iterations;
+    stats.warm_lp_solves = warm_lp_solves;
+    stats.cold_lp_solves = cold_lp_solves;
+    stats.refactorizations = refactorizations;
+    stats.eta_updates = eta_updates;
+    stats.lu_nnz = lu_nnz;
+    stats.matrix_nnz = matrix_nnz;
+    stats.interrupted = interrupted;
     stats.total_time = start.elapsed();
 
     // Any status with an assignment — Optimal, Feasible, or an interrupted

@@ -101,7 +101,8 @@
 //! is deprecated and now delegates to a single-use session; migrate to
 //! [`RefinementSession`] + [`RefinementRequest`].
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod constraint;

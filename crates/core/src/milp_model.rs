@@ -287,13 +287,16 @@ pub fn build_model(
                 pred.attribute
             )));
         }
+        // lint: allow-panic(emptiness was rejected just above, so first() is Some)
         let lo = domain.first().copied().unwrap().min(pred.constant);
+        // lint: allow-panic(emptiness was rejected just above, so last() is Some)
         let hi = domain.last().copied().unwrap().max(pred.constant);
         let constant_var =
             model.add_continuous(format!("C[{} {}]", pred.attribute, pred.op), lo, hi);
         vars.numeric_constant.insert(key.clone(), constant_var);
 
-        let delta = (annotated.min_gap(&pred.attribute)? / 2.0).clamp(1e-6, 1.0);
+        let delta =
+            (annotated.min_gap(&pred.attribute)? / 2.0).clamp(qr_milp::tol::MIN_STRICT_DELTA, 1.0);
         let big_m = (hi - lo) + hi.abs().max(lo.abs()) + 1.0;
         let mut indicator_vars = Vec::with_capacity(domain.len());
         for &v in &domain {

@@ -14,7 +14,7 @@ use crate::error::{CoreError, Result};
 use crate::session::{
     exact_distance, RefinedQuery, RefinementOutcome, RefinementResult, RefinementStats,
 };
-use qr_milp::control::SolveControl;
+use qr_milp::control::{SolveControl, StopCondition};
 use qr_provenance::{whatif::evaluate_refinement, AnnotatedRelation, PredicateAssignment};
 use qr_relation::{evaluate, CmpOp, Database, SpjQuery};
 use std::collections::BTreeSet;
@@ -190,9 +190,16 @@ pub fn naive_search_prepared(
     let k_star = constraints.k_star();
     let setup_time = start.elapsed();
 
-    // Candidate choices per predicate.
+    // Candidate choices per predicate. Setup is polled between predicates:
+    // subset enumeration is exponential in the categorical domain, so a
+    // tight deadline must be able to interrupt before the search loop is
+    // ever reached (the partial choice tables are fine to abandon — the
+    // search loop's first poll breaks immediately with `interrupted` set).
     let mut numeric_choices: Vec<((String, CmpOp), Vec<f64>)> = Vec::new();
     for p in &query.numeric_predicates {
+        if stop.should_stop() {
+            break;
+        }
         let mut domain = annotated.numeric_domain(&p.attribute)?;
         if !domain.iter().any(|v| (v - p.constant).abs() < f64::EPSILON) {
             domain.push(p.constant);
@@ -201,8 +208,11 @@ pub fn naive_search_prepared(
     }
     let mut categorical_choices: Vec<(String, Vec<BTreeSet<String>>)> = Vec::new();
     for p in &query.categorical_predicates {
+        if stop.should_stop() {
+            break;
+        }
         let domain = annotated.categorical_domain(&p.attribute)?;
-        categorical_choices.push((p.attribute.clone(), non_empty_subsets(&domain)));
+        categorical_choices.push((p.attribute.clone(), non_empty_subsets(&domain, &stop)));
     }
 
     // Odometer over the cartesian product of all choices.
@@ -277,11 +287,11 @@ pub fn naive_search_prepared(
             }
         };
 
-        if output_len >= k_star && deviation <= epsilon + 1e-9 {
+        if output_len >= k_star && deviation <= epsilon + qr_milp::tol::ABSOLUTE_GAP {
             let dist = exact_distance(distance, annotated, query, &assignment, k_star);
             let better = best
                 .as_ref()
-                .map(|(_, d, _)| dist < *d - 1e-12)
+                .map(|(_, d, _)| dist < *d - qr_milp::tol::ZERO_TOL)
                 .unwrap_or(true);
             if better {
                 best = Some((assignment, dist, deviation));
@@ -293,6 +303,7 @@ pub fn naive_search_prepared(
             break;
         }
         let mut pos = 0;
+        // lint: no-cancel-poll(bounded by the predicate count per advance; the enclosing 'search loop polls every candidate)
         loop {
             counters[pos] += 1;
             if counters[pos] < dimensions[pos] {
@@ -328,13 +339,23 @@ pub fn naive_search_prepared(
 }
 
 /// All non-empty subsets of a (small) domain, as value sets.
-fn non_empty_subsets(domain: &[String]) -> Vec<BTreeSet<String>> {
+///
+/// The enumeration is exponential in the domain size, so it polls `stop`
+/// every stride of masks: a 20-value domain allocates a million sets, which
+/// takes whole seconds — far beyond any tight deadline. A triggered stop
+/// returns the subsets built so far; the caller's search loop notices the
+/// same condition immediately and reports the solve as interrupted.
+fn non_empty_subsets(domain: &[String], stop: &StopCondition) -> Vec<BTreeSet<String>> {
     // Cap the enumeration so pathological domains cannot allocate 2^n sets;
     // the search loop's candidate cap / time limit handles the rest.
     const MAX_DOMAIN_FOR_FULL_ENUMERATION: usize = 20;
+    const STOP_POLL_STRIDE: u64 = 4096;
     let n = domain.len().min(MAX_DOMAIN_FOR_FULL_ENUMERATION);
     let mut subsets = Vec::with_capacity((1usize << n) - 1);
     for mask in 1u64..(1u64 << n) {
+        if mask % STOP_POLL_STRIDE == 0 && stop.should_stop() {
+            break;
+        }
         let subset: BTreeSet<String> = (0..n)
             .filter(|i| mask & (1 << i) != 0)
             .map(|i| domain[i].clone())
@@ -355,7 +376,7 @@ mod tests {
     #[test]
     fn subsets_enumeration() {
         let domain = vec!["a".to_string(), "b".to_string(), "c".to_string()];
-        let subsets = non_empty_subsets(&domain);
+        let subsets = non_empty_subsets(&domain, &StopCondition::none());
         assert_eq!(subsets.len(), 7);
         assert!(subsets.iter().all(|s| !s.is_empty()));
     }

@@ -116,6 +116,7 @@ pub fn paper_database() -> Database {
             ],
         ])
         .finish()
+        // lint: allow-panic(static data transcribed from the paper; malformedness is a compile-time-adjacent bug)
         .expect("paper Students relation is well formed");
     let activities = Relation::build("Activities")
         .column("ID", DataType::Text)
@@ -137,9 +138,12 @@ pub fn paper_database() -> Database {
             vec!["t14".into(), "RB".into()],
         ])
         .finish()
+        // lint: allow-panic(static data transcribed from the paper; malformedness is a compile-time-adjacent bug)
         .expect("paper Activities relation is well formed");
     let mut db = Database::new();
+    // lint: allow-panic(both names are distinct string literals in an empty database)
     db.insert(students).expect("fresh relation name");
+    // lint: allow-panic(both names are distinct string literals in an empty database)
     db.insert(activities).expect("fresh relation name");
     db
 }
@@ -154,6 +158,7 @@ pub fn scholarship_query() -> SpjQuery {
         .categorical_predicate("Activity", ["RB"])
         .order_by("SAT", SortOrder::Descending)
         .build()
+        // lint: allow-panic(fixed query literal from Example 1.1; it can only fail if the builder itself regresses)
         .expect("scholarship query is well formed")
 }
 

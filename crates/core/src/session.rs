@@ -89,6 +89,7 @@ use crate::milp_model::{build_model, BuiltModel};
 use crate::optimize::OptimizationConfig;
 use crate::solver::RefinementSolver;
 use qr_milp::control::{CancelToken, SolveControl, SolveObserver};
+use qr_milp::solution::SolveStats;
 use qr_milp::{SolveStatus, Solver, SolverOptions};
 use qr_provenance::{
     whatif::evaluate_refinement, AnnotatedRelation, PredicateAssignment, RankedOutput,
@@ -522,6 +523,31 @@ pub struct RefinementSession {
     stats: Mutex<SessionStats>,
 }
 
+/// Acquire a mutex, recovering from poisoning instead of panicking.
+///
+/// A worker thread that panics while holding a session lock poisons it; both
+/// session locks only ever guard data that is consistent at every
+/// intermediate point (stats counters are plain scalar updates, the snapshot
+/// is swapped by a single `Arc` assignment), so the poisoned state is still
+/// valid — recovering keeps the whole session usable instead of wedging
+/// every future solve on one crashed worker.
+fn lock_or_recover<T>(lock: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    lock.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// [`lock_or_recover`] for read-locking the snapshot `RwLock`.
+fn read_or_recover<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// [`lock_or_recover`] for write-locking the snapshot `RwLock`.
+fn write_or_recover<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 impl Clone for RefinementSession {
     /// Cloning forks the session at its current snapshot: the clone starts
     /// from the same version and stats, and future [`apply`](Self::apply)
@@ -571,7 +597,7 @@ impl RefinementSession {
     /// unchanged) for as long as the caller holds it, no matter how many
     /// mutations are applied concurrently.
     pub fn snapshot(&self) -> Arc<AnnotatedSnapshot> {
-        Arc::clone(&self.current.read().expect("session snapshot lock poisoned"))
+        Arc::clone(&read_or_recover(&self.current))
     }
 
     /// Version of the current snapshot (1 at construction, +1 per applied
@@ -598,7 +624,7 @@ impl RefinementSession {
     pub fn apply(&self, mutations: impl IntoIterator<Item = Mutation>) -> Result<u64> {
         // The stats mutex doubles as the writer lock: clone-mutate-repair
         // happens outside the snapshot RwLock so readers never wait on it.
-        let mut stats = self.stats.lock().expect("session stats lock poisoned");
+        let mut stats = lock_or_recover(&self.stats);
         let current = self.snapshot();
         let mut db = current.db.clone();
         let mut delta = DatabaseDelta::new();
@@ -619,7 +645,7 @@ impl RefinementSession {
     /// copy themselves; the delta must accurately describe `db` relative to
     /// the current snapshot's database.
     pub fn apply_delta(&self, db: Database, delta: &DatabaseDelta) -> Result<u64> {
-        let mut stats = self.stats.lock().expect("session stats lock poisoned");
+        let mut stats = lock_or_recover(&self.stats);
         let current = self.snapshot();
         self.repair_and_install(&mut stats, &current, db, delta)
     }
@@ -637,26 +663,34 @@ impl RefinementSession {
     ) -> Result<u64> {
         let start = Instant::now();
         let repaired = current.annotated.apply_delta(&db, delta)?;
-        stats.annotation_time += start.elapsed();
+        // Exhaustive destructuring: adding a `SessionStats` field without
+        // deciding how a mutation batch updates it is a compile error here.
+        let SessionStats {
+            annotation_time,
+            annotation_builds,
+            delta_annotations,
+            full_rebuilds,
+            snapshot_version,
+            tuples,
+            lineage_classes,
+        } = &mut *stats;
+        *annotation_time += start.elapsed();
         if repaired.rebuilt {
-            stats.annotation_builds += 1;
-            stats.full_rebuilds += 1;
+            *annotation_builds += 1;
+            *full_rebuilds += 1;
         } else {
-            stats.delta_annotations += 1;
+            *delta_annotations += 1;
         }
         let version = current.version + 1;
-        stats.snapshot_version = version;
-        stats.tuples = repaired.annotated.len();
-        stats.lineage_classes = repaired.annotated.classes().len();
+        *snapshot_version = version;
+        *tuples = repaired.annotated.len();
+        *lineage_classes = repaired.annotated.classes().len();
         let snapshot = Arc::new(AnnotatedSnapshot {
             version,
             db,
             annotated: repaired.annotated,
         });
-        *self
-            .current
-            .write()
-            .expect("session snapshot lock poisoned") = snapshot;
+        *write_or_recover(&self.current) = snapshot;
         Ok(version)
     }
 
@@ -664,10 +698,7 @@ impl RefinementSession {
     /// incremental delta repairs, and the current snapshot version. Returned
     /// by value (a consistent copy under the stats lock).
     pub fn setup_stats(&self) -> SessionStats {
-        self.stats
-            .lock()
-            .expect("session stats lock poisoned")
-            .clone()
+        lock_or_recover(&self.stats).clone()
     }
 
     /// Solve one Best Approximation Refinement request with the MILP engine,
@@ -725,7 +756,7 @@ impl RefinementSession {
             .constraints
             .deviation_of_output(annotated, &original_output.selected);
         if original_output.selected.len() >= built.k_star
-            && original_deviation <= request.epsilon + 1e-9
+            && original_deviation <= request.epsilon + qr_milp::tol::ABSOLUTE_GAP
         {
             let refined = self.describe(
                 snapshot,
@@ -745,17 +776,36 @@ impl RefinementSession {
         // Solve.
         let solver = Solver::new(request.solver_options.clone());
         let solution = solver.solve_with_control(&built.model, &request.control)?;
-        stats.solver_time = solution.stats.solve_time;
-        stats.nodes = solution.stats.nodes;
-        stats.lp_solves = solution.stats.lp_solves;
-        stats.simplex_iterations = solution.stats.simplex_iterations;
-        stats.warm_lp_solves = solution.stats.warm_lp_solves;
-        stats.cold_lp_solves = solution.stats.cold_lp_solves;
-        stats.refactorizations = solution.stats.refactorizations;
-        stats.eta_updates = solution.stats.eta_updates;
-        stats.lu_nnz = solution.stats.lu_nnz;
-        stats.matrix_nnz = solution.stats.matrix_nnz;
-        stats.interrupted = solution.stats.interrupted;
+        // Exhaustive destructuring — not field-by-field copies — so adding a
+        // field to `SolveStats` without deciding how it reaches
+        // `RefinementStats` is a compile error at this merge site.
+        let SolveStats {
+            nodes,
+            lp_solves,
+            simplex_iterations,
+            warm_lp_solves,
+            cold_lp_solves,
+            refactorizations,
+            eta_updates,
+            lu_nnz,
+            matrix_nnz,
+            solve_time,
+            // The objective bound is already carried by the solution's
+            // objective/status; refinement callers never read it.
+            best_bound: _,
+            interrupted,
+        } = solution.stats;
+        stats.solver_time = solve_time;
+        stats.nodes = nodes;
+        stats.lp_solves = lp_solves;
+        stats.simplex_iterations = simplex_iterations;
+        stats.warm_lp_solves = warm_lp_solves;
+        stats.cold_lp_solves = cold_lp_solves;
+        stats.refactorizations = refactorizations;
+        stats.eta_updates = eta_updates;
+        stats.lu_nnz = lu_nnz;
+        stats.matrix_nnz = matrix_nnz;
+        stats.interrupted = interrupted;
         stats.total_time = start.elapsed();
 
         let outcome = match solution.status {
@@ -933,6 +983,7 @@ impl RefinementSession {
                 })
                 .collect();
             for handle in handles {
+                // lint: allow-panic(join only fails if the worker panicked; re-raising on the caller's thread is the correct propagation)
                 for (i, result) in handle.join().expect("batch worker panicked") {
                     slots[i] = Some(result);
                 }
@@ -940,6 +991,7 @@ impl RefinementSession {
         });
         slots
             .into_iter()
+            // lint: allow-panic(the atomic counter hands each index in 0..len to exactly one worker)
             .map(|slot| slot.expect("every index was handed to exactly one worker"))
             .collect()
     }
@@ -1472,5 +1524,45 @@ mod tests {
         assert_eq!(results.len(), 2);
         assert!(results.iter().all(|r| r.outcome.is_refined()));
         assert_eq!(session.setup_stats().annotation_builds, 1);
+    }
+
+    #[test]
+    fn poisoned_locks_do_not_wedge_the_session() {
+        let session = std::sync::Arc::new(paper_session());
+
+        // Poison both internal locks: a worker panics while holding the
+        // stats mutex, another while holding the snapshot write lock.
+        for _ in 0..2 {
+            let poisoner = std::sync::Arc::clone(&session);
+            let _ = std::thread::spawn(move || {
+                let _stats = poisoner.stats.lock();
+                panic!("worker crash while holding the stats lock");
+            })
+            .join();
+            let poisoner = std::sync::Arc::clone(&session);
+            let _ = std::thread::spawn(move || {
+                let _current = poisoner.current.write();
+                panic!("worker crash while holding the snapshot lock");
+            })
+            .join();
+        }
+        assert!(session.stats.lock().is_err(), "stats mutex is poisoned");
+        assert!(session.current.read().is_err(), "snapshot lock is poisoned");
+
+        // Every lock-crossing entry point still works: snapshot cloning,
+        // stats reporting, solving, and applying a mutation (which takes
+        // both locks, the second one for writing).
+        assert_eq!(session.snapshot().version(), 1);
+        assert_eq!(session.setup_stats().annotation_builds, 1);
+        let request = RefinementRequest::new()
+            .with_constraints(scholarship_constraints())
+            .with_epsilon(0.0);
+        let result = session.solve(&request).unwrap();
+        assert!(result.outcome.is_refined());
+        let version = session
+            .apply(vec![Mutation::delete("Students", vec![0])])
+            .unwrap();
+        assert_eq!(version, 2);
+        assert_eq!(session.snapshot().version(), 2);
     }
 }

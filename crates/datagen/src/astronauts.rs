@@ -59,6 +59,7 @@ pub fn generate(n: usize, seed: u64) -> Database {
         .column("Space Walks", DataType::Int)
         .column("Space Flight (hrs)", DataType::Int)
         .finish()
+        // lint: allow-panic(static schema literal; malformedness is a generator bug)
         .expect("astronauts schema is well formed");
 
     for i in 0..n {
@@ -82,10 +83,12 @@ pub fn generate(n: usize, seed: u64) -> Database {
             Value::int(walks),
             Value::int(hours),
         ])
+        // lint: allow-panic(the generator emits values of exactly the declared column types)
         .expect("generated row matches schema");
     }
 
     let mut db = Database::new();
+    // lint: allow-panic(single insert into a fresh database)
     db.insert(rel).expect("fresh relation name");
     db
 }
@@ -99,6 +102,7 @@ pub(crate) fn sample_weighted<'a>(rng: &mut StdRng, options: &[(&'a str, f64)]) 
         }
         x -= weight;
     }
+    // lint: allow-panic(every call site passes a non-empty literal option table)
     options.last().expect("non-empty options").0
 }
 

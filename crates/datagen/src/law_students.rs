@@ -31,6 +31,7 @@ pub fn generate(n: usize, seed: u64) -> Database {
         .column("LSAT", DataType::Int)
         .column("FirstYearGPA", DataType::Float)
         .finish()
+        // lint: allow-panic(static schema literal; malformedness is a generator bug)
         .expect("law students schema is well formed");
 
     for i in 0..n {
@@ -60,10 +61,12 @@ pub fn generate(n: usize, seed: u64) -> Database {
             Value::int(lsat),
             Value::float(fygpa),
         ])
+        // lint: allow-panic(the generator emits values of exactly the declared column types)
         .expect("generated row matches schema");
     }
 
     let mut db = Database::new();
+    // lint: allow-panic(single insert into a fresh database)
     db.insert(rel).expect("fresh relation name");
     db
 }

@@ -21,7 +21,8 @@
 //!   roughly preserving per-column marginals,
 //! * [`workload`] — the queries and constraint templates of Table 6.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod astronauts;

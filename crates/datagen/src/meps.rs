@@ -29,6 +29,7 @@ pub fn generate(n: usize, seed: u64) -> Database {
         .column("Region", DataType::Text)
         .column("Utilization", DataType::Int)
         .finish()
+        // lint: allow-panic(static schema literal; malformedness is a generator bug)
         .expect("MEPS schema is well formed");
 
     const REGIONS: &[&str] = &["Northeast", "Midwest", "South", "West"];
@@ -51,10 +52,12 @@ pub fn generate(n: usize, seed: u64) -> Database {
             Value::text(region),
             Value::int(util),
         ])
+        // lint: allow-panic(the generator emits values of exactly the declared column types)
         .expect("generated row matches schema");
     }
 
     let mut db = Database::new();
+    // lint: allow-panic(single insert into a fresh database)
     db.insert(rel).expect("fresh relation name");
     db
 }

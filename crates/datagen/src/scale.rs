@@ -28,6 +28,7 @@ pub fn scale_relation(relation: &Relation, target_rows: usize, seed: u64) -> Rel
     }
     for row in relation.rows().iter().take(target_rows) {
         out.push_row(row.clone())
+            // lint: allow-panic(the row came from a relation with the identical schema)
             .expect("copying an existing row cannot fail");
     }
     if target_rows <= relation.len() {
@@ -61,6 +62,7 @@ pub fn scale_relation(relation: &Relation, target_rows: usize, seed: u64) -> Rel
             }
             row.push(value);
         }
+        // lint: allow-panic(the synthesised row copies types column-for-column from existing rows)
         out.push_row(row).expect("synthesised row matches schema");
     }
     out

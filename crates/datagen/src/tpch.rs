@@ -43,6 +43,7 @@ pub fn generate(customers: usize, orders_per_customer: usize, seed: u64) -> Data
         .column("NationName", DataType::Text)
         .column("RegionName", DataType::Text)
         .finish()
+        // lint: allow-panic(static schema literal; malformedness is a generator bug)
         .expect("nations schema");
     let mut nations = Vec::new();
     for (r, region) in REGIONS.iter().enumerate() {
@@ -50,6 +51,7 @@ pub fn generate(customers: usize, orders_per_customer: usize, seed: u64) -> Data
             let name = format!("Nation-{r}{i}");
             nations_rel
                 .push_row(vec![Value::text(name.clone()), Value::text(*region)])
+                // lint: allow-panic(the generator emits values of exactly the declared column types)
                 .expect("nation row");
             nations.push(name);
         }
@@ -60,6 +62,7 @@ pub fn generate(customers: usize, orders_per_customer: usize, seed: u64) -> Data
         .column("MktSegment", DataType::Text)
         .column("NationName", DataType::Text)
         .finish()
+        // lint: allow-panic(static schema literal; malformedness is a generator bug)
         .expect("customers schema");
     for c in 0..customers {
         let seg = MKT_SEGMENTS[rng.gen_range(0..MKT_SEGMENTS.len())];
@@ -70,6 +73,7 @@ pub fn generate(customers: usize, orders_per_customer: usize, seed: u64) -> Data
                 Value::text(seg),
                 Value::text(nation.clone()),
             ])
+            // lint: allow-panic(the generator emits values of exactly the declared column types)
             .expect("customer row");
     }
 
@@ -79,6 +83,7 @@ pub fn generate(customers: usize, orders_per_customer: usize, seed: u64) -> Data
         .column("OrderPrio", DataType::Text)
         .column("Revenue", DataType::Float)
         .finish()
+        // lint: allow-panic(static schema literal; malformedness is a generator bug)
         .expect("orders schema");
     let mut order_id = 0i64;
     for c in 0..customers {
@@ -92,14 +97,18 @@ pub fn generate(customers: usize, orders_per_customer: usize, seed: u64) -> Data
                     Value::text(prio),
                     Value::float(revenue),
                 ])
+                // lint: allow-panic(the generator emits values of exactly the declared column types)
                 .expect("order row");
             order_id += 1;
         }
     }
 
     let mut db = Database::new();
+    // lint: allow-panic(the three TPC-H relation names are distinct literals in a fresh database)
     db.insert(nations_rel).expect("fresh relation name");
+    // lint: allow-panic(the three TPC-H relation names are distinct literals in a fresh database)
     db.insert(customers_rel).expect("fresh relation name");
+    // lint: allow-panic(the three TPC-H relation names are distinct literals in a fresh database)
     db.insert(orders_rel).expect("fresh relation name");
     db
 }

@@ -94,6 +94,7 @@ impl Workload {
             .numeric_predicate("Space Walks", CmpOp::Ge, 1.0)
             .order_by("Space Flight (hrs)", SortOrder::Descending)
             .build()
+            // lint: allow-panic(fixed query literal; it can only fail if the builder itself regresses)
             .expect("Q_A is well formed");
         Workload {
             id: DatasetId::Astronauts,
@@ -111,6 +112,7 @@ impl Workload {
             .numeric_predicate("GPA", CmpOp::Ge, 3.5)
             .order_by("LSAT", SortOrder::Descending)
             .build()
+            // lint: allow-panic(fixed query literal; it can only fail if the builder itself regresses)
             .expect("Q_L is well formed");
         Workload {
             id: DatasetId::LawStudents,
@@ -127,6 +129,7 @@ impl Workload {
             .numeric_predicate("Family Size", CmpOp::Ge, 4.0)
             .order_by("Utilization", SortOrder::Descending)
             .build()
+            // lint: allow-panic(fixed query literal; it can only fail if the builder itself regresses)
             .expect("Q_M is well formed");
         Workload {
             id: DatasetId::Meps,
@@ -145,6 +148,7 @@ impl Workload {
             .categorical_predicate("RegionName", ["ASIA"])
             .order_by("Revenue", SortOrder::Descending)
             .build()
+            // lint: allow-panic(fixed query literal; it can only fail if the builder itself regresses)
             .expect("Q5 is well formed");
         Workload {
             id: DatasetId::Tpch,
@@ -164,6 +168,7 @@ impl Workload {
         };
         let mut db = self.db.clone();
         let scaled = scale::scale_relation(
+            // lint: allow-panic(each dataset generator inserts the relation this arm names)
             self.db.get(main).expect("main relation exists"),
             target_rows,
             seed,

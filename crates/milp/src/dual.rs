@@ -35,7 +35,7 @@ use crate::simplex::{nonbasic_value, LpWorkspace, FEAS_TOL, PIVOT_TOL};
 
 /// Relative slack admitted by the Harris pass when collecting near-tie pivot
 /// candidates (bounded dual infeasibility, repaired by the primal clean-up).
-const HARRIS_TOL: f64 = 1e-7;
+use crate::tol::HARRIS_TOL;
 
 /// Outcome of a dual simplex run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,6 +144,7 @@ impl LpWorkspace {
                         }
                     }
                     VarStatus::Free => true,
+                    // lint: allow-panic(the candidate scan iterates nonbasic columns only; a basic status here is a corrupted-basis bug)
                     VarStatus::Basic(_) => unreachable!(),
                 };
                 if !eligible {
@@ -215,6 +216,7 @@ impl LpWorkspace {
                     .or(Some(*cand));
                 break;
             }
+            // lint: allow-panic(the loop always breaks with Some on the last candidate, and emptiness returned Infeasible above)
             let entering = entering.expect("non-empty candidate list always yields a pivot");
 
             // Apply the flips' effect on the basic values with one batched

@@ -23,11 +23,7 @@
 //! as a first-class operation rather than a last resort.
 
 use crate::lu::{LuFactors, LuScratch};
-
-/// An eta pivot below this magnitude refuses the product-form update and
-/// triggers refactorization instead (the update would amplify error by
-/// `1/|pivot|`).
-const ETA_PIVOT_TOL: f64 = 1e-7;
+use crate::tol::{ETA_DROP_TOL, ETA_PIVOT_TOL, ETA_REL_PIVOT_TOL};
 
 /// Maximum number of eta matrices chained on one factorization.
 const MAX_ETAS: usize = 48;
@@ -36,10 +32,6 @@ const MAX_ETAS: usize = 48;
 /// factors' nonzeros (fill-in trigger: applying the etas has begun to cost
 /// more than refactorizing).
 const ETA_FILL_FACTOR: usize = 2;
-
-/// Eta entries below this magnitude are not stored (they contribute nothing
-/// at working precision and only grow the file).
-const ETA_DROP_TOL: f64 = 1e-12;
 
 /// A sparse matrix stored in both CSC (column) and CSR (row) form.
 ///
@@ -202,8 +194,72 @@ impl BasisFactorization {
         let ok = self.lu.factorize(matrix, basis, &mut self.lu_scratch);
         if ok {
             self.peak_lu_nnz = self.peak_lu_nnz.max(self.lu.nnz());
+            #[cfg(debug_assertions)]
+            self.debug_check_residuals(matrix, basis);
         }
         ok
+    }
+
+    /// `debug_assertions`-only self-check run after every successful
+    /// refactorization: round-trip probe vectors through FTRAN and BTRAN and
+    /// measure the residuals against the sparse matrix itself. LU solves are
+    /// backward-stable, so an honest factorization leaves residuals around
+    /// machine precision; a residual past
+    /// [`crate::tol::DEBUG_RESIDUAL_TOL`] means the factors do not represent
+    /// the basis (an indexing or update bug, not rounding) and panics here,
+    /// at the factorization, instead of surfacing later as a mysteriously
+    /// infeasible or suboptimal solve.
+    #[cfg(debug_assertions)]
+    fn debug_check_residuals(&mut self, matrix: &SparseMatrix, basis: &[usize]) {
+        use crate::tol::DEBUG_RESIDUAL_TOL;
+        let m = basis.len();
+
+        // FTRAN probe: b = B·1 (row space), solve B x = b, then measure
+        // ‖B x − b‖∞ relative to ‖b‖∞.
+        let mut b = vec![0.0; m];
+        for &col in basis {
+            matrix.scatter_column(col, 1.0, &mut b);
+        }
+        let scale = b.iter().fold(1.0f64, |acc, v| acc.max(v.abs()));
+        let mut x = b.clone();
+        self.ftran(&mut x);
+        let mut bx = vec![0.0; m];
+        for (slot, &col) in basis.iter().enumerate() {
+            matrix.scatter_column(col, x[slot], &mut bx);
+        }
+        let ftran_residual = bx
+            .iter()
+            .zip(&b)
+            .map(|(lhs, rhs)| (lhs - rhs).abs())
+            .fold(0.0f64, f64::max);
+        debug_assert!(
+            ftran_residual <= DEBUG_RESIDUAL_TOL * scale,
+            "FTRAN self-check: residual {ftran_residual:e} exceeds {:e} \
+             (the LU factors do not represent the basis)",
+            DEBUG_RESIDUAL_TOL * scale,
+        );
+
+        // BTRAN probe: c = Bᵀ·1 (slot space), solve Bᵀ y = c, then measure
+        // ‖Bᵀ y − c‖∞ relative to ‖c‖∞.
+        let ones = vec![1.0; m];
+        let mut c: Vec<f64> = basis
+            .iter()
+            .map(|&col| matrix.column_dot(col, &ones))
+            .collect();
+        let scale = c.iter().fold(1.0f64, |acc, v| acc.max(v.abs()));
+        let expected = c.clone();
+        self.btran(&mut c);
+        let btran_residual = basis
+            .iter()
+            .zip(&expected)
+            .map(|(&col, rhs)| (matrix.column_dot(col, &c) - rhs).abs())
+            .fold(0.0f64, f64::max);
+        debug_assert!(
+            btran_residual <= DEBUG_RESIDUAL_TOL * scale,
+            "BTRAN self-check: residual {btran_residual:e} exceeds {:e} \
+             (the LU factors do not represent the basis)",
+            DEBUG_RESIDUAL_TOL * scale,
+        );
     }
 
     /// Replace the column in basis slot `r`, where `alpha` is the FTRAN image
@@ -230,7 +286,7 @@ impl BasisFactorization {
                 entries.push((i, v));
             }
         }
-        if pivot.abs() < 1e-9 * max_mag {
+        if pivot.abs() < ETA_REL_PIVOT_TOL * max_mag {
             self.spare_entries.push(entries);
             return EtaUpdate::Refactor;
         }
@@ -304,6 +360,7 @@ impl BasisFactorization {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tol::{ASSERT_TIGHT_TOL, ZERO_TOL};
 
     fn two_by_two() -> SparseMatrix {
         // Columns: [2, 1], [0, 4], e0, e1.
@@ -326,7 +383,7 @@ mod tests {
         let mut pairs: Vec<(usize, f64)> = cols.iter().zip(vals).map(|(&c, &v)| (c, v)).collect();
         pairs.sort_by_key(|&(c, _)| c);
         assert_eq!(pairs, vec![(0, 1.0), (1, 4.0), (3, 1.0)]);
-        assert!((m.column_dot(0, &[1.0, 10.0]) - 12.0).abs() < 1e-12);
+        assert!((m.column_dot(0, &[1.0, 10.0]) - 12.0).abs() < ZERO_TOL);
     }
 
     #[test]
@@ -354,7 +411,7 @@ mod tests {
         fresh.ftran(&mut via_fresh);
         for i in 0..2 {
             assert!(
-                (via_eta[i] - via_fresh[i]).abs() < 1e-10,
+                (via_eta[i] - via_fresh[i]).abs() < ASSERT_TIGHT_TOL,
                 "slot {i}: {} vs {}",
                 via_eta[i],
                 via_fresh[i]
@@ -368,7 +425,7 @@ mod tests {
         let mut y_fresh = c;
         fresh.btran(&mut y_fresh);
         for i in 0..2 {
-            assert!((y_eta[i] - y_fresh[i]).abs() < 1e-10);
+            assert!((y_eta[i] - y_fresh[i]).abs() < ASSERT_TIGHT_TOL);
         }
     }
 
@@ -377,7 +434,7 @@ mod tests {
         let m = two_by_two();
         let mut f = BasisFactorization::default();
         assert!(f.refactorize(&m, &[2, 3]));
-        let alpha = vec![1e-12, 5.0];
+        let alpha = vec![ZERO_TOL, 5.0];
         assert_eq!(f.update(0, &alpha), EtaUpdate::Refactor);
         assert_eq!(f.eta_count(), 0);
     }

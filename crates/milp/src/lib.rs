@@ -64,7 +64,8 @@
 //! assert_eq!(solution.value(y).round(), 2.0);
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod basis;
@@ -79,6 +80,7 @@ pub mod model;
 pub mod propagate;
 pub mod simplex;
 pub mod solution;
+pub mod tol;
 
 pub use basis::{Basis, VarStatus};
 pub use branch_bound::{Solver, SolverOptions};

@@ -26,22 +26,9 @@
 
 use crate::factor::SparseMatrix;
 
-/// Entries with magnitude at or below this are dropped during elimination
-/// (treated as exact cancellation). The basis data is O(1)–O(big-M), so this
-/// is far below any meaningful coefficient.
-const DROP_TOL: f64 = 1e-13;
-
-/// A pivot candidate must be at least this large in absolute terms; anything
-/// smaller marks the basis as numerically singular. Slightly below the
-/// simplex's own pivot acceptance tolerance (`1e-10`): any basis the simplex
-/// legitimately built must refactorize, while true singularity (cancellation
-/// down to machine noise) stays firmly rejected.
-const ABS_PIVOT_TOL: f64 = 1e-11;
-
-/// Relative threshold for Markowitz pivoting: a candidate must be at least
-/// this fraction of the largest magnitude in its column. Trades a little
-/// sparsity freedom for bounded element growth.
-const REL_PIVOT_TOL: f64 = 0.05;
+use crate::tol::{
+    LU_ABS_PIVOT_TOL as ABS_PIVOT_TOL, LU_DROP_TOL as DROP_TOL, LU_REL_PIVOT_TOL as REL_PIVOT_TOL,
+};
 
 /// How many of the sparsest active columns the pivot search inspects per
 /// elimination step (Suhl-style bounded Markowitz search).
@@ -192,6 +179,7 @@ impl LuFactors {
                 self.l_vals.push(val / p_val);
                 ws.row_count[row] -= 1;
             }
+            // lint: allow-panic(l_ptr starts as vec![0] and only ever grows)
             let l_start = *self.l_ptr.last().expect("l_ptr is never empty");
             let l_end = self.l_rows.len();
             self.l_ptr.push(l_end);
@@ -427,6 +415,7 @@ impl LuFactors {
 mod tests {
     use super::*;
     use crate::factor::SparseMatrix;
+    use crate::tol::ASSERT_TIGHT_TOL;
 
     fn matrix_from_dense(dense: &[&[f64]]) -> SparseMatrix {
         let m = dense.len();
@@ -465,7 +454,11 @@ mod tests {
                     }
                 }
             }
-            assert!((acc - b[i]).abs() < 1e-10, "row {i}: {acc} vs {}", b[i]);
+            assert!(
+                (acc - b[i]).abs() < ASSERT_TIGHT_TOL,
+                "row {i}: {acc} vs {}",
+                b[i]
+            );
         }
 
         // B^T y = c with c = (1, -2, 5).
@@ -475,7 +468,7 @@ mod tests {
         for (slot, &col) in basis.iter().enumerate() {
             let (rows, vals) = mat.column(col);
             let acc: f64 = rows.iter().zip(vals).map(|(&r, &v)| v * y[r]).sum();
-            assert!((acc - c[slot]).abs() < 1e-10, "slot {slot}");
+            assert!((acc - c[slot]).abs() < ASSERT_TIGHT_TOL, "slot {slot}");
         }
     }
 

@@ -98,12 +98,15 @@ impl LpSolution {
     }
 }
 
-/// Feasibility tolerance used throughout the solver.
-pub const FEAS_TOL: f64 = 1e-7;
-/// Reduced-cost (optimality) tolerance.
-const COST_TOL: f64 = 1e-9;
+/// Feasibility tolerance used throughout the solver (re-exported from
+/// [`crate::tol`], where every workspace tolerance is defined and documented).
+pub use crate::tol::FEAS_TOL;
 /// Pivot element magnitude below which a pivot is rejected.
-pub(crate) const PIVOT_TOL: f64 = 1e-10;
+pub(crate) use crate::tol::PIVOT_TOL;
+use crate::tol::{
+    COST_TOL, PERTURBATION_SCALE, PHASE1_INFEAS_TOL, SNAPSHOT_PIVOT_TOL, VERIFY_BOUND_TOL,
+    VERIFY_ROW_TOL, ZERO_TOL,
+};
 /// Partial pricing scans at least this many columns per pivot before
 /// settling on the best candidate seen.
 const PRICING_WINDOW: usize = 128;
@@ -325,7 +328,7 @@ impl LpWorkspace {
                     continue;
                 }
                 let a = self.pivot_row[j].abs();
-                if a > 1e-8 && best.map(|(_, b)| a > b).unwrap_or(true) {
+                if a > SNAPSHOT_PIVOT_TOL && best.map(|(_, b)| a > b).unwrap_or(true) {
                     best = Some((j, a));
                 }
             }
@@ -379,6 +382,7 @@ impl LpWorkspace {
             return Ok(None);
         }
         let mut reuse = self.basis_valid && self.basis_matches(basis);
+        // lint: no-cancel-poll(at most two attempts, and warm_attempt polls `stop` in its pivot loop)
         loop {
             // One iteration budget spans every attempt (and, via `wasted`,
             // the cold fallback): a node LP cannot overshoot the caller's
@@ -583,8 +587,8 @@ impl LpWorkspace {
             let logical = self.n_struct + i;
             let artificial = self.core_cols + i;
             let residual = self.row_buf[i];
-            let logical_feasible =
-                residual >= self.lower[logical] - 1e-12 && residual <= self.upper[logical] + 1e-12;
+            let logical_feasible = residual >= self.lower[logical] - ZERO_TOL
+                && residual <= self.upper[logical] + ZERO_TOL;
             self.status[artificial] = VarStatus::AtLower;
             if logical_feasible {
                 self.basis.push(logical);
@@ -661,7 +665,7 @@ impl LpWorkspace {
                         nonbasic_value(self.status[j], self.lower[j], self.upper[j]).abs();
                 }
             }
-            if phase1_obj > 1e-6 {
+            if phase1_obj > PHASE1_INFEAS_TOL {
                 return Ok(LpSolution::without_point(
                     LpStatus::Infeasible,
                     self.n_struct,
@@ -885,7 +889,7 @@ impl LpWorkspace {
     /// opinion of it.
     fn verify(&self, values: &[f64]) -> bool {
         for (j, &v) in values.iter().enumerate().take(self.n_struct) {
-            if v < self.lower[j] - 1e-6 || v > self.upper[j] + 1e-6 {
+            if v < self.lower[j] - VERIFY_BOUND_TOL || v > self.upper[j] + VERIFY_BOUND_TOL {
                 return false;
             }
         }
@@ -897,7 +901,7 @@ impl LpWorkspace {
                 .filter(|&(&j, _)| j < self.n_struct)
                 .map(|(&j, &a)| a * values[j])
                 .sum();
-            let tol = 1e-5 * (1.0 + self.rhs[i].abs());
+            let tol = VERIFY_ROW_TOL * (1.0 + self.rhs[i].abs());
             let ok = match self.senses[i] {
                 Sense::Le => activity <= self.rhs[i] + tol,
                 Sense::Ge => activity >= self.rhs[i] - tol,
@@ -977,7 +981,7 @@ impl LpWorkspace {
                     rng_state ^= rng_state >> 7;
                     rng_state ^= rng_state << 17;
                     let unit = (rng_state >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
-                    let eps = sign * (0.5 + unit) * 1e-7 * (1.0 + self.cost[j].abs());
+                    let eps = sign * (0.5 + unit) * PERTURBATION_SCALE * (1.0 + self.cost[j].abs());
                     self.work_cost[j] += eps;
                     self.reduced[j] += eps;
                 }
@@ -1025,6 +1029,7 @@ impl LpWorkspace {
                 let mut found: Option<(usize, f64, f64)> = None;
                 let mut scanned = 0usize;
                 let mut pos = self.pricing_cursor.min(n.saturating_sub(1));
+                // lint: no-cancel-poll(bounded one pass over the columns; the enclosing pivot loop polls every 64 pivots)
                 while scanned < n {
                     let j = pos;
                     pos += 1;
@@ -1094,8 +1099,8 @@ impl LpWorkspace {
                 // Strictly smaller step wins; among (near-)ties prefer the
                 // larger pivot element for numerical stability (or the
                 // smallest leaving index under Bland).
-                let is_tie = (t - best_t).abs() <= 1e-12;
-                let better = if t < best_t - 1e-12 {
+                let is_tie = (t - best_t).abs() <= ZERO_TOL;
+                let better = if t < best_t - ZERO_TOL {
                     true
                 } else if is_tie {
                     if use_bland {
@@ -1116,7 +1121,7 @@ impl LpWorkspace {
             if best_t.is_infinite() {
                 return Ok(LpStatus::Unbounded);
             }
-            if best_t <= 1e-12 {
+            if best_t <= ZERO_TOL {
                 degenerate_streak += 1;
             } else {
                 degenerate_streak = 0;
@@ -1269,6 +1274,7 @@ pub(crate) fn nonbasic_value(status: VarStatus, lower: f64, upper: f64) -> f64 {
         VarStatus::AtLower => lower,
         VarStatus::AtUpper => upper,
         VarStatus::Free => 0.0,
+        // lint: allow-panic(every call site guards on nonbasic status; a basic column here is a bookkeeping bug)
         VarStatus::Basic(_) => unreachable!("nonbasic_value called on basic column"),
     }
 }
@@ -1291,6 +1297,7 @@ mod tests {
     use super::*;
     use crate::expr::LinExpr;
     use crate::model::{Model, Sense};
+    use crate::tol::{ASSERT_GAP_TOL, ASSERT_LOOSE_TOL, ASSERT_TOL};
 
     fn bounds_of(model: &Model) -> (Vec<f64>, Vec<f64>) {
         (
@@ -1326,12 +1333,12 @@ mod tests {
         let s = solve(&m);
         assert_eq!(s.status, LpStatus::Optimal);
         assert!(
-            (s.objective - (-12.0)).abs() < 1e-6,
+            (s.objective - (-12.0)).abs() < ASSERT_TOL,
             "objective {}",
             s.objective
         );
-        assert!((s.values[x.index()] - 4.0).abs() < 1e-6);
-        assert!(s.values[y.index()].abs() < 1e-6);
+        assert!((s.values[x.index()] - 4.0).abs() < ASSERT_TOL);
+        assert!(s.values[y.index()].abs() < ASSERT_TOL);
     }
 
     #[test]
@@ -1349,8 +1356,8 @@ mod tests {
         m.set_objective(LinExpr::term(x, 1.0) + LinExpr::term(y, 1.0));
         let s = solve(&m);
         assert_eq!(s.status, LpStatus::Optimal);
-        assert!((s.objective - 10.0).abs() < 1e-6);
-        assert!((s.values[x.index()] + s.values[y.index()] - 10.0).abs() < 1e-6);
+        assert!((s.objective - 10.0).abs() < ASSERT_TOL);
+        assert!((s.values[x.index()] + s.values[y.index()] - 10.0).abs() < ASSERT_TOL);
     }
 
     #[test]
@@ -1388,9 +1395,9 @@ mod tests {
         m.set_objective(LinExpr::term(x, -1.0) + LinExpr::term(y, -1.0));
         let s = solve(&m);
         assert_eq!(s.status, LpStatus::Optimal);
-        assert!((s.objective - (-7.0)).abs() < 1e-6);
-        assert!((s.values[x.index()] - 3.0).abs() < 1e-6);
-        assert!((s.values[y.index()] - 4.0).abs() < 1e-6);
+        assert!((s.objective - (-7.0)).abs() < ASSERT_TOL);
+        assert!((s.values[x.index()] - 3.0).abs() < ASSERT_TOL);
+        assert!((s.values[y.index()] - 4.0).abs() < ASSERT_TOL);
     }
 
     #[test]
@@ -1402,7 +1409,7 @@ mod tests {
         m.set_objective(LinExpr::term(x, 1.0));
         let s = solve(&m);
         assert_eq!(s.status, LpStatus::Optimal);
-        assert!((s.objective - (-3.0)).abs() < 1e-6);
+        assert!((s.objective - (-3.0)).abs() < ASSERT_TOL);
     }
 
     #[test]
@@ -1412,7 +1419,7 @@ mod tests {
         m.set_objective(LinExpr::term(x, 1.0) + LinExpr::constant(100.0));
         let s = solve(&m);
         assert_eq!(s.status, LpStatus::Optimal);
-        assert!((s.objective - 100.0).abs() < 1e-6);
+        assert!((s.objective - 100.0).abs() < ASSERT_TOL);
     }
 
     #[test]
@@ -1424,7 +1431,7 @@ mod tests {
         for i in 0..10 {
             m.add_constraint(
                 format!("c{i}"),
-                LinExpr::term(x, 1.0) + LinExpr::term(y, 1.0 + i as f64 * 1e-9),
+                LinExpr::term(x, 1.0) + LinExpr::term(y, 1.0 + i as f64 * ASSERT_GAP_TOL),
                 Sense::Le,
                 1.0,
             );
@@ -1432,7 +1439,7 @@ mod tests {
         m.set_objective(LinExpr::term(x, -1.0) + LinExpr::term(y, -1.0));
         let s = solve(&m);
         assert_eq!(s.status, LpStatus::Optimal);
-        assert!((s.objective + 1.0).abs() < 1e-5);
+        assert!((s.objective + 1.0).abs() < ASSERT_LOOSE_TOL);
     }
 
     #[test]
@@ -1484,14 +1491,14 @@ mod tests {
         // non-negative reduced costs).
         for j in 0..4 {
             let col: f64 = (0..3).map(|i| s.values[vars[i][j].index()]).sum();
-            assert!((col - demands[j]).abs() < 1e-5);
+            assert!((col - demands[j]).abs() < ASSERT_LOOSE_TOL);
         }
         for i in 0..3 {
             let row: f64 = (0..4).map(|j| s.values[vars[i][j].index()]).sum();
-            assert!(row <= supplies[i] + 1e-5);
+            assert!(row <= supplies[i] + ASSERT_LOOSE_TOL);
         }
         assert!(
-            (s.objective - 615.0).abs() < 1e-5,
+            (s.objective - 615.0).abs() < ASSERT_LOOSE_TOL,
             "objective {}",
             s.objective
         );
@@ -1537,7 +1544,7 @@ mod tests {
         assert_eq!(warm.status, LpStatus::Optimal);
         let cold = solve_lp(&m, &lo, &up2, 10_000, &StopCondition::none()).unwrap();
         assert!(
-            (warm.objective - cold.objective).abs() < 1e-6,
+            (warm.objective - cold.objective).abs() < ASSERT_TOL,
             "warm {} vs cold {}",
             warm.objective,
             cold.objective
@@ -1597,7 +1604,7 @@ mod tests {
             assert_eq!(sol.status, LpStatus::Optimal);
             let expected = -(cap + (10.0 - cap) / 2.0);
             assert!(
-                (sol.objective - expected).abs() < 1e-6,
+                (sol.objective - expected).abs() < ASSERT_TOL,
                 "cap {cap}: got {} want {expected}",
                 sol.objective
             );

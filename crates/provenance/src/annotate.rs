@@ -224,12 +224,14 @@ impl DomainCache {
     fn add_row(&mut self, row: &Row) {
         for (attr, idx) in &self.cat_cols {
             if let Some(v) = row[*idx].as_text() {
+                // lint: allow-panic(cat_cols and cat are populated from the same keys at construction)
                 let counts = self.cat.get_mut(attr).expect("cached attribute");
                 *counts.entry(v.to_string()).or_insert(0) += 1;
             }
         }
         for (attr, idx) in &self.num_cols {
             if let Some(v) = row[*idx].as_f64() {
+                // lint: allow-panic(num_cols and num are populated from the same keys at construction)
                 let counts = self.num.get_mut(attr).expect("cached attribute");
                 *counts.entry(FloatKey::new(v)).or_insert(0) += 1;
             }
@@ -239,6 +241,7 @@ impl DomainCache {
     fn remove_row(&mut self, row: &Row) {
         for (attr, idx) in &self.cat_cols {
             if let Some(v) = row[*idx].as_text() {
+                // lint: allow-panic(cat_cols and cat are populated from the same keys at construction)
                 let counts = self.cat.get_mut(attr).expect("cached attribute");
                 if let Some(n) = counts.get_mut(v) {
                     *n -= 1;
@@ -250,6 +253,7 @@ impl DomainCache {
         }
         for (attr, idx) in &self.num_cols {
             if let Some(v) = row[*idx].as_f64() {
+                // lint: allow-panic(num_cols and num are populated from the same keys at construction)
                 let counts = self.num.get_mut(attr).expect("cached attribute");
                 let key = FloatKey::new(v);
                 if let Some(n) = counts.get_mut(&key) {
@@ -456,12 +460,16 @@ impl AnnotatedRelation {
                 match (ki.peek(), fi.peek()) {
                     (Some(k), Some(f)) => {
                         if ranking_key(&k.0, &f.0).is_le() {
+                            // lint: allow-panic(peek just returned Some)
                             merged.push(ki.next().unwrap());
                         } else {
+                            // lint: allow-panic(peek just returned Some)
                             merged.push(fi.next().unwrap());
                         }
                     }
+                    // lint: allow-panic(peek just returned Some)
                     (Some(_), None) => merged.push(ki.next().unwrap()),
+                    // lint: allow-panic(peek just returned Some)
                     (None, Some(_)) => merged.push(fi.next().unwrap()),
                     (None, None) => break,
                 }

@@ -54,7 +54,8 @@
 //! base rows, `apply_delta` falls back to a full rebuild, which is faster at
 //! that point (threshold measured by the `ablation_incremental` benchmark).
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod annotate;

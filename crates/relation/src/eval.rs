@@ -183,10 +183,12 @@ fn natural_join_traced(
     }
     let left_idx: Vec<usize> = join_cols
         .iter()
+        // lint: allow-panic(common_columns only returns names present in both schemas)
         .map(|c| left.schema().index_of(c).expect("common column"))
         .collect();
     let right_idx: Vec<usize> = join_cols
         .iter()
+        // lint: allow-panic(common_columns only returns names present in both schemas)
         .map(|c| right.schema().index_of(c).expect("common column"))
         .collect();
 
@@ -276,10 +278,12 @@ pub fn natural_join(left: &Relation, right: &Relation) -> Result<Relation> {
     }
     let left_idx: Vec<usize> = join_cols
         .iter()
+        // lint: allow-panic(common_columns only returns names present in both schemas)
         .map(|c| left.schema().index_of(c).expect("common column"))
         .collect();
     let right_idx: Vec<usize> = join_cols
         .iter()
+        // lint: allow-panic(common_columns only returns names present in both schemas)
         .map(|c| right.schema().index_of(c).expect("common column"))
         .collect();
 

@@ -57,7 +57,8 @@
 //! assert_eq!(result.len(), 1);
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod csv;

@@ -47,6 +47,7 @@ impl ToSql for SpjQuery {
                 .collect();
             match parts.len() {
                 0 => predicates.push("FALSE".to_string()),
+                // lint: allow-panic(this match arm is only reached when len() == 1)
                 1 => predicates.push(parts.into_iter().next().expect("one part")),
                 _ => predicates.push(format!("({})", parts.join(" OR "))),
             }

@@ -11,6 +11,9 @@
 //! See the repository `README.md` for a quickstart and the
 //! crate map.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub use qr_core as core;
 pub use qr_datagen as datagen;
 pub use qr_milp as milp;

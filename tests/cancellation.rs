@@ -114,6 +114,12 @@ fn unified_time_limit_interrupts_every_backend_mid_search() {
     // algorithm families must come back Interrupted — not run to completion,
     // and not mislabel the stop as a proven answer.
     let (session, base) = fig3_session_and_request();
+    // Overshoot bound derived from this machine's measured annotation-build
+    // baseline rather than a fixed wall-clock constant: a loaded CI box that
+    // took 1s to build the annotation is allowed proportionally more slack,
+    // while a fast machine still gets a tight 5s ceiling.
+    let baseline = session.setup_stats().annotation_time;
+    let overshoot_bound = Duration::from_secs(5).max(baseline * 20);
     let backends: Vec<Box<dyn RefinementSolver>> = vec![
         Box::new(MilpSolver),
         Box::new(NaiveSolver::new(NaiveMode::Provenance)),
@@ -130,8 +136,8 @@ fn unified_time_limit_interrupts_every_backend_mid_search() {
             result.outcome
         );
         assert!(
-            elapsed < Duration::from_secs(5),
-            "{}: deadline overshoot ({elapsed:?})",
+            elapsed < overshoot_bound,
+            "{}: deadline overshoot ({elapsed:?} vs bound {overshoot_bound:?})",
             backend.label(&request)
         );
     }

@@ -1,0 +1,177 @@
+//! `qr-lint` — repo-specific static analysis for the query-refinement
+//! workspace.
+//!
+//! Walks every workspace `.rs` file (excluding `vendor/`, `tools/` and
+//! `target/`) and enforces four invariants that the compiler cannot:
+//!
+//! 1. **tolerance** — no bare `1e-*` float literal outside `qr_milp::tol`,
+//! 2. **cancel-poll** — every `loop`/`while` on the solve path polls its
+//!    stop condition,
+//! 3. **panic** — no `unwrap`/`expect`/`panic!` family in library code
+//!    outside tests and `debug_assert!`s,
+//! 4. **crate-attrs** — every crate root carries `#![forbid(unsafe_code)]`
+//!    and `#![deny(missing_docs)]`.
+//!
+//! Usage: `cargo run -p qr-lint -- [--deny] [--root <dir>]`. With `--deny`
+//! (the CI mode) any violation exits nonzero; without it violations are
+//! printed as warnings. See `rules.rs` for waiver syntax.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod rules;
+mod scan;
+
+use rules::{lint_file, Violation};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Directories never descended into, anywhere in the tree.
+const SKIP_DIRS: &[&str] = &["target", "vendor", "tools", ".git"];
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("qr-lint: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("qr-lint: unknown argument `{other}` (expected --deny / --root <dir>)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let violations = match lint_workspace(&root) {
+        Ok(v) => v,
+        Err(err) => {
+            eprintln!("qr-lint: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let severity = if deny { "error" } else { "warning" };
+    for v in &violations {
+        println!("{severity}: {v}");
+    }
+    if violations.is_empty() {
+        println!("qr-lint: workspace clean");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "qr-lint: {} violation{} found",
+            violations.len(),
+            if violations.len() == 1 { "" } else { "s" }
+        );
+        if deny {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+/// Lint every `.rs` file under `root`, returning violations sorted by path
+/// and line.
+fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+    let mut violations = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let source = std::fs::read_to_string(&file)?;
+        violations.extend(lint_file(&rel, &source));
+    }
+    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(violations)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect_rs_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The gate's own gate: the real workspace must be clean. If this fails,
+    /// either a violation slipped in without a waiver or a rule rotted —
+    /// both are exactly what the lint exists to catch.
+    #[test]
+    fn real_workspace_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+        let violations = lint_workspace(&root).expect("workspace sources are readable");
+        assert!(
+            violations.is_empty(),
+            "workspace has lint violations:\n{}",
+            violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    /// Each rule must actually fire on a seeded violation (acceptance
+    /// criterion: the gate fails on a bad workspace, not just passes on a
+    /// good one).
+    #[test]
+    fn seeded_violations_fail_each_rule() {
+        let cases: &[(&str, &str, &str)] = &[
+            (
+                "crates/milp/src/simplex.rs",
+                "fn f() -> f64 { 1e-7 }\n",
+                "tolerance",
+            ),
+            (
+                "crates/milp/src/dual.rs",
+                "fn f() { loop { spin(); } }\n",
+                "cancel-poll",
+            ),
+            (
+                "crates/core/src/session.rs",
+                "fn f() { x.unwrap(); }\n",
+                "panic",
+            ),
+            (
+                "crates/core/src/lib.rs",
+                "#![warn(missing_docs)]\n",
+                "crate-attrs",
+            ),
+        ];
+        for (path, source, rule) in cases {
+            let violations = lint_file(path, source);
+            assert!(
+                violations.iter().any(|v| v.rule == *rule),
+                "seeded {rule} violation in {path} was not caught"
+            );
+        }
+    }
+}

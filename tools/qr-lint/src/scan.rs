@@ -1,0 +1,476 @@
+//! A lightweight Rust source scanner: enough lexing to separate code from
+//! comments and string/char literals, locate `#[cfg(test)]` modules, and
+//! match braces — without pulling in a real parser (the lint is a
+//! zero-dependency CI gate).
+//!
+//! The scanner produces a *cleaned* copy of the source in which every
+//! comment and every string/char literal is replaced by spaces, byte for
+//! byte, newlines preserved. Offsets and line numbers in the cleaned text
+//! therefore agree exactly with the original, so rules can scan the cleaned
+//! text for tokens (`1e-7`, `unwrap(`, `while`) without false positives
+//! from prose, and report accurate locations. Comment *text* is kept
+//! separately, per line, because that is where lint waivers live.
+
+/// A scanned source file: blanked code plus per-line comment text.
+pub struct CleanSource {
+    /// The source with comments and string/char literals blanked to spaces
+    /// (same byte length and line structure as the original).
+    pub code: String,
+    /// Concatenated comment text per 1-indexed line (empty when the line has
+    /// no comment). Multi-line block comments contribute to each line they
+    /// span.
+    comment_by_line: Vec<String>,
+}
+
+impl CleanSource {
+    /// Scan `source` into cleaned code + comment map.
+    pub fn new(source: &str) -> Self {
+        Scanner::new(source).run()
+    }
+
+    /// The comment text attached to 1-indexed `line` (empty if none).
+    pub fn comment_on(&self, line: usize) -> &str {
+        self.comment_by_line
+            .get(line.wrapping_sub(1))
+            .map(|s| s.as_str())
+            .unwrap_or("")
+    }
+
+    /// Whether `line` or the line directly above carries the given waiver
+    /// marker (e.g. `lint: no-cancel-poll(`) in a comment. Waivers must
+    /// state a reason inside the parentheses.
+    pub fn has_waiver(&self, line: usize, marker: &str) -> bool {
+        let carries = |l: usize| {
+            let text = self.comment_on(l);
+            match text.find(marker) {
+                Some(at) => {
+                    let rest = &text[at + marker.len()..];
+                    // Non-empty reason before the closing parenthesis.
+                    rest.find(')').map(|close| close > 0).unwrap_or(false)
+                }
+                None => false,
+            }
+        };
+        carries(line) || (line > 1 && carries(line - 1))
+    }
+}
+
+/// 1-indexed line number of byte `offset` in `text`.
+pub fn line_of(text: &str, offset: usize) -> usize {
+    text.as_bytes()[..offset.min(text.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}
+
+struct Scanner<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: usize,
+    out: Vec<u8>,
+    comment_by_line: Vec<String>,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(source: &'a str) -> Self {
+        let lines = source.lines().count().max(1);
+        Scanner {
+            src: source.as_bytes(),
+            i: 0,
+            line: 1,
+            out: Vec::with_capacity(source.len()),
+            comment_by_line: vec![String::new(); lines + 1],
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        self.src.get(self.i + ahead).copied().unwrap_or(0)
+    }
+
+    /// Copy the current byte to the output verbatim.
+    fn keep(&mut self) {
+        let b = self.src[self.i];
+        if b == b'\n' {
+            self.line += 1;
+        }
+        self.out.push(b);
+        self.i += 1;
+    }
+
+    /// Blank the current byte (newlines stay newlines so lines align);
+    /// optionally record it as comment text on the current line.
+    fn blank(&mut self, record_comment: bool) {
+        let b = self.src[self.i];
+        if b == b'\n' {
+            self.out.push(b'\n');
+            self.line += 1;
+        } else {
+            self.out.push(b' ');
+            if record_comment {
+                if let Some(buf) = self.comment_by_line.get_mut(self.line - 1) {
+                    buf.push(b as char);
+                }
+            }
+        }
+        self.i += 1;
+    }
+
+    fn run(mut self) -> CleanSource {
+        while self.i < self.src.len() {
+            let b = self.src[self.i];
+            match b {
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'"' => self.string_literal(),
+                b'r' | b'b' if self.raw_string_ahead() => self.raw_string(),
+                b'b' if self.peek(1) == b'"' && !self.prev_is_ident() => {
+                    self.keep(); // the `b` prefix
+                    self.string_literal();
+                }
+                b'\'' => self.char_or_lifetime(),
+                _ => self.keep(),
+            }
+        }
+        CleanSource {
+            code: String::from_utf8(self.out).expect("blanking preserves UTF-8"),
+            comment_by_line: self.comment_by_line,
+        }
+    }
+
+    fn prev_is_ident(&self) -> bool {
+        self.i > 0 && {
+            let p = self.src[self.i - 1];
+            p.is_ascii_alphanumeric() || p == b'_'
+        }
+    }
+
+    fn line_comment(&mut self) {
+        while self.i < self.src.len() && self.src[self.i] != b'\n' {
+            self.blank(true);
+        }
+    }
+
+    fn block_comment(&mut self) {
+        let mut depth = 0usize;
+        while self.i < self.src.len() {
+            if self.src[self.i] == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.blank(true);
+                self.blank(true);
+            } else if self.src[self.i] == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.blank(true);
+                self.blank(true);
+                if depth == 0 {
+                    return;
+                }
+            } else {
+                self.blank(true);
+            }
+        }
+    }
+
+    fn string_literal(&mut self) {
+        self.blank(false); // opening quote
+        while self.i < self.src.len() {
+            match self.src[self.i] {
+                b'\\' => {
+                    self.blank(false);
+                    if self.i < self.src.len() {
+                        self.blank(false);
+                    }
+                }
+                b'"' => {
+                    self.blank(false);
+                    return;
+                }
+                _ => self.blank(false),
+            }
+        }
+    }
+
+    /// Does `r`, `r#`, `br#`… followed by a quote start here (and not inside
+    /// an identifier)?
+    fn raw_string_ahead(&self) -> bool {
+        if self.prev_is_ident() {
+            return false;
+        }
+        let mut j = self.i;
+        if self.src[j] == b'b' {
+            j += 1;
+        }
+        if self.src.get(j) != Some(&b'r') {
+            return false;
+        }
+        j += 1;
+        while self.src.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        self.src.get(j) == Some(&b'"')
+    }
+
+    fn raw_string(&mut self) {
+        if self.src[self.i] == b'b' {
+            self.keep();
+        }
+        self.keep(); // the `r`
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            self.keep();
+            hashes += 1;
+        }
+        self.blank(false); // opening quote
+        'scan: while self.i < self.src.len() {
+            if self.src[self.i] == b'"' {
+                for k in 0..hashes {
+                    if self.peek(1 + k) != b'#' {
+                        self.blank(false);
+                        continue 'scan;
+                    }
+                }
+                self.blank(false); // closing quote
+                for _ in 0..hashes {
+                    self.keep();
+                }
+                return;
+            }
+            self.blank(false);
+        }
+    }
+
+    fn char_or_lifetime(&mut self) {
+        // `'\...'` is always a char literal; `'x'` is a char literal when the
+        // byte after next closes it; otherwise it is a lifetime (kept as
+        // code, it contains no tokens the rules care about).
+        if self.peek(1) == b'\\' {
+            self.blank(false); // quote
+            while self.i < self.src.len() && self.src[self.i] != b'\'' {
+                if self.src[self.i] == b'\\' {
+                    self.blank(false);
+                    if self.i < self.src.len() {
+                        self.blank(false);
+                    }
+                } else {
+                    self.blank(false);
+                }
+            }
+            if self.i < self.src.len() {
+                self.blank(false); // closing quote
+            }
+        } else if self.peek(2) == b'\'' && self.peek(1) != b'\'' {
+            self.blank(false);
+            self.blank(false);
+            self.blank(false);
+        } else {
+            self.keep(); // lifetime tick (or stray quote)
+        }
+    }
+}
+
+/// Return the offset of the `}` matching the `{` at `open`, if any.
+pub fn matching_brace(code: &str, open: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    debug_assert_eq!(bytes[open], b'{');
+    let mut depth = 0usize;
+    for (k, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Blank every `#[cfg(test)] mod … { … }` span in already-cleaned code
+/// (newlines preserved), so rules that exempt test code can scan the result
+/// directly.
+pub fn strip_test_modules(clean_code: &str) -> String {
+    const ATTR: &str = "#[cfg(test)]";
+    let mut out = clean_code.as_bytes().to_vec();
+    let mut from = 0usize;
+    while let Some(at) = clean_code[from..].find(ATTR).map(|p| p + from) {
+        from = at + ATTR.len();
+        // The attribute must introduce a `mod`; skip whitespace and further
+        // attributes to find the item keyword.
+        let mut j = at + ATTR.len();
+        let bytes = clean_code.as_bytes();
+        loop {
+            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if clean_code[j..].starts_with("#[") {
+                match clean_code[j..].find(']') {
+                    Some(close) => j += close + 1,
+                    None => break,
+                }
+            } else {
+                break;
+            }
+        }
+        if !clean_code[j..].starts_with("mod ") {
+            continue;
+        }
+        let Some(open) = clean_code[j..].find('{').map(|p| p + j) else {
+            continue;
+        };
+        let Some(close) = matching_brace(clean_code, open) else {
+            continue;
+        };
+        for cell in out.iter_mut().take(close + 1).skip(at) {
+            if *cell != b'\n' {
+                *cell = b' ';
+            }
+        }
+        from = close + 1;
+    }
+    String::from_utf8(out).expect("blanking preserves UTF-8")
+}
+
+/// Blank every `debug_assert…!(…)` invocation in already-cleaned code, so
+/// the panic rule does not flag panics that only exist in debug builds'
+/// assertion messages.
+pub fn strip_debug_asserts(clean_code: &str) -> String {
+    let mut out = clean_code.as_bytes().to_vec();
+    let mut from = 0usize;
+    while let Some(at) = clean_code[from..].find("debug_assert").map(|p| p + from) {
+        // Must be token-initial (not `my_debug_assert`).
+        let prev_ok = at == 0 || {
+            let p = clean_code.as_bytes()[at - 1];
+            !(p.is_ascii_alphanumeric() || p == b'_')
+        };
+        let Some(bang) = clean_code[at..].find('!').map(|p| p + at) else {
+            break;
+        };
+        // Only a macro name may sit between `debug_assert` and `!`.
+        let name_ok = clean_code[at..bang]
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_');
+        if !(prev_ok && name_ok) {
+            from = at + 1;
+            continue;
+        }
+        // Match the delimiter right after the bang.
+        let bytes = clean_code.as_bytes();
+        let mut j = bang + 1;
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        let (open, close) = match bytes.get(j) {
+            Some(b'(') => (b'(', b')'),
+            Some(b'[') => (b'[', b']'),
+            Some(b'{') => (b'{', b'}'),
+            _ => {
+                from = at + 1;
+                continue;
+            }
+        };
+        let mut depth = 0usize;
+        let mut end = None;
+        for (k, &b) in bytes.iter().enumerate().skip(j) {
+            if b == open {
+                depth += 1;
+            } else if b == close {
+                depth -= 1;
+                if depth == 0 {
+                    end = Some(k);
+                    break;
+                }
+            }
+        }
+        let Some(end) = end else {
+            break;
+        };
+        for cell in out.iter_mut().take(end + 1).skip(at) {
+            if *cell != b'\n' {
+                *cell = b' ';
+            }
+        }
+        from = end + 1;
+    }
+    String::from_utf8(out).expect("blanking preserves UTF-8")
+}
+
+/// Is the token starting at `at` with length `len` a standalone word (not a
+/// fragment of a larger identifier)?
+pub fn is_word(code: &str, at: usize, len: usize) -> bool {
+    let bytes = code.as_bytes();
+    let before = at
+        .checked_sub(1)
+        .map(|p| bytes[p].is_ascii_alphanumeric() || bytes[p] == b'_')
+        .unwrap_or(false);
+    let after = bytes
+        .get(at + len)
+        .map(|&b| b.is_ascii_alphanumeric() || b == b'_')
+        .unwrap_or(false);
+    !before && !after
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked_but_lines_align() {
+        let src = "let x = \"1e-9 // not code\"; // lint: allow-panic(reason)\nlet y = 1;\n";
+        let clean = CleanSource::new(src);
+        assert!(!clean.code.contains("1e-9"));
+        assert!(!clean.code.contains("allow-panic"));
+        assert_eq!(clean.code.lines().count(), src.lines().count());
+        assert!(clean.comment_on(1).contains("lint: allow-panic(reason)"));
+        assert!(clean.has_waiver(1, "lint: allow-panic("));
+        assert!(clean.has_waiver(2, "lint: allow-panic(")); // line above
+    }
+
+    #[test]
+    fn waiver_requires_a_reason() {
+        let clean = CleanSource::new("foo(); // lint: no-cancel-poll()\n");
+        assert!(!clean.has_waiver(1, "lint: no-cancel-poll("));
+        let clean = CleanSource::new("foo(); // lint: no-cancel-poll(bounded)\n");
+        assert!(clean.has_waiver(1, "lint: no-cancel-poll("));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked_lifetimes_kept() {
+        let src = "let s = r#\"panic!(\"x\")\"#; let c = '\\n'; fn f<'a>(x: &'a str) {}";
+        let clean = CleanSource::new(src);
+        assert!(!clean.code.contains("panic!"));
+        assert!(clean.code.contains("<'a>"));
+        assert_eq!(clean.code.len(), src.len());
+    }
+
+    #[test]
+    fn nested_block_comments_end_correctly() {
+        let src = "/* outer /* inner */ still comment */ let z = 1;";
+        let clean = CleanSource::new(src);
+        assert!(clean.code.contains("let z = 1;"));
+        assert!(!clean.code.contains("outer"));
+        assert!(!clean.code.contains("still"));
+    }
+
+    #[test]
+    fn test_modules_are_stripped() {
+        let src = "fn lib() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn tail() {}\n";
+        let clean = CleanSource::new(src);
+        let stripped = strip_test_modules(&clean.code);
+        assert!(stripped.contains("fn lib() { x.unwrap(); }"));
+        assert!(!stripped.contains("y.unwrap()"));
+        assert!(stripped.contains("fn tail() {}"));
+        assert_eq!(stripped.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn debug_asserts_are_stripped() {
+        let src = "debug_assert!(a.unwrap() > 0, \"m\");\nb.unwrap();\n";
+        let clean = CleanSource::new(src);
+        let stripped = strip_debug_asserts(&clean.code);
+        assert!(!stripped.contains("a.unwrap()"));
+        assert!(stripped.contains("b.unwrap();"));
+    }
+}

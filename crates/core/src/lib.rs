@@ -116,6 +116,7 @@ pub mod optimize;
 pub mod paper_example;
 pub mod session;
 pub mod solver;
+pub mod sync;
 
 pub use constraint::{BoundType, CardinalityConstraint, ConstraintSet, Group};
 pub use distance::{
@@ -134,8 +135,10 @@ pub use qr_milp::control::{CancelToken, SolveControl, SolveObserver, SolveProgre
 pub use session::{
     exact_deviation, exact_distance, AnnotatedSnapshot, Mutation, RefinedQuery, RefinementOutcome,
     RefinementRequest, RefinementResult, RefinementSession, RefinementStats, SessionStats,
+    StatsAggregate,
 };
 pub use solver::{EricaSolver, MilpSolver, NaiveSolver, RefinementSolver};
+pub use sync::{lock_or_recover, read_or_recover, write_or_recover};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
@@ -149,7 +152,7 @@ pub mod prelude {
     pub use crate::optimize::OptimizationConfig;
     pub use crate::session::{
         AnnotatedSnapshot, Mutation, RefinedQuery, RefinementOutcome, RefinementRequest,
-        RefinementResult, RefinementSession, RefinementStats, SessionStats,
+        RefinementResult, RefinementSession, RefinementStats, SessionStats, StatsAggregate,
     };
     pub use crate::solver::{EricaSolver, MilpSolver, NaiveSolver, RefinementSolver};
     pub use qr_milp::control::{CancelToken, SolveControl, SolveObserver, SolveProgress};

@@ -88,6 +88,10 @@ use crate::error::Result;
 use crate::milp_model::{build_model, BuiltModel};
 use crate::optimize::OptimizationConfig;
 use crate::solver::RefinementSolver;
+// Both session locks guard data that is consistent at every intermediate
+// point (scalar stats bumps, single-`Arc` snapshot swaps), so poisoning by a
+// crashed worker is recoverable — see `crate::sync` for the contract.
+use crate::sync::{lock_or_recover, read_or_recover, write_or_recover};
 use qr_milp::control::{CancelToken, SolveControl, SolveObserver};
 use qr_milp::solution::SolveStats;
 use qr_milp::{SolveStatus, Solver, SolverOptions};
@@ -203,6 +207,118 @@ impl RefinementStats {
         self.annotation_time += annotation_time;
         self.setup_time += annotation_time;
         self.total_time += annotation_time;
+    }
+}
+
+/// A running aggregate of [`RefinementStats`] across many solves — the shape
+/// a long-lived service reports from a metrics endpoint: counter fields are
+/// summed, model-size fields keep their maximum, and interruptions are
+/// counted rather than or-ed.
+///
+/// [`record`](Self::record) destructures [`RefinementStats`] exhaustively,
+/// so adding a stats field without deciding how it aggregates is a compile
+/// error here — the same no-unrouted-stats discipline as the solver merge
+/// sites.
+#[derive(Debug, Clone, Default)]
+pub struct StatsAggregate {
+    /// Number of solves recorded.
+    pub solves: usize,
+    /// How many of them ended [`RefinementOutcome::Interrupted`]
+    /// (cancellation or deadline).
+    pub interrupted: usize,
+    /// Summed annotation time charged to the recorded requests.
+    pub annotation_time: Duration,
+    /// Summed per-request MILP/model construction time.
+    pub model_build_time: Duration,
+    /// Summed solver/search time.
+    pub solver_time: Duration,
+    /// Summed total wall-clock time.
+    pub total_time: Duration,
+    /// Summed branch-and-bound nodes.
+    pub nodes: usize,
+    /// Summed LP relaxations solved.
+    pub lp_solves: usize,
+    /// Summed simplex pivots.
+    pub simplex_iterations: usize,
+    /// Summed warm-started node LPs.
+    pub warm_lp_solves: usize,
+    /// Summed cold node LPs.
+    pub cold_lp_solves: usize,
+    /// Summed basis LU refactorizations.
+    pub refactorizations: usize,
+    /// Summed product-form eta updates.
+    pub eta_updates: usize,
+    /// Summed exhaustive-baseline candidates.
+    pub candidates_evaluated: usize,
+    /// Largest MILP (variables) seen.
+    pub max_variables: usize,
+    /// Largest MILP (constraints) seen.
+    pub max_constraints: usize,
+    /// Largest pruned scope (tuples of `~Q(D)` kept) seen.
+    pub max_scope: usize,
+    /// Peak basis LU fill (nonzeros) seen.
+    pub max_lu_nnz: usize,
+    /// Largest sparse constraint matrix (nonzeros) seen.
+    pub max_matrix_nnz: usize,
+}
+
+impl StatsAggregate {
+    /// An empty aggregate.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one solve's statistics into the aggregate.
+    pub fn record(&mut self, stats: &RefinementStats) {
+        // Exhaustive destructuring: a new `RefinementStats` field must pick
+        // an aggregation (sum / max / count / deliberately derived) here.
+        let RefinementStats {
+            annotation_time,
+            model_build_time,
+            // Derived: always annotation_time + model_build_time, so
+            // aggregating it separately would double-count setup.
+            setup_time: _,
+            solver_time,
+            total_time,
+            num_variables,
+            // Subsumed by num_variables for sizing purposes.
+            num_integer_variables: _,
+            num_constraints,
+            scope_size,
+            // A property of the session's annotation, not of one solve.
+            lineage_classes: _,
+            nodes,
+            lp_solves,
+            simplex_iterations,
+            warm_lp_solves,
+            cold_lp_solves,
+            refactorizations,
+            eta_updates,
+            lu_nnz,
+            matrix_nnz,
+            candidates_evaluated,
+            interrupted,
+        } = stats;
+        self.solves += 1;
+        self.interrupted += usize::from(*interrupted);
+        self.annotation_time += *annotation_time;
+        self.model_build_time += *model_build_time;
+        self.solver_time += *solver_time;
+        self.total_time += *total_time;
+        self.nodes += nodes;
+        self.lp_solves += lp_solves;
+        self.simplex_iterations += simplex_iterations;
+        self.warm_lp_solves += warm_lp_solves;
+        self.cold_lp_solves += cold_lp_solves;
+        self.refactorizations += refactorizations;
+        self.eta_updates += eta_updates;
+        self.candidates_evaluated += candidates_evaluated;
+        self.max_variables = self.max_variables.max(*num_variables);
+        self.max_constraints = self.max_constraints.max(*num_constraints);
+        self.max_scope = self.max_scope.max(*scope_size);
+        self.max_lu_nnz = self.max_lu_nnz.max(*lu_nnz);
+        self.max_matrix_nnz = self.max_matrix_nnz.max(*matrix_nnz);
     }
 }
 
@@ -394,6 +510,17 @@ impl RefinementRequest {
         self
     }
 
+    /// Bound the solve by an absolute point in time. Like
+    /// [`with_time_limit`](Self::with_time_limit) this composes by
+    /// *tightening*: stacked with a relative limit or an earlier deadline,
+    /// the earlier stop wins — a serving layer can fold its own latency
+    /// budget into a request without ever loosening the request's own.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: std::time::Instant) -> Self {
+        self.control = self.control.with_deadline(deadline);
+        self
+    }
+
     /// Attach a cancellation token (keep a clone; calling
     /// [`CancelToken::cancel`] from any thread interrupts the solve within a
     /// few simplex pivots).
@@ -521,31 +648,6 @@ pub struct RefinementSession {
     /// Accumulated setup statistics; doubles as the writer lock serializing
     /// [`apply`](RefinementSession::apply) calls.
     stats: Mutex<SessionStats>,
-}
-
-/// Acquire a mutex, recovering from poisoning instead of panicking.
-///
-/// A worker thread that panics while holding a session lock poisons it; both
-/// session locks only ever guard data that is consistent at every
-/// intermediate point (stats counters are plain scalar updates, the snapshot
-/// is swapped by a single `Arc` assignment), so the poisoned state is still
-/// valid — recovering keeps the whole session usable instead of wedging
-/// every future solve on one crashed worker.
-fn lock_or_recover<T>(lock: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    lock.lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
-/// [`lock_or_recover`] for read-locking the snapshot `RwLock`.
-fn read_or_recover<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
-    lock.read()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
-/// [`lock_or_recover`] for write-locking the snapshot `RwLock`.
-fn write_or_recover<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
-    lock.write()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 impl Clone for RefinementSession {
@@ -1100,6 +1202,7 @@ const _: () = {
     assert_send_sync::<RefinementOutcome>();
     assert_send_sync::<RefinementStats>();
     assert_send_sync::<SessionStats>();
+    assert_send_sync::<StatsAggregate>();
     assert_send_sync::<RefinedQuery>();
 };
 

@@ -1,0 +1,62 @@
+//! Poison-recovering lock acquisition, shared by every lock in the
+//! refinement service (session snapshot/stats locks, the server's session
+//! pool and metrics — anything a crashed worker thread must not wedge).
+//!
+//! A thread that panics while holding a `std::sync` lock *poisons* it:
+//! every later acquisition returns `Err(PoisonError)`. Poisoning exists to
+//! flag possibly half-updated state, but for locks whose guarded data is
+//! consistent at every intermediate point — scalar counter bumps, single
+//! `Arc` swaps, append-only maps — the poisoned state is still valid, and
+//! propagating the error (or `unwrap`ping it) would turn one crashed worker
+//! into a permanently unusable service. These helpers recover the guard
+//! instead, trading the poison signal for availability.
+//!
+//! **Only use these for locks that maintain the every-intermediate-point
+//! invariant.** A lock guarding a multi-step update that can be observed
+//! half-done must keep the default poisoning behavior and handle the error.
+
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Acquire a mutex, recovering from poisoning instead of panicking.
+///
+/// See the [module docs](self) for when recovery is sound.
+pub fn lock_or_recover<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`lock_or_recover`] for read-locking an `RwLock`.
+pub fn read_or_recover<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`lock_or_recover`] for write-locking an `RwLock`.
+pub fn write_or_recover<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn recovery_yields_usable_guards_after_a_panicking_holder() {
+        let mutex = Arc::new(Mutex::new(7usize));
+        let rw = Arc::new(RwLock::new(String::from("ok")));
+
+        let (m, r) = (Arc::clone(&mutex), Arc::clone(&rw));
+        let _ = std::thread::spawn(move || {
+            let _g1 = m.lock();
+            let _g2 = r.write();
+            panic!("poison both");
+        })
+        .join();
+        assert!(mutex.lock().is_err(), "mutex is poisoned");
+        assert!(rw.read().is_err(), "rwlock is poisoned");
+
+        *lock_or_recover(&mutex) += 1;
+        assert_eq!(*lock_or_recover(&mutex), 8);
+        write_or_recover(&rw).push('!');
+        assert_eq!(read_or_recover(&rw).as_str(), "ok!");
+    }
+}

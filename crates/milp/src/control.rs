@@ -152,19 +152,29 @@ impl SolveControl {
     /// starts. Exceeding it ends the solve with
     /// [`SolveStatus::Interrupted`](crate::solution::SolveStatus::Interrupted),
     /// best incumbent and statistics intact.
+    ///
+    /// Budgets **compose by tightening**: if a time limit is already set,
+    /// the smaller of the two is kept, and a relative limit combined with an
+    /// absolute [`with_deadline`](Self::with_deadline) resolves to whichever
+    /// stop comes first (see [`deadline_from`](Self::deadline_from)). A
+    /// layered caller — e.g. a server folding a per-connection budget into a
+    /// request that already carries its own deadline — can therefore never
+    /// accidentally *loosen* a stop that an earlier layer imposed.
     #[must_use]
     pub fn with_time_limit(mut self, limit: Duration) -> Self {
-        self.time_limit = Some(limit);
+        self.time_limit = Some(self.time_limit.map_or(limit, |prior| prior.min(limit)));
         self
     }
 
     /// Bound the solve by an absolute point in time (useful to share one
     /// cut-off across a batch of solves). Combined with
     /// [`with_time_limit`](Self::with_time_limit), the earlier of the two
-    /// applies.
+    /// applies; combined with an already-set deadline, the earlier deadline
+    /// is kept (tightening composition, like
+    /// [`with_time_limit`](Self::with_time_limit)).
     #[must_use]
     pub fn with_deadline(mut self, deadline: Instant) -> Self {
-        self.deadline = Some(deadline);
+        self.deadline = Some(self.deadline.map_or(deadline, |prior| prior.min(deadline)));
         self
     }
 
@@ -312,6 +322,28 @@ mod tests {
         let legacy = start + Duration::from_secs(2);
         let stop = both.stop_condition(start, Some(legacy));
         assert_eq!(stop.deadline, Some(legacy));
+    }
+
+    #[test]
+    fn builders_tighten_and_never_loosen() {
+        let start = Instant::now();
+        // A later limit cannot displace an earlier one...
+        let control = SolveControl::new()
+            .with_time_limit(Duration::from_secs(1))
+            .with_time_limit(Duration::from_secs(60));
+        assert_eq!(control.time_limit(), Some(Duration::from_secs(1)));
+        // ... and a tighter one wins regardless of call order.
+        let control = SolveControl::new()
+            .with_time_limit(Duration::from_secs(60))
+            .with_time_limit(Duration::from_secs(1));
+        assert_eq!(control.time_limit(), Some(Duration::from_secs(1)));
+
+        let near = start + Duration::from_secs(2);
+        let far = start + Duration::from_secs(90);
+        let control = SolveControl::new().with_deadline(near).with_deadline(far);
+        assert_eq!(control.deadline_from(start), Some(near));
+        let control = SolveControl::new().with_deadline(far).with_deadline(near);
+        assert_eq!(control.deadline_from(start), Some(near));
     }
 
     #[test]

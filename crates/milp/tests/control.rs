@@ -7,7 +7,7 @@ use qr_milp::control::{CancelToken, SolveControl, SolveObserver, SolveProgress};
 use qr_milp::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Max-weight matchings on odd cycles: half-integral LP optima force real
 /// branching, so the tree is deep enough to observe and interrupt.
@@ -130,6 +130,58 @@ fn observer_streams_events_and_can_cancel_mid_flight() {
     // The incumbent reported at interruption is a genuinely feasible point:
     // the full solve's optimum can only be at least as good.
     assert!(full.objective <= s.objective + 1e-9);
+}
+
+/// Deadline composition: when a control carries both a relative time limit
+/// and an absolute deadline — the exact combination a server produces by
+/// stacking a per-connection budget onto a per-request deadline — the
+/// effective stop is the *earlier* of the two, in both directions.
+#[test]
+fn earlier_of_time_limit_and_deadline_wins() {
+    let model = branchy_model(&[5, 7, 9]);
+
+    // Generous relative budget, already-expired absolute deadline: the
+    // deadline must stop the solve immediately; the 10-minute limit must not
+    // mask it.
+    let control = SolveControl::new()
+        .with_time_limit(Duration::from_secs(600))
+        .with_deadline(Instant::now() - Duration::from_millis(1));
+    let s = Solver::default()
+        .solve_with_control(&model, &control)
+        .unwrap();
+    assert_eq!(s.status, SolveStatus::Interrupted);
+    assert!(s.stats.interrupted);
+    assert_eq!(s.stats.nodes, 0, "expired deadline stops before any node");
+
+    // Expired relative budget, generous absolute deadline: symmetric.
+    let control = SolveControl::new()
+        .with_deadline(Instant::now() + Duration::from_secs(600))
+        .with_time_limit(Duration::ZERO);
+    let s = Solver::default()
+        .solve_with_control(&model, &control)
+        .unwrap();
+    assert_eq!(s.status, SolveStatus::Interrupted);
+    assert!(s.stats.interrupted);
+}
+
+/// Stacked budgets only ever tighten: re-applying a *looser* limit or a
+/// *later* deadline (as an outer layer naively might) leaves the earlier
+/// stop in force.
+#[test]
+fn stacked_controls_cannot_loosen_an_earlier_stop() {
+    let model = branchy_model(&[5, 7, 9]);
+    let control = SolveControl::new()
+        .with_time_limit(Duration::ZERO) // request-level: already exhausted
+        .with_time_limit(Duration::from_secs(600)) // connection-level budget
+        .with_deadline(Instant::now() + Duration::from_secs(600));
+    let s = Solver::default()
+        .solve_with_control(&model, &control)
+        .unwrap();
+    assert_eq!(
+        s.status,
+        SolveStatus::Interrupted,
+        "the tighter request budget must survive the looser connection layer"
+    );
 }
 
 /// The legacy `SolverOptions::time_limit` keeps its historical semantics

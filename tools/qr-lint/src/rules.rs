@@ -47,6 +47,10 @@ const SOLVE_PATH_FILES: &[&str] = &[
     "crates/milp/src/branch_bound.rs",
     "crates/core/src/naive.rs",
     "crates/core/src/erica.rs",
+    // The server's accept/connection/worker loops sit upstream of every
+    // solve: a loop here that never polls shutdown would turn graceful
+    // drain into a hang.
+    "tools/qr-server/src/server.rs",
 ];
 
 /// Library crates subject to the panic rule. `crates/bench` is deliberately
@@ -58,6 +62,10 @@ const LIBRARY_SRC_PREFIXES: &[&str] = &[
     "crates/provenance/src/",
     "crates/core/src/",
     "crates/datagen/src/",
+    // The server promises a closed wire-level error taxonomy ("never a raw
+    // panic across the socket"), so its sources are held to the same
+    // no-panic discipline as the libraries.
+    "tools/qr-server/src/",
     "src/",
 ];
 
@@ -70,6 +78,7 @@ const CRATE_ROOTS: &[&str] = &[
     "crates/core/src/lib.rs",
     "crates/datagen/src/lib.rs",
     "crates/bench/src/lib.rs",
+    "tools/qr-server/src/lib.rs",
     "src/lib.rs",
 ];
 
@@ -428,6 +437,38 @@ mod tests {
     fn panic_ignores_non_panicking_lookalikes() {
         let src = "fn f() { x.unwrap_or_else(g); y.unwrap_or(0); my_panic!(); }\n";
         assert!(lint_file("crates/core/src/solver.rs", src).is_empty());
+    }
+
+    // --- server-crate coverage ---
+
+    #[test]
+    fn server_crate_is_held_to_every_scoped_rule() {
+        // Accept/worker loops are solve-path: they must poll shutdown.
+        let v = lint_file(
+            "tools/qr-server/src/server.rs",
+            "fn f() { loop { accept(); } }\n",
+        );
+        assert_eq!(rules_of(&v), vec!["cancel-poll"]);
+        let polled = "fn f(s: &S) { loop { if s.should_stop() { break; } accept(); } }\n";
+        assert!(lint_file("tools/qr-server/src/server.rs", polled).is_empty());
+        // The no-raw-panic-across-the-socket promise: panic discipline.
+        let v = lint_file("tools/qr-server/src/json.rs", "fn f() { x.unwrap(); }\n");
+        assert_eq!(rules_of(&v), vec!["panic"]);
+        // Tolerance discipline covers the server like any library crate.
+        let v = lint_file(
+            "tools/qr-server/src/protocol.rs",
+            "fn f(x: f64) -> bool { x < 1e-9 }\n",
+        );
+        assert_eq!(rules_of(&v), vec!["tolerance"]);
+        // Crate-root attributes.
+        let v = lint_file("tools/qr-server/src/lib.rs", "#![warn(missing_docs)]\n");
+        assert_eq!(rules_of(&v), vec!["crate-attrs", "crate-attrs"]);
+        // qr-lint's own sources remain outside every scoped rule.
+        assert!(lint_file(
+            "tools/qr-lint/src/main.rs",
+            "fn f() { x.unwrap(); loop { spin(); } }\n"
+        )
+        .is_empty());
     }
 
     // --- crate-attrs ---

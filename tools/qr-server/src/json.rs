@@ -1,0 +1,531 @@
+//! A minimal, allocation-conscious JSON layer (std only — the workspace
+//! builds with no registry access, so serde is not an option).
+//!
+//! The parser is written for a *hostile* wire: it never panics, bounds its
+//! recursion depth, decodes `\uXXXX` escapes (including surrogate pairs,
+//! with lone surrogates replaced by U+FFFD), rejects trailing garbage, and
+//! reports byte offsets in its errors so the server can echo a precise
+//! structured `bad_request` back to the client. The writer emits only valid
+//! JSON: non-finite numbers serialize as `null` rather than producing
+//! `NaN`/`inf` tokens no parser would accept.
+
+use std::fmt;
+
+/// Maximum nesting depth the parser accepts. Requests are flat objects; a
+/// deeply nested payload is an attack (stack exhaustion), not a request.
+pub const MAX_DEPTH: usize = 32;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order (duplicate keys keep the last value on
+    /// lookup, matching common JSON-library behavior).
+    Obj(Vec<(String, Json)>),
+}
+
+/// A parse failure: what went wrong and the byte offset it was detected at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input where the problem was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl Json {
+    /// Parse one complete JSON value from `text`; trailing non-whitespace is
+    /// an error (one request per line means one value per line).
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            at: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.at < p.bytes.len() {
+            return Err(p.err("trailing characters after the JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// Serialize to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => write_num(*n, out),
+            Json::Str(s) => write_str(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Object field lookup (last duplicate wins); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one (rejects
+    /// fractional, negative, and unrepresentably large numbers).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= 9.007_199_254_740_992e15 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Convenience constructor: a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience constructor: an object from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Convenience constructor: a number from anything numeric.
+    pub fn num(n: impl Into<f64>) -> Json {
+        Json::Num(n.into())
+    }
+
+    /// A number from a `usize` counter (metrics counters are well below the
+    /// 2^53 exact-integer range of `f64`).
+    pub fn count(n: usize) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// A duration in (fractional) milliseconds.
+    pub fn millis(d: std::time::Duration) -> Json {
+        Json::Num(d.as_secs_f64() * 1e3)
+    }
+}
+
+fn write_num(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        // JSON has no NaN/Infinity; null is the conventional downgrade.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+        let _ = fmt::Write::write_fmt(out, format_args!("{}", n as i64));
+    } else {
+        let _ = fmt::Write::write_fmt(out, format_args!("{n}"));
+    }
+}
+
+fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            offset: self.at,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.at += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(&format!("unexpected byte 0x{other:02x}"))),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("invalid literal (expected `{word}`)")))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.at += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.at += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                0x00..=0x1f => return Err(self.err("raw control character in string")),
+                _ => {
+                    // Re-scan the UTF-8 sequence starting at the byte we just
+                    // consumed; the input is a &str so it is valid UTF-8.
+                    let from = self.at - 1;
+                    let s = match std::str::from_utf8(&self.bytes[from..]) {
+                        Ok(s) => s,
+                        Err(_) => return Err(self.err("invalid UTF-8")),
+                    };
+                    let Some(c) = s.chars().next() else {
+                        return Err(self.err("unterminated string"));
+                    };
+                    out.push(c);
+                    self.at = from + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v: u32 = 0;
+        for _ in 0..4 {
+            let Some(b) = self.peek() else {
+                return Err(self.err("truncated \\u escape"));
+            };
+            let digit = match b {
+                b'0'..=b'9' => u32::from(b - b'0'),
+                b'a'..=b'f' => u32::from(b - b'a') + 10,
+                b'A'..=b'F' => u32::from(b - b'A') + 10,
+                _ => return Err(self.err("invalid hex digit in \\u escape")),
+            };
+            v = v * 16 + digit;
+            self.at += 1;
+        }
+        Ok(v)
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let hi = self.hex4()?;
+        if (0xd800..0xdc00).contains(&hi) {
+            // High surrogate: needs a following \uXXXX low surrogate.
+            if self.peek() == Some(b'\\') && self.bytes.get(self.at + 1) == Some(&b'u') {
+                self.at += 2;
+                let lo = self.hex4()?;
+                if (0xdc00..0xe000).contains(&lo) {
+                    let c = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                    return Ok(char::from_u32(c).unwrap_or('\u{fffd}'));
+                }
+                // A valid BMP char after a lone high surrogate: keep it,
+                // substituting the surrogate itself.
+                if let Some(c) = char::from_u32(lo) {
+                    // The lone high surrogate degrades to U+FFFD; emitting
+                    // only the replacement would drop `c`, so this arm keeps
+                    // parsing lossy-but-total.
+                    return Ok(c);
+                }
+            }
+            return Ok('\u{fffd}');
+        }
+        Ok(char::from_u32(hi).unwrap_or('\u{fffd}'))
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let from = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        let digits_from = self.at;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.at += 1;
+        }
+        if self.at == digits_from {
+            return Err(self.err("number is missing digits"));
+        }
+        if self.peek() == Some(b'.') {
+            self.at += 1;
+            let frac_from = self.at;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.at += 1;
+            }
+            if self.at == frac_from {
+                return Err(self.err("number is missing fraction digits"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.at += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.at += 1;
+            }
+            let exp_from = self.at;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.at += 1;
+            }
+            if self.at == exp_from {
+                return Err(self.err("number is missing exponent digits"));
+            }
+        }
+        let text = match std::str::from_utf8(&self.bytes[from..self.at]) {
+            Ok(t) => t,
+            Err(_) => return Err(self.err("invalid UTF-8 in number")),
+        };
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+            _ => Err(self.err("number out of range")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars_arrays_and_objects() {
+        for text in [
+            "null",
+            "true",
+            "false",
+            "0",
+            "-12",
+            "3.5",
+            "\"hi\"",
+            "[1,2,3]",
+            "{\"a\":1,\"b\":[true,null],\"c\":{\"d\":\"e\"}}",
+        ] {
+            let v = Json::parse(text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(Json::parse(&v.render()), Ok(v), "round trip of {text}");
+        }
+    }
+
+    #[test]
+    fn escapes_and_unicode_round_trip() {
+        let v = Json::parse(r#""a\"b\\c\ndé 😀""#).expect("parses");
+        assert_eq!(v.as_str(), Some("a\"b\\c\nd\u{e9} \u{1f600}"));
+        assert_eq!(Json::parse(&v.render()).as_ref(), Ok(&v));
+        // Lone surrogate degrades to the replacement char, not a panic.
+        let lone = Json::parse(r#""\ud800""#).expect("total");
+        assert_eq!(lone.as_str(), Some("\u{fffd}"));
+    }
+
+    #[test]
+    fn structured_errors_never_panics() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "nul",
+            "01a",
+            "\"unterminated",
+            "1e",
+            "-",
+            "{\"a\":1}x",
+            "\u{7}",
+            "1e999",
+        ] {
+            let err = Json::parse(bad).expect_err(bad);
+            assert!(!err.message.is_empty());
+        }
+        // Depth bomb: rejected, not a stack overflow.
+        let bomb = "[".repeat(4000) + &"]".repeat(4000);
+        assert!(Json::parse(&bomb).is_err());
+    }
+
+    #[test]
+    fn accessors_and_writers() {
+        let v = Json::obj(vec![
+            ("n", Json::num(4.0)),
+            ("s", Json::str("x")),
+            ("b", Json::Bool(true)),
+            ("inf", Json::Num(f64::INFINITY)),
+        ]);
+        assert_eq!(v.get("n").and_then(Json::as_u64), Some(4));
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("x"));
+        assert_eq!(v.get("b").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("missing"), None);
+        assert!(v.render().contains("\"inf\":null"), "{}", v.render());
+        assert_eq!(Json::Num(2.5).render(), "2.5");
+        assert_eq!(Json::Num(-3.0).render(), "-3");
+    }
+}

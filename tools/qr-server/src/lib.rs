@@ -1,0 +1,45 @@
+//! # qr-server
+//!
+//! A networked refinement service over the `qr-core` session API: clients
+//! send line-delimited JSON requests over TCP and get refinements (or
+//! structured errors) back, one JSON object per line.
+//!
+//! The server is std-only — `TcpListener` + threads + a hand-rolled JSON
+//! layer — because the workspace builds with no registry access. What it
+//! adds over a bare `RefinementSession` is the *service* layer the paper's
+//! interactive-refinement story needs:
+//!
+//! * a [session pool](pool::SessionPool) so concurrent requests against the
+//!   same (database, query) share one set of provenance annotations,
+//! * [admission control](server::Shared) that maps per-request latency
+//!   budgets (`deadline_ms`) onto the solver's `SolveControl` and sheds
+//!   work *before* queueing it when the estimated wait already blows the
+//!   budget,
+//! * client-disconnect detection that trips the solve's `CancelToken`, so
+//!   abandoned requests stop consuming the queue,
+//! * graceful degradation: a deadline-exceeded solve returns the best
+//!   incumbent plus full statistics as a *successful* response,
+//! * a closed [error taxonomy](protocol::ErrorKind) — `bad_request`,
+//!   `shed`, `interrupted`, `internal` — so nothing crosses the socket as a
+//!   raw panic,
+//! * graceful drain on shutdown, and a `metrics` op dumping aggregated
+//!   [`qr_core::StatsAggregate`] numbers plus server counters.
+//!
+//! See the repository README ("Running the server") for the wire protocol
+//! and an example session.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod json;
+pub mod metrics;
+pub mod pool;
+pub mod protocol;
+pub mod server;
+
+pub use json::Json;
+pub use metrics::Metrics;
+pub use pool::SessionPool;
+pub use protocol::{ErrorKind, Request, SolveRequest, WireError, MAX_LINE_BYTES};
+pub use server::{start, ServerConfig, ServerHandle};

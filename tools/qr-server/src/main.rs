@@ -1,0 +1,72 @@
+//! CLI entry point: bind, serve, drain on the wire `shutdown` op.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use qr_server::{start, ServerConfig};
+use std::time::Duration;
+
+const USAGE: &str = "usage: qr-server [--addr HOST:PORT] [--workers N] \
+    [--max-queue N] [--read-timeout-ms N]
+Serves line-delimited JSON refinement requests over TCP; see the README
+section \"Running the server\" for the protocol.";
+
+fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value_of = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value_of("--addr")?,
+            "--workers" => {
+                config.workers = value_of("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--max-queue" => {
+                config.max_queue_depth = value_of("--max-queue")?
+                    .parse()
+                    .map_err(|e| format!("--max-queue: {e}"))?;
+            }
+            "--read-timeout-ms" => {
+                let ms: u64 = value_of("--read-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--read-timeout-ms: {e}"))?;
+                config.read_timeout = Duration::from_millis(ms.max(1));
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(c) => c,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    let handle = match start(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("qr-server: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("qr-server listening on {}", handle.addr());
+    // Runs until a client sends {"op":"shutdown"}; the drain then cancels
+    // in-flight solves, flushes their responses and lets wait() return.
+    handle.wait();
+    println!("qr-server: drained, bye");
+}

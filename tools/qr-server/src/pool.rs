@@ -1,0 +1,169 @@
+//! The session pool: one long-lived [`RefinementSession`] per (database,
+//! query) pair, shared by every request that names it.
+//!
+//! Sessions are the expensive part of a solve — construction annotates the
+//! whole database with provenance. The pool builds each one at most once
+//! (per residency) and hands out `Arc`s, so concurrent requests against the
+//! same dataset share annotations and the per-request cost drops to model
+//! build + solve. A small LRU bound keeps a misbehaving client from pinning
+//! unbounded memory by cycling through datasets.
+
+use qr_core::{lock_or_recover, RefinementSession};
+use qr_datagen::{DatasetId, Workload};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Pool of refinement sessions keyed by dataset name, with LRU eviction.
+pub struct SessionPool {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    /// Dataset name → (session, last-use tick).
+    entries: HashMap<String, (Arc<RefinementSession>, u64)>,
+    /// Monotonic use counter backing the LRU order.
+    tick: u64,
+    /// Lifetime count of sessions built (cache misses).
+    builds: usize,
+    /// Lifetime count of LRU evictions.
+    evictions: usize,
+}
+
+/// Pool occupancy counters for the metrics endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// Sessions currently resident.
+    pub resident: usize,
+    /// Lifetime cache misses (sessions built).
+    pub builds: usize,
+    /// Lifetime LRU evictions.
+    pub evictions: usize,
+}
+
+/// Deterministic seed for the generated benchmark datasets, so every server
+/// instance answers a given request against the same data.
+const DATASET_SEED: u64 = 20240317;
+
+impl SessionPool {
+    /// A pool that keeps at most `capacity` sessions resident (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        SessionPool {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                tick: 0,
+                builds: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// Fetch the session for `dataset`, building (and caching) it on a miss.
+    ///
+    /// Returns `Err` with a human-readable message for unknown dataset names
+    /// or session-construction failures — the caller maps it onto a wire
+    /// error.
+    pub fn get_or_build(&self, dataset: &str) -> Result<Arc<RefinementSession>, String> {
+        {
+            let mut inner = lock_or_recover(&self.inner);
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some((session, last_used)) = inner.entries.get_mut(dataset) {
+                *last_used = tick;
+                return Ok(Arc::clone(session));
+            }
+        }
+
+        // Miss: build outside the lock so a slow annotation pass doesn't
+        // stall requests for already-resident datasets. Two racing misses
+        // may both build; the second insert below defers to the first.
+        let session = Arc::new(build_session(dataset)?);
+
+        let mut inner = lock_or_recover(&self.inner);
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some((existing, last_used)) = inner.entries.get_mut(dataset) {
+            *last_used = tick;
+            return Ok(Arc::clone(existing));
+        }
+        inner.builds += 1;
+        if inner.entries.len() >= self.capacity {
+            if let Some(victim) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, last_used))| *last_used)
+                .map(|(name, _)| name.clone())
+            {
+                inner.entries.remove(&victim);
+                inner.evictions += 1;
+            }
+        }
+        inner
+            .entries
+            .insert(dataset.to_string(), (Arc::clone(&session), tick));
+        Ok(session)
+    }
+
+    /// Occupancy counters for the metrics endpoint.
+    pub fn counters(&self) -> PoolCounters {
+        let inner = lock_or_recover(&self.inner);
+        PoolCounters {
+            resident: inner.entries.len(),
+            builds: inner.builds,
+            evictions: inner.evictions,
+        }
+    }
+}
+
+fn build_session(dataset: &str) -> Result<RefinementSession, String> {
+    let (db, query) = match dataset {
+        "paper" => (
+            qr_core::paper_example::paper_database(),
+            qr_core::paper_example::scholarship_query(),
+        ),
+        "astronauts" => split(Workload::new(DatasetId::Astronauts, DATASET_SEED)),
+        "law_students" => split(Workload::new(DatasetId::LawStudents, DATASET_SEED)),
+        "meps" => split(Workload::new(DatasetId::Meps, DATASET_SEED)),
+        "tpch" => split(Workload::new(DatasetId::Tpch, DATASET_SEED)),
+        other => return Err(format!("unknown dataset `{other}`")),
+    };
+    RefinementSession::new(db, query).map_err(|e| format!("session construction failed: {e}"))
+}
+
+fn split(w: Workload) -> (qr_relation::Database, qr_relation::SpjQuery) {
+    (w.db, w.query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_and_evicts_in_lru_order() {
+        let pool = SessionPool::new(2);
+        let a = pool.get_or_build("paper").expect("builds");
+        let a2 = pool.get_or_build("paper").expect("cached");
+        assert!(Arc::ptr_eq(&a, &a2), "hit returns the same session");
+        assert_eq!(pool.counters().builds, 1);
+
+        pool.get_or_build("astronauts").expect("builds");
+        // Touch `paper` so `astronauts` is the LRU victim.
+        pool.get_or_build("paper").expect("cached");
+        pool.get_or_build("tpch")
+            .expect("builds, evicting astronauts");
+        let c = pool.counters();
+        assert_eq!((c.resident, c.builds, c.evictions), (2, 3, 1));
+
+        let a3 = pool.get_or_build("paper").expect("survived eviction");
+        assert!(Arc::ptr_eq(&a, &a3));
+    }
+
+    #[test]
+    fn unknown_datasets_are_an_error_not_a_panic() {
+        let pool = SessionPool::new(2);
+        let err = pool.get_or_build("nope").expect_err("unknown");
+        assert!(err.contains("unknown dataset"));
+        assert_eq!(pool.counters().builds, 0);
+    }
+}

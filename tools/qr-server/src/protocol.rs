@@ -1,0 +1,460 @@
+//! The wire protocol: request parsing and response rendering.
+//!
+//! One JSON object per line, in both directions. Requests name an `op`
+//! (`solve`, `metrics`, `ping`, `shutdown`); responses echo the request's
+//! `id` (when one was given) and carry either the op's payload or a
+//! structured error. Errors form a small closed taxonomy — [`ErrorKind`] —
+//! so clients can branch on `error.kind` instead of scraping messages, and
+//! so nothing that happens inside the server (parse failure, shed,
+//! interrupted solve, worker panic) ever crosses the socket as anything but
+//! a well-formed error object.
+
+use crate::json::{Json, JsonError};
+use qr_core::{
+    CardinalityConstraint, ConstraintSet, DistanceMeasure, Group, RefinementOutcome,
+    RefinementStats,
+};
+use qr_relation::sql::ToSql;
+use std::str::FromStr;
+use std::time::Duration;
+
+/// Longest request line the server will read before rejecting the
+/// connection's input as oversized (bytes, including the newline).
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Wire-level error taxonomy. Every failure crossing the socket is exactly
+/// one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request was malformed: bad JSON, unknown op/dataset, missing or
+    /// out-of-range fields, oversized line.
+    BadRequest,
+    /// The server refused admission (queue too deep or the estimated wait
+    /// exceeds the request's latency budget). Retry later; the response
+    /// carries a `retry_after_ms` hint.
+    Shed,
+    /// The solve was interrupted (client went away, server draining) before
+    /// producing a payload worth returning.
+    Interrupted,
+    /// The server failed internally (e.g. a worker panicked). The connection
+    /// stays usable.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire spelling of the kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::Shed => "shed",
+            ErrorKind::Interrupted => "interrupted",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// A structured wire error: kind + message (+ optional retry hint for sheds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireError {
+    /// Which taxon the failure belongs to.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+    /// For [`ErrorKind::Shed`]: how long the client should wait before
+    /// retrying.
+    pub retry_after: Option<Duration>,
+}
+
+impl WireError {
+    /// A `bad_request` error.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        WireError {
+            kind: ErrorKind::BadRequest,
+            message: message.into(),
+            retry_after: None,
+        }
+    }
+
+    /// A `shed` error with a retry-after hint.
+    pub fn shed(message: impl Into<String>, retry_after: Duration) -> Self {
+        WireError {
+            kind: ErrorKind::Shed,
+            message: message.into(),
+            retry_after: Some(retry_after),
+        }
+    }
+
+    /// An `interrupted` error.
+    pub fn interrupted(message: impl Into<String>) -> Self {
+        WireError {
+            kind: ErrorKind::Interrupted,
+            message: message.into(),
+            retry_after: None,
+        }
+    }
+
+    /// An `internal` error.
+    pub fn internal(message: impl Into<String>) -> Self {
+        WireError {
+            kind: ErrorKind::Internal,
+            message: message.into(),
+            retry_after: None,
+        }
+    }
+
+    /// Render as a one-line JSON response, echoing `id` when present.
+    pub fn render(&self, id: Option<&Json>) -> String {
+        let mut error = vec![
+            ("kind".to_string(), Json::str(self.kind.as_str())),
+            ("message".to_string(), Json::str(&self.message)),
+        ];
+        if let Some(after) = self.retry_after {
+            error.push(("retry_after_ms".to_string(), Json::millis(after)));
+        }
+        let mut pairs = vec![
+            ("ok".to_string(), Json::Bool(false)),
+            ("error".to_string(), Json::Obj(error)),
+        ];
+        if let Some(id) = id {
+            pairs.insert(0, ("id".to_string(), id.clone()));
+        }
+        Json::Obj(pairs).render()
+    }
+}
+
+impl From<JsonError> for WireError {
+    fn from(e: JsonError) -> Self {
+        WireError::bad_request(format!("invalid JSON: {e}"))
+    }
+}
+
+/// One parsed solve request.
+#[derive(Debug, Clone)]
+pub struct SolveRequest {
+    /// Client-chosen request id, echoed verbatim in the response.
+    pub id: Option<Json>,
+    /// Dataset name: `paper`, `astronauts`, `law_students`, `meps`, `tpch`.
+    pub dataset: String,
+    /// Maximum deviation ε.
+    pub epsilon: f64,
+    /// Distance measure.
+    pub distance: DistanceMeasure,
+    /// Cardinality constraints over the top-k.
+    pub constraints: ConstraintSet,
+    /// Client latency budget for this request, if any. The server maps it
+    /// onto the solve's `SolveControl` deadline and uses it for admission.
+    pub deadline: Option<Duration>,
+}
+
+/// Any parsed request line.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Run a refinement solve.
+    Solve(Box<SolveRequest>),
+    /// Dump aggregated statistics and server counters.
+    Metrics {
+        /// Echoed request id.
+        id: Option<Json>,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Echoed request id.
+        id: Option<Json>,
+    },
+    /// Ask the server to drain and stop.
+    Shutdown {
+        /// Echoed request id.
+        id: Option<Json>,
+    },
+}
+
+impl Request {
+    /// The request's echoed id, if the client provided one.
+    pub fn id(&self) -> Option<&Json> {
+        match self {
+            Request::Solve(s) => s.id.as_ref(),
+            Request::Metrics { id } | Request::Ping { id } | Request::Shutdown { id } => {
+                id.as_ref()
+            }
+        }
+    }
+
+    /// Parse one request line. Errors are structured `bad_request`s; the id
+    /// comes back alongside so the caller can still echo it.
+    pub fn parse(line: &str) -> Result<Request, (Option<Json>, WireError)> {
+        if line.len() > MAX_LINE_BYTES {
+            return Err((
+                None,
+                WireError::bad_request(format!(
+                    "request line of {} bytes exceeds the {MAX_LINE_BYTES}-byte limit",
+                    line.len()
+                )),
+            ));
+        }
+        let value = Json::parse(line).map_err(|e| (None, WireError::from(e)))?;
+        let id = value.get("id").cloned();
+        Self::parse_value(&value, id.clone()).map_err(|e| (id, e))
+    }
+
+    fn parse_value(value: &Json, id: Option<Json>) -> Result<Request, WireError> {
+        let Some(op) = value.get("op").and_then(Json::as_str) else {
+            return Err(WireError::bad_request("missing string field `op`"));
+        };
+        match op {
+            "ping" => Ok(Request::Ping { id }),
+            "metrics" => Ok(Request::Metrics { id }),
+            "shutdown" => Ok(Request::Shutdown { id }),
+            "solve" => Ok(Request::Solve(Box::new(parse_solve(value, id)?))),
+            other => Err(WireError::bad_request(format!(
+                "unknown op `{other}` (expected solve, metrics, ping or shutdown)"
+            ))),
+        }
+    }
+}
+
+/// Dataset names the `dataset` field accepts.
+pub const DATASETS: [&str; 5] = ["paper", "astronauts", "law_students", "meps", "tpch"];
+
+fn parse_solve(value: &Json, id: Option<Json>) -> Result<SolveRequest, WireError> {
+    let Some(dataset) = value.get("dataset").and_then(Json::as_str) else {
+        return Err(WireError::bad_request("missing string field `dataset`"));
+    };
+    if !DATASETS.contains(&dataset) {
+        return Err(WireError::bad_request(format!(
+            "unknown dataset `{dataset}` (expected one of {})",
+            DATASETS.join(", ")
+        )));
+    }
+
+    let epsilon = match value.get("epsilon") {
+        None => 0.5,
+        Some(v) => match v.as_f64() {
+            Some(e) if (0.0..=1.0).contains(&e) => e,
+            _ => {
+                return Err(WireError::bad_request(
+                    "`epsilon` must be a number in [0, 1]",
+                ))
+            }
+        },
+    };
+
+    let distance = match value.get("distance") {
+        None => DistanceMeasure::Predicate,
+        Some(v) => {
+            let Some(s) = v.as_str() else {
+                return Err(WireError::bad_request("`distance` must be a string"));
+            };
+            DistanceMeasure::from_str(s)
+                .map_err(|e| WireError::bad_request(format!("bad `distance`: {e}")))?
+        }
+    };
+
+    let deadline = match value.get("deadline_ms") {
+        None => None,
+        Some(v) => match v.as_f64() {
+            Some(ms) if ms > 0.0 && ms <= 86_400_000.0 => Some(Duration::from_secs_f64(ms / 1e3)),
+            _ => {
+                return Err(WireError::bad_request(
+                    "`deadline_ms` must be a positive number of milliseconds (at most one day)",
+                ))
+            }
+        },
+    };
+
+    let mut constraints = ConstraintSet::new();
+    if let Some(v) = value.get("constraints") {
+        let Some(items) = v.as_arr() else {
+            return Err(WireError::bad_request("`constraints` must be an array"));
+        };
+        if items.len() > 32 {
+            return Err(WireError::bad_request("at most 32 constraints per request"));
+        }
+        for (i, item) in items.iter().enumerate() {
+            constraints.push(
+                parse_constraint(item).map_err(|e| {
+                    WireError::bad_request(format!("constraints[{i}]: {}", e.message))
+                })?,
+            );
+        }
+    }
+
+    Ok(SolveRequest {
+        id,
+        dataset: dataset.to_string(),
+        epsilon,
+        distance,
+        constraints,
+        deadline,
+    })
+}
+
+fn parse_constraint(item: &Json) -> Result<CardinalityConstraint, WireError> {
+    let Some(attribute) = item.get("attribute").and_then(Json::as_str) else {
+        return Err(WireError::bad_request("missing string field `attribute`"));
+    };
+    let Some(value) = item.get("value").and_then(Json::as_str) else {
+        return Err(WireError::bad_request("missing string field `value`"));
+    };
+    let Some(k) = item.get("k").and_then(Json::as_u64) else {
+        return Err(WireError::bad_request("missing integer field `k`"));
+    };
+    let Some(n) = item.get("n").and_then(Json::as_u64) else {
+        return Err(WireError::bad_request("missing integer field `n`"));
+    };
+    if k == 0 || k > 10_000 || n > k {
+        return Err(WireError::bad_request("require 0 < k <= 10000 and n <= k"));
+    }
+    let group = Group::single(attribute, value);
+    let (k, n) = (k as usize, n as usize);
+    match item.get("bound").and_then(Json::as_str) {
+        None | Some("at_least") => Ok(CardinalityConstraint::at_least(group, k, n)),
+        Some("at_most") => Ok(CardinalityConstraint::at_most(group, k, n)),
+        Some(other) => Err(WireError::bad_request(format!(
+            "unknown bound `{other}` (expected at_least or at_most)"
+        ))),
+    }
+}
+
+/// Render a successful solve response (including deadline-exceeded solves,
+/// which degrade to `outcome: "interrupted"` with the best incumbent and
+/// full stats rather than an error).
+pub fn render_solve_response(
+    id: Option<&Json>,
+    outcome: &RefinementOutcome,
+    stats: &RefinementStats,
+) -> String {
+    let (outcome_name, refined) = match outcome {
+        RefinementOutcome::Refined(r) => ("refined", Some(r)),
+        RefinementOutcome::NoRefinement { proven_infeasible } => (
+            if *proven_infeasible {
+                "no_refinement"
+            } else {
+                "no_refinement_within_limits"
+            },
+            None,
+        ),
+        RefinementOutcome::Interrupted { best } => ("interrupted", best.as_ref()),
+    };
+    let refined_json = match refined {
+        None => Json::Null,
+        Some(r) => Json::obj(vec![
+            ("sql", Json::str(r.query.to_sql())),
+            ("distance", Json::num(r.distance)),
+            ("deviation", Json::num(r.deviation)),
+            ("proven_optimal", Json::Bool(r.proven_optimal)),
+        ]),
+    };
+    let stats_json = Json::obj(vec![
+        ("total_ms", Json::millis(stats.total_time)),
+        ("solver_ms", Json::millis(stats.solver_time)),
+        ("model_build_ms", Json::millis(stats.model_build_time)),
+        ("nodes", Json::count(stats.nodes)),
+        ("lp_solves", Json::count(stats.lp_solves)),
+        ("interrupted", Json::Bool(stats.interrupted)),
+    ]);
+    let mut pairs = vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("outcome".to_string(), Json::str(outcome_name)),
+        ("refined".to_string(), refined_json),
+        ("stats".to_string(), stats_json),
+    ];
+    if let Some(id) = id {
+        pairs.insert(0, ("id".to_string(), id.clone()));
+    }
+    Json::Obj(pairs).render()
+}
+
+/// Render a trivial `{ok:true}` response (ping / shutdown acks), echoing
+/// `id` and tagging the op it acknowledges.
+pub fn render_ack(id: Option<&Json>, op: &str) -> String {
+    let mut pairs = vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("op".to_string(), Json::str(op)),
+    ];
+    if let Some(id) = id {
+        pairs.insert(0, ("id".to_string(), id.clone()));
+    }
+    Json::Obj(pairs).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_solve_request() {
+        let line = r#"{"op":"solve","id":7,"dataset":"astronauts","epsilon":0.25,
+            "distance":"JAC","deadline_ms":1500,
+            "constraints":[{"attribute":"Gender","value":"F","k":6,"n":3},
+                           {"attribute":"Status","value":"Active","k":5,"n":1,"bound":"at_most"}]}"#
+            .replace('\n', " ");
+        let Request::Solve(s) = Request::parse(&line).expect("parses") else {
+            panic!("not a solve");
+        };
+        assert_eq!(s.id, Some(Json::Num(7.0)));
+        assert_eq!(s.dataset, "astronauts");
+        assert_eq!(s.epsilon, 0.25);
+        assert_eq!(s.distance, DistanceMeasure::JaccardTopK);
+        assert_eq!(s.deadline, Some(Duration::from_millis(1500)));
+        assert_eq!(s.constraints.len(), 2);
+    }
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let Request::Solve(s) =
+            Request::parse(r#"{"op":"solve","dataset":"paper"}"#).expect("parses")
+        else {
+            panic!("not a solve");
+        };
+        assert_eq!(s.epsilon, 0.5);
+        assert_eq!(s.distance, DistanceMeasure::Predicate);
+        assert!(s.deadline.is_none());
+        assert!(s.constraints.is_empty());
+    }
+
+    #[test]
+    fn rejections_are_structured_and_keep_the_id() {
+        for (line, needle) in [
+            ("{", "invalid JSON"),
+            (r#"{"id":1}"#, "missing string field `op`"),
+            (r#"{"op":"nope"}"#, "unknown op"),
+            (r#"{"op":"solve"}"#, "`dataset`"),
+            (r#"{"op":"solve","dataset":"secret"}"#, "unknown dataset"),
+            (r#"{"op":"solve","dataset":"paper","epsilon":2}"#, "epsilon"),
+            (
+                r#"{"op":"solve","dataset":"paper","deadline_ms":-5}"#,
+                "deadline_ms",
+            ),
+            (
+                r#"{"op":"solve","dataset":"paper","constraints":[{"attribute":"A","value":"x","k":0,"n":0}]}"#,
+                "constraints[0]",
+            ),
+        ] {
+            let (_, err) = Request::parse(line).expect_err(line);
+            assert_eq!(err.kind, ErrorKind::BadRequest, "{line}");
+            assert!(err.message.contains(needle), "{line} -> {}", err.message);
+        }
+        let (id, _) = Request::parse(r#"{"id":"rq-1","op":"wat"}"#).expect_err("bad op");
+        assert_eq!(id, Some(Json::str("rq-1")));
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected_before_parsing() {
+        let big = format!(r#"{{"op":"ping","pad":"{}"}}"#, "x".repeat(MAX_LINE_BYTES));
+        let (_, err) = Request::parse(&big).expect_err("too big");
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+        assert!(err.message.contains("exceeds"));
+    }
+
+    #[test]
+    fn error_rendering_is_valid_json_with_the_taxonomy_kind() {
+        let shed = WireError::shed("busy", Duration::from_millis(250));
+        let rendered = shed.render(Some(&Json::str("req-9")));
+        let v = Json::parse(&rendered).expect("valid JSON");
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("id").and_then(Json::as_str), Some("req-9"));
+        let e = v.get("error").expect("error object");
+        assert_eq!(e.get("kind").and_then(Json::as_str), Some("shed"));
+        assert_eq!(e.get("retry_after_ms").and_then(Json::as_f64), Some(250.0));
+    }
+}

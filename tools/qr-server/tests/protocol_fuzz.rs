@@ -1,0 +1,118 @@
+//! Property-based fuzzing of the wire-protocol parser: whatever bytes a
+//! client sends — truncated requests, interleaved fragments, random garbage,
+//! hostile nesting — parsing is *total*: it returns either a parsed request
+//! or a structured `bad_request`, and it never panics. (The qr-lint panic
+//! rule keeps panics out of the parser's source; these tests keep them out
+//! of its behavior.)
+
+use proptest::prelude::*;
+use qr_server::protocol::{ErrorKind, Request};
+use qr_server::Json;
+
+/// A canonical valid solve line used as mutation raw material.
+const VALID: &str = r#"{"op":"solve","id":3,"dataset":"paper","epsilon":0.5,"distance":"QD","deadline_ms":2000,"constraints":[{"attribute":"Gender","value":"F","k":6,"n":3}]}"#;
+
+/// Every parse outcome a hostile line may produce: `Ok`, or a structured
+/// `bad_request` with a non-empty message. Anything else (panic, other
+/// kinds) fails the property.
+fn assert_total(line: &str) {
+    match Request::parse(line) {
+        Ok(request) => {
+            // A parsed request must echo ids losslessly.
+            let _ = request.id();
+        }
+        Err((_, err)) => {
+            assert_eq!(err.kind, ErrorKind::BadRequest, "{line:?}");
+            assert!(!err.message.is_empty(), "{line:?}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Truncating a valid request at any byte boundary yields a structured
+    /// error (or, for the full line, a parse).
+    #[test]
+    fn truncations_never_panic(cut in 0usize..200) {
+        let cut = cut.min(VALID.len());
+        if VALID.is_char_boundary(cut) {
+            assert_total(&VALID[..cut]);
+        }
+    }
+
+    /// Random printable garbage never panics the parser.
+    #[test]
+    fn printable_garbage_never_panics(line in "[ -~]{0,80}") {
+        assert_total(&line);
+    }
+
+    /// Raw bytes (lossily decoded, as the connection layer does) never
+    /// panic the parser.
+    #[test]
+    fn raw_bytes_never_panic(bytes in proptest::collection::vec(0u16..256, 0..120)) {
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        let line = String::from_utf8_lossy(&bytes);
+        assert_total(&line);
+    }
+
+    /// Splicing fragments of two requests together — the shape produced by
+    /// interleaved writes from a confused client — never panics and never
+    /// produces a non-taxonomy error.
+    #[test]
+    fn interleaved_fragments_never_panic(
+        cut_a in 0usize..170,
+        cut_b in 0usize..170,
+        middle in "[{}\",:a-z0-9]{0,20}",
+    ) {
+        let cut_a = cut_a.min(VALID.len());
+        let cut_b = cut_b.min(VALID.len());
+        if VALID.is_char_boundary(cut_a) && VALID.is_char_boundary(cut_b) {
+            let spliced = format!("{}{}{}", &VALID[..cut_a], middle, &VALID[cut_b..]);
+            assert_total(&spliced);
+        }
+    }
+
+    /// JSON-shaped noise: structurally valid JSON with arbitrary field
+    /// soup parses or rejects, but never panics; field values of the wrong
+    /// type are rejected as bad_request.
+    #[test]
+    fn json_shaped_noise_never_panics(
+        op in prop_oneof!["solve", "metrics", "ping", "shutdown", "nope", "[a-z]{0,6}"],
+        dataset in prop_oneof!["paper", "tpch", "[a-z_]{0,12}"],
+        epsilon in -2.0f64..3.0,
+        k in 0u64..20,
+        n in 0u64..20,
+        deadline in -1000.0f64..5000.0,
+    ) {
+        let line = format!(
+            r#"{{"op":"{op}","dataset":"{dataset}","epsilon":{epsilon},"deadline_ms":{deadline},"constraints":[{{"attribute":"A","value":"x","k":{k},"n":{n}}}]}}"#
+        );
+        assert_total(&line);
+    }
+
+    /// Deep nesting is rejected with a structured error, not a stack
+    /// overflow.
+    #[test]
+    fn nesting_bombs_are_rejected(depth in 1usize..2000) {
+        let line = format!(
+            r#"{{"op":"solve","dataset":"paper","id":{}{}{}}}"#,
+            "[".repeat(depth),
+            "0",
+            "]".repeat(depth),
+        );
+        assert_total(&line);
+        if depth > qr_server::json::MAX_DEPTH {
+            assert!(Request::parse(&line).is_err(), "depth {depth} must be rejected");
+        }
+    }
+
+    /// The JSON layer itself round-trips whatever the parser accepts.
+    #[test]
+    fn parsed_values_round_trip(text in "[ -~]{0,60}") {
+        if let Ok(v) = Json::parse(&text) {
+            let rendered = v.render();
+            prop_assert_eq!(Json::parse(&rendered), Ok(v));
+        }
+    }
+}

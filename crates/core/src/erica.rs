@@ -228,6 +228,9 @@ pub fn erica_refine_prepared(
         // objective/status; the Erica baseline never reads it.
         best_bound: _,
         interrupted,
+        resumed_solves,
+        nodes_restored,
+        resume_captures,
     } = solution.stats;
     stats.solver_time = solve_time;
     stats.nodes = nodes;
@@ -240,6 +243,11 @@ pub fn erica_refine_prepared(
     stats.lu_nnz = lu_nnz;
     stats.matrix_nnz = matrix_nnz;
     stats.interrupted = interrupted;
+    // Always zero today (the baseline never resumes), but routed rather than
+    // ignored so the merge stays exhaustive.
+    stats.resumed_solves = resumed_solves;
+    stats.nodes_restored = nodes_restored;
+    stats.resume_captures = resume_captures;
     stats.total_time = start.elapsed();
 
     // Any status with an assignment — Optimal, Feasible, or an interrupted

@@ -21,6 +21,16 @@ pub enum CoreError {
     InvalidInput(String),
     /// A textual label (distance measure, algorithm mode, ...) failed to parse.
     Parse(String),
+    /// A [`SessionResume`](crate::session::SessionResume) was presented to a
+    /// session whose snapshot has moved on (a mutation was applied after the
+    /// interrupted solve): the suspended search is pinned to the old database
+    /// version, so continuing it would answer against stale data.
+    StaleResume {
+        /// Snapshot version the resume state was captured against.
+        resume_version: u64,
+        /// The session's current snapshot version.
+        session_version: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -31,6 +41,14 @@ impl fmt::Display for CoreError {
             CoreError::InvalidConstraint(msg) => write!(f, "invalid constraint: {msg}"),
             CoreError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
             CoreError::Parse(msg) => write!(f, "parse error: {msg}"),
+            CoreError::StaleResume {
+                resume_version,
+                session_version,
+            } => write!(
+                f,
+                "stale resume state: captured at snapshot version {resume_version}, \
+                 but the session is now at version {session_version}"
+            ),
         }
     }
 }

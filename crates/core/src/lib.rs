@@ -134,8 +134,8 @@ pub use optimize::OptimizationConfig;
 pub use qr_milp::control::{CancelToken, SolveControl, SolveObserver, SolveProgress};
 pub use session::{
     exact_deviation, exact_distance, AnnotatedSnapshot, Mutation, RefinedQuery, RefinementOutcome,
-    RefinementRequest, RefinementResult, RefinementSession, RefinementStats, SessionStats,
-    StatsAggregate,
+    RefinementRequest, RefinementResult, RefinementSession, RefinementStats, SessionResume,
+    SessionStats, StatsAggregate,
 };
 pub use solver::{EricaSolver, MilpSolver, NaiveSolver, RefinementSolver};
 pub use sync::{lock_or_recover, read_or_recover, write_or_recover};
@@ -152,7 +152,8 @@ pub mod prelude {
     pub use crate::optimize::OptimizationConfig;
     pub use crate::session::{
         AnnotatedSnapshot, Mutation, RefinedQuery, RefinementOutcome, RefinementRequest,
-        RefinementResult, RefinementSession, RefinementStats, SessionStats, StatsAggregate,
+        RefinementResult, RefinementSession, RefinementStats, SessionResume, SessionStats,
+        StatsAggregate,
     };
     pub use crate::solver::{EricaSolver, MilpSolver, NaiveSolver, RefinementSolver};
     pub use qr_milp::control::{CancelToken, SolveControl, SolveObserver, SolveProgress};

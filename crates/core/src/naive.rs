@@ -132,6 +132,9 @@ impl NaiveResult {
         RefinementResult {
             outcome,
             stats: self.stats,
+            // The exhaustive baselines have no frontier to suspend; only the
+            // session MILP path produces resumable checkpoints.
+            resume: None,
         }
     }
 }

@@ -197,6 +197,16 @@ pub struct RefinementStats {
     /// Whether the solve was stopped by its [`SolveControl`] (cancellation
     /// or control deadline) before reaching a terminal answer.
     pub interrupted: bool,
+    /// 1 when this solve resumed a suspended search through
+    /// [`RefinementSession::resume`], 0 for a fresh solve (MILP backend
+    /// only). A counter so it aggregates by addition.
+    pub resumed_solves: usize,
+    /// Open branch-and-bound frontier nodes restored from the resume state
+    /// at the start of a resumed solve (MILP backend only).
+    pub nodes_restored: usize,
+    /// 1 when this solve ended interrupted with a resume checkpoint captured
+    /// (see [`RefinementResult::resume`]), 0 otherwise (MILP backend only).
+    pub resume_captures: usize,
 }
 
 impl RefinementStats {
@@ -250,6 +260,12 @@ pub struct StatsAggregate {
     pub eta_updates: usize,
     /// Summed exhaustive-baseline candidates.
     pub candidates_evaluated: usize,
+    /// How many recorded solves resumed a suspended search.
+    pub resumed_solves: usize,
+    /// Summed frontier nodes restored by resumed solves.
+    pub nodes_restored: usize,
+    /// How many recorded solves ended with a resume checkpoint captured.
+    pub resume_captures: usize,
     /// Largest MILP (variables) seen.
     pub max_variables: usize,
     /// Largest MILP (constraints) seen.
@@ -299,9 +315,15 @@ impl StatsAggregate {
             matrix_nnz,
             candidates_evaluated,
             interrupted,
+            resumed_solves,
+            nodes_restored,
+            resume_captures,
         } = stats;
         self.solves += 1;
         self.interrupted += usize::from(*interrupted);
+        self.resumed_solves += resumed_solves;
+        self.nodes_restored += nodes_restored;
+        self.resume_captures += resume_captures;
         self.annotation_time += *annotation_time;
         self.model_build_time += *model_build_time;
         self.solver_time += *solver_time;
@@ -410,6 +432,80 @@ pub struct RefinementResult {
     pub outcome: RefinementOutcome,
     /// Timing and size statistics.
     pub stats: RefinementStats,
+    /// Checkpoint for continuing an interrupted solve, present exactly when
+    /// the MILP engine was interrupted with open branch-and-bound nodes
+    /// remaining. Feed it to [`RefinementSession::resume`] under a fresh
+    /// [`SolveControl`] to continue the search where it stopped. Always
+    /// `None` for the non-MILP backends and for solves that ran to a
+    /// terminal answer.
+    pub resume: Option<SessionResume>,
+}
+
+/// Opaque checkpoint of an interrupted [`RefinementSession`] solve: the
+/// suspended MILP search state (open frontier, warm bases, incumbent and
+/// proven bound) pinned to the session snapshot version it was solving
+/// against, together with the originating request (whose parameters are
+/// needed to rebuild the byte-identical model on resume).
+///
+/// Obtained from [`RefinementResult::resume`]; consumed by
+/// [`RefinementSession::resume`]. Resuming after the session was mutated
+/// ([`RefinementSession::apply`]) fails with
+/// [`CoreError::StaleResume`](crate::error::CoreError::StaleResume) — the
+/// suspended search is only meaningful against the exact database version it
+/// started on.
+#[derive(Debug, Clone)]
+pub struct SessionResume {
+    /// Suspended branch-and-bound state (frontier, incumbent, bound).
+    state: qr_milp::ResumeState,
+    /// Version of the [`AnnotatedSnapshot`] the interrupted solve pinned.
+    snapshot_version: u64,
+    /// The originating request. Its `control` field is irrelevant here: the
+    /// resumed segment runs under the fresh control passed to
+    /// [`RefinementSession::resume`], so the stored copy carries a default.
+    request: RefinementRequest,
+}
+
+impl SessionResume {
+    /// Version of the session snapshot the interrupted solve was pinned to;
+    /// [`RefinementSession::resume`] requires the session to still be at
+    /// this version.
+    pub fn snapshot_version(&self) -> u64 {
+        self.snapshot_version
+    }
+
+    /// Number of open branch-and-bound nodes in the suspended frontier.
+    pub fn num_open_nodes(&self) -> usize {
+        self.state.num_open_nodes()
+    }
+
+    /// Best proven lower (dual) bound on the objective so far.
+    pub fn best_bound(&self) -> f64 {
+        self.state.best_bound()
+    }
+
+    /// Objective of the best incumbent found so far, if any.
+    pub fn incumbent_objective(&self) -> Option<f64> {
+        self.state.incumbent_objective()
+    }
+
+    /// Total branch-and-bound nodes processed across every completed segment
+    /// of this search.
+    pub fn nodes_so_far(&self) -> usize {
+        self.state.nodes_so_far()
+    }
+
+    /// Number of interrupted solve segments behind this state (1 after the
+    /// first interruption, +1 per resumed-and-reinterrupted segment).
+    pub fn segments(&self) -> usize {
+        self.state.segments()
+    }
+
+    /// The request whose parameters a resumed segment solves under
+    /// (constraints, ε, distance, optimizations, solver budget — everything
+    /// except the execution control).
+    pub fn request(&self) -> &RefinementRequest {
+        &self.request
+    }
 }
 
 /// Everything that may vary between solves against one session: constraints,
@@ -872,12 +968,91 @@ impl RefinementSession {
             return Ok(RefinementResult {
                 outcome: RefinementOutcome::Refined(refined),
                 stats,
+                resume: None,
             });
         }
 
         // Solve.
         let solver = Solver::new(request.solver_options.clone());
         let solution = solver.solve_with_control(&built.model, &request.control)?;
+        Ok(self.finish_milp_solve(snapshot, request, &built, solution, stats, start))
+    }
+
+    /// Continue an interrupted solve from its [`SessionResume`] checkpoint,
+    /// under a fresh [`SolveControl`] (a new deadline, cancel token and/or
+    /// observer — the original request's control does not apply).
+    ///
+    /// The session must still be at the snapshot version the interrupted
+    /// solve was pinned to; if a mutation was applied in between, the
+    /// suspended search would continue against a database that no longer
+    /// exists, so this fails with
+    /// [`CoreError::StaleResume`](crate::error::CoreError::StaleResume)
+    /// instead. The model is rebuilt deterministically from the stored
+    /// request against the pinned snapshot (the rebuild is fingerprint-checked
+    /// by the MILP layer), and the search continues exactly where it stopped:
+    /// pruned subtrees are never re-explored, and a chain of small-deadline
+    /// resumes converges to the same answer as one uninterrupted solve.
+    ///
+    /// The returned result reports *this segment's* statistics, with
+    /// [`RefinementStats::resumed_solves`] and
+    /// [`RefinementStats::nodes_restored`] set; if the segment is itself
+    /// interrupted, [`RefinementResult::resume`] carries the next checkpoint.
+    pub fn resume(
+        &self,
+        resume: &SessionResume,
+        control: &SolveControl,
+    ) -> Result<RefinementResult> {
+        let start = Instant::now();
+        let snapshot = self.snapshot();
+        if snapshot.version() != resume.snapshot_version {
+            return Err(crate::error::CoreError::StaleResume {
+                resume_version: resume.snapshot_version,
+                session_version: snapshot.version(),
+            });
+        }
+        let request = &resume.request;
+        let annotated = snapshot.annotated();
+        // Deterministic rebuild of the model the checkpoint was captured
+        // from: same snapshot + same request parameters → byte-identical
+        // coefficients. The MILP layer re-verifies via the structural
+        // fingerprint before continuing.
+        let built = build_model(
+            annotated,
+            &request.constraints,
+            request.epsilon,
+            request.distance,
+            &request.optimizations,
+        )?;
+        let model_build_time = start.elapsed();
+        let stats = RefinementStats {
+            model_build_time,
+            setup_time: model_build_time,
+            num_variables: built.model.num_variables(),
+            num_integer_variables: built.model.num_integer_variables(),
+            num_constraints: built.model.num_constraints(),
+            scope_size: built.vars.scope.len(),
+            lineage_classes: annotated.classes().len(),
+            ..RefinementStats::default()
+        };
+        let solver = Solver::new(request.solver_options.clone());
+        let solution = solver.resume_with_control(&built.model, &resume.state, control)?;
+        Ok(self.finish_milp_solve(&snapshot, request, &built, solution, stats, start))
+    }
+
+    /// Package a MILP [`qr_milp::Solution`] into a [`RefinementResult`]
+    /// against one pinned snapshot — the shared tail of
+    /// [`solve_on`](Self::solve_on) and [`resume`](Self::resume): route the
+    /// solver statistics (exhaustively), describe the assignment or
+    /// incumbent, and pin any captured resume state to the snapshot version.
+    fn finish_milp_solve(
+        &self,
+        snapshot: &AnnotatedSnapshot,
+        request: &RefinementRequest,
+        built: &BuiltModel,
+        solution: qr_milp::Solution,
+        mut stats: RefinementStats,
+        start: Instant,
+    ) -> RefinementResult {
         // Exhaustive destructuring — not field-by-field copies — so adding a
         // field to `SolveStats` without deciding how it reaches
         // `RefinementStats` is a compile error at this merge site.
@@ -896,6 +1071,9 @@ impl RefinementSession {
             // objective/status; refinement callers never read it.
             best_bound: _,
             interrupted,
+            resumed_solves,
+            nodes_restored,
+            resume_captures,
         } = solution.stats;
         stats.solver_time = solve_time;
         stats.nodes = nodes;
@@ -908,6 +1086,9 @@ impl RefinementSession {
         stats.lu_nnz = lu_nnz;
         stats.matrix_nnz = matrix_nnz;
         stats.interrupted = interrupted;
+        stats.resumed_solves = resumed_solves;
+        stats.nodes_restored = nodes_restored;
+        stats.resume_captures = resume_captures;
         stats.total_time = start.elapsed();
 
         let outcome = match solution.status {
@@ -916,7 +1097,7 @@ impl RefinementSession {
                 let refined = self.describe(
                     snapshot,
                     request,
-                    &built,
+                    built,
                     assignment,
                     solution.objective,
                     solution.status,
@@ -938,7 +1119,7 @@ impl RefinementSession {
                     self.describe(
                         snapshot,
                         request,
-                        &built,
+                        built,
                         assignment,
                         solution.objective,
                         solution.status,
@@ -948,7 +1129,21 @@ impl RefinementSession {
             }
         };
 
-        Ok(RefinementResult { outcome, stats })
+        // Pin the suspended search (if any) to this snapshot's version; the
+        // stored request re-derives the identical model on resume. The
+        // stored control is neutralized — a resumed segment always runs
+        // under the fresh control passed to `resume`.
+        let resume = solution.resume.map(|state| SessionResume {
+            state: *state,
+            snapshot_version: snapshot.version(),
+            request: request.clone().with_control(SolveControl::default()),
+        });
+
+        RefinementResult {
+            outcome,
+            stats,
+            resume,
+        }
     }
 
     /// Solve one request with an explicitly chosen algorithm backend (the
@@ -1204,6 +1399,7 @@ const _: () = {
     assert_send_sync::<SessionStats>();
     assert_send_sync::<StatsAggregate>();
     assert_send_sync::<RefinedQuery>();
+    assert_send_sync::<SessionResume>();
 };
 
 #[cfg(test)]
@@ -1528,6 +1724,76 @@ mod tests {
         assert!(result.outcome.is_interrupted());
         assert!(result.stats.interrupted);
         assert!(!result.outcome.is_refined(), "cancelled before any node");
+    }
+
+    /// Tentpole round-trip: an interrupted solve checkpoints, and resuming
+    /// it under a fresh control finishes with exactly the answer an
+    /// uninterrupted solve produces.
+    #[test]
+    fn interrupted_solves_checkpoint_and_resume_to_the_same_answer() {
+        use qr_milp::control::CancelToken;
+        let session = paper_session();
+        let request = RefinementRequest::new()
+            .with_constraints(scholarship_constraints())
+            .with_epsilon(0.0);
+        let uninterrupted = session.solve(&request).unwrap();
+        let expected = uninterrupted.outcome.refined().expect("solvable");
+        assert!(
+            uninterrupted.resume.is_none(),
+            "completed solves carry no checkpoint"
+        );
+
+        let token = CancelToken::new();
+        token.cancel();
+        let interrupted = session
+            .solve(&request.clone().with_cancel_token(token))
+            .unwrap();
+        assert!(interrupted.outcome.is_interrupted());
+        assert_eq!(interrupted.stats.resume_captures, 1);
+        let resume = interrupted.resume.expect("interrupted solve checkpoints");
+        assert_eq!(resume.snapshot_version(), session.version());
+        assert_eq!(resume.num_open_nodes(), 1, "the untouched root");
+
+        let resumed = session.resume(&resume, &SolveControl::default()).unwrap();
+        let refined = resumed.outcome.refined().expect("resume completes");
+        assert_eq!(refined.query, expected.query);
+        assert!((refined.distance - expected.distance).abs() < qr_milp::tol::ASSERT_TOL);
+        assert_eq!(resumed.stats.resumed_solves, 1);
+        assert!(resumed.stats.nodes_restored > 0);
+        assert!(resumed.resume.is_none(), "finished: nothing left to resume");
+    }
+
+    /// A checkpoint is pinned to the snapshot version it was solving
+    /// against: after a mutation the session rejects it with the typed
+    /// error instead of silently solving the wrong database.
+    #[test]
+    fn resume_after_mutation_is_a_typed_stale_error() {
+        use qr_milp::control::CancelToken;
+        let session = paper_session();
+        let token = CancelToken::new();
+        token.cancel();
+        let request = RefinementRequest::new()
+            .with_constraints(scholarship_constraints())
+            .with_epsilon(0.0)
+            .with_cancel_token(token);
+        let resume = session.solve(&request).unwrap().resume.expect("checkpoint");
+
+        session
+            .apply(vec![Mutation::delete("Activities", vec![0])])
+            .unwrap();
+        let err = session
+            .resume(&resume, &SolveControl::default())
+            .expect_err("stale checkpoint must not solve");
+        assert!(
+            matches!(
+                err,
+                crate::error::CoreError::StaleResume {
+                    resume_version: 1,
+                    session_version: 2,
+                }
+            ),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

@@ -207,6 +207,9 @@ impl RefinementSolver for EricaSolver {
         Ok(RefinementResult {
             outcome,
             stats: result.stats,
+            // Whole-output baseline solves are one-shot; resumable
+            // checkpoints are a property of the session MILP path.
+            resume: None,
         })
     }
 }

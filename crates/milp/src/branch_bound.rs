@@ -25,9 +25,10 @@
 
 use crate::basis::Basis;
 use crate::control::{SolveControl, SolveProgress, StopCondition};
-use crate::error::Result;
+use crate::error::{MilpError, Result};
 use crate::model::{Model, VarType};
 use crate::propagate::{box_objective_bound, propagate, PropagationResult};
+use crate::resume::{model_fingerprint, FrontierNode as Node, ResumeState};
 use crate::simplex::{LpSolution, LpStatus, LpWorkspace};
 use crate::solution::{Solution, SolveStats, SolveStatus};
 use std::sync::Arc;
@@ -77,16 +78,12 @@ impl Default for SolverOptions {
     }
 }
 
-/// A branch-and-bound node: a box of variable bounds, the parent's LP bound
-/// (for pruning before paying for this node's LP), and the parent's optimal
-/// basis (for warm-starting this node's LP; shared with the sibling via
-/// `Arc` so the whole solve path stays `Send + Sync`).
-struct Node {
-    lower: Vec<f64>,
-    upper: Vec<f64>,
-    parent_bound: f64,
-    parent_basis: Option<Arc<Basis>>,
-}
+// A branch-and-bound node is a `resume::FrontierNode` (imported as `Node`):
+// a box of variable bounds, the parent's LP bound (for pruning before paying
+// for this node's LP), and the parent's optimal basis (for warm-starting this
+// node's LP; shared with the sibling via `Arc` so the whole solve path stays
+// `Send + Sync`). Sharing the struct with `ResumeState` means suspending a
+// search is *moving* the node stack into the checkpoint, not translating it.
 
 /// The MILP solver.
 #[derive(Debug, Clone, Default)]
@@ -128,7 +125,74 @@ impl Solver {
     /// assert_eq!(s.status, SolveStatus::Optimal); // well within the deadline
     /// ```
     pub fn solve_with_control(&self, model: &Model, control: &SolveControl) -> Result<Solution> {
+        self.run_search(model, control, None)
+    }
+
+    /// Resume an interrupted solve from a captured [`ResumeState`],
+    /// continuing the search exactly where it stopped: the open-node frontier
+    /// (with its warm-start bases), incumbent and proven bound all survive,
+    /// so subtrees pruned before the interruption are never re-explored and a
+    /// chain of small-deadline solves converges to the same objective as one
+    /// uninterrupted solve.
+    ///
+    /// `model` must be the same model the state was captured from
+    /// (structurally — names may differ); a mismatch fails with
+    /// [`MilpError::StaleResume`] instead of silently searching the wrong
+    /// problem. The returned [`Solution`] reports *this segment's* statistics
+    /// (with [`SolveStats::resumed_solves`] and
+    /// [`SolveStats::nodes_restored`] set); cumulative node counts are
+    /// available through [`ResumeState::nodes_so_far`]. Node and time limits
+    /// ([`SolverOptions::max_nodes`], [`SolverOptions::time_limit`]) are
+    /// per-segment budgets.
+    ///
+    /// ```
+    /// use qr_milp::control::{CancelToken, SolveControl};
+    /// use qr_milp::prelude::*;
+    ///
+    /// let mut m = Model::new("doc-resume");
+    /// let x = m.add_binary("x");
+    /// m.set_objective(LinExpr::term(x, 1.0));
+    /// let token = CancelToken::new();
+    /// token.cancel(); // interrupt immediately: the root is pushed back intact
+    /// let control = SolveControl::new().with_cancel_token(token);
+    /// let first = Solver::default().solve_with_control(&m, &control).unwrap();
+    /// assert_eq!(first.status, SolveStatus::Interrupted);
+    /// let state = first.resume.expect("open frontier captured");
+    /// // A later call picks the search back up under a fresh control.
+    /// let second = Solver::default()
+    ///     .resume_with_control(&m, &state, &SolveControl::new())
+    ///     .unwrap();
+    /// assert_eq!(second.status, SolveStatus::Optimal);
+    /// assert_eq!(second.stats.resumed_solves, 1);
+    /// ```
+    pub fn resume_with_control(
+        &self,
+        model: &Model,
+        state: &ResumeState,
+        control: &SolveControl,
+    ) -> Result<Solution> {
+        self.run_search(model, control, Some(state.clone()))
+    }
+
+    /// The branch-and-bound search, optionally seeded by a [`ResumeState`]
+    /// (both entry points funnel here, so fresh and resumed segments run the
+    /// byte-identical search loop).
+    fn run_search(
+        &self,
+        model: &Model,
+        control: &SolveControl,
+        seed: Option<ResumeState>,
+    ) -> Result<Solution> {
         model.validate()?;
+        let fingerprint = model_fingerprint(model);
+        if let Some(seed) = &seed {
+            if seed.fingerprint != fingerprint {
+                return Err(MilpError::StaleResume {
+                    expected: seed.fingerprint,
+                    actual: fingerprint,
+                });
+            }
+        }
         let start = Instant::now();
         let opts = &self.options;
         let mut stats = SolveStats {
@@ -193,72 +257,103 @@ impl Solver {
             parent_basis: None,
         }];
         let mut root_processed = false;
+        // Nodes processed by earlier segments of a resumed search. The dive
+        // cadence below keys off `prior_nodes + stats.nodes`, so a chain of
+        // interrupted segments fires its heuristics at the same global node
+        // numbers the uninterrupted solve would — a prerequisite for the
+        // chain converging along the same tree.
+        let mut prior_nodes = 0usize;
+        let mut prior_segments = 0usize;
+        if let Some(seed) = seed {
+            let ResumeState {
+                frontier,
+                incumbent: seeded_incumbent,
+                best_bound,
+                root_processed: seeded_root,
+                prior_nodes: seeded_nodes,
+                prior_segments: seeded_segments,
+                pricing_cursor,
+                fingerprint: _,
+            } = seed;
+            stats.resumed_solves = 1;
+            stats.nodes_restored = frontier.len();
+            stats.best_bound = best_bound;
+            stack = frontier;
+            incumbent = seeded_incumbent;
+            root_processed = seeded_root;
+            prior_nodes = seeded_nodes;
+            prior_segments = seeded_segments;
+            workspace.set_pricing_cursor(pricing_cursor);
+        }
 
         while let Some(node) = stack.pop() {
+            if control.is_cancelled() || control_deadline.is_some_and(|d| Instant::now() > d) {
+                // Push the un-processed node back so the captured frontier is
+                // complete: resuming must re-see exactly the nodes this
+                // segment did not finish.
+                stack.push(node);
+                interrupted = true;
+                break;
+            }
+            if stats.nodes >= opts.max_nodes || legacy_deadline.is_some_and(|d| Instant::now() > d)
+            {
+                stack.push(node);
+                limit_hit = true;
+                break;
+            }
             let Node {
                 mut lower,
                 mut upper,
                 parent_bound,
                 parent_basis,
             } = node;
-            if control.is_cancelled() || control_deadline.is_some_and(|d| Instant::now() > d) {
-                interrupted = true;
-                break;
-            }
-            if stats.nodes >= opts.max_nodes || legacy_deadline.is_some_and(|d| Instant::now() > d)
-            {
-                limit_hit = true;
-                break;
-            }
             stats.nodes += 1;
-            if let Some(observer) = control.observer() {
-                observer.node_processed(&progress_of(
-                    &stats,
-                    incumbent.as_ref().map(|(obj, _)| *obj),
-                ));
-            }
-
-            // Prune against the incumbent using the parent's bound.
-            if let Some((inc_obj, _)) = &incumbent {
-                if parent_bound >= inc_obj - opts.absolute_gap {
-                    continue;
+            // `halt` marks the two mid-node push-back exits below: the node
+            // was handed back (and un-counted), so the outer loop must stop
+            // without telling the observer about it.
+            let mut halt = false;
+            'processed: {
+                // Prune against the incumbent using the parent's bound.
+                if let Some((inc_obj, _)) = &incumbent {
+                    if parent_bound >= inc_obj - opts.absolute_gap {
+                        break 'processed;
+                    }
                 }
-            }
 
-            // Node presolve: bound propagation.
-            if opts.use_propagation {
-                match propagate(model, &mut lower, &mut upper, opts.propagation_passes) {
-                    PropagationResult::Infeasible => continue,
-                    PropagationResult::Consistent => {}
+                // Node presolve: bound propagation.
+                if opts.use_propagation {
+                    match propagate(model, &mut lower, &mut upper, opts.propagation_passes) {
+                        PropagationResult::Infeasible => break 'processed,
+                        PropagationResult::Consistent => {}
+                    }
                 }
-            }
 
-            // Cheap box bound before paying for an LP.
-            if let Some((inc_obj, _)) = &incumbent {
-                let box_bound = box_objective_bound(model, &lower, &upper);
-                if box_bound >= inc_obj - opts.absolute_gap {
-                    continue;
+                // Cheap box bound before paying for an LP.
+                if let Some((inc_obj, _)) = &incumbent {
+                    let box_bound = box_objective_bound(model, &lower, &upper);
+                    if box_bound >= inc_obj - opts.absolute_gap {
+                        break 'processed;
+                    }
                 }
-            }
 
-            // LP relaxation, warm-started from the parent basis when allowed.
-            let lp_start = Instant::now();
-            let warm = if opts.use_warm_start {
-                parent_basis.as_deref()
-            } else {
-                None
-            };
-            let lp = solve_node_lp(
-                &mut workspace,
-                &lower,
-                &upper,
-                warm,
-                opts,
-                &lp_stop,
-                &mut stats,
-            )?;
-            if std::env::var_os("QR_MILP_DEBUG").is_some() {
-                eprintln!(
+                // LP relaxation, warm-started from the parent basis when allowed.
+                let lp_start = Instant::now();
+                let warm = if opts.use_warm_start {
+                    parent_basis.as_deref()
+                } else {
+                    None
+                };
+                let lp = solve_node_lp(
+                    &mut workspace,
+                    &lower,
+                    &upper,
+                    warm,
+                    opts,
+                    &lp_stop,
+                    &mut stats,
+                )?;
+                if std::env::var_os("QR_MILP_DEBUG").is_some() {
+                    eprintln!(
                     "[qr-milp] node {} lp {:?} iters {} ({}) in {:?} (stack {}, incumbent {:?})",
                     stats.nodes,
                     lp.status,
@@ -268,177 +363,267 @@ impl Solver {
                     stack.len(),
                     incumbent.as_ref().map(|(o, _)| *o),
                 );
-            }
-            let (node_bound, lp_values, lp_reliable) = match lp.status {
-                LpStatus::Infeasible => continue,
-                LpStatus::Unbounded => {
-                    if !root_processed {
-                        return Ok(Solution::without_assignment(SolveStatus::Unbounded, stats));
-                    }
-                    (f64::NEG_INFINITY, lp.values, true)
                 }
-                // An iteration-limited LP yields neither a usable bound nor a
-                // usable point: fall back to the box bound and branch on
-                // midpoints instead of the (possibly meaningless) LP values.
-                LpStatus::IterationLimit => {
-                    let mid: Vec<f64> = (0..n)
-                        .map(|i| {
-                            let lo = lower[i];
-                            let up = upper[i];
-                            if lo.is_finite() && up.is_finite() {
-                                (lo + up) / 2.0
-                            } else {
-                                lo.max(0.0)
-                            }
-                        })
-                        .collect();
-                    (box_objective_bound(model, &lower, &upper), mid, false)
+                // A control stop that fires *inside* this node's LP surfaces as
+                // an iteration-limited LP. Re-pushing the node (propagated
+                // bounds, original parent basis) instead of branching it on
+                // meaningless midpoint values keeps the frontier exact: the
+                // resumed segment re-solves this LP warm from the same basis and
+                // branches exactly as the uninterrupted solve would have. Only
+                // the interrupted LP's partial pivots are paid twice.
+                if lp.status == LpStatus::IterationLimit
+                    && (control.is_cancelled()
+                        || control_deadline.is_some_and(|d| Instant::now() > d))
+                {
+                    stack.push(Node {
+                        lower,
+                        upper,
+                        parent_bound,
+                        parent_basis,
+                    });
+                    // The popped node was counted above but not processed; hand
+                    // the count back so chain node totals stay comparable to the
+                    // uninterrupted run's.
+                    stats.nodes -= 1;
+                    interrupted = true;
+                    halt = true;
+                    break 'processed;
                 }
-                LpStatus::Optimal => (lp.objective, lp.values, true),
-            };
-            if !root_processed {
-                stats.best_bound = node_bound;
-                root_processed = true;
-                if let Some(observer) = control.observer() {
-                    observer.bound_improved(&progress_of(
-                        &stats,
-                        incumbent.as_ref().map(|(obj, _)| *obj),
-                    ));
-                }
-            }
-
-            if let Some((inc_obj, _)) = &incumbent {
-                if node_bound >= inc_obj - opts.absolute_gap {
-                    continue;
-                }
-            }
-
-            // Find a fractional integer variable to branch on.
-            let branch_var = select_branch_variable(
-                model,
-                &integer_vars,
-                &lp_values,
-                &lower,
-                &upper,
-                opts.integrality_tol,
-            );
-
-            match branch_var {
-                None => {
-                    // All integer variables are integral. Only an LP-optimal
-                    // point is known to be MILP-feasible; an unreliable node
-                    // (iteration-limited LP) is dropped rather than risking
-                    // an infeasible incumbent — but dropping it forfeits
-                    // completeness, so the final status must not claim a
-                    // proven optimum or proven infeasibility.
-                    if !lp_reliable {
-                        limit_hit = true;
-                        continue;
-                    }
-                    let obj = node_bound;
-                    let better = incumbent.as_ref().map(|(o, _)| obj < *o).unwrap_or(true);
-                    if better {
-                        incumbent = Some((
-                            obj,
-                            round_integers(&lp_values, &integer_vars, opts.integrality_tol),
-                        ));
-                        if let Some(observer) = control.observer() {
-                            observer.incumbent_found(&progress_of(&stats, Some(obj)));
+                let (node_bound, lp_values, lp_reliable) = match lp.status {
+                    LpStatus::Infeasible => break 'processed,
+                    LpStatus::Unbounded => {
+                        if !root_processed {
+                            return Ok(Solution::without_assignment(SolveStatus::Unbounded, stats));
                         }
+                        (f64::NEG_INFINITY, lp.values, true)
+                    }
+                    // An iteration-limited LP yields neither a usable bound nor a
+                    // usable point: fall back to the box bound and branch on
+                    // midpoints instead of the (possibly meaningless) LP values.
+                    LpStatus::IterationLimit => {
+                        let mid: Vec<f64> = (0..n)
+                            .map(|i| {
+                                let lo = lower[i];
+                                let up = upper[i];
+                                if lo.is_finite() && up.is_finite() {
+                                    (lo + up) / 2.0
+                                } else {
+                                    lo.max(0.0)
+                                }
+                            })
+                            .collect();
+                        (box_objective_bound(model, &lower, &upper), mid, false)
+                    }
+                    LpStatus::Optimal => (lp.objective, lp.values, true),
+                };
+                if !root_processed {
+                    stats.best_bound = node_bound;
+                    root_processed = true;
+                    if let Some(observer) = control.observer() {
+                        observer.bound_improved(&progress_of(
+                            &stats,
+                            incumbent.as_ref().map(|(obj, _)| *obj),
+                        ));
                     }
                 }
-                Some((var_idx, frac_value)) => {
-                    // Snapshot this node's optimal basis for its children
-                    // (and the dive below). Shared via Arc — both children
-                    // and the heuristic read the same snapshot. Skipped for
-                    // integral leaves (no consumers) and when warm starts
-                    // are off, so the ablation baseline pays none of the
-                    // bookkeeping.
-                    let node_basis: Option<Arc<Basis>> =
-                        if opts.use_warm_start && lp.status == LpStatus::Optimal {
-                            workspace.snapshot_basis().map(Arc::new)
-                        } else {
-                            None
-                        };
 
-                    // Structure-aware dive: fix the refinement decision
-                    // variables first, then the follower integers, to seed
-                    // the incumbent. Run at the root and then periodically
-                    // while no incumbent exists — deep DFS alone can take
-                    // thousands of nodes to reach its first integral leaf on
-                    // the big-M refinement models. Diving is attempted even
-                    // from unreliable (iteration-limited) nodes: propagation
-                    // rejects a bad rounding cheaply, and the fixed-integer
-                    // LP that follows a good one is far easier than the node
-                    // LP that just failed.
-                    if opts.use_rounding_heuristic
-                        && incumbent.is_none()
-                        && (stats.nodes == 1 || stats.nodes.is_multiple_of(16))
-                    {
-                        if let Some((obj, values)) = self.structure_dive(
-                            model,
-                            &mut workspace,
-                            &integer_vars,
-                            &priority_tiers,
-                            &lp_values,
-                            &lower,
-                            &upper,
-                            node_basis.as_deref(),
-                            &lp_stop,
-                            &mut stats,
-                        )? {
-                            incumbent = Some((obj, values));
+                if let Some((inc_obj, _)) = &incumbent {
+                    if node_bound >= inc_obj - opts.absolute_gap {
+                        break 'processed;
+                    }
+                }
+
+                // Find a fractional integer variable to branch on.
+                let branch_var = select_branch_variable(
+                    model,
+                    &integer_vars,
+                    &lp_values,
+                    &lower,
+                    &upper,
+                    opts.integrality_tol,
+                );
+
+                match branch_var {
+                    None => {
+                        // All integer variables are integral. Only an LP-optimal
+                        // point is known to be MILP-feasible; an unreliable node
+                        // (iteration-limited LP) is dropped rather than risking
+                        // an infeasible incumbent — but dropping it forfeits
+                        // completeness, so the final status must not claim a
+                        // proven optimum or proven infeasibility.
+                        if !lp_reliable {
+                            limit_hit = true;
+                            break 'processed;
+                        }
+                        let obj = node_bound;
+                        let better = incumbent.as_ref().map(|(o, _)| obj < *o).unwrap_or(true);
+                        if better {
+                            incumbent = Some((
+                                obj,
+                                round_integers(&lp_values, &integer_vars, opts.integrality_tol),
+                            ));
                             if let Some(observer) = control.observer() {
                                 observer.incumbent_found(&progress_of(&stats, Some(obj)));
                             }
                         }
                     }
+                    Some((var_idx, frac_value)) => {
+                        // Snapshot this node's optimal basis for its children
+                        // (and the dive below). Shared via Arc — both children
+                        // and the heuristic read the same snapshot. Skipped for
+                        // integral leaves (no consumers) and when warm starts
+                        // are off, so the ablation baseline pays none of the
+                        // bookkeeping.
+                        let node_basis: Option<Arc<Basis>> =
+                            if opts.use_warm_start && lp.status == LpStatus::Optimal {
+                                workspace.snapshot_basis().map(Arc::new)
+                            } else {
+                                None
+                            };
 
-                    let floor_val = frac_value.floor();
-                    let ceil_val = frac_value.ceil();
+                        // Structure-aware dive: fix the refinement decision
+                        // variables first, then the follower integers, to seed
+                        // the incumbent. Run at the root and then periodically
+                        // while no incumbent exists — deep DFS alone can take
+                        // thousands of nodes to reach its first integral leaf on
+                        // the big-M refinement models. Diving is attempted even
+                        // from unreliable (iteration-limited) nodes: propagation
+                        // rejects a bad rounding cheaply, and the fixed-integer
+                        // LP that follows a good one is far easier than the node
+                        // LP that just failed.
+                        // Cadence keyed to the *global* node count so resumed
+                        // segments dive at the same nodes the uninterrupted
+                        // solve would.
+                        let global_nodes = prior_nodes + stats.nodes;
+                        if opts.use_rounding_heuristic
+                            && incumbent.is_none()
+                            && (global_nodes == 1 || global_nodes.is_multiple_of(16))
+                        {
+                            if let Some((obj, values)) = self.structure_dive(
+                                model,
+                                &mut workspace,
+                                &integer_vars,
+                                &priority_tiers,
+                                &lp_values,
+                                &lower,
+                                &upper,
+                                node_basis.as_deref(),
+                                &lp_stop,
+                                &mut stats,
+                            )? {
+                                incumbent = Some((obj, values));
+                                if let Some(observer) = control.observer() {
+                                    observer.incumbent_found(&progress_of(&stats, Some(obj)));
+                                }
+                            } else if control.is_cancelled()
+                                || control_deadline.is_some_and(|d| Instant::now() > d)
+                            {
+                                // An empty-handed dive under a tripped stop is
+                                // indistinguishable from a dive the stop aborted
+                                // mid-flight — and an aborted dive may have lost
+                                // the incumbent the uninterrupted solve finds at
+                                // this cadence point, silently degrading pruning
+                                // for the rest of the chain. Hand the node (and
+                                // its count) back so the resumed segment re-dives
+                                // here under a live control; like the mid-LP
+                                // push-back above, only this node's LP pivots are
+                                // paid twice.
+                                stack.push(Node {
+                                    lower,
+                                    upper,
+                                    parent_bound,
+                                    parent_basis,
+                                });
+                                stats.nodes -= 1;
+                                interrupted = true;
+                                halt = true;
+                                break 'processed;
+                            }
+                        }
 
-                    // Down child: var <= floor, Up child: var >= ceil.
-                    let mut down_upper = upper.clone();
-                    down_upper[var_idx] = down_upper[var_idx].min(floor_val);
-                    let down = Node {
-                        lower: lower.clone(),
-                        upper: down_upper,
-                        parent_bound: node_bound,
-                        parent_basis: node_basis.clone(),
-                    };
+                        let floor_val = frac_value.floor();
+                        let ceil_val = frac_value.ceil();
 
-                    let mut up_lower = lower.clone();
-                    up_lower[var_idx] = up_lower[var_idx].max(ceil_val);
-                    let up = Node {
-                        lower: up_lower,
-                        upper,
-                        parent_bound: node_bound,
-                        parent_basis: node_basis,
-                    };
+                        // Down child: var <= floor, Up child: var >= ceil.
+                        let mut down_upper = upper.clone();
+                        down_upper[var_idx] = down_upper[var_idx].min(floor_val);
+                        let down = Node {
+                            lower: lower.clone(),
+                            upper: down_upper,
+                            parent_bound: node_bound,
+                            parent_basis: node_basis.clone(),
+                        };
 
-                    // Explore the child closer to the LP value first (pushed last).
-                    if frac_value - floor_val <= 0.5 {
-                        stack.push(up);
-                        stack.push(down);
-                    } else {
-                        stack.push(down);
-                        stack.push(up);
+                        let mut up_lower = lower.clone();
+                        up_lower[var_idx] = up_lower[var_idx].max(ceil_val);
+                        let up = Node {
+                            lower: up_lower,
+                            upper,
+                            parent_bound: node_bound,
+                            parent_basis: node_basis,
+                        };
+
+                        // Explore the child closer to the LP value first (pushed last).
+                        if frac_value - floor_val <= 0.5 {
+                            stack.push(up);
+                            stack.push(down);
+                        } else {
+                            stack.push(down);
+                            stack.push(up);
+                        }
                     }
                 }
+            } // 'processed
+            if halt {
+                break;
+            }
+            // Report the node only once it is genuinely done (branched or
+            // pruned), so the count the observer sees is never retracted. An
+            // observer may cancel from inside this callback (node-budget
+            // segmentation does exactly that); the cancel is honored at the
+            // top of the next iteration, where the *next* — uncounted,
+            // unobserved — node is pushed back into the frontier. The resumed
+            // segment re-sees exactly the unprocessed nodes, and no node is
+            // ever processed under an already-tripped stop.
+            if let Some(observer) = control.observer() {
+                observer.node_processed(&progress_of(
+                    &stats,
+                    incumbent.as_ref().map(|(obj, _)| *obj),
+                ));
             }
         }
 
-        // A stop that fires inside the last stacked node's LP surfaces as an
-        // unreliable (iteration-limited) LP rather than at the loop head, so
-        // the loop can drain with only `limit_hit` set. Reconcile here: a
+        // A control stop observed only while draining a legacy-limited loop
+        // still counts as the interruption it is. Reconcile here: a
         // triggered control is always reported as the interruption it is.
         if limit_hit && !interrupted {
             interrupted =
                 control.is_cancelled() || control_deadline.is_some_and(|d| Instant::now() > d);
         }
+        // Checkpoint an interrupted search with open nodes: the frontier
+        // moves (not copies) into the state, along with everything a later
+        // segment needs to continue exactly here. An interrupted solve with
+        // an *empty* stack has nothing left to explore (or lost a subtree to
+        // the legacy LP-iteration cap, which no checkpoint can recover), so
+        // it carries no resume state.
+        let resume = if interrupted && !stack.is_empty() {
+            stats.resume_captures = 1;
+            Some(Box::new(ResumeState {
+                frontier: stack,
+                incumbent: incumbent.clone(),
+                best_bound: stats.best_bound,
+                root_processed,
+                prior_nodes: prior_nodes + stats.nodes,
+                prior_segments: prior_segments + 1,
+                pricing_cursor: workspace.pricing_cursor(),
+                fingerprint,
+            }))
+        } else {
+            None
+        };
         stats.solve_time = start.elapsed();
         stats.interrupted = interrupted;
-        match incumbent {
+        let mut solution = match incumbent {
             Some((objective, values)) => {
                 let status = if interrupted {
                     SolveStatus::Interrupted
@@ -450,12 +635,13 @@ impl Solver {
                 if status == SolveStatus::Optimal {
                     stats.best_bound = objective;
                 }
-                Ok(Solution {
+                Solution {
                     status,
                     objective,
                     values,
                     stats,
-                })
+                    resume: None,
+                }
             }
             None => {
                 let status = if interrupted {
@@ -465,9 +651,11 @@ impl Solver {
                 } else {
                     SolveStatus::Infeasible
                 };
-                Ok(Solution::without_assignment(status, stats))
+                Solution::without_assignment(status, stats)
             }
-        }
+        };
+        solution.resume = resume;
+        Ok(solution)
     }
 
     /// Structure-aware rounding dive: fix the integer variables tier by tier

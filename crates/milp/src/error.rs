@@ -23,6 +23,16 @@ pub enum MilpError {
     NonFiniteCoefficient(String),
     /// The model has no objective (the solver requires one, possibly zero).
     NumericalTrouble(String),
+    /// A [`ResumeState`](crate::resume::ResumeState) was presented for a
+    /// model other than the one it was captured from: the structural
+    /// fingerprints disagree, so continuing the suspended search would
+    /// silently solve the wrong problem.
+    StaleResume {
+        /// Fingerprint recorded in the resume state.
+        expected: u64,
+        /// Fingerprint of the model presented for resumption.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for MilpError {
@@ -36,6 +46,11 @@ impl fmt::Display for MilpError {
                 write!(f, "non-finite coefficient in {what}")
             }
             MilpError::NumericalTrouble(msg) => write!(f, "numerical trouble: {msg}"),
+            MilpError::StaleResume { expected, actual } => write!(
+                f,
+                "stale resume state: captured from model {expected:#018x}, \
+                 presented model is {actual:#018x}"
+            ),
         }
     }
 }

@@ -78,6 +78,7 @@ pub mod factor;
 pub mod lu;
 pub mod model;
 pub mod propagate;
+pub mod resume;
 pub mod simplex;
 pub mod solution;
 pub mod tol;
@@ -88,6 +89,7 @@ pub use control::{CancelToken, SolveControl, SolveObserver, SolveProgress, StopC
 pub use error::{MilpError, Result};
 pub use expr::LinExpr;
 pub use model::{Model, Sense, VarId, VarType};
+pub use resume::ResumeState;
 pub use solution::{Solution, SolveStatus};
 
 /// Commonly used items, for glob import.
@@ -97,6 +99,7 @@ pub mod prelude {
     pub use crate::error::{MilpError, Result as MilpResult};
     pub use crate::expr::LinExpr;
     pub use crate::model::{Model, Sense, VarId, VarType};
+    pub use crate::resume::ResumeState;
     pub use crate::solution::{Solution, SolveStatus};
 }
 
@@ -114,4 +117,5 @@ const _: () = {
     assert_send_sync::<SolveControl>();
     assert_send_sync::<CancelToken>();
     assert_send_sync::<StopCondition>();
+    assert_send_sync::<ResumeState>();
 };

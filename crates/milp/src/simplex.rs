@@ -256,6 +256,21 @@ impl LpWorkspace {
         self.matrix.nnz() - self.n_rows
     }
 
+    /// Current position of the rotating partial-pricing window. Captured into
+    /// a [`ResumeState`](crate::resume::ResumeState) so a resumed search
+    /// prices columns in the same order the uninterrupted solve would have —
+    /// the cursor is the one piece of pricing state that outlives a single
+    /// `solve` call (devex weights and the anti-cycling RNG reset per phase).
+    pub(crate) fn pricing_cursor(&self) -> usize {
+        self.pricing_cursor
+    }
+
+    /// Restore the rotating pricing-window position (see
+    /// [`Self::pricing_cursor`]).
+    pub(crate) fn set_pricing_cursor(&mut self, cursor: usize) {
+        self.pricing_cursor = cursor;
+    }
+
     /// Solve the LP with the given variable bounds. When `warm` is provided,
     /// the solver first attempts a warm start from that basis (dual simplex
     /// repair of the branched bounds); any warm-path failure falls back to a

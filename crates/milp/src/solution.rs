@@ -1,6 +1,7 @@
 //! Solver output: status, objective value, variable assignment, statistics.
 
 use crate::model::VarId;
+use crate::resume::ResumeState;
 use std::time::Duration;
 
 /// Status of a MILP solve.
@@ -71,6 +72,17 @@ pub struct SolveStats {
     /// [`SolveControl`](crate::control::SolveControl) (cancellation or
     /// control deadline) rather than running to a terminal status.
     pub interrupted: bool,
+    /// 1 if this solve resumed a suspended search
+    /// ([`Solver::resume_with_control`](crate::branch_bound::Solver::resume_with_control)),
+    /// 0 for a fresh solve. A counter (not a bool) so it aggregates by
+    /// addition like every other field.
+    pub resumed_solves: usize,
+    /// Open frontier nodes restored from the [`ResumeState`] at the start of
+    /// a resumed solve (0 for a fresh solve).
+    pub nodes_restored: usize,
+    /// 1 if this solve ended interrupted with a [`ResumeState`] captured for
+    /// a later segment, 0 otherwise.
+    pub resume_captures: usize,
 }
 
 impl SolveStats {
@@ -108,6 +120,13 @@ pub struct Solution {
     pub values: Vec<f64>,
     /// Solver statistics.
     pub stats: SolveStats,
+    /// Checkpoint of the suspended search, present exactly when the solve
+    /// ended [`SolveStatus::Interrupted`] with open nodes remaining. Feed it
+    /// to
+    /// [`Solver::resume_with_control`](crate::branch_bound::Solver::resume_with_control)
+    /// to continue where this solve stopped. Boxed: the frontier can be
+    /// large, and the common (uninterrupted) case should pay one pointer.
+    pub resume: Option<Box<ResumeState>>,
 }
 
 impl Solution {
@@ -133,6 +152,7 @@ impl Solution {
             objective: f64::INFINITY,
             values: Vec::new(),
             stats,
+            resume: None,
         }
     }
 }
@@ -148,6 +168,7 @@ mod tests {
             objective: 1.5,
             values: vec![0.0, 0.9, 2.49],
             stats: SolveStats::default(),
+            resume: None,
         };
         assert!(s.status.has_solution());
         assert_eq!(s.value(VarId(1)), 0.9);

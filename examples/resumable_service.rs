@@ -1,0 +1,207 @@
+//! Resumable solves, end to end: a branch-and-bound search interrupted
+//! mid-flight parks its frontier in a checkpoint, and three layers know how
+//! to continue it —
+//!
+//! 1. the **library**: `RefinementResult::resume` + `RefinementSession::resume`
+//!    pick the search up exactly where it stopped,
+//! 2. the **wire**: an interrupted server response carries a one-shot
+//!    `resume_token`, redeemable from any connection,
+//! 3. the **client**: `RetryingClient` chains those tokens across latency
+//!    budgets and absorbs `shed` replies with jittered backoff.
+//!
+//! ```bash
+//! cargo run --release --example resumable_service
+//! ```
+
+use qr_server::{start, Json, RetryPolicy, RetryingClient, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use qr_core::paper_example::{paper_database, scholarship_query};
+use qr_core::prelude::*;
+
+/// One connect -> send -> read-one-line round-trip, for the raw-wire parts
+/// of the demo (the retrying client does this internally).
+fn wire(addr: SocketAddr, line: &str) -> Json {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    stream
+        .write_all(format!("{line}\n").as_bytes())
+        .expect("send");
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 4096];
+    while !raw.contains(&b'\n') {
+        let n = stream.read(&mut chunk).expect("recv");
+        assert!(n > 0, "server closed before replying");
+        raw.extend_from_slice(&chunk[..n]);
+    }
+    let end = raw.iter().position(|&b| b == b'\n').unwrap();
+    Json::parse(&String::from_utf8_lossy(&raw[..end])).expect("valid JSON")
+}
+
+/// Act 1: the library API. A cancelled solve checkpoints its open nodes;
+/// `resume` continues the same search under a fresh control.
+fn library_level() {
+    println!("--- checkpoint/resume through the library API ---");
+    let session = RefinementSession::new(paper_database(), scholarship_query()).unwrap();
+
+    // A token cancelled before the solve starts forces an immediate
+    // checkpoint: the search parks after the root node with its frontier
+    // intact. (Real interruptions — deadlines, disconnects — checkpoint the
+    // same way, just later.)
+    let token = CancelToken::new();
+    token.cancel();
+    let request = RefinementRequest::new()
+        .with_constraint(qr_core::CardinalityConstraint::at_least(
+            qr_core::Group::single("Gender", "F"),
+            6,
+            3,
+        ))
+        .with_constraint(qr_core::CardinalityConstraint::at_most(
+            qr_core::Group::single("Income", "High"),
+            3,
+            1,
+        ))
+        .with_epsilon(0.0)
+        .with_cancel_token(token);
+    let parked = session.solve(&request).unwrap();
+    let resume = parked.resume.expect("interrupted with open nodes");
+    println!(
+        "  interrupted after {} node(s); checkpoint holds {} open node(s), pinned to snapshot v{}",
+        parked.stats.nodes,
+        resume.num_open_nodes(),
+        resume.snapshot_version(),
+    );
+
+    let done = session.resume(&resume, &SolveControl::new()).unwrap();
+    let refined = done.outcome.refined().expect("search completes");
+    println!(
+        "  resumed: restored {} node(s), finished at distance {:.3} (optimal: {})",
+        done.stats.nodes_restored, refined.distance, refined.proven_optimal,
+    );
+}
+
+/// Act 2: the wire. Small latency budgets interrupt a big search; the
+/// retrying client redeems each segment's `resume_token` on a *fresh*
+/// connection, so the search survives every disconnect in between.
+fn wire_level() {
+    println!("--- resume tokens over the wire ---");
+    let server = start(ServerConfig::default()).expect("bind");
+
+    let client = RetryingClient::new(server.addr()).with_policy(RetryPolicy {
+        max_attempts: 3,
+        ..RetryPolicy::default()
+    });
+    // The astronauts search under Jaccard at k=25 runs for minutes if
+    // nothing stops it; a 700ms budget per segment turns it into a chain of
+    // interactive-latency slices.
+    let report = client
+        .solve(
+            r#"{"op":"solve","id":"tour","dataset":"astronauts","epsilon":0.25,"distance":"JAC","deadline_ms":700,"constraints":[{"attribute":"Gender","value":"F","k":25,"n":13}]}"#,
+        )
+        .expect("retry loop reaches a terminal report");
+    let stats = report.response.get("stats").expect("stats payload");
+    println!(
+        "  {} wire attempt(s), {} resumed segment(s); last segment restored {} node(s), outcome: {}",
+        report.attempts,
+        report.resumed_segments,
+        stats
+            .get("nodes_restored")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        report
+            .response
+            .get("outcome")
+            .and_then(Json::as_str)
+            .unwrap_or("?"),
+    );
+    server.join();
+}
+
+/// Poll the server's `accepted` / `queue_depth` counters until `pred`
+/// holds, failing with `what` after a generous limit.
+fn await_counters(addr: SocketAddr, what: &str, pred: impl Fn(u64, u64) -> bool) {
+    let limit = Instant::now() + Duration::from_secs(60);
+    loop {
+        let m = wire(addr, r#"{"op":"metrics"}"#);
+        let server_block = m.get("server").expect("server block");
+        let get = |k: &str| server_block.get(k).and_then(Json::as_u64).unwrap_or(0);
+        if pred(get("accepted"), get("queue_depth")) {
+            break;
+        }
+        assert!(Instant::now() < limit, "{what}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Act 3: overload. A one-worker server with a full queue sheds the new
+/// request with a retry hint; the client backs off (jittered, exponential)
+/// and lands the solve once the hog disconnects and drains.
+fn shed_and_backoff() {
+    println!("--- shed, backoff, retry ---");
+    let server = start(ServerConfig {
+        workers: 1,
+        max_queue_depth: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    // Occupy the only worker with a long solve, and the only queue slot
+    // with a quick one.
+    let mut hog = TcpStream::connect(addr).expect("connect");
+    hog.write_all(br#"{"op":"solve","id":"hog","dataset":"astronauts","epsilon":0.25,"distance":"JAC","constraints":[{"attribute":"Gender","value":"F","k":25,"n":13}]}"#)
+        .and_then(|_| hog.write_all(b"\n"))
+        .expect("send");
+    // Only send the filler once the hog is *on* the worker, so the filler
+    // lands in the queue instead of racing the hog for it and being shed.
+    await_counters(addr, "hog never reached the worker", |accepted, depth| {
+        accepted >= 1 && depth == 0
+    });
+    let mut filler = TcpStream::connect(addr).expect("connect");
+    filler
+        .write_all(b"{\"op\":\"solve\",\"id\":\"filler\",\"dataset\":\"paper\",\"epsilon\":0.5,\"constraints\":[{\"attribute\":\"Gender\",\"value\":\"F\",\"k\":6,\"n\":3}]}\n")
+        .expect("send");
+    await_counters(addr, "queue never filled", |accepted, depth| {
+        accepted >= 2 && depth >= 1
+    });
+
+    // The hog's client walks away shortly; the server notices, cancels its
+    // solve, and the queue drains.
+    let walkout = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(300));
+        drop(hog);
+    });
+
+    let client = RetryingClient::new(addr);
+    let report = client
+        .solve(r#"{"op":"solve","id":"patient","dataset":"paper","epsilon":0.5,"constraints":[{"attribute":"Gender","value":"F","k":6,"n":3}]}"#)
+        .expect("retry loop reaches a terminal report");
+    println!(
+        "  {} shed reply(ies) absorbed, {:?} spent backing off, final outcome: {}",
+        report.sheds,
+        report.backed_off,
+        report
+            .response
+            .get("outcome")
+            .and_then(Json::as_str)
+            .unwrap_or("?"),
+    );
+    assert_eq!(
+        report.response.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "the patient client must eventually get its answer"
+    );
+    walkout.join().unwrap();
+    drop(filler);
+    server.join();
+}
+
+fn main() {
+    library_level();
+    wire_level();
+    shed_and_backoff();
+}

@@ -11,6 +11,7 @@ use std::process::Command;
 const EXAMPLES: &[&str] = &[
     "quickstart",
     "concurrent_service",
+    "resumable_service",
     "tpch_market_segments",
     "healthcare_study",
     "scholarship_awards",

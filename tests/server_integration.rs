@@ -389,6 +389,272 @@ fn malformed_and_oversized_requests_get_structured_errors() {
     server.join();
 }
 
+/// Run the long astronaut search under a small deadline and hand back the
+/// interrupted response, which must carry a redeemable `resume_token`.
+fn interrupted_with_token(client: &mut Client, id: &str, deadline_ms: u64) -> (Json, String) {
+    let line = format!(
+        r#"{{"op":"solve","id":"{id}","dataset":"astronauts","epsilon":0.25,"distance":"JAC","deadline_ms":{deadline_ms},"constraints":[{{"attribute":"Gender","value":"F","k":25,"n":13}}]}}"#
+    );
+    let response = client.roundtrip(&line);
+    assert_eq!(
+        response.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "interrupted solve must still be a success: {}",
+        response.render()
+    );
+    assert_eq!(
+        response.get("outcome").and_then(Json::as_str),
+        Some("interrupted")
+    );
+    let token = response
+        .get("resume_token")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("no resume_token in {}", response.render()))
+        .to_string();
+    (response, token)
+}
+
+fn error_kind(response: &Json) -> Option<&str> {
+    response
+        .get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(Json::as_str)
+}
+
+/// The tentpole over the wire: an interrupted solve hands out a resume
+/// token; the token outlives the connection that earned it, continues the
+/// search (restoring checkpointed nodes) from a brand-new connection, and
+/// is strictly one-shot — replaying it is a structured `bad_request`.
+#[test]
+fn resume_tokens_survive_reconnects_and_are_one_shot() {
+    let server = start(ServerConfig::default()).expect("bind");
+    let addr = server.addr();
+
+    let mut first = Client::connect(addr);
+    let (_, token) = interrupted_with_token(&mut first, "seg-1", 2000);
+    // The connection that earned the token vanishes entirely.
+    drop(first);
+
+    // A brand-new connection redeems it and the search *continues*: the
+    // checkpointed frontier is restored, not rebuilt from the root.
+    let mut second = Client::connect(addr);
+    let resumed = second.roundtrip(&format!(
+        r#"{{"op":"resume","id":"seg-2","token":"{token}","deadline_ms":2000}}"#
+    ));
+    assert_eq!(
+        resumed.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "resume failed: {}",
+        resumed.render()
+    );
+    assert_eq!(resumed.get("id").and_then(Json::as_str), Some("seg-2"));
+    let stats = resumed.get("stats").expect("stats payload");
+    assert_eq!(stats.get("resumed_solves").and_then(Json::as_u64), Some(1));
+    assert!(
+        stats
+            .get("nodes_restored")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            > 0,
+        "resumed segment restored no frontier: {}",
+        resumed.render()
+    );
+    // The astronaut search is hours deep; a second 2s slice re-interrupts
+    // and must mint a *fresh* token (the old one is spent).
+    let next_token = resumed
+        .get("resume_token")
+        .and_then(Json::as_str)
+        .expect("re-interrupted resume re-checkpoints");
+    assert_ne!(next_token, token, "tokens must be one-shot, never reused");
+
+    // Replaying the redeemed token is a structured bad_request.
+    let replay = second.roundtrip(&format!(r#"{{"op":"resume","token":"{token}"}}"#));
+    assert_eq!(error_kind(&replay), Some("bad_request"));
+
+    let metrics = scrape_metrics(addr);
+    assert!(counter(&metrics, "resume_ops") >= 2);
+    let resume = metrics.get("resume").expect("resume block");
+    assert!(
+        resume
+            .get("tokens_issued")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            >= 2
+    );
+    assert_eq!(
+        resume.get("tokens_redeemed").and_then(Json::as_u64),
+        Some(1)
+    );
+    assert_eq!(counter(&metrics, "internal_errors"), 0);
+
+    server.join();
+}
+
+/// Fault scenario (e): a token pinned to a snapshot that a mutation has
+/// since moved past is refused with a structured `bad_request` naming the
+/// staleness — never a resurrection against the wrong data, never a panic —
+/// and the server stays healthy.
+#[test]
+fn stale_resume_tokens_are_refused_and_the_server_stays_healthy() {
+    let server = start(ServerConfig::default()).expect("bind");
+    let addr = server.addr();
+
+    let mut client = Client::connect(addr);
+    let (_, token) = interrupted_with_token(&mut client, "pin", 2000);
+
+    // Mutate the dataset behind the checkpoint: the pool hands back the
+    // very session the suspended solve is pinned to.
+    let session = server
+        .shared()
+        .pool
+        .get_or_build("astronauts")
+        .expect("pooled session");
+    session
+        .apply(vec![query_refinement::core::prelude::Mutation::delete(
+            "Astronauts",
+            vec![0],
+        )])
+        .expect("mutation applies");
+
+    let refused = client.roundtrip(&format!(r#"{{"op":"resume","token":"{token}"}}"#));
+    assert_eq!(
+        error_kind(&refused),
+        Some("bad_request"),
+        "stale resume must be the client's problem, stated structurally: {}",
+        refused.render()
+    );
+    let message = refused
+        .get("error")
+        .and_then(|e| e.get("message"))
+        .and_then(Json::as_str)
+        .expect("error message");
+    assert!(
+        message.contains("stale"),
+        "error should name the staleness: {message}"
+    );
+
+    // The connection and the server both survived.
+    let pong = client.roundtrip(r#"{"op":"ping","id":"still-up"}"#);
+    assert_eq!(pong.get("ok").and_then(Json::as_bool), Some(true));
+    let metrics = scrape_metrics(addr);
+    assert_eq!(counter(&metrics, "internal_errors"), 0);
+
+    server.join();
+}
+
+/// Fault scenario (f): tokens expire after the configured TTL and redeeming
+/// one is a structured refusal, with the expiry visible in the metrics.
+#[test]
+fn resume_tokens_expire_after_their_ttl() {
+    let server = start(ServerConfig {
+        resume_ttl: Duration::from_millis(100),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    let mut client = Client::connect(addr);
+    let (_, token) = interrupted_with_token(&mut client, "fleeting", 2000);
+    std::thread::sleep(Duration::from_millis(300));
+
+    let refused = client.roundtrip(&format!(r#"{{"op":"resume","token":"{token}"}}"#));
+    assert_eq!(error_kind(&refused), Some("bad_request"));
+    let metrics = scrape_metrics(addr);
+    let resume = metrics.get("resume").expect("resume block");
+    assert!(
+        resume
+            .get("tokens_expired")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            >= 1
+    );
+    assert_eq!(
+        resume.get("resident_checkpoints").and_then(Json::as_u64),
+        Some(0)
+    );
+
+    server.join();
+}
+
+/// Drain never resurrects a solve: shutdown empties the resume table, and a
+/// token minted before the drain is worthless after it.
+#[test]
+fn drain_clears_the_resume_table() {
+    let server = start(ServerConfig::default()).expect("bind");
+    let addr = server.addr();
+
+    let mut client = Client::connect(addr);
+    let (_, token) = interrupted_with_token(&mut client, "doomed", 2000);
+    let shared = std::sync::Arc::clone(server.shared());
+    assert_eq!(shared.resume_table.counters().resident, 1);
+
+    let ack = Client::connect(addr).roundtrip(r#"{"op":"shutdown"}"#);
+    assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true));
+    server.wait();
+
+    assert_eq!(
+        shared.resume_table.counters().resident,
+        0,
+        "drain must leave no suspended solves behind"
+    );
+    assert!(
+        shared.resume_table.take(&token).is_none(),
+        "a pre-drain token must be worthless after the drain"
+    );
+}
+
+/// The retrying client end to end: against a live server it chains resume
+/// tokens across interrupted segments — each on a fresh connection — and
+/// hands back the last segment's response when its attempt budget runs out.
+#[test]
+fn retrying_client_chains_resume_tokens_over_the_wire() {
+    let server = start(ServerConfig::default()).expect("bind");
+
+    let client =
+        qr_server::RetryingClient::new(server.addr()).with_policy(qr_server::RetryPolicy {
+            max_attempts: 3,
+            ..qr_server::RetryPolicy::default()
+        });
+    let report = client
+        .solve(
+            r#"{"op":"solve","id":"chained","dataset":"astronauts","epsilon":0.25,"distance":"JAC","deadline_ms":1500,"constraints":[{"attribute":"Gender","value":"F","k":25,"n":13}]}"#,
+        )
+        .expect("the retry loop reaches a terminal report");
+
+    // Three round-trips: the initial solve plus two resumed segments, every
+    // one interrupted by its 1.5s budget (the full search runs 90s+).
+    assert_eq!(report.attempts, 3);
+    assert_eq!(report.resumed_segments, 2);
+    assert_eq!(report.sheds, 0);
+    assert_eq!(
+        report.response.get("ok").and_then(Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        report.response.get("outcome").and_then(Json::as_str),
+        Some("interrupted")
+    );
+    let stats = report.response.get("stats").expect("stats payload");
+    assert_eq!(stats.get("resumed_solves").and_then(Json::as_u64), Some(1));
+    assert!(
+        stats
+            .get("nodes_restored")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            > 0
+    );
+
+    let metrics = scrape_metrics(server.addr());
+    assert_eq!(counter(&metrics, "resume_ops"), 2);
+    let resume = metrics.get("resume").expect("resume block");
+    assert_eq!(
+        resume.get("tokens_redeemed").and_then(Json::as_u64),
+        Some(2)
+    );
+
+    server.join();
+}
+
 /// Drain: shutdown stops accepting, cancels in-flight solves via their
 /// tokens, and still flushes a reply to the in-flight client.
 #[test]

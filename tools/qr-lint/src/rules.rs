@@ -45,12 +45,19 @@ const SOLVE_PATH_FILES: &[&str] = &[
     "crates/milp/src/simplex.rs",
     "crates/milp/src/dual.rs",
     "crates/milp/src/branch_bound.rs",
+    // Checkpoint capture/restore runs inside the interrupted solve's
+    // control scope: a loop here outlives the very budget that tripped.
+    "crates/milp/src/resume.rs",
     "crates/core/src/naive.rs",
     "crates/core/src/erica.rs",
     // The server's accept/connection/worker loops sit upstream of every
     // solve: a loop here that never polls shutdown would turn graceful
     // drain into a hang.
     "tools/qr-server/src/server.rs",
+    // Token storage is touched by every worker under drain; the retrying
+    // client promises prompt teardown via its own should_stop hook.
+    "tools/qr-server/src/resume.rs",
+    "tools/qr-server/src/client.rs",
 ];
 
 /// Library crates subject to the panic rule. `crates/bench` is deliberately
@@ -437,6 +444,39 @@ mod tests {
     fn panic_ignores_non_panicking_lookalikes() {
         let src = "fn f() { x.unwrap_or_else(g); y.unwrap_or(0); my_panic!(); }\n";
         assert!(lint_file("crates/core/src/solver.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cancel_poll_covers_the_resume_path() {
+        // The checkpoint/restore files are solve-path: an unpolled loop in
+        // any of them is a violation...
+        for file in [
+            "crates/milp/src/resume.rs",
+            "tools/qr-server/src/resume.rs",
+            "tools/qr-server/src/client.rs",
+        ] {
+            let v = lint_file(file, "fn f() { loop { restore(); } }\n");
+            assert_eq!(rules_of(&v), vec!["cancel-poll"], "{file}");
+        }
+        // ...and a polled one is not.
+        let polled = "fn f(s: &S) { loop { if s.should_stop() { return; } restore(); } }\n";
+        assert!(lint_file("tools/qr-server/src/client.rs", polled).is_empty());
+    }
+
+    #[test]
+    fn panic_rule_covers_the_resume_path() {
+        // The resume table and retrying client live behind the server's
+        // "never a raw panic across the socket" promise.
+        let v = lint_file(
+            "tools/qr-server/src/resume.rs",
+            "fn f() { table.get(t).unwrap(); }\n",
+        );
+        assert_eq!(rules_of(&v), vec!["panic"]);
+        let v = lint_file(
+            "crates/milp/src/resume.rs",
+            "fn f() { frontier.pop().expect(\"non-empty\"); }\n",
+        );
+        assert_eq!(rules_of(&v), vec!["panic"]);
     }
 
     // --- server-crate coverage ---

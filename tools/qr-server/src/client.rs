@@ -1,0 +1,379 @@
+//! A retrying wire client: jittered exponential backoff on `shed` replies,
+//! checkpoint chaining on `interrupted` ones.
+//!
+//! The server already tells clients how to behave under pressure — `shed`
+//! errors carry a `retry_after_ms` hint, interrupted solves carry a
+//! `resume_token` — but a naive client ignores both and either hammers the
+//! queue or restarts its search from scratch. [`RetryingClient`] closes the
+//! loop:
+//!
+//! * a **shed** reply backs off for `max(retry_after_ms, jittered
+//!   exponential delay)` and resends the same request, so a burst of
+//!   refused clients spreads out instead of thundering back in sync,
+//! * an **interrupted** reply with a `resume_token` immediately issues
+//!   `{"op":"resume","token":...}` under the same latency budget — every
+//!   retry continues the search instead of re-paying the explored tree,
+//! * a **connection failure** reconnects after the same backoff (each
+//!   attempt uses a fresh connection, so a token minted before a disconnect
+//!   is redeemed after the reconnect).
+//!
+//! The backoff schedule is driven by a seeded xorshift generator
+//! ([`Backoff`]), so a fixed [`RetryPolicy::seed`] makes the whole retry
+//! behavior reproducible — which is how the unit tests pin it.
+
+use crate::json::Json;
+use std::io::{ErrorKind as IoKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// How the client retries: attempt budget, backoff shape, and the jitter
+/// seed.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total wire round-trips (initial send, resumes and shed retries all
+    /// count) before the client gives up and returns the last response.
+    pub max_attempts: usize,
+    /// First backoff ceiling; doubles per backoff up to `max_backoff`.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Budget for one connect + send + receive round-trip.
+    pub io_timeout: Duration,
+    /// Seed for the jitter generator: a fixed seed reproduces the exact
+    /// backoff schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(150),
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+/// The jittered exponential backoff schedule: attempt `i`'s ceiling is
+/// `min(max_backoff, base_backoff << i)`, and the delay is drawn uniformly
+/// from the upper half of `[0, ceiling]` ("equal jitter" — enough spread to
+/// desynchronize a burst, never less than half the exponential ceiling).
+/// A server-provided `retry_after_ms` hint acts as a floor on top.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    rng: u64,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// A fresh schedule at attempt zero.
+    pub fn new(policy: &RetryPolicy) -> Self {
+        Backoff {
+            base: policy.base_backoff,
+            cap: policy.max_backoff,
+            // splitmix64 of the seed, so seed 0 still yields a non-zero
+            // xorshift state.
+            rng: {
+                let mut z = policy.seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                (z ^ (z >> 31)) | 1
+            },
+            attempt: 0,
+        }
+    }
+
+    /// The next delay, advancing the schedule. `hint` is the server's
+    /// `retry_after_ms`, honored as a floor.
+    pub fn next_delay(&mut self, hint: Option<Duration>) -> Duration {
+        let ceiling = self
+            .cap
+            .min(self.base.saturating_mul(1u32 << self.attempt.min(20)));
+        self.attempt = self.attempt.saturating_add(1);
+        // xorshift64*: cheap, seedable, good enough to spread retries.
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        let draw = self.rng.wrapping_mul(0x2545_f491_4f6c_dd1d);
+        let half = ceiling / 2;
+        let jitter = if half.is_zero() {
+            Duration::ZERO
+        } else {
+            let span = (half.as_nanos().min(u128::from(u64::MAX - 1)) as u64) + 1;
+            Duration::from_nanos(draw % span)
+        };
+        let delay = half + jitter;
+        match hint {
+            Some(floor) => delay.max(floor),
+            None => delay,
+        }
+    }
+}
+
+/// What a finished [`RetryingClient::solve`] did to get its answer.
+#[derive(Debug, Clone)]
+pub struct SolveReport {
+    /// The terminal response (a completed solve, a non-retryable error, or
+    /// — with the attempt budget exhausted — the last response seen).
+    pub response: Json,
+    /// Wire round-trips made (1 for an untroubled solve).
+    pub attempts: usize,
+    /// `shed` replies absorbed by backing off.
+    pub sheds: usize,
+    /// Interrupted segments continued via `resume_token`.
+    pub resumed_segments: usize,
+    /// Total time spent sleeping between attempts.
+    pub backed_off: Duration,
+}
+
+/// A line-protocol client that retries sheds and chains resume tokens. One
+/// fresh connection per attempt; see the [module docs](self) for the loop.
+#[derive(Debug, Clone)]
+pub struct RetryingClient {
+    addr: SocketAddr,
+    policy: RetryPolicy,
+}
+
+impl RetryingClient {
+    /// A client for the server at `addr` with the default [`RetryPolicy`].
+    pub fn new(addr: SocketAddr) -> Self {
+        RetryingClient {
+            addr,
+            policy: RetryPolicy::default(),
+        }
+    }
+
+    /// Override the retry policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Send one solve request line and drive it to a terminal answer,
+    /// retrying sheds and resuming interrupted segments.
+    pub fn solve(&self, request_line: &str) -> Result<SolveReport, String> {
+        self.solve_until(request_line, &|| false)
+    }
+
+    /// Like [`solve`](Self::solve), but polls `should_stop` between
+    /// attempts and during backoff sleeps and I/O waits, returning an error
+    /// promptly once it reports true.
+    pub fn solve_until(
+        &self,
+        request_line: &str,
+        should_stop: &dyn Fn() -> bool,
+    ) -> Result<SolveReport, String> {
+        let request =
+            Json::parse(request_line).map_err(|e| format!("request is not valid JSON: {e}"))?;
+        let id = request.get("id").cloned();
+        let deadline_ms = request.get("deadline_ms").cloned();
+
+        let mut line = request_line.trim().to_string();
+        let mut backoff = Backoff::new(&self.policy);
+        let mut attempts = 0usize;
+        let mut sheds = 0usize;
+        let mut resumed_segments = 0usize;
+        let mut backed_off = Duration::ZERO;
+
+        loop {
+            if should_stop() {
+                return Err("cancelled by caller".to_string());
+            }
+            attempts += 1;
+            let out_of_attempts = attempts >= self.policy.max_attempts.max(1);
+
+            let response = match self.roundtrip(&line, should_stop) {
+                Ok(raw) => Json::parse(&raw).map_err(|e| format!("bad response {raw:?}: {e}"))?,
+                Err(e) if out_of_attempts => return Err(e),
+                Err(_) => {
+                    // Transient transport failure: back off and reconnect.
+                    backed_off += self.sleep(backoff.next_delay(None), should_stop)?;
+                    continue;
+                }
+            };
+
+            let report = |response| SolveReport {
+                response,
+                attempts,
+                sheds,
+                resumed_segments,
+                backed_off,
+            };
+
+            if response.get("ok").and_then(Json::as_bool) == Some(false) {
+                let kind = response
+                    .get("error")
+                    .and_then(|e| e.get("kind"))
+                    .and_then(Json::as_str);
+                if kind != Some("shed") || out_of_attempts {
+                    // Non-retryable (or out of budget): the structured error
+                    // is the answer.
+                    return Ok(report(response));
+                }
+                sheds += 1;
+                let hint = response
+                    .get("error")
+                    .and_then(|e| e.get("retry_after_ms"))
+                    .and_then(Json::as_f64)
+                    .map(|ms| Duration::from_secs_f64(ms.max(0.0) / 1e3));
+                backed_off += self.sleep(backoff.next_delay(hint), should_stop)?;
+                continue;
+            }
+
+            let interrupted = response.get("outcome").and_then(Json::as_str) == Some("interrupted");
+            let token = response.get("resume_token").and_then(Json::as_str);
+            match token {
+                Some(token) if interrupted && !out_of_attempts => {
+                    // Forward progress, no pause: the server handed us a
+                    // checkpoint, continue the search under the same budget.
+                    resumed_segments += 1;
+                    line = resume_line(id.as_ref(), token, deadline_ms.as_ref());
+                }
+                _ => return Ok(report(response)),
+            }
+        }
+    }
+
+    /// One connect → send → receive round-trip on a fresh connection.
+    fn roundtrip(&self, line: &str, should_stop: &dyn Fn() -> bool) -> Result<String, String> {
+        let give_up = Instant::now() + self.policy.io_timeout;
+        let mut stream = TcpStream::connect_timeout(
+            &self.addr,
+            self.policy.io_timeout.min(Duration::from_secs(5)),
+        )
+        .map_err(|e| format!("connect {}: {e}", self.addr))?;
+        let _ = stream.set_nodelay(true);
+        stream
+            .set_write_timeout(Some(self.policy.io_timeout))
+            .map_err(|e| format!("set timeout: {e}"))?;
+        stream
+            .write_all(format!("{line}\n").as_bytes())
+            .and_then(|_| stream.flush())
+            .map_err(|e| format!("send: {e}"))?;
+
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+        let mut carry: Vec<u8> = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(nl) = carry.iter().position(|&b| b == b'\n') {
+                return Ok(String::from_utf8_lossy(&carry[..nl]).into_owned());
+            }
+            if should_stop() {
+                return Err("cancelled by caller".to_string());
+            }
+            if Instant::now() >= give_up {
+                return Err("no response within the io timeout".to_string());
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => return Err("server closed the connection".to_string()),
+                Ok(n) => carry.extend_from_slice(&chunk[..n]),
+                Err(e) if matches!(e.kind(), IoKind::WouldBlock | IoKind::TimedOut) => {}
+                Err(e) if e.kind() == IoKind::Interrupted => {}
+                Err(e) => return Err(format!("recv: {e}")),
+            }
+        }
+    }
+
+    /// Sleep for `delay` in small slices, aborting early if `should_stop`
+    /// turns true. Returns the time actually slept.
+    fn sleep(&self, delay: Duration, should_stop: &dyn Fn() -> bool) -> Result<Duration, String> {
+        let start = Instant::now();
+        let until = start + delay;
+        while Instant::now() < until {
+            if should_stop() {
+                return Err("cancelled by caller".to_string());
+            }
+            let left = until.saturating_duration_since(Instant::now());
+            std::thread::sleep(Duration::from_millis(10).min(left));
+        }
+        Ok(start.elapsed())
+    }
+}
+
+/// The follow-up line that redeems `token`, echoing the original request id
+/// and latency budget.
+fn resume_line(id: Option<&Json>, token: &str, deadline_ms: Option<&Json>) -> String {
+    let mut pairs = vec![
+        ("op".to_string(), Json::str("resume")),
+        ("token".to_string(), Json::str(token)),
+    ];
+    if let Some(id) = id {
+        pairs.insert(0, ("id".to_string(), id.clone()));
+    }
+    if let Some(ms) = deadline_ms {
+        pairs.push(("deadline_ms".to_string(), ms.clone()));
+    }
+    Json::Obj(pairs).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(10),
+            seed,
+        }
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_per_seed() {
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let mut b = Backoff::new(&policy(seed));
+            (0..6).map(|_| b.next_delay(None)).collect()
+        };
+        assert_eq!(schedule(42), schedule(42), "same seed, same schedule");
+        assert_ne!(
+            schedule(42),
+            schedule(43),
+            "different seed, different jitter"
+        );
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_within_bounds() {
+        let p = policy(7);
+        let mut b = Backoff::new(&p);
+        for i in 0..10u32 {
+            let ceiling = p.max_backoff.min(p.base_backoff * (1 << i.min(20)));
+            let d = b.next_delay(None);
+            assert!(d >= ceiling / 2, "attempt {i}: {d:?} below half-ceiling");
+            assert!(d <= ceiling, "attempt {i}: {d:?} above ceiling {ceiling:?}");
+        }
+    }
+
+    #[test]
+    fn retry_after_hint_is_a_floor() {
+        let mut b = Backoff::new(&policy(1));
+        let hint = Duration::from_secs(30); // far above the 2s cap
+        assert_eq!(b.next_delay(Some(hint)), hint);
+        // A hint below the jittered delay does not shrink it.
+        let mut b = Backoff::new(&policy(1));
+        let tiny = Duration::from_nanos(1);
+        assert!(b.next_delay(Some(tiny)) >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn resume_lines_echo_id_and_budget() {
+        let id = Json::str("rq-1");
+        let ms = Json::Num(250.0);
+        let line = resume_line(Some(&id), "rt-f00", Some(&ms));
+        let v = Json::parse(&line).expect("valid JSON");
+        assert_eq!(v.get("op").and_then(Json::as_str), Some("resume"));
+        assert_eq!(v.get("token").and_then(Json::as_str), Some("rt-f00"));
+        assert_eq!(v.get("id").and_then(Json::as_str), Some("rq-1"));
+        assert_eq!(v.get("deadline_ms").and_then(Json::as_f64), Some(250.0));
+        let bare = resume_line(None, "rt-f00", None);
+        let v = Json::parse(&bare).expect("valid JSON");
+        assert!(v.get("id").is_none() && v.get("deadline_ms").is_none());
+    }
+}

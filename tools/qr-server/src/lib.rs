@@ -23,23 +23,34 @@
 //!   `shed`, `interrupted`, `internal` — so nothing crosses the socket as a
 //!   raw panic,
 //! * graceful drain on shutdown, and a `metrics` op dumping aggregated
-//!   [`qr_core::StatsAggregate`] numbers plus server counters.
+//!   [`qr_core::StatsAggregate`] numbers plus server counters,
+//! * **resumable solves**: an interrupted solve parks its checkpoint in a
+//!   bounded, TTL'd [resume table](resume::ResumeTable) and hands the
+//!   client a one-shot `resume_token`; a follow-up `{"op":"resume"}` — on
+//!   any connection — continues the search where it stopped, under a fresh
+//!   `deadline_ms`. The [retrying client](client::RetryingClient) closes
+//!   the loop: jittered exponential backoff on `shed` (honoring
+//!   `retry_after_ms`), token chaining on `interrupted`.
 //!
-//! See the repository README ("Running the server") for the wire protocol
-//! and an example session.
+//! See the repository README ("Running the server" and "Resumable solves")
+//! for the wire protocol and example sessions.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod client;
 pub mod json;
 pub mod metrics;
 pub mod pool;
 pub mod protocol;
+pub mod resume;
 pub mod server;
 
+pub use client::{Backoff, RetryPolicy, RetryingClient, SolveReport};
 pub use json::Json;
 pub use metrics::Metrics;
 pub use pool::SessionPool;
-pub use protocol::{ErrorKind, Request, SolveRequest, WireError, MAX_LINE_BYTES};
+pub use protocol::{ErrorKind, Request, ResumeRequest, SolveRequest, WireError, MAX_LINE_BYTES};
+pub use resume::{ResumeCounters, ResumeTable};
 pub use server::{start, ServerConfig, ServerHandle};

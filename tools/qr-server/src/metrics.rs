@@ -9,6 +9,7 @@
 
 use crate::json::Json;
 use crate::pool::PoolCounters;
+use crate::resume::ResumeCounters;
 use qr_core::{lock_or_recover, RefinementStats, StatsAggregate};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -32,6 +33,8 @@ pub struct Metrics {
     pub completed: AtomicUsize,
     /// Malformed requests answered with `bad_request`.
     pub bad_requests: AtomicUsize,
+    /// `resume` requests received (token redemption attempts, valid or not).
+    pub resume_ops: AtomicUsize,
     /// Worker panics converted to `internal` errors.
     pub internal_errors: AtomicUsize,
     /// Connections whose read timed out (byte-dribbling or idle clients).
@@ -73,7 +76,7 @@ impl Metrics {
     }
 
     /// Render the full metrics payload for a `metrics` response.
-    pub fn render(&self, id: Option<&Json>, pool: PoolCounters) -> String {
+    pub fn render(&self, id: Option<&Json>, pool: PoolCounters, resume: ResumeCounters) -> String {
         let load = |c: &AtomicUsize| Json::count(c.load(Ordering::Relaxed));
         let us = |c: &AtomicU64| Json::Num(c.load(Ordering::Relaxed) as f64 / 1e3);
 
@@ -84,6 +87,7 @@ impl Metrics {
             ("timed_out", load(&self.timed_out)),
             ("completed", load(&self.completed)),
             ("bad_requests", load(&self.bad_requests)),
+            ("resume_ops", load(&self.resume_ops)),
             ("internal_errors", load(&self.internal_errors)),
             ("read_timeouts", load(&self.read_timeouts)),
             ("connections", load(&self.connections)),
@@ -98,6 +102,13 @@ impl Metrics {
             ("resident_sessions", Json::count(pool.resident)),
             ("session_builds", Json::count(pool.builds)),
             ("session_evictions", Json::count(pool.evictions)),
+        ]);
+        let resume = Json::obj(vec![
+            ("resident_checkpoints", Json::count(resume.resident)),
+            ("tokens_issued", Json::count(resume.issued)),
+            ("tokens_redeemed", Json::count(resume.redeemed)),
+            ("tokens_expired", Json::count(resume.expired)),
+            ("tokens_evicted", Json::count(resume.evicted)),
         ]);
         let agg = lock_or_recover(&self.stats).clone();
         let solver = Json::obj(vec![
@@ -114,6 +125,9 @@ impl Metrics {
             ("cold_lp_solves", Json::count(agg.cold_lp_solves)),
             ("refactorizations", Json::count(agg.refactorizations)),
             ("eta_updates", Json::count(agg.eta_updates)),
+            ("resumed_solves", Json::count(agg.resumed_solves)),
+            ("nodes_restored", Json::count(agg.nodes_restored)),
+            ("resume_captures", Json::count(agg.resume_captures)),
             (
                 "candidates_evaluated",
                 Json::count(agg.candidates_evaluated),
@@ -130,6 +144,7 @@ impl Metrics {
             ("server".to_string(), server),
             ("latency".to_string(), latency),
             ("pool".to_string(), pool),
+            ("resume".to_string(), resume),
             ("solver".to_string(), solver),
         ];
         if let Some(id) = id {
@@ -156,6 +171,13 @@ mod tests {
                 builds: 4,
                 evictions: 2,
             },
+            ResumeCounters {
+                resident: 1,
+                issued: 3,
+                redeemed: 2,
+                expired: 0,
+                evicted: 0,
+            },
         );
         let v = Json::parse(&rendered).expect("valid JSON");
         assert_eq!(v.get("id").and_then(Json::as_str), Some("m1"));
@@ -169,7 +191,17 @@ mod tests {
             pool.get("session_evictions").and_then(Json::as_u64),
             Some(2)
         );
-        assert!(v.get("solver").and_then(|s| s.get("solves")).is_some());
+        let resume = v.get("resume").expect("resume block");
+        assert_eq!(resume.get("tokens_issued").and_then(Json::as_u64), Some(3));
+        assert_eq!(
+            resume.get("resident_checkpoints").and_then(Json::as_u64),
+            Some(1)
+        );
+        let solver = v.get("solver").expect("solver block");
+        assert!(solver.get("solves").is_some());
+        assert!(solver.get("resumed_solves").is_some());
+        assert!(solver.get("nodes_restored").is_some());
+        assert!(solver.get("resume_captures").is_some());
     }
 
     #[test]

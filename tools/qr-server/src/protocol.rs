@@ -1,7 +1,7 @@
 //! The wire protocol: request parsing and response rendering.
 //!
 //! One JSON object per line, in both directions. Requests name an `op`
-//! (`solve`, `metrics`, `ping`, `shutdown`); responses echo the request's
+//! (`solve`, `resume`, `metrics`, `ping`, `shutdown`); responses echo the request's
 //! `id` (when one was given) and carry either the op's payload or a
 //! structured error. Errors form a small closed taxonomy — [`ErrorKind`] —
 //! so clients can branch on `error.kind` instead of scraping messages, and
@@ -146,11 +146,25 @@ pub struct SolveRequest {
     pub deadline: Option<Duration>,
 }
 
+/// One parsed resume request: redeem a `resume_token` from an earlier
+/// interrupted solve and continue that search under a fresh latency budget.
+#[derive(Debug, Clone)]
+pub struct ResumeRequest {
+    /// Client-chosen request id, echoed verbatim in the response.
+    pub id: Option<Json>,
+    /// The one-shot token from an earlier interrupted solve response.
+    pub token: String,
+    /// Latency budget for the resumed segment, if any.
+    pub deadline: Option<Duration>,
+}
+
 /// Any parsed request line.
 #[derive(Debug, Clone)]
 pub enum Request {
     /// Run a refinement solve.
     Solve(Box<SolveRequest>),
+    /// Continue an earlier interrupted solve from its checkpoint.
+    Resume(Box<ResumeRequest>),
     /// Dump aggregated statistics and server counters.
     Metrics {
         /// Echoed request id.
@@ -173,6 +187,7 @@ impl Request {
     pub fn id(&self) -> Option<&Json> {
         match self {
             Request::Solve(s) => s.id.as_ref(),
+            Request::Resume(r) => r.id.as_ref(),
             Request::Metrics { id } | Request::Ping { id } | Request::Shutdown { id } => {
                 id.as_ref()
             }
@@ -205,8 +220,9 @@ impl Request {
             "metrics" => Ok(Request::Metrics { id }),
             "shutdown" => Ok(Request::Shutdown { id }),
             "solve" => Ok(Request::Solve(Box::new(parse_solve(value, id)?))),
+            "resume" => Ok(Request::Resume(Box::new(parse_resume(value, id)?))),
             other => Err(WireError::bad_request(format!(
-                "unknown op `{other}` (expected solve, metrics, ping or shutdown)"
+                "unknown op `{other}` (expected solve, resume, metrics, ping or shutdown)"
             ))),
         }
     }
@@ -249,17 +265,7 @@ fn parse_solve(value: &Json, id: Option<Json>) -> Result<SolveRequest, WireError
         }
     };
 
-    let deadline = match value.get("deadline_ms") {
-        None => None,
-        Some(v) => match v.as_f64() {
-            Some(ms) if ms > 0.0 && ms <= 86_400_000.0 => Some(Duration::from_secs_f64(ms / 1e3)),
-            _ => {
-                return Err(WireError::bad_request(
-                    "`deadline_ms` must be a positive number of milliseconds (at most one day)",
-                ))
-            }
-        },
-    };
+    let deadline = parse_deadline(value)?;
 
     let mut constraints = ConstraintSet::new();
     if let Some(v) = value.get("constraints") {
@@ -285,6 +291,40 @@ fn parse_solve(value: &Json, id: Option<Json>) -> Result<SolveRequest, WireError
         distance,
         constraints,
         deadline,
+    })
+}
+
+fn parse_deadline(value: &Json) -> Result<Option<Duration>, WireError> {
+    match value.get("deadline_ms") {
+        None => Ok(None),
+        Some(v) => match v.as_f64() {
+            Some(ms) if ms > 0.0 && ms <= 86_400_000.0 => {
+                Ok(Some(Duration::from_secs_f64(ms / 1e3)))
+            }
+            _ => Err(WireError::bad_request(
+                "`deadline_ms` must be a positive number of milliseconds (at most one day)",
+            )),
+        },
+    }
+}
+
+/// Longest resume token the server will accept; real tokens are far shorter,
+/// the bound just keeps a hostile `token` field from being stored anywhere.
+const MAX_TOKEN_BYTES: usize = 128;
+
+fn parse_resume(value: &Json, id: Option<Json>) -> Result<ResumeRequest, WireError> {
+    let Some(token) = value.get("token").and_then(Json::as_str) else {
+        return Err(WireError::bad_request("missing string field `token`"));
+    };
+    if token.is_empty() || token.len() > MAX_TOKEN_BYTES {
+        return Err(WireError::bad_request(format!(
+            "`token` must be 1..={MAX_TOKEN_BYTES} bytes"
+        )));
+    }
+    Ok(ResumeRequest {
+        id,
+        token: token.to_string(),
+        deadline: parse_deadline(value)?,
     })
 }
 
@@ -317,11 +357,14 @@ fn parse_constraint(item: &Json) -> Result<CardinalityConstraint, WireError> {
 
 /// Render a successful solve response (including deadline-exceeded solves,
 /// which degrade to `outcome: "interrupted"` with the best incumbent and
-/// full stats rather than an error).
+/// full stats rather than an error). When the interrupted solve left a
+/// redeemable checkpoint, `resume_token` carries the one-shot token a
+/// follow-up `{"op":"resume"}` can continue the search with.
 pub fn render_solve_response(
     id: Option<&Json>,
     outcome: &RefinementOutcome,
     stats: &RefinementStats,
+    resume_token: Option<&str>,
 ) -> String {
     let (outcome_name, refined) = match outcome {
         RefinementOutcome::Refined(r) => ("refined", Some(r)),
@@ -351,6 +394,8 @@ pub fn render_solve_response(
         ("nodes", Json::count(stats.nodes)),
         ("lp_solves", Json::count(stats.lp_solves)),
         ("interrupted", Json::Bool(stats.interrupted)),
+        ("resumed_solves", Json::count(stats.resumed_solves)),
+        ("nodes_restored", Json::count(stats.nodes_restored)),
     ]);
     let mut pairs = vec![
         ("ok".to_string(), Json::Bool(true)),
@@ -358,6 +403,9 @@ pub fn render_solve_response(
         ("refined".to_string(), refined_json),
         ("stats".to_string(), stats_json),
     ];
+    if let Some(token) = resume_token {
+        pairs.push(("resume_token".to_string(), Json::str(token)));
+    }
     if let Some(id) = id {
         pairs.insert(0, ("id".to_string(), id.clone()));
     }
@@ -436,6 +484,45 @@ mod tests {
         }
         let (id, _) = Request::parse(r#"{"id":"rq-1","op":"wat"}"#).expect_err("bad op");
         assert_eq!(id, Some(Json::str("rq-1")));
+    }
+
+    #[test]
+    fn parses_a_resume_request() {
+        let Request::Resume(r) = Request::parse(
+            r#"{"op":"resume","id":"r1","token":"rt-00deadbeef00cafe","deadline_ms":250}"#,
+        )
+        .expect("parses") else {
+            panic!("not a resume");
+        };
+        assert_eq!(r.id, Some(Json::str("r1")));
+        assert_eq!(r.token, "rt-00deadbeef00cafe");
+        assert_eq!(r.deadline, Some(Duration::from_millis(250)));
+
+        for (line, needle) in [
+            (r#"{"op":"resume"}"#, "missing string field `token`"),
+            (r#"{"op":"resume","token":""}"#, "`token` must be"),
+            (
+                r#"{"op":"resume","token":"t","deadline_ms":0}"#,
+                "deadline_ms",
+            ),
+        ] {
+            let (_, err) = Request::parse(line).expect_err(line);
+            assert_eq!(err.kind, ErrorKind::BadRequest, "{line}");
+            assert!(err.message.contains(needle), "{line} -> {}", err.message);
+        }
+    }
+
+    #[test]
+    fn solve_responses_carry_the_resume_token_only_when_given() {
+        let stats = RefinementStats::default();
+        let outcome = RefinementOutcome::Interrupted { best: None };
+        let with = render_solve_response(None, &outcome, &stats, Some("rt-1"));
+        let v = Json::parse(&with).expect("valid JSON");
+        assert_eq!(v.get("resume_token").and_then(Json::as_str), Some("rt-1"));
+        assert_eq!(v.get("outcome").and_then(Json::as_str), Some("interrupted"));
+        let without = render_solve_response(None, &outcome, &stats, None);
+        let v = Json::parse(&without).expect("valid JSON");
+        assert!(v.get("resume_token").is_none());
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! The resume-token table: server-side storage for suspended solves.
+//!
+//! When a solve ends interrupted with checkpointable search state, the
+//! worker stores the [`SessionResume`] here and puts the returned token in
+//! the wire response. A follow-up `{"op":"resume","token":...}` — on the
+//! same connection or a brand-new one — redeems the token and continues the
+//! search where it stopped.
+//!
+//! The table is deliberately bounded in every dimension a client could
+//! abuse:
+//!
+//! * **capacity** — beyond it the least-recently-stored/redeemed entry is
+//!   evicted (a frontier of warm bases is the most memory-expensive thing a
+//!   request can pin on the server),
+//! * **TTL** — entries expire after a configurable age; expired entries are
+//!   swept opportunistically on every store/take and refuse redemption,
+//! * **drain** — [`ResumeTable::clear`] empties the table when the server
+//!   shuts down, so a draining server never resurrects a solve.
+//!
+//! Tokens are one-shot: redeeming removes the entry, and a re-interrupted
+//! resumed solve stores its new state under a *fresh* token. Token strings
+//! mix a per-table random nonce into a serial counter, so they are not
+//! guessable across servers, but they are capabilities only in the
+//! rate-limiting sense — the payloads they guard are query refinements, not
+//! secrets.
+
+use qr_core::SessionResume;
+use qr_core::{lock_or_recover, RefinementSession};
+use std::collections::hash_map::RandomState;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One suspended solve, waiting for its token to be redeemed.
+struct Entry {
+    /// Dataset the interrupted solve ran against (names the pool session).
+    dataset: String,
+    /// The session whose snapshot the checkpoint is pinned to. Holding the
+    /// `Arc` keeps the checkpoint redeemable even if the pool's LRU evicts
+    /// the dataset in the meantime.
+    session: Arc<RefinementSession>,
+    /// The suspended search state.
+    resume: SessionResume,
+    /// When the entry was stored (for TTL expiry).
+    stored_at: Instant,
+    /// Last-use tick backing the LRU order.
+    last_touched: u64,
+}
+
+struct Inner {
+    entries: HashMap<String, Entry>,
+    /// Monotonic use counter backing the LRU order.
+    tick: u64,
+    /// Serial part of the next token.
+    next_serial: u64,
+    /// Lifetime tokens issued.
+    issued: usize,
+    /// Lifetime tokens redeemed (successful `take`s).
+    redeemed: usize,
+    /// Lifetime entries dropped by TTL expiry.
+    expired: usize,
+    /// Lifetime entries dropped by LRU eviction.
+    evicted: usize,
+}
+
+/// Occupancy and lifetime counters for the metrics endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumeCounters {
+    /// Entries currently resident.
+    pub resident: usize,
+    /// Lifetime tokens issued.
+    pub issued: usize,
+    /// Lifetime tokens redeemed.
+    pub redeemed: usize,
+    /// Lifetime entries dropped by TTL expiry.
+    pub expired: usize,
+    /// Lifetime entries dropped by LRU eviction.
+    pub evicted: usize,
+}
+
+/// Bounded, TTL'd, LRU-evicted storage of suspended solves keyed by resume
+/// token. One per server, shared by every worker.
+pub struct ResumeTable {
+    capacity: usize,
+    ttl: Duration,
+    /// Per-table random nonce mixed into every token.
+    nonce: u64,
+    inner: Mutex<Inner>,
+}
+
+impl ResumeTable {
+    /// A table holding at most `capacity` suspended solves (minimum 1), each
+    /// redeemable for `ttl` after it is stored.
+    pub fn new(capacity: usize, ttl: Duration) -> Self {
+        ResumeTable {
+            capacity: capacity.max(1),
+            ttl,
+            nonce: RandomState::new().build_hasher().finish(),
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                tick: 0,
+                next_serial: 0,
+                issued: 0,
+                redeemed: 0,
+                expired: 0,
+                evicted: 0,
+            }),
+        }
+    }
+
+    /// Store one suspended solve and return its fresh, one-shot token.
+    ///
+    /// Sweeps expired entries first; if the table is still full, the
+    /// least-recently-touched entry is evicted to make room.
+    pub fn store(
+        &self,
+        dataset: &str,
+        session: Arc<RefinementSession>,
+        resume: SessionResume,
+    ) -> String {
+        let now = Instant::now();
+        let mut inner = lock_or_recover(&self.inner);
+        Self::sweep(&mut inner, now, self.ttl);
+        if inner.entries.len() >= self.capacity {
+            if let Some(victim) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_touched)
+                .map(|(token, _)| token.clone())
+            {
+                inner.entries.remove(&victim);
+                inner.evicted += 1;
+            }
+        }
+        let serial = inner.next_serial;
+        inner.next_serial += 1;
+        let token = format!("rt-{:016x}", mix(self.nonce, serial));
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.issued += 1;
+        inner.entries.insert(
+            token.clone(),
+            Entry {
+                dataset: dataset.to_string(),
+                session,
+                resume,
+                stored_at: now,
+                last_touched: tick,
+            },
+        );
+        token
+    }
+
+    /// Redeem a token: remove and return its suspended solve, or `None` for
+    /// a token that is unknown, already redeemed, expired, or cleared by a
+    /// drain.
+    pub fn take(&self, token: &str) -> Option<(String, Arc<RefinementSession>, SessionResume)> {
+        let now = Instant::now();
+        let mut inner = lock_or_recover(&self.inner);
+        Self::sweep(&mut inner, now, self.ttl);
+        let entry = inner.entries.remove(token)?;
+        inner.redeemed += 1;
+        Some((entry.dataset, entry.session, entry.resume))
+    }
+
+    /// Drop every entry (drain): a shutting-down server never resurrects a
+    /// suspended solve.
+    pub fn clear(&self) {
+        let mut inner = lock_or_recover(&self.inner);
+        let dropped = inner.entries.len();
+        inner.entries.clear();
+        inner.expired += dropped;
+    }
+
+    /// Occupancy and lifetime counters for the metrics endpoint.
+    pub fn counters(&self) -> ResumeCounters {
+        let mut inner = lock_or_recover(&self.inner);
+        Self::sweep(&mut inner, Instant::now(), self.ttl);
+        ResumeCounters {
+            resident: inner.entries.len(),
+            issued: inner.issued,
+            redeemed: inner.redeemed,
+            expired: inner.expired,
+            evicted: inner.evicted,
+        }
+    }
+
+    fn sweep(inner: &mut Inner, now: Instant, ttl: Duration) {
+        let before = inner.entries.len();
+        inner
+            .entries
+            .retain(|_, e| now.duration_since(e.stored_at) <= ttl);
+        inner.expired += before - inner.entries.len();
+    }
+}
+
+/// splitmix64 finalizer: spreads the serial across the token bits so
+/// consecutive tokens share no visible structure.
+fn mix(nonce: u64, serial: u64) -> u64 {
+    let mut z = nonce ^ serial.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr_core::paper_example::{paper_database, scholarship_query};
+    use qr_core::{CancelToken, RefinementRequest, SolveControl};
+
+    fn suspended() -> (Arc<RefinementSession>, SessionResume) {
+        let session =
+            Arc::new(RefinementSession::new(paper_database(), scholarship_query()).unwrap());
+        let token = CancelToken::new();
+        token.cancel();
+        // Constraints the original query violates at ε = 0, so the session's
+        // exact fast path cannot answer before the solver sees the cancelled
+        // token and checkpoints.
+        let request = RefinementRequest::new()
+            .with_constraint(qr_core::CardinalityConstraint::at_least(
+                qr_core::Group::single("Gender", "F"),
+                6,
+                3,
+            ))
+            .with_constraint(qr_core::CardinalityConstraint::at_most(
+                qr_core::Group::single("Income", "High"),
+                3,
+                1,
+            ))
+            .with_epsilon(0.0)
+            .with_cancel_token(token);
+        let result = session.solve(&request).unwrap();
+        let resume = result.resume.expect("pre-cancelled solve checkpoints");
+        (session, resume)
+    }
+
+    #[test]
+    fn tokens_are_one_shot_and_unique() {
+        let (session, resume) = suspended();
+        let table = ResumeTable::new(4, Duration::from_secs(60));
+        let t1 = table.store("paper", Arc::clone(&session), resume.clone());
+        let t2 = table.store("paper", Arc::clone(&session), resume);
+        assert_ne!(t1, t2);
+        assert!(table.take(&t1).is_some());
+        assert!(table.take(&t1).is_none(), "redeeming consumes the entry");
+        let c = table.counters();
+        assert_eq!((c.resident, c.issued, c.redeemed), (1, 2, 1));
+    }
+
+    #[test]
+    fn capacity_evicts_the_least_recently_stored() {
+        let (session, resume) = suspended();
+        let table = ResumeTable::new(2, Duration::from_secs(60));
+        let t1 = table.store("paper", Arc::clone(&session), resume.clone());
+        let t2 = table.store("paper", Arc::clone(&session), resume.clone());
+        let t3 = table.store("paper", Arc::clone(&session), resume);
+        assert!(table.take(&t1).is_none(), "t1 was the LRU victim");
+        assert!(table.take(&t2).is_some());
+        assert!(table.take(&t3).is_some());
+        assert_eq!(table.counters().evicted, 1);
+    }
+
+    #[test]
+    fn ttl_expires_entries_and_clear_drops_everything() {
+        let (session, resume) = suspended();
+        let table = ResumeTable::new(4, Duration::from_millis(20));
+        let t = table.store("paper", Arc::clone(&session), resume.clone());
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(table.take(&t).is_none(), "expired token refuses redemption");
+        assert_eq!(table.counters().expired, 1);
+
+        let long = ResumeTable::new(4, Duration::from_secs(60));
+        long.store("paper", Arc::clone(&session), resume.clone());
+        long.store("paper", Arc::clone(&session), resume);
+        long.clear();
+        assert_eq!(long.counters().resident, 0, "drain clears the table");
+    }
+
+    #[test]
+    fn redeemed_state_actually_resumes() {
+        let (session, resume) = suspended();
+        let table = ResumeTable::new(4, Duration::from_secs(60));
+        let token = table.store("paper", Arc::clone(&session), resume);
+        let (dataset, session, resume) = table.take(&token).expect("redeemable");
+        assert_eq!(dataset, "paper");
+        let result = session.resume(&resume, &SolveControl::new()).unwrap();
+        assert!(result.outcome.refined().is_some(), "resume completes");
+        assert!(result.stats.nodes_restored > 0);
+    }
+}

@@ -33,8 +33,14 @@
 
 use crate::metrics::Metrics;
 use crate::pool::SessionPool;
-use crate::protocol::{render_ack, render_solve_response, Request, SolveRequest, WireError};
-use qr_core::{lock_or_recover, CancelToken, RefinementRequest};
+use crate::protocol::{
+    render_ack, render_solve_response, Request, ResumeRequest, SolveRequest, WireError,
+};
+use crate::resume::ResumeTable;
+use qr_core::{
+    lock_or_recover, CancelToken, RefinementRequest, RefinementResult, RefinementSession,
+    SolveControl,
+};
 use std::collections::VecDeque;
 use std::io::{ErrorKind as IoKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -67,6 +73,10 @@ pub struct ServerConfig {
     /// Hard per-solve wall-clock ceiling, composed (tightening) with any
     /// per-request deadline.
     pub max_solve_time: Duration,
+    /// Maximum suspended solves the resume table keeps (LRU beyond this).
+    pub resume_capacity: usize,
+    /// How long an unredeemed resume token stays valid.
+    pub resume_ttl: Duration,
 }
 
 impl Default for ServerConfig {
@@ -79,13 +89,38 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(10),
             max_solve_time: Duration::from_secs(120),
+            resume_capacity: 64,
+            resume_ttl: Duration::from_secs(15 * 60),
+        }
+    }
+}
+
+/// What an admitted job asks a worker to run: a fresh solve, or the
+/// continuation of a checkpointed one.
+enum Work {
+    Solve(SolveRequest),
+    Resume(ResumeRequest),
+}
+
+impl Work {
+    fn id(&self) -> Option<&crate::json::Json> {
+        match self {
+            Work::Solve(s) => s.id.as_ref(),
+            Work::Resume(r) => r.id.as_ref(),
+        }
+    }
+
+    fn deadline(&self) -> Option<Duration> {
+        match self {
+            Work::Solve(s) => s.deadline,
+            Work::Resume(r) => r.deadline,
         }
     }
 }
 
 /// One admitted solve job.
 struct Job {
-    request: SolveRequest,
+    work: Work,
     token: CancelToken,
     token_id: u64,
     enqueued_at: Instant,
@@ -111,6 +146,8 @@ pub struct Shared {
     pub metrics: Metrics,
     /// The session pool.
     pub pool: SessionPool,
+    /// Suspended interrupted solves, redeemable by resume token.
+    pub resume_table: ResumeTable,
 }
 
 impl Shared {
@@ -120,19 +157,21 @@ impl Shared {
         self.shutdown.load(Ordering::Acquire)
     }
 
-    /// Trigger drain: stop accepting, cancel every in-flight token, wake
+    /// Trigger drain: stop accepting, cancel every in-flight token, clear
+    /// the resume table (a draining server never resurrects a solve), wake
     /// the workers. Idempotent.
     pub fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::Release);
         for (_, token) in lock_or_recover(&self.active).iter() {
             token.cancel();
         }
+        self.resume_table.clear();
         self.queue_cv.notify_all();
     }
 
     /// Admission control: returns the reply channel for an accepted job, or
     /// a `shed` error with a retry-after hint.
-    fn admit(&self, request: SolveRequest) -> Result<(Receiver<String>, CancelToken), WireError> {
+    fn admit(&self, work: Work) -> Result<(Receiver<String>, CancelToken), WireError> {
         let depth = self.metrics.queue_depth.load(Ordering::Relaxed);
         let ewma_us = self.ewma_solve_us.load(Ordering::Relaxed);
         let estimated_wait = Duration::from_micros(ewma_us.saturating_mul(depth as u64 + 1));
@@ -145,7 +184,7 @@ impl Shared {
                 retry_after,
             ));
         }
-        if let Some(budget) = request.deadline {
+        if let Some(budget) = work.deadline() {
             if estimated_wait > budget {
                 self.metrics.shed.fetch_add(1, Ordering::Relaxed);
                 return Err(WireError::shed(
@@ -165,8 +204,8 @@ impl Shared {
         let now = Instant::now();
         let (tx, rx) = std::sync::mpsc::sync_channel(1);
         let job = Job {
-            deadline_at: request.deadline.map(|d| now + d),
-            request,
+            deadline_at: work.deadline().map(|d| now + d),
+            work,
             token: token.clone(),
             token_id,
             enqueued_at: now,
@@ -246,6 +285,10 @@ impl ServerHandle {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        // Workers are gone, so nothing can store a checkpoint anymore; this
+        // final sweep makes "drain leaves the resume table empty" hold even
+        // against a worker's store racing `begin_shutdown`'s clear.
+        self.shared.resume_table.clear();
     }
 }
 
@@ -257,6 +300,7 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
 
     let shared = Arc::new(Shared {
         pool: SessionPool::new(config.pool_capacity),
+        resume_table: ResumeTable::new(config.resume_capacity, config.resume_ttl),
         metrics: Metrics::new(),
         queue: Mutex::new(VecDeque::new()),
         queue_cv: Condvar::new(),
@@ -453,7 +497,11 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                 }
             }
             Request::Metrics { id } => {
-                let body = shared.metrics.render(id.as_ref(), shared.pool.counters());
+                let body = shared.metrics.render(
+                    id.as_ref(),
+                    shared.pool.counters(),
+                    shared.resume_table.counters(),
+                );
                 if !write_line(&mut stream, &body) {
                     return;
                 }
@@ -465,17 +513,15 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
             }
             Request::Solve(solve) => {
                 let id = solve.id.clone();
-                match shared.admit(*solve) {
-                    Err(err) => {
-                        if !write_line(&mut stream, &err.render(id.as_ref())) {
-                            return;
-                        }
-                    }
-                    Ok((reply, token)) => {
-                        if !await_reply(&mut stream, &reply, &token, shared) {
-                            return;
-                        }
-                    }
+                if !dispatch(&mut stream, Work::Solve(*solve), id, shared) {
+                    return;
+                }
+            }
+            Request::Resume(resume) => {
+                shared.metrics.resume_ops.fetch_add(1, Ordering::Relaxed);
+                let id = resume.id.clone();
+                if !dispatch(&mut stream, Work::Resume(*resume), id, shared) {
+                    return;
                 }
             }
         }
@@ -484,6 +530,20 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     // Draining: tell the client why the connection is going away.
     let err = WireError::interrupted("server is shutting down");
     let _ = write_line(&mut stream, &err.render(None));
+}
+
+/// Admit one unit of work and wait for its reply. Returns false when the
+/// connection is unusable.
+fn dispatch(
+    stream: &mut TcpStream,
+    work: Work,
+    id: Option<crate::json::Json>,
+    shared: &Arc<Shared>,
+) -> bool {
+    match shared.admit(work) {
+        Err(err) => write_line(stream, &err.render(id.as_ref())),
+        Ok((reply, token)) => await_reply(stream, &reply, &token, shared),
+    }
 }
 
 /// Wait for the worker's reply while watching the socket for a client that
@@ -579,7 +639,7 @@ fn process_job(job: Job, shared: &Arc<Shared>) {
 
 fn solve_job(job: &Job, shared: &Arc<Shared>) -> String {
     let metrics = &shared.metrics;
-    let id = job.request.id.as_ref();
+    let id = job.work.id();
 
     if job.token.is_cancelled() {
         metrics.cancelled.fetch_add(1, Ordering::Relaxed);
@@ -591,28 +651,73 @@ fn solve_job(job: &Job, shared: &Arc<Shared>) -> String {
         return WireError::interrupted(reason).render(id);
     }
 
-    let session_start = Instant::now();
-    let session = match shared.pool.get_or_build(&job.request.dataset) {
-        Ok(s) => s,
-        Err(message) => {
-            metrics.internal_errors.fetch_add(1, Ordering::Relaxed);
-            return WireError::internal(message).render(id);
-        }
-    };
-    Metrics::add_latency(&metrics.session_us, session_start.elapsed());
-
-    let mut request = RefinementRequest::new()
-        .with_constraints(job.request.constraints.clone())
-        .with_epsilon(job.request.epsilon)
-        .with_distance(job.request.distance)
+    // One execution control per segment: cancel on disconnect/drain, the
+    // server's hard ceiling, and the request's own latency budget — the
+    // tightening builders guarantee composing them can only shorten the
+    // stop.
+    let mut control = SolveControl::new()
         .with_cancel_token(job.token.clone())
         .with_time_limit(shared.config.max_solve_time);
     if let Some(deadline_at) = job.deadline_at {
-        request = request.with_deadline(deadline_at);
+        control = control.with_deadline(deadline_at);
     }
 
-    let solve_start = Instant::now();
-    let solved = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| session.solve(&request)));
+    match &job.work {
+        Work::Solve(req) => {
+            let session_start = Instant::now();
+            let session = match shared.pool.get_or_build(&req.dataset) {
+                Ok(s) => s,
+                Err(message) => {
+                    metrics.internal_errors.fetch_add(1, Ordering::Relaxed);
+                    return WireError::internal(message).render(id);
+                }
+            };
+            Metrics::add_latency(&metrics.session_us, session_start.elapsed());
+
+            let request = RefinementRequest::new()
+                .with_constraints(req.constraints.clone())
+                .with_epsilon(req.epsilon)
+                .with_distance(req.distance)
+                .with_control(control);
+            let solve_start = Instant::now();
+            let solved =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| session.solve(&request)));
+            finish_segment(job, shared, &req.dataset, &session, solved, solve_start)
+        }
+        Work::Resume(req) => {
+            let session_start = Instant::now();
+            // Redeeming is one-shot: a re-interrupted continuation is stored
+            // again under a fresh token by `finish_segment`.
+            let Some((dataset, session, resume)) = shared.resume_table.take(&req.token) else {
+                metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+                return WireError::bad_request("unknown, expired or already-redeemed resume token")
+                    .render(id);
+            };
+            Metrics::add_latency(&metrics.session_us, session_start.elapsed());
+
+            let solve_start = Instant::now();
+            let solved = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                session.resume(&resume, &control)
+            }));
+            finish_segment(job, shared, &dataset, &session, solved, solve_start)
+        }
+    }
+}
+
+/// Common tail of a fresh or resumed solve segment: map panics and errors
+/// onto the wire taxonomy, fold statistics into the aggregate, and — when
+/// the segment ended interrupted with open search state — park the
+/// checkpoint in the resume table and hand its token to the client.
+fn finish_segment(
+    job: &Job,
+    shared: &Arc<Shared>,
+    dataset: &str,
+    session: &Arc<RefinementSession>,
+    solved: std::thread::Result<qr_core::Result<RefinementResult>>,
+    solve_start: Instant,
+) -> String {
+    let metrics = &shared.metrics;
+    let id = job.work.id();
     let solve_time = solve_start.elapsed();
     Metrics::add_latency(&metrics.solve_us, solve_time);
 
@@ -623,6 +728,10 @@ fn solve_job(job: &Job, shared: &Arc<Shared>) -> String {
                 .render(id)
         }
         Ok(Err(e)) => {
+            // Covers stale resume state too (`CoreError::StaleResume` after
+            // a session mutation): the request named a checkpoint that no
+            // longer matches reality, which is the client's problem, stated
+            // structurally — the server stays healthy.
             metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
             WireError::bad_request(format!("solve rejected: {e}")).render(id)
         }
@@ -638,7 +747,19 @@ fn solve_job(job: &Job, shared: &Arc<Shared>) -> String {
                 metrics.completed.fetch_add(1, Ordering::Relaxed);
                 shared.note_solve_time(solve_time);
             }
-            render_solve_response(id, &result.outcome, &result.stats)
+            // A draining server must not issue new tokens: begin_shutdown
+            // already cleared the table and the final sweep in
+            // `ServerHandle::wait` catches the store/clear race.
+            let token = result
+                .resume
+                .as_ref()
+                .filter(|_| !shared.should_stop())
+                .map(|resume| {
+                    shared
+                        .resume_table
+                        .store(dataset, Arc::clone(session), resume.clone())
+                });
+            render_solve_response(id, &result.outcome, &result.stats, token.as_deref())
         }
     }
 }

@@ -231,6 +231,7 @@ pub fn erica_refine_prepared(
         resumed_solves,
         nodes_restored,
         resume_captures,
+        warm_entry_solves,
     } = solution.stats;
     stats.solver_time = solve_time;
     stats.nodes = nodes;
@@ -243,11 +244,12 @@ pub fn erica_refine_prepared(
     stats.lu_nnz = lu_nnz;
     stats.matrix_nnz = matrix_nnz;
     stats.interrupted = interrupted;
-    // Always zero today (the baseline never resumes), but routed rather than
-    // ignored so the merge stays exhaustive.
+    // Always zero today (the baseline never resumes nor warm-enters), but
+    // routed rather than ignored so the merge stays exhaustive.
     stats.resumed_solves = resumed_solves;
     stats.nodes_restored = nodes_restored;
     stats.resume_captures = resume_captures;
+    stats.cache_warm_starts = warm_entry_solves;
     stats.total_time = start.elapsed();
 
     // Any status with an assignment — Optimal, Feasible, or an interrupted

@@ -105,6 +105,7 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod constraint;
 pub mod distance;
 pub mod engine;
@@ -114,10 +115,12 @@ pub mod milp_model;
 pub mod naive;
 pub mod optimize;
 pub mod paper_example;
+pub mod portfolio;
 pub mod session;
 pub mod solver;
 pub mod sync;
 
+pub use cache::{CacheKey, CachedWarmStart, SolutionCache};
 pub use constraint::{BoundType, CardinalityConstraint, ConstraintSet, Group};
 pub use distance::{
     jaccard_topk_distance, kendall_topk_distance, predicate_distance, DistanceMeasure,
@@ -131,6 +134,7 @@ pub use error::{CoreError, Result};
 pub use milp_model::{build_model, BuiltModel, ModelVariables};
 pub use naive::{naive_search, naive_search_prepared, NaiveMode, NaiveOptions, NaiveResult};
 pub use optimize::OptimizationConfig;
+pub use portfolio::{PortfolioBackend, PortfolioEntry, PortfolioRace};
 pub use qr_milp::control::{CancelToken, SolveControl, SolveObserver, SolveProgress};
 pub use session::{
     exact_deviation, exact_distance, AnnotatedSnapshot, Mutation, RefinedQuery, RefinementOutcome,
@@ -142,6 +146,7 @@ pub use sync::{lock_or_recover, read_or_recover, write_or_recover};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
+    pub use crate::cache::SolutionCache;
     pub use crate::constraint::{BoundType, CardinalityConstraint, ConstraintSet, Group};
     pub use crate::distance::DistanceMeasure;
     #[allow(deprecated)]
@@ -150,6 +155,7 @@ pub mod prelude {
     pub use crate::error::{CoreError, Result as CoreResult};
     pub use crate::naive::{naive_search, NaiveMode, NaiveOptions};
     pub use crate::optimize::OptimizationConfig;
+    pub use crate::portfolio::{PortfolioBackend, PortfolioRace};
     pub use crate::session::{
         AnnotatedSnapshot, Mutation, RefinedQuery, RefinementOutcome, RefinementRequest,
         RefinementResult, RefinementSession, RefinementStats, SessionResume, SessionStats,

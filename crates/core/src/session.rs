@@ -207,6 +207,26 @@ pub struct RefinementStats {
     /// 1 when this solve ended interrupted with a resume checkpoint captured
     /// (see [`RefinementResult::resume`]), 0 otherwise (MILP backend only).
     pub resume_captures: usize,
+    /// 1 when this result was served from the session's
+    /// [`SolutionCache`](crate::cache::SolutionCache) memo — an exact
+    /// (family, version, ε) hit; no model was built and no solver ran.
+    /// A counter so it aggregates by addition.
+    pub cache_hits: usize,
+    /// 1 when a cache-enabled solve found no exact memo and had to run the
+    /// solver (possibly warm-started, see [`Self::cache_warm_starts`]).
+    /// Always 0 on sessions without a cache.
+    pub cache_misses: usize,
+    /// 1 when the MILP solve was seeded with a cached basis/incumbent from
+    /// the nearest solved ε of the same model family (cross-request warm
+    /// start; mirrors [`qr_milp::solution::SolveStats::warm_entry_solves`]).
+    pub cache_warm_starts: usize,
+    /// 1 when this result was produced by
+    /// [`RefinementSession::solve_portfolio`] racing several backends.
+    pub portfolio_races: usize,
+    /// Backend that won the portfolio race (`None` for non-portfolio solves
+    /// and for races that fell back to the MILP result without an acceptable
+    /// winner).
+    pub portfolio_winner: Option<crate::portfolio::PortfolioBackend>,
 }
 
 impl RefinementStats {
@@ -266,6 +286,20 @@ pub struct StatsAggregate {
     pub nodes_restored: usize,
     /// How many recorded solves ended with a resume checkpoint captured.
     pub resume_captures: usize,
+    /// How many recorded solves were served from the solution-cache memo.
+    pub cache_hits: usize,
+    /// How many cache-enabled solves missed the memo and ran the solver.
+    pub cache_misses: usize,
+    /// How many recorded solves were warm-started from a cached basis.
+    pub cache_warm_starts: usize,
+    /// How many recorded solves were portfolio races.
+    pub portfolio_races: usize,
+    /// Portfolio races won by the MILP backend.
+    pub portfolio_wins_milp: usize,
+    /// Portfolio races won by the exhaustive provenance backend.
+    pub portfolio_wins_naive: usize,
+    /// Portfolio races won by the Erica-style whole-output backend.
+    pub portfolio_wins_erica: usize,
     /// Largest MILP (variables) seen.
     pub max_variables: usize,
     /// Largest MILP (constraints) seen.
@@ -318,12 +352,29 @@ impl StatsAggregate {
             resumed_solves,
             nodes_restored,
             resume_captures,
+            cache_hits,
+            cache_misses,
+            cache_warm_starts,
+            portfolio_races,
+            portfolio_winner,
         } = stats;
         self.solves += 1;
         self.interrupted += usize::from(*interrupted);
         self.resumed_solves += resumed_solves;
         self.nodes_restored += nodes_restored;
         self.resume_captures += resume_captures;
+        self.cache_hits += cache_hits;
+        self.cache_misses += cache_misses;
+        self.cache_warm_starts += cache_warm_starts;
+        self.portfolio_races += portfolio_races;
+        match portfolio_winner {
+            Some(crate::portfolio::PortfolioBackend::Milp) => self.portfolio_wins_milp += 1,
+            Some(crate::portfolio::PortfolioBackend::NaiveProvenance) => {
+                self.portfolio_wins_naive += 1
+            }
+            Some(crate::portfolio::PortfolioBackend::Erica) => self.portfolio_wins_erica += 1,
+            None => {}
+        }
         self.annotation_time += *annotation_time;
         self.model_build_time += *model_build_time;
         self.solver_time += *solver_time;
@@ -422,6 +473,21 @@ impl RefinementOutcome {
     #[must_use]
     pub fn is_interrupted(&self) -> bool {
         matches!(self, RefinementOutcome::Interrupted { .. })
+    }
+
+    /// Whether this outcome is a *proven terminal* answer — an optimal
+    /// refinement or proven infeasibility — i.e. a deterministic property of
+    /// (snapshot, request) independent of solver limits. Only such outcomes
+    /// are memoized by the [`SolutionCache`](crate::cache::SolutionCache)
+    /// and only they can win a
+    /// [portfolio race](crate::session::RefinementSession::solve_portfolio).
+    #[must_use]
+    pub fn is_proven_terminal(&self) -> bool {
+        match self {
+            RefinementOutcome::Refined(r) => r.proven_optimal,
+            RefinementOutcome::NoRefinement { proven_infeasible } => *proven_infeasible,
+            RefinementOutcome::Interrupted { .. } => false,
+        }
     }
 }
 
@@ -744,17 +810,28 @@ pub struct RefinementSession {
     /// Accumulated setup statistics; doubles as the writer lock serializing
     /// [`apply`](RefinementSession::apply) calls.
     stats: Mutex<SessionStats>,
+    /// Optional cross-request solution cache (`None` = reuse disabled, the
+    /// default). See [`with_solution_cache`](Self::with_solution_cache).
+    cache: Option<crate::cache::SolutionCache>,
 }
 
 impl Clone for RefinementSession {
     /// Cloning forks the session at its current snapshot: the clone starts
     /// from the same version and stats, and future [`apply`](Self::apply)
-    /// calls on either side are independent.
+    /// calls on either side are independent. The clone gets a **fresh,
+    /// empty** solution cache of the same capacity: after a fork, the two
+    /// sides' snapshot versions advance independently, so a shared cache
+    /// would conflate entries from diverged databases that happen to carry
+    /// the same version number.
     fn clone(&self) -> Self {
         RefinementSession {
             query: self.query.clone(),
             current: RwLock::new(self.snapshot()),
             stats: Mutex::new(self.setup_stats()),
+            cache: self
+                .cache
+                .as_ref()
+                .map(|c| crate::cache::SolutionCache::new(c.capacity())),
         }
     }
 }
@@ -783,7 +860,32 @@ impl RefinementSession {
                 annotated,
             })),
             stats: Mutex::new(setup),
+            cache: None,
         })
+    }
+
+    /// Enable cross-request solution reuse: retain up to `capacity` solved
+    /// models' optimal bases, incumbents and proven outcomes in a
+    /// [`SolutionCache`](crate::cache::SolutionCache), so later solves of
+    /// the same constraint family warm-start from the nearest solved ε (and
+    /// exact repeats skip the solver entirely). `capacity == 0` disables the
+    /// cache. Reuse is observable per solve through
+    /// [`RefinementStats::cache_hits`] / [`RefinementStats::cache_misses`] /
+    /// [`RefinementStats::cache_warm_starts`].
+    ///
+    /// Invalidation is automatic and typed: cache keys carry the snapshot
+    /// version, so [`apply`](Self::apply) (which bumps it) makes every older
+    /// entry unreachable — a mutated session can never serve a stale answer.
+    #[must_use]
+    pub fn with_solution_cache(mut self, capacity: usize) -> Self {
+        self.cache = (capacity > 0).then(|| crate::cache::SolutionCache::new(capacity));
+        self
+    }
+
+    /// The session's solution cache, when one was enabled via
+    /// [`with_solution_cache`](Self::with_solution_cache).
+    pub fn solution_cache(&self) -> Option<&crate::cache::SolutionCache> {
+        self.cache.as_ref()
     }
 
     /// The original (unrefined) query.
@@ -921,6 +1023,33 @@ impl RefinementSession {
         let start = Instant::now();
         let annotated = snapshot.annotated();
 
+        // Cross-request reuse, step 1: an exact (family, version, ε) memo
+        // hit is equivalent to re-solving — only proven outcomes are ever
+        // memoized — and skips even the model build.
+        let cache_key = self
+            .cache
+            .as_ref()
+            .map(|_| crate::cache::CacheKey::for_request(snapshot.version(), request));
+        if let (Some(cache), Some(key)) = (&self.cache, &cache_key) {
+            if let Some(mut hit) = cache.lookup_exact(key) {
+                // The memoized stats describe the original solve; replace
+                // them with this request's actual (near-zero) work, keeping
+                // the model-shape fields for observability.
+                hit.stats = RefinementStats {
+                    num_variables: hit.stats.num_variables,
+                    num_integer_variables: hit.stats.num_integer_variables,
+                    num_constraints: hit.stats.num_constraints,
+                    scope_size: hit.stats.scope_size,
+                    lineage_classes: hit.stats.lineage_classes,
+                    cache_hits: 1,
+                    total_time: start.elapsed(),
+                    ..RefinementStats::default()
+                };
+                hit.resume = None;
+                return Ok(hit);
+            }
+        }
+
         // Per-request setup: MILP construction over the pinned annotations.
         let built = build_model(
             annotated,
@@ -939,6 +1068,9 @@ impl RefinementSession {
             num_constraints: built.model.num_constraints(),
             scope_size: built.vars.scope.len(),
             lineage_classes: annotated.classes().len(),
+            // Reaching this point on a cache-enabled session means the memo
+            // lookup above came back empty.
+            cache_misses: usize::from(self.cache.is_some()),
             ..RefinementStats::default()
         };
 
@@ -965,17 +1097,60 @@ impl RefinementSession {
                 SolveStatus::Optimal,
             );
             stats.total_time = start.elapsed();
-            return Ok(RefinementResult {
+            let result = RefinementResult {
                 outcome: RefinementOutcome::Refined(refined),
                 stats,
                 resume: None,
-            });
+            };
+            // The identity refinement is a proven optimum: memoize it so an
+            // exact repeat skips the model build (and this evaluation) too.
+            if let (Some(cache), Some(key)) = (&self.cache, cache_key) {
+                cache.insert(key, None, None, Some(result.clone()));
+            }
+            return Ok(result);
         }
 
-        // Solve.
+        // Solve — warm-started from the nearest solved ε of this model
+        // family when the cache has a donor. The basis seeds the root node;
+        // the incumbent is revalidated against *this* model before it may
+        // bound anything, so a hint can never change the answer.
         let solver = Solver::new(request.solver_options.clone());
-        let solution = solver.solve_with_control(&built.model, &request.control)?;
-        Ok(self.finish_milp_solve(snapshot, request, &built, solution, stats, start))
+        let warm_hint = match (&self.cache, &cache_key) {
+            (Some(cache), Some(key)) => cache.lookup_warm(key),
+            _ => None,
+        };
+        let solution = match warm_hint {
+            Some(hint) => {
+                let mut warm = qr_milp::WarmStart::new();
+                if let Some(basis) = hint.basis {
+                    warm = warm.with_basis(basis);
+                }
+                if let Some(incumbent) = hint.incumbent {
+                    warm = warm.with_incumbent(incumbent);
+                }
+                solver.solve_warm_with_control(&built.model, &warm, &request.control)?
+            }
+            None => solver.solve_with_control(&built.model, &request.control)?,
+        };
+
+        // Cross-request reuse, step 2: bank this solve's artifacts. The
+        // basis/incumbent are warm hints for neighbouring ε; the full result
+        // is memoized only when proven terminal.
+        let banked_basis = solution.basis.clone();
+        let banked_incumbent = solution
+            .status
+            .has_solution()
+            .then(|| solution.values.clone());
+        let result = self.finish_milp_solve(snapshot, request, &built, solution, stats, start);
+        if let (Some(cache), Some(key)) = (&self.cache, cache_key) {
+            let memo = result.outcome.is_proven_terminal().then(|| {
+                let mut memo = result.clone();
+                memo.resume = None;
+                memo
+            });
+            cache.insert(key, banked_basis, banked_incumbent, memo);
+        }
+        Ok(result)
     }
 
     /// Continue an interrupted solve from its [`SessionResume`] checkpoint,
@@ -1074,6 +1249,7 @@ impl RefinementSession {
             resumed_solves,
             nodes_restored,
             resume_captures,
+            warm_entry_solves,
         } = solution.stats;
         stats.solver_time = solve_time;
         stats.nodes = nodes;
@@ -1089,6 +1265,11 @@ impl RefinementSession {
         stats.resumed_solves = resumed_solves;
         stats.nodes_restored = nodes_restored;
         stats.resume_captures = resume_captures;
+        // The solver reports whether the caller-supplied warm entry actually
+        // seeded the search (0 when warm starts are disabled in the solver
+        // options), which is exactly what "warm-started from the cache"
+        // should mean at this layer.
+        stats.cache_warm_starts = warm_entry_solves;
         stats.total_time = start.elapsed();
 
         let outcome = match solution.status {
@@ -1400,6 +1581,10 @@ const _: () = {
     assert_send_sync::<StatsAggregate>();
     assert_send_sync::<RefinedQuery>();
     assert_send_sync::<SessionResume>();
+    assert_send_sync::<crate::cache::SolutionCache>();
+    assert_send_sync::<crate::cache::CacheKey>();
+    assert_send_sync::<crate::portfolio::PortfolioBackend>();
+    assert_send_sync::<crate::portfolio::PortfolioRace>();
 };
 
 #[cfg(test)]

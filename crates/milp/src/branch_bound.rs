@@ -78,6 +78,60 @@ impl Default for SolverOptions {
     }
 }
 
+/// Cross-solve warm-start seed: hints carried from an earlier solve of a
+/// *nearby* model (same columns, different bounds/right-hand side — e.g. the
+/// same refinement query at a different ε) into a fresh search.
+///
+/// Both halves are optional and both are **hints**, never trusted:
+///
+/// * `basis` seeds the root node's LP, which then restarts through the same
+///   bound-flipping dual-simplex path as any parent basis; a stale or
+///   shape-mismatched basis falls back to the cold two-phase solve exactly
+///   like a failed intra-tree warm start.
+/// * `incumbent` is re-validated against *this* model (bounds, rows,
+///   integrality) before it may prune anything — a cached assignment that the
+///   new ε makes infeasible is silently discarded, so a warm entry can never
+///   change what the search returns, only how fast it gets there.
+///
+/// Obtain the ingredients from a previous [`Solution`]'s
+/// [`basis`](Solution::basis) / [`values`](Solution::values) and feed them to
+/// [`Solver::solve_warm_with_control`]. [`SolveStats::warm_entry_solves`]
+/// records whether the basis half was used.
+#[derive(Debug, Clone, Default)]
+pub struct WarmStart {
+    /// Basis snapshot to seed the root LP from.
+    pub basis: Option<Arc<Basis>>,
+    /// Candidate incumbent assignment (full-length, by variable index).
+    pub incumbent: Option<Vec<f64>>,
+}
+
+impl WarmStart {
+    /// An empty warm start (equivalent to a cold [`Solver::solve_with_control`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seed the root LP from a basis snapshot.
+    #[must_use]
+    pub fn with_basis(mut self, basis: Arc<Basis>) -> Self {
+        self.basis = Some(basis);
+        self
+    }
+
+    /// Offer a candidate incumbent (validated against the model before use).
+    #[must_use]
+    pub fn with_incumbent(mut self, values: Vec<f64>) -> Self {
+        self.incumbent = Some(values);
+        self
+    }
+
+    /// Whether this warm start carries no information at all.
+    pub fn is_empty(&self) -> bool {
+        self.basis.is_none() && self.incumbent.is_none()
+    }
+}
+
 // A branch-and-bound node is a `resume::FrontierNode` (imported as `Node`):
 // a box of variable bounds, the parent's LP bound (for pruning before paying
 // for this node's LP), and the parent's optimal basis (for warm-starting this
@@ -125,7 +179,43 @@ impl Solver {
     /// assert_eq!(s.status, SolveStatus::Optimal); // well within the deadline
     /// ```
     pub fn solve_with_control(&self, model: &Model, control: &SolveControl) -> Result<Solution> {
-        self.run_search(model, control, None)
+        self.run_search(model, control, None, None)
+    }
+
+    /// Solve a model seeded by a [`WarmStart`] from an earlier solve of a
+    /// nearby model: the root LP restarts from the supplied basis and a
+    /// re-validated incumbent prunes from node one. Hints that do not fit
+    /// this model are discarded (basis → cold fallback, incumbent → dropped),
+    /// so the returned optimum is identical to
+    /// [`solve_with_control`](Self::solve_with_control)'s — the warm entry
+    /// only changes how much work proving it takes.
+    ///
+    /// ```
+    /// use qr_milp::branch_bound::WarmStart;
+    /// use qr_milp::control::SolveControl;
+    /// use qr_milp::prelude::*;
+    ///
+    /// let mut m = Model::new("doc-warm");
+    /// let x = m.add_binary("x");
+    /// m.set_objective(LinExpr::term(x, 1.0));
+    /// let control = SolveControl::new();
+    /// let first = Solver::default().solve_with_control(&m, &control).unwrap();
+    /// let warm = WarmStart::new().with_incumbent(first.values.clone());
+    /// let warm = match &first.basis {
+    ///     Some(basis) => warm.with_basis(basis.clone()),
+    ///     None => warm,
+    /// };
+    /// let second = Solver::default().solve_warm_with_control(&m, &warm, &control).unwrap();
+    /// assert_eq!(second.status, SolveStatus::Optimal);
+    /// assert!((second.objective - first.objective).abs() < qr_milp::tol::ASSERT_TOL);
+    /// ```
+    pub fn solve_warm_with_control(
+        &self,
+        model: &Model,
+        warm: &WarmStart,
+        control: &SolveControl,
+    ) -> Result<Solution> {
+        self.run_search(model, control, None, Some(warm))
     }
 
     /// Resume an interrupted solve from a captured [`ResumeState`],
@@ -171,17 +261,19 @@ impl Solver {
         state: &ResumeState,
         control: &SolveControl,
     ) -> Result<Solution> {
-        self.run_search(model, control, Some(state.clone()))
+        self.run_search(model, control, Some(state.clone()), None)
     }
 
     /// The branch-and-bound search, optionally seeded by a [`ResumeState`]
-    /// (both entry points funnel here, so fresh and resumed segments run the
-    /// byte-identical search loop).
+    /// or a cross-solve [`WarmStart`] (all entry points funnel here, so
+    /// fresh, resumed and warm-entered segments run the byte-identical
+    /// search loop).
     fn run_search(
         &self,
         model: &Model,
         control: &SolveControl,
         seed: Option<ResumeState>,
+        warm_entry: Option<&WarmStart>,
     ) -> Result<Solution> {
         model.validate()?;
         let fingerprint = model_fingerprint(model);
@@ -284,6 +376,44 @@ impl Solver {
             prior_nodes = seeded_nodes;
             prior_segments = seeded_segments;
             workspace.set_pricing_cursor(pricing_cursor);
+        }
+
+        // The basis that produced the current incumbent, exported on the
+        // final `Solution` so callers (the cross-request cache) can seed the
+        // next nearby solve. Tracked alongside `incumbent` at both
+        // acceptance sites; `None` when warm starts are off.
+        let mut incumbent_basis: Option<Arc<Basis>> = None;
+
+        // Cross-solve warm entry: seed the root LP and the incumbent from a
+        // previous solve's artifacts. Both are hints — the basis falls back
+        // to a cold solve if it no longer fits, and the incumbent is
+        // re-validated against *this* model before it may prune anything —
+        // so a warm entry can never change the returned optimum.
+        if let Some(warm) = warm_entry {
+            if opts.use_warm_start {
+                if let Some(basis) = &warm.basis {
+                    if let Some(root) = stack.last_mut() {
+                        root.parent_basis = Some(basis.clone());
+                        stats.warm_entry_solves = 1;
+                    }
+                }
+            }
+            if let Some(candidate) = &warm.incumbent {
+                if let Some(objective) =
+                    validated_incumbent_objective(model, candidate, opts.integrality_tol)
+                {
+                    let better = incumbent
+                        .as_ref()
+                        .map(|(o, _)| objective < *o)
+                        .unwrap_or(true);
+                    if better {
+                        incumbent = Some((
+                            objective,
+                            round_integers(candidate, &integer_vars, opts.integrality_tol),
+                        ));
+                    }
+                }
+            }
         }
 
         while let Some(node) = stack.pop() {
@@ -462,6 +592,14 @@ impl Solver {
                                 obj,
                                 round_integers(&lp_values, &integer_vars, opts.integrality_tol),
                             ));
+                            // The workspace still holds this leaf's optimal
+                            // basis — snapshot it for the caller (cache seed).
+                            incumbent_basis =
+                                if opts.use_warm_start && lp.status == LpStatus::Optimal {
+                                    workspace.snapshot_basis().map(Arc::new)
+                                } else {
+                                    None
+                                };
                             if let Some(observer) = control.observer() {
                                 observer.incumbent_found(&progress_of(&stats, Some(obj)));
                             }
@@ -512,6 +650,14 @@ impl Solver {
                                 &mut stats,
                             )? {
                                 incumbent = Some((obj, values));
+                                // The dive's last LP fixed every integer and
+                                // solved to optimality; its basis is the one
+                                // that produced this incumbent.
+                                incumbent_basis = if opts.use_warm_start {
+                                    workspace.snapshot_basis().map(Arc::new)
+                                } else {
+                                    None
+                                };
                                 if let Some(observer) = control.observer() {
                                     observer.incumbent_found(&progress_of(&stats, Some(obj)));
                                 }
@@ -641,6 +787,7 @@ impl Solver {
                     values,
                     stats,
                     resume: None,
+                    basis: incumbent_basis,
                 }
             }
             None => {
@@ -782,6 +929,61 @@ fn solve_node_lp(
         stats.cold_lp_solves += 1;
     }
     Ok(lp)
+}
+
+/// Validate a candidate incumbent from a [`WarmStart`] against *this* model:
+/// correct length, within variable bounds, integral where required, and
+/// satisfying every constraint row. Returns the assignment's objective when
+/// it passes, `None` otherwise — a cached assignment that a changed ε or
+/// constraint set makes infeasible must be discarded, not trusted to prune.
+fn validated_incumbent_objective(
+    model: &Model,
+    values: &[f64],
+    integrality_tol: f64,
+) -> Option<f64> {
+    if values.len() != model.num_variables() {
+        return None;
+    }
+    for (variable, &value) in model.variables().iter().zip(values) {
+        if !value.is_finite()
+            || value < variable.lower - crate::tol::FEAS_TOL
+            || value > variable.upper + crate::tol::FEAS_TOL
+        {
+            return None;
+        }
+        if matches!(variable.var_type, VarType::Integer | VarType::Binary)
+            && (value - value.round()).abs() > integrality_tol
+        {
+            return None;
+        }
+    }
+    for constraint in model.constraints() {
+        let activity: f64 = constraint
+            .expr
+            .terms()
+            .map(|(v, c)| c * values[v.index()])
+            .sum::<f64>()
+            + constraint.expr.constant_part();
+        // Same relative row slack as the LP optimum verification: rows with
+        // big-M coefficients accumulate one rounding per nonzero.
+        let slack = crate::tol::VERIFY_ROW_TOL * (1.0 + constraint.rhs.abs());
+        let ok = match constraint.sense {
+            crate::model::Sense::Le => activity <= constraint.rhs + slack,
+            crate::model::Sense::Ge => activity >= constraint.rhs - slack,
+            crate::model::Sense::Eq => (activity - constraint.rhs).abs() <= slack,
+        };
+        if !ok {
+            return None;
+        }
+    }
+    Some(
+        model.objective().constant_part()
+            + model
+                .objective()
+                .terms()
+                .map(|(v, c)| c * values[v.index()])
+                .sum::<f64>(),
+    )
 }
 
 /// Snapshot the running statistics for a [`SolveObserver`](crate::control::SolveObserver) callback.

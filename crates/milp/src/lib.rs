@@ -84,7 +84,7 @@ pub mod solution;
 pub mod tol;
 
 pub use basis::{Basis, VarStatus};
-pub use branch_bound::{Solver, SolverOptions};
+pub use branch_bound::{Solver, SolverOptions, WarmStart};
 pub use control::{CancelToken, SolveControl, SolveObserver, SolveProgress, StopCondition};
 pub use error::{MilpError, Result};
 pub use expr::LinExpr;
@@ -94,7 +94,7 @@ pub use solution::{Solution, SolveStatus};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
-    pub use crate::branch_bound::{Solver, SolverOptions};
+    pub use crate::branch_bound::{Solver, SolverOptions, WarmStart};
     pub use crate::control::{CancelToken, SolveControl, SolveObserver, SolveProgress};
     pub use crate::error::{MilpError, Result as MilpResult};
     pub use crate::expr::LinExpr;
@@ -118,4 +118,5 @@ const _: () = {
     assert_send_sync::<CancelToken>();
     assert_send_sync::<StopCondition>();
     assert_send_sync::<ResumeState>();
+    assert_send_sync::<WarmStart>();
 };

@@ -1,7 +1,9 @@
 //! Solver output: status, objective value, variable assignment, statistics.
 
+use crate::basis::Basis;
 use crate::model::VarId;
 use crate::resume::ResumeState;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Status of a MILP solve.
@@ -83,6 +85,11 @@ pub struct SolveStats {
     /// 1 if this solve ended interrupted with a [`ResumeState`] captured for
     /// a later segment, 0 otherwise.
     pub resume_captures: usize,
+    /// 1 if this solve was seeded with a caller-supplied
+    /// [`WarmStart`](crate::branch_bound::WarmStart) basis (cross-request
+    /// reuse), 0 otherwise. A counter (not a bool) so it aggregates by
+    /// addition like every other field.
+    pub warm_entry_solves: usize,
 }
 
 impl SolveStats {
@@ -127,6 +134,14 @@ pub struct Solution {
     /// to continue where this solve stopped. Boxed: the frontier can be
     /// large, and the common (uninterrupted) case should pay one pointer.
     pub resume: Option<Box<ResumeState>>,
+    /// Snapshot of the simplex basis at the node that produced the returned
+    /// assignment, present when the solve finished [`SolveStatus::Optimal`] /
+    /// [`SolveStatus::Feasible`] with warm starts enabled. Feed it back via
+    /// [`WarmStart`](crate::branch_bound::WarmStart) to seed a later solve of
+    /// a nearby model (e.g. the same query at a different ε) — the basis of
+    /// one optimum is usually a few dual pivots from the next. `Arc`: the
+    /// same snapshot is shared with the search frontier and any cache.
+    pub basis: Option<Arc<Basis>>,
 }
 
 impl Solution {
@@ -153,6 +168,7 @@ impl Solution {
             values: Vec::new(),
             stats,
             resume: None,
+            basis: None,
         }
     }
 }
@@ -169,6 +185,7 @@ mod tests {
             values: vec![0.0, 0.9, 2.49],
             stats: SolveStats::default(),
             resume: None,
+            basis: None,
         };
         assert!(s.status.has_solution());
         assert_eq!(s.value(VarId(1)), 0.9);

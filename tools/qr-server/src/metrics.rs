@@ -128,6 +128,19 @@ impl Metrics {
             ("resumed_solves", Json::count(agg.resumed_solves)),
             ("nodes_restored", Json::count(agg.nodes_restored)),
             ("resume_captures", Json::count(agg.resume_captures)),
+            ("cache_hits", Json::count(agg.cache_hits)),
+            ("cache_misses", Json::count(agg.cache_misses)),
+            ("cache_warm_starts", Json::count(agg.cache_warm_starts)),
+            ("portfolio_races", Json::count(agg.portfolio_races)),
+            ("portfolio_wins_milp", Json::count(agg.portfolio_wins_milp)),
+            (
+                "portfolio_wins_naive",
+                Json::count(agg.portfolio_wins_naive),
+            ),
+            (
+                "portfolio_wins_erica",
+                Json::count(agg.portfolio_wins_erica),
+            ),
             (
                 "candidates_evaluated",
                 Json::count(agg.candidates_evaluated),
@@ -164,6 +177,15 @@ mod tests {
         m.accepted.store(3, Ordering::Relaxed);
         m.shed.store(1, Ordering::Relaxed);
         Metrics::add_latency(&m.solve_us, Duration::from_millis(5));
+        // One cache-hit solve and one portfolio win, so the reuse counters
+        // are exercised end to end, not just present.
+        let solved = RefinementStats {
+            cache_hits: 1,
+            portfolio_races: 1,
+            portfolio_winner: Some(qr_core::PortfolioBackend::NaiveProvenance),
+            ..Default::default()
+        };
+        m.record_stats(&solved);
         let rendered = m.render(
             Some(&Json::str("m1")),
             PoolCounters {
@@ -202,6 +224,19 @@ mod tests {
         assert!(solver.get("resumed_solves").is_some());
         assert!(solver.get("nodes_restored").is_some());
         assert!(solver.get("resume_captures").is_some());
+        assert_eq!(solver.get("cache_hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(solver.get("cache_misses").and_then(Json::as_u64), Some(0));
+        assert!(solver.get("cache_warm_starts").is_some());
+        assert_eq!(
+            solver.get("portfolio_races").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            solver.get("portfolio_wins_naive").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert!(solver.get("portfolio_wins_milp").is_some());
+        assert!(solver.get("portfolio_wins_erica").is_some());
     }
 
     #[test]

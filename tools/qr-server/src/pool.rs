@@ -45,6 +45,15 @@ pub struct PoolCounters {
 /// instance answers a given request against the same data.
 const DATASET_SEED: u64 = 20240317;
 
+/// Solution-cache capacity of every pooled session: interactive clients
+/// typically sweep ε or re-ask recent questions against the same dataset, so
+/// each session keeps this many solved models' bases/incumbents/memos for
+/// cross-request warm starts (observable through the `metrics` op's
+/// `cache_hits` / `cache_misses` / `cache_warm_starts` counters). Mutation
+/// requests bump the snapshot version, which invalidates entries without any
+/// coordination.
+const SESSION_SOLUTION_CACHE_CAPACITY: usize = 64;
+
 impl SessionPool {
     /// A pool that keeps at most `capacity` sessions resident (minimum 1).
     pub fn new(capacity: usize) -> Self {
@@ -128,7 +137,9 @@ fn build_session(dataset: &str) -> Result<RefinementSession, String> {
         "tpch" => split(Workload::new(DatasetId::Tpch, DATASET_SEED)),
         other => return Err(format!("unknown dataset `{other}`")),
     };
-    RefinementSession::new(db, query).map_err(|e| format!("session construction failed: {e}"))
+    RefinementSession::new(db, query)
+        .map(|session| session.with_solution_cache(SESSION_SOLUTION_CACHE_CAPACITY))
+        .map_err(|e| format!("session construction failed: {e}"))
 }
 
 fn split(w: Workload) -> (qr_relation::Database, qr_relation::SpjQuery) {
